@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Ablation A (paper §3.1/§4.1): how much does the interference-edge
+ * weight heuristic matter? Compares four policies over the full suite:
+ *
+ *   uniform   — every edge weighs 1
+ *   depth     — max over occurrences of (nesting depth + 1): the
+ *               paper's literal heuristic
+ *   depthsum  — sum over occurrences of (depth + 1): our default
+ *   profile   — measured basic-block execution counts (the paper's
+ *               "Pr" experiment)
+ *
+ * The paper found profile-driven weights changed partitions for only a
+ * few benchmarks and performance hardly at all; this bench quantifies
+ * the same question for our implementation.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "support/string_utils.hh"
+
+using namespace dsp;
+using namespace dsp::bench;
+
+int
+main()
+{
+    std::cout << "Ablation: interference-edge weight policies "
+                 "(gain % over single bank, CB partitioning)\n\n";
+    std::cout << padRight("benchmark", 18) << padLeft("uniform", 9)
+              << padLeft("depth", 9) << padLeft("depthsum", 9)
+              << padLeft("profile", 9) << "\n"
+              << std::string(54, '-') << "\n";
+
+    double sums[4] = {0, 0, 0, 0};
+    int n = 0;
+    for (const Benchmark *bench : allBenchmarks()) {
+        CompileOptions base;
+        base.mode = AllocMode::SingleBank;
+        auto base_compiled = compileSource(bench->source, base);
+        auto base_run = runProgram(base_compiled, bench->input);
+        long bc = base_run.stats.cycles;
+
+        // Gather a profile once.
+        CompileOptions cb;
+        cb.mode = AllocMode::CB;
+        auto cb_compiled = compileSource(bench->source, cb);
+        auto cb_run = runProgram(cb_compiled, bench->input);
+        ProfileCounts counts = cb_run.profile;
+
+        double gains[4];
+        WeightPolicy policies[4] = {
+            WeightPolicy::Uniform, WeightPolicy::Depth,
+            WeightPolicy::DepthSum, WeightPolicy::Profile};
+        for (int i = 0; i < 4; ++i) {
+            CompileOptions opts;
+            opts.mode = AllocMode::CB;
+            opts.weights = policies[i];
+            if (policies[i] == WeightPolicy::Profile)
+                opts.profile = &counts;
+            Measurement m = measureMode(*bench, opts, bc, 1);
+            gains[i] = m.gainPct;
+            sums[i] += m.gainPct;
+        }
+        std::cout << padRight(bench->name, 18)
+                  << padLeft(fixed(gains[0], 1), 9)
+                  << padLeft(fixed(gains[1], 1), 9)
+                  << padLeft(fixed(gains[2], 1), 9)
+                  << padLeft(fixed(gains[3], 1), 9) << "\n";
+        ++n;
+    }
+    std::cout << std::string(54, '-') << "\n";
+    std::cout << padRight("average", 18);
+    for (double s : sums)
+        std::cout << padLeft(fixed(s / n, 1), 9);
+    std::cout << "\n";
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ablation B (paper §2): the greedy min-cost partitioner versus the
+ * alternating-assignment baseline used in the Princeton memory-bank
+ * allocation work the paper discusses. The paper's related-work
+ * section notes that for *their* constrained architecture the two
+ * performed comparably; on our unconstrained-register machine the
+ * graph-driven greedy partitioner should dominate wherever the
+ * interference structure is asymmetric.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "support/string_utils.hh"
+
+using namespace dsp;
+using namespace dsp::bench;
+
+int
+main()
+{
+    std::cout << "Ablation: greedy min-cost partitioner vs alternating "
+                 "assignment\n(gain % over single bank)\n\n";
+    std::cout << padRight("benchmark", 18) << padLeft("greedy", 9)
+              << padLeft("altern.", 9) << padLeft("ideal", 9) << "\n"
+              << std::string(45, '-') << "\n";
+
+    double sum_g = 0, sum_a = 0, sum_i = 0;
+    int n = 0;
+    for (const Benchmark *bench : allBenchmarks()) {
+        CompileOptions base;
+        base.mode = AllocMode::SingleBank;
+        auto base_run =
+            runProgram(compileSource(bench->source, base), bench->input);
+        long bc = base_run.stats.cycles;
+
+        CompileOptions greedy;
+        greedy.mode = AllocMode::CB;
+        Measurement mg = measureMode(*bench, greedy, bc, 1);
+
+        CompileOptions alt;
+        alt.mode = AllocMode::CB;
+        alt.alternatingPartitioner = true;
+        Measurement ma = measureMode(*bench, alt, bc, 1);
+
+        CompileOptions ideal;
+        ideal.mode = AllocMode::Ideal;
+        Measurement mi = measureMode(*bench, ideal, bc, 1);
+
+        std::cout << padRight(bench->name, 18)
+                  << padLeft(fixed(mg.gainPct, 1), 9)
+                  << padLeft(fixed(ma.gainPct, 1), 9)
+                  << padLeft(fixed(mi.gainPct, 1), 9) << "\n";
+        sum_g += mg.gainPct;
+        sum_a += ma.gainPct;
+        sum_i += mi.gainPct;
+        ++n;
+    }
+    std::cout << std::string(45, '-') << "\n";
+    std::cout << padRight("average", 18) << padLeft(fixed(sum_g / n, 1), 9)
+              << padLeft(fixed(sum_a / n, 1), 9)
+              << padLeft(fixed(sum_i / n, 1), 9) << "\n";
+    return 0;
+}

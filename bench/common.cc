@@ -1,0 +1,97 @@
+#include "common.hh"
+
+#include "support/diagnostics.hh"
+
+namespace dsp
+{
+namespace bench
+{
+
+namespace
+{
+
+void
+checkOutput(const Benchmark &bench, const RunResult &run,
+            const char *what)
+{
+    require(run.output.size() == bench.expected.size(),
+            bench.name, " (", what, "): output size mismatch");
+    for (std::size_t i = 0; i < run.output.size(); ++i) {
+        require(run.output[i].raw == bench.expected[i], bench.name, " (",
+                what, "): output mismatch at word ", i);
+    }
+}
+
+} // namespace
+
+Measurement
+measureMode(const Benchmark &bench, const CompileOptions &opts,
+            long base_cycles, long base_cost)
+{
+    auto compiled = compileSource(bench.source, opts);
+    auto run = runProgram(compiled, bench.input);
+    checkOutput(bench, run, allocModeName(opts.mode));
+
+    Measurement m;
+    m.cycles = run.stats.cycles;
+    m.cost = computeCost(compiled, run);
+    if (base_cycles > 0) {
+        m.pg = static_cast<double>(base_cycles) / m.cycles;
+        m.gainPct = 100.0 * (base_cycles - m.cycles) / base_cycles;
+    }
+    if (base_cost > 0) {
+        m.ci = static_cast<double>(m.cost.total()) / base_cost;
+        m.pcr = m.ci > 0 ? m.pg / m.ci : 0.0;
+    }
+    return m;
+}
+
+BenchResult
+measureBenchmark(const Benchmark &bench)
+{
+    BenchResult r;
+    r.name = bench.name;
+    r.label = bench.label;
+
+    CompileOptions base_opts;
+    base_opts.mode = AllocMode::SingleBank;
+    r.base = measureMode(bench, base_opts, 0, 0);
+    long bc = r.base.cycles;
+    long bk = r.base.cost.total();
+    r.base.pg = 1.0;
+    r.base.ci = 1.0;
+    r.base.pcr = 1.0;
+
+    CompileOptions opts;
+    opts.mode = AllocMode::CB;
+    r.cb = measureMode(bench, opts, bc, bk);
+
+    // Profile-driven weights: run the CB binary once to collect block
+    // execution counts, then recompile with Profile weights.
+    {
+        CompileOptions first;
+        first.mode = AllocMode::CB;
+        auto compiled = compileSource(bench.source, first);
+        auto run = runProgram(compiled, bench.input);
+        ProfileCounts counts = run.profile;
+
+        CompileOptions second;
+        second.mode = AllocMode::CB;
+        second.weights = WeightPolicy::Profile;
+        second.profile = &counts;
+        r.pr = measureMode(bench, second, bc, bk);
+    }
+
+    opts.mode = AllocMode::CBDup;
+    r.dup = measureMode(bench, opts, bc, bk);
+
+    opts.mode = AllocMode::FullDup;
+    r.fullDup = measureMode(bench, opts, bc, bk);
+
+    opts.mode = AllocMode::Ideal;
+    r.ideal = measureMode(bench, opts, bc, bk);
+    return r;
+}
+
+} // namespace bench
+} // namespace dsp

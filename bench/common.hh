@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared measurement harness for the figure/table benches: compiles
+ * and runs a suite benchmark under each technique of the paper's
+ * evaluation and reports cycle counts, gains, and memory costs.
+ */
+
+#ifndef DSP_BENCH_COMMON_HH
+#define DSP_BENCH_COMMON_HH
+
+#include <string>
+
+#include "driver/compiler.hh"
+#include "suite/suite.hh"
+
+namespace dsp
+{
+namespace bench
+{
+
+/** One technique's measurement. */
+struct Measurement
+{
+    long cycles = 0;
+    CostBreakdown cost;
+    /** Performance Gain relative to the unoptimized case (paper §4.2:
+     *  PG = cycles_base / cycles). */
+    double pg = 0.0;
+    /** Cost Increase: cost / cost_base. */
+    double ci = 0.0;
+    /** Performance/Cost Ratio: PG / CI. */
+    double pcr = 0.0;
+    /** Percentage speedup: 100 * (base - cycles) / base. */
+    double gainPct = 0.0;
+};
+
+/** Measurements for every technique in the paper's evaluation. */
+struct BenchResult
+{
+    std::string name;
+    std::string label;
+    Measurement base;    ///< single bank, allocation pass disabled
+    Measurement cb;      ///< CB partitioning
+    Measurement pr;      ///< CB with profile-driven edge weights
+    Measurement dup;     ///< CB + partial duplication
+    Measurement fullDup; ///< full duplication
+    Measurement ideal;   ///< dual-ported memory
+};
+
+/** Run every technique over @p bench (validating outputs throughout). */
+BenchResult measureBenchmark(const Benchmark &bench);
+
+/** Measure one mode only (used by ablations). */
+Measurement measureMode(const Benchmark &bench, const CompileOptions &opts,
+                        long base_cycles, long base_cost);
+
+} // namespace bench
+} // namespace dsp
+
+#endif // DSP_BENCH_COMMON_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figures 4 and 5: interference-graph construction and the greedy
+ * partitioning walk-through.
+ *
+ * Reconstructs the paper's example: a program in which every pairing
+ * of arrays A, B, C, D may be accessed in parallel, with (A, D) also
+ * paired inside a loop (weight 2, all other edges weight 1). Prints
+ * the graph, then traces the greedy min-cost descent of Figure 5:
+ * initial cost 7, move D (cost 3), move C (cost 2), stop.
+ */
+
+#include <iostream>
+
+#include "codegen/partition.hh"
+#include "driver/compiler.hh"
+
+using namespace dsp;
+
+int
+main()
+{
+    std::cout << "Figures 4/5: interference graph and greedy "
+                 "partitioning trace\n\n";
+
+    // Build the exact graph of Figure 4(b).
+    Module mod;
+    DataObject *A = mod.newGlobal("A", Type::Int, 8);
+    DataObject *B = mod.newGlobal("B", Type::Int, 8);
+    DataObject *C = mod.newGlobal("C", Type::Int, 8);
+    DataObject *D = mod.newGlobal("D", Type::Int, 8);
+
+    InterferenceGraph graph;
+    graph.addEdgeWeight(A, B, 1, false);
+    graph.addEdgeWeight(A, C, 1, false);
+    graph.addEdgeWeight(A, D, 2, false);
+    graph.addEdgeWeight(B, C, 1, false);
+    graph.addEdgeWeight(B, D, 1, false);
+    graph.addEdgeWeight(C, D, 1, false);
+
+    std::cout << graph.str() << "\n";
+
+    PartitionResult result = partitionGreedy(graph);
+    std::cout << "initial cost (all nodes in set 1): "
+              << result.initialCost << "   (paper: 7)\n";
+    long running = result.initialCost;
+    for (DataObject *moved : result.moves) {
+        (void)running;
+        std::cout << "  move " << moved->name << " to set 2\n";
+    }
+    std::cout << "final cost: " << result.finalCost
+              << "   (paper: 2)\n\n";
+    for (const auto &[obj, bank] : result.bankOf)
+        std::cout << "  " << obj->name << " -> bank " << bankName(bank)
+                  << "\n";
+
+    std::cout << "\nAlternating-assignment baseline for comparison:\n";
+    PartitionResult alt = partitionAlternating(graph);
+    std::cout << "  uncut cost: " << alt.finalCost << "\n";
+    return 0;
+}

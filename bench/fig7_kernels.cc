@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 7: performance gain (%) of CB partitioning and Ideal
+ * (dual-ported) memory over the single-bank baseline, for the twelve
+ * DSP kernels of Table 1.
+ *
+ * Paper's result shape: every kernel gains (13%-49%, average 29%), and
+ * CB matches Ideal for all kernels except one (iir_4_64), where it is
+ * a few points below.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "support/string_utils.hh"
+
+using namespace dsp;
+using namespace dsp::bench;
+
+int
+main()
+{
+    std::cout << "Figure 7: Performance Gain for DSP Kernels\n";
+    std::cout << "(percentage cycle-count improvement over the "
+                 "single-bank baseline)\n\n";
+    std::cout << padRight("kernel", 18) << padLeft("base cyc", 10)
+              << padLeft("CB %", 9) << padLeft("Ideal %", 9) << "\n";
+    std::cout << std::string(46, '-') << "\n";
+
+    double sum_cb = 0.0, sum_ideal = 0.0;
+    double min_cb = 1e9, max_cb = -1e9;
+    int n = 0;
+    for (const Benchmark &bench : kernelBenchmarks()) {
+        BenchResult r = measureBenchmark(bench);
+        std::cout << padRight(r.label + " " + r.name, 18)
+                  << padLeft(std::to_string(r.base.cycles), 10)
+                  << padLeft(fixed(r.cb.gainPct, 1), 9)
+                  << padLeft(fixed(r.ideal.gainPct, 1), 9) << "\n";
+        sum_cb += r.cb.gainPct;
+        sum_ideal += r.ideal.gainPct;
+        min_cb = std::min(min_cb, r.cb.gainPct);
+        max_cb = std::max(max_cb, r.cb.gainPct);
+        ++n;
+    }
+    std::cout << std::string(46, '-') << "\n";
+    std::cout << padRight("average", 18) << padLeft("", 10)
+              << padLeft(fixed(sum_cb / n, 1), 9)
+              << padLeft(fixed(sum_ideal / n, 1), 9) << "\n";
+    std::cout << "\nCB gain range: " << fixed(min_cb, 1) << "% - "
+              << fixed(max_cb, 1) << "%  (paper: 13% - 49%, avg 29%)\n";
+    return 0;
+}

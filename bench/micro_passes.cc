@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) of the compiler passes whose
+ * asymptotic costs the paper states: interference-graph construction
+ * O(B*n^2), greedy partitioning O(v^2), plus end-to-end compilation
+ * throughput over representative suite members.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "codegen/interference.hh"
+#include "codegen/partition.hh"
+#include "driver/compiler.hh"
+#include "suite/suite.hh"
+
+using namespace dsp;
+
+namespace
+{
+
+/** Synthetic interference graph: v nodes, dense random-ish weights. */
+InterferenceGraph
+syntheticGraph(Module &mod, int v)
+{
+    InterferenceGraph graph;
+    std::vector<DataObject *> objs;
+    for (int i = 0; i < v; ++i)
+        objs.push_back(mod.newGlobal("g" + std::to_string(i), Type::Int,
+                                     4));
+    unsigned state = 12345;
+    for (int i = 0; i < v; ++i) {
+        for (int j = i + 1; j < v; ++j) {
+            state = state * 1103515245u + 12345u;
+            if (state % 3 == 0)
+                graph.addEdgeWeight(objs[i], objs[j],
+                                    1 + (state >> 8) % 5, true);
+        }
+    }
+    return graph;
+}
+
+void
+BM_GreedyPartition(benchmark::State &state)
+{
+    Module mod;
+    InterferenceGraph graph = syntheticGraph(mod, state.range(0));
+    for (auto _ : state) {
+        PartitionResult r = partitionGreedy(graph);
+        benchmark::DoNotOptimize(r.finalCost);
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GreedyPartition)->RangeMultiplier(2)->Range(8, 128)
+    ->Complexity();
+
+void
+BM_InterferenceBuild(benchmark::State &state)
+{
+    // Graph construction over a real program: lpc has the richest mix
+    // of loops and same-array accesses.
+    const Benchmark *bench = findBenchmark("lpc");
+    CompileOptions opts;
+    opts.mode = AllocMode::SingleBank; // prepare machine code once
+    auto compiled = compileSource(bench->source, opts);
+    for (auto _ : state) {
+        InterferenceGraph g = buildInterferenceGraph(
+            *compiled.module, WeightPolicy::DepthSum);
+        benchmark::DoNotOptimize(g.totalWeight());
+    }
+}
+BENCHMARK(BM_InterferenceBuild);
+
+void
+BM_CompileKernel(benchmark::State &state)
+{
+    const Benchmark *bench = findBenchmark("fir_32_1");
+    for (auto _ : state) {
+        CompileOptions opts;
+        opts.mode = AllocMode::CB;
+        auto compiled = compileSource(bench->source, opts);
+        benchmark::DoNotOptimize(compiled.program.insts.size());
+    }
+}
+BENCHMARK(BM_CompileKernel);
+
+void
+BM_CompileApplication(benchmark::State &state)
+{
+    const Benchmark *bench = findBenchmark("lpc");
+    for (auto _ : state) {
+        CompileOptions opts;
+        opts.mode = AllocMode::CBDup;
+        auto compiled = compileSource(bench->source, opts);
+        benchmark::DoNotOptimize(compiled.program.insts.size());
+    }
+}
+BENCHMARK(BM_CompileApplication);
+
+void
+BM_SimulateKernel(benchmark::State &state)
+{
+    const Benchmark *bench = findBenchmark("fir_256_64");
+    CompileOptions opts;
+    opts.mode = AllocMode::CB;
+    auto compiled = compileSource(bench->source, opts);
+    for (auto _ : state) {
+        auto run = runProgram(compiled, bench->input);
+        benchmark::DoNotOptimize(run.stats.cycles);
+    }
+    state.counters["sim_cycles"] = static_cast<double>(
+        runProgram(compiled, bench->input).stats.cycles);
+}
+BENCHMARK(BM_SimulateKernel);
+
+} // namespace
+
+BENCHMARK_MAIN();

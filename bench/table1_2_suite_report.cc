@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Tables 1 and 2: the benchmark suite inventory, with static program
+ * characteristics (operation counts, data footprint, VLIW instruction
+ * counts) measured from our implementations.
+ */
+
+#include <iostream>
+
+#include "driver/compiler.hh"
+#include "suite/suite.hh"
+#include "support/string_utils.hh"
+
+using namespace dsp;
+
+namespace
+{
+
+void
+report(const Benchmark &bench)
+{
+    CompileOptions opts;
+    opts.mode = AllocMode::CB;
+    auto compiled = compileSource(bench.source, opts);
+    auto run = runProgram(compiled, bench.input);
+
+    std::size_t ops = 0;
+    for (const auto &fn : compiled.module->functions)
+        ops += fn->opCount();
+    int data_words = compiled.layout.dataWordsX + compiled.layout.dataWordsY;
+
+    std::cout << padRight(bench.label, 5) << padRight(bench.name, 16)
+              << padLeft(std::to_string(ops), 7)
+              << padLeft(std::to_string(
+                             compiled.program.instructionWords()),
+                         7)
+              << padLeft(std::to_string(data_words), 7)
+              << padLeft(std::to_string(run.stats.cycles), 10) << "  "
+              << bench.description << "\n";
+}
+
+void
+header()
+{
+    std::cout << padRight("id", 5) << padRight("benchmark", 16)
+              << padLeft("ops", 7) << padLeft("insts", 7)
+              << padLeft("data", 7) << padLeft("cycles", 10)
+              << "  description\n"
+              << std::string(110, '-') << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Table 1: DSP Kernel Benchmarks\n\n";
+    header();
+    for (const Benchmark &b : kernelBenchmarks())
+        report(b);
+
+    std::cout << "\nTable 2: DSP Application Benchmarks\n\n";
+    header();
+    for (const Benchmark &b : applicationBenchmarks())
+        report(b);
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Table 3: performance/cost trade-offs of exploiting dual data-memory
+ * banks. For each application and each technique — Full Duplication,
+ * Partial Duplication, CB Partitioning, Ideal Dual-Ported Memory —
+ * reports Performance Gain (PG), Cost Increase (CI), and the
+ * Performance/Cost Ratio (PCR), using the paper's first-order cost
+ * model Cost = X + Y + 2S + I (§4.2).
+ *
+ * Paper's result shape: full duplication is never cost-effective
+ * (PCR < 1 for every application; average CI 1.62); partial
+ * duplication's average CI is ~1.01; for lpc partial duplication's PCR
+ * clearly beats CB's, for spectral it is below CB's.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "support/string_utils.hh"
+
+using namespace dsp;
+using namespace dsp::bench;
+
+namespace
+{
+
+void
+printRow(const std::string &name, const Measurement &full,
+         const Measurement &dup, const Measurement &cb,
+         const Measurement &ideal)
+{
+    auto cell = [](const Measurement &m) {
+        return padLeft(fixed(m.pg, 2), 6) + padLeft(fixed(m.ci, 2), 6) +
+               padLeft(fixed(m.pcr, 2), 6);
+    };
+    std::cout << padRight(name, 15) << cell(full) << " |" << cell(dup)
+              << " |" << cell(cb) << " |" << cell(ideal) << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Table 3: Performance/Cost Trade-Offs of Exploiting "
+                 "Dual Data-Memory Banks\n";
+    std::cout << "(PG = perf gain, CI = cost increase, PCR = PG/CI; "
+                 "cost = X + Y + 2S + I words)\n\n";
+    std::cout << padRight("", 15) << padLeft("Full Duplication", 18)
+              << padLeft("Partial Dup", 20) << padLeft("CB Part.", 20)
+              << padLeft("Ideal", 20) << "\n";
+    std::cout << padRight("application", 15);
+    for (int i = 0; i < 4; ++i)
+        std::cout << padLeft("PG", 6) << padLeft("CI", 6)
+                  << padLeft("PCR", 6) << (i < 3 ? "  " : "");
+    std::cout << "\n" << std::string(89, '-') << "\n";
+
+    Measurement avg_full, avg_dup, avg_cb, avg_ideal;
+    auto acc = [](Measurement &a, const Measurement &m) {
+        a.pg += m.pg;
+        a.ci += m.ci;
+        a.pcr += m.pcr;
+    };
+
+    int n = 0;
+    for (const Benchmark &bench : applicationBenchmarks()) {
+        BenchResult r = measureBenchmark(bench);
+        printRow(r.name, r.fullDup, r.dup, r.cb, r.ideal);
+        acc(avg_full, r.fullDup);
+        acc(avg_dup, r.dup);
+        acc(avg_cb, r.cb);
+        acc(avg_ideal, r.ideal);
+        ++n;
+    }
+    auto fin = [n](Measurement &a) {
+        a.pg /= n;
+        a.ci /= n;
+        a.pcr /= n;
+    };
+    fin(avg_full);
+    fin(avg_dup);
+    fin(avg_cb);
+    fin(avg_ideal);
+    std::cout << std::string(89, '-') << "\n";
+    printRow("arith. mean", avg_full, avg_dup, avg_cb, avg_ideal);
+
+    std::cout << "\nPaper means: Full Dup PG 1.07 / CI 1.62 / PCR 0.68;"
+                 " Partial Dup 1.08/1.01/1.06;\n"
+                 "             CB 1.05/0.99/1.06; Ideal 1.09/0.99/1.10."
+                 "\n";
+    return 0;
+}

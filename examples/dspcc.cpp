@@ -1,0 +1,193 @@
+/**
+ * @file
+ * dspcc — a command-line driver for the dual-bank DSP compiler.
+ *
+ * Compiles a MiniC source file, optionally runs it on the simulator,
+ * and can dump the interference graph, the partition, and the packed
+ * VLIW assembly. This is the "compiler explorer" view of the library:
+ *
+ *     dspcc prog.c                        # compile + run (CB mode)
+ *     dspcc --mode=single prog.c          # allocation pass disabled
+ *     dspcc --mode=dup --graph prog.c     # show duplication decisions
+ *     dspcc --asm prog.c                  # dump VLIW assembly
+ *     dspcc --in=1,2,3 prog.c             # provide input words
+ *     dspcc --compare prog.c              # cycle counts for all modes
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "driver/compiler.hh"
+#include "support/string_utils.hh"
+
+using namespace dsp;
+
+namespace
+{
+
+struct CliOptions
+{
+    std::string file;
+    AllocMode mode = AllocMode::CB;
+    bool showAsm = false;
+    bool showGraph = false;
+    bool compare = false;
+    std::vector<uint32_t> input;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::cerr
+        << "usage: dspcc [options] file.c\n"
+           "  --mode=single|cb|dup|fulldup|ideal   allocation strategy\n"
+           "  --asm                                dump VLIW assembly\n"
+           "  --graph       dump interference graph and partition\n"
+           "  --compare     run under every mode and compare cycles\n"
+           "  --in=a,b,c    integer input words for in()/inf()\n";
+    std::exit(2);
+}
+
+AllocMode
+parseMode(const std::string &m)
+{
+    if (m == "single")
+        return AllocMode::SingleBank;
+    if (m == "cb")
+        return AllocMode::CB;
+    if (m == "dup")
+        return AllocMode::CBDup;
+    if (m == "fulldup")
+        return AllocMode::FullDup;
+    if (m == "ideal")
+        return AllocMode::Ideal;
+    usage();
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions cli;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (startsWith(arg, "--mode=")) {
+            cli.mode = parseMode(arg.substr(7));
+        } else if (arg == "--asm") {
+            cli.showAsm = true;
+        } else if (arg == "--graph") {
+            cli.showGraph = true;
+        } else if (arg == "--compare") {
+            cli.compare = true;
+        } else if (startsWith(arg, "--in=")) {
+            for (const std::string &tok :
+                 splitString(arg.substr(5), ',')) {
+                if (!tok.empty())
+                    cli.input.push_back(static_cast<uint32_t>(
+                        std::stol(tok)));
+            }
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage();
+        } else {
+            cli.file = arg;
+        }
+    }
+    if (cli.file.empty())
+        usage();
+    return cli;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "dspcc: cannot open " << path << "\n";
+        std::exit(1);
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+void
+runOnce(const std::string &source, const CliOptions &cli)
+{
+    CompileOptions opts;
+    opts.mode = cli.mode;
+    auto compiled = compileSource(source, opts);
+
+    if (cli.showGraph) {
+        std::cout << "=== interference graph ===\n"
+                  << compiled.alloc.graph.str();
+        std::cout << "=== partition (cost "
+                  << compiled.alloc.partition.initialCost << " -> "
+                  << compiled.alloc.partition.finalCost << ") ===\n";
+        for (const auto &g : compiled.module->globals)
+            std::cout << "  " << padRight(g->name, 16) << " bank "
+                      << bankName(g->bank)
+                      << (g->duplicated ? "  (duplicated)" : "") << "\n";
+        std::cout << "\n";
+    }
+    if (cli.showAsm)
+        std::cout << printVliwProgram(compiled.program) << "\n";
+
+    auto run = runProgram(compiled, cli.input);
+    auto cost = computeCost(compiled, run);
+
+    std::cout << "[" << allocModeName(cli.mode) << "] cycles "
+              << run.stats.cycles << ", ops " << run.stats.opsExecuted
+              << ", paired-mem cycles " << run.stats.pairedMemCycles
+              << ", memory cost " << cost.total() << " words\n";
+    if (!run.output.empty()) {
+        std::cout << "output:";
+        for (const OutputWord &w : run.output) {
+            if (w.isFloat)
+                std::cout << " " << w.asFloat();
+            else
+                std::cout << " " << w.asInt();
+        }
+        std::cout << "\n";
+    }
+}
+
+void
+runCompare(const std::string &source, const CliOptions &cli)
+{
+    long base = 0;
+    for (AllocMode mode :
+         {AllocMode::SingleBank, AllocMode::CB, AllocMode::CBDup,
+          AllocMode::FullDup, AllocMode::Ideal}) {
+        CompileOptions opts;
+        opts.mode = mode;
+        auto compiled = compileSource(source, opts);
+        auto run = runProgram(compiled, cli.input);
+        if (mode == AllocMode::SingleBank)
+            base = run.stats.cycles;
+        double gain =
+            100.0 * (base - run.stats.cycles) / std::max(1L, base);
+        std::cout << padRight(allocModeName(mode), 12)
+                  << padLeft(std::to_string(run.stats.cycles), 10)
+                  << " cycles  " << padLeft(fixed(gain, 1), 6)
+                  << "% gain\n";
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliOptions cli = parseArgs(argc, argv);
+    std::string source = readFile(cli.file);
+    try {
+        if (cli.compare)
+            runCompare(source, cli);
+        else
+            runOnce(source, cli);
+    } catch (const UserError &e) {
+        std::cerr << "dspcc: " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

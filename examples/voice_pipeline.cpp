@@ -1,0 +1,124 @@
+/**
+ * @file
+ * A speech-processing deployment scenario: size a dual-bank DSP's
+ * memory system for a voice front end (LPC analysis + ADPCM coding).
+ *
+ * This is the workflow the paper's cost model (§4.2) is for: given
+ * real-time cycle budgets and an on-chip memory budget, decide per
+ * program whether partial duplication pays. The example compiles the
+ * suite's lpc and adpcm applications under each technique, validates
+ * outputs, and prints a recommendation based on the Performance/Cost
+ * Ratio, mirroring Table 3's reasoning.
+ */
+
+#include <iostream>
+
+#include "driver/compiler.hh"
+#include "suite/suite.hh"
+#include "support/string_utils.hh"
+
+using namespace dsp;
+
+namespace
+{
+
+struct TechniqueReport
+{
+    std::string name;
+    long cycles = 0;
+    long cost = 0;
+    double pg = 0.0;
+    double ci = 0.0;
+    double pcr = 0.0;
+};
+
+TechniqueReport
+evaluate(const Benchmark &bench, AllocMode mode, long base_cycles,
+         long base_cost)
+{
+    CompileOptions opts;
+    opts.mode = mode;
+    auto compiled = compileSource(bench.source, opts);
+    auto run = runProgram(compiled, bench.input);
+
+    // Outputs must match the benchmark's golden reference.
+    if (run.output.size() != bench.expected.size())
+        fatal(bench.name, ": output length mismatch");
+    for (std::size_t i = 0; i < run.output.size(); ++i)
+        if (run.output[i].raw != bench.expected[i])
+            fatal(bench.name, ": output mismatch");
+
+    TechniqueReport r;
+    r.name = allocModeName(mode);
+    r.cycles = run.stats.cycles;
+    r.cost = computeCost(compiled, run).total();
+    if (base_cycles) {
+        r.pg = double(base_cycles) / r.cycles;
+        r.ci = double(r.cost) / base_cost;
+        r.pcr = r.pg / r.ci;
+    }
+    return r;
+}
+
+void
+analyze(const std::string &bench_name, long realtime_budget)
+{
+    const Benchmark *bench = findBenchmark(bench_name);
+    require(bench, "unknown benchmark ", bench_name);
+
+    std::cout << "== " << bench->name << ": " << bench->description
+              << " ==\n";
+
+    TechniqueReport base =
+        evaluate(*bench, AllocMode::SingleBank, 0, 0);
+    std::cout << "  single-bank baseline: " << base.cycles
+              << " cycles, " << base.cost << " memory words\n";
+    std::cout << "  real-time budget:     " << realtime_budget
+              << " cycles\n\n";
+
+    std::cout << padRight("  technique", 16) << padLeft("cycles", 9)
+              << padLeft("words", 8) << padLeft("PG", 7)
+              << padLeft("CI", 7) << padLeft("PCR", 7)
+              << "  meets budget?\n";
+
+    TechniqueReport best{};
+    for (AllocMode mode :
+         {AllocMode::CB, AllocMode::CBDup, AllocMode::Ideal}) {
+        TechniqueReport r =
+            evaluate(*bench, mode, base.cycles, base.cost);
+        bool meets = r.cycles <= realtime_budget;
+        std::cout << padRight("  " + r.name, 16)
+                  << padLeft(std::to_string(r.cycles), 9)
+                  << padLeft(std::to_string(r.cost), 8)
+                  << padLeft(fixed(r.pg, 2), 7)
+                  << padLeft(fixed(r.ci, 2), 7)
+                  << padLeft(fixed(r.pcr, 2), 7) << "  "
+                  << (meets ? "yes" : "NO") << "\n";
+        // Ideal is a reference design point, not a software technique.
+        if (mode != AllocMode::Ideal &&
+            (best.name.empty() || r.pcr > best.pcr))
+            best = r;
+    }
+    std::cout << "\n  recommendation: " << best.name
+              << " (best performance/cost ratio " << fixed(best.pcr, 2)
+              << ")\n\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Voice front-end sizing study (paper Table 3 "
+                 "methodology)\n\n";
+    // Budgets picked to be tight enough that the baseline fails for
+    // lpc: the allocation algorithms are what make real time.
+    analyze("lpc", 26000);
+    analyze("adpcm", 20000);
+    std::cout
+        << "The LPC analyzer's autocorrelation reads two lags of one "
+           "array per cycle;\nonly duplication (or dual-ported memory) "
+           "makes it dual-issue, which is\nexactly the paper's "
+           "motivating case for partial data duplication.\n";
+    return 0;
+}

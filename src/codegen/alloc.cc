@@ -1,0 +1,234 @@
+#include "codegen/alloc.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "ir/module.hh"
+
+namespace dsp
+{
+
+const char *
+allocModeName(AllocMode mode)
+{
+    switch (mode) {
+      case AllocMode::SingleBank: return "single-bank";
+      case AllocMode::CB: return "CB";
+      case AllocMode::CBDup: return "CB+dup";
+      case AllocMode::FullDup: return "full-dup";
+      case AllocMode::Ideal: return "ideal";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** All concrete (non-param) objects of the module, stable order. */
+std::vector<DataObject *>
+concreteObjects(Module &mod)
+{
+    std::vector<DataObject *> out;
+    for (auto &g : mod.globals)
+        out.push_back(g.get());
+    for (auto &fn : mod.functions)
+        for (auto &obj : fn->localObjects)
+            if (obj->storage != Storage::Param)
+                out.push_back(obj.get());
+    std::sort(out.begin(), out.end(),
+              [](DataObject *a, DataObject *b) { return a->id < b->id; });
+    return out;
+}
+
+/** Objects that some array parameter may bind to (never duplicable:
+ *  stores through the parameter could not keep the copies coherent). */
+std::set<DataObject *>
+paramReachable(Module &mod)
+{
+    std::set<DataObject *> out;
+    for (auto &fn : mod.functions) {
+        for (auto &obj : fn->localObjects) {
+            if (obj->storage != Storage::Param)
+                continue;
+            out.insert(obj->mayBind.begin(), obj->mayBind.end());
+        }
+    }
+    return out;
+}
+
+/** Tag every data memory access with the bank of its object. */
+void
+tagAccesses(Module &mod, bool either_for_loads_of_dup, bool ideal)
+{
+    for (auto &fn : mod.functions) {
+        for (auto &bb : fn->blocks) {
+            for (Op &op : bb->ops) {
+                if (!op.mem.valid() || !op.isMem())
+                    continue;
+                if (op.mem.bank != Bank::None)
+                    continue; // duplication stores are pre-tagged
+                DataObject *obj = op.mem.object;
+                if (ideal) {
+                    op.mem.bank = Bank::Either;
+                } else if (obj->duplicated && isLoad(op.opcode) &&
+                           either_for_loads_of_dup) {
+                    op.mem.bank = Bank::Either;
+                } else {
+                    op.mem.bank = obj->bank == Bank::None ? Bank::X
+                                                          : obj->bank;
+                    if (op.mem.bank == Bank::Either)
+                        op.mem.bank = Bank::X;
+                }
+            }
+        }
+    }
+}
+
+/**
+ * Duplicate @p obj: tag it, and double every store to it. The X-copy
+ * store keeps the original position; the Y-copy clone follows it.
+ * Loads are retagged later (tagAccesses) as Bank::Either so the
+ * compaction pass may read whichever copy frees a memory port.
+ */
+int
+applyDuplication(Module &mod, DataObject *obj, bool atomic,
+                 int &next_pair_id)
+{
+    obj->duplicated = true;
+    obj->bank = Bank::Either;
+
+    int extra = 0;
+    for (auto &fn : mod.functions) {
+        for (auto &bb : fn->blocks) {
+            std::vector<Op> out;
+            out.reserve(bb->ops.size());
+            for (Op &op : bb->ops) {
+                bool is_dup_store = isStore(op.opcode) && op.mem.valid() &&
+                                    op.mem.object == obj;
+                if (!is_dup_store) {
+                    out.push_back(std::move(op));
+                    continue;
+                }
+                Op x_copy = op;
+                x_copy.mem.bank = Bank::X;
+                Op y_copy = x_copy;
+                y_copy.mem.bank = Bank::Y;
+                if (atomic) {
+                    x_copy.atomicPair = next_pair_id;
+                    y_copy.atomicPair = next_pair_id;
+                    ++next_pair_id;
+                }
+                out.push_back(std::move(x_copy));
+                out.push_back(std::move(y_copy));
+                ++extra;
+            }
+            bb->ops = std::move(out);
+        }
+    }
+    return extra;
+}
+
+} // namespace
+
+AllocReport
+runDataAllocation(Module &mod, const AllocOptions &opts)
+{
+    AllocReport report;
+    auto objects = concreteObjects(mod);
+
+    switch (opts.mode) {
+      case AllocMode::SingleBank:
+        for (DataObject *obj : objects)
+            obj->bank = Bank::X;
+        tagAccesses(mod, false, false);
+        return report;
+
+      case AllocMode::Ideal:
+        // Placement is irrelevant with dual-ported memory; keep all
+        // data in X so storage cost matches the unoptimized case.
+        for (DataObject *obj : objects)
+            obj->bank = Bank::X;
+        tagAccesses(mod, false, true);
+        return report;
+
+      case AllocMode::CB:
+      case AllocMode::CBDup:
+      case AllocMode::FullDup:
+        break;
+    }
+
+    // --- CB partitioning (paper §3.1) ---
+    report.graph = buildInterferenceGraph(mod, opts.weights, opts.profile);
+    report.partition = opts.alternatingPartitioner
+                           ? partitionAlternating(report.graph)
+                           : partitionGreedy(report.graph);
+
+    for (DataObject *obj : objects) {
+        DataObject *rep = report.graph.repr(obj);
+        auto it = report.partition.bankOf.find(rep);
+        obj->bank = it == report.partition.bankOf.end() ? Bank::X
+                                                        : it->second;
+    }
+    // Param objects inherit their class's bank.
+    for (auto &fn : mod.functions) {
+        for (auto &obj : fn->localObjects) {
+            if (obj->storage != Storage::Param)
+                continue;
+            DataObject *rep = report.graph.repr(obj.get());
+            auto it = report.partition.bankOf.find(rep);
+            obj->bank = it == report.partition.bankOf.end() ? Bank::X
+                                                            : it->second;
+        }
+    }
+
+    // --- duplication (paper §3.2) ---
+    if (opts.mode == AllocMode::CBDup || opts.mode == AllocMode::FullDup) {
+        std::set<DataObject *> reachable = paramReachable(mod);
+
+        std::vector<DataObject *> candidates;
+        if (opts.mode == AllocMode::FullDup) {
+            candidates = objects;
+        } else {
+            // Objects the compaction model flagged: simultaneous
+            // accesses to the same entity. Apply the paper's §5
+            // refinement: skip candidates whose modeled pairing
+            // benefit does not exceed the weight of the stores that
+            // duplication would double.
+            for (DataObject *rep : report.graph.duplicationCandidates()) {
+                if (report.graph.duplicationBenefit(rep) <=
+                    report.graph.storeWeight(rep)) {
+                    for (DataObject *member : report.graph.members(rep))
+                        if (member->storage != Storage::Param)
+                            report.dupRejected.push_back(member);
+                    continue;
+                }
+                for (DataObject *member : report.graph.members(rep))
+                    if (member->storage != Storage::Param)
+                        candidates.push_back(member);
+            }
+            std::sort(candidates.begin(), candidates.end(),
+                      [](DataObject *a, DataObject *b) {
+                          return a->id < b->id;
+                      });
+            candidates.erase(
+                std::unique(candidates.begin(), candidates.end()),
+                candidates.end());
+        }
+
+        int next_pair = 0;
+        for (DataObject *obj : candidates) {
+            if (reachable.count(obj)) {
+                report.dupRejected.push_back(obj);
+                continue;
+            }
+            report.extraStores += applyDuplication(
+                mod, obj, opts.atomicDupStores, next_pair);
+            report.duplicated.push_back(obj);
+        }
+    }
+
+    tagAccesses(mod, true, false);
+    return report;
+}
+
+} // namespace dsp

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The data-allocation pass (paper §3): assigns every variable/array a
+ * memory bank and applies partial or full data duplication.
+ *
+ * Runs after machine lowering and before register allocation and
+ * compaction, exactly as in the paper's post-optimizer: "The goal of
+ * the allocation pass, which executes before the compaction pass, is to
+ * assign variables to the two data-memory banks so as to expose as much
+ * parallelism among load and store operations as possible."
+ */
+
+#ifndef DSP_CODEGEN_ALLOC_HH
+#define DSP_CODEGEN_ALLOC_HH
+
+#include <vector>
+
+#include "codegen/interference.hh"
+#include "codegen/partition.hh"
+
+namespace dsp
+{
+
+class Module;
+
+/** Data-allocation strategies measured in the paper's evaluation. */
+enum class AllocMode : unsigned char
+{
+    /** Allocation pass disabled; all data in bank X (the paper's
+     *  unoptimized reference). */
+    SingleBank,
+    /** Compaction-based partitioning (CB). */
+    CB,
+    /** CB plus partial data duplication (Dup). */
+    CBDup,
+    /** Every eligible object duplicated (Full Duplication). */
+    FullDup,
+    /** Dual-ported memory: placement unconstrained (Ideal). */
+    Ideal,
+};
+
+const char *allocModeName(AllocMode mode);
+
+struct AllocOptions
+{
+    AllocMode mode = AllocMode::CB;
+    WeightPolicy weights = WeightPolicy::DepthSum;
+    /** Use the alternating-greedy baseline partitioner (ablation). */
+    bool alternatingPartitioner = false;
+    /** Pair duplicated-data stores as interrupt-atomic (§3.2). */
+    bool atomicDupStores = false;
+    /** Block execution counts for WeightPolicy::Profile. */
+    const ProfileCounts *profile = nullptr;
+};
+
+struct AllocReport
+{
+    InterferenceGraph graph;
+    PartitionResult partition;
+    /** Objects actually duplicated. */
+    std::vector<DataObject *> duplicated;
+    /** Duplication candidates rejected (param-reachable objects). */
+    std::vector<DataObject *> dupRejected;
+    /** Extra store operations inserted to keep copies coherent. */
+    int extraStores = 0;
+};
+
+/**
+ * Run the allocation pass over @p mod: builds the interference graph,
+ * partitions, applies duplication, and tags every memory access with
+ * its bank. Mutates code (duplication stores) and DataObject fields.
+ */
+AllocReport runDataAllocation(Module &mod, const AllocOptions &opts);
+
+} // namespace dsp
+
+#endif // DSP_CODEGEN_ALLOC_HH

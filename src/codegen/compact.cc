@@ -1,0 +1,243 @@
+#include "codegen/compact.hh"
+
+#include <algorithm>
+
+#include "codegen/dep_graph.hh"
+#include "ir/function.hh"
+
+namespace dsp
+{
+
+namespace
+{
+
+class BlockCompactor
+{
+  public:
+    BlockCompactor(const BasicBlock &bb, bool dual_ported)
+        : bb(bb), deps(bb), dualPorted(dual_ported)
+    {}
+
+    std::vector<VliwInst>
+    run()
+    {
+        int n = deps.size();
+        scheduled.assign(n, -1);
+        int remaining = n;
+        std::vector<VliwInst> insts;
+
+        int cycle = 0;
+        while (remaining > 0) {
+            VliwInst inst;
+            inst.function = bb.function ? bb.function->name : "";
+            inst.blockId = bb.id;
+            std::vector<int> in_inst;
+
+            // Repeat until no more ops fit: an op whose anti-dependence
+            // predecessor just landed in this instruction becomes ready
+            // within the same cycle (the paper's data-compatibility
+            // rule).
+            bool placed_any = true;
+            while (placed_any) {
+                placed_any = false;
+                std::vector<int> drs = readySet(cycle);
+                sortByPriority(drs);
+                for (int idx : drs) {
+                    if (!dataCompatible(idx, in_inst))
+                        continue;
+                    int slot = findSlot(inst, bb.ops[idx]);
+                    if (slot < 0)
+                        continue;
+                    place(inst, slot, idx, cycle, in_inst);
+                    --remaining;
+                    placed_any = true;
+                }
+            }
+
+            if (in_inst.empty())
+                panic("compaction deadlock in block ", bb.label);
+            insts.push_back(std::move(inst));
+            ++cycle;
+        }
+        return insts;
+    }
+
+  private:
+    const BasicBlock &bb;
+    DepGraph deps;
+    bool dualPorted;
+    std::vector<int> scheduled;
+
+    std::vector<int>
+    readySet(int cycle) const
+    {
+        std::vector<int> out;
+        for (int i = 0; i < deps.size(); ++i) {
+            if (scheduled[i] >= 0)
+                continue;
+            bool ready = true;
+            for (const DepEdge &e : deps.preds(i)) {
+                if (scheduled[e.other] < 0) {
+                    ready = false;
+                    break;
+                }
+                bool same_cycle_ok = e.kind == DepKind::Anti ||
+                                     e.kind == DepKind::Ctrl;
+                if (!same_cycle_ok && scheduled[e.other] >= cycle) {
+                    ready = false;
+                    break;
+                }
+            }
+            if (ready)
+                out.push_back(i);
+        }
+        return out;
+    }
+
+    void
+    sortByPriority(std::vector<int> &drs) const
+    {
+        std::stable_sort(drs.begin(), drs.end(), [&](int a, int b) {
+            if (deps.priority(a) != deps.priority(b))
+                return deps.priority(a) > deps.priority(b);
+            return a < b;
+        });
+    }
+
+    bool
+    dataCompatible(int idx, const std::vector<int> &in_inst) const
+    {
+        for (const DepEdge &e : deps.preds(idx)) {
+            if (e.kind != DepKind::Flow && e.kind != DepKind::Output)
+                continue;
+            for (int placed : in_inst)
+                if (e.other == placed)
+                    return false;
+        }
+        return true;
+    }
+
+    static bool
+    isDataMem(const Op &op)
+    {
+        return op.isMem();
+    }
+
+    /**
+     * Simple integer adds and moves may issue on an idle address unit:
+     * the AUs are plain adders, and DSP code generators routinely use
+     * spare AGU capacity for induction arithmetic. Without this the
+     * two DUs saturate on index updates and hide all memory-bank
+     * effects behind an integer-ALU bottleneck.
+     */
+    static bool
+    auCompatible(const Op &op)
+    {
+        switch (op.opcode) {
+          case Opcode::MovI:
+          case Opcode::Add:
+          case Opcode::Sub:
+          case Opcode::AddI:
+            return true;
+          case Opcode::Copy:
+            return op.dst.cls == RegClass::Int;
+          default:
+            return false;
+        }
+    }
+
+    /** Find a free slot for @p op; -1 if none this cycle. */
+    int
+    findSlot(const VliwInst &inst, const Op &op) const
+    {
+        auto free_of = [&](int a, int b) {
+            if (!inst.slots[a])
+                return a;
+            if (!inst.slots[b])
+                return b;
+            return -1;
+        };
+
+        switch (fuKindOf(op)) {
+          case FuKind::PCU:
+            return inst.slots[SlotPCU] ? -1 : SlotPCU;
+          case FuKind::AU:
+            return free_of(SlotAU0, SlotAU1);
+          case FuKind::DU: {
+            int slot = free_of(SlotDU0, SlotDU1);
+            if (slot < 0 && auCompatible(op))
+                slot = free_of(SlotAU0, SlotAU1);
+            return slot;
+          }
+          case FuKind::FPU:
+            return free_of(SlotFPU0, SlotFPU1);
+          case FuKind::MU:
+            break;
+        }
+
+        // Memory units. I/O ops and dual-ported accesses may use either
+        // port; single-ported accesses must use their bank's port.
+        if (!isDataMem(op) || dualPorted)
+            return free_of(SlotMU0, SlotMU1);
+        switch (op.mem.bank) {
+          case Bank::X:
+            return inst.slots[SlotMU0] ? -1 : SlotMU0;
+          case Bank::Y:
+            return inst.slots[SlotMU1] ? -1 : SlotMU1;
+          case Bank::Either:
+            return free_of(SlotMU0, SlotMU1);
+          case Bank::None:
+            panic("memory op without bank tag: ", op.str());
+        }
+        return -1;
+    }
+
+    void
+    place(VliwInst &inst, int slot, int idx, int cycle,
+          std::vector<int> &in_inst)
+    {
+        Op op = bb.ops[idx];
+        // A load from a duplicated object resolves to the copy of the
+        // port it landed on.
+        if (op.isMem() && op.mem.bank == Bank::Either && !dualPorted)
+            op.mem.bank = slot == SlotMU0 ? Bank::X : Bank::Y;
+        inst.slots[slot] = std::move(op);
+        scheduled[idx] = cycle;
+        in_inst.push_back(idx);
+    }
+};
+
+} // namespace
+
+std::vector<VliwInst>
+compactBlock(const BasicBlock &bb, bool dual_ported, CompactStats *stats)
+{
+    auto insts = BlockCompactor(bb, dual_ported).run();
+    if (stats) {
+        stats->ops += static_cast<int>(bb.ops.size());
+        stats->insts += static_cast<int>(insts.size());
+        for (const VliwInst &inst : insts) {
+            int mem = 0;
+            for (const auto &slot : inst.slots)
+                if (slot && slot->isMem())
+                    ++mem;
+            if (mem >= 2)
+                ++stats->pairedMemInsts;
+        }
+    }
+    return insts;
+}
+
+std::vector<VliwInst>
+compactFunction(const Function &fn, bool dual_ported, CompactStats *stats)
+{
+    std::vector<VliwInst> out;
+    for (const auto &bb : fn.blocks) {
+        auto insts = compactBlock(*bb, dual_ported, stats);
+        out.insert(out.end(), std::make_move_iterator(insts.begin()),
+                   std::make_move_iterator(insts.end()));
+    }
+    return out;
+}
+
+} // namespace dsp

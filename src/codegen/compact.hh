@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The operation-compaction pass (paper §3): packs machine operations
+ * into VLIW instructions with list scheduling, using the bank tags the
+ * data-allocation pass attached to every memory operation.
+ */
+
+#ifndef DSP_CODEGEN_COMPACT_HH
+#define DSP_CODEGEN_COMPACT_HH
+
+#include <vector>
+
+#include "target/vliw.hh"
+
+namespace dsp
+{
+
+class BasicBlock;
+class Function;
+
+struct CompactStats
+{
+    int ops = 0;
+    int insts = 0;
+    /** Instructions carrying two data-memory operations. */
+    int pairedMemInsts = 0;
+};
+
+/**
+ * Compact one basic block into VLIW instructions.
+ *
+ * @param dual_ported With dual-ported (Ideal) memory any data memory op
+ *        may use either memory unit regardless of bank.
+ */
+std::vector<VliwInst> compactBlock(const BasicBlock &bb, bool dual_ported,
+                                   CompactStats *stats = nullptr);
+
+/** Compact every block of @p fn, in layout order. */
+std::vector<VliwInst> compactFunction(const Function &fn, bool dual_ported,
+                                      CompactStats *stats = nullptr);
+
+} // namespace dsp
+
+#endif // DSP_CODEGEN_COMPACT_HH

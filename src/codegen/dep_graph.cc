@@ -1,0 +1,324 @@
+#include "codegen/dep_graph.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "ir/function.hh"
+#include "target/target_desc.hh"
+
+namespace dsp
+{
+
+namespace
+{
+
+/** Concrete objects an access may touch; empty means "anything". */
+std::vector<const DataObject *>
+targets(const Op &op)
+{
+    const DataObject *obj = op.mem.object;
+    if (!obj)
+        return {};
+    if (obj->storage != Storage::Param)
+        return {obj};
+    if (obj->mayBind.empty())
+        return {}; // unknown: conservative
+    std::vector<const DataObject *> out;
+    for (DataObject *o : obj->mayBind)
+        out.push_back(o);
+    return out;
+}
+
+} // namespace
+
+bool
+memMayAlias(const Op &a, const Op &b)
+{
+    if (!a.mem.valid() || !b.mem.valid())
+        return false;
+
+    auto ta = targets(a);
+    auto tb = targets(b);
+    if (ta.empty() || tb.empty())
+        return true; // unknown access aliases everything
+
+    bool overlap = false;
+    for (const DataObject *x : ta)
+        for (const DataObject *y : tb)
+            if (x == y)
+                overlap = true;
+    if (!overlap)
+        return false;
+
+    // Same concrete object on both sides: try offset disambiguation.
+    if (a.mem.object == b.mem.object &&
+        a.mem.object->storage != Storage::Param) {
+        // The paired stores that keep a duplicated object coherent write
+        // the same offset of *different copies*; they never conflict.
+        if (a.mem.object->duplicated && isStore(a.opcode) &&
+            isStore(b.opcode) && a.mem.bank != b.mem.bank &&
+            a.mem.bank != Bank::None && b.mem.bank != Bank::None &&
+            a.mem.bank != Bank::Either && b.mem.bank != Bank::Either)
+            return false;
+        if (!a.mem.index.valid() && !b.mem.index.valid() &&
+            a.mem.offset != b.mem.offset)
+            return false;
+        // Identical index register and different constant offsets can
+        // also be disambiguated (no intervening redefinition matters:
+        // same-register reads within a block refer to whatever value it
+        // has, and equal value + unequal offsets differ).
+        if (a.mem.index.valid() && b.mem.index.valid() &&
+            a.mem.index == b.mem.index && a.mem.offset != b.mem.offset)
+            return false;
+    }
+    return true;
+}
+
+std::vector<VReg>
+implicitUses(const Op &op)
+{
+    std::vector<VReg> out;
+    switch (op.opcode) {
+      case Opcode::Call: {
+        require(op.callee, "call without callee");
+        int ni = 0, nf = 0, na = 0;
+        for (const Param &p : op.callee->params) {
+            if (p.isArray)
+                out.emplace_back(RegClass::Addr, regs::AddrArg0 + na++);
+            else if (p.type == Type::Float)
+                out.emplace_back(RegClass::Float, regs::FltArg0 + nf++);
+            else
+                out.emplace_back(RegClass::Int, regs::IntArg0 + ni++);
+        }
+        return out;
+      }
+      case Opcode::Ret:
+        out.emplace_back(RegClass::Addr, regs::AddrLink);
+        return out;
+      default:
+        break;
+    }
+    if (op.mem.valid() && op.mem.object->storage == Storage::Local) {
+        // Local accesses are stack-pointer relative.
+        Bank b = op.mem.bank != Bank::None && op.mem.bank != Bank::Either
+                     ? op.mem.bank
+                     : op.mem.object->bank;
+        if (b == Bank::Y)
+            out.emplace_back(RegClass::Addr, regs::AddrSpY);
+        else
+            out.emplace_back(RegClass::Addr, regs::AddrSpX);
+    }
+    if (op.opcode == Opcode::Lea && op.mem.valid() &&
+        op.mem.object->storage == Storage::Local) {
+        // already added above
+    }
+    return out;
+}
+
+std::vector<VReg>
+implicitDefs(const Op &op)
+{
+    std::vector<VReg> out;
+    if (op.opcode == Opcode::Call) {
+        // A call clobbers the entire caller-saved set: return and
+        // argument registers (the callee may allocate them), the link
+        // register, and the spill scratch registers.
+        out.emplace_back(RegClass::Int, regs::IntRet);
+        for (int r = 0; r < regs::IntArgCount; ++r)
+            out.emplace_back(RegClass::Int, regs::IntArg0 + r);
+        out.emplace_back(RegClass::Float, regs::FltRet);
+        for (int r = 0; r < regs::FltArgCount; ++r)
+            out.emplace_back(RegClass::Float, regs::FltArg0 + r);
+        out.emplace_back(RegClass::Addr, 0);
+        for (int r = 0; r < regs::AddrArgCount; ++r)
+            out.emplace_back(RegClass::Addr, regs::AddrArg0 + r);
+        out.emplace_back(RegClass::Addr, regs::AddrLink);
+        out.emplace_back(RegClass::Int, regs::IntScratch0);
+        out.emplace_back(RegClass::Int, regs::IntScratch1);
+        out.emplace_back(RegClass::Int, regs::IntScratch2);
+        out.emplace_back(RegClass::Float, regs::FltScratch0);
+        out.emplace_back(RegClass::Float, regs::FltScratch1);
+        out.emplace_back(RegClass::Float, regs::FltScratch2);
+        out.emplace_back(RegClass::Addr, regs::AddrScratch0);
+        out.emplace_back(RegClass::Addr, regs::AddrScratch1);
+    }
+    return out;
+}
+
+void
+DepGraph::addEdge(int from, int to, DepKind kind)
+{
+    for (const DepEdge &e : predEdges[to])
+        if (e.other == from && e.kind == kind)
+            return;
+    predEdges[to].push_back({from, kind});
+    succEdges[from].push_back({to, kind});
+}
+
+DepGraph::DepGraph(const BasicBlock &bb)
+{
+    const auto &ops = bb.ops;
+    int n = static_cast<int>(ops.size());
+    predEdges.assign(n, {});
+    succEdges.assign(n, {});
+
+    auto allUses = [](const Op &op) {
+        std::vector<VReg> u = op.uses();
+        auto extra = implicitUses(op);
+        u.insert(u.end(), extra.begin(), extra.end());
+        return u;
+    };
+    auto allDefs = [](const Op &op) {
+        std::vector<VReg> d;
+        if (op.def().valid())
+            d.push_back(op.def());
+        auto extra = implicitDefs(op);
+        d.insert(d.end(), extra.begin(), extra.end());
+        return d;
+    };
+
+    // Register dependences: O(n^2) pairwise scan, matching the paper's
+    // stated complexity for interference-graph construction.
+    std::vector<std::vector<VReg>> uses(n), defs(n);
+    for (int i = 0; i < n; ++i) {
+        uses[i] = allUses(ops[i]);
+        defs[i] = allDefs(ops[i]);
+    }
+
+    auto contains = [](const std::vector<VReg> &v, const VReg &r) {
+        return std::find(v.begin(), v.end(), r) != v.end();
+    };
+
+    for (int j = 0; j < n; ++j) {
+        for (int i = 0; i < j; ++i) {
+            bool flow = false, anti = false, output = false;
+            for (const VReg &d : defs[i]) {
+                if (contains(uses[j], d))
+                    flow = true;
+                if (contains(defs[j], d))
+                    output = true;
+            }
+            for (const VReg &u : uses[i]) {
+                if (contains(defs[j], u))
+                    anti = true;
+            }
+            if (flow) {
+                addEdge(i, j, DepKind::Flow);
+            } else if (output) {
+                addEdge(i, j, DepKind::Output);
+            } else if (anti) {
+                // A call's implicit register reads happen in the
+                // *callee*, cycles after the transfer — not during the
+                // call's own cycle. Writing an argument register in the
+                // same instruction as the call would clobber the value
+                // the callee is about to read, so the usual
+                // anti-deps-may-share-a-cycle relaxation does not apply
+                // when the reader is a call.
+                addEdge(i, j,
+                        ops[i].opcode == Opcode::Call ? DepKind::Flow
+                                                      : DepKind::Anti);
+            }
+        }
+    }
+
+    // Memory dependences.
+    for (int j = 0; j < n; ++j) {
+        if (!ops[j].mem.valid())
+            continue;
+        for (int i = 0; i < j; ++i) {
+            if (!ops[i].mem.valid())
+                continue;
+            bool si = isStore(ops[i].opcode);
+            bool sj = isStore(ops[j].opcode);
+            if (!si && !sj)
+                continue; // load-load never conflicts
+            if (!memMayAlias(ops[i], ops[j]))
+                continue;
+            if (si && sj)
+                addEdge(i, j, DepKind::Output);
+            else if (si)
+                addEdge(i, j, DepKind::Flow); // store then load
+            else
+                addEdge(i, j, DepKind::Anti); // load then store
+        }
+    }
+
+    // I/O channel ordering: ins form one chain, outs another; calls
+    // join both chains (the callee may perform I/O) and act as a full
+    // memory barrier.
+    auto isIn = [&](int i) {
+        return ops[i].opcode == Opcode::In || ops[i].opcode == Opcode::InF;
+    };
+    auto isOut = [&](int i) {
+        return ops[i].opcode == Opcode::Out ||
+               ops[i].opcode == Opcode::OutF;
+    };
+    auto isCallOp = [&](int i) { return ops[i].opcode == Opcode::Call; };
+
+    int last_in = -1, last_out = -1, last_call = -1;
+    for (int j = 0; j < n; ++j) {
+        if (isIn(j)) {
+            if (last_in >= 0)
+                addEdge(last_in, j, DepKind::Flow);
+            if (last_call >= 0)
+                addEdge(last_call, j, DepKind::Flow);
+            last_in = j;
+        } else if (isOut(j)) {
+            if (last_out >= 0)
+                addEdge(last_out, j, DepKind::Flow);
+            if (last_call >= 0)
+                addEdge(last_call, j, DepKind::Flow);
+            last_out = j;
+        } else if (isCallOp(j)) {
+            if (last_in >= 0)
+                addEdge(last_in, j, DepKind::Flow);
+            if (last_out >= 0)
+                addEdge(last_out, j, DepKind::Flow);
+            if (last_call >= 0)
+                addEdge(last_call, j, DepKind::Flow);
+            // Calls order against every memory access.
+            for (int i = 0; i < j; ++i) {
+                if (ops[i].mem.valid())
+                    addEdge(i, j, DepKind::Flow);
+            }
+            last_call = j;
+        } else if (ops[j].mem.valid() && last_call >= 0) {
+            addEdge(last_call, j, DepKind::Flow);
+        }
+    }
+
+    // Terminator ordering: every op precedes (or shares a cycle with)
+    // the block's terminators; a Bt precedes its companion Jmp.
+    int first_term = -1;
+    for (int j = 0; j < n; ++j) {
+        if (ops[j].isTerminator() && first_term < 0)
+            first_term = j;
+    }
+    if (first_term >= 0) {
+        for (int i = 0; i < first_term; ++i)
+            addEdge(i, first_term, DepKind::Ctrl);
+        for (int j = first_term + 1; j < n; ++j)
+            addEdge(first_term, j, DepKind::Flow); // bt before jmp
+    }
+
+    computePriorities();
+}
+
+void
+DepGraph::computePriorities()
+{
+    int n = size();
+    priorities.assign(n, 0);
+    // Descendant sets via reverse topological accumulation. Blocks are
+    // small; a bitset-free O(n^2) walk is plenty.
+    std::vector<std::set<int>> desc(n);
+    for (int i = n - 1; i >= 0; --i) {
+        for (const DepEdge &e : succEdges[i]) {
+            desc[i].insert(e.other);
+            desc[i].insert(desc[e.other].begin(), desc[e.other].end());
+        }
+        priorities[i] = static_cast<int>(desc[i].size());
+    }
+}
+
+} // namespace dsp

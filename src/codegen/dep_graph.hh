@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Per-basic-block data-dependence graph over machine operations.
+ *
+ * Used twice, exactly as in the paper: once by the data-allocation
+ * pass's compaction *model* (to discover which memory operations could
+ * issue in parallel) and once by the real compaction pass (to schedule
+ * operations into VLIW instructions).
+ *
+ * Edge kinds:
+ *   Flow   — true dependence; consumer must issue in a LATER cycle.
+ *   Output — write-after-write; later op must issue in a LATER cycle.
+ *   Anti   — write-after-read; ops may share a cycle (the machine reads
+ *            all operands before any result is written), but the writer
+ *            must not issue EARLIER. This is the paper's
+ *            "data-compatibility" relaxation.
+ *   Ctrl   — ordering against the block terminator; shares Anti's
+ *            same-cycle-allowed semantics.
+ */
+
+#ifndef DSP_CODEGEN_DEP_GRAPH_HH
+#define DSP_CODEGEN_DEP_GRAPH_HH
+
+#include <vector>
+
+#include "ir/basic_block.hh"
+
+namespace dsp
+{
+
+enum class DepKind : unsigned char { Flow, Anti, Output, Ctrl };
+
+struct DepEdge
+{
+    int other = -1; ///< index of the other op in the block
+    DepKind kind = DepKind::Flow;
+};
+
+/** True if ops @p a and @p b may touch the same memory location. */
+bool memMayAlias(const Op &a, const Op &b);
+
+class DepGraph
+{
+  public:
+    /** Build the graph for @p bb's op list. */
+    explicit DepGraph(const BasicBlock &bb);
+
+    int size() const { return static_cast<int>(predEdges.size()); }
+
+    const std::vector<DepEdge> &preds(int i) const { return predEdges[i]; }
+    const std::vector<DepEdge> &succs(int i) const { return succEdges[i]; }
+
+    /**
+     * Scheduling priority of op @p i: its descendant count in the
+     * graph, as prescribed by the paper ("a priority, equal to the
+     * number of descendents an operation has in the dependence graph").
+     */
+    int priority(int i) const { return priorities[i]; }
+
+  private:
+    std::vector<std::vector<DepEdge>> predEdges;
+    std::vector<std::vector<DepEdge>> succEdges;
+    std::vector<int> priorities;
+
+    void addEdge(int from, int to, DepKind kind);
+    void computePriorities();
+};
+
+/**
+ * Registers implicitly read by @p op beyond op.uses(): call argument
+ * registers, the link register at calls/returns, the stack pointers at
+ * local-object accesses.
+ */
+std::vector<VReg> implicitUses(const Op &op);
+
+/** Registers implicitly written by @p op (call-clobbered set, link). */
+std::vector<VReg> implicitDefs(const Op &op);
+
+} // namespace dsp
+
+#endif // DSP_CODEGEN_DEP_GRAPH_HH

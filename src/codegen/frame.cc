@@ -1,0 +1,204 @@
+#include "codegen/frame.hh"
+
+#include <vector>
+
+#include "ir/module.hh"
+#include "target/target_desc.hh"
+
+namespace dsp
+{
+
+namespace
+{
+
+bool
+functionMakesCalls(const Function &fn)
+{
+    for (const auto &bb : fn.blocks)
+        for (const Op &op : bb->ops)
+            if (op.opcode == Opcode::Call)
+                return true;
+    return false;
+}
+
+Op
+spAdjust(bool bank_y, int delta)
+{
+    Op op(Opcode::AAddI);
+    VReg sp(RegClass::Addr, bank_y ? regs::AddrSpY : regs::AddrSpX);
+    op.dst = sp;
+    op.srcs = {sp};
+    op.imm = delta;
+    return op;
+}
+
+Opcode
+saveOpFor(RegClass cls)
+{
+    switch (cls) {
+      case RegClass::Int: return Opcode::St;
+      case RegClass::Float: return Opcode::StF;
+      case RegClass::Addr: return Opcode::StA;
+    }
+    return Opcode::St;
+}
+
+Opcode
+restoreOpFor(RegClass cls)
+{
+    switch (cls) {
+      case RegClass::Int: return Opcode::Ld;
+      case RegClass::Float: return Opcode::LdF;
+      case RegClass::Addr: return Opcode::LdA;
+    }
+    return Opcode::Ld;
+}
+
+} // namespace
+
+FrameInfo
+buildFrame(Function &fn, Module &mod, const RegAllocResult &ra,
+           const FrameOptions &opts)
+{
+    FrameInfo info;
+    bool makes_calls = functionMakesCalls(fn);
+    bool is_main = fn.name == "main";
+
+    // -----------------------------------------------------------------
+    // 1. Create save slots for used callee-saved registers (+ link),
+    //    assigned to alternating banks.
+    // -----------------------------------------------------------------
+    struct SaveItem
+    {
+        VReg reg;
+        DataObject *slot;
+    };
+    std::vector<SaveItem> saves;
+    bool next_y = false;
+
+    auto addSave = [&](RegClass cls, int phys) {
+        DataObject *slot = fn.newLocalObject(
+            "sv." + std::string(regClassPrefix(cls)) +
+                std::to_string(phys),
+            cls == RegClass::Float ? Type::Float : Type::Int, 1,
+            Storage::Local);
+        mod.assignObjectId(slot);
+        slot->bank = (opts.dualStacks && next_y) ? Bank::Y : Bank::X;
+        next_y = !next_y;
+        saves.push_back({VReg(cls, phys), slot});
+    };
+
+    // main never returns to a caller; it has nothing to preserve.
+    if (!is_main) {
+        for (int r : ra.usedInt)
+            addSave(RegClass::Int, r);
+        for (int r : ra.usedFlt)
+            addSave(RegClass::Float, r);
+        for (int r : ra.usedAddr)
+            addSave(RegClass::Addr, r);
+        if (makes_calls)
+            addSave(RegClass::Addr, regs::AddrLink);
+    }
+    info.savedRegs = static_cast<int>(saves.size());
+
+    // -----------------------------------------------------------------
+    // 2. Assign banks to any still-unassigned locals (spill slots) —
+    //    alternating, like save/restore — and tag their accesses.
+    // -----------------------------------------------------------------
+    for (auto &obj : fn.localObjects) {
+        if (obj->storage != Storage::Local)
+            continue;
+        if (obj->bank == Bank::None)
+            obj->bank = (opts.dualStacks && (obj->id & 1)) ? Bank::Y
+                                                           : Bank::X;
+        if (!opts.dualStacks && !obj->duplicated)
+            obj->bank = Bank::X;
+    }
+    for (auto &bb : fn.blocks) {
+        for (Op &op : bb->ops) {
+            if (!op.isMem() || !op.mem.valid())
+                continue;
+            if (op.mem.bank != Bank::None)
+                continue;
+            if (opts.idealTags)
+                op.mem.bank = Bank::Either;
+            else
+                op.mem.bank = op.mem.object->bank == Bank::Y ? Bank::Y
+                                                             : Bank::X;
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // 3. Frame layout. Duplicated locals first, at matching offsets on
+    //    both stacks; then X locals; then Y locals.
+    // -----------------------------------------------------------------
+    int off_x = 0, off_y = 0;
+    for (auto &obj : fn.localObjects) {
+        if (obj->storage != Storage::Local || !obj->duplicated)
+            continue;
+        int off = std::max(off_x, off_y);
+        obj->frameOffset = off;
+        off_x = off + obj->size;
+        off_y = off + obj->size;
+    }
+    for (auto &obj : fn.localObjects) {
+        if (obj->storage != Storage::Local || obj->duplicated)
+            continue;
+        if (obj->bank == Bank::Y) {
+            obj->frameOffset = off_y;
+            off_y += obj->size;
+        } else {
+            obj->frameOffset = off_x;
+            off_x += obj->size;
+        }
+    }
+    info.frameWordsX = off_x;
+    info.frameWordsY = off_y;
+
+    // -----------------------------------------------------------------
+    // 4. Prologue.
+    // -----------------------------------------------------------------
+    std::vector<Op> prologue;
+    if (off_x > 0)
+        prologue.push_back(spAdjust(false, -off_x));
+    if (off_y > 0)
+        prologue.push_back(spAdjust(true, -off_y));
+    for (const SaveItem &s : saves) {
+        Op st(saveOpFor(s.reg.cls));
+        st.srcs = {s.reg};
+        st.mem.object = s.slot;
+        st.mem.bank = opts.idealTags ? Bank::Either : s.slot->bank;
+        prologue.push_back(std::move(st));
+    }
+    auto &entry_ops = fn.entry()->ops;
+    entry_ops.insert(entry_ops.begin(),
+                     std::make_move_iterator(prologue.begin()),
+                     std::make_move_iterator(prologue.end()));
+
+    // -----------------------------------------------------------------
+    // 5. Epilogues: before every Ret. (main ends in Halt and releases
+    //    nothing.)
+    // -----------------------------------------------------------------
+    for (auto &bb : fn.blocks) {
+        if (bb->ops.empty() || bb->ops.back().opcode != Opcode::Ret)
+            continue;
+        std::vector<Op> epilogue;
+        for (auto it = saves.rbegin(); it != saves.rend(); ++it) {
+            Op ld(restoreOpFor(it->reg.cls));
+            ld.dst = it->reg;
+            ld.mem.object = it->slot;
+            ld.mem.bank = opts.idealTags ? Bank::Either : it->slot->bank;
+            epilogue.push_back(std::move(ld));
+        }
+        if (off_x > 0)
+            epilogue.push_back(spAdjust(false, off_x));
+        if (off_y > 0)
+            epilogue.push_back(spAdjust(true, off_y));
+        bb->ops.insert(bb->ops.end() - 1,
+                       std::make_move_iterator(epilogue.begin()),
+                       std::make_move_iterator(epilogue.end()));
+    }
+    return info;
+}
+
+} // namespace dsp

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Frame layout and prologue/epilogue insertion.
+ *
+ * The machine runs two program stacks, one per data bank, each with its
+ * own stack pointer (paper §3.1): partitioned locals live on the stack
+ * of their bank, and duplicated locals occupy the *same offset* on both
+ * stacks so one offset addresses either copy (§3.2). Callee-saved
+ * register save/restore operations are assigned to alternating banks —
+ * the paper's mechanical trick for making prologues/epilogues
+ * bank-parallel.
+ */
+
+#ifndef DSP_CODEGEN_FRAME_HH
+#define DSP_CODEGEN_FRAME_HH
+
+#include "codegen/regalloc.hh"
+
+namespace dsp
+{
+
+class Function;
+class Module;
+
+struct FrameOptions
+{
+    /** Partition locals/spills/saves across both stacks. When false
+     *  (single-bank and ideal modes) everything goes to the X stack. */
+    bool dualStacks = true;
+    /** Tag save/spill accesses Bank::Either (ideal memory mode). */
+    bool idealTags = false;
+};
+
+struct FrameInfo
+{
+    int frameWordsX = 0;
+    int frameWordsY = 0;
+    int savedRegs = 0;
+};
+
+/** Lay out @p fn's frame and insert prologue/epilogue code. */
+FrameInfo buildFrame(Function &fn, Module &mod, const RegAllocResult &ra,
+                     const FrameOptions &opts);
+
+} // namespace dsp
+
+#endif // DSP_CODEGEN_FRAME_HH

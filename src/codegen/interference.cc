@@ -1,0 +1,507 @@
+#include "codegen/interference.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "codegen/dep_graph.hh"
+#include "ir/module.hh"
+#include "target/target_desc.hh"
+
+namespace dsp
+{
+
+// ---------------------------------------------------------------------
+// InterferenceGraph
+// ---------------------------------------------------------------------
+
+DataObject *
+InterferenceGraph::find(DataObject *obj) const
+{
+    auto it = parent.find(obj);
+    if (it == parent.end()) {
+        parent[obj] = obj;
+        return obj;
+    }
+    if (it->second == obj)
+        return obj;
+    DataObject *root = find(it->second);
+    parent[obj] = root;
+    return root;
+}
+
+DataObject *
+InterferenceGraph::repr(DataObject *obj) const
+{
+    return find(obj);
+}
+
+void
+InterferenceGraph::addNode(DataObject *obj)
+{
+    nodeSet.insert(find(obj));
+}
+
+std::pair<DataObject *, DataObject *>
+InterferenceGraph::edgeKey(DataObject *a, DataObject *b) const
+{
+    DataObject *ra = find(a);
+    DataObject *rb = find(b);
+    if (ra->id > rb->id)
+        std::swap(ra, rb);
+    return {ra, rb};
+}
+
+void
+InterferenceGraph::mergeNodes(DataObject *a, DataObject *b)
+{
+    DataObject *ra = find(a);
+    DataObject *rb = find(b);
+    if (ra == rb)
+        return;
+    // Deterministic: lower id becomes the representative.
+    if (ra->id > rb->id)
+        std::swap(ra, rb);
+    parent[rb] = ra;
+    nodeSet.erase(rb);
+    nodeSet.insert(ra);
+
+    // Re-key edges that referenced rb; a resulting self-edge marks the
+    // merged class as needing duplication (its members must share a
+    // bank yet could be accessed in parallel).
+    std::map<std::pair<DataObject *, DataObject *>, long> rekeyed;
+    for (const auto &[key, w] : edgeMap) {
+        DataObject *x = find(key.first);
+        DataObject *y = find(key.second);
+        if (x == y) {
+            dupSet.insert(x);
+            continue;
+        }
+        if (x->id > y->id)
+            std::swap(x, y);
+        rekeyed[{x, y}] += w;
+    }
+    edgeMap = std::move(rekeyed);
+
+    if (dupSet.erase(rb))
+        dupSet.insert(ra);
+    auto migrate = [&](std::map<DataObject *, long> &m) {
+        auto it = m.find(rb);
+        if (it != m.end()) {
+            m[ra] += it->second;
+            m.erase(it);
+        }
+    };
+    migrate(dupBenefit);
+    migrate(storeWeights);
+}
+
+void
+InterferenceGraph::addEdgeWeight(DataObject *a, DataObject *b, long weight,
+                                 bool accumulate)
+{
+    DataObject *ra = find(a);
+    DataObject *rb = find(b);
+    if (ra == rb) {
+        // Same partitioning entity: parallel access is impossible by
+        // bank assignment; only duplication can help.
+        dupSet.insert(ra);
+        dupBenefit[ra] += weight;
+        return;
+    }
+    addNode(ra);
+    addNode(rb);
+    long &w = edgeMap[edgeKey(ra, rb)];
+    w = accumulate ? w + weight : std::max(w, weight);
+}
+
+void
+InterferenceGraph::markForDuplication(DataObject *obj, long weight)
+{
+    addNode(obj);
+    dupSet.insert(find(obj));
+    dupBenefit[find(obj)] += weight;
+}
+
+void
+InterferenceGraph::addStoreWeight(DataObject *obj, long weight)
+{
+    storeWeights[find(obj)] += weight;
+}
+
+long
+InterferenceGraph::duplicationBenefit(DataObject *obj) const
+{
+    auto it = dupBenefit.find(find(obj));
+    return it == dupBenefit.end() ? 0 : it->second;
+}
+
+long
+InterferenceGraph::storeWeight(DataObject *obj) const
+{
+    auto it = storeWeights.find(find(obj));
+    return it == storeWeights.end() ? 0 : it->second;
+}
+
+std::vector<DataObject *>
+InterferenceGraph::members(DataObject *r) const
+{
+    std::vector<DataObject *> out;
+    for (const auto &[obj, par] : parent) {
+        (void)par;
+        if (find(obj) == find(r))
+            out.push_back(obj);
+    }
+    if (out.empty())
+        out.push_back(r);
+    return out;
+}
+
+long
+InterferenceGraph::edgeWeight(DataObject *a, DataObject *b) const
+{
+    auto it = edgeMap.find(edgeKey(a, b));
+    return it == edgeMap.end() ? 0 : it->second;
+}
+
+long
+InterferenceGraph::totalWeight() const
+{
+    long sum = 0;
+    for (const auto &[key, w] : edgeMap) {
+        (void)key;
+        sum += w;
+    }
+    return sum;
+}
+
+std::string
+InterferenceGraph::str() const
+{
+    std::ostringstream os;
+    os << "nodes:";
+    for (DataObject *n : nodeSet)
+        os << " " << n->name;
+    os << "\n";
+    for (const auto &[key, w] : edgeMap) {
+        os << "  (" << key.first->name << ", " << key.second->name
+           << ") w=" << w << "\n";
+    }
+    for (DataObject *d : dupSet)
+        os << "  dup: " << d->name << "\n";
+    return os.str();
+}
+
+// ---------------------------------------------------------------------
+// Builder: the compaction model of Figure 3
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** A data memory operation that names a partitionable object. */
+bool
+isPartitionableAccess(const Op &op)
+{
+    if (!op.mem.valid())
+        return false;
+    return op.opcode == Opcode::Ld || op.opcode == Opcode::LdF ||
+           op.opcode == Opcode::St || op.opcode == Opcode::StF ||
+           op.opcode == Opcode::LdA || op.opcode == Opcode::StA;
+}
+
+/**
+ * The object a memory op accesses, as a partitioning entity: accesses
+ * through array parameters count against the parameter object (whose
+ * node is merged with everything it may bind to).
+ */
+DataObject *
+accessedObject(const Op &op)
+{
+    return op.mem.object;
+}
+
+/**
+ * Model functional-unit occupancy for one long instruction. The model
+ * allows one *data* memory operation per instruction: a second one is
+ * exactly the event that justifies an interference edge.
+ */
+struct ModelInst
+{
+    int pcu = 0, au = 0, du = 0, fpu = 0;
+    int mem = 0; ///< data memory ops
+    int io = 0;  ///< bank-agnostic MU ops
+
+    /** Mirror of the compaction pass's AU-sharing rule for simple
+     *  integer adds and moves. */
+    static bool
+    auCompatible(const Op &op)
+    {
+        switch (op.opcode) {
+          case Opcode::MovI:
+          case Opcode::Add:
+          case Opcode::Sub:
+          case Opcode::AddI:
+            return true;
+          case Opcode::Copy:
+            return op.dst.cls == RegClass::Int;
+          default:
+            return false;
+        }
+    }
+
+    bool
+    accepts(const Op &op)
+    {
+        FuKind k = fuKindOf(op);
+        switch (k) {
+          case FuKind::PCU: return pcu < 1;
+          case FuKind::AU: return au < 2;
+          case FuKind::DU:
+            if (du < 2)
+                return true;
+            return auCompatible(op) && au < 2;
+          case FuKind::FPU: return fpu < 2;
+          case FuKind::MU:
+            if (isPartitionableAccess(op))
+                return mem < 1 && mem + io < 2;
+            return mem + io < 2;
+        }
+        return false;
+    }
+
+    void
+    add(const Op &op)
+    {
+        switch (fuKindOf(op)) {
+          case FuKind::PCU: ++pcu; break;
+          case FuKind::AU: ++au; break;
+          case FuKind::DU:
+            if (du < 2)
+                ++du;
+            else
+                ++au;
+            break;
+          case FuKind::FPU: ++fpu; break;
+          case FuKind::MU:
+            if (isPartitionableAccess(op))
+                ++mem;
+            else
+                ++io;
+            break;
+        }
+    }
+};
+
+class BlockModel
+{
+  public:
+    BlockModel(const BasicBlock &bb, InterferenceGraph &graph, long weight,
+               long freq_weight, bool accumulate)
+        : bb(bb), deps(bb), graph(graph), weight(weight),
+          freqWeight(freq_weight), accumulate(accumulate)
+    {}
+
+    /**
+     * Run the list-scheduling model over the block, adding interference
+     * edges and duplication marks as memory-op pairs are discovered.
+     * Operations are not actually packed; the real compaction pass does
+     * that later with the bank assignments in hand (paper §3.1).
+     */
+    void
+    run()
+    {
+        int n = deps.size();
+        scheduled.assign(n, -1);
+        int remaining = n;
+        int cycle = 0;
+
+        while (remaining > 0) {
+            ModelInst inst;
+            std::vector<int> in_inst;
+            const Op *first_mem = nullptr;
+
+            std::vector<int> drs = dataReadySet(cycle);
+            sortByPriority(drs);
+
+            for (int idx : drs) {
+                const Op &op = bb.ops[idx];
+                if (!dataCompatible(idx, in_inst))
+                    continue;
+                if (inst.accepts(op)) {
+                    inst.add(op);
+                    scheduled[idx] = cycle;
+                    in_inst.push_back(idx);
+                    --remaining;
+                    if (isPartitionableAccess(op)) {
+                        first_mem = &op;
+                        if (isStore(op.opcode))
+                            graph.addStoreWeight(accessedObject(op),
+                                                 freqWeight);
+                    }
+                } else if (isPartitionableAccess(op) && first_mem) {
+                    // Data-compatible but the (single modeled) memory
+                    // unit is taken: this pair could execute in parallel
+                    // given opposite banks.
+                    DataObject *a = accessedObject(*first_mem);
+                    DataObject *b = accessedObject(op);
+                    if (graph.repr(a) != graph.repr(b)) {
+                        graph.addEdgeWeight(a, b, weight, accumulate);
+                    } else if (isLoad(first_mem->opcode) &&
+                               isLoad(op.opcode) &&
+                               !(first_mem->mem.index == op.mem.index)) {
+                        // Only simultaneous *reads* of one entity
+                        // benefit from duplication: a load may read
+                        // either copy, whereas a store must update
+                        // both, so store pairs gain nothing (§3.2).
+                        // Pairs sharing one index register differ only
+                        // by a constant offset (adjacent elements from
+                        // unrolling); those are the accesses low-order
+                        // interleaving would serve and are not the
+                        // arbitrary-lag pattern duplication targets
+                        // (Figure 6), so they are not flagged.
+                        graph.markForDuplication(a, freqWeight);
+                    }
+                    // Deliberately NOT marked scheduled: it stays in the
+                    // next DRS so it also pairs against the next first
+                    // memory op (paper §3.1).
+                }
+            }
+
+            if (in_inst.empty()) {
+                // No progress at this cycle: should be impossible since
+                // any ready op fits an empty instruction.
+                panic("compaction model deadlock in block ", bb.label);
+            }
+            ++cycle;
+        }
+    }
+
+  private:
+    const BasicBlock &bb;
+    DepGraph deps;
+    InterferenceGraph &graph;
+    long weight;
+    /** Estimated execution frequency, for the duplication
+     *  benefit-vs-store-cost comparison (§5 refinement). */
+    long freqWeight;
+    bool accumulate;
+    std::vector<int> scheduled; ///< cycle or -1
+
+    std::vector<int>
+    dataReadySet(int cycle) const
+    {
+        std::vector<int> drs;
+        for (int i = 0; i < deps.size(); ++i) {
+            if (scheduled[i] >= 0)
+                continue;
+            bool ready = true;
+            for (const DepEdge &e : deps.preds(i)) {
+                if (scheduled[e.other] < 0) {
+                    ready = false;
+                    break;
+                }
+                if ((e.kind == DepKind::Flow ||
+                     e.kind == DepKind::Output) &&
+                    scheduled[e.other] >= cycle) {
+                    ready = false;
+                    break;
+                }
+            }
+            if (ready)
+                drs.push_back(i);
+        }
+        return drs;
+    }
+
+    void
+    sortByPriority(std::vector<int> &drs) const
+    {
+        std::stable_sort(drs.begin(), drs.end(), [&](int a, int b) {
+            if (deps.priority(a) != deps.priority(b))
+                return deps.priority(a) > deps.priority(b);
+            return a < b;
+        });
+    }
+
+    bool
+    dataCompatible(int idx, const std::vector<int> &in_inst) const
+    {
+        for (int placed : in_inst) {
+            for (const DepEdge &e : deps.preds(idx)) {
+                if (e.other == placed && (e.kind == DepKind::Flow ||
+                                          e.kind == DepKind::Output))
+                    return false;
+            }
+        }
+        return true;
+    }
+};
+
+} // namespace
+
+InterferenceGraph
+buildInterferenceGraph(const Module &mod, WeightPolicy policy,
+                       const ProfileCounts *profile)
+{
+    InterferenceGraph graph;
+
+    // Every partitionable object is a node even if never paired.
+    for (const auto &g : mod.globals)
+        graph.addNode(g.get());
+    for (const auto &fn : mod.functions)
+        for (const auto &obj : fn->localObjects)
+            graph.addNode(obj.get());
+
+    // Alias classes: everything an array parameter may bind to must
+    // live in one bank, so merge those nodes (and the parameter's).
+    for (const auto &fn : mod.functions) {
+        for (const auto &obj : fn->localObjects) {
+            if (obj->storage != Storage::Param)
+                continue;
+            for (DataObject *bound : obj->mayBind)
+                graph.mergeNodes(obj.get(), bound);
+        }
+    }
+
+    for (const auto &fn : mod.functions) {
+        for (const auto &bb : fn->blocks) {
+            long weight = 1;
+            switch (policy) {
+              case WeightPolicy::Depth:
+              case WeightPolicy::DepthSum:
+                weight = bb->loopDepth + 1;
+                break;
+              case WeightPolicy::Profile: {
+                long count = 1;
+                if (profile) {
+                    auto it = profile->find({fn->name, bb->id});
+                    count = it == profile->end() ? 0 : it->second;
+                }
+                weight = count;
+                break;
+              }
+              case WeightPolicy::Uniform:
+                weight = 1;
+                break;
+            }
+            if (weight <= 0)
+                continue;
+            // Frequency estimate for the duplication benefit/cost
+            // comparison: measured counts when profiling, otherwise
+            // 10^depth (a loop runs ~an order of magnitude more often
+            // per nesting level).
+            long freq = weight;
+            if (policy != WeightPolicy::Profile) {
+                freq = 1;
+                for (int d = 0; d < std::min(bb->loopDepth, 6); ++d)
+                    freq *= 10;
+            }
+            bool accumulate = policy == WeightPolicy::DepthSum ||
+                              policy == WeightPolicy::Profile;
+            BlockModel(*bb, graph, weight, freq, accumulate).run();
+        }
+    }
+    return graph;
+}
+
+} // namespace dsp

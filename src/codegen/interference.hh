@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The variable interference graph of CB data partitioning (paper §3.1).
+ *
+ * Nodes are partitionable entities: concrete DataObjects, pre-merged by
+ * alias classes (every object an array parameter may bind to must share
+ * a bank, so those objects collapse into one node). An edge between two
+ * nodes records that the compaction model found memory operations on
+ * the two entities that could have issued in the same VLIW instruction;
+ * its weight estimates the performance lost if they cannot.
+ */
+
+#ifndef DSP_CODEGEN_INTERFERENCE_HH
+#define DSP_CODEGEN_INTERFERENCE_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir/data_object.hh"
+
+namespace dsp
+{
+
+class Module;
+
+/** How interference-edge weights are derived. */
+enum class WeightPolicy : unsigned char
+{
+    /** max over occurrences of (loop nesting depth + 1): the paper's
+     *  heuristic. */
+    Depth,
+    /** sum over occurrences of (depth + 1). */
+    DepthSum,
+    /** sum of measured basic-block execution counts (paper's "Pr"). */
+    Profile,
+    /** every edge weighs 1 (ablation). */
+    Uniform,
+};
+
+/** Profile data: execution count per (function name, block id). */
+using ProfileCounts = std::map<std::pair<std::string, int>, long>;
+
+class InterferenceGraph
+{
+  public:
+    /** Register a partitionable node; idempotent. */
+    void addNode(DataObject *obj);
+
+    /** Merge the nodes of @p a and @p b (alias-class constraint). */
+    void mergeNodes(DataObject *a, DataObject *b);
+
+    /** Add @p weight to the edge between the nodes of @p a and @p b. */
+    void addEdgeWeight(DataObject *a, DataObject *b, long weight,
+                       bool accumulate);
+
+    /** Mark @p obj's node as needing duplication (same-array pairs),
+     *  crediting @p weight of pairing benefit. */
+    void markForDuplication(DataObject *obj, long weight = 1);
+
+    /** Account one store to @p obj's node with @p weight (the cost a
+     *  duplicated object pays: every store is doubled). */
+    void addStoreWeight(DataObject *obj, long weight);
+
+    /** Accumulated pairing benefit for a duplication candidate. */
+    long duplicationBenefit(DataObject *obj) const;
+    /** Accumulated store weight for an object's node. */
+    long storeWeight(DataObject *obj) const;
+
+    /** Representative ("node id") for an object. */
+    DataObject *repr(DataObject *obj) const;
+
+    const std::set<DataObject *> &nodes() const { return nodeSet; }
+
+    /** Members of the node represented by @p r. */
+    std::vector<DataObject *> members(DataObject *r) const;
+
+    long edgeWeight(DataObject *a, DataObject *b) const;
+
+    const std::map<std::pair<DataObject *, DataObject *>, long> &
+    edges() const
+    {
+        return edgeMap;
+    }
+
+    const std::set<DataObject *> &
+    duplicationCandidates() const
+    {
+        return dupSet;
+    }
+
+    /** Sum of all edge weights (initial partitioning cost). */
+    long totalWeight() const;
+
+    std::string str() const;
+
+  private:
+    // Union-find over objects.
+    mutable std::map<DataObject *, DataObject *> parent;
+    std::set<DataObject *> nodeSet; ///< current representatives
+    /** Edges between representatives; key ordered by object id. */
+    std::map<std::pair<DataObject *, DataObject *>, long> edgeMap;
+    std::set<DataObject *> dupSet; ///< representatives to duplicate
+    std::map<DataObject *, long> dupBenefit;
+    std::map<DataObject *, long> storeWeights;
+
+    DataObject *find(DataObject *obj) const;
+    std::pair<DataObject *, DataObject *>
+    edgeKey(DataObject *a, DataObject *b) const;
+};
+
+/**
+ * Build the interference graph for a whole module by running the
+ * compaction model over every basic block (Figure 3 of the paper).
+ *
+ * @param profile Non-null selects profile-driven weights for the
+ *        Profile policy.
+ */
+InterferenceGraph
+buildInterferenceGraph(const Module &mod, WeightPolicy policy,
+                       const ProfileCounts *profile = nullptr);
+
+} // namespace dsp
+
+#endif // DSP_CODEGEN_INTERFERENCE_HH

@@ -1,0 +1,169 @@
+#include "codegen/isel.hh"
+
+#include <map>
+
+#include "ir/module.hh"
+#include "target/target_desc.hh"
+
+namespace dsp
+{
+
+namespace
+{
+
+/** Argument registers for a parameter list, in declaration order. */
+std::vector<VReg>
+argRegsFor(const std::vector<Param> &params)
+{
+    std::vector<VReg> out;
+    int ni = 0, nf = 0, na = 0;
+    for (const Param &p : params) {
+        if (p.isArray) {
+            if (na >= regs::AddrArgCount)
+                fatal("too many array parameters");
+            out.emplace_back(RegClass::Addr, regs::AddrArg0 + na++);
+        } else if (p.type == Type::Float) {
+            if (nf >= regs::FltArgCount)
+                fatal("too many float parameters");
+            out.emplace_back(RegClass::Float, regs::FltArg0 + nf++);
+        } else {
+            if (ni >= regs::IntArgCount)
+                fatal("too many int parameters");
+            out.emplace_back(RegClass::Int, regs::IntArg0 + ni++);
+        }
+    }
+    return out;
+}
+
+void
+lowerFunction(Function &fn, bool is_main)
+{
+    // Map each Param-storage object to the vreg holding its base.
+    std::map<const DataObject *, VReg> param_base;
+
+    // --- Entry: copy incoming arguments into virtual registers. ---
+    {
+        std::vector<Op> preamble;
+        std::vector<VReg> arg_regs = argRegsFor(fn.params);
+        for (std::size_t i = 0; i < fn.params.size(); ++i) {
+            Param &p = fn.params[i];
+            if (p.isArray) {
+                VReg base = fn.newVReg(RegClass::Addr);
+                param_base[p.object] = base;
+                Op cp(Opcode::Copy);
+                cp.dst = base;
+                cp.srcs = {arg_regs[i]};
+                preamble.push_back(std::move(cp));
+            } else if (p.reg.valid()) {
+                Op cp(Opcode::Copy);
+                cp.dst = p.reg;
+                cp.srcs = {arg_regs[i]};
+                preamble.push_back(std::move(cp));
+            }
+        }
+        auto &entry_ops = fn.entry()->ops;
+        entry_ops.insert(entry_ops.begin(),
+                         std::make_move_iterator(preamble.begin()),
+                         std::make_move_iterator(preamble.end()));
+    }
+
+    // --- Rewrite bodies. ---
+    for (auto &bb : fn.blocks) {
+        std::vector<Op> out;
+        out.reserve(bb->ops.size() + 8);
+        for (Op &op : bb->ops) {
+            // Accesses through array parameters carry their base reg.
+            if (op.mem.valid() &&
+                op.mem.object->storage == Storage::Param) {
+                auto it = param_base.find(op.mem.object);
+                require(it != param_base.end(),
+                        "param object without base register");
+                op.mem.addrBase = it->second;
+            }
+
+            switch (op.opcode) {
+              case Opcode::Lea:
+                if (op.mem.object->storage == Storage::Param) {
+                    // The base address is already in a register.
+                    Op cp(Opcode::Copy);
+                    cp.dst = op.dst;
+                    cp.srcs = {op.mem.addrBase.valid()
+                                   ? op.mem.addrBase
+                                   : param_base.at(op.mem.object)};
+                    cp.loc = op.loc;
+                    out.push_back(std::move(cp));
+                } else {
+                    out.push_back(std::move(op));
+                }
+                break;
+
+              case Opcode::Call: {
+                Function *callee = op.callee;
+                std::vector<VReg> arg_regs = argRegsFor(callee->params);
+                require(arg_regs.size() == op.srcs.size(),
+                        "call arity mismatch in isel");
+                for (std::size_t i = 0; i < op.srcs.size(); ++i) {
+                    Op cp(Opcode::Copy);
+                    cp.dst = arg_regs[i];
+                    cp.srcs = {op.srcs[i]};
+                    cp.loc = op.loc;
+                    out.push_back(std::move(cp));
+                }
+                VReg result = op.dst;
+                op.srcs.clear();
+                op.dst = VReg();
+                out.push_back(std::move(op));
+                if (result.valid()) {
+                    Op cp(Opcode::Copy);
+                    cp.dst = result;
+                    cp.srcs = {VReg(result.cls,
+                                    result.cls == RegClass::Float
+                                        ? regs::FltRet
+                                        : regs::IntRet)};
+                    out.push_back(std::move(cp));
+                }
+                break;
+              }
+
+              case Opcode::Ret: {
+                if (!op.srcs.empty()) {
+                    VReg v = op.srcs[0];
+                    Op cp(Opcode::Copy);
+                    cp.dst = VReg(v.cls, v.cls == RegClass::Float
+                                             ? regs::FltRet
+                                             : regs::IntRet);
+                    cp.srcs = {v};
+                    cp.loc = op.loc;
+                    out.push_back(std::move(cp));
+                    op.srcs.clear();
+                }
+                if (is_main)
+                    op = Op(Opcode::Halt);
+                out.push_back(std::move(op));
+                break;
+              }
+
+              default:
+                out.push_back(std::move(op));
+                break;
+            }
+        }
+        bb->ops = std::move(out);
+    }
+}
+
+} // namespace
+
+void
+lowerToMachine(Module &mod)
+{
+    Function *main_fn = mod.findFunction("main");
+    require(main_fn, "module has no main");
+    if (!main_fn->params.empty())
+        fatal("main() must not take parameters");
+
+    for (auto &fn : mod.functions)
+        lowerFunction(*fn, fn.get() == main_fn);
+}
+
+} // namespace dsp

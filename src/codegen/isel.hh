@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Machine lowering: makes the calling convention explicit.
+ *
+ * The IR is already machine-level op for op; what this pass adds is the
+ * ABI glue — argument/return registers, the incoming base-address
+ * registers of array parameters, and Halt at the end of main.
+ */
+
+#ifndef DSP_CODEGEN_ISEL_HH
+#define DSP_CODEGEN_ISEL_HH
+
+namespace dsp
+{
+
+class Module;
+
+/** Lower all functions of @p mod to machine-convention form. */
+void lowerToMachine(Module &mod);
+
+} // namespace dsp
+
+#endif // DSP_CODEGEN_ISEL_HH

@@ -1,0 +1,108 @@
+#include "codegen/layout.hh"
+
+#include <map>
+
+#include "ir/module.hh"
+
+namespace dsp
+{
+
+VliwProgram
+layoutProgram(Module &mod, const MachineConfig &config, LayoutStats *stats)
+{
+    VliwProgram prog;
+    prog.config = config;
+
+    // -----------------------------------------------------------------
+    // Global data layout.
+    // -----------------------------------------------------------------
+    int cur_x = config.xBase();
+    int cur_y = config.yBase();
+
+    // Duplicated globals first so both copies share one offset.
+    for (auto &g : mod.globals) {
+        if (!g->duplicated)
+            continue;
+        int off_x = cur_x - config.xBase();
+        int off_y = cur_y - config.yBase();
+        int off = std::max(off_x, off_y);
+        g->addrX = config.xBase() + off;
+        g->addrY = config.yBase() + off;
+        cur_x = g->addrX + g->size;
+        cur_y = g->addrY + g->size;
+    }
+    for (auto &g : mod.globals) {
+        if (g->duplicated)
+            continue;
+        if (g->bank == Bank::Y) {
+            g->addrY = cur_y;
+            cur_y += g->size;
+        } else {
+            g->addrX = cur_x;
+            cur_x += g->size;
+        }
+    }
+
+    int used_x = cur_x - config.xBase();
+    int used_y = cur_y - config.yBase();
+    if (used_x > config.bankWords - config.stackWords)
+        fatal("X bank overflow: ", used_x, " data words + ",
+              config.stackWords, " stack words > ", config.bankWords);
+    if (used_y > config.bankWords - config.stackWords)
+        fatal("Y bank overflow: ", used_y, " data words + ",
+              config.stackWords, " stack words > ", config.bankWords);
+    if (stats) {
+        stats->dataWordsX = used_x;
+        stats->dataWordsY = used_y;
+    }
+
+    // -----------------------------------------------------------------
+    // Compaction and linearization.
+    // -----------------------------------------------------------------
+    bool dual_ported = config.dualPorted;
+    std::map<const Function *, int> fn_entry;
+    std::map<const BasicBlock *, int> block_start;
+
+    for (auto &fn : mod.functions) {
+        fn_entry[fn.get()] = static_cast<int>(prog.insts.size());
+        prog.functionEntries.push_back(
+            {fn->name, static_cast<int>(prog.insts.size())});
+        for (const auto &bb : fn->blocks) {
+            block_start[bb.get()] = static_cast<int>(prog.insts.size());
+            auto insts =
+                compactBlock(*bb, dual_ported,
+                             stats ? &stats->compact : nullptr);
+            prog.insts.insert(prog.insts.end(),
+                              std::make_move_iterator(insts.begin()),
+                              std::make_move_iterator(insts.end()));
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Fixups: branch targets and call entries -> instruction indices
+    // (written into each op's imm field).
+    // -----------------------------------------------------------------
+    for (VliwInst &inst : prog.insts) {
+        for (auto &slot : inst.slots) {
+            if (!slot)
+                continue;
+            if (isBranch(slot->opcode)) {
+                require(slot->target, "unresolved branch");
+                auto it = block_start.find(slot->target);
+                require(it != block_start.end(),
+                        "branch target not laid out");
+                slot->imm = it->second;
+            } else if (slot->opcode == Opcode::Call) {
+                require(slot->callee, "unresolved call");
+                slot->imm = fn_entry.at(slot->callee);
+            }
+        }
+    }
+
+    Function *main_fn = mod.findFunction("main");
+    require(main_fn, "no main function at layout time");
+    prog.entry = fn_entry.at(main_fn);
+    return prog;
+}
+
+} // namespace dsp

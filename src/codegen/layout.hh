@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Memory layout and program linking.
+ *
+ * Assigns absolute word addresses to globals (duplicated objects first,
+ * at the same offset in both banks, per paper §3.2), checks bank
+ * capacity against the stack reservations, linearizes all compacted
+ * functions into one instruction stream, and resolves branch and call
+ * targets to instruction indices.
+ */
+
+#ifndef DSP_CODEGEN_LAYOUT_HH
+#define DSP_CODEGEN_LAYOUT_HH
+
+#include "codegen/compact.hh"
+#include "target/vliw.hh"
+
+namespace dsp
+{
+
+class Module;
+
+struct LayoutStats
+{
+    /** Words of global data resident in each bank (dup counts both). */
+    int dataWordsX = 0;
+    int dataWordsY = 0;
+    CompactStats compact;
+};
+
+/**
+ * Compact and link @p mod into an executable program. The module's
+ * DataObjects are annotated with their final addresses.
+ */
+VliwProgram layoutProgram(Module &mod, const MachineConfig &config,
+                          LayoutStats *stats = nullptr);
+
+} // namespace dsp
+
+#endif // DSP_CODEGEN_LAYOUT_HH

@@ -1,0 +1,488 @@
+#include "codegen/regalloc.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "ir/module.hh"
+#include "target/target_desc.hh"
+
+namespace dsp
+{
+
+namespace
+{
+
+struct Key
+{
+    RegClass cls;
+    int id;
+    bool operator<(const Key &o) const
+    {
+        return cls != o.cls ? cls < o.cls : id < o.id;
+    }
+    bool operator==(const Key &o) const
+    {
+        return cls == o.cls && id == o.id;
+    }
+};
+
+Key
+keyOf(const VReg &r)
+{
+    return Key{r.cls, r.id};
+}
+
+bool
+isVirtual(const VReg &r)
+{
+    return r.valid() && r.id >= regs::FirstVirtual;
+}
+
+struct Interval
+{
+    VReg reg;
+    int start = 0;
+    int end = 0;
+    int assigned = -1; ///< physical register index, or -1 if spilled
+};
+
+/**
+ * Conservative live intervals: the envelope of all occurrences,
+ * extended to block boundaries where the register is live-in/live-out.
+ * Blocks are laid out in lowering order, so structured loops occupy
+ * contiguous position ranges and the envelope covers loop-carried
+ * lifetimes.
+ */
+std::map<Key, Interval>
+computeIntervals(Function &fn)
+{
+    // Global op positions and per-block ranges.
+    std::map<const BasicBlock *, std::pair<int, int>> range;
+    int pos = 0;
+    for (auto &bb : fn.blocks) {
+        int start = pos;
+        pos += static_cast<int>(bb->ops.size());
+        range[bb.get()] = {start, pos};
+    }
+
+    // Per-block use/def sets over virtual registers.
+    std::map<const BasicBlock *, std::set<Key>> use_set, def_set;
+    for (auto &bb : fn.blocks) {
+        auto &uses = use_set[bb.get()];
+        auto &defs = def_set[bb.get()];
+        for (const Op &op : bb->ops) {
+            for (const VReg &u : op.uses()) {
+                if (isVirtual(u) && !defs.count(keyOf(u)))
+                    uses.insert(keyOf(u));
+            }
+            VReg d = op.def();
+            if (isVirtual(d))
+                defs.insert(keyOf(d));
+        }
+    }
+
+    // Backward liveness to a fixpoint.
+    std::map<const BasicBlock *, std::set<Key>> live_in, live_out;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (auto it = fn.blocks.rbegin(); it != fn.blocks.rend(); ++it) {
+            BasicBlock *bb = it->get();
+            std::set<Key> out;
+            for (BasicBlock *succ : bb->successors()) {
+                const auto &in = live_in[succ];
+                out.insert(in.begin(), in.end());
+            }
+            std::set<Key> in = use_set[bb];
+            for (const Key &k : out) {
+                if (!def_set[bb].count(k))
+                    in.insert(k);
+            }
+            if (out != live_out[bb]) {
+                live_out[bb] = std::move(out);
+                changed = true;
+            }
+            if (in != live_in[bb]) {
+                live_in[bb] = std::move(in);
+                changed = true;
+            }
+        }
+    }
+
+    std::map<Key, Interval> intervals;
+    auto touch = [&](const VReg &r, int p) {
+        if (!isVirtual(r))
+            return;
+        auto [it, fresh] = intervals.try_emplace(keyOf(r));
+        if (fresh) {
+            it->second.reg = r;
+            it->second.start = p;
+            it->second.end = p;
+        } else {
+            it->second.start = std::min(it->second.start, p);
+            it->second.end = std::max(it->second.end, p);
+        }
+    };
+
+    pos = 0;
+    for (auto &bb : fn.blocks) {
+        for (const Op &op : bb->ops) {
+            for (const VReg &u : op.uses())
+                touch(u, pos);
+            touch(op.def(), pos);
+            ++pos;
+        }
+    }
+    for (auto &bb : fn.blocks) {
+        auto [bstart, bend] = range[bb.get()];
+        for (const Key &k : live_in[bb.get()])
+            touch(VReg(k.cls, k.id), bstart);
+        for (const Key &k : live_out[bb.get()])
+            touch(VReg(k.cls, k.id), bend > bstart ? bend - 1 : bstart);
+    }
+    return intervals;
+}
+
+/**
+ * Allocation pool for one class. Caller-saved registers (the
+ * return/argument registers) come first — using them costs no
+ * save/restore in the prologue — followed by the callee-saved pool.
+ * Explicit ABI uses of the caller-saved registers (argument copies,
+ * return-value copies, and every call site, which clobbers all of
+ * them) are excluded via blocked position segments.
+ */
+std::vector<int>
+poolFor(RegClass cls)
+{
+    std::vector<int> pool;
+    int first, last;
+    switch (cls) {
+      case RegClass::Int:
+        pool.push_back(regs::IntRet);
+        for (int r = 0; r < regs::IntArgCount; ++r)
+            pool.push_back(regs::IntArg0 + r);
+        first = regs::IntAllocFirst;
+        last = regs::IntAllocLast;
+        break;
+      case RegClass::Float:
+        pool.push_back(regs::FltRet);
+        for (int r = 0; r < regs::FltArgCount; ++r)
+            pool.push_back(regs::FltArg0 + r);
+        first = regs::FltAllocFirst;
+        last = regs::FltAllocLast;
+        break;
+      case RegClass::Addr:
+        pool.push_back(0); // A0 has no ABI role
+        for (int r = 0; r < regs::AddrArgCount; ++r)
+            pool.push_back(regs::AddrArg0 + r);
+        first = regs::AddrAllocFirst;
+        last = regs::AddrAllocLast;
+        break;
+      default:
+        panic("bad class");
+    }
+    for (int r = first; r <= last; ++r)
+        pool.push_back(r);
+    return pool;
+}
+
+bool
+isCalleeSaved(RegClass cls, int phys)
+{
+    switch (cls) {
+      case RegClass::Int:
+        return phys >= regs::IntAllocFirst && phys <= regs::IntAllocLast;
+      case RegClass::Float:
+        return phys >= regs::FltAllocFirst && phys <= regs::FltAllocLast;
+      case RegClass::Addr:
+        return phys >= regs::AddrAllocFirst &&
+               phys <= regs::AddrAllocLast;
+    }
+    return false;
+}
+
+/** Positions at which a physical register is unavailable. */
+using BlockedMap = std::map<Key, std::vector<int>>;
+
+BlockedMap
+computeBlocked(const Function &fn)
+{
+    BlockedMap blocked;
+    int pos = 0;
+    auto block_reg = [&](RegClass cls, int phys, int p) {
+        blocked[Key{cls, phys}].push_back(p);
+    };
+    for (const auto &bb : fn.blocks) {
+        for (const Op &op : bb->ops) {
+            // Explicit physical operands (ABI copies).
+            auto note = [&](const VReg &r) {
+                if (r.valid() && !isVirtual(r))
+                    block_reg(r.cls, r.id, pos);
+            };
+            note(op.dst);
+            for (const VReg &u : op.srcs)
+                note(u);
+            note(op.mem.index);
+            note(op.mem.addrBase);
+
+            if (op.opcode == Opcode::Call) {
+                // A call clobbers every caller-saved register.
+                block_reg(RegClass::Int, regs::IntRet, pos);
+                for (int r = 0; r < regs::IntArgCount; ++r)
+                    block_reg(RegClass::Int, regs::IntArg0 + r, pos);
+                block_reg(RegClass::Float, regs::FltRet, pos);
+                for (int r = 0; r < regs::FltArgCount; ++r)
+                    block_reg(RegClass::Float, regs::FltArg0 + r, pos);
+                block_reg(RegClass::Addr, 0, pos);
+                for (int r = 0; r < regs::AddrArgCount; ++r)
+                    block_reg(RegClass::Addr, regs::AddrArg0 + r, pos);
+            }
+            ++pos;
+        }
+    }
+    return blocked;
+}
+
+bool
+regAvailable(const BlockedMap &blocked, RegClass cls, int phys, int start,
+             int end)
+{
+    auto it = blocked.find(Key{cls, phys});
+    if (it == blocked.end())
+        return true;
+    for (int p : it->second) {
+        if (p >= start && p <= end)
+            return false;
+    }
+    return true;
+}
+
+std::vector<int>
+scratchFor(RegClass cls)
+{
+    switch (cls) {
+      case RegClass::Int:
+        return {regs::IntScratch0, regs::IntScratch1, regs::IntScratch2};
+      case RegClass::Float:
+        return {regs::FltScratch0, regs::FltScratch1, regs::FltScratch2};
+      case RegClass::Addr:
+        return {regs::AddrScratch0, regs::AddrScratch1};
+    }
+    return {};
+}
+
+} // namespace
+
+RegAllocResult
+allocateRegisters(Function &fn, Module &mod)
+{
+    RegAllocResult result;
+    auto interval_map = computeIntervals(fn);
+    auto blocked = computeBlocked(fn);
+
+    // Run one linear scan per register class.
+    std::map<Key, int> assignment; // vreg -> phys index
+    std::map<Key, DataObject *> spilled;
+
+    auto make_spill = [&](const VReg &reg) {
+        DataObject *slot = fn.newLocalObject(
+            "spill." + reg.str(),
+            reg.cls == RegClass::Float ? Type::Float : Type::Int, 1,
+            Storage::Local);
+        mod.assignObjectId(slot);
+        spilled[keyOf(reg)] = slot;
+        ++result.spillCount;
+    };
+
+    for (RegClass cls :
+         {RegClass::Int, RegClass::Float, RegClass::Addr}) {
+        std::vector<Interval> ivs;
+        for (auto &[k, iv] : interval_map) {
+            if (k.cls == cls)
+                ivs.push_back(iv);
+        }
+        std::sort(ivs.begin(), ivs.end(), [](const auto &a, const auto &b) {
+            if (a.start != b.start)
+                return a.start < b.start;
+            return a.reg.id < b.reg.id;
+        });
+
+        const std::vector<int> pool = poolFor(cls);
+        std::vector<Interval *> active;
+
+        for (Interval &iv : ivs) {
+            // Expire finished intervals.
+            std::erase_if(active,
+                          [&](Interval *a) { return a->end < iv.start; });
+
+            std::set<int> in_use;
+            for (Interval *a : active)
+                in_use.insert(a->assigned);
+
+            // Prefer caller-saved registers (pool order): they cost no
+            // prologue save, but are unavailable across call sites and
+            // explicit ABI uses.
+            int chosen = -1;
+            for (int r : pool) {
+                if (in_use.count(r))
+                    continue;
+                if (!regAvailable(blocked, cls, r, iv.start, iv.end))
+                    continue;
+                chosen = r;
+                break;
+            }
+            if (chosen >= 0) {
+                iv.assigned = chosen;
+                active.push_back(&iv);
+                continue;
+            }
+
+            // Spill: prefer evicting the active interval with the
+            // furthest end whose register this interval may legally
+            // take; otherwise spill the new interval itself.
+            Interval *victim = nullptr;
+            for (Interval *a : active) {
+                if (!regAvailable(blocked, cls, a->assigned, iv.start,
+                                  iv.end))
+                    continue;
+                if (!victim || a->end > victim->end)
+                    victim = a;
+            }
+            if (victim && victim->end > iv.end) {
+                iv.assigned = victim->assigned;
+                victim->assigned = -1;
+                std::erase(active, victim);
+                active.push_back(&iv);
+                make_spill(victim->reg);
+            } else {
+                make_spill(iv.reg);
+            }
+        }
+
+        for (const Interval &iv : ivs) {
+            if (iv.assigned >= 0)
+                assignment[keyOf(iv.reg)] = iv.assigned;
+        }
+    }
+
+    // --- Rewrite the code. ---
+    auto spill_load_op = [](RegClass cls) {
+        switch (cls) {
+          case RegClass::Int: return Opcode::Ld;
+          case RegClass::Float: return Opcode::LdF;
+          case RegClass::Addr: return Opcode::LdA;
+        }
+        return Opcode::Ld;
+    };
+    auto spill_store_op = [](RegClass cls) {
+        switch (cls) {
+          case RegClass::Int: return Opcode::St;
+          case RegClass::Float: return Opcode::StF;
+          case RegClass::Addr: return Opcode::StA;
+        }
+        return Opcode::St;
+    };
+
+    for (auto &bb : fn.blocks) {
+        std::vector<Op> out;
+        out.reserve(bb->ops.size());
+        for (Op &op : bb->ops) {
+            // Map spilled operands to scratch registers for this op.
+            std::map<Key, VReg> scratch_map;
+            std::map<RegClass, int> scratch_next;
+            std::vector<Op> pre, post;
+
+            auto remap = [&](VReg &r, bool is_use) {
+                if (!isVirtual(r))
+                    return;
+                Key k = keyOf(r);
+                auto sp = spilled.find(k);
+                if (sp == spilled.end()) {
+                    auto as = assignment.find(k);
+                    require(as != assignment.end(),
+                            "unallocated vreg ", r.str(), " in ", fn.name);
+                    r = VReg(r.cls, as->second);
+                    return;
+                }
+                // Spilled: route through a scratch register.
+                auto sm = scratch_map.find(k);
+                VReg s;
+                if (sm != scratch_map.end()) {
+                    s = sm->second;
+                } else {
+                    auto scr = scratchFor(r.cls);
+                    int idx = scratch_next[r.cls]++;
+                    require(idx < static_cast<int>(scr.size()),
+                            "out of spill scratch registers");
+                    s = VReg(r.cls, scr[idx]);
+                    scratch_map[k] = s;
+                    if (is_use) {
+                        Op ld(spill_load_op(r.cls));
+                        ld.dst = s;
+                        ld.mem.object = sp->second;
+                        pre.push_back(std::move(ld));
+                    }
+                }
+                r = s;
+            };
+
+            // Uses first (so a reg both used and defined loads first).
+            bool reads_dst = readsDst(op.opcode);
+            for (VReg &s : op.srcs)
+                remap(s, true);
+            if (op.mem.index.valid())
+                remap(op.mem.index, true);
+            if (op.mem.addrBase.valid())
+                remap(op.mem.addrBase, true);
+            if (reads_dst && op.dst.valid()) {
+                VReg d = op.dst;
+                remap(d, true);
+                op.dst = d;
+            }
+
+            VReg def = op.def();
+            if (def.valid() && !reads_dst) {
+                Key k = keyOf(def);
+                if (isVirtual(def) && spilled.count(k)) {
+                    remap(op.dst, false);
+                    Op st(spill_store_op(def.cls));
+                    st.srcs = {op.dst};
+                    st.mem.object = spilled[k];
+                    post.push_back(std::move(st));
+                } else {
+                    remap(op.dst, false);
+                }
+            } else if (def.valid() && reads_dst &&
+                       spilled.count(keyOf(def))) {
+                // Mac with spilled accumulator: already loaded above;
+                // store the updated value back.
+                Op st(spill_store_op(def.cls));
+                st.srcs = {op.dst};
+                st.mem.object = spilled[keyOf(def)];
+                post.push_back(std::move(st));
+            }
+
+            for (Op &p : pre)
+                out.push_back(std::move(p));
+            out.push_back(std::move(op));
+            for (Op &p : post)
+                out.push_back(std::move(p));
+        }
+        bb->ops = std::move(out);
+    }
+
+    // Record which callee-saved registers the function uses (the frame
+    // pass saves exactly these; caller-saved registers are free).
+    for (const auto &[k, phys] : assignment) {
+        if (!isCalleeSaved(k.cls, phys))
+            continue;
+        switch (k.cls) {
+          case RegClass::Int: result.usedInt.insert(phys); break;
+          case RegClass::Float: result.usedFlt.insert(phys); break;
+          case RegClass::Addr: result.usedAddr.insert(phys); break;
+        }
+    }
+    return result;
+}
+
+} // namespace dsp

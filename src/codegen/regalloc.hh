@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Linear-scan register allocation with spilling.
+ *
+ * Register usage on this machine is orthogonal to the memory banks
+ * (paper §2/§3): any register may hold data from either bank. That
+ * orthogonality is what lets this allocator run independently of — and
+ * after — the data-allocation pass without any loss.
+ *
+ * Allocatable pools (see target_desc.hh) are callee-saved by
+ * convention; the frame pass saves exactly the registers a function
+ * uses, with the save/restore memory operations assigned to
+ * alternating banks as the paper prescribes.
+ */
+
+#ifndef DSP_CODEGEN_REGALLOC_HH
+#define DSP_CODEGEN_REGALLOC_HH
+
+#include <set>
+#include <vector>
+
+#include "ir/type.hh"
+
+namespace dsp
+{
+
+class Function;
+class Module;
+
+struct RegAllocResult
+{
+    /** Pool registers this function ended up using (per class). */
+    std::set<int> usedInt;
+    std::set<int> usedFlt;
+    std::set<int> usedAddr;
+    /** Virtual registers that had to be spilled. */
+    int spillCount = 0;
+};
+
+/** Allocate one function; creates spill slots in fn.localObjects. */
+RegAllocResult allocateRegisters(Function &fn, Module &mod);
+
+} // namespace dsp
+
+#endif // DSP_CODEGEN_REGALLOC_HH

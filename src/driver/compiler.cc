@@ -1,0 +1,112 @@
+#include "driver/compiler.hh"
+
+#include <cstring>
+
+#include "codegen/frame.hh"
+#include "codegen/isel.hh"
+#include "codegen/regalloc.hh"
+#include "ir/verifier.hh"
+#include "lower/lower.hh"
+#include "minic/parser.hh"
+#include "minic/sema.hh"
+#include "opt/passes.hh"
+
+namespace dsp
+{
+
+CompileResult
+compileSource(const std::string &source, const CompileOptions &opts)
+{
+    CompileResult result;
+    result.options = opts;
+
+    // Front end.
+    result.ast = parseProgram(source);
+    analyzeProgram(*result.ast);
+    result.module = lowerProgram(*result.ast);
+    verifyOrDie(*result.module);
+
+    // Machine-independent optimization.
+    if (opts.optLevel > 0) {
+        runStandardPipeline(*result.module);
+        verifyOrDie(*result.module);
+    }
+
+    // Back end.
+    lowerToMachine(*result.module);
+
+    AllocOptions alloc_opts;
+    alloc_opts.mode = opts.mode;
+    alloc_opts.weights = opts.weights;
+    alloc_opts.alternatingPartitioner = opts.alternatingPartitioner;
+    alloc_opts.atomicDupStores = opts.atomicDupStores;
+    alloc_opts.profile = opts.profile;
+    result.alloc = runDataAllocation(*result.module, alloc_opts);
+
+    FrameOptions frame_opts;
+    frame_opts.dualStacks = opts.mode != AllocMode::SingleBank &&
+                            opts.mode != AllocMode::Ideal;
+    frame_opts.idealTags = opts.mode == AllocMode::Ideal;
+
+    for (auto &fn : result.module->functions) {
+        RegAllocResult ra = allocateRegisters(*fn, *result.module);
+        buildFrame(*fn, *result.module, ra, frame_opts);
+    }
+
+    MachineConfig config = opts.machine;
+    config.dualPorted = opts.mode == AllocMode::Ideal;
+    result.program = layoutProgram(*result.module, config,
+                                   &result.layout);
+    return result;
+}
+
+RunResult
+runProgram(const CompileResult &compiled,
+           const std::vector<uint32_t> &input, long max_cycles)
+{
+    Simulator sim(compiled.program, *compiled.module);
+    sim.setInput(input);
+    sim.run(max_cycles);
+
+    RunResult result;
+    result.stats = sim.stats();
+    result.output = sim.output();
+    result.profile = sim.profile();
+    return result;
+}
+
+std::vector<uint32_t>
+packInputInts(const std::vector<int32_t> &vals)
+{
+    std::vector<uint32_t> out;
+    out.reserve(vals.size());
+    for (int32_t v : vals)
+        out.push_back(static_cast<uint32_t>(v));
+    return out;
+}
+
+std::vector<uint32_t>
+packInputFloats(const std::vector<float> &vals)
+{
+    std::vector<uint32_t> out;
+    out.reserve(vals.size());
+    for (float v : vals) {
+        uint32_t w;
+        std::memcpy(&w, &v, sizeof(w));
+        out.push_back(w);
+    }
+    return out;
+}
+
+CostBreakdown
+computeCost(const CompileResult &compiled, const RunResult &run)
+{
+    CostBreakdown cost;
+    cost.dataX = compiled.layout.dataWordsX;
+    cost.dataY = compiled.layout.dataWordsY;
+    cost.stack = std::max(run.stats.peakStackX, run.stats.peakStackY);
+    cost.insts = compiled.program.instructionWords();
+    return cost;
+}
+
+} // namespace dsp

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * End-to-end compiler facade: MiniC source -> executable VLIW program.
+ *
+ * Pipeline (mirroring the paper's compiler): front-end (lex / parse /
+ * sema) -> IR lowering -> machine-independent optimization -> machine
+ * lowering -> DATA ALLOCATION (CB partitioning / duplication) ->
+ * register allocation -> frame construction -> COMPACTION -> layout.
+ */
+
+#ifndef DSP_DRIVER_COMPILER_HH
+#define DSP_DRIVER_COMPILER_HH
+
+#include <memory>
+#include <string>
+
+#include "codegen/alloc.hh"
+#include "codegen/layout.hh"
+#include "ir/module.hh"
+#include "minic/ast.hh"
+#include "sim/simulator.hh"
+#include "target/vliw.hh"
+
+namespace dsp
+{
+
+struct CompileOptions
+{
+    AllocMode mode = AllocMode::CB;
+    WeightPolicy weights = WeightPolicy::DepthSum;
+    bool alternatingPartitioner = false;
+    bool atomicDupStores = false;
+    const ProfileCounts *profile = nullptr;
+    MachineConfig machine;
+    /** 0 disables the machine-independent optimizer (testing only). */
+    int optLevel = 1;
+};
+
+struct CompileResult
+{
+    std::unique_ptr<Program> ast;
+    std::unique_ptr<Module> module;
+    VliwProgram program;
+    AllocReport alloc;
+    LayoutStats layout;
+    CompileOptions options;
+};
+
+/** Compile @p source with @p opts. Throws UserError on bad input. */
+CompileResult compileSource(const std::string &source,
+                            const CompileOptions &opts = {});
+
+struct RunResult
+{
+    SimStats stats;
+    std::vector<OutputWord> output;
+    ProfileCounts profile;
+};
+
+/** Execute a compiled program on the instruction-set simulator. */
+RunResult runProgram(const CompileResult &compiled,
+                     const std::vector<uint32_t> &input = {},
+                     long max_cycles = 200'000'000);
+
+/** Convenience: pack ints/floats into raw input words. */
+std::vector<uint32_t> packInputInts(const std::vector<int32_t> &vals);
+std::vector<uint32_t> packInputFloats(const std::vector<float> &vals);
+
+/**
+ * The paper's first-order cost model (§4.2):
+ *   Cost = X + Y + 2*S + I
+ * with X/Y the words of data in each bank, S the (per-bank) stack
+ * reservation actually used, and I the instruction-memory words.
+ */
+struct CostBreakdown
+{
+    int dataX = 0;
+    int dataY = 0;
+    int stack = 0; ///< S: max of the two stacks' peak usage
+    int insts = 0;
+
+    long total() const { return dataX + dataY + 2L * stack + insts; }
+};
+
+CostBreakdown computeCost(const CompileResult &compiled,
+                          const RunResult &run);
+
+} // namespace dsp
+
+#endif // DSP_DRIVER_COMPILER_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * BasicBlock: a straight-line sequence of Ops ending in terminators.
+ *
+ * Terminator convention: a block ends with either
+ *   - a single Jmp,
+ *   - a Bt followed by a Jmp (two-way branch), or
+ *   - a single Ret.
+ * There is no implicit fallthrough; this keeps block reordering and the
+ * machine-code emitter trivial.
+ */
+
+#ifndef DSP_IR_BASIC_BLOCK_HH
+#define DSP_IR_BASIC_BLOCK_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/op.hh"
+
+namespace dsp
+{
+
+class Function;
+
+class BasicBlock
+{
+  public:
+    BasicBlock(Function *parent, std::string label, int id)
+        : function(parent), label(std::move(label)), id(id)
+    {}
+
+    Function *function = nullptr;
+    std::string label;
+    /** Stable per-function ordinal. */
+    int id = -1;
+
+    /**
+     * Static loop-nesting depth, recorded by the front-end lowering
+     * (0 = not inside any loop). The paper uses this as the heuristic
+     * interference-edge weight. LoopInfo recomputes it from the CFG as a
+     * cross-check.
+     */
+    int loopDepth = 0;
+
+    std::vector<Op> ops;
+
+    /** Successor blocks, in (taken, fallthrough) order. */
+    std::vector<BasicBlock *>
+    successors() const
+    {
+        std::vector<BasicBlock *> out;
+        for (const Op &op : ops) {
+            if (op.opcode == Opcode::Bt || op.opcode == Opcode::Jmp)
+                out.push_back(op.target);
+        }
+        return out;
+    }
+
+    bool
+    hasTerminator() const
+    {
+        return !ops.empty() && ops.back().isTerminator();
+    }
+};
+
+} // namespace dsp
+
+#endif // DSP_IR_BASIC_BLOCK_HH

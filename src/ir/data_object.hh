@@ -1,0 +1,109 @@
+/**
+ * @file
+ * DataObject: a program variable or array as seen by the data-allocation
+ * pass.
+ *
+ * The paper treats each array as a monolithic entity that lives entirely
+ * in one bank (a consequence of high-order interleaving). DataObject is
+ * the unit of partitioning: the nodes of the interference graph are
+ * DataObjects (or alias-merged groups of them).
+ */
+
+#ifndef DSP_IR_DATA_OBJECT_HH
+#define DSP_IR_DATA_OBJECT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/type.hh"
+
+namespace dsp
+{
+
+/** Where an object lives. */
+enum class Storage : unsigned char
+{
+    Global, ///< module-level variable or array
+    Local,  ///< function-local array (scalars are promoted to registers)
+    Param,  ///< array parameter: an alias for caller-provided storage
+};
+
+/** Which data-memory bank an object was assigned to. */
+enum class Bank : unsigned char
+{
+    X,
+    Y,
+    Either, ///< duplicated object, or dual-ported (ideal) memory
+    None,   ///< not yet assigned
+};
+
+inline const char *
+bankName(Bank b)
+{
+    switch (b) {
+      case Bank::X: return "X";
+      case Bank::Y: return "Y";
+      case Bank::Either: return "XY";
+      case Bank::None: return "-";
+    }
+    return "?";
+}
+
+/**
+ * A variable or array. Owned by the Module (globals) or Function
+ * (locals and params). Identity is pointer identity; `id` is a stable
+ * per-module ordinal used for deterministic iteration.
+ */
+class DataObject
+{
+  public:
+    DataObject(std::string name, Type elem, int size_words, Storage st)
+        : name(std::move(name)), elemType(elem), size(size_words),
+          storage(st)
+    {}
+
+    std::string name;
+    Type elemType = Type::Int;
+    /** Size in 32-bit words; 1 for scalars. */
+    int size = 1;
+    Storage storage = Storage::Global;
+    /** Stable ordinal assigned at registration time. */
+    int id = -1;
+
+    /** Global initializer, one raw word per element (empty = zeros). */
+    std::vector<uint32_t> init;
+
+    /**
+     * For Param objects: the set of concrete objects this parameter may
+     * bind to, filled in by alias analysis over the call graph. All
+     * members must end up in the same bank for the accesses through the
+     * parameter to have a compile-time-known bank.
+     */
+    std::vector<DataObject *> mayBind;
+
+    /// @name Results of the data-allocation + layout passes.
+    /// @{
+    Bank bank = Bank::None;
+    bool duplicated = false;
+    /** Absolute word address of the X-bank copy (globals; -1 if none). */
+    int addrX = -1;
+    /** Absolute word address of the Y-bank copy (globals; -1 if none). */
+    int addrY = -1;
+    /** Offset within the owning function's frame (locals; -1 if none). */
+    int frameOffset = -1;
+    /// @}
+
+    bool isArray() const { return size > 1; }
+
+    /** Words of data memory this object consumes (doubled if duplicated). */
+    int
+    footprintWords() const
+    {
+        return duplicated ? 2 * size : size;
+    }
+};
+
+} // namespace dsp
+
+#endif // DSP_IR_DATA_OBJECT_HH

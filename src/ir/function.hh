@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Function: signature, owned blocks, owned local/param data objects, and
+ * the per-class virtual-register counters.
+ */
+
+#ifndef DSP_IR_FUNCTION_HH
+#define DSP_IR_FUNCTION_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/basic_block.hh"
+#include "ir/data_object.hh"
+
+namespace dsp
+{
+
+/** One formal parameter. Scalars arrive in a register; arrays by base
+ *  address (an Addr-class register bound to a Param DataObject). */
+struct Param
+{
+    std::string name;
+    Type type = Type::Int;
+    bool isArray = false;
+    /** For scalar params: the vreg holding the incoming value. */
+    VReg reg;
+    /** For array params: the alias object accesses go through. */
+    DataObject *object = nullptr;
+};
+
+class Function
+{
+  public:
+    Function(std::string name, Type ret_type)
+        : name(std::move(name)), retType(ret_type)
+    {}
+
+    std::string name;
+    Type retType = Type::Void;
+    std::vector<Param> params;
+
+    /** Blocks in layout order; the first is the entry block. */
+    std::vector<std::unique_ptr<BasicBlock>> blocks;
+
+    /** Local arrays and param alias objects owned by this function. */
+    std::vector<std::unique_ptr<DataObject>> localObjects;
+
+    BasicBlock *
+    newBlock(const std::string &label_hint)
+    {
+        auto bb = std::make_unique<BasicBlock>(
+            this, label_hint + "." + std::to_string(nextBlockId),
+            nextBlockId);
+        ++nextBlockId;
+        blocks.push_back(std::move(bb));
+        return blocks.back().get();
+    }
+
+    BasicBlock *entry() const { return blocks.front().get(); }
+
+    VReg
+    newVReg(RegClass cls)
+    {
+        return VReg(cls, nextVRegId++);
+    }
+
+    VReg
+    newVRegFor(Type t)
+    {
+        return newVReg(t == Type::Float ? RegClass::Float : RegClass::Int);
+    }
+
+    DataObject *
+    newLocalObject(const std::string &obj_name, Type elem, int size,
+                   Storage storage)
+    {
+        localObjects.push_back(
+            std::make_unique<DataObject>(obj_name, elem, size, storage));
+        return localObjects.back().get();
+    }
+
+    /** Total ops across all blocks (diagnostics, complexity reports). */
+    std::size_t
+    opCount() const
+    {
+        std::size_t n = 0;
+        for (const auto &bb : blocks)
+            n += bb->ops.size();
+        return n;
+    }
+
+    /**
+     * Virtual-register ids start above the 32 physical registers of
+     * each file, so ids below 32 can denote physical registers in
+     * machine-stage code (see target/target_desc.hh).
+     */
+    int nextVRegId = 32;
+    int nextBlockId = 0;
+};
+
+} // namespace dsp
+
+#endif // DSP_IR_FUNCTION_HH

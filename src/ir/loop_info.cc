@@ -1,0 +1,221 @@
+#include "ir/loop_info.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "support/diagnostics.hh"
+#include "ir/function.hh"
+
+namespace dsp
+{
+
+Cfg::Cfg(const Function &fn)
+{
+    // Depth-first traversal from the entry block to build post-order.
+    std::set<const BasicBlock *> visited;
+    std::vector<BasicBlock *> post;
+
+    // Iterative DFS with an explicit stack of (block, next-succ-index).
+    std::vector<std::pair<BasicBlock *, std::size_t>> stack;
+    BasicBlock *entry = fn.entry();
+    stack.push_back({entry, 0});
+    visited.insert(entry);
+
+    while (!stack.empty()) {
+        auto &[bb, idx] = stack.back();
+        auto succs = bb->successors();
+        if (idx < succs.size()) {
+            BasicBlock *next = succs[idx++];
+            predMap[next].push_back(bb);
+            if (visited.insert(next).second)
+                stack.push_back({next, 0});
+        } else {
+            post.push_back(bb);
+            stack.pop_back();
+        }
+    }
+
+    rpoOrder.assign(post.rbegin(), post.rend());
+
+    // Deduplicate predecessor lists (a Bt and Jmp may share a target).
+    for (auto &[bb, preds] : predMap) {
+        (void)bb;
+        std::sort(preds.begin(), preds.end(),
+                  [](auto *a, auto *b) { return a->id < b->id; });
+        preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+    }
+}
+
+bool
+Cfg::reachable(const BasicBlock *bb) const
+{
+    return std::find(rpoOrder.begin(), rpoOrder.end(), bb) !=
+           rpoOrder.end();
+}
+
+namespace
+{
+
+/** Immediate-dominator computation (Cooper-Harvey-Kennedy iterative). */
+std::map<const BasicBlock *, const BasicBlock *>
+computeIdom(const Cfg &cfg)
+{
+    const auto &rpo = cfg.rpo();
+    std::map<const BasicBlock *, int> rpo_index;
+    for (std::size_t i = 0; i < rpo.size(); ++i)
+        rpo_index[rpo[i]] = static_cast<int>(i);
+
+    std::map<const BasicBlock *, const BasicBlock *> idom;
+    if (rpo.empty())
+        return idom;
+    idom[rpo[0]] = rpo[0];
+
+    auto intersect = [&](const BasicBlock *a, const BasicBlock *b) {
+        while (a != b) {
+            while (rpo_index.at(a) > rpo_index.at(b))
+                a = idom.at(a);
+            while (rpo_index.at(b) > rpo_index.at(a))
+                b = idom.at(b);
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t i = 1; i < rpo.size(); ++i) {
+            const BasicBlock *bb = rpo[i];
+            const BasicBlock *new_idom = nullptr;
+            for (const BasicBlock *p : cfg.preds(bb)) {
+                if (!idom.count(p))
+                    continue;
+                new_idom = new_idom ? intersect(p, new_idom) : p;
+            }
+            if (new_idom && (!idom.count(bb) || idom[bb] != new_idom)) {
+                idom[bb] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    return idom;
+}
+
+bool
+dominates(const std::map<const BasicBlock *, const BasicBlock *> &idom,
+          const BasicBlock *a, const BasicBlock *b)
+{
+    // Walk b's dominator chain up to the entry looking for a.
+    const BasicBlock *cur = b;
+    while (true) {
+        if (cur == a)
+            return true;
+        auto it = idom.find(cur);
+        if (it == idom.end() || it->second == cur)
+            return cur == a;
+        cur = it->second;
+    }
+}
+
+} // namespace
+
+LoopInfo::LoopInfo(const Function &fn)
+{
+    Cfg cfg(fn);
+    auto idom = computeIdom(cfg);
+
+    // Find back edges: edge (tail -> head) where head dominates tail.
+    // Each distinct head is one natural loop; gather the loop body by
+    // backwards reachability from the tail without passing the head.
+    std::map<const BasicBlock *, std::set<const BasicBlock *>> loop_body;
+
+    for (BasicBlock *bb : cfg.rpo()) {
+        for (BasicBlock *succ : bb->successors()) {
+            if (!cfg.reachable(succ) || !dominates(idom, succ, bb))
+                continue;
+            // (bb -> succ) is a back edge with header `succ`.
+            auto &body = loop_body[succ];
+            if (body.empty())
+                body.insert(succ);
+            std::vector<const BasicBlock *> work;
+            if (body.insert(bb).second)
+                work.push_back(bb);
+            while (!work.empty()) {
+                const BasicBlock *n = work.back();
+                work.pop_back();
+                if (n == succ)
+                    continue;
+                for (const BasicBlock *p : cfg.preds(n)) {
+                    if (body.insert(p).second)
+                        work.push_back(p);
+                }
+            }
+        }
+    }
+
+    numLoops = static_cast<int>(loop_body.size());
+    for (const auto &[header, body] : loop_body) {
+        (void)header;
+        for (const BasicBlock *bb : body)
+            depthMap[bb] += 1;
+    }
+}
+
+int
+LoopInfo::depth(const BasicBlock *bb) const
+{
+    auto it = depthMap.find(bb);
+    return it == depthMap.end() ? 0 : it->second;
+}
+
+std::vector<NaturalLoop>
+findNaturalLoops(Function &fn)
+{
+    Cfg cfg(fn);
+    auto idom = computeIdom(cfg);
+
+    std::map<BasicBlock *, NaturalLoop> by_header;
+    for (BasicBlock *bb : cfg.rpo()) {
+        for (BasicBlock *succ : bb->successors()) {
+            if (!cfg.reachable(succ) || !dominates(idom, succ, bb))
+                continue;
+            NaturalLoop &loop = by_header[succ];
+            loop.header = succ;
+            loop.body.insert(succ);
+            std::vector<const BasicBlock *> work;
+            if (loop.body.insert(bb).second)
+                work.push_back(bb);
+            while (!work.empty()) {
+                const BasicBlock *n = work.back();
+                work.pop_back();
+                if (n == succ)
+                    continue;
+                for (BasicBlock *p : cfg.preds(n)) {
+                    if (loop.body.insert(p).second)
+                        work.push_back(p);
+                }
+            }
+        }
+    }
+
+    std::vector<NaturalLoop> loops;
+    for (auto &[header, loop] : by_header) {
+        BasicBlock *pre = nullptr;
+        bool unique = true;
+        for (BasicBlock *p : cfg.preds(header)) {
+            if (loop.body.count(p))
+                continue;
+            if (pre)
+                unique = false;
+            pre = p;
+        }
+        loop.preheader = unique ? pre : nullptr;
+        loops.push_back(std::move(loop));
+    }
+    std::sort(loops.begin(), loops.end(),
+              [](const NaturalLoop &a, const NaturalLoop &b) {
+                  return a.header->id < b.header->id;
+              });
+    return loops;
+}
+
+} // namespace dsp

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * CFG utilities and natural-loop nesting analysis.
+ *
+ * The front-end records loop depth structurally while lowering; LoopInfo
+ * recomputes it from the CFG (dominators + back edges). The two agree on
+ * structured MiniC input, which the test suite asserts — a useful guard
+ * against both lowering and analysis bugs.
+ */
+
+#ifndef DSP_IR_LOOP_INFO_HH
+#define DSP_IR_LOOP_INFO_HH
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace dsp
+{
+
+class BasicBlock;
+class Function;
+
+/** Predecessor map and reverse-post-order for one function. */
+class Cfg
+{
+  public:
+    explicit Cfg(const Function &fn);
+
+    const std::vector<BasicBlock *> &
+    preds(const BasicBlock *bb) const
+    {
+        static const std::vector<BasicBlock *> empty;
+        auto it = predMap.find(bb);
+        return it == predMap.end() ? empty : it->second;
+    }
+
+    /** Blocks reachable from entry, in reverse post-order. */
+    const std::vector<BasicBlock *> &rpo() const { return rpoOrder; }
+
+    bool reachable(const BasicBlock *bb) const;
+
+  private:
+    std::map<const BasicBlock *, std::vector<BasicBlock *>> predMap;
+    std::vector<BasicBlock *> rpoOrder;
+};
+
+/** Natural-loop nesting depths computed from dominators. */
+class LoopInfo
+{
+  public:
+    explicit LoopInfo(const Function &fn);
+
+    /** 0 = not in a loop; unreachable blocks report 0. */
+    int depth(const BasicBlock *bb) const;
+
+    /** Number of natural loops found. */
+    int loopCount() const { return numLoops; }
+
+  private:
+    std::map<const BasicBlock *, int> depthMap;
+    int numLoops = 0;
+};
+
+/** One natural loop, discovered from dominators + back edges. */
+struct NaturalLoop
+{
+    BasicBlock *header = nullptr;
+    /** Unique out-of-loop predecessor of the header; null if absent. */
+    BasicBlock *preheader = nullptr;
+    std::set<BasicBlock *> body; ///< includes the header
+};
+
+/** All natural loops of @p fn, headers in deterministic order. */
+std::vector<NaturalLoop> findNaturalLoops(Function &fn);
+
+} // namespace dsp
+
+#endif // DSP_IR_LOOP_INFO_HH

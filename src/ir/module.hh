@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Module: a whole MiniC translation unit — globals plus functions.
+ */
+
+#ifndef DSP_IR_MODULE_HH
+#define DSP_IR_MODULE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/data_object.hh"
+#include "ir/function.hh"
+
+namespace dsp
+{
+
+class Module
+{
+  public:
+    std::vector<std::unique_ptr<DataObject>> globals;
+    std::vector<std::unique_ptr<Function>> functions;
+
+    DataObject *
+    newGlobal(const std::string &name, Type elem, int size)
+    {
+        globals.push_back(std::make_unique<DataObject>(
+            name, elem, size, Storage::Global));
+        globals.back()->id = nextObjectId++;
+        return globals.back().get();
+    }
+
+    Function *
+    newFunction(const std::string &name, Type ret)
+    {
+        functions.push_back(std::make_unique<Function>(name, ret));
+        return functions.back().get();
+    }
+
+    Function *
+    findFunction(const std::string &name) const
+    {
+        for (const auto &f : functions)
+            if (f->name == name)
+                return f.get();
+        return nullptr;
+    }
+
+    DataObject *
+    findGlobal(const std::string &name) const
+    {
+        for (const auto &g : globals)
+            if (g->name == name)
+                return g.get();
+        return nullptr;
+    }
+
+    /** Register a function-owned object so it gets a module-unique id. */
+    void
+    assignObjectId(DataObject *obj)
+    {
+        obj->id = nextObjectId++;
+    }
+
+    int nextObjectId = 0;
+};
+
+} // namespace dsp
+
+#endif // DSP_IR_MODULE_HH

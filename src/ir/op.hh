@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Op: one unpacked machine operation, plus MemRef, its memory operand.
+ */
+
+#ifndef DSP_IR_OP_HH
+#define DSP_IR_OP_HH
+
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.hh"
+#include "ir/data_object.hh"
+#include "ir/opcode.hh"
+#include "ir/type.hh"
+
+namespace dsp
+{
+
+class BasicBlock;
+class Function;
+
+/**
+ * A symbolic memory operand: object-relative addressing.
+ *
+ * address = base(object) + index-register + constant offset.
+ *
+ * Keeping the object symbolic (rather than a raw address) until the
+ * final layout pass is what lets the data-allocation pass move objects
+ * between banks, duplicate them, and re-stack locals without rewriting
+ * address arithmetic.
+ */
+struct MemRef
+{
+    DataObject *object = nullptr;
+    /** Optional integer index register (invalid VReg if absent). */
+    VReg index;
+    /** Constant word offset added to base + index. */
+    int offset = 0;
+    /**
+     * For accesses through array parameters: the address register that
+     * holds the incoming base address (set during machine lowering).
+     */
+    VReg addrBase;
+    /**
+     * Which bank this particular access targets. Distinct from
+     * object->bank: a load from a duplicated object may read either
+     * copy, and the paired stores that keep the copies coherent carry
+     * one X and one Y tag against the same object.
+     */
+    Bank bank = Bank::None;
+
+    bool valid() const { return object != nullptr; }
+
+    std::string str() const;
+};
+
+/**
+ * One IR operation. Plain aggregate by design: compiler passes mutate
+ * ops freely, and the fields in play are dictated by the opcode.
+ */
+class Op
+{
+  public:
+    Op() = default;
+    explicit Op(Opcode op) : opcode(op) {}
+
+    Opcode opcode = Opcode::Nop;
+
+    /** Destination register (invalid if the op produces no value). */
+    VReg dst;
+    /** Source registers, in operand order. */
+    std::vector<VReg> srcs;
+
+    /** Integer immediate (MovI, AddI, ..., and shift amounts). */
+    long imm = 0;
+    /** Float immediate (MovF). */
+    float fimm = 0.0f;
+
+    /** Memory operand for Ld/LdF/St/StF. */
+    MemRef mem;
+
+    /** Branch target (Jmp/Bt). */
+    BasicBlock *target = nullptr;
+
+    /** Callee (Call). */
+    Function *callee = nullptr;
+
+    /**
+     * Interrupt-atomic store pairing (duplicated data, paper §3.2):
+     * the two stores that update the X and Y copies of a duplicated
+     * object share a pair id; the simulator masks interrupts from the
+     * first of the pair until the second completes (the paper's
+     * store-lock / store-unlock). -1 = not paired.
+     */
+    int atomicPair = -1;
+
+    /** Source location for diagnostics. */
+    SourceLoc loc;
+
+    bool isMem() const { return isMemOp(opcode); }
+    bool isTerminator() const { return isTerminatorKind(opcode); }
+
+    /**
+     * All registers this op reads, including the destination of
+     * read-modify-write ops (Mac/FMac) and the value operand of stores.
+     */
+    std::vector<VReg>
+    uses() const
+    {
+        std::vector<VReg> u = srcs;
+        if (readsDst(opcode) && dst.valid())
+            u.push_back(dst);
+        if (mem.valid() && mem.index.valid())
+            u.push_back(mem.index);
+        if (mem.valid() && mem.addrBase.valid())
+            u.push_back(mem.addrBase);
+        return u;
+    }
+
+    /** The register this op defines, if any. */
+    VReg
+    def() const
+    {
+        if (isStore(opcode) || opcode == Opcode::Out ||
+            opcode == Opcode::OutF || isBranch(opcode) ||
+            opcode == Opcode::Ret || opcode == Opcode::Nop)
+            return VReg();
+        return dst;
+    }
+
+    std::string str() const;
+};
+
+} // namespace dsp
+
+#endif // DSP_IR_OP_HH

@@ -1,0 +1,81 @@
+#include "ir/opcode.hh"
+
+namespace dsp
+{
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::MovI: return "movi";
+      case Opcode::MovF: return "movf";
+      case Opcode::Copy: return "copy";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::Div: return "div";
+      case Opcode::Rem: return "rem";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Shl: return "shl";
+      case Opcode::Shr: return "shr";
+      case Opcode::AddI: return "addi";
+      case Opcode::MulI: return "muli";
+      case Opcode::AndI: return "andi";
+      case Opcode::ShlI: return "shli";
+      case Opcode::ShrI: return "shri";
+      case Opcode::Neg: return "neg";
+      case Opcode::Not: return "not";
+      case Opcode::Mac: return "mac";
+      case Opcode::CmpEQ: return "cmpeq";
+      case Opcode::CmpNE: return "cmpne";
+      case Opcode::CmpLT: return "cmplt";
+      case Opcode::CmpLE: return "cmple";
+      case Opcode::CmpGT: return "cmpgt";
+      case Opcode::CmpGE: return "cmpge";
+      case Opcode::CmpEQI: return "cmpeqi";
+      case Opcode::CmpNEI: return "cmpnei";
+      case Opcode::CmpLTI: return "cmplti";
+      case Opcode::CmpLEI: return "cmplei";
+      case Opcode::CmpGTI: return "cmpgti";
+      case Opcode::CmpGEI: return "cmpgei";
+      case Opcode::FAdd: return "fadd";
+      case Opcode::FSub: return "fsub";
+      case Opcode::FMul: return "fmul";
+      case Opcode::FDiv: return "fdiv";
+      case Opcode::FNeg: return "fneg";
+      case Opcode::FMac: return "fmac";
+      case Opcode::FCmpEQ: return "fcmpeq";
+      case Opcode::FCmpNE: return "fcmpne";
+      case Opcode::FCmpLT: return "fcmplt";
+      case Opcode::FCmpLE: return "fcmple";
+      case Opcode::FCmpGT: return "fcmpgt";
+      case Opcode::FCmpGE: return "fcmpge";
+      case Opcode::IToF: return "itof";
+      case Opcode::FToI: return "ftoi";
+      case Opcode::Ld: return "ld";
+      case Opcode::LdF: return "ldf";
+      case Opcode::St: return "st";
+      case Opcode::StF: return "stf";
+      case Opcode::Lea: return "lea";
+      case Opcode::LdA: return "lda";
+      case Opcode::StA: return "sta";
+      case Opcode::AAddI: return "aaddi";
+      case Opcode::Halt: return "halt";
+      case Opcode::Lock: return "lock";
+      case Opcode::Unlock: return "unlock";
+      case Opcode::Jmp: return "jmp";
+      case Opcode::Bt: return "bt";
+      case Opcode::Call: return "call";
+      case Opcode::Ret: return "ret";
+      case Opcode::In: return "in";
+      case Opcode::InF: return "inf";
+      case Opcode::Out: return "out";
+      case Opcode::OutF: return "outf";
+      case Opcode::Nop: return "nop";
+    }
+    return "??";
+}
+
+} // namespace dsp

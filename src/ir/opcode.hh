@@ -1,0 +1,156 @@
+/**
+ * @file
+ * IR opcodes: the "unpacked machine operations" of the paper's front-end.
+ *
+ * The IR is deliberately machine-level — every op corresponds 1:1 (or
+ * nearly so) to an operation of the model VLIW DSP. This mirrors the
+ * paper's structure where the GNU-C front-end emits a sequence of
+ * unpacked machine operations that the optimizing back-end then
+ * allocates, register-allocates, and compacts.
+ */
+
+#ifndef DSP_IR_OPCODE_HH
+#define DSP_IR_OPCODE_HH
+
+namespace dsp
+{
+
+enum class Opcode : unsigned char
+{
+    // --- moves and constants ---
+    MovI,   ///< dst(int)   <- imm
+    MovF,   ///< dst(float) <- fimm
+    Copy,   ///< dst <- src (same class)
+
+    // --- integer ALU (DU) ---
+    Add, Sub, Mul, Div, Rem,
+    And, Or, Xor, Shl, Shr,
+    AddI, MulI, AndI, ShlI, ShrI,
+    Neg, Not,
+    Mac,    ///< dst += src1 * src2 (dst is read and written)
+
+    // --- integer compares, result 0/1 in int reg (DU) ---
+    CmpEQ, CmpNE, CmpLT, CmpLE, CmpGT, CmpGE,
+    CmpEQI, CmpNEI, CmpLTI, CmpLEI, CmpGTI, CmpGEI,
+
+    // --- floating point (FPU) ---
+    FAdd, FSub, FMul, FDiv, FNeg,
+    FMac,   ///< dst += src1 * src2
+    FCmpEQ, FCmpNE, FCmpLT, FCmpLE, FCmpGT, FCmpGE, ///< int dst
+    IToF,   ///< float dst <- int src
+    FToI,   ///< int dst <- float src (truncating)
+
+    // --- memory (MU) ---
+    Ld,     ///< int dst   <- mem[obj + index + offset]
+    LdF,    ///< float dst <- mem[...]
+    St,     ///< mem[...] <- int src
+    StF,    ///< mem[...] <- float src
+
+    // --- address computation (AU) ---
+    Lea,    ///< addr dst <- address of mem operand (array arguments)
+
+    // --- machine-stage ops (introduced by the back-end) ---
+    LdA,    ///< addr dst <- mem[...] (register save/restore, spills)
+    StA,    ///< mem[...] <- addr src
+    AAddI,  ///< addr dst <- addr src + imm (stack-pointer adjustment)
+    Halt,   ///< stop the machine (end of main)
+    Lock,   ///< disable interrupts (duplicated-data store protection)
+    Unlock, ///< re-enable interrupts
+
+    // --- control (PCU) ---
+    Jmp,    ///< unconditional branch to target block
+    Bt,     ///< branch to target block if int src != 0
+    Call,   ///< call function; args in srcs, optional dst
+    Ret,    ///< return, optional src
+
+    // --- I/O channels (bank-agnostic memory-unit ops) ---
+    In,     ///< int dst <- next input word
+    InF,    ///< float dst <- next input word
+    Out,    ///< emit int src to output stream
+    OutF,   ///< emit float src to output stream
+
+    Nop,
+};
+
+/** Broad categories used by dependence analysis and scheduling. */
+inline bool
+isMemOp(Opcode op)
+{
+    return op == Opcode::Ld || op == Opcode::LdF || op == Opcode::St ||
+           op == Opcode::StF || op == Opcode::LdA || op == Opcode::StA;
+}
+
+inline bool
+isLoad(Opcode op)
+{
+    return op == Opcode::Ld || op == Opcode::LdF || op == Opcode::LdA;
+}
+
+inline bool
+isStore(Opcode op)
+{
+    return op == Opcode::St || op == Opcode::StF || op == Opcode::StA;
+}
+
+inline bool
+isBranch(Opcode op)
+{
+    return op == Opcode::Jmp || op == Opcode::Bt;
+}
+
+inline bool
+isTerminatorKind(Opcode op)
+{
+    return op == Opcode::Jmp || op == Opcode::Bt || op == Opcode::Ret ||
+           op == Opcode::Halt;
+}
+
+inline bool
+isIoOp(Opcode op)
+{
+    return op == Opcode::In || op == Opcode::InF || op == Opcode::Out ||
+           op == Opcode::OutF;
+}
+
+inline bool
+isCall(Opcode op)
+{
+    return op == Opcode::Call;
+}
+
+/** True for ops whose dst is also an input (read-modify-write). */
+inline bool
+readsDst(Opcode op)
+{
+    return op == Opcode::Mac || op == Opcode::FMac;
+}
+
+/** True for ops that carry an integer immediate operand. */
+inline bool
+hasIntImm(Opcode op)
+{
+    switch (op) {
+      case Opcode::MovI:
+      case Opcode::AddI:
+      case Opcode::MulI:
+      case Opcode::AndI:
+      case Opcode::ShlI:
+      case Opcode::ShrI:
+      case Opcode::CmpEQI:
+      case Opcode::CmpNEI:
+      case Opcode::CmpLTI:
+      case Opcode::CmpLEI:
+      case Opcode::CmpGTI:
+      case Opcode::CmpGEI:
+      case Opcode::AAddI:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char *opcodeName(Opcode op);
+
+} // namespace dsp
+
+#endif // DSP_IR_OPCODE_HH

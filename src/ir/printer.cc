@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Human-readable rendering of the IR, for tests and debugging.
+ */
+
+#include <sstream>
+
+#include "ir/module.hh"
+#include "ir/printer.hh"
+
+namespace dsp
+{
+
+std::string
+MemRef::str() const
+{
+    std::ostringstream os;
+    os << "[" << (object ? object->name : "<null>");
+    if (index.valid())
+        os << " + " << index.str();
+    if (offset != 0)
+        os << " + " << offset;
+    os << "]";
+    return os.str();
+}
+
+std::string
+Op::str() const
+{
+    std::ostringstream os;
+    os << opcodeName(opcode);
+    bool first = true;
+    auto sep = [&]() -> std::ostream & {
+        os << (first ? " " : ", ");
+        first = false;
+        return os;
+    };
+
+    if (opcode == Opcode::Call) {
+        sep() << (callee ? callee->name : "<null>");
+        if (dst.valid())
+            sep() << dst.str();
+        for (const VReg &s : srcs)
+            sep() << s.str();
+        return os.str();
+    }
+
+    if (dst.valid())
+        sep() << dst.str();
+    for (const VReg &s : srcs)
+        sep() << s.str();
+    if (mem.valid())
+        sep() << mem.str();
+    if (hasIntImm(opcode))
+        sep() << "#" << imm;
+    if (opcode == Opcode::MovF)
+        sep() << "#" << fimm;
+    if (target)
+        sep() << target->label;
+    return os.str();
+}
+
+std::string
+printFunction(const Function &fn)
+{
+    std::ostringstream os;
+    os << typeName(fn.retType) << " " << fn.name << "(";
+    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+        if (i)
+            os << ", ";
+        const Param &p = fn.params[i];
+        os << typeName(p.type) << " " << p.name;
+        if (p.isArray)
+            os << "[]";
+    }
+    os << ")\n";
+    for (const auto &obj : fn.localObjects) {
+        os << "  ; local " << obj->name << " : " << typeName(obj->elemType)
+           << "[" << obj->size << "]\n";
+    }
+    for (const auto &bb : fn.blocks) {
+        os << bb->label << ":    ; depth=" << bb->loopDepth << "\n";
+        for (const Op &op : bb->ops)
+            os << "    " << op.str() << "\n";
+    }
+    return os.str();
+}
+
+std::string
+printModule(const Module &m)
+{
+    std::ostringstream os;
+    for (const auto &g : m.globals) {
+        os << "global " << g->name << " : " << typeName(g->elemType) << "["
+           << g->size << "]\n";
+    }
+    for (const auto &f : m.functions)
+        os << "\n" << printFunction(*f);
+    return os.str();
+}
+
+} // namespace dsp

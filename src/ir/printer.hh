@@ -1,0 +1,25 @@
+/**
+ * @file
+ * IR printing entry points.
+ */
+
+#ifndef DSP_IR_PRINTER_HH
+#define DSP_IR_PRINTER_HH
+
+#include <string>
+
+namespace dsp
+{
+
+class Function;
+class Module;
+
+/** Render one function as pseudo-assembly. */
+std::string printFunction(const Function &fn);
+
+/** Render a whole module. */
+std::string printModule(const Module &m);
+
+} // namespace dsp
+
+#endif // DSP_IR_PRINTER_HH

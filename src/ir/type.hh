@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Scalar types of the MiniC / IR world.
+ *
+ * The model DSP is a 32-bit word machine: both int and float occupy one
+ * word, which keeps the memory cost model of the paper (Cost = X + Y +
+ * 2S + I, all in words) exact.
+ */
+
+#ifndef DSP_IR_TYPE_HH
+#define DSP_IR_TYPE_HH
+
+#include <string>
+
+namespace dsp
+{
+
+/** Scalar value types. */
+enum class Type : unsigned char
+{
+    Void,
+    Int,
+    Float,
+};
+
+inline const char *
+typeName(Type t)
+{
+    switch (t) {
+      case Type::Void: return "void";
+      case Type::Int: return "int";
+      case Type::Float: return "float";
+    }
+    return "?";
+}
+
+/**
+ * Register classes of the model architecture (Figure 2 of the paper):
+ * a 32-entry address file, a 32-entry integer file, and a 32-entry
+ * floating-point file. Register usage is orthogonal to the memory banks,
+ * which is what decouples register allocation from data allocation.
+ */
+enum class RegClass : unsigned char
+{
+    Int,
+    Float,
+    Addr,
+};
+
+inline const char *
+regClassPrefix(RegClass c)
+{
+    switch (c) {
+      case RegClass::Int: return "i";
+      case RegClass::Float: return "f";
+      case RegClass::Addr: return "a";
+    }
+    return "?";
+}
+
+/** A virtual register: a class plus a per-function id. */
+struct VReg
+{
+    RegClass cls = RegClass::Int;
+    int id = -1;
+
+    VReg() = default;
+    VReg(RegClass c, int i) : cls(c), id(i) {}
+
+    bool valid() const { return id >= 0; }
+
+    bool
+    operator==(const VReg &o) const
+    {
+        return cls == o.cls && id == o.id;
+    }
+    bool operator!=(const VReg &o) const { return !(*this == o); }
+
+    std::string
+    str() const
+    {
+        if (!valid())
+            return "<novreg>";
+        return std::string(regClassPrefix(cls)) + "v" + std::to_string(id);
+    }
+};
+
+/** Hash support so VRegs can key unordered containers. */
+struct VRegHash
+{
+    std::size_t
+    operator()(const VReg &r) const
+    {
+        return (static_cast<std::size_t>(r.cls) << 24) ^
+               static_cast<std::size_t>(r.id);
+    }
+};
+
+} // namespace dsp
+
+#endif // DSP_IR_TYPE_HH

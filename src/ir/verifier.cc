@@ -1,0 +1,261 @@
+#include "ir/verifier.hh"
+
+#include <set>
+#include <sstream>
+
+#include "support/diagnostics.hh"
+#include "ir/module.hh"
+
+namespace dsp
+{
+
+namespace
+{
+
+/** Expected operand register classes for an opcode. */
+struct OpSig
+{
+    bool hasDst = false;
+    RegClass dstClass = RegClass::Int;
+    std::vector<RegClass> srcClasses;
+};
+
+bool
+signatureFor(const Op &op, OpSig &sig)
+{
+    const RegClass I = RegClass::Int;
+    const RegClass F = RegClass::Float;
+    switch (op.opcode) {
+      case Opcode::MovI:
+        sig = {true, I, {}};
+        return true;
+      case Opcode::MovF:
+        sig = {true, F, {}};
+        return true;
+      case Opcode::Copy:
+        // Class checked separately: dst class must equal src class.
+        sig = {true, op.dst.cls, {op.dst.cls}};
+        return true;
+      case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+      case Opcode::Div: case Opcode::Rem: case Opcode::And:
+      case Opcode::Or: case Opcode::Xor: case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::CmpEQ: case Opcode::CmpNE: case Opcode::CmpLT:
+      case Opcode::CmpLE: case Opcode::CmpGT: case Opcode::CmpGE:
+        sig = {true, I, {I, I}};
+        return true;
+      case Opcode::AddI: case Opcode::MulI: case Opcode::AndI:
+      case Opcode::ShlI: case Opcode::ShrI:
+      case Opcode::CmpEQI: case Opcode::CmpNEI: case Opcode::CmpLTI:
+      case Opcode::CmpLEI: case Opcode::CmpGTI: case Opcode::CmpGEI:
+      case Opcode::Neg: case Opcode::Not:
+        sig = {true, I, {I}};
+        return true;
+      case Opcode::Mac:
+        sig = {true, I, {I, I}};
+        return true;
+      case Opcode::FAdd: case Opcode::FSub: case Opcode::FMul:
+      case Opcode::FDiv:
+        sig = {true, F, {F, F}};
+        return true;
+      case Opcode::FNeg:
+        sig = {true, F, {F}};
+        return true;
+      case Opcode::FMac:
+        sig = {true, F, {F, F}};
+        return true;
+      case Opcode::FCmpEQ: case Opcode::FCmpNE: case Opcode::FCmpLT:
+      case Opcode::FCmpLE: case Opcode::FCmpGT: case Opcode::FCmpGE:
+        sig = {true, I, {F, F}};
+        return true;
+      case Opcode::IToF:
+        sig = {true, F, {I}};
+        return true;
+      case Opcode::FToI:
+        sig = {true, I, {F}};
+        return true;
+      case Opcode::Ld:
+        sig = {true, I, {}};
+        return true;
+      case Opcode::LdF:
+        sig = {true, F, {}};
+        return true;
+      case Opcode::St:
+        sig = {false, I, {I}};
+        return true;
+      case Opcode::StF:
+        sig = {false, I, {F}};
+        return true;
+      case Opcode::Lea:
+        sig = {true, RegClass::Addr, {}};
+        return true;
+      case Opcode::Bt:
+        sig = {false, I, {I}};
+        return true;
+      case Opcode::Jmp:
+        sig = {false, I, {}};
+        return true;
+      case Opcode::In:
+        sig = {true, I, {}};
+        return true;
+      case Opcode::InF:
+        sig = {true, F, {}};
+        return true;
+      case Opcode::Out:
+        sig = {false, I, {I}};
+        return true;
+      case Opcode::OutF:
+        sig = {false, I, {F}};
+        return true;
+      case Opcode::Nop:
+        sig = {false, I, {}};
+        return true;
+      case Opcode::Call:
+      case Opcode::Ret:
+        return false; // checked ad hoc
+      case Opcode::LdA:
+      case Opcode::StA:
+      case Opcode::AAddI:
+      case Opcode::Halt:
+      case Opcode::Lock:
+      case Opcode::Unlock:
+        return false; // machine-stage ops; not verified as IR
+    }
+    return false;
+}
+
+} // namespace
+
+std::vector<std::string>
+verifyFunction(const Function &fn)
+{
+    std::vector<std::string> errs;
+    auto err = [&](const std::string &what, const BasicBlock *bb,
+                   const Op *op) {
+        std::ostringstream os;
+        os << fn.name;
+        if (bb)
+            os << "/" << bb->label;
+        if (op)
+            os << ": '" << op->str() << "'";
+        os << ": " << what;
+        errs.push_back(os.str());
+    };
+
+    if (fn.blocks.empty()) {
+        err("function has no blocks", nullptr, nullptr);
+        return errs;
+    }
+
+    std::set<const BasicBlock *> owned;
+    for (const auto &bb : fn.blocks)
+        owned.insert(bb.get());
+
+    for (const auto &bb : fn.blocks) {
+        if (bb->ops.empty()) {
+            err("empty basic block", bb.get(), nullptr);
+            continue;
+        }
+        if (!bb->hasTerminator())
+            err("block does not end in a terminator", bb.get(), nullptr);
+
+        for (std::size_t i = 0; i < bb->ops.size(); ++i) {
+            const Op &op = bb->ops[i];
+            bool is_last = (i + 1 == bb->ops.size());
+            bool is_second_last = (i + 2 == bb->ops.size());
+
+            if (op.isTerminator()) {
+                bool ok_position =
+                    is_last || (is_second_last && op.opcode == Opcode::Bt &&
+                                bb->ops.back().opcode == Opcode::Jmp);
+                if (!ok_position)
+                    err("terminator in the middle of a block", bb.get(),
+                        &op);
+            }
+
+            if (isBranch(op.opcode)) {
+                if (!op.target)
+                    err("branch without target", bb.get(), &op);
+                else if (!owned.count(op.target))
+                    err("branch target outside function", bb.get(), &op);
+            }
+
+            if (op.isMem() || op.opcode == Opcode::Lea) {
+                if (!op.mem.valid())
+                    err("memory op without object", bb.get(), &op);
+                else if (op.mem.index.valid() &&
+                         op.mem.index.cls != RegClass::Int)
+                    err("memory index must be an int vreg", bb.get(), &op);
+            }
+
+            if (op.opcode == Opcode::Call) {
+                if (!op.callee) {
+                    err("call without callee", bb.get(), &op);
+                } else {
+                    if (op.srcs.size() != op.callee->params.size())
+                        err("call argument count mismatch", bb.get(), &op);
+                    if (op.callee->retType == Type::Void && op.dst.valid())
+                        err("call to void function with destination",
+                            bb.get(), &op);
+                }
+                continue;
+            }
+            if (op.opcode == Opcode::Ret) {
+                if (fn.retType == Type::Void && !op.srcs.empty())
+                    err("void function returns a value", bb.get(), &op);
+                if (fn.retType != Type::Void && op.srcs.size() != 1)
+                    err("non-void function returns nothing", bb.get(), &op);
+                continue;
+            }
+
+            OpSig sig;
+            if (!signatureFor(op, sig))
+                continue;
+            if (sig.hasDst && !op.dst.valid())
+                err("missing destination", bb.get(), &op);
+            if (!sig.hasDst && op.dst.valid())
+                err("unexpected destination", bb.get(), &op);
+            if (sig.hasDst && op.dst.valid() && op.dst.cls != sig.dstClass)
+                err("destination register class mismatch", bb.get(), &op);
+            if (op.srcs.size() != sig.srcClasses.size()) {
+                err("source operand count mismatch", bb.get(), &op);
+            } else {
+                for (std::size_t s = 0; s < op.srcs.size(); ++s) {
+                    if (!op.srcs[s].valid())
+                        err("invalid source register", bb.get(), &op);
+                    else if (op.srcs[s].cls != sig.srcClasses[s])
+                        err("source register class mismatch", bb.get(),
+                            &op);
+                }
+            }
+        }
+    }
+    return errs;
+}
+
+std::vector<std::string>
+verifyModule(const Module &m)
+{
+    std::vector<std::string> errs;
+    for (const auto &f : m.functions) {
+        auto fe = verifyFunction(*f);
+        errs.insert(errs.end(), fe.begin(), fe.end());
+    }
+    std::set<std::string> names;
+    for (const auto &f : m.functions) {
+        if (!names.insert(f->name).second)
+            errs.push_back("duplicate function name: " + f->name);
+    }
+    return errs;
+}
+
+void
+verifyOrDie(const Module &m)
+{
+    auto errs = verifyModule(m);
+    if (!errs.empty())
+        panic("IR verification failed: ", errs.front(), " (",
+              errs.size(), " total)");
+}
+
+} // namespace dsp

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * IR verifier: structural and type invariants of modules.
+ */
+
+#ifndef DSP_IR_VERIFIER_HH
+#define DSP_IR_VERIFIER_HH
+
+#include <string>
+#include <vector>
+
+namespace dsp
+{
+
+class Function;
+class Module;
+
+/** Returns all invariant violations found (empty = well-formed). */
+std::vector<std::string> verifyFunction(const Function &fn);
+std::vector<std::string> verifyModule(const Module &m);
+
+/** Panics with the first violation if the module is malformed. */
+void verifyOrDie(const Module &m);
+
+} // namespace dsp
+
+#endif // DSP_IR_VERIFIER_HH

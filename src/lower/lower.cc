@@ -1,0 +1,851 @@
+#include "lower/lower.hh"
+
+#include <map>
+#include <set>
+
+#include "minic/sema.hh"
+
+namespace dsp
+{
+
+namespace
+{
+
+/** Records one "array argument bound to array parameter" fact. */
+struct Binding
+{
+    DataObject *param;
+    DataObject *arg; ///< concrete object or another param object
+};
+
+class FunctionLowerer
+{
+  public:
+    FunctionLowerer(Module &mod, Program &prog, FuncDecl &ast, Function &fn,
+                    std::vector<Binding> &bindings)
+        : mod(mod), prog(prog), ast(ast), fn(fn), bindings(bindings)
+    {}
+
+    void
+    run()
+    {
+        cur = fn.newBlock("entry");
+        cur->loopDepth = 0;
+
+        // Materialize incoming scalar parameters as fresh vregs.
+        for (std::size_t i = 0; i < ast.params.size(); ++i) {
+            ParamDecl &p = ast.params[i];
+            if (!p.isArray) {
+                p.var->reg = fn.newVRegFor(p.type);
+                fn.params[i].reg = p.var->reg;
+            }
+        }
+
+        lowerStmt(*ast.body);
+        finishBlock();
+        pruneUnreachable();
+    }
+
+  private:
+    Module &mod;
+    Program &prog;
+    FuncDecl &ast;
+    Function &fn;
+    std::vector<Binding> &bindings;
+
+    BasicBlock *cur = nullptr;
+    int loopDepth = 0;
+
+    struct LoopCtx
+    {
+        BasicBlock *breakTarget;
+        BasicBlock *continueTarget;
+    };
+    std::vector<LoopCtx> loopStack;
+
+    // -----------------------------------------------------------------
+    // Emission helpers
+    // -----------------------------------------------------------------
+
+    BasicBlock *
+    newBlock(const std::string &hint)
+    {
+        BasicBlock *bb = fn.newBlock(hint);
+        bb->loopDepth = loopDepth;
+        return bb;
+    }
+
+    Op &
+    emit(Op op)
+    {
+        cur->ops.push_back(std::move(op));
+        return cur->ops.back();
+    }
+
+    void
+    emitJmp(BasicBlock *target)
+    {
+        Op op(Opcode::Jmp);
+        op.target = target;
+        emit(std::move(op));
+    }
+
+    void
+    emitBt(VReg cond, BasicBlock *target)
+    {
+        Op op(Opcode::Bt);
+        op.srcs = {cond};
+        op.target = target;
+        emit(std::move(op));
+    }
+
+    VReg
+    emitUnary(Opcode opc, RegClass cls, VReg src)
+    {
+        Op op(opc);
+        op.dst = fn.newVReg(cls);
+        op.srcs = {src};
+        return emit(std::move(op)).dst;
+    }
+
+    VReg
+    emitBinaryOp(Opcode opc, RegClass cls, VReg a, VReg b)
+    {
+        Op op(opc);
+        op.dst = fn.newVReg(cls);
+        op.srcs = {a, b};
+        return emit(std::move(op)).dst;
+    }
+
+    VReg
+    emitImmOp(Opcode opc, VReg src, long imm)
+    {
+        Op op(opc);
+        op.dst = fn.newVReg(RegClass::Int);
+        op.srcs = {src};
+        op.imm = imm;
+        return emit(std::move(op)).dst;
+    }
+
+    VReg
+    emitMovI(long value)
+    {
+        Op op(Opcode::MovI);
+        op.dst = fn.newVReg(RegClass::Int);
+        op.imm = value;
+        return emit(std::move(op)).dst;
+    }
+
+    VReg
+    emitMovF(float value)
+    {
+        Op op(Opcode::MovF);
+        op.dst = fn.newVReg(RegClass::Float);
+        op.fimm = value;
+        return emit(std::move(op)).dst;
+    }
+
+    void
+    emitCopy(VReg dst, VReg src)
+    {
+        Op op(Opcode::Copy);
+        op.dst = dst;
+        op.srcs = {src};
+        emit(std::move(op));
+    }
+
+    /** Close the current block with a default return if it fell through. */
+    void
+    finishBlock()
+    {
+        for (auto &bb : fn.blocks) {
+            if (bb->hasTerminator())
+                continue;
+            cur = bb.get();
+            Op ret(Opcode::Ret);
+            if (fn.retType == Type::Int) {
+                ret.srcs = {emitMovI(0)};
+            } else if (fn.retType == Type::Float) {
+                ret.srcs = {emitMovF(0.0f)};
+            }
+            emit(std::move(ret));
+        }
+    }
+
+    void
+    pruneUnreachable()
+    {
+        std::set<BasicBlock *> reachable;
+        std::vector<BasicBlock *> work{fn.entry()};
+        reachable.insert(fn.entry());
+        while (!work.empty()) {
+            BasicBlock *bb = work.back();
+            work.pop_back();
+            for (BasicBlock *s : bb->successors()) {
+                if (reachable.insert(s).second)
+                    work.push_back(s);
+            }
+        }
+        std::erase_if(fn.blocks, [&](const auto &bb) {
+            return !reachable.count(bb.get());
+        });
+    }
+
+    // -----------------------------------------------------------------
+    // Memory operands
+    // -----------------------------------------------------------------
+
+    /** Build a MemRef for an array element access. */
+    MemRef
+    arrayElement(ArrayRefExpr &a)
+    {
+        VarInfo *var = a.var;
+        MemRef ref;
+        ref.object = var->object;
+        require(ref.object, "array '", var->name, "' has no object");
+
+        // Linearize row-major: index = sum_k idx_k * stride_k.
+        // Constant parts fold into the offset.
+        int offset = 0;
+        VReg index;
+        int ndims = static_cast<int>(a.indices.size());
+        for (int k = 0; k < ndims; ++k) {
+            int stride = 1;
+            for (std::size_t d = k + 1; d < var->dims.size(); ++d)
+                stride *= var->dims[d];
+            Expr &idx = *a.indices[k];
+            if (idx.kind == ExprKind::IntLit) {
+                offset += static_cast<int>(
+                    static_cast<IntLitExpr &>(idx).value) * stride;
+                continue;
+            }
+            VReg v = lowerExpr(idx);
+            if (stride != 1)
+                v = emitImmOp(Opcode::MulI, v, stride);
+            index = index.valid()
+                        ? emitBinaryOp(Opcode::Add, RegClass::Int, index, v)
+                        : v;
+        }
+        ref.index = index;
+        ref.offset = offset;
+        return ref;
+    }
+
+    /** MemRef for a global scalar. */
+    MemRef
+    globalScalar(VarInfo *var)
+    {
+        MemRef ref;
+        ref.object = var->object;
+        require(ref.object, "global '", var->name, "' has no object");
+        return ref;
+    }
+
+    VReg
+    emitLoad(const MemRef &ref, Type elem)
+    {
+        Op op(elem == Type::Float ? Opcode::LdF : Opcode::Ld);
+        op.dst = fn.newVRegFor(elem);
+        op.mem = ref;
+        return emit(std::move(op)).dst;
+    }
+
+    void
+    emitStore(const MemRef &ref, Type elem, VReg value)
+    {
+        Op op(elem == Type::Float ? Opcode::StF : Opcode::St);
+        op.srcs = {value};
+        op.mem = ref;
+        emit(std::move(op));
+    }
+
+    // -----------------------------------------------------------------
+    // L-values
+    // -----------------------------------------------------------------
+
+    VReg
+    loadLValue(Expr &e)
+    {
+        if (e.kind == ExprKind::VarRef) {
+            VarInfo *var = static_cast<VarRefExpr &>(e).var;
+            if (var->kind == VarInfo::Kind::Global)
+                return emitLoad(globalScalar(var), var->elem);
+            require(var->reg.valid(), "scalar '", var->name,
+                    "' used before definition");
+            return var->reg;
+        }
+        auto &a = static_cast<ArrayRefExpr &>(e);
+        return emitLoad(arrayElement(a), a.var->elem);
+    }
+
+    void
+    storeLValue(Expr &e, VReg value)
+    {
+        if (e.kind == ExprKind::VarRef) {
+            VarInfo *var = static_cast<VarRefExpr &>(e).var;
+            if (var->kind == VarInfo::Kind::Global) {
+                emitStore(globalScalar(var), var->elem, value);
+                return;
+            }
+            if (!var->reg.valid())
+                var->reg = fn.newVRegFor(var->elem);
+            emitCopy(var->reg, value);
+            return;
+        }
+        auto &a = static_cast<ArrayRefExpr &>(e);
+        emitStore(arrayElement(a), a.var->elem, value);
+    }
+
+    // -----------------------------------------------------------------
+    // Expressions
+    // -----------------------------------------------------------------
+
+    VReg
+    lowerExpr(Expr &e)
+    {
+        switch (e.kind) {
+          case ExprKind::IntLit:
+            return emitMovI(static_cast<IntLitExpr &>(e).value);
+          case ExprKind::FloatLit:
+            return emitMovF(static_cast<FloatLitExpr &>(e).value);
+          case ExprKind::VarRef:
+          case ExprKind::ArrayRef:
+            return loadLValue(e);
+          case ExprKind::Call:
+            return lowerCall(static_cast<CallExpr &>(e));
+          case ExprKind::Unary:
+            return lowerUnary(static_cast<UnaryExpr &>(e));
+          case ExprKind::Binary:
+            return lowerBinary(static_cast<BinaryExpr &>(e));
+          case ExprKind::Assign:
+            return lowerAssign(static_cast<AssignExpr &>(e));
+          case ExprKind::Cast: {
+            auto &c = static_cast<CastExpr &>(e);
+            VReg v = lowerExpr(*c.inner);
+            if (c.inner->type == e.type)
+                return v;
+            if (e.type == Type::Float)
+                return emitUnary(Opcode::IToF, RegClass::Float, v);
+            return emitUnary(Opcode::FToI, RegClass::Int, v);
+          }
+        }
+        panic("unhandled expression kind");
+    }
+
+    VReg
+    lowerCall(CallExpr &call)
+    {
+        switch (call.builtin) {
+          case Builtin::In: {
+            Op op(Opcode::In);
+            op.dst = fn.newVReg(RegClass::Int);
+            return emit(std::move(op)).dst;
+          }
+          case Builtin::InF: {
+            Op op(Opcode::InF);
+            op.dst = fn.newVReg(RegClass::Float);
+            return emit(std::move(op)).dst;
+          }
+          case Builtin::Out:
+          case Builtin::OutF: {
+            VReg v = lowerExpr(*call.args[0]);
+            Op op(call.builtin == Builtin::Out ? Opcode::Out
+                                               : Opcode::OutF);
+            op.srcs = {v};
+            emit(std::move(op));
+            return VReg();
+          }
+          case Builtin::None:
+            break;
+        }
+
+        Function *callee = mod.findFunction(call.callee);
+        require(callee, "callee not lowered: ", call.callee);
+
+        Op op(Opcode::Call);
+        op.callee = callee;
+        for (std::size_t i = 0; i < call.args.size(); ++i) {
+            ParamDecl &p = call.resolved->params[i];
+            if (p.isArray) {
+                auto &v = static_cast<VarRefExpr &>(*call.args[i]);
+                Op lea(Opcode::Lea);
+                lea.dst = fn.newVReg(RegClass::Addr);
+                lea.mem.object = v.var->object;
+                require(lea.mem.object, "array arg without object");
+                VReg addr = emit(std::move(lea)).dst;
+                op.srcs.push_back(addr);
+                bindings.push_back({p.var->object, v.var->object});
+            } else {
+                op.srcs.push_back(lowerExpr(*call.args[i]));
+            }
+        }
+        if (callee->retType != Type::Void)
+            op.dst = fn.newVRegFor(callee->retType);
+        return emit(std::move(op)).dst;
+    }
+
+    VReg
+    lowerUnary(UnaryExpr &u)
+    {
+        switch (u.op) {
+          case UnOp::Neg: {
+            VReg v = lowerExpr(*u.operand);
+            if (u.type == Type::Float)
+                return emitUnary(Opcode::FNeg, RegClass::Float, v);
+            return emitUnary(Opcode::Neg, RegClass::Int, v);
+          }
+          case UnOp::BitNot:
+            return emitUnary(Opcode::Not, RegClass::Int,
+                             lowerExpr(*u.operand));
+          case UnOp::LogicalNot: {
+            VReg v = lowerExpr(*u.operand);
+            if (u.operand->type == Type::Float) {
+                VReg z = emitMovF(0.0f);
+                return emitBinaryOp(Opcode::FCmpEQ, RegClass::Int, v, z);
+            }
+            return emitImmOp(Opcode::CmpEQI, v, 0);
+          }
+          case UnOp::PreInc:
+          case UnOp::PreDec:
+          case UnOp::PostInc:
+          case UnOp::PostDec: {
+            bool is_post = u.op == UnOp::PostInc || u.op == UnOp::PostDec;
+            bool is_inc = u.op == UnOp::PreInc || u.op == UnOp::PostInc;
+            VReg old = loadLValue(*u.operand);
+            VReg updated;
+            if (u.type == Type::Float) {
+                VReg one = emitMovF(1.0f);
+                updated = emitBinaryOp(is_inc ? Opcode::FAdd : Opcode::FSub,
+                                       RegClass::Float, old, one);
+            } else {
+                updated = emitImmOp(Opcode::AddI, old, is_inc ? 1 : -1);
+            }
+            // For post-forms the old value must survive the store when
+            // the operand is a register-resident scalar.
+            VReg result = old;
+            if (is_post && u.operand->kind == ExprKind::VarRef) {
+                VarInfo *var = static_cast<VarRefExpr &>(*u.operand).var;
+                if (var->kind != VarInfo::Kind::Global) {
+                    result = fn.newVRegFor(u.type);
+                    emitCopy(result, old);
+                }
+            }
+            storeLValue(*u.operand, updated);
+            return is_post ? result : updated;
+          }
+        }
+        panic("unhandled unary op");
+    }
+
+    Opcode
+    compareOpcode(BinOp op, bool flt) const
+    {
+        switch (op) {
+          case BinOp::EQ: return flt ? Opcode::FCmpEQ : Opcode::CmpEQ;
+          case BinOp::NE: return flt ? Opcode::FCmpNE : Opcode::CmpNE;
+          case BinOp::LT: return flt ? Opcode::FCmpLT : Opcode::CmpLT;
+          case BinOp::LE: return flt ? Opcode::FCmpLE : Opcode::CmpLE;
+          case BinOp::GT: return flt ? Opcode::FCmpGT : Opcode::CmpGT;
+          case BinOp::GE: return flt ? Opcode::FCmpGE : Opcode::CmpGE;
+          default: panic("not a comparison");
+        }
+    }
+
+    VReg
+    lowerBinary(BinaryExpr &b)
+    {
+        // Short-circuit forms materialize a 0/1 result through the CFG.
+        if (b.op == BinOp::LogicalAnd || b.op == BinOp::LogicalOr)
+            return materializeCondition(b);
+
+        switch (b.op) {
+          case BinOp::EQ: case BinOp::NE: case BinOp::LT: case BinOp::LE:
+          case BinOp::GT: case BinOp::GE: {
+            bool flt = b.lhs->type == Type::Float;
+            VReg l = lowerExpr(*b.lhs);
+            VReg r = lowerExpr(*b.rhs);
+            return emitBinaryOp(compareOpcode(b.op, flt), RegClass::Int, l,
+                                r);
+          }
+          default:
+            break;
+        }
+
+        VReg l = lowerExpr(*b.lhs);
+        VReg r = lowerExpr(*b.rhs);
+        bool flt = b.type == Type::Float;
+        Opcode opc;
+        switch (b.op) {
+          case BinOp::Add: opc = flt ? Opcode::FAdd : Opcode::Add; break;
+          case BinOp::Sub: opc = flt ? Opcode::FSub : Opcode::Sub; break;
+          case BinOp::Mul: opc = flt ? Opcode::FMul : Opcode::Mul; break;
+          case BinOp::Div: opc = flt ? Opcode::FDiv : Opcode::Div; break;
+          case BinOp::Rem: opc = Opcode::Rem; break;
+          case BinOp::BitAnd: opc = Opcode::And; break;
+          case BinOp::BitOr: opc = Opcode::Or; break;
+          case BinOp::BitXor: opc = Opcode::Xor; break;
+          case BinOp::Shl: opc = Opcode::Shl; break;
+          case BinOp::Shr: opc = Opcode::Shr; break;
+          default: panic("unhandled binary op");
+        }
+        return emitBinaryOp(opc, flt ? RegClass::Float : RegClass::Int, l,
+                            r);
+    }
+
+    VReg
+    lowerAssign(AssignExpr &a)
+    {
+        VReg value = lowerExpr(*a.value);
+        if (a.op != AssignOp::Plain) {
+            VReg old = loadLValue(*a.target);
+            bool flt = a.target->type == Type::Float;
+            Opcode opc;
+            switch (a.op) {
+              case AssignOp::Add:
+                opc = flt ? Opcode::FAdd : Opcode::Add;
+                break;
+              case AssignOp::Sub:
+                opc = flt ? Opcode::FSub : Opcode::Sub;
+                break;
+              case AssignOp::Mul:
+                opc = flt ? Opcode::FMul : Opcode::Mul;
+                break;
+              default:
+                panic("unhandled compound assignment");
+            }
+            value = emitBinaryOp(opc, flt ? RegClass::Float
+                                          : RegClass::Int,
+                                 old, value);
+        }
+        storeLValue(*a.target, value);
+        return value;
+    }
+
+    /** Lower a boolean expression into control flow. */
+    void
+    lowerCond(Expr &e, BasicBlock *on_true, BasicBlock *on_false)
+    {
+        if (e.kind == ExprKind::Binary) {
+            auto &b = static_cast<BinaryExpr &>(e);
+            if (b.op == BinOp::LogicalAnd) {
+                BasicBlock *mid = newBlock("and.rhs");
+                lowerCond(*b.lhs, mid, on_false);
+                cur = mid;
+                lowerCond(*b.rhs, on_true, on_false);
+                return;
+            }
+            if (b.op == BinOp::LogicalOr) {
+                BasicBlock *mid = newBlock("or.rhs");
+                lowerCond(*b.lhs, on_true, mid);
+                cur = mid;
+                lowerCond(*b.rhs, on_true, on_false);
+                return;
+            }
+        }
+        if (e.kind == ExprKind::Unary) {
+            auto &u = static_cast<UnaryExpr &>(e);
+            if (u.op == UnOp::LogicalNot) {
+                lowerCond(*u.operand, on_false, on_true);
+                return;
+            }
+        }
+        VReg cond;
+        if (e.type == Type::Float) {
+            VReg v = lowerExpr(e);
+            VReg z = emitMovF(0.0f);
+            cond = emitBinaryOp(Opcode::FCmpNE, RegClass::Int, v, z);
+        } else {
+            cond = lowerExpr(e);
+        }
+        emitBt(cond, on_true);
+        emitJmp(on_false);
+    }
+
+    /** Produce a 0/1 int value for a short-circuit expression. */
+    VReg
+    materializeCondition(Expr &e)
+    {
+        VReg result = fn.newVReg(RegClass::Int);
+        BasicBlock *bb_true = newBlock("cond.true");
+        BasicBlock *bb_false = newBlock("cond.false");
+        BasicBlock *join = newBlock("cond.join");
+        lowerCond(e, bb_true, bb_false);
+
+        cur = bb_true;
+        emitCopy(result, emitMovI(1));
+        emitJmp(join);
+        cur = bb_false;
+        emitCopy(result, emitMovI(0));
+        emitJmp(join);
+        cur = join;
+        return result;
+    }
+
+    // -----------------------------------------------------------------
+    // Statements
+    // -----------------------------------------------------------------
+
+    void
+    lowerStmt(Stmt &st)
+    {
+        switch (st.kind) {
+          case StmtKind::Block:
+            for (auto &s : static_cast<BlockStmt &>(st).stmts)
+                lowerStmt(*s);
+            return;
+          case StmtKind::VarDecl:
+            lowerVarDecl(static_cast<VarDeclStmt &>(st));
+            return;
+          case StmtKind::ExprStmt:
+            lowerExpr(*static_cast<ExprStmt &>(st).expr);
+            return;
+          case StmtKind::If:
+            lowerIf(static_cast<IfStmt &>(st));
+            return;
+          case StmtKind::While:
+            lowerWhile(static_cast<WhileStmt &>(st));
+            return;
+          case StmtKind::DoWhile:
+            lowerDoWhile(static_cast<DoWhileStmt &>(st));
+            return;
+          case StmtKind::For:
+            lowerFor(static_cast<ForStmt &>(st));
+            return;
+          case StmtKind::Return: {
+            auto &r = static_cast<ReturnStmt &>(st);
+            Op op(Opcode::Ret);
+            if (r.value)
+                op.srcs = {lowerExpr(*r.value)};
+            emit(std::move(op));
+            cur = newBlock("postret"); // unreachable; pruned later
+            return;
+          }
+          case StmtKind::Break:
+            require(!loopStack.empty(), "break outside loop");
+            emitJmp(loopStack.back().breakTarget);
+            cur = newBlock("postbreak");
+            return;
+          case StmtKind::Continue:
+            require(!loopStack.empty(), "continue outside loop");
+            emitJmp(loopStack.back().continueTarget);
+            cur = newBlock("postcont");
+            return;
+        }
+    }
+
+    void
+    lowerVarDecl(VarDeclStmt &d)
+    {
+        VarInfo *var = d.var;
+        if (!var->isArray()) {
+            var->reg = fn.newVRegFor(var->elem);
+            if (d.init) {
+                emitCopy(var->reg, lowerExpr(*d.init));
+            } else {
+                // Deterministic zero-init keeps all backends bit-equal.
+                emitCopy(var->reg, var->elem == Type::Float
+                                       ? emitMovF(0.0f)
+                                       : emitMovI(0));
+            }
+            return;
+        }
+
+        var->object = fn.newLocalObject(var->name, var->elem,
+                                        var->totalWords(), Storage::Local);
+        mod.assignObjectId(var->object);
+
+        for (std::size_t i = 0; i < d.arrayInit.size(); ++i) {
+            VReg v = lowerExpr(*d.arrayInit[i]);
+            MemRef ref;
+            ref.object = var->object;
+            ref.offset = static_cast<int>(i);
+            emitStore(ref, var->elem, v);
+        }
+    }
+
+    void
+    lowerIf(IfStmt &s)
+    {
+        BasicBlock *bb_then = newBlock("if.then");
+        BasicBlock *bb_end = newBlock("if.end");
+        BasicBlock *bb_else = s.elseStmt ? newBlock("if.else") : bb_end;
+
+        lowerCond(*s.cond, bb_then, bb_else);
+
+        cur = bb_then;
+        lowerStmt(*s.thenStmt);
+        emitJmp(bb_end);
+
+        if (s.elseStmt) {
+            cur = bb_else;
+            lowerStmt(*s.elseStmt);
+            emitJmp(bb_end);
+        }
+        cur = bb_end;
+    }
+
+    void
+    lowerWhile(WhileStmt &s)
+    {
+        ++loopDepth;
+        BasicBlock *header = newBlock("while.cond");
+        BasicBlock *body = newBlock("while.body");
+        --loopDepth;
+        BasicBlock *exit = newBlock("while.end");
+
+        emitJmp(header);
+        cur = header;
+        ++loopDepth;
+        lowerCond(*s.cond, body, exit);
+
+        cur = body;
+        loopStack.push_back({exit, header});
+        lowerStmt(*s.body);
+        loopStack.pop_back();
+        emitJmp(header);
+        --loopDepth;
+
+        cur = exit;
+    }
+
+    void
+    lowerDoWhile(DoWhileStmt &s)
+    {
+        ++loopDepth;
+        BasicBlock *body = newBlock("do.body");
+        BasicBlock *cond = newBlock("do.cond");
+        --loopDepth;
+        BasicBlock *exit = newBlock("do.end");
+
+        emitJmp(body);
+        cur = body;
+        ++loopDepth;
+        loopStack.push_back({exit, cond});
+        lowerStmt(*s.body);
+        loopStack.pop_back();
+        emitJmp(cond);
+
+        cur = cond;
+        lowerCond(*s.cond, body, exit);
+        --loopDepth;
+
+        cur = exit;
+    }
+
+    void
+    lowerFor(ForStmt &s)
+    {
+        if (s.init)
+            lowerStmt(*s.init);
+
+        ++loopDepth;
+        BasicBlock *header = newBlock("for.cond");
+        BasicBlock *body = newBlock("for.body");
+        BasicBlock *step = newBlock("for.step");
+        --loopDepth;
+        BasicBlock *exit = newBlock("for.end");
+
+        emitJmp(header);
+        cur = header;
+        ++loopDepth;
+        if (s.cond) {
+            lowerCond(*s.cond, body, exit);
+        } else {
+            emitJmp(body);
+        }
+
+        cur = body;
+        loopStack.push_back({exit, step});
+        lowerStmt(*s.body);
+        loopStack.pop_back();
+        emitJmp(step);
+
+        cur = step;
+        if (s.step)
+            lowerExpr(*s.step);
+        emitJmp(header);
+        --loopDepth;
+
+        cur = exit;
+    }
+};
+
+/** Resolve array-parameter bindings to sets of concrete objects. */
+void
+resolveAliases(const std::vector<Binding> &bindings)
+{
+    // direct[param] = set of objects (concrete or param) bound to it.
+    std::map<DataObject *, std::set<DataObject *>> direct;
+    for (const Binding &b : bindings)
+        direct[b.param].insert(b.arg);
+
+    // Fixpoint: expand param-to-param bindings into concrete sets.
+    std::map<DataObject *, std::set<DataObject *>> concrete;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (auto &[param, args] : direct) {
+            auto &out = concrete[param];
+            for (DataObject *arg : args) {
+                if (arg->storage == Storage::Param) {
+                    for (DataObject *c : concrete[arg])
+                        changed |= out.insert(c).second;
+                } else {
+                    changed |= out.insert(arg).second;
+                }
+            }
+        }
+    }
+
+    for (auto &[param, objs] : concrete) {
+        param->mayBind.assign(objs.begin(), objs.end());
+    }
+}
+
+} // namespace
+
+std::unique_ptr<Module>
+lowerProgram(Program &prog)
+{
+    auto mod = std::make_unique<Module>();
+
+    // Globals first (functions may reference them).
+    for (auto &g : prog.globals) {
+        DataObject *obj = mod->newGlobal(g->name, g->elem,
+                                         g->var->totalWords());
+        g->var->object = obj;
+        for (const auto &e : g->initExprs)
+            obj->init.push_back(foldConstantWord(*e, g->elem));
+        // Zero-fill the tail.
+        obj->init.resize(obj->size, 0);
+    }
+
+    // Create all function shells so calls can resolve in any order.
+    for (auto &fd : prog.functions) {
+        Function *fn = mod->newFunction(fd->name, fd->retType);
+        for (auto &p : fd->params) {
+            Param irp;
+            irp.name = p.name;
+            irp.type = p.type;
+            irp.isArray = p.isArray;
+            if (p.isArray) {
+                irp.object = fn->newLocalObject(p.name, p.type, 0,
+                                                Storage::Param);
+                mod->assignObjectId(irp.object);
+                p.var->object = irp.object;
+            }
+            fn->params.push_back(irp);
+        }
+    }
+
+    std::vector<Binding> bindings;
+    for (auto &fd : prog.functions) {
+        Function *fn = mod->findFunction(fd->name);
+        FunctionLowerer(*mod, prog, *fd, *fn, bindings).run();
+    }
+
+    resolveAliases(bindings);
+    return mod;
+}
+
+} // namespace dsp

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * AST-to-IR lowering: turns a checked MiniC program into a Module of
+ * unpacked machine operations, and runs the array-parameter alias
+ * analysis the data-allocation pass depends on.
+ */
+
+#ifndef DSP_LOWER_LOWER_HH
+#define DSP_LOWER_LOWER_HH
+
+#include <memory>
+
+#include "ir/module.hh"
+#include "minic/ast.hh"
+
+namespace dsp
+{
+
+/**
+ * Lower @p prog (which must have passed analyzeProgram) into IR.
+ *
+ * Also computes, for every array parameter, the set of concrete
+ * DataObjects it may bind to across all call sites (a simple transitive
+ * closure over the call graph). The data-allocation pass later forces
+ * every object of one binding set into the same bank so that accesses
+ * through the parameter have a compile-time-known bank — the paper's
+ * "conservative data allocation" in the presence of pointer parameters.
+ */
+std::unique_ptr<Module> lowerProgram(Program &prog);
+
+} // namespace dsp
+
+#endif // DSP_LOWER_LOWER_HH

@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Abstract syntax tree for MiniC.
+ *
+ * MiniC is the C subset the paper's benchmarks need: int/float scalars
+ * and arrays (1-D and 2-D), functions with scalar and array parameters,
+ * full expression/control-flow syntax, and the four I/O intrinsics
+ * in()/inf()/out()/outf() that stand in for the embedded system's data
+ * channels. No pointers, no pragmas — the entire point of the paper is
+ * that bank exploitation needs neither.
+ */
+
+#ifndef DSP_MINIC_AST_HH
+#define DSP_MINIC_AST_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.hh"
+#include "ir/data_object.hh"
+#include "ir/type.hh"
+
+namespace dsp
+{
+
+class FuncDecl;
+
+/** Semantic information for one named variable. */
+struct VarInfo
+{
+    enum class Kind : unsigned char { Global, Local, Param };
+
+    std::string name;
+    Type elem = Type::Int;
+    /** Array dimensions; empty = scalar. */
+    std::vector<int> dims;
+    Kind kind = Kind::Local;
+
+    bool isArray() const { return !dims.empty(); }
+
+    int
+    totalWords() const
+    {
+        int n = 1;
+        for (int d : dims)
+            n *= d;
+        return n;
+    }
+
+    /// @name Filled in by IR lowering.
+    /// @{
+    DataObject *object = nullptr; ///< arrays (and array params)
+    VReg reg;                     ///< scalar locals/params
+    /// @}
+};
+
+// ---------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------
+
+enum class ExprKind : unsigned char
+{
+    IntLit, FloatLit, VarRef, ArrayRef, Call, Unary, Binary, Assign, Cast,
+};
+
+enum class UnOp : unsigned char
+{
+    Neg, LogicalNot, BitNot, PreInc, PreDec, PostInc, PostDec,
+};
+
+enum class BinOp : unsigned char
+{
+    Add, Sub, Mul, Div, Rem,
+    BitAnd, BitOr, BitXor, Shl, Shr,
+    LogicalAnd, LogicalOr,
+    EQ, NE, LT, LE, GT, GE,
+};
+
+enum class AssignOp : unsigned char { Plain, Add, Sub, Mul };
+
+/** I/O intrinsics recognized by name. */
+enum class Builtin : unsigned char { None, In, InF, Out, OutF };
+
+struct Expr
+{
+    explicit Expr(ExprKind k) : kind(k) {}
+    virtual ~Expr() = default;
+
+    ExprKind kind;
+    SourceLoc loc;
+    /** Result type, filled in by sema. */
+    Type type = Type::Void;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct IntLitExpr : Expr
+{
+    explicit IntLitExpr(long v) : Expr(ExprKind::IntLit), value(v) {}
+    long value;
+};
+
+struct FloatLitExpr : Expr
+{
+    explicit FloatLitExpr(float v) : Expr(ExprKind::FloatLit), value(v) {}
+    float value;
+};
+
+struct VarRefExpr : Expr
+{
+    explicit VarRefExpr(std::string n)
+        : Expr(ExprKind::VarRef), name(std::move(n))
+    {}
+    std::string name;
+    VarInfo *var = nullptr; ///< resolved by sema
+};
+
+struct ArrayRefExpr : Expr
+{
+    ArrayRefExpr(std::string n, std::vector<ExprPtr> idx)
+        : Expr(ExprKind::ArrayRef), name(std::move(n)),
+          indices(std::move(idx))
+    {}
+    std::string name;
+    std::vector<ExprPtr> indices;
+    VarInfo *var = nullptr; ///< resolved by sema
+};
+
+struct CallExpr : Expr
+{
+    CallExpr(std::string n, std::vector<ExprPtr> a)
+        : Expr(ExprKind::Call), callee(std::move(n)), args(std::move(a))
+    {}
+    std::string callee;
+    std::vector<ExprPtr> args;
+    FuncDecl *resolved = nullptr; ///< null for builtins
+    Builtin builtin = Builtin::None;
+};
+
+struct UnaryExpr : Expr
+{
+    UnaryExpr(UnOp o, ExprPtr e)
+        : Expr(ExprKind::Unary), op(o), operand(std::move(e))
+    {}
+    UnOp op;
+    ExprPtr operand;
+};
+
+struct BinaryExpr : Expr
+{
+    BinaryExpr(BinOp o, ExprPtr l, ExprPtr r)
+        : Expr(ExprKind::Binary), op(o), lhs(std::move(l)),
+          rhs(std::move(r))
+    {}
+    BinOp op;
+    ExprPtr lhs;
+    ExprPtr rhs;
+};
+
+struct AssignExpr : Expr
+{
+    AssignExpr(AssignOp o, ExprPtr t, ExprPtr v)
+        : Expr(ExprKind::Assign), op(o), target(std::move(t)),
+          value(std::move(v))
+    {}
+    AssignOp op;
+    ExprPtr target; ///< VarRef or ArrayRef
+    ExprPtr value;
+};
+
+/** Implicit numeric conversion inserted by sema; `type` is the target. */
+struct CastExpr : Expr
+{
+    explicit CastExpr(ExprPtr e) : Expr(ExprKind::Cast), inner(std::move(e))
+    {}
+    ExprPtr inner;
+};
+
+// ---------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------
+
+enum class StmtKind : unsigned char
+{
+    Block, VarDecl, ExprStmt, If, While, DoWhile, For, Return, Break,
+    Continue,
+};
+
+struct Stmt
+{
+    explicit Stmt(StmtKind k) : kind(k) {}
+    virtual ~Stmt() = default;
+    StmtKind kind;
+    SourceLoc loc;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct BlockStmt : Stmt
+{
+    BlockStmt() : Stmt(StmtKind::Block) {}
+    std::vector<StmtPtr> stmts;
+};
+
+/** A local variable declaration (scalar or array) with optional init. */
+struct VarDeclStmt : Stmt
+{
+    VarDeclStmt() : Stmt(StmtKind::VarDecl) {}
+    std::string name;
+    Type elem = Type::Int;
+    std::vector<int> dims;
+    /** Scalar initializer (null if absent). Arrays initialize via code. */
+    ExprPtr init;
+    /** Array brace-initializer elements (constant-folded by sema). */
+    std::vector<ExprPtr> arrayInit;
+    VarInfo *var = nullptr; ///< created by sema
+};
+
+struct ExprStmt : Stmt
+{
+    explicit ExprStmt(ExprPtr e) : Stmt(StmtKind::ExprStmt),
+        expr(std::move(e))
+    {}
+    ExprPtr expr;
+};
+
+struct IfStmt : Stmt
+{
+    IfStmt() : Stmt(StmtKind::If) {}
+    ExprPtr cond;
+    StmtPtr thenStmt;
+    StmtPtr elseStmt; ///< may be null
+};
+
+struct WhileStmt : Stmt
+{
+    WhileStmt() : Stmt(StmtKind::While) {}
+    ExprPtr cond;
+    StmtPtr body;
+};
+
+struct DoWhileStmt : Stmt
+{
+    DoWhileStmt() : Stmt(StmtKind::DoWhile) {}
+    StmtPtr body;
+    ExprPtr cond;
+};
+
+struct ForStmt : Stmt
+{
+    ForStmt() : Stmt(StmtKind::For) {}
+    StmtPtr init;  ///< VarDecl or ExprStmt; may be null
+    ExprPtr cond;  ///< may be null (infinite)
+    ExprPtr step;  ///< may be null
+    StmtPtr body;
+};
+
+struct ReturnStmt : Stmt
+{
+    ReturnStmt() : Stmt(StmtKind::Return) {}
+    ExprPtr value; ///< null for void return
+};
+
+struct BreakStmt : Stmt
+{
+    BreakStmt() : Stmt(StmtKind::Break) {}
+};
+
+struct ContinueStmt : Stmt
+{
+    ContinueStmt() : Stmt(StmtKind::Continue) {}
+};
+
+// ---------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------
+
+struct ParamDecl
+{
+    std::string name;
+    Type type = Type::Int;
+    bool isArray = false;
+    SourceLoc loc;
+    VarInfo *var = nullptr; ///< created by sema
+};
+
+struct FuncDecl
+{
+    std::string name;
+    Type retType = Type::Void;
+    std::vector<ParamDecl> params;
+    std::unique_ptr<BlockStmt> body;
+    SourceLoc loc;
+};
+
+struct GlobalDecl
+{
+    std::string name;
+    Type elem = Type::Int;
+    std::vector<int> dims;
+    /** Constant initializer words (resolved by sema); empty = zeros. */
+    std::vector<ExprPtr> initExprs;
+    SourceLoc loc;
+    VarInfo *var = nullptr; ///< created by sema
+};
+
+/** A whole parsed translation unit. */
+struct Program
+{
+    std::vector<std::unique_ptr<GlobalDecl>> globals;
+    std::vector<std::unique_ptr<FuncDecl>> functions;
+    /** Variable symbols owned by sema. */
+    std::vector<std::unique_ptr<VarInfo>> varInfos;
+
+    FuncDecl *
+    findFunction(const std::string &name) const
+    {
+        for (const auto &f : functions)
+            if (f->name == name)
+                return f.get();
+        return nullptr;
+    }
+};
+
+} // namespace dsp
+
+#endif // DSP_MINIC_AST_HH

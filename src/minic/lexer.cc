@@ -1,0 +1,298 @@
+#include "minic/lexer.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+namespace dsp
+{
+
+const char *
+tokName(Tok t)
+{
+    switch (t) {
+      case Tok::End: return "<eof>";
+      case Tok::Ident: return "identifier";
+      case Tok::IntLit: return "integer literal";
+      case Tok::FloatLit: return "float literal";
+      case Tok::KwInt: return "'int'";
+      case Tok::KwFloat: return "'float'";
+      case Tok::KwVoid: return "'void'";
+      case Tok::KwIf: return "'if'";
+      case Tok::KwElse: return "'else'";
+      case Tok::KwWhile: return "'while'";
+      case Tok::KwFor: return "'for'";
+      case Tok::KwDo: return "'do'";
+      case Tok::KwReturn: return "'return'";
+      case Tok::KwBreak: return "'break'";
+      case Tok::KwContinue: return "'continue'";
+      case Tok::LParen: return "'('";
+      case Tok::RParen: return "')'";
+      case Tok::LBrace: return "'{'";
+      case Tok::RBrace: return "'}'";
+      case Tok::LBracket: return "'['";
+      case Tok::RBracket: return "']'";
+      case Tok::Comma: return "','";
+      case Tok::Semi: return "';'";
+      case Tok::Assign: return "'='";
+      case Tok::PlusAssign: return "'+='";
+      case Tok::MinusAssign: return "'-='";
+      case Tok::StarAssign: return "'*='";
+      case Tok::Plus: return "'+'";
+      case Tok::Minus: return "'-'";
+      case Tok::Star: return "'*'";
+      case Tok::Slash: return "'/'";
+      case Tok::Percent: return "'%'";
+      case Tok::PlusPlus: return "'++'";
+      case Tok::MinusMinus: return "'--'";
+      case Tok::Amp: return "'&'";
+      case Tok::Pipe: return "'|'";
+      case Tok::Caret: return "'^'";
+      case Tok::Tilde: return "'~'";
+      case Tok::Shl: return "'<<'";
+      case Tok::Shr: return "'>>'";
+      case Tok::AmpAmp: return "'&&'";
+      case Tok::PipePipe: return "'||'";
+      case Tok::Bang: return "'!'";
+      case Tok::EQ: return "'=='";
+      case Tok::NE: return "'!='";
+      case Tok::LT: return "'<'";
+      case Tok::LE: return "'<='";
+      case Tok::GT: return "'>'";
+      case Tok::GE: return "'>='";
+    }
+    return "?";
+}
+
+namespace
+{
+
+const std::map<std::string, Tok> keywords = {
+    {"int", Tok::KwInt},         {"float", Tok::KwFloat},
+    {"void", Tok::KwVoid},       {"if", Tok::KwIf},
+    {"else", Tok::KwElse},       {"while", Tok::KwWhile},
+    {"for", Tok::KwFor},         {"do", Tok::KwDo},
+    {"return", Tok::KwReturn},   {"break", Tok::KwBreak},
+    {"continue", Tok::KwContinue},
+};
+
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string &src) : src(src) {}
+
+    std::vector<Token>
+    run()
+    {
+        std::vector<Token> out;
+        while (true) {
+            skipWhitespaceAndComments();
+            Token tok = next();
+            out.push_back(tok);
+            if (tok.kind == Tok::End)
+                break;
+        }
+        return out;
+    }
+
+  private:
+    const std::string &src;
+    std::size_t pos = 0;
+    int line = 1;
+    int col = 1;
+
+    bool eof() const { return pos >= src.size(); }
+    char peek() const { return eof() ? '\0' : src[pos]; }
+    char
+    peek2() const
+    {
+        return pos + 1 < src.size() ? src[pos + 1] : '\0';
+    }
+
+    char
+    advance()
+    {
+        char c = src[pos++];
+        if (c == '\n') {
+            ++line;
+            col = 1;
+        } else {
+            ++col;
+        }
+        return c;
+    }
+
+    SourceLoc here() const { return SourceLoc{line, col}; }
+
+    void
+    skipWhitespaceAndComments()
+    {
+        while (!eof()) {
+            char c = peek();
+            if (std::isspace(static_cast<unsigned char>(c))) {
+                advance();
+            } else if (c == '/' && peek2() == '/') {
+                while (!eof() && peek() != '\n')
+                    advance();
+            } else if (c == '/' && peek2() == '*') {
+                SourceLoc start = here();
+                advance();
+                advance();
+                while (!eof() && !(peek() == '*' && peek2() == '/'))
+                    advance();
+                if (eof())
+                    fatal("unterminated comment at ", start.str());
+                advance();
+                advance();
+            } else {
+                break;
+            }
+        }
+    }
+
+    Token
+    make(Tok kind, SourceLoc loc, const std::string &text = "")
+    {
+        Token t;
+        t.kind = kind;
+        t.text = text;
+        t.loc = loc;
+        return t;
+    }
+
+    Token
+    next()
+    {
+        SourceLoc loc = here();
+        if (eof())
+            return make(Tok::End, loc);
+
+        char c = peek();
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_')
+            return identifier(loc);
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && std::isdigit(static_cast<unsigned char>(peek2()))))
+            return number(loc);
+        return symbol(loc);
+    }
+
+    Token
+    identifier(SourceLoc loc)
+    {
+        std::string text;
+        while (!eof() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                          peek() == '_'))
+            text.push_back(advance());
+        auto kw = keywords.find(text);
+        if (kw != keywords.end())
+            return make(kw->second, loc, text);
+        return make(Tok::Ident, loc, text);
+    }
+
+    Token
+    number(SourceLoc loc)
+    {
+        std::string text;
+        bool is_float = false;
+        while (!eof() && std::isdigit(static_cast<unsigned char>(peek())))
+            text.push_back(advance());
+        if (!eof() && peek() == '.') {
+            is_float = true;
+            text.push_back(advance());
+            while (!eof() &&
+                   std::isdigit(static_cast<unsigned char>(peek())))
+                text.push_back(advance());
+        }
+        if (!eof() && (peek() == 'e' || peek() == 'E')) {
+            is_float = true;
+            text.push_back(advance());
+            if (!eof() && (peek() == '+' || peek() == '-'))
+                text.push_back(advance());
+            if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+                fatal("malformed float exponent at ", loc.str());
+            while (!eof() &&
+                   std::isdigit(static_cast<unsigned char>(peek())))
+                text.push_back(advance());
+        }
+        if (!eof() && peek() == 'f') {
+            is_float = true;
+            advance();
+        }
+
+        Token t = make(is_float ? Tok::FloatLit : Tok::IntLit, loc, text);
+        if (is_float)
+            t.floatValue = std::strtof(text.c_str(), nullptr);
+        else
+            t.intValue = std::strtol(text.c_str(), nullptr, 10);
+        return t;
+    }
+
+    Token
+    symbol(SourceLoc loc)
+    {
+        char c = advance();
+        char n = peek();
+        auto two = [&](Tok t) {
+            advance();
+            return make(t, loc);
+        };
+        switch (c) {
+          case '(': return make(Tok::LParen, loc);
+          case ')': return make(Tok::RParen, loc);
+          case '{': return make(Tok::LBrace, loc);
+          case '}': return make(Tok::RBrace, loc);
+          case '[': return make(Tok::LBracket, loc);
+          case ']': return make(Tok::RBracket, loc);
+          case ',': return make(Tok::Comma, loc);
+          case ';': return make(Tok::Semi, loc);
+          case '+':
+            if (n == '+') return two(Tok::PlusPlus);
+            if (n == '=') return two(Tok::PlusAssign);
+            return make(Tok::Plus, loc);
+          case '-':
+            if (n == '-') return two(Tok::MinusMinus);
+            if (n == '=') return two(Tok::MinusAssign);
+            return make(Tok::Minus, loc);
+          case '*':
+            if (n == '=') return two(Tok::StarAssign);
+            return make(Tok::Star, loc);
+          case '/': return make(Tok::Slash, loc);
+          case '%': return make(Tok::Percent, loc);
+          case '&':
+            if (n == '&') return two(Tok::AmpAmp);
+            return make(Tok::Amp, loc);
+          case '|':
+            if (n == '|') return two(Tok::PipePipe);
+            return make(Tok::Pipe, loc);
+          case '^': return make(Tok::Caret, loc);
+          case '~': return make(Tok::Tilde, loc);
+          case '!':
+            if (n == '=') return two(Tok::NE);
+            return make(Tok::Bang, loc);
+          case '=':
+            if (n == '=') return two(Tok::EQ);
+            return make(Tok::Assign, loc);
+          case '<':
+            if (n == '<') return two(Tok::Shl);
+            if (n == '=') return two(Tok::LE);
+            return make(Tok::LT, loc);
+          case '>':
+            if (n == '>') return two(Tok::Shr);
+            if (n == '=') return two(Tok::GE);
+            return make(Tok::GT, loc);
+          default:
+            fatal("unexpected character '", std::string(1, c), "' at ",
+                  loc.str());
+        }
+    }
+};
+
+} // namespace
+
+std::vector<Token>
+lexSource(const std::string &source)
+{
+    return Lexer(source).run();
+}
+
+} // namespace dsp

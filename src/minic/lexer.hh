@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Hand-written lexer for MiniC.
+ */
+
+#ifndef DSP_MINIC_LEXER_HH
+#define DSP_MINIC_LEXER_HH
+
+#include <string>
+#include <vector>
+
+#include "minic/token.hh"
+
+namespace dsp
+{
+
+/** Tokenize @p source; throws UserError on malformed input. */
+std::vector<Token> lexSource(const std::string &source);
+
+} // namespace dsp
+
+#endif // DSP_MINIC_LEXER_HH

@@ -1,0 +1,635 @@
+#include "minic/parser.hh"
+
+#include "minic/lexer.hh"
+
+namespace dsp
+{
+
+namespace
+{
+
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> toks) : tokens(std::move(toks)) {}
+
+    std::unique_ptr<Program>
+    run()
+    {
+        auto prog = std::make_unique<Program>();
+        while (!at(Tok::End))
+            parseTopLevel(*prog);
+        return prog;
+    }
+
+  private:
+    std::vector<Token> tokens;
+    std::size_t pos = 0;
+
+    const Token &cur() const { return tokens[pos]; }
+    const Token &
+    ahead(std::size_t n) const
+    {
+        std::size_t i = pos + n;
+        return i < tokens.size() ? tokens[i] : tokens.back();
+    }
+
+    bool at(Tok k) const { return cur().kind == k; }
+
+    Token
+    advance()
+    {
+        Token t = cur();
+        if (t.kind != Tok::End)
+            ++pos;
+        return t;
+    }
+
+    bool
+    accept(Tok k)
+    {
+        if (!at(k))
+            return false;
+        advance();
+        return true;
+    }
+
+    Token
+    expect(Tok k, const char *context)
+    {
+        if (!at(k))
+            fatal("expected ", tokName(k), " but found ",
+                  tokName(cur().kind), " at ", cur().loc.str(), " (",
+                  context, ")");
+        return advance();
+    }
+
+    bool
+    atType() const
+    {
+        return at(Tok::KwInt) || at(Tok::KwFloat) || at(Tok::KwVoid);
+    }
+
+    Type
+    parseType()
+    {
+        if (accept(Tok::KwInt))
+            return Type::Int;
+        if (accept(Tok::KwFloat))
+            return Type::Float;
+        if (accept(Tok::KwVoid))
+            return Type::Void;
+        fatal("expected a type at ", cur().loc.str());
+    }
+
+    // -----------------------------------------------------------------
+    // Declarations
+    // -----------------------------------------------------------------
+
+    void
+    parseTopLevel(Program &prog)
+    {
+        SourceLoc loc = cur().loc;
+        Type type = parseType();
+        Token name = expect(Tok::Ident, "declaration name");
+
+        if (at(Tok::LParen)) {
+            prog.functions.push_back(parseFunction(type, name.text, loc));
+        } else {
+            prog.globals.push_back(parseGlobal(type, name.text, loc));
+        }
+    }
+
+    std::unique_ptr<FuncDecl>
+    parseFunction(Type ret, const std::string &name, SourceLoc loc)
+    {
+        auto fn = std::make_unique<FuncDecl>();
+        fn->name = name;
+        fn->retType = ret;
+        fn->loc = loc;
+
+        expect(Tok::LParen, "parameter list");
+        if (!at(Tok::RParen)) {
+            do {
+                if (accept(Tok::KwVoid)) // f(void)
+                    break;
+                ParamDecl p;
+                p.loc = cur().loc;
+                p.type = parseType();
+                if (p.type == Type::Void)
+                    fatal("void parameter at ", p.loc.str());
+                p.name = expect(Tok::Ident, "parameter name").text;
+                if (accept(Tok::LBracket)) {
+                    expect(Tok::RBracket, "array parameter");
+                    p.isArray = true;
+                }
+                fn->params.push_back(std::move(p));
+            } while (accept(Tok::Comma));
+        }
+        expect(Tok::RParen, "parameter list");
+
+        fn->body = parseBlock();
+        return fn;
+    }
+
+    std::unique_ptr<GlobalDecl>
+    parseGlobal(Type type, const std::string &name, SourceLoc loc)
+    {
+        if (type == Type::Void)
+            fatal("void variable '", name, "' at ", loc.str());
+        auto g = std::make_unique<GlobalDecl>();
+        g->name = name;
+        g->elem = type;
+        g->loc = loc;
+
+        while (accept(Tok::LBracket)) {
+            Token dim = expect(Tok::IntLit, "array dimension");
+            if (dim.intValue <= 0)
+                fatal("array dimension must be positive at ",
+                      dim.loc.str());
+            g->dims.push_back(static_cast<int>(dim.intValue));
+            expect(Tok::RBracket, "array dimension");
+        }
+
+        if (accept(Tok::Assign)) {
+            if (g->dims.empty()) {
+                g->initExprs.push_back(parseExpr());
+            } else {
+                expect(Tok::LBrace, "array initializer");
+                if (!at(Tok::RBrace)) {
+                    do {
+                        g->initExprs.push_back(parseExpr());
+                    } while (accept(Tok::Comma));
+                }
+                expect(Tok::RBrace, "array initializer");
+            }
+        }
+        expect(Tok::Semi, "global declaration");
+        return g;
+    }
+
+    // -----------------------------------------------------------------
+    // Statements
+    // -----------------------------------------------------------------
+
+    std::unique_ptr<BlockStmt>
+    parseBlock()
+    {
+        SourceLoc loc = cur().loc;
+        expect(Tok::LBrace, "block");
+        auto block = std::make_unique<BlockStmt>();
+        block->loc = loc;
+        while (!at(Tok::RBrace) && !at(Tok::End))
+            block->stmts.push_back(parseStmt());
+        expect(Tok::RBrace, "block");
+        return block;
+    }
+
+    StmtPtr
+    parseStmt()
+    {
+        SourceLoc loc = cur().loc;
+        if (at(Tok::LBrace))
+            return parseBlock();
+        if (atType())
+            return parseLocalDecl();
+        if (accept(Tok::KwIf))
+            return parseIf(loc);
+        if (accept(Tok::KwWhile))
+            return parseWhile(loc);
+        if (accept(Tok::KwDo))
+            return parseDoWhile(loc);
+        if (accept(Tok::KwFor))
+            return parseFor(loc);
+        if (accept(Tok::KwReturn)) {
+            auto st = std::make_unique<ReturnStmt>();
+            st->loc = loc;
+            if (!at(Tok::Semi))
+                st->value = parseExpr();
+            expect(Tok::Semi, "return statement");
+            return st;
+        }
+        if (accept(Tok::KwBreak)) {
+            expect(Tok::Semi, "break statement");
+            auto st = std::make_unique<BreakStmt>();
+            st->loc = loc;
+            return st;
+        }
+        if (accept(Tok::KwContinue)) {
+            expect(Tok::Semi, "continue statement");
+            auto st = std::make_unique<ContinueStmt>();
+            st->loc = loc;
+            return st;
+        }
+        // expression statement
+        auto expr = parseExpr();
+        expect(Tok::Semi, "expression statement");
+        auto st = std::make_unique<ExprStmt>(std::move(expr));
+        st->loc = loc;
+        return st;
+    }
+
+    StmtPtr
+    parseLocalDecl()
+    {
+        SourceLoc loc = cur().loc;
+        Type type = parseType();
+        if (type == Type::Void)
+            fatal("void local variable at ", loc.str());
+
+        auto decl = std::make_unique<VarDeclStmt>();
+        decl->loc = loc;
+        decl->elem = type;
+        decl->name = expect(Tok::Ident, "local variable name").text;
+
+        while (accept(Tok::LBracket)) {
+            Token dim = expect(Tok::IntLit, "array dimension");
+            if (dim.intValue <= 0)
+                fatal("array dimension must be positive at ",
+                      dim.loc.str());
+            decl->dims.push_back(static_cast<int>(dim.intValue));
+            expect(Tok::RBracket, "array dimension");
+        }
+
+        if (accept(Tok::Assign)) {
+            if (decl->dims.empty()) {
+                decl->init = parseExpr();
+            } else {
+                expect(Tok::LBrace, "array initializer");
+                if (!at(Tok::RBrace)) {
+                    do {
+                        decl->arrayInit.push_back(parseExpr());
+                    } while (accept(Tok::Comma));
+                }
+                expect(Tok::RBrace, "array initializer");
+            }
+        }
+        expect(Tok::Semi, "local declaration");
+        return decl;
+    }
+
+    StmtPtr
+    parseIf(SourceLoc loc)
+    {
+        auto st = std::make_unique<IfStmt>();
+        st->loc = loc;
+        expect(Tok::LParen, "if condition");
+        st->cond = parseExpr();
+        expect(Tok::RParen, "if condition");
+        st->thenStmt = parseStmt();
+        if (accept(Tok::KwElse))
+            st->elseStmt = parseStmt();
+        return st;
+    }
+
+    StmtPtr
+    parseWhile(SourceLoc loc)
+    {
+        auto st = std::make_unique<WhileStmt>();
+        st->loc = loc;
+        expect(Tok::LParen, "while condition");
+        st->cond = parseExpr();
+        expect(Tok::RParen, "while condition");
+        st->body = parseStmt();
+        return st;
+    }
+
+    StmtPtr
+    parseDoWhile(SourceLoc loc)
+    {
+        auto st = std::make_unique<DoWhileStmt>();
+        st->loc = loc;
+        st->body = parseStmt();
+        expect(Tok::KwWhile, "do-while");
+        expect(Tok::LParen, "do-while condition");
+        st->cond = parseExpr();
+        expect(Tok::RParen, "do-while condition");
+        expect(Tok::Semi, "do-while");
+        return st;
+    }
+
+    StmtPtr
+    parseFor(SourceLoc loc)
+    {
+        auto st = std::make_unique<ForStmt>();
+        st->loc = loc;
+        expect(Tok::LParen, "for header");
+        if (!at(Tok::Semi)) {
+            if (atType()) {
+                st->init = parseLocalDecl(); // consumes ';'
+            } else {
+                auto e = parseExpr();
+                expect(Tok::Semi, "for init");
+                st->init = std::make_unique<ExprStmt>(std::move(e));
+            }
+        } else {
+            expect(Tok::Semi, "for init");
+        }
+        if (!at(Tok::Semi))
+            st->cond = parseExpr();
+        expect(Tok::Semi, "for condition");
+        if (!at(Tok::RParen))
+            st->step = parseExpr();
+        expect(Tok::RParen, "for header");
+        st->body = parseStmt();
+        return st;
+    }
+
+    // -----------------------------------------------------------------
+    // Expressions (precedence climbing)
+    // -----------------------------------------------------------------
+
+    ExprPtr
+    parseExpr()
+    {
+        return parseAssign();
+    }
+
+    ExprPtr
+    parseAssign()
+    {
+        ExprPtr lhs = parseLogicalOr();
+        AssignOp op;
+        if (at(Tok::Assign))
+            op = AssignOp::Plain;
+        else if (at(Tok::PlusAssign))
+            op = AssignOp::Add;
+        else if (at(Tok::MinusAssign))
+            op = AssignOp::Sub;
+        else if (at(Tok::StarAssign))
+            op = AssignOp::Mul;
+        else
+            return lhs;
+        SourceLoc loc = cur().loc;
+        advance();
+        ExprPtr rhs = parseAssign(); // right-associative
+        auto e = std::make_unique<AssignExpr>(op, std::move(lhs),
+                                              std::move(rhs));
+        e->loc = loc;
+        return e;
+    }
+
+    ExprPtr
+    binary(BinOp op, ExprPtr lhs, ExprPtr rhs, SourceLoc loc)
+    {
+        auto e = std::make_unique<BinaryExpr>(op, std::move(lhs),
+                                              std::move(rhs));
+        e->loc = loc;
+        return e;
+    }
+
+    ExprPtr
+    parseLogicalOr()
+    {
+        ExprPtr lhs = parseLogicalAnd();
+        while (at(Tok::PipePipe)) {
+            SourceLoc loc = advance().loc;
+            lhs = binary(BinOp::LogicalOr, std::move(lhs),
+                         parseLogicalAnd(), loc);
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseLogicalAnd()
+    {
+        ExprPtr lhs = parseBitOr();
+        while (at(Tok::AmpAmp)) {
+            SourceLoc loc = advance().loc;
+            lhs = binary(BinOp::LogicalAnd, std::move(lhs), parseBitOr(),
+                         loc);
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseBitOr()
+    {
+        ExprPtr lhs = parseBitXor();
+        while (at(Tok::Pipe)) {
+            SourceLoc loc = advance().loc;
+            lhs = binary(BinOp::BitOr, std::move(lhs), parseBitXor(), loc);
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseBitXor()
+    {
+        ExprPtr lhs = parseBitAnd();
+        while (at(Tok::Caret)) {
+            SourceLoc loc = advance().loc;
+            lhs = binary(BinOp::BitXor, std::move(lhs), parseBitAnd(), loc);
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseBitAnd()
+    {
+        ExprPtr lhs = parseEquality();
+        while (at(Tok::Amp)) {
+            SourceLoc loc = advance().loc;
+            lhs = binary(BinOp::BitAnd, std::move(lhs), parseEquality(),
+                         loc);
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseEquality()
+    {
+        ExprPtr lhs = parseRelational();
+        while (at(Tok::EQ) || at(Tok::NE)) {
+            BinOp op = at(Tok::EQ) ? BinOp::EQ : BinOp::NE;
+            SourceLoc loc = advance().loc;
+            lhs = binary(op, std::move(lhs), parseRelational(), loc);
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseRelational()
+    {
+        ExprPtr lhs = parseShift();
+        while (at(Tok::LT) || at(Tok::LE) || at(Tok::GT) || at(Tok::GE)) {
+            BinOp op = at(Tok::LT)   ? BinOp::LT
+                       : at(Tok::LE) ? BinOp::LE
+                       : at(Tok::GT) ? BinOp::GT
+                                     : BinOp::GE;
+            SourceLoc loc = advance().loc;
+            lhs = binary(op, std::move(lhs), parseShift(), loc);
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseShift()
+    {
+        ExprPtr lhs = parseAdditive();
+        while (at(Tok::Shl) || at(Tok::Shr)) {
+            BinOp op = at(Tok::Shl) ? BinOp::Shl : BinOp::Shr;
+            SourceLoc loc = advance().loc;
+            lhs = binary(op, std::move(lhs), parseAdditive(), loc);
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseAdditive()
+    {
+        ExprPtr lhs = parseMultiplicative();
+        while (at(Tok::Plus) || at(Tok::Minus)) {
+            BinOp op = at(Tok::Plus) ? BinOp::Add : BinOp::Sub;
+            SourceLoc loc = advance().loc;
+            lhs = binary(op, std::move(lhs), parseMultiplicative(), loc);
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseMultiplicative()
+    {
+        ExprPtr lhs = parseUnary();
+        while (at(Tok::Star) || at(Tok::Slash) || at(Tok::Percent)) {
+            BinOp op = at(Tok::Star)    ? BinOp::Mul
+                       : at(Tok::Slash) ? BinOp::Div
+                                        : BinOp::Rem;
+            SourceLoc loc = advance().loc;
+            lhs = binary(op, std::move(lhs), parseUnary(), loc);
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseUnary()
+    {
+        SourceLoc loc = cur().loc;
+        if (accept(Tok::Minus)) {
+            auto e = std::make_unique<UnaryExpr>(UnOp::Neg, parseUnary());
+            e->loc = loc;
+            return e;
+        }
+        if (accept(Tok::Plus))
+            return parseUnary();
+        if (accept(Tok::Bang)) {
+            auto e = std::make_unique<UnaryExpr>(UnOp::LogicalNot,
+                                                 parseUnary());
+            e->loc = loc;
+            return e;
+        }
+        if (accept(Tok::Tilde)) {
+            auto e = std::make_unique<UnaryExpr>(UnOp::BitNot,
+                                                 parseUnary());
+            e->loc = loc;
+            return e;
+        }
+        if (accept(Tok::PlusPlus)) {
+            auto e = std::make_unique<UnaryExpr>(UnOp::PreInc,
+                                                 parseUnary());
+            e->loc = loc;
+            return e;
+        }
+        if (accept(Tok::MinusMinus)) {
+            auto e = std::make_unique<UnaryExpr>(UnOp::PreDec,
+                                                 parseUnary());
+            e->loc = loc;
+            return e;
+        }
+        return parsePostfix();
+    }
+
+    ExprPtr
+    parsePostfix()
+    {
+        ExprPtr e = parsePrimary();
+        while (true) {
+            SourceLoc loc = cur().loc;
+            if (accept(Tok::PlusPlus)) {
+                auto u = std::make_unique<UnaryExpr>(UnOp::PostInc,
+                                                     std::move(e));
+                u->loc = loc;
+                e = std::move(u);
+            } else if (accept(Tok::MinusMinus)) {
+                auto u = std::make_unique<UnaryExpr>(UnOp::PostDec,
+                                                     std::move(e));
+                u->loc = loc;
+                e = std::move(u);
+            } else {
+                break;
+            }
+        }
+        return e;
+    }
+
+    ExprPtr
+    parsePrimary()
+    {
+        SourceLoc loc = cur().loc;
+        if (at(Tok::IntLit)) {
+            auto e = std::make_unique<IntLitExpr>(advance().intValue);
+            e->loc = loc;
+            return e;
+        }
+        if (at(Tok::FloatLit)) {
+            auto e = std::make_unique<FloatLitExpr>(advance().floatValue);
+            e->loc = loc;
+            return e;
+        }
+        if (accept(Tok::LParen)) {
+            // A cast like (float)x or (int)x.
+            if (atType()) {
+                Type t = parseType();
+                expect(Tok::RParen, "cast");
+                auto e = std::make_unique<CastExpr>(parseUnary());
+                e->type = t; // target type; sema validates
+                e->loc = loc;
+                return e;
+            }
+            ExprPtr e = parseExpr();
+            expect(Tok::RParen, "parenthesized expression");
+            return e;
+        }
+        if (at(Tok::Ident)) {
+            std::string name = advance().text;
+            if (accept(Tok::LParen)) {
+                std::vector<ExprPtr> args;
+                if (!at(Tok::RParen)) {
+                    do {
+                        args.push_back(parseExpr());
+                    } while (accept(Tok::Comma));
+                }
+                expect(Tok::RParen, "call");
+                auto e = std::make_unique<CallExpr>(name, std::move(args));
+                e->loc = loc;
+                return e;
+            }
+            if (at(Tok::LBracket)) {
+                std::vector<ExprPtr> idx;
+                while (accept(Tok::LBracket)) {
+                    idx.push_back(parseExpr());
+                    expect(Tok::RBracket, "array index");
+                }
+                auto e = std::make_unique<ArrayRefExpr>(name,
+                                                        std::move(idx));
+                e->loc = loc;
+                return e;
+            }
+            auto e = std::make_unique<VarRefExpr>(name);
+            e->loc = loc;
+            return e;
+        }
+        fatal("unexpected token ", tokName(cur().kind), " at ",
+              cur().loc.str());
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Program>
+parseProgram(const std::string &source)
+{
+    return Parser(lexSource(source)).run();
+}
+
+} // namespace dsp

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Recursive-descent parser for MiniC.
+ */
+
+#ifndef DSP_MINIC_PARSER_HH
+#define DSP_MINIC_PARSER_HH
+
+#include <memory>
+#include <string>
+
+#include "minic/ast.hh"
+
+namespace dsp
+{
+
+/** Parse MiniC source into an (unchecked) AST. Throws UserError. */
+std::unique_ptr<Program> parseProgram(const std::string &source);
+
+} // namespace dsp
+
+#endif // DSP_MINIC_PARSER_HH

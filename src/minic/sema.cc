@@ -1,0 +1,577 @@
+#include "minic/sema.hh"
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+namespace dsp
+{
+
+namespace
+{
+
+[[noreturn]] void
+semaError(SourceLoc loc, const std::string &msg)
+{
+    fatal("semantic error at ", loc.str(), ": ", msg);
+}
+
+/** Evaluate a constant numeric expression (for initializers). */
+struct ConstValue
+{
+    Type type = Type::Int;
+    long i = 0;
+    float f = 0.0f;
+
+    float asFloat() const { return type == Type::Float ? f : float(i); }
+    long
+    asInt() const
+    {
+        return type == Type::Float ? long(f) : i;
+    }
+};
+
+ConstValue
+foldConstant(const Expr &e)
+{
+    switch (e.kind) {
+      case ExprKind::IntLit: {
+        const auto &lit = static_cast<const IntLitExpr &>(e);
+        return {Type::Int, lit.value, 0.0f};
+      }
+      case ExprKind::FloatLit: {
+        const auto &lit = static_cast<const FloatLitExpr &>(e);
+        return {Type::Float, 0, lit.value};
+      }
+      case ExprKind::Unary: {
+        const auto &u = static_cast<const UnaryExpr &>(e);
+        ConstValue v = foldConstant(*u.operand);
+        if (u.op == UnOp::Neg) {
+            if (v.type == Type::Float)
+                return {Type::Float, 0, -v.f};
+            return {Type::Int, -v.i, 0.0f};
+        }
+        if (u.op == UnOp::BitNot && v.type == Type::Int)
+            return {Type::Int, ~v.i, 0.0f};
+        semaError(e.loc, "unsupported operator in constant expression");
+      }
+      case ExprKind::Binary: {
+        const auto &b = static_cast<const BinaryExpr &>(e);
+        ConstValue l = foldConstant(*b.lhs);
+        ConstValue r = foldConstant(*b.rhs);
+        bool fl = l.type == Type::Float || r.type == Type::Float;
+        switch (b.op) {
+          case BinOp::Add:
+            if (fl) return {Type::Float, 0, l.asFloat() + r.asFloat()};
+            return {Type::Int, l.i + r.i, 0.0f};
+          case BinOp::Sub:
+            if (fl) return {Type::Float, 0, l.asFloat() - r.asFloat()};
+            return {Type::Int, l.i - r.i, 0.0f};
+          case BinOp::Mul:
+            if (fl) return {Type::Float, 0, l.asFloat() * r.asFloat()};
+            return {Type::Int, l.i * r.i, 0.0f};
+          case BinOp::Div:
+            if (fl) return {Type::Float, 0, l.asFloat() / r.asFloat()};
+            if (r.i == 0)
+                semaError(e.loc, "division by zero in constant");
+            return {Type::Int, l.i / r.i, 0.0f};
+          case BinOp::Shl:
+            if (!fl) return {Type::Int, l.i << r.i, 0.0f};
+            break;
+          case BinOp::Shr:
+            if (!fl) return {Type::Int, l.i >> r.i, 0.0f};
+            break;
+          default:
+            break;
+        }
+        semaError(e.loc, "unsupported operator in constant expression");
+      }
+      case ExprKind::Cast: {
+        const auto &c = static_cast<const CastExpr &>(e);
+        ConstValue v = foldConstant(*c.inner);
+        if (e.type == Type::Float)
+            return {Type::Float, 0, v.asFloat()};
+        return {Type::Int, v.asInt(), 0.0f};
+      }
+      default:
+        semaError(e.loc, "initializer is not a constant expression");
+    }
+}
+
+class Sema
+{
+  public:
+    explicit Sema(Program &prog) : prog(prog) {}
+
+    void
+    run()
+    {
+        declareGlobals();
+        for (auto &fn : prog.functions)
+            checkFunction(*fn);
+        if (!prog.findFunction("main"))
+            fatal("program has no main() function");
+    }
+
+  private:
+    Program &prog;
+    FuncDecl *currentFn = nullptr;
+    int loopDepth = 0;
+    std::vector<std::map<std::string, VarInfo *>> scopes;
+
+    VarInfo *
+    makeVar(const std::string &name, Type elem, std::vector<int> dims,
+            VarInfo::Kind kind)
+    {
+        auto vi = std::make_unique<VarInfo>();
+        vi->name = name;
+        vi->elem = elem;
+        vi->dims = std::move(dims);
+        vi->kind = kind;
+        prog.varInfos.push_back(std::move(vi));
+        return prog.varInfos.back().get();
+    }
+
+    VarInfo *
+    lookup(const std::string &name)
+    {
+        for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+            auto f = it->find(name);
+            if (f != it->end())
+                return f->second;
+        }
+        return nullptr;
+    }
+
+    void
+    declare(const std::string &name, VarInfo *vi, SourceLoc loc)
+    {
+        if (!scopes.back().emplace(name, vi).second)
+            semaError(loc, "redefinition of '" + name + "'");
+    }
+
+    void
+    declareGlobals()
+    {
+        scopes.emplace_back();
+        for (auto &g : prog.globals) {
+            g->var = makeVar(g->name, g->elem, g->dims,
+                             VarInfo::Kind::Global);
+            declare(g->name, g->var, g->loc);
+            // Validate & fold initializers.
+            int total = g->var->totalWords();
+            if (!g->initExprs.empty() &&
+                static_cast<int>(g->initExprs.size()) > total)
+                semaError(g->loc, "too many initializers for '" + g->name +
+                                      "'");
+            for (auto &e : g->initExprs)
+                foldConstant(*e); // errors early if non-constant
+        }
+    }
+
+    void
+    checkFunction(FuncDecl &fn)
+    {
+        // Duplicate function names.
+        for (auto &other : prog.functions) {
+            if (other.get() != &fn && other->name == fn.name)
+                semaError(fn.loc, "redefinition of function '" + fn.name +
+                                      "'");
+        }
+        currentFn = &fn;
+        scopes.emplace_back();
+        for (auto &p : fn.params) {
+            std::vector<int> dims;
+            if (p.isArray)
+                dims.push_back(0); // size unknown; index checks disabled
+            p.var = makeVar(p.name, p.type, dims, VarInfo::Kind::Param);
+            declare(p.name, p.var, p.loc);
+        }
+        checkStmt(*fn.body);
+        scopes.pop_back();
+        currentFn = nullptr;
+    }
+
+    // -----------------------------------------------------------------
+    // Statements
+    // -----------------------------------------------------------------
+
+    void
+    checkStmt(Stmt &st)
+    {
+        switch (st.kind) {
+          case StmtKind::Block: {
+            auto &b = static_cast<BlockStmt &>(st);
+            scopes.emplace_back();
+            for (auto &s : b.stmts)
+                checkStmt(*s);
+            scopes.pop_back();
+            return;
+          }
+          case StmtKind::VarDecl: {
+            auto &d = static_cast<VarDeclStmt &>(st);
+            d.var = makeVar(d.name, d.elem, d.dims, VarInfo::Kind::Local);
+            if (d.init) {
+                checkExpr(*d.init);
+                d.init = convertTo(std::move(d.init), d.elem);
+            }
+            if (!d.arrayInit.empty()) {
+                int total = d.var->totalWords();
+                if (static_cast<int>(d.arrayInit.size()) > total)
+                    semaError(d.loc, "too many initializers for '" +
+                                         d.name + "'");
+                for (auto &e : d.arrayInit) {
+                    checkExpr(*e);
+                    e = convertTo(std::move(e), d.elem);
+                }
+            }
+            // Declare after checking the initializer (C scoping).
+            declare(d.name, d.var, d.loc);
+            return;
+          }
+          case StmtKind::ExprStmt:
+            checkExpr(*static_cast<ExprStmt &>(st).expr);
+            return;
+          case StmtKind::If: {
+            auto &s = static_cast<IfStmt &>(st);
+            checkCond(s.cond);
+            checkStmt(*s.thenStmt);
+            if (s.elseStmt)
+                checkStmt(*s.elseStmt);
+            return;
+          }
+          case StmtKind::While: {
+            auto &s = static_cast<WhileStmt &>(st);
+            checkCond(s.cond);
+            ++loopDepth;
+            checkStmt(*s.body);
+            --loopDepth;
+            return;
+          }
+          case StmtKind::DoWhile: {
+            auto &s = static_cast<DoWhileStmt &>(st);
+            ++loopDepth;
+            checkStmt(*s.body);
+            --loopDepth;
+            checkCond(s.cond);
+            return;
+          }
+          case StmtKind::For: {
+            auto &s = static_cast<ForStmt &>(st);
+            scopes.emplace_back();
+            if (s.init)
+                checkStmt(*s.init);
+            if (s.cond)
+                checkCond(s.cond);
+            if (s.step)
+                checkExpr(*s.step);
+            ++loopDepth;
+            checkStmt(*s.body);
+            --loopDepth;
+            scopes.pop_back();
+            return;
+          }
+          case StmtKind::Return: {
+            auto &s = static_cast<ReturnStmt &>(st);
+            if (currentFn->retType == Type::Void) {
+                if (s.value)
+                    semaError(st.loc, "void function returns a value");
+            } else {
+                if (!s.value)
+                    semaError(st.loc, "non-void function must return a "
+                                      "value");
+                checkExpr(*s.value);
+                s.value = convertTo(std::move(s.value),
+                                    currentFn->retType);
+            }
+            return;
+          }
+          case StmtKind::Break:
+          case StmtKind::Continue:
+            if (loopDepth == 0)
+                semaError(st.loc, "break/continue outside a loop");
+            return;
+        }
+    }
+
+    void
+    checkCond(ExprPtr &cond)
+    {
+        checkExpr(*cond);
+        if (cond->type == Type::Void)
+            semaError(cond->loc, "condition has void type");
+    }
+
+    // -----------------------------------------------------------------
+    // Expressions
+    // -----------------------------------------------------------------
+
+    /** Wrap @p e in a cast to @p want if types differ. */
+    ExprPtr
+    convertTo(ExprPtr e, Type want)
+    {
+        if (e->type == want)
+            return e;
+        if (e->type == Type::Void || want == Type::Void)
+            semaError(e->loc, "cannot convert void value");
+        auto c = std::make_unique<CastExpr>(std::move(e));
+        c->type = want;
+        c->loc = c->inner->loc;
+        return c;
+    }
+
+    bool
+    isLValue(const Expr &e) const
+    {
+        if (e.kind == ExprKind::ArrayRef)
+            return true;
+        if (e.kind == ExprKind::VarRef) {
+            const auto &v = static_cast<const VarRefExpr &>(e);
+            return v.var && !v.var->isArray();
+        }
+        return false;
+    }
+
+    void
+    checkExpr(Expr &e)
+    {
+        switch (e.kind) {
+          case ExprKind::IntLit:
+            e.type = Type::Int;
+            return;
+          case ExprKind::FloatLit:
+            e.type = Type::Float;
+            return;
+          case ExprKind::VarRef: {
+            auto &v = static_cast<VarRefExpr &>(e);
+            v.var = lookup(v.name);
+            if (!v.var)
+                semaError(e.loc, "use of undeclared variable '" + v.name +
+                                     "'");
+            // A bare reference to an array is only legal as a call
+            // argument; the Call case re-checks that context.
+            e.type = v.var->elem;
+            return;
+          }
+          case ExprKind::ArrayRef: {
+            auto &a = static_cast<ArrayRefExpr &>(e);
+            a.var = lookup(a.name);
+            if (!a.var)
+                semaError(e.loc, "use of undeclared array '" + a.name +
+                                     "'");
+            if (!a.var->isArray())
+                semaError(e.loc, "'" + a.name + "' is not an array");
+            if (a.indices.size() != a.var->dims.size())
+                semaError(e.loc, "wrong number of indices for '" + a.name +
+                                     "'");
+            for (auto &idx : a.indices) {
+                checkExpr(*idx);
+                idx = convertTo(std::move(idx), Type::Int);
+            }
+            e.type = a.var->elem;
+            return;
+          }
+          case ExprKind::Call:
+            checkCall(static_cast<CallExpr &>(e));
+            return;
+          case ExprKind::Unary:
+            checkUnary(static_cast<UnaryExpr &>(e));
+            return;
+          case ExprKind::Binary:
+            checkBinary(static_cast<BinaryExpr &>(e));
+            return;
+          case ExprKind::Assign:
+            checkAssign(static_cast<AssignExpr &>(e));
+            return;
+          case ExprKind::Cast: {
+            auto &c = static_cast<CastExpr &>(e);
+            checkExpr(*c.inner);
+            if (c.inner->type == Type::Void || e.type == Type::Void)
+                semaError(e.loc, "invalid cast");
+            return;
+          }
+        }
+    }
+
+    void
+    checkCall(CallExpr &call)
+    {
+        // Builtins.
+        if (call.callee == "in" || call.callee == "inf" ||
+            call.callee == "out" || call.callee == "outf") {
+            if (call.callee == "in") {
+                call.builtin = Builtin::In;
+                call.type = Type::Int;
+                if (!call.args.empty())
+                    semaError(call.loc, "in() takes no arguments");
+            } else if (call.callee == "inf") {
+                call.builtin = Builtin::InF;
+                call.type = Type::Float;
+                if (!call.args.empty())
+                    semaError(call.loc, "inf() takes no arguments");
+            } else {
+                call.builtin = call.callee == "out" ? Builtin::Out
+                                                    : Builtin::OutF;
+                call.type = Type::Void;
+                if (call.args.size() != 1)
+                    semaError(call.loc, call.callee +
+                                            "() takes one argument");
+                checkExpr(*call.args[0]);
+                Type want = call.builtin == Builtin::Out ? Type::Int
+                                                         : Type::Float;
+                call.args[0] = convertTo(std::move(call.args[0]), want);
+            }
+            return;
+        }
+
+        FuncDecl *fn = prog.findFunction(call.callee);
+        if (!fn)
+            semaError(call.loc, "call to undeclared function '" +
+                                    call.callee + "'");
+        call.resolved = fn;
+        call.type = fn->retType;
+        if (call.args.size() != fn->params.size())
+            semaError(call.loc, "wrong number of arguments to '" +
+                                    call.callee + "'");
+        for (std::size_t i = 0; i < call.args.size(); ++i) {
+            ParamDecl &p = fn->params[i];
+            Expr &arg = *call.args[i];
+            if (p.isArray) {
+                if (arg.kind != ExprKind::VarRef)
+                    semaError(arg.loc, "array argument must be an array "
+                                       "name");
+                auto &v = static_cast<VarRefExpr &>(arg);
+                checkExpr(arg);
+                if (!v.var->isArray())
+                    semaError(arg.loc, "'" + v.name +
+                                           "' is not an array");
+                if (v.var->elem != p.type)
+                    semaError(arg.loc, "array element type mismatch in "
+                                       "argument");
+                if (v.var->dims.size() > 1)
+                    semaError(arg.loc, "2-D arrays cannot be passed as "
+                                       "parameters");
+            } else {
+                checkExpr(arg);
+                if (arg.kind == ExprKind::VarRef &&
+                    static_cast<VarRefExpr &>(arg).var->isArray())
+                    semaError(arg.loc, "array passed to scalar parameter");
+                call.args[i] = convertTo(std::move(call.args[i]), p.type);
+            }
+        }
+    }
+
+    void
+    checkUnary(UnaryExpr &u)
+    {
+        checkExpr(*u.operand);
+        switch (u.op) {
+          case UnOp::Neg:
+            if (u.operand->type == Type::Void)
+                semaError(u.loc, "negating a void value");
+            u.type = u.operand->type;
+            return;
+          case UnOp::LogicalNot:
+            if (u.operand->type == Type::Void)
+                semaError(u.loc, "logical not of a void value");
+            u.type = Type::Int;
+            return;
+          case UnOp::BitNot:
+            if (u.operand->type != Type::Int)
+                semaError(u.loc, "bitwise not requires an int operand");
+            u.type = Type::Int;
+            return;
+          case UnOp::PreInc:
+          case UnOp::PreDec:
+          case UnOp::PostInc:
+          case UnOp::PostDec:
+            if (!isLValue(*u.operand))
+                semaError(u.loc, "++/-- requires an assignable operand");
+            u.type = u.operand->type;
+            return;
+        }
+    }
+
+    void
+    checkBinary(BinaryExpr &b)
+    {
+        checkExpr(*b.lhs);
+        checkExpr(*b.rhs);
+        Type lt = b.lhs->type;
+        Type rt = b.rhs->type;
+        if (lt == Type::Void || rt == Type::Void)
+            semaError(b.loc, "void operand in binary expression");
+
+        switch (b.op) {
+          case BinOp::Add: case BinOp::Sub: case BinOp::Mul:
+          case BinOp::Div: {
+            Type common = (lt == Type::Float || rt == Type::Float)
+                              ? Type::Float
+                              : Type::Int;
+            b.lhs = convertTo(std::move(b.lhs), common);
+            b.rhs = convertTo(std::move(b.rhs), common);
+            b.type = common;
+            return;
+          }
+          case BinOp::Rem: case BinOp::BitAnd: case BinOp::BitOr:
+          case BinOp::BitXor: case BinOp::Shl: case BinOp::Shr:
+            if (lt != Type::Int || rt != Type::Int)
+                semaError(b.loc, "integer operator applied to float "
+                                 "operand");
+            b.type = Type::Int;
+            return;
+          case BinOp::LogicalAnd: case BinOp::LogicalOr:
+            b.type = Type::Int;
+            return;
+          case BinOp::EQ: case BinOp::NE: case BinOp::LT: case BinOp::LE:
+          case BinOp::GT: case BinOp::GE: {
+            Type common = (lt == Type::Float || rt == Type::Float)
+                              ? Type::Float
+                              : Type::Int;
+            b.lhs = convertTo(std::move(b.lhs), common);
+            b.rhs = convertTo(std::move(b.rhs), common);
+            b.type = Type::Int;
+            return;
+          }
+        }
+    }
+
+    void
+    checkAssign(AssignExpr &a)
+    {
+        checkExpr(*a.target);
+        if (!isLValue(*a.target))
+            semaError(a.loc, "assignment target is not assignable");
+        checkExpr(*a.value);
+        a.value = convertTo(std::move(a.value), a.target->type);
+        a.type = a.target->type;
+
+        if (a.op == AssignOp::Mul || a.op == AssignOp::Add ||
+            a.op == AssignOp::Sub) {
+            // compound assignment needs numeric types, already ensured
+        }
+    }
+};
+
+} // namespace
+
+void
+analyzeProgram(Program &prog)
+{
+    Sema(prog).run();
+}
+
+uint32_t
+foldConstantWord(const Expr &e, Type want)
+{
+    ConstValue v = foldConstant(e);
+    if (want == Type::Float) {
+        float f = v.asFloat();
+        uint32_t w;
+        std::memcpy(&w, &f, sizeof(w));
+        return w;
+    }
+    return static_cast<uint32_t>(static_cast<long>(v.asInt()));
+}
+
+} // namespace dsp

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Semantic analysis for MiniC: name resolution, type checking, implicit
+ * conversion insertion, and constant folding of global initializers.
+ */
+
+#ifndef DSP_MINIC_SEMA_HH
+#define DSP_MINIC_SEMA_HH
+
+#include "minic/ast.hh"
+
+namespace dsp
+{
+
+/**
+ * Analyze @p prog in place. Throws UserError with a located message on
+ * the first semantic error. On success every VarRef/ArrayRef/Call is
+ * resolved and every Expr has a concrete type.
+ */
+void analyzeProgram(Program &prog);
+
+/** Fold a constant expression to a raw 32-bit word of type @p want. */
+uint32_t foldConstantWord(const Expr &e, Type want);
+
+} // namespace dsp
+
+#endif // DSP_MINIC_SEMA_HH

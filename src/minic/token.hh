@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Token definitions for the MiniC front-end.
+ */
+
+#ifndef DSP_MINIC_TOKEN_HH
+#define DSP_MINIC_TOKEN_HH
+
+#include <string>
+
+#include "support/diagnostics.hh"
+
+namespace dsp
+{
+
+enum class Tok : unsigned char
+{
+    End,
+    Ident,
+    IntLit,
+    FloatLit,
+
+    // keywords
+    KwInt, KwFloat, KwVoid,
+    KwIf, KwElse, KwWhile, KwFor, KwDo,
+    KwReturn, KwBreak, KwContinue,
+
+    // punctuation
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Comma, Semi,
+
+    // operators
+    Assign,             // =
+    PlusAssign, MinusAssign, StarAssign,  // += -= *=
+    Plus, Minus, Star, Slash, Percent,
+    PlusPlus, MinusMinus,
+    Amp, Pipe, Caret, Tilde, Shl, Shr,
+    AmpAmp, PipePipe, Bang,
+    EQ, NE, LT, LE, GT, GE,
+};
+
+const char *tokName(Tok t);
+
+struct Token
+{
+    Tok kind = Tok::End;
+    std::string text;
+    long intValue = 0;
+    float floatValue = 0.0f;
+    SourceLoc loc;
+};
+
+} // namespace dsp
+
+#endif // DSP_MINIC_TOKEN_HH

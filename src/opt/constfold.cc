@@ -1,0 +1,416 @@
+/**
+ * @file
+ * Local constant folding and strength reduction.
+ *
+ * Tracks, per basic block, which virtual registers hold known constants
+ * and (a) folds fully-constant operations into moves, (b) rewrites
+ * reg-reg operations with one constant operand into their immediate
+ * forms. The immediate forms matter for the paper's experiments: fewer
+ * live registers and fewer ops mean tighter schedules, which is the
+ * baseline the allocation algorithms must beat.
+ */
+
+#include <cstdint>
+#include <map>
+
+#include "ir/function.hh"
+#include "opt/passes.hh"
+
+namespace dsp
+{
+
+namespace
+{
+
+struct ConstMap
+{
+    std::map<int, long> ints;    ///< int vreg id -> value
+    std::map<int, float> floats; ///< float vreg id -> value
+
+    void
+    invalidate(const VReg &r)
+    {
+        if (!r.valid())
+            return;
+        if (r.cls == RegClass::Int)
+            ints.erase(r.id);
+        else if (r.cls == RegClass::Float)
+            floats.erase(r.id);
+    }
+
+    bool
+    intVal(const VReg &r, long &out) const
+    {
+        if (!r.valid() || r.cls != RegClass::Int)
+            return false;
+        auto it = ints.find(r.id);
+        if (it == ints.end())
+            return false;
+        out = it->second;
+        return true;
+    }
+
+    bool
+    floatVal(const VReg &r, float &out) const
+    {
+        if (!r.valid() || r.cls != RegClass::Float)
+            return false;
+        auto it = floats.find(r.id);
+        if (it == floats.end())
+            return false;
+        out = it->second;
+        return true;
+    }
+};
+
+/** Replace @p op with `movi dst, value`, keeping dst. */
+void
+toMovI(Op &op, long value)
+{
+    VReg dst = op.dst;
+    op = Op(Opcode::MovI);
+    op.dst = dst;
+    op.imm = static_cast<long>(static_cast<int32_t>(value));
+}
+
+void
+toMovF(Op &op, float value)
+{
+    VReg dst = op.dst;
+    op = Op(Opcode::MovF);
+    op.dst = dst;
+    op.fimm = value;
+}
+
+/** Rewrite a reg-reg op into an immediate form. */
+void
+toImmForm(Op &op, Opcode opc, VReg src, long imm)
+{
+    VReg dst = op.dst;
+    op = Op(opc);
+    op.dst = dst;
+    op.srcs = {src};
+    op.imm = imm;
+}
+
+Opcode
+swappedCompare(Opcode op)
+{
+    switch (op) {
+      case Opcode::CmpEQ: return Opcode::CmpEQ;
+      case Opcode::CmpNE: return Opcode::CmpNE;
+      case Opcode::CmpLT: return Opcode::CmpGT;
+      case Opcode::CmpLE: return Opcode::CmpGE;
+      case Opcode::CmpGT: return Opcode::CmpLT;
+      case Opcode::CmpGE: return Opcode::CmpLE;
+      default: panic("not a compare");
+    }
+}
+
+Opcode
+immCompare(Opcode op)
+{
+    switch (op) {
+      case Opcode::CmpEQ: return Opcode::CmpEQI;
+      case Opcode::CmpNE: return Opcode::CmpNEI;
+      case Opcode::CmpLT: return Opcode::CmpLTI;
+      case Opcode::CmpLE: return Opcode::CmpLEI;
+      case Opcode::CmpGT: return Opcode::CmpGTI;
+      case Opcode::CmpGE: return Opcode::CmpGEI;
+      default: panic("not a compare");
+    }
+}
+
+long
+evalCompare(Opcode op, long a, long b)
+{
+    switch (op) {
+      case Opcode::CmpEQ: case Opcode::CmpEQI: return a == b;
+      case Opcode::CmpNE: case Opcode::CmpNEI: return a != b;
+      case Opcode::CmpLT: case Opcode::CmpLTI: return a < b;
+      case Opcode::CmpLE: case Opcode::CmpLEI: return a <= b;
+      case Opcode::CmpGT: case Opcode::CmpGTI: return a > b;
+      case Opcode::CmpGE: case Opcode::CmpGEI: return a >= b;
+      default: panic("not a compare");
+    }
+}
+
+bool
+isRegRegCompare(Opcode op)
+{
+    return op == Opcode::CmpEQ || op == Opcode::CmpNE ||
+           op == Opcode::CmpLT || op == Opcode::CmpLE ||
+           op == Opcode::CmpGT || op == Opcode::CmpGE;
+}
+
+bool
+isImmCompare(Opcode op)
+{
+    return op == Opcode::CmpEQI || op == Opcode::CmpNEI ||
+           op == Opcode::CmpLTI || op == Opcode::CmpLEI ||
+           op == Opcode::CmpGTI || op == Opcode::CmpGEI;
+}
+
+/** 32-bit wrap-around arithmetic matching the simulator. */
+long
+wrap32(long v)
+{
+    return static_cast<long>(static_cast<int32_t>(
+        static_cast<uint32_t>(v)));
+}
+
+bool
+foldOp(Op &op, const ConstMap &consts)
+{
+    long a, b;
+    float fa, fb;
+
+    switch (op.opcode) {
+      case Opcode::Add:
+        if (consts.intVal(op.srcs[0], a) && consts.intVal(op.srcs[1], b)) {
+            toMovI(op, a + b);
+            return true;
+        }
+        if (consts.intVal(op.srcs[1], b)) {
+            toImmForm(op, Opcode::AddI, op.srcs[0], b);
+            return true;
+        }
+        if (consts.intVal(op.srcs[0], a)) {
+            toImmForm(op, Opcode::AddI, op.srcs[1], a);
+            return true;
+        }
+        return false;
+      case Opcode::Sub:
+        if (consts.intVal(op.srcs[0], a) && consts.intVal(op.srcs[1], b)) {
+            toMovI(op, a - b);
+            return true;
+        }
+        if (consts.intVal(op.srcs[1], b)) {
+            toImmForm(op, Opcode::AddI, op.srcs[0], -b);
+            return true;
+        }
+        return false;
+      case Opcode::Mul:
+        if (consts.intVal(op.srcs[0], a) && consts.intVal(op.srcs[1], b)) {
+            toMovI(op, wrap32(a * b));
+            return true;
+        }
+        if (consts.intVal(op.srcs[1], b)) {
+            toImmForm(op, Opcode::MulI, op.srcs[0], b);
+            return true;
+        }
+        if (consts.intVal(op.srcs[0], a)) {
+            toImmForm(op, Opcode::MulI, op.srcs[1], a);
+            return true;
+        }
+        return false;
+      case Opcode::Div:
+        if (consts.intVal(op.srcs[0], a) && consts.intVal(op.srcs[1], b) &&
+            b != 0) {
+            toMovI(op, a / b);
+            return true;
+        }
+        return false;
+      case Opcode::Rem:
+        if (consts.intVal(op.srcs[0], a) && consts.intVal(op.srcs[1], b) &&
+            b != 0) {
+            toMovI(op, a % b);
+            return true;
+        }
+        return false;
+      case Opcode::And:
+        if (consts.intVal(op.srcs[0], a) && consts.intVal(op.srcs[1], b)) {
+            toMovI(op, a & b);
+            return true;
+        }
+        if (consts.intVal(op.srcs[1], b)) {
+            toImmForm(op, Opcode::AndI, op.srcs[0], b);
+            return true;
+        }
+        if (consts.intVal(op.srcs[0], a)) {
+            toImmForm(op, Opcode::AndI, op.srcs[1], a);
+            return true;
+        }
+        return false;
+      case Opcode::Or:
+        if (consts.intVal(op.srcs[0], a) && consts.intVal(op.srcs[1], b)) {
+            toMovI(op, a | b);
+            return true;
+        }
+        return false;
+      case Opcode::Xor:
+        if (consts.intVal(op.srcs[0], a) && consts.intVal(op.srcs[1], b)) {
+            toMovI(op, a ^ b);
+            return true;
+        }
+        return false;
+      case Opcode::Shl:
+        if (consts.intVal(op.srcs[0], a) && consts.intVal(op.srcs[1], b)) {
+            toMovI(op, wrap32(a << (b & 31)));
+            return true;
+        }
+        if (consts.intVal(op.srcs[1], b)) {
+            toImmForm(op, Opcode::ShlI, op.srcs[0], b);
+            return true;
+        }
+        return false;
+      case Opcode::Shr:
+        if (consts.intVal(op.srcs[0], a) && consts.intVal(op.srcs[1], b)) {
+            toMovI(op, a >> (b & 31));
+            return true;
+        }
+        if (consts.intVal(op.srcs[1], b)) {
+            toImmForm(op, Opcode::ShrI, op.srcs[0], b);
+            return true;
+        }
+        return false;
+      case Opcode::AddI:
+        if (consts.intVal(op.srcs[0], a)) {
+            toMovI(op, a + op.imm);
+            return true;
+        }
+        if (op.imm == 0) {
+            VReg src = op.srcs[0], dst = op.dst;
+            op = Op(Opcode::Copy);
+            op.dst = dst;
+            op.srcs = {src};
+            return true;
+        }
+        return false;
+      case Opcode::MulI:
+        if (consts.intVal(op.srcs[0], a)) {
+            toMovI(op, wrap32(a * op.imm));
+            return true;
+        }
+        if (op.imm == 1) {
+            VReg src = op.srcs[0], dst = op.dst;
+            op = Op(Opcode::Copy);
+            op.dst = dst;
+            op.srcs = {src};
+            return true;
+        }
+        return false;
+      case Opcode::Neg:
+        if (consts.intVal(op.srcs[0], a)) {
+            toMovI(op, -a);
+            return true;
+        }
+        return false;
+      case Opcode::Not:
+        if (consts.intVal(op.srcs[0], a)) {
+            toMovI(op, ~a);
+            return true;
+        }
+        return false;
+      case Opcode::FAdd:
+        if (consts.floatVal(op.srcs[0], fa) &&
+            consts.floatVal(op.srcs[1], fb)) {
+            toMovF(op, fa + fb);
+            return true;
+        }
+        return false;
+      case Opcode::FSub:
+        if (consts.floatVal(op.srcs[0], fa) &&
+            consts.floatVal(op.srcs[1], fb)) {
+            toMovF(op, fa - fb);
+            return true;
+        }
+        return false;
+      case Opcode::FMul:
+        if (consts.floatVal(op.srcs[0], fa) &&
+            consts.floatVal(op.srcs[1], fb)) {
+            toMovF(op, fa * fb);
+            return true;
+        }
+        return false;
+      case Opcode::FDiv:
+        if (consts.floatVal(op.srcs[0], fa) &&
+            consts.floatVal(op.srcs[1], fb)) {
+            toMovF(op, fa / fb);
+            return true;
+        }
+        return false;
+      case Opcode::FNeg:
+        if (consts.floatVal(op.srcs[0], fa)) {
+            toMovF(op, -fa);
+            return true;
+        }
+        return false;
+      case Opcode::IToF:
+        if (consts.intVal(op.srcs[0], a)) {
+            toMovF(op, static_cast<float>(a));
+            return true;
+        }
+        return false;
+      case Opcode::FToI:
+        if (consts.floatVal(op.srcs[0], fa)) {
+            toMovI(op, static_cast<long>(fa));
+            return true;
+        }
+        return false;
+      default:
+        break;
+    }
+
+    if (isRegRegCompare(op.opcode)) {
+        if (consts.intVal(op.srcs[0], a) && consts.intVal(op.srcs[1], b)) {
+            toMovI(op, evalCompare(op.opcode, a, b));
+            return true;
+        }
+        if (consts.intVal(op.srcs[1], b)) {
+            toImmForm(op, immCompare(op.opcode), op.srcs[0], b);
+            return true;
+        }
+        if (consts.intVal(op.srcs[0], a)) {
+            toImmForm(op, immCompare(swappedCompare(op.opcode)),
+                      op.srcs[1], a);
+            return true;
+        }
+        return false;
+    }
+    if (isImmCompare(op.opcode)) {
+        if (consts.intVal(op.srcs[0], a)) {
+            toMovI(op, evalCompare(op.opcode, a, op.imm));
+            return true;
+        }
+        return false;
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+runConstFold(Function &fn)
+{
+    bool changed = false;
+    for (auto &bb : fn.blocks) {
+        ConstMap consts;
+        for (Op &op : bb->ops) {
+            changed |= foldOp(op, consts);
+
+            // Update the constant map after the (possibly rewritten) op.
+            VReg def = op.def();
+            if (op.opcode == Opcode::MovI) {
+                consts.invalidate(def);
+                consts.ints[def.id] = op.imm;
+            } else if (op.opcode == Opcode::MovF) {
+                consts.invalidate(def);
+                consts.floats[def.id] = op.fimm;
+            } else if (op.opcode == Opcode::Copy && def.valid()) {
+                consts.invalidate(def);
+                long iv;
+                float fv;
+                if (consts.intVal(op.srcs[0], iv))
+                    consts.ints[def.id] = iv;
+                else if (consts.floatVal(op.srcs[0], fv))
+                    consts.floats[def.id] = fv;
+            } else if (def.valid()) {
+                consts.invalidate(def);
+            }
+        }
+    }
+    return changed;
+}
+
+} // namespace dsp

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Copy propagation and copy coalescing (both block-local, non-SSA safe).
+ */
+
+#include <map>
+
+#include "ir/function.hh"
+#include "opt/passes.hh"
+
+namespace dsp
+{
+
+namespace
+{
+
+struct Key
+{
+    RegClass cls;
+    int id;
+    bool operator<(const Key &o) const
+    {
+        return cls != o.cls ? cls < o.cls : id < o.id;
+    }
+};
+
+Key
+keyOf(const VReg &r)
+{
+    return Key{r.cls, r.id};
+}
+
+} // namespace
+
+bool
+runCopyProp(Function &fn)
+{
+    bool changed = false;
+    for (auto &bb : fn.blocks) {
+        // copies[x] = y means "x currently holds the same value as y".
+        std::map<Key, VReg> copies;
+
+        auto invalidate = [&](const VReg &r) {
+            if (!r.valid())
+                return;
+            copies.erase(keyOf(r));
+            // Also kill any mapping whose source is r.
+            for (auto it = copies.begin(); it != copies.end();) {
+                if (it->second == r)
+                    it = copies.erase(it);
+                else
+                    ++it;
+            }
+        };
+
+        auto rewrite = [&](VReg &r) {
+            if (!r.valid())
+                return;
+            auto it = copies.find(keyOf(r));
+            if (it != copies.end() && it->second != r) {
+                r = it->second;
+                changed = true;
+            }
+        };
+
+        for (Op &op : bb->ops) {
+            // Rewrite sources through known copies.
+            for (VReg &s : op.srcs)
+                rewrite(s);
+            if (op.mem.index.valid())
+                rewrite(op.mem.index);
+            // Mac/FMac read dst; never rewrite a written register.
+
+            VReg def = op.def();
+            if (op.opcode == Opcode::Copy) {
+                invalidate(def);
+                if (op.srcs[0] != def)
+                    copies[keyOf(def)] = op.srcs[0];
+            } else if (def.valid()) {
+                invalidate(def);
+            }
+        }
+    }
+    return changed;
+}
+
+bool
+runCopyCoalesce(Function &fn)
+{
+    // Count total uses of every vreg across the function.
+    std::map<Key, int> use_count;
+    for (auto &bb : fn.blocks) {
+        for (const Op &op : bb->ops) {
+            for (const VReg &u : op.uses())
+                ++use_count[keyOf(u)];
+        }
+    }
+
+    bool changed = false;
+    for (auto &bb : fn.blocks) {
+        auto &ops = bb->ops;
+        for (std::size_t q = 0; q < ops.size(); ++q) {
+            Op &copy = ops[q];
+            if (copy.opcode != Opcode::Copy)
+                continue;
+            VReg x = copy.dst;
+            VReg t = copy.srcs[0];
+            if (x == t)
+                continue;
+            // The temp must die here: exactly one use in the function.
+            if (use_count[keyOf(t)] != 1)
+                continue;
+
+            // Find the defining op of t earlier in this block.
+            int p = -1;
+            for (int i = static_cast<int>(q) - 1; i >= 0; --i) {
+                if (ops[i].def() == t) {
+                    p = i;
+                    break;
+                }
+                // A second use or def of t before q would disqualify,
+                // but use_count==1 already rules out other uses.
+            }
+            if (p < 0)
+                continue;
+            // Read-modify-write ops cannot simply retarget their dst.
+            if (readsDst(ops[p].opcode))
+                continue;
+            // Between p and q, x must be neither read nor written.
+            bool blocked = false;
+            for (std::size_t i = p + 1; i < q && !blocked; ++i) {
+                if (ops[i].def() == x)
+                    blocked = true;
+                for (const VReg &u : ops[i].uses())
+                    if (u == x)
+                        blocked = true;
+            }
+            if (blocked)
+                continue;
+
+            ops[p].dst = x;
+            // Turn the copy into a nop; DCE sweeps it.
+            copy = Op(Opcode::Nop);
+            changed = true;
+        }
+        // Remove the nops right away to keep blocks clean.
+        std::erase_if(ops,
+                      [](const Op &op) { return op.opcode == Opcode::Nop; });
+    }
+    return changed;
+}
+
+} // namespace dsp

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Local redundant-load elimination (memory CSE).
+ *
+ * Within a basic block, a load from the same (object, index register,
+ * offset) as an earlier load — or as an earlier store's value — reuses
+ * the register instead of touching memory, provided no intervening
+ * may-alias store, call, or redefinition of the involved registers.
+ *
+ * Besides being a straightforward win, this matters for fidelity of
+ * the duplication analysis: a source expression that mentions a[i]
+ * twice would otherwise produce a same-array load pair that looks like
+ * a duplication opportunity when it is really just a missing CSE.
+ */
+
+#include <vector>
+
+#include "codegen/dep_graph.hh"
+#include "ir/function.hh"
+#include "opt/passes.hh"
+
+namespace dsp
+{
+
+namespace
+{
+
+struct AvailEntry
+{
+    /** The memory operand this value was read from / written to. */
+    const DataObject *object;
+    bool hasIndex;
+    VReg index;
+    int offset;
+    /** Register currently holding the value. */
+    VReg value;
+    /** A synthetic op describing the access, for alias queries. */
+    Op accessOp;
+};
+
+bool
+sameAddress(const AvailEntry &e, const Op &op)
+{
+    if (e.object != op.mem.object || e.offset != op.mem.offset)
+        return false;
+    bool has_index = op.mem.index.valid();
+    if (e.hasIndex != has_index)
+        return false;
+    return !has_index || e.index == op.mem.index;
+}
+
+} // namespace
+
+bool
+runMemoryCse(Function &fn)
+{
+    bool changed = false;
+    for (auto &bb : fn.blocks) {
+        std::vector<AvailEntry> avail;
+
+        auto invalidate_reg = [&](const VReg &r) {
+            if (!r.valid())
+                return;
+            std::erase_if(avail, [&](const AvailEntry &e) {
+                return e.value == r || (e.hasIndex && e.index == r);
+            });
+        };
+
+        for (Op &op : bb->ops) {
+            if (op.opcode == Opcode::Call) {
+                avail.clear();
+                continue;
+            }
+
+            if ((op.opcode == Opcode::Ld || op.opcode == Opcode::LdF) &&
+                !op.mem.addrBase.valid()) {
+                // Try to reuse an available value.
+                bool reused = false;
+                for (const AvailEntry &e : avail) {
+                    if (sameAddress(e, op) &&
+                        e.value.cls == op.dst.cls) {
+                        VReg dst = op.dst;
+                        Op copy(Opcode::Copy);
+                        copy.dst = dst;
+                        copy.srcs = {e.value};
+                        copy.loc = op.loc;
+                        op = std::move(copy);
+                        changed = true;
+                        reused = true;
+                        break;
+                    }
+                }
+                if (!reused) {
+                    AvailEntry e{op.mem.object, op.mem.index.valid(),
+                                 op.mem.index, op.mem.offset, op.dst, op};
+                    invalidate_reg(op.dst); // dst redefined below
+                    avail.push_back(std::move(e));
+                    continue;
+                }
+            } else if (isStore(op.opcode) && op.mem.valid()) {
+                // Kill entries the store may overwrite, then make the
+                // stored value available (store-to-load forwarding).
+                std::erase_if(avail, [&](const AvailEntry &e) {
+                    return memMayAlias(e.accessOp, op);
+                });
+                if ((op.opcode == Opcode::St ||
+                     op.opcode == Opcode::StF) &&
+                    !op.mem.addrBase.valid()) {
+                    avail.push_back({op.mem.object, op.mem.index.valid(),
+                                     op.mem.index, op.mem.offset,
+                                     op.srcs[0], op});
+                }
+            }
+
+            VReg def = op.def();
+            if (def.valid())
+                invalidate_reg(def);
+        }
+    }
+    return changed;
+}
+
+} // namespace dsp

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Dead code elimination: removes pure ops whose results are never used.
+ */
+
+#include <set>
+
+#include "ir/function.hh"
+#include "opt/passes.hh"
+
+namespace dsp
+{
+
+namespace
+{
+
+/** Ops that may be deleted when their result is unused. */
+bool
+removable(const Op &op)
+{
+    if (!op.def().valid())
+        return false;
+    switch (op.opcode) {
+      case Opcode::Call: // side effects
+      case Opcode::In:   // consumes the input stream
+      case Opcode::InF:
+        return false;
+      default:
+        return true;
+    }
+}
+
+} // namespace
+
+bool
+runDeadCodeElim(Function &fn)
+{
+    bool any_change = false;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+
+        std::set<std::pair<int, int>> used; // (class, id)
+        for (auto &bb : fn.blocks) {
+            for (const Op &op : bb->ops) {
+                for (const VReg &u : op.uses())
+                    used.insert({static_cast<int>(u.cls), u.id});
+            }
+        }
+
+        for (auto &bb : fn.blocks) {
+            std::size_t before = bb->ops.size();
+            std::erase_if(bb->ops, [&](const Op &op) {
+                if (!removable(op))
+                    return false;
+                VReg d = op.def();
+                return !used.count({static_cast<int>(d.cls), d.id});
+            });
+            if (bb->ops.size() != before)
+                changed = true;
+        }
+        any_change |= changed;
+    }
+    return any_change;
+}
+
+} // namespace dsp

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Loop rotation (do-while conversion) and exit-compare rewriting.
+ *
+ * Rotation copies a loop header's condition computation into the
+ * preheader (as a guard) and into the latch (as the back branch),
+ * leaving a bottom-tested loop whose body+condition fuse into one
+ * basic block. Since both the compaction pass and the interference
+ * builder are block-local (paper §3.1), this is what lets loop bodies
+ * expose their full memory parallelism — the rough equivalent of the
+ * zero-overhead looping hardware (REP) that DSPs provide.
+ *
+ * Exit-compare rewriting then turns `v += c; t = v < K` into
+ * `t = v < K-c; v += c` so the back branch no longer chains behind the
+ * induction increment, shortening the recurrence-limited schedule.
+ */
+
+#include <set>
+
+#include "ir/function.hh"
+#include "ir/loop_info.hh"
+#include "opt/passes.hh"
+
+namespace dsp
+{
+
+namespace
+{
+
+/** Safe to duplicate: value-producing ops without side effects. */
+bool
+duplicable(const Op &op)
+{
+    if (op.isTerminator())
+        return true; // handled structurally
+    switch (op.opcode) {
+      case Opcode::Call:
+      case Opcode::In:
+      case Opcode::InF:
+      case Opcode::Out:
+      case Opcode::OutF:
+      case Opcode::St:
+      case Opcode::StF:
+      case Opcode::StA:
+      case Opcode::Lock:
+      case Opcode::Unlock:
+        return false;
+      default:
+        return true;
+    }
+}
+
+/** Block ends with exactly `... ; Bt(c, t1) ; Jmp(t2)`. */
+bool
+endsWithCondBranch(const BasicBlock &bb)
+{
+    return bb.ops.size() >= 2 &&
+           bb.ops[bb.ops.size() - 2].opcode == Opcode::Bt &&
+           bb.ops.back().opcode == Opcode::Jmp;
+}
+
+/** Block ends with a single unconditional `Jmp(target)`. */
+bool
+endsWithPlainJmp(const BasicBlock &bb, const BasicBlock *target)
+{
+    if (bb.ops.empty() || bb.ops.back().opcode != Opcode::Jmp ||
+        bb.ops.back().target != target)
+        return false;
+    if (bb.ops.size() >= 2 &&
+        bb.ops[bb.ops.size() - 2].opcode == Opcode::Bt)
+        return false;
+    return true;
+}
+
+bool
+rotateOne(Function &fn)
+{
+    for (const NaturalLoop &loop : findNaturalLoops(fn)) {
+        BasicBlock *header = loop.header;
+        BasicBlock *pre = loop.preheader;
+        if (!pre)
+            continue;
+        // Top-tested shape: header computes a condition and two-way
+        // branches; one target inside the loop, one outside.
+        if (!endsWithCondBranch(*header))
+            continue;
+        const Op &bt = header->ops[header->ops.size() - 2];
+        const Op &jmp = header->ops.back();
+        bool bt_in = loop.body.count(bt.target) > 0;
+        bool jmp_in = loop.body.count(jmp.target) > 0;
+        if (bt_in == jmp_in)
+            continue; // not an exit test
+        // All header body ops must be duplicable.
+        bool ok = true;
+        for (const Op &op : header->ops)
+            if (!duplicable(op))
+                ok = false;
+        if (!ok)
+            continue;
+
+        // Single latch ending in a plain jump to the header.
+        BasicBlock *latch = nullptr;
+        bool unique_latch = true;
+        for (auto &bb : fn.blocks) {
+            if (!loop.body.count(bb.get()))
+                continue;
+            for (BasicBlock *succ : bb->successors()) {
+                if (succ == header) {
+                    if (latch && latch != bb.get())
+                        unique_latch = false;
+                    latch = bb.get();
+                }
+            }
+        }
+        if (!latch || !unique_latch || latch == header)
+            continue;
+        if (!endsWithPlainJmp(*latch, header))
+            continue;
+        if (!endsWithPlainJmp(*pre, header))
+            continue;
+
+        // Rotate: replace the preheader's and latch's `jmp header` with
+        // a copy of the header's entire op list (condition + branches).
+        auto splice = [&](BasicBlock *bb) {
+            bb->ops.pop_back();
+            for (const Op &op : header->ops)
+                bb->ops.push_back(op);
+        };
+        splice(pre);
+        splice(latch);
+        return true; // structure changed; caller re-analyzes
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+runLoopRotate(Function &fn)
+{
+    bool changed = false;
+    // Each rotation invalidates the loop analysis; iterate.
+    for (int guard = 0; guard < 64; ++guard) {
+        if (!rotateOne(fn))
+            break;
+        runSimplifyCfg(fn); // drop the dead header, merge chains
+        changed = true;
+    }
+    return changed;
+}
+
+bool
+runExitCompareRewrite(Function &fn)
+{
+    bool changed = false;
+    auto is_cmp_imm = [](Opcode op) {
+        switch (op) {
+          case Opcode::CmpEQI: case Opcode::CmpNEI: case Opcode::CmpLTI:
+          case Opcode::CmpLEI: case Opcode::CmpGTI: case Opcode::CmpGEI:
+            return true;
+          default:
+            return false;
+        }
+    };
+
+    for (auto &bb : fn.blocks) {
+        auto &ops = bb->ops;
+        for (std::size_t i = 0; i < ops.size(); ++i) {
+            const Op &inc = ops[i];
+            if (inc.opcode != Opcode::AddI || !inc.dst.valid() ||
+                inc.dst.cls != RegClass::Int ||
+                !(inc.srcs[0] == inc.dst))
+                continue;
+            VReg v = inc.dst;
+            long c = inc.imm;
+
+            for (std::size_t j = i + 1; j < ops.size(); ++j) {
+                const Op &op = ops[j];
+                // v must stay unchanged between the increment and the
+                // compare for the rewrite to hold.
+                if (op.def() == v && j != i)
+                    break;
+                if (!is_cmp_imm(op.opcode) || !(op.srcs[0] == v))
+                    continue;
+                VReg t = op.dst;
+                // Nothing in (i, j) may read or write t.
+                bool blocked = false;
+                for (std::size_t k = i + 1; k < j && !blocked; ++k) {
+                    if (ops[k].def() == t)
+                        blocked = true;
+                    for (const VReg &u : ops[k].uses())
+                        if (u == t)
+                            blocked = true;
+                }
+                if (blocked)
+                    break;
+
+                Op moved = ops[j];
+                moved.imm -= c;
+                ops.erase(ops.begin() + j);
+                ops.insert(ops.begin() + i, std::move(moved));
+                changed = true;
+                break;
+            }
+        }
+    }
+    return changed;
+}
+
+} // namespace dsp

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Multiply-accumulate fusion.
+ *
+ * Rewrites `t = a * b; d = d + t` (t single-use, same block, operands
+ * stable in between) into `d += a*b` — the MAC operation at the heart of
+ * every DSP inner loop (Figure 1 of the paper uses the DSP56001's MAC).
+ */
+
+#include <map>
+
+#include "ir/function.hh"
+#include "opt/passes.hh"
+
+namespace dsp
+{
+
+namespace
+{
+
+struct Key
+{
+    RegClass cls;
+    int id;
+    bool operator<(const Key &o) const
+    {
+        return cls != o.cls ? cls < o.cls : id < o.id;
+    }
+};
+
+Key
+keyOf(const VReg &r)
+{
+    return Key{r.cls, r.id};
+}
+
+bool
+fuseInBlock(BasicBlock &bb, const std::map<Key, int> &use_count)
+{
+    bool changed = false;
+    auto &ops = bb.ops;
+    for (std::size_t q = 0; q < ops.size(); ++q) {
+        Op &add = ops[q];
+        bool flt = add.opcode == Opcode::FAdd;
+        if (add.opcode != Opcode::Add && !flt)
+            continue;
+
+        // d = d + t  or  d = t + d, where t is a single-use mul result.
+        VReg d = add.dst;
+        for (int which = 0; which < 2; ++which) {
+            VReg acc = add.srcs[which];
+            VReg t = add.srcs[1 - which];
+            if (!(acc == d)) // accumulation pattern only
+                continue;
+            if (t == d)
+                continue;
+            auto uc = use_count.find(keyOf(t));
+            if (uc == use_count.end() || uc->second != 1)
+                continue;
+
+            // Find the defining multiply earlier in this block.
+            int p = -1;
+            for (int i = static_cast<int>(q) - 1; i >= 0; --i) {
+                if (ops[i].def() == t) {
+                    Opcode want = flt ? Opcode::FMul : Opcode::Mul;
+                    if (ops[i].opcode == want)
+                        p = i;
+                    break;
+                }
+            }
+            if (p < 0)
+                continue;
+
+            VReg ma = ops[p].srcs[0];
+            VReg mb = ops[p].srcs[1];
+            // Between p and q: the accumulator and both multiplicands
+            // must not be redefined (the mul conceptually moves to q).
+            bool blocked = false;
+            for (std::size_t i = p + 1; i < q && !blocked; ++i) {
+                VReg def = ops[i].def();
+                if (def == ma || def == mb || def == d)
+                    blocked = true;
+            }
+            if (blocked)
+                continue;
+
+            // Rewrite: drop the mul, turn the add into a mac.
+            Op mac(flt ? Opcode::FMac : Opcode::Mac);
+            mac.dst = d;
+            mac.srcs = {ma, mb};
+            mac.loc = add.loc;
+            add = std::move(mac);
+            ops.erase(ops.begin() + p);
+            changed = true;
+            break;
+        }
+        if (changed)
+            break; // indices shifted; caller loops us again
+    }
+    return changed;
+}
+
+} // namespace
+
+bool
+runMacFuse(Function &fn)
+{
+    bool any = false;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        std::map<Key, int> use_count;
+        for (auto &bb : fn.blocks) {
+            for (const Op &op : bb->ops) {
+                for (const VReg &u : op.uses())
+                    ++use_count[keyOf(u)];
+            }
+        }
+        for (auto &bb : fn.blocks)
+            changed |= fuseInBlock(*bb, use_count);
+        any |= changed;
+    }
+    return any;
+}
+
+} // namespace dsp

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Machine-independent optimization passes.
+ *
+ * Each pass transforms one Function in place and returns true if it
+ * changed anything. runStandardPipeline() iterates them to a fixpoint.
+ * These mirror the "all other optimizations enabled" configuration the
+ * paper measures its baseline with: the data-allocation comparison is
+ * only meaningful on top of competently optimized scalar code.
+ */
+
+#ifndef DSP_OPT_PASSES_HH
+#define DSP_OPT_PASSES_HH
+
+namespace dsp
+{
+
+class Function;
+class Module;
+
+/** Fold/strength-reduce constant operands (AddI/MulI/... forms). */
+bool runConstFold(Function &fn);
+
+/** Forward-propagate copies within basic blocks. */
+bool runCopyProp(Function &fn);
+
+/** Coalesce `def t; copy x,t` pairs into `def x` (single-use temps). */
+bool runCopyCoalesce(Function &fn);
+
+/** Remove pure operations whose results are never used. */
+bool runDeadCodeElim(Function &fn);
+
+/** Reuse earlier loads/stored values of the same address (local CSE). */
+bool runMemoryCse(Function &fn);
+
+/** Thread jumps, merge straight-line block chains, drop dead blocks. */
+bool runSimplifyCfg(Function &fn);
+
+/** Fuse mul+add chains into multiply-accumulate (Mac/FMac) ops. */
+bool runMacFuse(Function &fn);
+
+/** Turn derived loop indices (iv + invariant) into their own IVs. */
+bool runStrengthReduce(Function &fn);
+
+/** Do-while conversion: bottom-test loops, fuse body+condition. */
+bool runLoopRotate(Function &fn);
+
+/** Rewrite `v += c; v < K` into `v < K-c; v += c` (shorter back-branch
+ *  recurrence). */
+bool runExitCompareRewrite(Function &fn);
+
+/** Unroll counted even-trip single-block loops by a factor of two. */
+bool runLoopUnroll(Function &fn);
+
+/** Run all passes to a fixpoint (bounded). Returns total change count. */
+int runStandardPipeline(Function &fn);
+int runStandardPipeline(Module &mod);
+
+} // namespace dsp
+
+#endif // DSP_OPT_PASSES_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Standard optimization pipeline driver.
+ */
+
+#include "ir/module.hh"
+#include "opt/passes.hh"
+
+namespace dsp
+{
+
+int
+runStandardPipeline(Function &fn)
+{
+    int total = 0;
+    for (int round = 0; round < 8; ++round) {
+        bool changed = false;
+        changed |= runSimplifyCfg(fn);
+        changed |= runCopyProp(fn);
+        changed |= runConstFold(fn);
+        changed |= runMemoryCse(fn);
+        changed |= runCopyCoalesce(fn);
+        changed |= runMacFuse(fn);
+        changed |= runDeadCodeElim(fn);
+        if (!changed)
+            break;
+        ++total;
+    }
+    // Loop-shaping phase: rotate loops so body+condition share a block
+    // (compaction is block-local), strength-reduce derived indices,
+    // then shorten the back-branch recurrence.
+    if (runLoopRotate(fn))
+        ++total;
+    for (int round = 0; round < 4; ++round) {
+        bool changed = false;
+        changed |= runCopyProp(fn);
+        changed |= runConstFold(fn);
+        changed |= runMemoryCse(fn);
+        changed |= runCopyCoalesce(fn);
+        changed |= runMacFuse(fn);
+        changed |= runDeadCodeElim(fn);
+        changed |= runSimplifyCfg(fn);
+        if (!changed)
+            break;
+        ++total;
+    }
+    // Iterate: reducing `2*i` exposes `2*i + 1` as a further candidate.
+    for (int round = 0; round < 4; ++round) {
+        if (!runStrengthReduce(fn))
+            break;
+        runDeadCodeElim(fn);
+        runConstFold(fn);
+        runCopyProp(fn);
+        runDeadCodeElim(fn);
+        ++total;
+    }
+    if (runLoopUnroll(fn)) {
+        // The unrolled bodies expose fresh derived-index candidates
+        // and cross-copy redundant loads.
+        for (int round = 0; round < 2; ++round) {
+            if (!runStrengthReduce(fn))
+                break;
+            runDeadCodeElim(fn);
+            runConstFold(fn);
+            runCopyProp(fn);
+            runDeadCodeElim(fn);
+        }
+        runMemoryCse(fn);
+        runCopyProp(fn);
+        runDeadCodeElim(fn);
+        ++total;
+    }
+    if (runExitCompareRewrite(fn))
+        ++total;
+    return total;
+}
+
+int
+runStandardPipeline(Module &mod)
+{
+    int total = 0;
+    for (auto &fn : mod.functions)
+        total += runStandardPipeline(*fn);
+    return total;
+}
+
+} // namespace dsp

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * CFG simplification: jump threading, straight-line block merging,
+ * redundant-branch removal, and unreachable-block pruning.
+ *
+ * Larger basic blocks matter directly for this paper: the compaction
+ * algorithm (and the interference-graph builder modeled on it) is local
+ * to basic blocks, so merged blocks expose more pairs of memory ops
+ * that can issue in parallel.
+ */
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "ir/function.hh"
+#include "opt/passes.hh"
+
+namespace dsp
+{
+
+namespace
+{
+
+/** A block containing exactly one unconditional jump. */
+BasicBlock *
+trivialJumpTarget(BasicBlock *bb)
+{
+    if (bb->ops.size() == 1 && bb->ops[0].opcode == Opcode::Jmp)
+        return bb->ops[0].target;
+    return nullptr;
+}
+
+bool
+threadJumps(Function &fn)
+{
+    bool changed = false;
+    for (auto &bb : fn.blocks) {
+        for (Op &op : bb->ops) {
+            if (!isBranch(op.opcode))
+                continue;
+            // Follow chains of trivial jumps (with a cycle guard).
+            std::set<BasicBlock *> seen;
+            while (op.target && seen.insert(op.target).second) {
+                BasicBlock *next = trivialJumpTarget(op.target);
+                if (!next || next == op.target)
+                    break;
+                op.target = next;
+                changed = true;
+            }
+        }
+    }
+    return changed;
+}
+
+bool
+dropRedundantBt(Function &fn)
+{
+    // `bt c, L; jmp L` --> `jmp L`.
+    bool changed = false;
+    for (auto &bb : fn.blocks) {
+        auto &ops = bb->ops;
+        if (ops.size() >= 2) {
+            Op &bt = ops[ops.size() - 2];
+            Op &jmp = ops[ops.size() - 1];
+            if (bt.opcode == Opcode::Bt && jmp.opcode == Opcode::Jmp &&
+                bt.target == jmp.target) {
+                ops.erase(ops.end() - 2);
+                changed = true;
+            }
+        }
+    }
+    return changed;
+}
+
+bool
+removeUnreachable(Function &fn)
+{
+    std::set<BasicBlock *> reachable{fn.entry()};
+    std::vector<BasicBlock *> work{fn.entry()};
+    while (!work.empty()) {
+        BasicBlock *bb = work.back();
+        work.pop_back();
+        for (BasicBlock *s : bb->successors()) {
+            if (reachable.insert(s).second)
+                work.push_back(s);
+        }
+    }
+    std::size_t before = fn.blocks.size();
+    std::erase_if(fn.blocks, [&](const auto &bb) {
+        return !reachable.count(bb.get());
+    });
+    return fn.blocks.size() != before;
+}
+
+bool
+mergeChains(Function &fn)
+{
+    // Count predecessors.
+    std::map<BasicBlock *, int> pred_count;
+    for (auto &bb : fn.blocks) {
+        for (BasicBlock *s : bb->successors())
+            ++pred_count[s];
+    }
+
+    bool changed = false;
+    for (auto &bb : fn.blocks) {
+        while (true) {
+            if (bb->ops.empty() || bb->ops.back().opcode != Opcode::Jmp)
+                break;
+            // A `bt` above the final jmp means two successors.
+            if (bb->ops.size() >= 2 &&
+                bb->ops[bb->ops.size() - 2].opcode == Opcode::Bt)
+                break;
+            BasicBlock *succ = bb->ops.back().target;
+            if (succ == bb.get() || succ == fn.entry())
+                break;
+            if (pred_count[succ] != 1)
+                break;
+            // Merge succ into bb.
+            bb->ops.pop_back();
+            for (Op &op : succ->ops)
+                bb->ops.push_back(std::move(op));
+            succ->ops.clear();
+            // succ keeps no ops; the unreachable pass removes it. Update
+            // pred counts for succ's successors: they now hang off bb,
+            // with the same count.
+            changed = true;
+        }
+    }
+    if (changed) {
+        // Drop the now-empty husks.
+        std::erase_if(fn.blocks, [&](const auto &bb) {
+            return bb->ops.empty() && bb.get() != fn.entry();
+        });
+    }
+    return changed;
+}
+
+} // namespace
+
+bool
+runSimplifyCfg(Function &fn)
+{
+    bool changed = false;
+    changed |= threadJumps(fn);
+    changed |= dropRedundantBt(fn);
+    changed |= removeUnreachable(fn);
+    changed |= mergeChains(fn);
+    changed |= removeUnreachable(fn);
+    return changed;
+}
+
+} // namespace dsp

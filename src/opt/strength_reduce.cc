@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Induction-variable strength reduction for derived array indices.
+ *
+ * Rewrites `t = v + w` inside a loop — where v is a basic induction
+ * variable (single in-loop definition `v = v + c`) and w is loop
+ * invariant — into a new induction variable t2 that is initialized in
+ * the preheader and incremented in lockstep with v. Same-block uses of
+ * t after its definition (and before v's increment) then read t2.
+ *
+ * This matters directly for the paper's experiments: access patterns
+ * like `signal[n] * signal[n+m]` (Figure 6) otherwise serialize the
+ * second load behind the in-loop add, hiding the same-array memory
+ * parallelism that partial data duplication exists to exploit. DSP
+ * code generators keep such addresses in auto-incremented address
+ * registers; this pass is the equivalent for our index registers.
+ */
+
+#include <map>
+
+#include "ir/function.hh"
+#include "ir/loop_info.hh"
+#include "opt/passes.hh"
+
+namespace dsp
+{
+
+namespace
+{
+
+struct IndVar
+{
+    VReg reg;
+    BasicBlock *incBlock = nullptr;
+    int incIndex = -1;
+    long step = 0;
+};
+
+/** Count in-loop definitions of int-class registers. */
+std::map<int, int>
+countIntDefs(const NaturalLoop &loop)
+{
+    std::map<int, int> counts;
+    for (BasicBlock *bb : loop.body) {
+        for (const Op &op : bb->ops) {
+            VReg d = op.def();
+            if (d.valid() && d.cls == RegClass::Int)
+                ++counts[d.id];
+        }
+    }
+    return counts;
+}
+
+/** Basic induction variables: the only in-loop def is v = AddI v, c. */
+std::map<int, IndVar>
+findBasicIvs(const NaturalLoop &loop, const std::map<int, int> &defs)
+{
+    std::map<int, IndVar> ivs;
+    for (BasicBlock *bb : loop.body) {
+        for (std::size_t i = 0; i < bb->ops.size(); ++i) {
+            const Op &op = bb->ops[i];
+            if (op.opcode != Opcode::AddI || !op.dst.valid())
+                continue;
+            if (op.dst.cls != RegClass::Int || !(op.srcs[0] == op.dst))
+                continue;
+            auto it = defs.find(op.dst.id);
+            if (it == defs.end() || it->second != 1)
+                continue;
+            ivs[op.dst.id] = {op.dst, bb, static_cast<int>(i), op.imm};
+        }
+    }
+    return ivs;
+}
+
+bool
+usesReg(const Op &op, const VReg &r)
+{
+    for (const VReg &u : op.uses())
+        if (u == r)
+            return true;
+    return false;
+}
+
+bool
+reduceOneLoop(Function &fn, const NaturalLoop &loop)
+{
+    if (!loop.preheader)
+        return false;
+
+    bool changed = false;
+    auto defs = countIntDefs(loop);
+    auto ivs = findBasicIvs(loop, defs);
+    if (ivs.empty())
+        return false;
+
+    auto invariant = [&](const VReg &r) {
+        return r.valid() && r.cls == RegClass::Int && !defs.count(r.id);
+    };
+
+    for (BasicBlock *bb : loop.body) {
+        // Note: we mutate op lists as we go; index-based loop with
+        // fresh bound checks keeps this safe, and each rewritten def is
+        // only visited once.
+        for (std::size_t p = 0; p < bb->ops.size(); ++p) {
+            Op &def_op = bb->ops[p];
+            if (!def_op.dst.valid() || def_op.dst.cls != RegClass::Int)
+                continue;
+
+            // Recognized derived forms: t = v + w, t = v + c,
+            // t = v - w, t = w - v, t = v * c, t = v << c
+            // (v a basic IV, w invariant).
+            enum class Form { AddReg, AddImm, SubReg, MulImm, ShlImm };
+            Form form;
+            VReg v, w;
+            bool negate_step = false;
+            long imm = 0;
+            if (def_op.opcode == Opcode::Add) {
+                VReg a = def_op.srcs[0], b = def_op.srcs[1];
+                if (ivs.count(a.id) && invariant(b)) {
+                    v = a;
+                    w = b;
+                } else if (ivs.count(b.id) && invariant(a)) {
+                    v = b;
+                    w = a;
+                } else {
+                    continue;
+                }
+                form = Form::AddReg;
+            } else if (def_op.opcode == Opcode::Sub) {
+                VReg a = def_op.srcs[0], b = def_op.srcs[1];
+                if (ivs.count(a.id) && invariant(b)) {
+                    v = a;       // t = v - w: step +c
+                    w = b;
+                } else if (ivs.count(b.id) && invariant(a)) {
+                    v = b;       // t = w - v: step -c
+                    w = a;
+                    negate_step = true;
+                } else {
+                    continue;
+                }
+                form = Form::SubReg;
+            } else if (def_op.opcode == Opcode::AddI &&
+                       ivs.count(def_op.srcs[0].id) &&
+                       !(def_op.srcs[0] == def_op.dst)) {
+                v = def_op.srcs[0];
+                form = Form::AddImm;
+                imm = def_op.imm;
+            } else if (def_op.opcode == Opcode::MulI &&
+                       ivs.count(def_op.srcs[0].id)) {
+                v = def_op.srcs[0];
+                form = Form::MulImm;
+                imm = def_op.imm;
+            } else if (def_op.opcode == Opcode::ShlI &&
+                       ivs.count(def_op.srcs[0].id)) {
+                v = def_op.srcs[0];
+                form = Form::ShlImm;
+                imm = def_op.imm;
+            } else {
+                continue;
+            }
+
+            VReg t = def_op.dst;
+            auto dt = defs.find(t.id);
+            if (dt == defs.end() || dt->second != 1 || ivs.count(t.id))
+                continue;
+
+            IndVar iv = ivs.at(v.id);
+
+            // Find same-block uses of t after the def, stopping at v's
+            // increment if it lives later in this same block.
+            std::size_t stop = bb->ops.size();
+            if (iv.incBlock == bb &&
+                static_cast<std::size_t>(iv.incIndex) > p)
+                stop = static_cast<std::size_t>(iv.incIndex);
+
+            bool any_use = false;
+            for (std::size_t q = p + 1; q < stop; ++q) {
+                if (usesReg(bb->ops[q], t))
+                    any_use = true;
+            }
+            if (!any_use)
+                continue;
+
+            // --- Rewrite uses first (indices are still stable). ---
+            VReg t2 = fn.newVReg(RegClass::Int);
+            for (std::size_t q = p + 1; q < stop; ++q) {
+                Op &use_op = bb->ops[q];
+                for (VReg &u : use_op.srcs)
+                    if (u == t)
+                        u = t2;
+                if (use_op.mem.index == t)
+                    use_op.mem.index = t2;
+            }
+
+            // --- Preheader init: t2 = f(v) with v at loop entry. ---
+            {
+                Op init(def_op.opcode);
+                init.dst = t2;
+                if (form == Form::AddReg || form == Form::SubReg) {
+                    init.srcs = def_op.srcs; // preserve operand order
+                } else {
+                    init.srcs = {v};
+                    init.imm = imm;
+                }
+                auto &pre_ops = loop.preheader->ops;
+                std::size_t at = pre_ops.size();
+                while (at > 0 && pre_ops[at - 1].isTerminator())
+                    --at;
+                pre_ops.insert(pre_ops.begin() + at, std::move(init));
+            }
+
+            // --- Lockstep increment right after v's. ---
+            {
+                long t2_step = iv.step;
+                if (form == Form::MulImm)
+                    t2_step = iv.step * imm;
+                else if (form == Form::ShlImm)
+                    t2_step = iv.step << (imm & 31);
+                if (negate_step)
+                    t2_step = -t2_step;
+                Op inc(Opcode::AddI);
+                inc.dst = t2;
+                inc.srcs = {t2};
+                inc.imm = t2_step;
+                iv.incBlock->ops.insert(
+                    iv.incBlock->ops.begin() + iv.incIndex + 1,
+                    std::move(inc));
+            }
+
+            // Bookkeeping: t2 now has one in-loop def and is itself a
+            // basic IV; positions may have shifted, so recompute.
+            defs[t2.id] = 1;
+            ivs = findBasicIvs(loop, defs);
+            changed = true;
+
+            // If the increment was inserted in this block before p,
+            // our index p now points one later; the def we just
+            // handled will not match again (t has a def count of 1 and
+            // its uses moved to t2), so continuing is safe.
+            if (iv.incBlock == bb &&
+                static_cast<std::size_t>(iv.incIndex) <= p)
+                ++p;
+        }
+    }
+    return changed;
+}
+
+} // namespace
+
+bool
+runStrengthReduce(Function &fn)
+{
+    bool changed = false;
+    for (const NaturalLoop &loop : findNaturalLoops(fn))
+        changed |= reduceOneLoop(fn, loop);
+    return changed;
+}
+
+} // namespace dsp

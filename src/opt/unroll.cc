@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Unrolling of counted, bottom-tested, single-block loops (factor 2).
+ *
+ * After rotation, a hot loop is one basic block ending in
+ * `addi v,v,s; ...; t = cmp v, K; bt t, self; jmp exit`. When the trip
+ * count is a compile-time-even constant, the body is duplicated in
+ * place (minus the first copy's branch), doubling the number of memory
+ * operations per basic block. Because both the compaction pass and the
+ * interference-graph builder are block-local, this is what exposes the
+ * "loops with large amounts of parallelism and several memory
+ * operations" behaviour the paper attributes its kernel gains to: with
+ * two loads per iteration the accumulator recurrence hides the bank
+ * conflict, but with four or more the single memory port becomes the
+ * bottleneck that dual banks remove.
+ *
+ * No arithmetic is reassociated (accumulator chains stay serial), so
+ * float results remain bit-identical.
+ */
+
+#include <set>
+
+#include "ir/function.hh"
+#include "opt/passes.hh"
+
+namespace dsp
+{
+
+namespace
+{
+
+struct CountedLoop
+{
+    BasicBlock *block = nullptr;
+    long tripCount = 0;
+    std::size_t bodyLen = 0; ///< ops before the Bt/Jmp pair
+};
+
+bool
+analyzeSelfLoop(Function &fn, BasicBlock *bb, CountedLoop &out)
+{
+    auto &ops = bb->ops;
+    if (ops.size() < 4)
+        return false;
+    const Op &jmp = ops.back();
+    const Op &bt = ops[ops.size() - 2];
+    if (jmp.opcode != Opcode::Jmp || bt.opcode != Opcode::Bt ||
+        bt.target != bb)
+        return false;
+
+    VReg cond = bt.srcs[0];
+
+    // The condition must be defined exactly once in the block by an
+    // immediate compare, and used only by the branch.
+    int cmp_idx = -1;
+    int cond_uses = 0;
+    for (std::size_t i = 0; i + 2 < ops.size(); ++i) {
+        if (ops[i].def() == cond) {
+            if (cmp_idx >= 0)
+                return false;
+            cmp_idx = static_cast<int>(i);
+        }
+        for (const VReg &u : ops[i].uses())
+            if (u == cond)
+                ++cond_uses;
+    }
+    if (cmp_idx < 0 || cond_uses > 0)
+        return false;
+    const Op &cmp = ops[cmp_idx];
+    Opcode cc = cmp.opcode;
+    if (cc != Opcode::CmpLTI && cc != Opcode::CmpLEI &&
+        cc != Opcode::CmpGTI && cc != Opcode::CmpGEI)
+        return false;
+    VReg v = cmp.srcs[0];
+    long bound = cmp.imm;
+
+    // v must have exactly one in-block def: addi v, v, s before the
+    // compare.
+    int inc_idx = -1;
+    for (std::size_t i = 0; i + 2 < ops.size(); ++i) {
+        if (ops[i].def() == v) {
+            if (inc_idx >= 0)
+                return false;
+            inc_idx = static_cast<int>(i);
+        }
+    }
+    if (inc_idx < 0 || inc_idx > cmp_idx)
+        return false;
+    const Op &inc = ops[inc_idx];
+    if (inc.opcode != Opcode::AddI || !(inc.srcs[0] == v))
+        return false;
+    long step = inc.imm;
+    if (step == 0)
+        return false;
+
+    // Initial value: the reaching def of v at the end of the unique
+    // preheader must be a constant move.
+    BasicBlock *pre = nullptr;
+    for (auto &other : fn.blocks) {
+        if (other.get() == bb)
+            continue;
+        for (BasicBlock *succ : other->successors()) {
+            if (succ == bb) {
+                if (pre)
+                    return false;
+                pre = other.get();
+            }
+        }
+    }
+    if (!pre)
+        return false;
+    long init = 0;
+    bool have_init = false;
+    for (auto it = pre->ops.rbegin(); it != pre->ops.rend(); ++it) {
+        if (it->def() == v) {
+            if (it->opcode == Opcode::MovI) {
+                init = it->imm;
+                have_init = true;
+            }
+            break;
+        }
+    }
+    if (!have_init)
+        return false;
+
+    // Trip count: bodies executed until the post-increment test fails.
+    long n = 0;
+    if (step > 0 && cc == Opcode::CmpLTI) {
+        if (bound <= init)
+            return false;
+        n = (bound - init + step - 1) / step;
+    } else if (step > 0 && cc == Opcode::CmpLEI) {
+        if (bound < init)
+            return false;
+        n = (bound - init) / step + 1;
+    } else if (step < 0 && cc == Opcode::CmpGTI) {
+        if (bound >= init)
+            return false;
+        n = (init - bound + (-step) - 1) / (-step);
+    } else if (step < 0 && cc == Opcode::CmpGEI) {
+        if (bound > init)
+            return false;
+        n = (init - bound) / (-step) + 1;
+    } else {
+        return false;
+    }
+
+    out.block = bb;
+    out.tripCount = n;
+    out.bodyLen = ops.size() - 2;
+    return true;
+}
+
+int
+memOpCount(const BasicBlock &bb)
+{
+    int n = 0;
+    for (const Op &op : bb.ops)
+        if (op.isMem() || isIoOp(op.opcode))
+            ++n;
+    return n;
+}
+
+} // namespace
+
+bool
+runLoopUnroll(Function &fn)
+{
+    bool changed = false;
+    for (auto &bb : fn.blocks) {
+        CountedLoop loop;
+        if (!analyzeSelfLoop(fn, bb.get(), loop))
+            continue;
+        if (loop.tripCount < 2 || loop.tripCount % 2 != 0)
+            continue;
+        if (loop.bodyLen > 60)
+            continue;
+        if (memOpCount(*bb) < 2)
+            continue;
+
+        auto &ops = bb->ops;
+        std::vector<Op> unrolled;
+        unrolled.reserve(2 * loop.bodyLen + 2);
+        for (std::size_t i = 0; i < loop.bodyLen; ++i)
+            unrolled.push_back(ops[i]);
+        for (std::size_t i = 0; i < loop.bodyLen; ++i)
+            unrolled.push_back(ops[i]);
+        unrolled.push_back(ops[loop.bodyLen]);     // bt
+        unrolled.push_back(ops[loop.bodyLen + 1]); // jmp
+        ops = std::move(unrolled);
+        changed = true;
+    }
+    if (changed)
+        runDeadCodeElim(fn); // first copy's compare is dead
+    return changed;
+}
+
+} // namespace dsp

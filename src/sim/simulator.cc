@@ -1,0 +1,529 @@
+#include "sim/simulator.hh"
+
+#include <cstring>
+
+#include "ir/module.hh"
+
+namespace dsp
+{
+
+namespace
+{
+
+uint32_t
+floatBits(float f)
+{
+    uint32_t w;
+    std::memcpy(&w, &f, sizeof(w));
+    return w;
+}
+
+float
+bitsFloat(uint32_t w)
+{
+    float f;
+    std::memcpy(&f, &w, sizeof(f));
+    return f;
+}
+
+} // namespace
+
+float
+OutputWord::asFloat() const
+{
+    return bitsFloat(raw);
+}
+
+Simulator::Simulator(const VliwProgram &prog, const Module &mod)
+    : prog(prog), mod(mod)
+{
+    reset();
+}
+
+void
+Simulator::reset()
+{
+    memory.assign(prog.config.totalWords(), 0);
+    std::memset(iRegs, 0, sizeof(iRegs));
+    std::memset(fRegs, 0, sizeof(fRegs));
+    std::memset(aRegs, 0, sizeof(aRegs));
+
+    // Stacks grow downward from the top of each bank.
+    aRegs[regs::AddrSpX] = prog.config.bankWords;
+    aRegs[regs::AddrSpY] = 2 * prog.config.bankWords;
+
+    // Global data image (duplicated objects initialize both copies).
+    for (const auto &g : mod.globals) {
+        for (int i = 0; i < g->size; ++i) {
+            uint32_t w = i < static_cast<int>(g->init.size()) ? g->init[i]
+                                                              : 0;
+            if (g->addrX >= 0)
+                memory[g->addrX + i] = w;
+            if (g->addrY >= 0)
+                memory[g->addrY + i] = w;
+        }
+    }
+
+    curPc = prog.entry;
+    isHalted = false;
+    inputPos = 0;
+    outWords.clear();
+    simStats = SimStats{};
+    instCounts.assign(prog.insts.size(), 0);
+    openPairs.clear();
+}
+
+uint32_t
+Simulator::readMem(int addr) const
+{
+    if (addr < 0 || addr >= static_cast<int>(memory.size()))
+        fatal("memory read out of range: ", addr);
+    return memory[addr];
+}
+
+void
+Simulator::writeMem(int addr, uint32_t value)
+{
+    if (addr < 0 || addr >= static_cast<int>(memory.size()))
+        fatal("memory write out of range: ", addr);
+    memory[addr] = value;
+}
+
+uint32_t
+Simulator::readReg(const VReg &r) const
+{
+    require(r.valid() && r.id < 32, "non-physical register at runtime: ",
+            r.str());
+    switch (r.cls) {
+      case RegClass::Int: return static_cast<uint32_t>(iRegs[r.id]);
+      case RegClass::Float: return fRegs[r.id];
+      case RegClass::Addr: return aRegs[r.id];
+    }
+    return 0;
+}
+
+int32_t
+Simulator::readInt(const VReg &r) const
+{
+    return static_cast<int32_t>(readReg(r));
+}
+
+float
+Simulator::readFloat(const VReg &r) const
+{
+    return bitsFloat(readReg(r));
+}
+
+float
+Simulator::floatReg(int idx) const
+{
+    return bitsFloat(fRegs[idx]);
+}
+
+std::pair<int, int>
+Simulator::objectAddresses(const DataObject &obj, int offset) const
+{
+    switch (obj.storage) {
+      case Storage::Global: {
+        if (obj.duplicated)
+            return {obj.addrX + offset, obj.addrY + offset};
+        int primary = obj.addrX >= 0 ? obj.addrX : obj.addrY;
+        return {primary + offset, -1};
+      }
+      case Storage::Local: {
+        int base_x = static_cast<int>(aRegs[regs::AddrSpX]) +
+                     obj.frameOffset + offset;
+        int base_y = static_cast<int>(aRegs[regs::AddrSpY]) +
+                     obj.frameOffset + offset;
+        if (obj.duplicated)
+            return {base_x, base_y};
+        return {obj.bank == Bank::Y ? base_y : base_x, -1};
+      }
+      case Storage::Param:
+        return {-1, -1};
+    }
+    return {-1, -1};
+}
+
+int
+Simulator::resolveAddress(const Op &op) const
+{
+    const DataObject *obj = op.mem.object;
+    require(obj, "memory op without object: ", op.str());
+
+    long addr = op.mem.offset;
+    if (op.mem.index.valid())
+        addr += readInt(op.mem.index);
+
+    switch (obj->storage) {
+      case Storage::Param:
+        require(op.mem.addrBase.valid(),
+                "param access without base register");
+        addr += static_cast<long>(readReg(op.mem.addrBase));
+        break;
+      case Storage::Global: {
+        Bank b = op.mem.bank;
+        if (obj->duplicated) {
+            require(b == Bank::X || b == Bank::Y,
+                    "duplicated access without a concrete bank: ",
+                    op.str());
+            addr += b == Bank::X ? obj->addrX : obj->addrY;
+        } else {
+            addr += obj->addrX >= 0 ? obj->addrX : obj->addrY;
+        }
+        break;
+      }
+      case Storage::Local: {
+        require(obj->frameOffset >= 0, "local without frame slot: ",
+                obj->name);
+        Bank b = obj->duplicated ? op.mem.bank : obj->bank;
+        uint32_t sp = b == Bank::Y ? aRegs[regs::AddrSpY]
+                                   : aRegs[regs::AddrSpX];
+        addr += static_cast<long>(sp) + obj->frameOffset;
+        break;
+      }
+    }
+    return static_cast<int>(addr);
+}
+
+void
+Simulator::checkPort(const Op &op, int slot, int addr) const
+{
+    if (prog.config.dualPorted)
+        return;
+    bool in_x = addr < prog.config.bankWords;
+    if (slot == SlotMU0 && !in_x)
+        fatal("bank violation: MU0 access to Y address ", addr, " by '",
+              op.str(), "'");
+    if (slot == SlotMU1 && in_x)
+        fatal("bank violation: MU1 access to X address ", addr, " by '",
+              op.str(), "'");
+}
+
+void
+Simulator::execSlot(const Op &op, int slot, std::vector<RegWrite> &regw,
+                    std::vector<MemWrite> &memw, int &next_pc)
+{
+    auto wi = [&](int idx, int32_t v) {
+        regw.push_back({RegClass::Int, idx, static_cast<uint32_t>(v)});
+    };
+    auto wf = [&](int idx, float v) {
+        regw.push_back({RegClass::Float, idx, floatBits(v)});
+    };
+    auto wfraw = [&](int idx, uint32_t v) {
+        regw.push_back({RegClass::Float, idx, v});
+    };
+    auto wa = [&](int idx, uint32_t v) {
+        regw.push_back({RegClass::Addr, idx, v});
+    };
+    auto writeDst = [&](uint32_t raw) {
+        regw.push_back({op.dst.cls, op.dst.id, raw});
+    };
+
+    auto s0 = [&]() { return op.srcs[0]; };
+    auto s1 = [&]() { return op.srcs[1]; };
+
+    switch (op.opcode) {
+      // ----- moves -----
+      case Opcode::MovI:
+        wi(op.dst.id, static_cast<int32_t>(op.imm));
+        return;
+      case Opcode::MovF:
+        wf(op.dst.id, op.fimm);
+        return;
+      case Opcode::Copy:
+        writeDst(readReg(s0()));
+        return;
+
+      // ----- integer ALU -----
+      case Opcode::Add: wi(op.dst.id, readInt(s0()) + readInt(s1())); return;
+      case Opcode::Sub: wi(op.dst.id, readInt(s0()) - readInt(s1())); return;
+      case Opcode::Mul: wi(op.dst.id, readInt(s0()) * readInt(s1())); return;
+      case Opcode::Div: {
+        int32_t d = readInt(s1());
+        if (d == 0)
+            fatal("integer division by zero at pc=", curPc);
+        wi(op.dst.id, readInt(s0()) / d);
+        return;
+      }
+      case Opcode::Rem: {
+        int32_t d = readInt(s1());
+        if (d == 0)
+            fatal("integer remainder by zero at pc=", curPc);
+        wi(op.dst.id, readInt(s0()) % d);
+        return;
+      }
+      case Opcode::And: wi(op.dst.id, readInt(s0()) & readInt(s1())); return;
+      case Opcode::Or: wi(op.dst.id, readInt(s0()) | readInt(s1())); return;
+      case Opcode::Xor: wi(op.dst.id, readInt(s0()) ^ readInt(s1())); return;
+      case Opcode::Shl:
+        wi(op.dst.id, readInt(s0()) << (readInt(s1()) & 31));
+        return;
+      case Opcode::Shr:
+        wi(op.dst.id, readInt(s0()) >> (readInt(s1()) & 31));
+        return;
+      case Opcode::AddI:
+        wi(op.dst.id, readInt(s0()) + static_cast<int32_t>(op.imm));
+        return;
+      case Opcode::MulI:
+        wi(op.dst.id, readInt(s0()) * static_cast<int32_t>(op.imm));
+        return;
+      case Opcode::AndI:
+        wi(op.dst.id, readInt(s0()) & static_cast<int32_t>(op.imm));
+        return;
+      case Opcode::ShlI:
+        wi(op.dst.id, readInt(s0()) << (op.imm & 31));
+        return;
+      case Opcode::ShrI:
+        wi(op.dst.id, readInt(s0()) >> (op.imm & 31));
+        return;
+      case Opcode::Neg: wi(op.dst.id, -readInt(s0())); return;
+      case Opcode::Not: wi(op.dst.id, ~readInt(s0())); return;
+      case Opcode::Mac:
+        wi(op.dst.id,
+           readInt(op.dst) + readInt(s0()) * readInt(s1()));
+        return;
+
+      // ----- integer compares -----
+      case Opcode::CmpEQ: wi(op.dst.id, readInt(s0()) == readInt(s1())); return;
+      case Opcode::CmpNE: wi(op.dst.id, readInt(s0()) != readInt(s1())); return;
+      case Opcode::CmpLT: wi(op.dst.id, readInt(s0()) < readInt(s1())); return;
+      case Opcode::CmpLE: wi(op.dst.id, readInt(s0()) <= readInt(s1())); return;
+      case Opcode::CmpGT: wi(op.dst.id, readInt(s0()) > readInt(s1())); return;
+      case Opcode::CmpGE: wi(op.dst.id, readInt(s0()) >= readInt(s1())); return;
+      case Opcode::CmpEQI:
+        wi(op.dst.id, readInt(s0()) == static_cast<int32_t>(op.imm));
+        return;
+      case Opcode::CmpNEI:
+        wi(op.dst.id, readInt(s0()) != static_cast<int32_t>(op.imm));
+        return;
+      case Opcode::CmpLTI:
+        wi(op.dst.id, readInt(s0()) < static_cast<int32_t>(op.imm));
+        return;
+      case Opcode::CmpLEI:
+        wi(op.dst.id, readInt(s0()) <= static_cast<int32_t>(op.imm));
+        return;
+      case Opcode::CmpGTI:
+        wi(op.dst.id, readInt(s0()) > static_cast<int32_t>(op.imm));
+        return;
+      case Opcode::CmpGEI:
+        wi(op.dst.id, readInt(s0()) >= static_cast<int32_t>(op.imm));
+        return;
+
+      // ----- floating point -----
+      case Opcode::FAdd: wf(op.dst.id, readFloat(s0()) + readFloat(s1())); return;
+      case Opcode::FSub: wf(op.dst.id, readFloat(s0()) - readFloat(s1())); return;
+      case Opcode::FMul: wf(op.dst.id, readFloat(s0()) * readFloat(s1())); return;
+      case Opcode::FDiv: wf(op.dst.id, readFloat(s0()) / readFloat(s1())); return;
+      case Opcode::FNeg: wf(op.dst.id, -readFloat(s0())); return;
+      case Opcode::FMac:
+        wf(op.dst.id,
+           readFloat(op.dst) + readFloat(s0()) * readFloat(s1()));
+        return;
+      case Opcode::FCmpEQ: wi(op.dst.id, readFloat(s0()) == readFloat(s1())); return;
+      case Opcode::FCmpNE: wi(op.dst.id, readFloat(s0()) != readFloat(s1())); return;
+      case Opcode::FCmpLT: wi(op.dst.id, readFloat(s0()) < readFloat(s1())); return;
+      case Opcode::FCmpLE: wi(op.dst.id, readFloat(s0()) <= readFloat(s1())); return;
+      case Opcode::FCmpGT: wi(op.dst.id, readFloat(s0()) > readFloat(s1())); return;
+      case Opcode::FCmpGE: wi(op.dst.id, readFloat(s0()) >= readFloat(s1())); return;
+      case Opcode::IToF:
+        wf(op.dst.id, static_cast<float>(readInt(s0())));
+        return;
+      case Opcode::FToI:
+        wi(op.dst.id, static_cast<int32_t>(readFloat(s0())));
+        return;
+
+      // ----- memory -----
+      case Opcode::Ld:
+      case Opcode::LdF:
+      case Opcode::LdA: {
+        int addr = resolveAddress(op);
+        checkPort(op, slot, addr);
+        uint32_t w = readMem(addr);
+        ++simStats.memOps;
+        if (op.opcode == Opcode::Ld)
+            wi(op.dst.id, static_cast<int32_t>(w));
+        else if (op.opcode == Opcode::LdF)
+            wfraw(op.dst.id, w);
+        else
+            wa(op.dst.id, w);
+        return;
+      }
+      case Opcode::St:
+      case Opcode::StF:
+      case Opcode::StA: {
+        int addr = resolveAddress(op);
+        checkPort(op, slot, addr);
+        memw.push_back({addr, readReg(s0())});
+        ++simStats.memOps;
+        if (op.atomicPair >= 0) {
+            if (!openPairs.erase(op.atomicPair))
+                openPairs.insert(op.atomicPair);
+        }
+        return;
+      }
+      case Opcode::Lea: {
+        // Address of the operand, computed like a load address but
+        // without touching memory (an AU computation).
+        const DataObject *obj = op.mem.object;
+        long addr = op.mem.offset;
+        if (op.mem.index.valid())
+            addr += readInt(op.mem.index);
+        if (obj->storage == Storage::Global) {
+            addr += obj->addrX >= 0 ? obj->addrX : obj->addrY;
+        } else if (obj->storage == Storage::Local) {
+            uint32_t sp = obj->bank == Bank::Y ? aRegs[regs::AddrSpY]
+                                               : aRegs[regs::AddrSpX];
+            addr += static_cast<long>(sp) + obj->frameOffset;
+        } else {
+            addr += static_cast<long>(readReg(op.mem.addrBase));
+        }
+        wa(op.dst.id, static_cast<uint32_t>(addr));
+        return;
+      }
+      case Opcode::AAddI:
+        wa(op.dst.id, readReg(s0()) + static_cast<uint32_t>(op.imm));
+        return;
+
+      // ----- control -----
+      case Opcode::Jmp:
+        next_pc = static_cast<int>(op.imm);
+        return;
+      case Opcode::Bt:
+        if (readInt(s0()) != 0)
+            next_pc = static_cast<int>(op.imm);
+        return;
+      case Opcode::Call:
+        wa(regs::AddrLink, static_cast<uint32_t>(curPc + 1));
+        next_pc = static_cast<int>(op.imm);
+        return;
+      case Opcode::Ret:
+        next_pc = static_cast<int>(aRegs[regs::AddrLink]);
+        return;
+      case Opcode::Halt:
+        isHalted = true;
+        return;
+      case Opcode::Lock:
+      case Opcode::Unlock:
+        // Explicit interrupt gating is modeled via atomic store pairs;
+        // standalone lock ops are accepted as no-ops.
+        return;
+
+      // ----- I/O -----
+      case Opcode::In:
+      case Opcode::InF: {
+        if (inputPos >= input.size())
+            fatal("input channel underrun at pc=", curPc);
+        uint32_t w = input[inputPos++];
+        if (op.opcode == Opcode::In)
+            wi(op.dst.id, static_cast<int32_t>(w));
+        else
+            wfraw(op.dst.id, w);
+        return;
+      }
+      case Opcode::Out:
+        outWords.push_back({readReg(s0()), false});
+        return;
+      case Opcode::OutF:
+        outWords.push_back({readReg(s0()), true});
+        return;
+
+      case Opcode::Nop:
+        return;
+    }
+    panic("unhandled opcode in simulator: ", opcodeName(op.opcode));
+}
+
+bool
+Simulator::step()
+{
+    if (isHalted)
+        return false;
+    if (curPc < 0 || curPc >= static_cast<int>(prog.insts.size()))
+        fatal("PC out of range: ", curPc);
+
+    const VliwInst &inst = prog.insts[curPc];
+    ++instCounts[curPc];
+    ++simStats.cycles;
+
+    int next_pc = curPc + 1;
+    std::vector<RegWrite> regw;
+    std::vector<MemWrite> memw;
+
+    int data_mem = 0;
+    for (int s = 0; s < NumSlots; ++s) {
+        if (!inst.slots[s])
+            continue;
+        const Op &op = *inst.slots[s];
+        ++simStats.opsExecuted;
+        if (op.isMem())
+            ++data_mem;
+        execSlot(op, s, regw, memw, next_pc);
+    }
+    if (data_mem >= 2)
+        ++simStats.pairedMemCycles;
+
+    // Commit phase.
+    for (const RegWrite &w : regw) {
+        switch (w.cls) {
+          case RegClass::Int:
+            iRegs[w.idx] = static_cast<int32_t>(w.value);
+            break;
+          case RegClass::Float:
+            fRegs[w.idx] = w.value;
+            break;
+          case RegClass::Addr:
+            aRegs[w.idx] = w.value;
+            break;
+        }
+    }
+    for (const MemWrite &w : memw)
+        writeMem(w.addr, w.value);
+
+    // Stack watermarks.
+    int used_x = prog.config.bankWords -
+                 static_cast<int>(aRegs[regs::AddrSpX]);
+    int used_y = 2 * prog.config.bankWords -
+                 static_cast<int>(aRegs[regs::AddrSpY]);
+    simStats.peakStackX = std::max(simStats.peakStackX, used_x);
+    simStats.peakStackY = std::max(simStats.peakStackY, used_y);
+
+    curPc = next_pc;
+
+    // Interrupt delivery between instructions, unless masked by an
+    // open atomic store pair.
+    if (interruptPeriod > 0 && interruptHandler && !isHalted &&
+        simStats.cycles % interruptPeriod == 0 && openPairs.empty()) {
+        ++simStats.interruptsDelivered;
+        interruptHandler(*this);
+    }
+    return !isHalted;
+}
+
+bool
+Simulator::run(long max_cycles)
+{
+    while (!isHalted) {
+        if (simStats.cycles >= max_cycles)
+            fatal("cycle budget exhausted (", max_cycles,
+                  "): runaway program?");
+        step();
+    }
+    return true;
+}
+
+ProfileCounts
+Simulator::profile() const
+{
+    ProfileCounts counts;
+    for (std::size_t i = 0; i < prog.insts.size(); ++i) {
+        if (instCounts[i] == 0)
+            continue;
+        const VliwInst &inst = prog.insts[i];
+        auto key = std::make_pair(inst.function, inst.blockId);
+        counts[key] = std::max(counts[key], instCounts[i]);
+    }
+    return counts;
+}
+
+} // namespace dsp

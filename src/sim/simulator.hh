@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Instruction-set simulator for the model VLIW DSP.
+ *
+ * Executes one VLIW instruction per cycle (all functional units have
+ * single-cycle latency, as in the paper's model architecture), with
+ * read-before-write semantics inside an instruction: every slot reads
+ * its operands, then all results commit. Performance is the executed
+ * cycle count — exactly the metric of the paper's evaluation.
+ *
+ * The memory system implements two single-ported, high-order-
+ * interleaved banks: bank X occupies word addresses [0, bankWords),
+ * bank Y occupies [bankWords, 2*bankWords). MU0 may only touch X and
+ * MU1 only Y unless the configuration enables dual-ported (Ideal) mode.
+ * Violations are a compiler bug and abort the run.
+ */
+
+#ifndef DSP_SIM_SIMULATOR_HH
+#define DSP_SIM_SIMULATOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "codegen/interference.hh"
+#include "target/vliw.hh"
+
+namespace dsp
+{
+
+class Module;
+
+/** One word written to the output channel. */
+struct OutputWord
+{
+    uint32_t raw = 0;
+    bool isFloat = false;
+
+    int32_t asInt() const { return static_cast<int32_t>(raw); }
+    float asFloat() const;
+
+    bool
+    operator==(const OutputWord &o) const
+    {
+        return raw == o.raw && isFloat == o.isFloat;
+    }
+};
+
+struct SimStats
+{
+    long cycles = 0;
+    long opsExecuted = 0;
+    long memOps = 0;
+    /** Cycles in which both memory units carried data accesses. */
+    long pairedMemCycles = 0;
+    /** Peak words used on each stack. */
+    int peakStackX = 0;
+    int peakStackY = 0;
+    long interruptsDelivered = 0;
+};
+
+class Simulator
+{
+  public:
+    /**
+     * @param prog Program to execute (must outlive the simulator).
+     * @param mod  Module whose DataObjects carry the memory layout.
+     */
+    Simulator(const VliwProgram &prog, const Module &mod);
+
+    /** Reset machine state and (re)initialize data memory. */
+    void reset();
+
+    /** Provide the input channel contents. */
+    void setInput(std::vector<uint32_t> words) { input = std::move(words); }
+
+    /**
+     * Run until Halt or @p max_cycles. Returns true if halted normally.
+     * Throws UserError on machine faults (bank violation, div by zero,
+     * address out of range, input underrun).
+     */
+    bool run(long max_cycles = 200'000'000);
+
+    /** Execute a single instruction. Returns false once halted. */
+    bool step();
+
+    const SimStats &stats() const { return simStats; }
+    const std::vector<OutputWord> &output() const { return outWords; }
+
+    /** Block execution counts gathered during the run. */
+    ProfileCounts profile() const;
+
+    /// @name Interrupt injection (duplicated-data coherence testing).
+    /// @{
+    /** Deliver an interrupt every @p period cycles (0 = never). */
+    void setInterruptPeriod(long period) { interruptPeriod = period; }
+    /** Handler invoked at delivery; may inspect/modify machine state. */
+    void setInterruptHandler(std::function<void(Simulator &)> fn)
+    {
+        interruptHandler = std::move(fn);
+    }
+    /** True while an atomic store pair is open (interrupts masked). */
+    bool interruptsMasked() const { return !openPairs.empty(); }
+    /// @}
+
+    /// @name Raw state access (tests, interrupt handlers).
+    /// @{
+    uint32_t readMem(int addr) const;
+    void writeMem(int addr, uint32_t value);
+    int32_t intReg(int idx) const { return iRegs[idx]; }
+    float floatReg(int idx) const;
+    uint32_t addrReg(int idx) const { return aRegs[idx]; }
+    int pc() const { return curPc; }
+    bool halted() const { return isHalted; }
+    /** Both absolute addresses of @p obj's element @p offset; the
+     *  second is -1 unless the object is duplicated. */
+    std::pair<int, int> objectAddresses(const DataObject &obj,
+                                        int offset) const;
+    /// @}
+
+  private:
+    const VliwProgram &prog;
+    const Module &mod;
+
+    std::vector<uint32_t> memory;
+    int32_t iRegs[32];
+    uint32_t fRegs[32]; ///< raw bits
+    uint32_t aRegs[32];
+    int curPc = 0;
+    bool isHalted = false;
+
+    std::vector<uint32_t> input;
+    std::size_t inputPos = 0;
+    std::vector<OutputWord> outWords;
+
+    SimStats simStats;
+    std::vector<long> instCounts;
+
+    long interruptPeriod = 0;
+    std::function<void(Simulator &)> interruptHandler;
+    std::set<int> openPairs;
+
+    struct RegWrite
+    {
+        RegClass cls;
+        int idx;
+        uint32_t value;
+    };
+    struct MemWrite
+    {
+        int addr;
+        uint32_t value;
+    };
+
+    /** Resolve the absolute address of a memory operand. */
+    int resolveAddress(const Op &op) const;
+    void checkPort(const Op &op, int slot, int addr) const;
+
+    void execSlot(const Op &op, int slot, std::vector<RegWrite> &regw,
+                  std::vector<MemWrite> &memw, int &next_pc);
+
+    uint32_t readReg(const VReg &r) const;
+    int32_t readInt(const VReg &r) const;
+    float readFloat(const VReg &r) const;
+};
+
+} // namespace dsp
+
+#endif // DSP_SIM_SIMULATOR_HH

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Internal builder declarations for the application benchmarks
+ * (Table 2). One builder per application, grouped by domain file.
+ */
+
+#ifndef DSP_SUITE_APPS_HH
+#define DSP_SUITE_APPS_HH
+
+#include "suite/suite.hh"
+
+namespace dsp
+{
+namespace apps
+{
+
+// apps_speech.cc
+Benchmark makeAdpcm();
+Benchmark makeLpc();
+Benchmark makeG721MLencode();
+Benchmark makeG721MLdecode();
+Benchmark makeG721WFencode();
+
+// apps_media.cc
+Benchmark makeSpectral();
+Benchmark makeEdgeDetect();
+Benchmark makeCompress();
+Benchmark makeHistogram();
+
+// apps_comm.cc
+Benchmark makeV32encode();
+Benchmark makeTrellis();
+
+} // namespace apps
+} // namespace dsp
+
+#endif // DSP_SUITE_APPS_HH

@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Data-communication application benchmarks (Table 2): V32encode
+ * (V.32 modem transmitter path) and trellis (Viterbi decoder).
+ */
+
+#include "suite/apps.hh"
+
+#include "suite/gen.hh"
+
+namespace dsp
+{
+namespace apps
+{
+
+using namespace suitegen;
+
+// ---------------------------------------------------------------------
+// V32encode: scrambler + differential encoder + convolutional encoder
+//            + constellation mapping
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Differential quadrant coding table (prev quadrant, dibit) -> next. */
+const std::vector<int32_t> kDiffTab = {
+    0, 1, 2, 3,
+    1, 2, 3, 0,
+    2, 3, 0, 1,
+    3, 0, 1, 2,
+};
+
+/** 32-point constellation, fixed-point coordinates (x256). */
+std::vector<int32_t>
+constellationRe()
+{
+    std::vector<int32_t> re(32), im(32);
+    for (int i = 0; i < 32; ++i) {
+        // A deterministic cross-shaped 32-point grid.
+        int row = i / 6 - 2;
+        int col = i % 6 - 2;
+        re[i] = col * 512 + 256;
+        im[i] = row * 512 + 256;
+    }
+    return re;
+}
+
+std::vector<int32_t>
+constellationIm()
+{
+    std::vector<int32_t> im(32);
+    for (int i = 0; i < 32; ++i) {
+        int row = i / 6 - 2;
+        im[i] = row * 512 + 256;
+    }
+    return im;
+}
+
+const char *kV32Src = R"(
+// V.32 modem encoder: self-synchronizing scrambler (1 + x^-18 + x^-23),
+// differential quadrant encoding, rate-2/3 convolutional encoder,
+// 32-point constellation mapping, and transmit pulse-shaping FIR
+// filters on the I and Q rails. ${SYM} symbols, 4 bits each.
+int dtab[16] = ${DTAB};
+int conre[32] = ${CONRE};
+int conim[32] = ${CONIM};
+int shcoef[8] = ${SHCOEF};
+int si[8];
+int sq[8];
+
+void main() {
+    int scr = 1;
+    int s1 = 0;
+    int s2 = 0;
+    int s3 = 0;
+    int prevq = 0;
+    for (int k = 0; k < 8; k++) {
+        si[k] = 0;
+        sq[k] = 0;
+    }
+
+    for (int n = 0; n < ${SYM}; n++) {
+        // Scramble four data bits.
+        int bits = 0;
+        for (int k = 0; k < 4; k++) {
+            int d = in();
+            int sb = ((scr >> 17) ^ (scr >> 22) ^ d) & 1;
+            scr = ((scr << 1) | sb) & 8388607;
+            bits = (bits << 1) | sb;
+        }
+        int q = (bits >> 2) & 3;
+        int low = bits & 3;
+
+        // Differential quadrant encoding.
+        prevq = dtab[prevq * 4 + q];
+
+        // Convolutional encoder (adds the redundant bit).
+        int y1 = prevq >> 1;
+        int y2 = prevq & 1;
+        int y0 = (s3 ^ y1) & 1;
+        s3 = s2;
+        s2 = (s1 ^ y1 ^ y2) & 1;
+        s1 = (y0 ^ y2) & 1;
+
+        int sym = (prevq << 3) | (low << 1) | y0;
+
+        // Pulse shaping: shift the symbol into the I/Q delay lines and
+        // filter.
+        for (int k = 7; k > 0; k--) {
+            si[k] = si[k - 1];
+            sq[k] = sq[k - 1];
+        }
+        si[0] = conre[sym];
+        sq[0] = conim[sym];
+
+        int accI = 0;
+        int accQ = 0;
+        for (int k = 0; k < 8; k++) {
+            int ck = shcoef[k];
+            accI += ck * si[k];
+            accQ += ck * sq[k];
+        }
+        out(accI >> 8);
+        out(accQ >> 8);
+    }
+}
+)";
+
+const std::vector<int32_t> kShapeCoef = {12, 64, 160, 220,
+                                         220, 160, 64, 12};
+
+} // namespace
+
+Benchmark
+makeV32encode()
+{
+    const int symbols = 256;
+    Benchmark b;
+    b.name = "V32encode";
+    b.label = "a7";
+    b.kind = BenchKind::Application;
+    b.description = "V.32 modem encoder";
+
+    auto conre = constellationRe();
+    auto conim = constellationIm();
+    b.source = expand(kV32Src, {{"SYM", std::to_string(symbols)},
+                                {"DTAB", intList(kDiffTab)},
+                                {"CONRE", intList(conre)},
+                                {"CONIM", intList(conim)},
+                                {"SHCOEF", intList(kShapeCoef)}});
+
+    auto data = randInts(symbols * 4, 0x32, 0, 1);
+    InBuilder in;
+    in.putInts(data);
+    b.input = in.words;
+
+    OutCollector out;
+    int32_t scr = 1, s1 = 0, s2 = 0, s3 = 0, prevq = 0;
+    int32_t si[8] = {0}, sq[8] = {0};
+    int pos = 0;
+    for (int n = 0; n < symbols; ++n) {
+        int32_t bits = 0;
+        for (int k = 0; k < 4; ++k) {
+            int32_t d = data[pos++];
+            int32_t sb = ((scr >> 17) ^ (scr >> 22) ^ d) & 1;
+            scr = ((scr << 1) | sb) & 8388607;
+            bits = (bits << 1) | sb;
+        }
+        int32_t q = (bits >> 2) & 3;
+        int32_t low = bits & 3;
+        prevq = kDiffTab[prevq * 4 + q];
+        int32_t y1 = prevq >> 1;
+        int32_t y2 = prevq & 1;
+        int32_t y0 = (s3 ^ y1) & 1;
+        s3 = s2;
+        s2 = (s1 ^ y1 ^ y2) & 1;
+        s1 = (y0 ^ y2) & 1;
+        int32_t sym = (prevq << 3) | (low << 1) | y0;
+
+        for (int k = 7; k > 0; --k) {
+            si[k] = si[k - 1];
+            sq[k] = sq[k - 1];
+        }
+        si[0] = conre[sym];
+        sq[0] = conim[sym];
+        int32_t acc_i = 0, acc_q = 0;
+        for (int k = 0; k < 8; ++k) {
+            int32_t ck = kShapeCoef[k];
+            acc_i += ck * si[k];
+            acc_q += ck * sq[k];
+        }
+        out.put(acc_i >> 8);
+        out.put(acc_q >> 8);
+    }
+    b.expected = out.words;
+    return b;
+}
+
+// ---------------------------------------------------------------------
+// trellis: Viterbi decoder for the rate-1/2, K=3 convolutional code
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Output symbol pair (2 bits) for (state, input) of the (7,5) code. */
+int32_t
+convOutput(int state, int input)
+{
+    int s1 = (state >> 1) & 1;
+    int s0 = state & 1;
+    int o1 = input ^ s1 ^ s0; // generator 7 (111)
+    int o0 = input ^ s0;      // generator 5 (101)
+    return (o1 << 1) | o0;
+}
+
+const char *kTrellisSrc = R"(
+// Trellis (Viterbi) decoder: rate-1/2, constraint-length-3
+// convolutional code (generators 7, 5 octal), ${T} information bits,
+// hard-decision decoding with full traceback.
+int outtab[8] = ${OUTTAB};
+int metric[4];
+int newmet[4];
+int decis[${T4}];
+int path[${T}];
+
+void main() {
+    metric[0] = 0;
+    for (int s = 1; s < 4; s++)
+        metric[s] = 1000;
+
+    for (int t = 0; t < ${T}; t++) {
+        int r = in();
+        for (int s = 0; s < 4; s++) {
+            // Predecessors of state s for input bit b = s >> 1:
+            // s = ((p << 1) | b') ... enumerate both candidates.
+            int b = s >> 1;
+            int p0 = (s << 1) & 3;
+            int p1 = p0 | 1;
+            int e0 = outtab[p0 * 2 + b] ^ r;
+            int e1 = outtab[p1 * 2 + b] ^ r;
+            int c0 = ((e0 >> 1) & 1) + (e0 & 1);
+            int c1 = ((e1 >> 1) & 1) + (e1 & 1);
+            int m0 = metric[p0] + c0;
+            int m1 = metric[p1] + c1;
+            if (m0 <= m1) {
+                newmet[s] = m0;
+                decis[t * 4 + s] = p0;
+            } else {
+                newmet[s] = m1;
+                decis[t * 4 + s] = p1;
+            }
+        }
+        for (int s = 0; s < 4; s++)
+            metric[s] = newmet[s];
+    }
+
+    // Traceback from the best final state.
+    int best = 0;
+    for (int s = 1; s < 4; s++)
+        if (metric[s] < metric[best])
+            best = s;
+    int state = best;
+    for (int t = ${T} - 1; t >= 0; t--) {
+        path[t] = state >> 1;
+        state = decis[t * 4 + state];
+    }
+
+    out(metric[best]);
+    for (int t = 0; t < ${T}; t++)
+        out(path[t]);
+}
+)";
+
+} // namespace
+
+Benchmark
+makeTrellis()
+{
+    const int t = 256;
+    Benchmark b;
+    b.name = "trellis";
+    b.label = "a11";
+    b.kind = BenchKind::Application;
+    b.description = "Trellis decoder";
+
+    std::vector<int32_t> outtab(8);
+    for (int s = 0; s < 4; ++s)
+        for (int in_bit = 0; in_bit < 2; ++in_bit)
+            outtab[s * 2 + in_bit] = convOutput(s, in_bit);
+
+    b.source = expand(kTrellisSrc, {{"T", std::to_string(t)},
+                                    {"T4", std::to_string(t * 4)},
+                                    {"OUTTAB", intList(outtab)}});
+
+    // Encode a random bit stream, then flip a few symbol bits to make
+    // the decoder correct real errors.
+    auto bits = randInts(t, 0x7E11, 0, 1);
+    std::vector<int32_t> received(t);
+    {
+        // Shift-right register convention: the new state's high bit is
+        // the input just consumed, matching the decoder's trellis.
+        int state = 0;
+        for (int i = 0; i < t; ++i) {
+            received[i] = convOutput(state, bits[i]);
+            state = ((bits[i] << 1) | (state >> 1)) & 3;
+        }
+        Rng noise(0xBADB17);
+        for (int i = 0; i < t; ++i) {
+            if (noise.nextInt(0, 99) < 4)
+                received[i] ^= 1 << noise.nextInt(0, 1);
+        }
+    }
+    InBuilder in;
+    in.putInts(received);
+    b.input = in.words;
+
+    // Reference Viterbi (mirrors the MiniC code).
+    std::vector<int32_t> metric = {0, 1000, 1000, 1000}, newmet(4);
+    std::vector<int32_t> decis(t * 4), path(t);
+    for (int step = 0; step < t; ++step) {
+        int32_t r = received[step];
+        for (int s = 0; s < 4; ++s) {
+            int b2 = s >> 1;
+            int p0 = (s << 1) & 3;
+            int p1 = p0 | 1;
+            int e0 = outtab[p0 * 2 + b2] ^ r;
+            int e1 = outtab[p1 * 2 + b2] ^ r;
+            int c0 = ((e0 >> 1) & 1) + (e0 & 1);
+            int c1 = ((e1 >> 1) & 1) + (e1 & 1);
+            int m0 = metric[p0] + c0;
+            int m1 = metric[p1] + c1;
+            if (m0 <= m1) {
+                newmet[s] = m0;
+                decis[step * 4 + s] = p0;
+            } else {
+                newmet[s] = m1;
+                decis[step * 4 + s] = p1;
+            }
+        }
+        metric = newmet;
+    }
+    int best = 0;
+    for (int s = 1; s < 4; ++s)
+        if (metric[s] < metric[best])
+            best = s;
+    int state = best;
+    for (int step = t - 1; step >= 0; --step) {
+        path[step] = state >> 1;
+        state = decis[step * 4 + state];
+    }
+    OutCollector out;
+    out.put(metric[best]);
+    for (int step = 0; step < t; ++step)
+        out.put(path[step]);
+    b.expected = out.words;
+    return b;
+}
+
+} // namespace apps
+} // namespace dsp

@@ -1,0 +1,532 @@
+/**
+ * @file
+ * Spectral-analysis and image-processing application benchmarks
+ * (Table 2): spectral, edge_detect, compress, histogram.
+ */
+
+#include "suite/apps.hh"
+
+#include <cmath>
+
+#include "suite/gen.hh"
+
+namespace dsp
+{
+namespace apps
+{
+
+using namespace suitegen;
+
+// ---------------------------------------------------------------------
+// spectral: periodogram-averaged power spectrum (Welch method)
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+const char *kSpectralSrc = R"(
+// Spectral analysis using periodogram averaging: ${SEG} segments of
+// ${N} windowed samples, radix-2 FFT per segment, averaged |X|^2.
+float sig[${TOTAL}];
+float win[${N}];
+float re[${N}];
+float im[${N}];
+float psd[${N}];
+float wr[${NH}] = ${WR};
+float wi[${NH}] = ${WI};
+
+void fft() {
+    int j = 0;
+    for (int i = 0; i < ${N} - 1; i++) {
+        if (i < j) {
+            float tr = re[i]; re[i] = re[j]; re[j] = tr;
+            float ti = im[i]; im[i] = im[j]; im[j] = ti;
+        }
+        int k = ${NH};
+        while (k <= j && k > 0) {
+            j = j - k;
+            k = k >> 1;
+        }
+        j = j + k;
+    }
+    int len = 2;
+    int half = 1;
+    int step = ${NH};
+    while (len <= ${N}) {
+        for (int base = 0; base < ${N}; base += len) {
+            int tw = 0;
+            for (int off = 0; off < half; off++) {
+                int a = base + off;
+                int b = a + half;
+                float cr = wr[tw];
+                float ci = wi[tw];
+                float ar = re[a];
+                float ai = im[a];
+                float br = re[b];
+                float bi = im[b];
+                float xr = br * cr - bi * ci;
+                float xi = br * ci + bi * cr;
+                re[b] = ar - xr;
+                im[b] = ai - xi;
+                re[a] = ar + xr;
+                im[a] = ai + xi;
+                tw += step;
+            }
+        }
+        len = len << 1;
+        half = half << 1;
+        step = step >> 1;
+    }
+}
+
+void main() {
+    for (int i = 0; i < ${TOTAL}; i++)
+        sig[i] = inf();
+    for (int i = 0; i < ${N}; i++)
+        win[i] = inf();
+    for (int i = 0; i < ${N}; i++)
+        psd[i] = 0.0;
+
+    for (int seg = 0; seg < ${SEG}; seg++) {
+        int base = seg * ${N};
+        for (int i = 0; i < ${N}; i++) {
+            re[i] = sig[base + i] * win[i];
+            im[i] = 0.0;
+        }
+        fft();
+        for (int i = 0; i < ${N}; i++)
+            psd[i] += re[i] * re[i] + im[i] * im[i];
+    }
+
+    for (int i = 0; i < ${N}; i++)
+        outf(psd[i] * 0.25);
+}
+)";
+
+} // namespace
+
+Benchmark
+makeSpectral()
+{
+    const int n = 128, seg = 4, nh = n / 2;
+    Benchmark b;
+    b.name = "spectral";
+    b.label = "a3";
+    b.kind = BenchKind::Application;
+    b.description = "Spectral analysis using periodogram averaging";
+
+    std::vector<float> wr(nh), wi(nh);
+    for (int k = 0; k < nh; ++k) {
+        double ang = -2.0 * M_PI * k / n;
+        wr[k] = static_cast<float>(std::cos(ang));
+        wi[k] = static_cast<float>(std::sin(ang));
+    }
+    b.source = expand(kSpectralSrc,
+                      {{"N", std::to_string(n)},
+                       {"NH", std::to_string(nh)},
+                       {"SEG", std::to_string(seg)},
+                       {"TOTAL", std::to_string(n * seg)},
+                       {"WR", floatList(wr)},
+                       {"WI", floatList(wi)}});
+
+    std::vector<float> sig = randFloats(n * seg, 0x5EC);
+    std::vector<float> win(n);
+    for (int i = 0; i < n; ++i) {
+        win[i] = static_cast<float>(
+            0.5 - 0.5 * std::cos(2.0 * M_PI * i / (n - 1)));
+    }
+    InBuilder in;
+    in.putFloats(sig);
+    in.putFloats(win);
+    b.input = in.words;
+
+    // Reference.
+    std::vector<float> psd(n, 0.0f), re(n), im(n);
+    for (int s = 0; s < seg; ++s) {
+        for (int i = 0; i < n; ++i) {
+            re[i] = sig[s * n + i] * win[i];
+            im[i] = 0.0f;
+        }
+        int j = 0;
+        for (int i = 0; i < n - 1; ++i) {
+            if (i < j) {
+                std::swap(re[i], re[j]);
+                std::swap(im[i], im[j]);
+            }
+            int k = nh;
+            while (k <= j && k > 0) {
+                j -= k;
+                k >>= 1;
+            }
+            j += k;
+        }
+        for (int len = 2, half = 1, step = nh; len <= n;
+             len <<= 1, half <<= 1, step >>= 1) {
+            for (int base = 0; base < n; base += len) {
+                int tw = 0;
+                for (int off = 0; off < half; ++off) {
+                    int ai = base + off;
+                    int bi = ai + half;
+                    float cr = wr[tw];
+                    float ci = wi[tw];
+                    float par = re[ai];
+                    float pai = im[ai];
+                    float pbr = re[bi];
+                    float pbi = im[bi];
+                    float xr = pbr * cr - pbi * ci;
+                    float xi = pbr * ci + pbi * cr;
+                    re[bi] = par - xr;
+                    im[bi] = pai - xi;
+                    re[ai] = par + xr;
+                    im[ai] = pai + xi;
+                    tw += step;
+                }
+            }
+        }
+        for (int i = 0; i < n; ++i)
+            psd[i] += re[i] * re[i] + im[i] * im[i];
+    }
+    OutCollector out;
+    for (int i = 0; i < n; ++i)
+        out.putF(psd[i] * 0.25f);
+    b.expected = out.words;
+    return b;
+}
+
+// ---------------------------------------------------------------------
+// edge_detect: Sobel edge detection via 2-D convolution
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+const char *kEdgeSrc = R"(
+// Edge detection using 2-D convolution with Sobel operators on a
+// ${W}x${W} image.
+int img[${W}][${W}];
+int mag[${W}][${W}];
+int gx[3][3] = {-1, 0, 1, -2, 0, 2, -1, 0, 1};
+int gy[3][3] = {-1, -2, -1, 0, 0, 0, 1, 2, 1};
+
+void main() {
+    for (int i = 0; i < ${W}; i++)
+        for (int j = 0; j < ${W}; j++)
+            img[i][j] = in();
+
+    for (int i = 1; i < ${W} - 1; i++) {
+        for (int j = 1; j < ${W} - 1; j++) {
+            int sx = 0;
+            int sy = 0;
+            for (int di = 0; di < 3; di++) {
+                for (int dj = 0; dj < 3; dj++) {
+                    int p = img[i + di - 1][j + dj - 1];
+                    sx += p * gx[di][dj];
+                    sy += p * gy[di][dj];
+                }
+            }
+            if (sx < 0) sx = -sx;
+            if (sy < 0) sy = -sy;
+            int m = sx + sy;
+            if (m > 255) m = 255;
+            mag[i][j] = m;
+        }
+    }
+
+    int edges = 0;
+    int checksum = 0;
+    for (int i = 1; i < ${W} - 1; i++) {
+        for (int j = 1; j < ${W} - 1; j++) {
+            checksum += mag[i][j];
+            if (mag[i][j] > 128) edges++;
+        }
+    }
+    out(checksum);
+    out(edges);
+    for (int i = 1; i < ${W} - 1; i += 7)
+        for (int j = 1; j < ${W} - 1; j += 7)
+            out(mag[i][j]);
+}
+)";
+
+} // namespace
+
+Benchmark
+makeEdgeDetect()
+{
+    const int w = 32;
+    Benchmark b;
+    b.name = "edge_detect";
+    b.label = "a4";
+    b.kind = BenchKind::Application;
+    b.description =
+        "Edge detection using 2D convolution and Sobel operators";
+    b.source = expand(kEdgeSrc, {{"W", std::to_string(w)}});
+
+    auto pixels = randInts(w * w, 0xED6E, 0, 255);
+    InBuilder in;
+    in.putInts(pixels);
+    b.input = in.words;
+
+    const int gx[3][3] = {{-1, 0, 1}, {-2, 0, 2}, {-1, 0, 1}};
+    const int gy[3][3] = {{-1, -2, -1}, {0, 0, 0}, {1, 2, 1}};
+    std::vector<int32_t> mag(w * w, 0);
+    for (int i = 1; i < w - 1; ++i) {
+        for (int j = 1; j < w - 1; ++j) {
+            int sx = 0, sy = 0;
+            for (int di = 0; di < 3; ++di) {
+                for (int dj = 0; dj < 3; ++dj) {
+                    int p = pixels[(i + di - 1) * w + (j + dj - 1)];
+                    sx += p * gx[di][dj];
+                    sy += p * gy[di][dj];
+                }
+            }
+            sx = std::abs(sx);
+            sy = std::abs(sy);
+            mag[i * w + j] = std::min(255, sx + sy);
+        }
+    }
+    OutCollector out;
+    int32_t checksum = 0, edges = 0;
+    for (int i = 1; i < w - 1; ++i) {
+        for (int j = 1; j < w - 1; ++j) {
+            checksum += mag[i * w + j];
+            if (mag[i * w + j] > 128)
+                ++edges;
+        }
+    }
+    out.put(checksum);
+    out.put(edges);
+    for (int i = 1; i < w - 1; i += 7)
+        for (int j = 1; j < w - 1; j += 7)
+            out.put(mag[i * w + j]);
+    b.expected = out.words;
+    return b;
+}
+
+// ---------------------------------------------------------------------
+// compress: DCT-based image compression
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+const char *kCompressSrc = R"(
+// Image compression: 8x8 two-dimensional DCT per block (as separable
+// matrix products), followed by quantization, on a ${W}x${W} image.
+float ct[64] = ${CT};
+int img[${W}][${W}];
+int qimg[${W}][${W}];
+float blk[64];
+float tmp[64];
+
+void main() {
+    for (int i = 0; i < ${W}; i++)
+        for (int j = 0; j < ${W}; j++)
+            img[i][j] = in();
+
+    for (int bi = 0; bi < ${B}; bi++) {
+        for (int bj = 0; bj < ${B}; bj++) {
+            int r0 = bi * 8;
+            int c0 = bj * 8;
+            for (int x = 0; x < 8; x++)
+                for (int y = 0; y < 8; y++)
+                    blk[x * 8 + y] = (float)(img[r0 + x][c0 + y] - 128);
+
+            // tmp = CT * blk
+            for (int u = 0; u < 8; u++) {
+                for (int y = 0; y < 8; y++) {
+                    float acc = 0.0;
+                    for (int x = 0; x < 8; x++)
+                        acc += ct[u * 8 + x] * blk[x * 8 + y];
+                    tmp[u * 8 + y] = acc;
+                }
+            }
+            // q = round(tmp * CT^t / quant)
+            for (int u = 0; u < 8; u++) {
+                for (int v = 0; v < 8; v++) {
+                    float acc = 0.0;
+                    for (int y = 0; y < 8; y++)
+                        acc += tmp[u * 8 + y] * ct[v * 8 + y];
+                    qimg[r0 + u][c0 + v] = (int)(acc * 0.0625);
+                }
+            }
+        }
+    }
+
+    int nonzero = 0;
+    int checksum = 0;
+    for (int i = 0; i < ${W}; i++) {
+        for (int j = 0; j < ${W}; j++) {
+            checksum += qimg[i][j];
+            if (qimg[i][j] != 0) nonzero++;
+        }
+    }
+    out(checksum);
+    out(nonzero);
+    for (int i = 0; i < ${W}; i += 5)
+        for (int j = 0; j < ${W}; j += 5)
+            out(qimg[i][j]);
+}
+)";
+
+} // namespace
+
+Benchmark
+makeCompress()
+{
+    const int w = 16, blocks = w / 8;
+    Benchmark b;
+    b.name = "compress";
+    b.label = "a5";
+    b.kind = BenchKind::Application;
+    b.description =
+        "Image compression using the Discrete Cosine Transform";
+
+    std::vector<float> ct(64);
+    for (int u = 0; u < 8; ++u) {
+        double cu = u == 0 ? std::sqrt(0.125) : 0.5;
+        for (int x = 0; x < 8; ++x) {
+            ct[u * 8 + x] = static_cast<float>(
+                cu * std::cos((2 * x + 1) * u * M_PI / 16.0));
+        }
+    }
+    b.source = expand(kCompressSrc, {{"W", std::to_string(w)},
+                                     {"B", std::to_string(blocks)},
+                                     {"CT", floatList(ct)}});
+
+    auto pixels = randInts(w * w, 0xDC7, 0, 255);
+    InBuilder in;
+    in.putInts(pixels);
+    b.input = in.words;
+
+    std::vector<int32_t> qimg(w * w, 0);
+    float blk[64], tmp[64];
+    for (int bi = 0; bi < blocks; ++bi) {
+        for (int bj = 0; bj < blocks; ++bj) {
+            int r0 = bi * 8, c0 = bj * 8;
+            for (int x = 0; x < 8; ++x)
+                for (int y = 0; y < 8; ++y)
+                    blk[x * 8 + y] = static_cast<float>(
+                        pixels[(r0 + x) * w + (c0 + y)] - 128);
+            for (int u = 0; u < 8; ++u) {
+                for (int y = 0; y < 8; ++y) {
+                    float acc = 0.0f;
+                    for (int x = 0; x < 8; ++x)
+                        acc += ct[u * 8 + x] * blk[x * 8 + y];
+                    tmp[u * 8 + y] = acc;
+                }
+            }
+            for (int u = 0; u < 8; ++u) {
+                for (int v = 0; v < 8; ++v) {
+                    float acc = 0.0f;
+                    for (int y = 0; y < 8; ++y)
+                        acc += tmp[u * 8 + y] * ct[v * 8 + y];
+                    qimg[(r0 + u) * w + (c0 + v)] =
+                        static_cast<int32_t>(acc * 0.0625f);
+                }
+            }
+        }
+    }
+    OutCollector out;
+    int32_t checksum = 0, nonzero = 0;
+    for (int i = 0; i < w; ++i) {
+        for (int j = 0; j < w; ++j) {
+            checksum += qimg[i * w + j];
+            if (qimg[i * w + j] != 0)
+                ++nonzero;
+        }
+    }
+    out.put(checksum);
+    out.put(nonzero);
+    for (int i = 0; i < w; i += 5)
+        for (int j = 0; j < w; j += 5)
+            out.put(qimg[i * w + j]);
+    b.expected = out.words;
+    return b;
+}
+
+// ---------------------------------------------------------------------
+// histogram: image enhancement via histogram equalization
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+const char *kHistSrc = R"(
+// Image enhancement using histogram equalization: ${N} pixels with
+// ${LEVELS} grey levels.
+int img[${N}];
+int hist[${LEVELS}];
+int lut[${LEVELS}];
+
+void main() {
+    for (int i = 0; i < ${N}; i++)
+        img[i] = in();
+    for (int v = 0; v < ${LEVELS}; v++)
+        hist[v] = 0;
+
+    // Data-dependent indexing: each update chains a load through the
+    // pixel value, leaving no memory parallelism to exploit.
+    for (int i = 0; i < ${N}; i++)
+        hist[img[i]] += 1;
+
+    int c = 0;
+    for (int v = 0; v < ${LEVELS}; v++) {
+        c += hist[v];
+        lut[v] = (c * (${LEVELS} - 1)) / ${N};
+    }
+
+    for (int i = 0; i < ${N}; i++)
+        img[i] = lut[img[i]];
+
+    int checksum = 0;
+    for (int i = 0; i < ${N}; i++)
+        checksum += img[i];
+    out(checksum);
+    for (int i = 0; i < ${N}; i += 97)
+        out(img[i]);
+}
+)";
+
+} // namespace
+
+Benchmark
+makeHistogram()
+{
+    const int n = 1024, levels = 64;
+    Benchmark b;
+    b.name = "histogram";
+    b.label = "a6";
+    b.kind = BenchKind::Application;
+    b.description = "Image enhancement using histogram equalization";
+    b.source = expand(kHistSrc, {{"N", std::to_string(n)},
+                                 {"LEVELS", std::to_string(levels)}});
+
+    auto pixels = randInts(n, 0x415, 0, levels - 1);
+    InBuilder in;
+    in.putInts(pixels);
+    b.input = in.words;
+
+    std::vector<int32_t> hist(levels, 0), lut(levels, 0), img(pixels);
+    for (int i = 0; i < n; ++i)
+        ++hist[img[i]];
+    int32_t c = 0;
+    for (int v = 0; v < levels; ++v) {
+        c += hist[v];
+        lut[v] = (c * (levels - 1)) / n;
+    }
+    for (int i = 0; i < n; ++i)
+        img[i] = lut[img[i]];
+    OutCollector out;
+    int32_t checksum = 0;
+    for (int i = 0; i < n; ++i)
+        checksum += img[i];
+    out.put(checksum);
+    for (int i = 0; i < n; i += 97)
+        out.put(img[i]);
+    b.expected = out.words;
+    return b;
+}
+
+} // namespace apps
+} // namespace dsp

@@ -1,0 +1,733 @@
+/**
+ * @file
+ * Speech-processing application benchmarks (Table 2): adpcm, lpc, and
+ * the three CCITT G.721-style ADPCM codec variants.
+ *
+ * The G.721 programs follow the structure of the CCITT reference
+ * implementations: an adaptive quantizer with serial threshold search,
+ * a 6-zero/2-pole adaptive predictor with sign-sign LMS updates, and
+ * (in the WF variant) multiplications computed through a
+ * floating-point simulation routine (FMULT-style mantissa/exponent
+ * arithmetic). Their data-dependent scalar recurrences leave
+ * essentially no memory parallelism — the paper measures 0% gain for
+ * them even with dual-ported memory, and these reproduce that.
+ */
+
+#include "suite/apps.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "suite/gen.hh"
+
+namespace dsp
+{
+namespace apps
+{
+
+using namespace suitegen;
+
+// ---------------------------------------------------------------------
+// adpcm: IMA-style ADPCM speech encoder
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+const std::vector<int32_t> kStepTab = {
+    7,     8,     9,     10,    11,    12,    13,    14,    16,    17,
+    19,    21,    23,    25,    28,    31,    34,    37,    41,    45,
+    50,    55,    60,    66,    73,    80,    88,    97,    107,   118,
+    130,   143,   157,   173,   190,   209,   230,   253,   279,   307,
+    337,   371,   408,   449,   494,   544,   598,   658,   724,   796,
+    876,   963,   1060,  1166,  1282,  1411,  1552,  1707,  1878,  2066,
+    2272,  2499,  2749,  3024,  3327,  3660,  4026,  4428,  4871,  5358,
+    5894,  6484,  7132,  7845,  8630,  9493,  10442, 11487, 12635, 13899,
+    15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767};
+
+const std::vector<int32_t> kIdxAdj = {-1, -1, -1, -1, 2, 4, 6, 8};
+
+const char *kAdpcmSrc = R"(
+// IMA ADPCM speech encoder, ${N} samples.
+int steptab[89] = ${STEPTAB};
+int idxadj[8] = ${IDXADJ};
+
+void main() {
+    int pred = 0;
+    int index = 0;
+    for (int n = 0; n < ${N}; n++) {
+        int s = in();
+        int diff = s - pred;
+        int sign = 0;
+        if (diff < 0) {
+            sign = 8;
+            diff = -diff;
+        }
+        int step = steptab[index];
+        int code = 0;
+        int diffq = step >> 3;
+        if (diff >= step) {
+            code = 4;
+            diff = diff - step;
+            diffq = diffq + step;
+        }
+        step = step >> 1;
+        if (diff >= step) {
+            code = code + 2;
+            diff = diff - step;
+            diffq = diffq + step;
+        }
+        step = step >> 1;
+        if (diff >= step) {
+            code = code + 1;
+            diffq = diffq + step;
+        }
+        if (sign > 0)
+            pred = pred - diffq;
+        else
+            pred = pred + diffq;
+        if (pred > 32767) pred = 32767;
+        if (pred < -32768) pred = -32768;
+        index = index + idxadj[code];
+        if (index < 0) index = 0;
+        if (index > 88) index = 88;
+        out(code + sign);
+    }
+}
+)";
+
+} // namespace
+
+Benchmark
+makeAdpcm()
+{
+    const int n = 512;
+    Benchmark b;
+    b.name = "adpcm";
+    b.label = "a1";
+    b.kind = BenchKind::Application;
+    b.description =
+        "Adaptive, Differential, Pulse-Code Modulation speech encoder";
+    b.source = expand(kAdpcmSrc, {{"N", std::to_string(n)},
+                                  {"STEPTAB", intList(kStepTab)},
+                                  {"IDXADJ", intList(kIdxAdj)}});
+
+    auto samples = randInts(n, 0xADC, -8000, 8000);
+    InBuilder in;
+    in.putInts(samples);
+    b.input = in.words;
+
+    OutCollector out;
+    int32_t pred = 0, index = 0;
+    for (int i = 0; i < n; ++i) {
+        int32_t diff = samples[i] - pred;
+        int32_t sign = 0;
+        if (diff < 0) {
+            sign = 8;
+            diff = -diff;
+        }
+        int32_t step = kStepTab[index];
+        int32_t code = 0;
+        int32_t diffq = step >> 3;
+        if (diff >= step) {
+            code = 4;
+            diff -= step;
+            diffq += step;
+        }
+        step >>= 1;
+        if (diff >= step) {
+            code += 2;
+            diff -= step;
+            diffq += step;
+        }
+        step >>= 1;
+        if (diff >= step) {
+            code += 1;
+            diffq += step;
+        }
+        pred = sign > 0 ? pred - diffq : pred + diffq;
+        pred = std::min(32767, std::max(-32768, pred));
+        index += kIdxAdj[code];
+        index = std::min(88, std::max(0, index));
+        out.put(code + sign);
+    }
+    b.expected = out.words;
+    return b;
+}
+
+// ---------------------------------------------------------------------
+// lpc: Linear Predictive Coding speech encoder
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+const char *kLpcSrc = R"(
+// Linear Predictive Coding speech encoder: per frame, pre-emphasis,
+// Hamming window, autocorrelation (covariance form), Levinson-Durbin
+// recursion (order ${P}), gain search, and reflection-coefficient
+// quantization.
+float win[${N}] = ${WIN};
+float gaintab[32] = ${GAINTAB};
+float qtab[16] = ${QTAB};
+float sig[${N}];
+float R[${P1}];
+float a[${P1}];
+float refl[${P1}];
+float tmp[${P1}];
+
+void main() {
+    for (int frame = 0; frame < ${FRAMES}; frame++) {
+        for (int i = 0; i < ${N}; i++)
+            sig[i] = inf();
+
+        // Pre-emphasis: sig'[i] = sig[i] - 0.9375 * sig[i-1].
+        float prev = 0.0;
+        for (int i = 0; i < ${N}; i++) {
+            float cur = sig[i];
+            sig[i] = cur - 0.9375 * prev;
+            prev = cur;
+        }
+
+        // Windowing.
+        for (int i = 0; i < ${N}; i++)
+            sig[i] = sig[i] * win[i];
+
+        // Autocorrelation (covariance method, fixed analysis window):
+        // R[m] = sum_{n=P..N-1} sig[n] * sig[n - m].
+        for (int m = 0; m <= ${P}; m++) {
+            float acc = 0.0;
+            for (int n = ${P}; n < ${N}; n++)
+                acc += sig[n] * sig[n - m];
+            R[m] = acc;
+        }
+
+        // Levinson-Durbin recursion.
+        for (int i = 0; i <= ${P}; i++) {
+            a[i] = 0.0;
+            refl[i] = 0.0;
+        }
+        float err = R[0];
+        for (int i = 1; i <= ${P}; i++) {
+            float acc = R[i];
+            for (int j = 1; j < i; j++)
+                acc -= a[j] * R[i - j];
+            float k = acc / err;
+            refl[i] = k;
+            for (int j = 1; j < i; j++)
+                tmp[j] = a[j] - k * a[i - j];
+            for (int j = 1; j < i; j++)
+                a[j] = tmp[j];
+            a[i] = k;
+            err = err * (1.0 - k * k);
+        }
+
+        // Gain: serial search of the log-spaced gain table.
+        int gidx = 0;
+        while (gidx < 31 && gaintab[gidx] < err)
+            gidx++;
+        out(gidx);
+
+        // Quantize each reflection coefficient against qtab.
+        for (int i = 1; i <= ${P}; i++) {
+            int q = 0;
+            while (q < 15 && qtab[q] < refl[i])
+                q++;
+            out(q);
+            outf(a[i]);
+        }
+        outf(err);
+    }
+}
+)";
+
+} // namespace
+
+Benchmark
+makeLpc()
+{
+    const int n = 160;
+    const int p = 10;
+    const int frames = 4;
+    Benchmark b;
+    b.name = "lpc";
+    b.label = "a2";
+    b.kind = BenchKind::Application;
+    b.description = "Linear Predictive Coding speech encoder";
+
+    std::vector<float> win(n);
+    for (int i = 0; i < n; ++i) {
+        win[i] = static_cast<float>(
+            0.54 - 0.46 * std::cos(2.0 * M_PI * i / (n - 1)));
+    }
+    std::vector<float> gaintab(32), qtab(16);
+    for (int i = 0; i < 32; ++i)
+        gaintab[i] = 0.001f * static_cast<float>(std::pow(1.6, i));
+    for (int i = 0; i < 16; ++i)
+        qtab[i] = -1.0f + 2.0f * (i + 1) / 17.0f;
+
+    b.source = expand(kLpcSrc, {{"N", std::to_string(n)},
+                                {"P", std::to_string(p)},
+                                {"P1", std::to_string(p + 1)},
+                                {"FRAMES", std::to_string(frames)},
+                                {"WIN", floatList(win)},
+                                {"GAINTAB", floatList(gaintab)},
+                                {"QTAB", floatList(qtab)}});
+
+    std::vector<float> all = randFloats(n * frames, 0x1DC);
+    InBuilder in;
+    in.putFloats(all);
+    b.input = in.words;
+
+    // Reference (mirrors the MiniC evaluation order).
+    OutCollector out;
+    for (int frame = 0; frame < frames; ++frame) {
+        std::vector<float> s(all.begin() + frame * n,
+                             all.begin() + (frame + 1) * n);
+        float prev = 0.0f;
+        for (int i = 0; i < n; ++i) {
+            float cur = s[i];
+            s[i] = cur - 0.9375f * prev;
+            prev = cur;
+        }
+        for (int i = 0; i < n; ++i)
+            s[i] = s[i] * win[i];
+        std::vector<float> R(p + 1), a(p + 1, 0.0f), refl(p + 1, 0.0f),
+            tmp(p + 1, 0.0f);
+        for (int m = 0; m <= p; ++m) {
+            float acc = 0.0f;
+            for (int i = p; i < n; ++i)
+                acc += s[i] * s[i - m];
+            R[m] = acc;
+        }
+        float err = R[0];
+        for (int i = 1; i <= p; ++i) {
+            float acc = R[i];
+            for (int j = 1; j < i; ++j)
+                acc -= a[j] * R[i - j];
+            float k = acc / err;
+            refl[i] = k;
+            for (int j = 1; j < i; ++j)
+                tmp[j] = a[j] - k * a[i - j];
+            for (int j = 1; j < i; ++j)
+                a[j] = tmp[j];
+            a[i] = k;
+            err = err * (1.0f - k * k);
+        }
+        int gidx = 0;
+        while (gidx < 31 && gaintab[gidx] < err)
+            ++gidx;
+        out.put(gidx);
+        for (int i = 1; i <= p; ++i) {
+            int q = 0;
+            while (q < 15 && qtab[q] < refl[i])
+                ++q;
+            out.put(q);
+            out.putF(a[i]);
+        }
+        out.putF(err);
+    }
+    b.expected = out.words;
+    return b;
+}
+
+// ---------------------------------------------------------------------
+// G.721-style ADPCM codecs
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Shared predictor/quantizer state machine (host reference). */
+struct G721State
+{
+    int32_t y = 128;
+    int32_t b[6] = {0, 0, 0, 0, 0, 0};
+    int32_t dq[6] = {0, 0, 0, 0, 0, 0};
+    int32_t a1 = 0, a2 = 0;
+    int32_t sr0 = 0, sr1 = 0;
+    bool wf = false;
+
+    static int32_t
+    sgn(int32_t v)
+    {
+        if (v > 0)
+            return 1;
+        if (v < 0)
+            return -1;
+        return 0;
+    }
+
+    /** FMULT-style multiplication via mantissa/exponent decomposition
+     *  (the "WF" implementation's arithmetic style). */
+    static int32_t
+    fmult(int32_t x, int32_t w)
+    {
+        int32_t sx = 1;
+        if (x < 0) {
+            sx = -1;
+            x = -x;
+        }
+        int32_t sw = 1;
+        if (w < 0) {
+            sw = -1;
+            w = -w;
+        }
+        int32_t ex = 0, mx = x;
+        while (mx > 63) {
+            mx >>= 1;
+            ex += 1;
+        }
+        int32_t ew = 0, mw = w;
+        while (mw > 63) {
+            mw >>= 1;
+            ew += 1;
+        }
+        int32_t p = mx * mw;
+        int32_t e = ex + ew;
+        while (e > 0) {
+            p <<= 1;
+            e -= 1;
+        }
+        return sx * sw * p;
+    }
+
+    int32_t
+    mult(int32_t x, int32_t w) const
+    {
+        return wf ? fmult(x, w) : x * w;
+    }
+
+    int32_t
+    predict() const
+    {
+        int32_t sez = 0;
+        for (int i = 0; i < 6; ++i)
+            sez += mult(b[i], dq[i]);
+        sez >>= 8;
+        int32_t sep = (mult(a1, sr0) + mult(a2, sr1)) >> 8;
+        return sez + sep;
+    }
+
+    void
+    adapt(int32_t dqv, int32_t sr)
+    {
+        int32_t m = dqv < 0 ? -dqv : dqv;
+        // Scale adaptation.
+        if (m >= 4 * y)
+            y = y + (y >> 3);
+        else
+            y = y - (y >> 5);
+        if (y < 32)
+            y = 32;
+        if (y > 16384)
+            y = 16384;
+
+        // Zero-predictor sign-sign LMS with leakage.
+        for (int i = 0; i < 6; ++i) {
+            if (dqv != 0 && dq[i] != 0)
+                b[i] += sgn(dqv) * sgn(dq[i]) * 32;
+            b[i] -= b[i] >> 6;
+            if (b[i] > 4096)
+                b[i] = 4096;
+            if (b[i] < -4096)
+                b[i] = -4096;
+        }
+        // Pole predictor.
+        if (dqv != 0 && sr0 != 0)
+            a1 += sgn(dqv) * sgn(sr0) * 16;
+        a1 -= a1 >> 6;
+        if (a1 > 3840)
+            a1 = 3840;
+        if (a1 < -3840)
+            a1 = -3840;
+        if (dqv != 0 && sr1 != 0)
+            a2 += sgn(dqv) * sgn(sr1) * 8;
+        a2 -= a2 >> 6;
+        if (a2 > 3072)
+            a2 = 3072;
+        if (a2 < -3072)
+            a2 = -3072;
+
+        // Histories.
+        for (int i = 5; i > 0; --i)
+            dq[i] = dq[i - 1];
+        dq[0] = dqv;
+        sr1 = sr0;
+        sr0 = sr;
+    }
+
+    int32_t
+    encode(int32_t s)
+    {
+        int32_t se = predict();
+        int32_t d = s - se;
+        int32_t sign = 0;
+        int32_t ad = d;
+        if (d < 0) {
+            sign = 8;
+            ad = -d;
+        }
+        int32_t m = 0;
+        int32_t t = y;
+        while (m < 7 && ad >= t) {
+            m += 1;
+            t += y;
+        }
+        int32_t dqv = m * y + (y >> 1);
+        if (sign > 0)
+            dqv = -dqv;
+        int32_t sr = se + dqv;
+        if (sr > 32767)
+            sr = 32767;
+        if (sr < -32768)
+            sr = -32768;
+        adapt(dqv, sr);
+        return sign + m;
+    }
+
+    int32_t
+    decode(int32_t code)
+    {
+        int32_t se = predict();
+        int32_t sign = code & 8;
+        int32_t m = code & 7;
+        int32_t dqv = m * y + (y >> 1);
+        if (sign > 0)
+            dqv = -dqv;
+        int32_t sr = se + dqv;
+        if (sr > 32767)
+            sr = 32767;
+        if (sr < -32768)
+            sr = -32768;
+        adapt(dqv, sr);
+        return sr;
+    }
+};
+
+/**
+ * Build the MiniC source of one G721 program. The codec state lives in
+ * scalar locals — exactly like the CCITT reference code's state
+ * structure, which a register allocator keeps in registers — so the
+ * program is dominated by data-dependent scalar recurrences with no
+ * array parallelism, matching the paper's observation that no memory
+ * parallelism exists to exploit.
+ */
+std::string
+g721Source(bool wf, bool decode, int n)
+{
+    std::string src;
+
+    if (wf) {
+        src += R"(
+// FMULT-style multiplication: decompose into sign, 6-bit mantissa and
+// exponent; multiply mantissas; renormalize. This is the arithmetic
+// style of the CCITT "WF" implementation.
+int fmult(int x, int w) {
+    int sx = 1;
+    if (x < 0) { sx = -1; x = -x; }
+    int sw = 1;
+    if (w < 0) { sw = -1; w = -w; }
+    int ex = 0;
+    int mx = x;
+    while (mx > 63) { mx = mx >> 1; ex = ex + 1; }
+    int ew = 0;
+    int mw = w;
+    while (mw > 63) { mw = mw >> 1; ew = ew + 1; }
+    int p = mx * mw;
+    int e = ex + ew;
+    while (e > 0) { p = p << 1; e = e - 1; }
+    return sx * sw * p;
+}
+)";
+    }
+
+    auto mult = [&](const std::string &a, const std::string &w) {
+        if (wf)
+            return "fmult(" + a + ", " + w + ")";
+        return a + " * " + w;
+    };
+
+    src += "\nvoid main() {\n";
+    src += "    int y = 128;\n";
+    src += "    int qa1 = 0;\n    int qa2 = 0;\n";
+    src += "    int sr0 = 0;\n    int sr1 = 0;\n";
+    for (int i = 1; i <= 6; ++i)
+        src += "    int b" + std::to_string(i) + " = 0;\n";
+    for (int i = 1; i <= 6; ++i)
+        src += "    int d" + std::to_string(i) + " = 0;\n";
+
+    src += "    for (int n = 0; n < " + std::to_string(n) + "; n++) {\n";
+
+    // Predictor.
+    src += "        int sez = (" + mult("b1", "d1");
+    for (int i = 2; i <= 6; ++i)
+        src += " + " + mult("b" + std::to_string(i),
+                            "d" + std::to_string(i));
+    src += ") >> 8;\n";
+    src += "        int se = sez + ((" + mult("qa1", "sr0") + " + " +
+           mult("qa2", "sr1") + ") >> 8);\n";
+
+    if (!decode) {
+        src += R"(
+        int s = in();
+        int d = s - se;
+        int sign = 0;
+        int ad = d;
+        if (d < 0) {
+            sign = 8;
+            ad = -d;
+        }
+        int m = 0;
+        int t = y;
+        while (m < 7 && ad >= t) {
+            m = m + 1;
+            t = t + y;
+        }
+)";
+    } else {
+        src += R"(
+        int code = in();
+        int sign = code & 8;
+        int m = code & 7;
+)";
+    }
+
+    src += R"(
+        int dqv = m * y + (y >> 1);
+        if (sign > 0)
+            dqv = -dqv;
+        int sr = se + dqv;
+        if (sr > 32767) sr = 32767;
+        if (sr < -32768) sr = -32768;
+
+        // Scale adaptation.
+        int mag = dqv;
+        if (mag < 0) mag = -mag;
+        if (mag >= 4 * y)
+            y = y + (y >> 3);
+        else
+            y = y - (y >> 5);
+        if (y < 32) y = 32;
+        if (y > 16384) y = 16384;
+
+        int sg = 0;
+        if (dqv > 0) sg = 1;
+        if (dqv < 0) sg = -1;
+)";
+
+    // Sign-sign LMS updates of the six zero coefficients, with leakage
+    // and clamping — written out coefficient by coefficient, like the
+    // reference code.
+    for (int i = 1; i <= 6; ++i) {
+        std::string bi = "b" + std::to_string(i);
+        std::string di = "d" + std::to_string(i);
+        src += "        if (dqv != 0 && " + di + " != 0) {\n";
+        src += "            int sgi = 1;\n";
+        src += "            if (" + di + " < 0) sgi = -1;\n";
+        src += "            " + bi + " = " + bi + " + sg * sgi * 32;\n";
+        src += "        }\n";
+        src += "        " + bi + " = " + bi + " - (" + bi + " >> 6);\n";
+        src += "        if (" + bi + " > 4096) " + bi + " = 4096;\n";
+        src += "        if (" + bi + " < -4096) " + bi + " = -4096;\n";
+    }
+
+    src += R"(
+        if (dqv != 0 && sr0 != 0) {
+            int sgp = 1;
+            if (sr0 < 0) sgp = -1;
+            qa1 = qa1 + sg * sgp * 16;
+        }
+        qa1 = qa1 - (qa1 >> 6);
+        if (qa1 > 3840) qa1 = 3840;
+        if (qa1 < -3840) qa1 = -3840;
+        if (dqv != 0 && sr1 != 0) {
+            int sgp = 1;
+            if (sr1 < 0) sgp = -1;
+            qa2 = qa2 + sg * sgp * 8;
+        }
+        qa2 = qa2 - (qa2 >> 6);
+        if (qa2 > 3072) qa2 = 3072;
+        if (qa2 < -3072) qa2 = -3072;
+
+        d6 = d5; d5 = d4; d4 = d3; d3 = d2; d2 = d1;
+        d1 = dqv;
+        sr1 = sr0;
+        sr0 = sr;
+)";
+    src += decode ? "        out(sr);\n" : "        out(sign + m);\n";
+    src += "    }\n}\n";
+    return src;
+}
+
+Benchmark
+makeG721(const std::string &name, const std::string &label, bool wf,
+         bool decode)
+{
+    const int n = 400;
+    Benchmark b;
+    b.name = name;
+    b.label = label;
+    b.kind = BenchKind::Application;
+    b.description = std::string("CCITT G.721 ADPCM speech ") +
+                    (decode ? "decoder" : "encoder") + " (" +
+                    (wf ? "WF" : "ML") + " implementation)";
+
+    b.source = g721Source(wf, decode, n);
+
+    auto samples = randInts(n, 0x721, -8000, 8000);
+
+    if (!decode) {
+        InBuilder in;
+        in.putInts(samples);
+        b.input = in.words;
+
+        G721State st;
+        st.wf = wf;
+        OutCollector out;
+        for (int i = 0; i < n; ++i)
+            out.put(st.encode(samples[i]));
+        b.expected = out.words;
+    } else {
+        // Decoder consumes the code stream the ML encoder produces.
+        G721State enc;
+        enc.wf = wf;
+        std::vector<int32_t> codes;
+        for (int i = 0; i < n; ++i)
+            codes.push_back(enc.encode(samples[i]));
+        InBuilder in;
+        in.putInts(codes);
+        b.input = in.words;
+
+        G721State dec;
+        dec.wf = wf;
+        OutCollector out;
+        for (int i = 0; i < n; ++i)
+            out.put(dec.decode(codes[i]));
+        b.expected = out.words;
+    }
+    return b;
+}
+
+} // namespace
+
+Benchmark
+makeG721MLencode()
+{
+    return makeG721("G721MLencode", "a8", false, false);
+}
+
+Benchmark
+makeG721MLdecode()
+{
+    return makeG721("G721MLdecode", "a9", false, true);
+}
+
+Benchmark
+makeG721WFencode()
+{
+    return makeG721("G721WFencode", "a10", true, false);
+}
+
+} // namespace apps
+} // namespace dsp

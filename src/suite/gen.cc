@@ -1,0 +1,87 @@
+#include "suite/gen.hh"
+
+#include <cstdio>
+
+namespace dsp
+{
+namespace suitegen
+{
+
+std::string
+expand(std::string text,
+       const std::vector<std::pair<std::string, std::string>> &subs)
+{
+    for (const auto &[key, value] : subs) {
+        std::string pattern = "${" + key + "}";
+        std::size_t pos = 0;
+        while ((pos = text.find(pattern, pos)) != std::string::npos) {
+            text.replace(pos, pattern.size(), value);
+            pos += value.size();
+        }
+    }
+    return text;
+}
+
+std::string
+floatLit(float f)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.9g", static_cast<double>(f));
+    std::string s = buf;
+    // Ensure the token lexes as a float literal.
+    if (s.find('.') == std::string::npos &&
+        s.find('e') == std::string::npos &&
+        s.find('E') == std::string::npos)
+        s += ".0";
+    // MiniC has unary minus, which the parser folds for initializers.
+    return s;
+}
+
+std::string
+intList(const std::vector<int32_t> &vs)
+{
+    std::string out = "{";
+    for (std::size_t i = 0; i < vs.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += std::to_string(vs[i]);
+    }
+    out += "}";
+    return out;
+}
+
+std::string
+floatList(const std::vector<float> &vs)
+{
+    std::string out = "{";
+    for (std::size_t i = 0; i < vs.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += floatLit(vs[i]);
+    }
+    out += "}";
+    return out;
+}
+
+std::vector<float>
+randFloats(int n, uint32_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> out(n);
+    for (float &f : out)
+        f = rng.nextFloat();
+    return out;
+}
+
+std::vector<int32_t>
+randInts(int n, uint32_t seed, int32_t lo, int32_t hi)
+{
+    Rng rng(seed);
+    std::vector<int32_t> out(n);
+    for (int32_t &v : out)
+        v = rng.nextInt(lo, hi);
+    return out;
+}
+
+} // namespace suitegen
+} // namespace dsp

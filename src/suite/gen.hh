@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Internal helpers for authoring the benchmark suite: deterministic
+ * input generation, raw-word packing that mirrors the simulator's I/O
+ * channel, and a tiny template expander for parameterized sources.
+ */
+
+#ifndef DSP_SUITE_GEN_HH
+#define DSP_SUITE_GEN_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace dsp
+{
+namespace suitegen
+{
+
+/** Deterministic 32-bit LCG (Numerical Recipes constants). */
+class Rng
+{
+  public:
+    explicit Rng(uint32_t seed) : state(seed) {}
+
+    uint32_t
+    next()
+    {
+        state = state * 1664525u + 1013904223u;
+        return state;
+    }
+
+    /** Uniform integer in [lo, hi]. */
+    int32_t
+    nextInt(int32_t lo, int32_t hi)
+    {
+        uint32_t span = static_cast<uint32_t>(hi - lo + 1);
+        return lo + static_cast<int32_t>(next() % span);
+    }
+
+    /** Uniform float in [-1, 1). */
+    float
+    nextFloat()
+    {
+        int32_t v = static_cast<int32_t>(next() >> 8) % 65536;
+        return (v - 32768) / 32768.0f;
+    }
+
+  private:
+    uint32_t state;
+};
+
+inline uint32_t
+bitsOf(float f)
+{
+    uint32_t w;
+    std::memcpy(&w, &f, sizeof(w));
+    return w;
+}
+
+/** Collects expected output exactly as the MiniC out()/outf() would. */
+class OutCollector
+{
+  public:
+    void put(int32_t v) { words.push_back(static_cast<uint32_t>(v)); }
+    void putF(float v) { words.push_back(bitsOf(v)); }
+
+    std::vector<uint32_t> words;
+};
+
+/** Input channel builder matching in()/inf(). */
+class InBuilder
+{
+  public:
+    void put(int32_t v) { words.push_back(static_cast<uint32_t>(v)); }
+    void putF(float v) { words.push_back(bitsOf(v)); }
+
+    void
+    putInts(const std::vector<int32_t> &vs)
+    {
+        for (int32_t v : vs)
+            put(v);
+    }
+    void
+    putFloats(const std::vector<float> &vs)
+    {
+        for (float v : vs)
+            putF(v);
+    }
+
+    std::vector<uint32_t> words;
+};
+
+/** Replace each occurrence of "${key}" in @p text. */
+std::string expand(
+    std::string text,
+    const std::vector<std::pair<std::string, std::string>> &subs);
+
+/** Render a float as a MiniC literal that round-trips bit-exactly. */
+std::string floatLit(float f);
+
+/** Render "{a, b, c}" initializer bodies. */
+std::string intList(const std::vector<int32_t> &vs);
+std::string floatList(const std::vector<float> &vs);
+
+std::vector<float> randFloats(int n, uint32_t seed);
+std::vector<int32_t> randInts(int n, uint32_t seed, int32_t lo,
+                              int32_t hi);
+
+} // namespace suitegen
+} // namespace dsp
+
+#endif // DSP_SUITE_GEN_HH

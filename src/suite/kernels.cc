@@ -1,0 +1,546 @@
+/**
+ * @file
+ * The twelve DSP kernel benchmarks of Table 1 (paper §4). Each
+ * algorithm appears in a large and a small configuration, e.g.
+ * fir_256_64 is a 256-tap FIR filter processing 64 samples and
+ * fir_32_1 a 32-tap filter processing one sample.
+ *
+ * Every kernel carries a host-side reference implementation that
+ * mirrors the MiniC source operation for operation, so expected
+ * outputs are bit-exact (binary32 float arithmetic on both sides).
+ */
+
+#include "suite/suite.hh"
+
+#include <cmath>
+
+#include "suite/gen.hh"
+
+namespace dsp
+{
+
+using namespace suitegen;
+
+namespace
+{
+
+// ---------------------------------------------------------------------
+// fft_N: radix-2, in-place, decimation-in-time FFT
+// ---------------------------------------------------------------------
+
+const char *kFftSrc = R"(
+// Radix-2 in-place decimation-in-time FFT, ${N} points.
+float re[${N}];
+float im[${N}];
+float wr[${NH}] = ${WR};
+float wi[${NH}] = ${WI};
+
+void main() {
+    for (int i = 0; i < ${N}; i++) {
+        re[i] = inf();
+        im[i] = 0.0;
+    }
+
+    // Bit-reversal permutation.
+    int j = 0;
+    for (int i = 0; i < ${N} - 1; i++) {
+        if (i < j) {
+            float tr = re[i]; re[i] = re[j]; re[j] = tr;
+            float ti = im[i]; im[i] = im[j]; im[j] = ti;
+        }
+        int k = ${NH};
+        while (k <= j && k > 0) {
+            j = j - k;
+            k = k >> 1;
+        }
+        j = j + k;
+    }
+
+    // Butterfly stages.
+    int len = 2;
+    int half = 1;
+    int step = ${NH};
+    while (len <= ${N}) {
+        for (int base = 0; base < ${N}; base += len) {
+            int tw = 0;
+            for (int off = 0; off < half; off++) {
+                int a = base + off;
+                int b = a + half;
+                float cr = wr[tw];
+                float ci = wi[tw];
+                float ar = re[a];
+                float ai = im[a];
+                float br = re[b];
+                float bi = im[b];
+                float xr = br * cr - bi * ci;
+                float xi = br * ci + bi * cr;
+                re[b] = ar - xr;
+                im[b] = ai - xi;
+                re[a] = ar + xr;
+                im[a] = ai + xi;
+                tw += step;
+            }
+        }
+        len = len << 1;
+        half = half << 1;
+        step = step >> 1;
+    }
+
+    for (int i = 0; i < ${N}; i += ${STRIDE}) {
+        outf(re[i]);
+        outf(im[i]);
+    }
+}
+)";
+
+Benchmark
+makeFft(const std::string &name, const std::string &label, int n)
+{
+    int nh = n / 2;
+    int stride = n / 64;
+
+    std::vector<float> wr(nh), wi(nh);
+    for (int k = 0; k < nh; ++k) {
+        double ang = -2.0 * M_PI * k / n;
+        wr[k] = static_cast<float>(std::cos(ang));
+        wi[k] = static_cast<float>(std::sin(ang));
+    }
+
+    Benchmark b;
+    b.name = name;
+    b.label = label;
+    b.kind = BenchKind::Kernel;
+    b.description = "Radix-2, in-place, decimation-in-time FFT (" +
+                    std::to_string(n) + " points)";
+    b.source = expand(kFftSrc, {{"N", std::to_string(n)},
+                                {"NH", std::to_string(nh)},
+                                {"STRIDE", std::to_string(stride)},
+                                {"WR", floatList(wr)},
+                                {"WI", floatList(wi)}});
+
+    std::vector<float> sig = randFloats(n, 0xF0F0 + n);
+    InBuilder in;
+    in.putFloats(sig);
+    b.input = in.words;
+
+    // Reference.
+    std::vector<float> re(sig), im(n, 0.0f);
+    int j = 0;
+    for (int i = 0; i < n - 1; ++i) {
+        if (i < j) {
+            std::swap(re[i], re[j]);
+            std::swap(im[i], im[j]);
+        }
+        int k = nh;
+        while (k <= j && k > 0) {
+            j -= k;
+            k >>= 1;
+        }
+        j += k;
+    }
+    for (int len = 2, half = 1, step = nh; len <= n;
+         len <<= 1, half <<= 1, step >>= 1) {
+        for (int base = 0; base < n; base += len) {
+            int tw = 0;
+            for (int off = 0; off < half; ++off) {
+                int a = base + off;
+                int bidx = a + half;
+                float cr = wr[tw];
+                float ci = wi[tw];
+                float ar = re[a];
+                float ai = im[a];
+                float br = re[bidx];
+                float bi = im[bidx];
+                float xr = br * cr - bi * ci;
+                float xi = br * ci + bi * cr;
+                re[bidx] = ar - xr;
+                im[bidx] = ai - xi;
+                re[a] = ar + xr;
+                im[a] = ai + xi;
+                tw += step;
+            }
+        }
+    }
+    OutCollector out;
+    for (int i = 0; i < n; i += stride) {
+        out.putF(re[i]);
+        out.putF(im[i]);
+    }
+    b.expected = out.words;
+    return b;
+}
+
+// ---------------------------------------------------------------------
+// fir_T_S: T-tap FIR filter over S samples
+// ---------------------------------------------------------------------
+
+const char *kFirSrc = R"(
+// ${T}-tap FIR filter processing ${S} samples. The coefficients are
+// static data, as in a deployed filter.
+float c[${T}] = ${COEF};
+float x[${TS}];
+
+void main() {
+    for (int i = 0; i < ${TS}; i++)
+        x[i] = inf();
+
+    for (int n = 0; n < ${S}; n++) {
+        float acc = 0.0;
+        for (int k = 0; k < ${T}; k++)
+            acc += c[k] * x[n + k];
+        outf(acc);
+    }
+}
+)";
+
+Benchmark
+makeFir(const std::string &name, const std::string &label, int taps,
+        int samples)
+{
+    Benchmark b;
+    b.name = name;
+    b.label = label;
+    b.kind = BenchKind::Kernel;
+    b.description = "Finite Impulse Response (FIR) filter (" +
+                    std::to_string(taps) + " taps, " +
+                    std::to_string(samples) + " samples)";
+
+    std::vector<float> coef = randFloats(taps, 0xC0 + taps);
+    b.source = expand(kFirSrc,
+                      {{"T", std::to_string(taps)},
+                       {"S", std::to_string(samples)},
+                       {"TS", std::to_string(taps + samples)},
+                       {"COEF", floatList(coef)}});
+
+    std::vector<float> sig = randFloats(taps + samples, 0x51 + samples);
+    InBuilder in;
+    in.putFloats(sig);
+    b.input = in.words;
+
+    OutCollector out;
+    for (int n = 0; n < samples; ++n) {
+        float acc = 0.0f;
+        for (int k = 0; k < taps; ++k)
+            acc += coef[k] * sig[n + k];
+        out.putF(acc);
+    }
+    b.expected = out.words;
+    return b;
+}
+
+// ---------------------------------------------------------------------
+// iir_SEC_S: cascade of SEC biquad sections over S samples
+// ---------------------------------------------------------------------
+
+const char *kIirSrc = R"(
+// Infinite Impulse Response filter: ${SEC} cascaded biquad sections,
+// ${S} samples. Coefficients are static data.
+float b0[${SEC}] = ${B0};
+float b1[${SEC}] = ${B1};
+float b2[${SEC}] = ${B2};
+float a1[${SEC}] = ${A1};
+float a2[${SEC}] = ${A2};
+float d1[${SEC}];
+float d2[${SEC}];
+
+void main() {
+    for (int n = 0; n < ${S}; n++) {
+        float x = inf();
+        for (int s = 0; s < ${SEC}; s++) {
+            float w = x - a1[s] * d1[s] - a2[s] * d2[s];
+            float y = b0[s] * w + b1[s] * d1[s] + b2[s] * d2[s];
+            d2[s] = d1[s];
+            d1[s] = w;
+            x = y;
+        }
+        outf(x);
+    }
+}
+)";
+
+Benchmark
+makeIir(const std::string &name, const std::string &label, int sections,
+        int samples)
+{
+    Benchmark b;
+    b.name = name;
+    b.label = label;
+    b.kind = BenchKind::Kernel;
+    b.description = "Infinite Impulse Response (IIR) filter (" +
+                    std::to_string(sections) + " biquad sections, " +
+                    std::to_string(samples) + " samples)";
+    // Keep the cascade stable: small feedback coefficients.
+    Rng rng(0x11A + sections);
+    std::vector<float> b0(sections), b1(sections), b2(sections),
+        a1(sections), a2(sections);
+    for (int s = 0; s < sections; ++s) {
+        b0[s] = rng.nextFloat() * 0.5f;
+        b1[s] = rng.nextFloat() * 0.5f;
+        b2[s] = rng.nextFloat() * 0.5f;
+        a1[s] = rng.nextFloat() * 0.4f;
+        a2[s] = rng.nextFloat() * 0.4f;
+    }
+    b.source = expand(kIirSrc, {{"SEC", std::to_string(sections)},
+                                {"S", std::to_string(samples)},
+                                {"B0", floatList(b0)},
+                                {"B1", floatList(b1)},
+                                {"B2", floatList(b2)},
+                                {"A1", floatList(a1)},
+                                {"A2", floatList(a2)}});
+
+    std::vector<float> sig = randFloats(samples, 0x77 + samples);
+    InBuilder in;
+    in.putFloats(sig);
+    b.input = in.words;
+
+    std::vector<float> d1(sections, 0.0f), d2(sections, 0.0f);
+    OutCollector out;
+    for (int n = 0; n < samples; ++n) {
+        float x = sig[n];
+        for (int s = 0; s < sections; ++s) {
+            float w = x - a1[s] * d1[s] - a2[s] * d2[s];
+            float y = b0[s] * w + b1[s] * d1[s] + b2[s] * d2[s];
+            d2[s] = d1[s];
+            d1[s] = w;
+            x = y;
+        }
+        out.putF(x);
+    }
+    b.expected = out.words;
+    return b;
+}
+
+// ---------------------------------------------------------------------
+// latnrm_O_S: normalized lattice filter, order O, S samples
+// ---------------------------------------------------------------------
+
+const char *kLatnrmSrc = R"(
+// Normalized lattice filter: order ${O}, ${S} samples. The cosine and
+// sine coefficient banks are separate static arrays, as lattice code
+// conventionally stores them.
+float ck[${O}] = ${CK};
+float cs[${O}] = ${CS};
+float s[${O1}];
+
+void main() {
+    for (int n = 0; n < ${S}; n++) {
+        float top = inf();
+        float bottom = 0.0;
+        for (int i = 0; i < ${O}; i++) {
+            float left = top;
+            float right = s[i];
+            s[i] = bottom;
+            top = ck[i] * left - cs[i] * right;
+            bottom = cs[i] * left + ck[i] * right;
+        }
+        s[${O}] = bottom;
+        outf(top);
+    }
+}
+)";
+
+Benchmark
+makeLatnrm(const std::string &name, const std::string &label, int order,
+           int samples)
+{
+    Benchmark b;
+    b.name = name;
+    b.label = label;
+    b.kind = BenchKind::Kernel;
+    b.description = "Normalized lattice filter (order " +
+                    std::to_string(order) + ", " +
+                    std::to_string(samples) + " samples)";
+    std::vector<float> coef = randFloats(2 * order, 0x1A7 + order);
+    for (float &f : coef)
+        f *= 0.7f;
+    std::vector<float> ck(coef.begin(), coef.begin() + order);
+    std::vector<float> cs(coef.begin() + order, coef.end());
+    b.source = expand(kLatnrmSrc,
+                      {{"O", std::to_string(order)},
+                       {"O1", std::to_string(order + 1)},
+                       {"S", std::to_string(samples)},
+                       {"CK", floatList(ck)},
+                       {"CS", floatList(cs)}});
+
+    std::vector<float> sig = randFloats(samples, 0x33 + samples);
+    InBuilder in;
+    in.putFloats(sig);
+    b.input = in.words;
+
+    std::vector<float> state(order + 1, 0.0f);
+    OutCollector out;
+    for (int n = 0; n < samples; ++n) {
+        float top = sig[n];
+        float bottom = 0.0f;
+        for (int i = 0; i < order; ++i) {
+            float left = top;
+            float right = state[i];
+            state[i] = bottom;
+            top = ck[i] * left - cs[i] * right;
+            bottom = cs[i] * left + ck[i] * right;
+        }
+        state[order] = bottom;
+        out.putF(top);
+    }
+    b.expected = out.words;
+    return b;
+}
+
+// ---------------------------------------------------------------------
+// lmsfir_T_S: least-mean-squares adaptive FIR, T taps, S samples
+// ---------------------------------------------------------------------
+
+const char *kLmsSrc = R"(
+// LMS adaptive FIR filter: ${T} taps, ${S} samples.
+float h[${T}];
+float x[${T}];
+
+void main() {
+    for (int i = 0; i < ${T}; i++) {
+        h[i] = 0.0;
+        x[i] = 0.0;
+    }
+    for (int n = 0; n < ${S}; n++) {
+        float xn = inf();
+        float d = inf();
+
+        // Shift the delay line.
+        for (int k = ${T} - 1; k > 0; k--)
+            x[k] = x[k - 1];
+        x[0] = xn;
+
+        // Filter.
+        float y = 0.0;
+        for (int k = 0; k < ${T}; k++)
+            y += h[k] * x[k];
+
+        // Adapt.
+        float e = (d - y) * 0.03125;
+        for (int k = 0; k < ${T}; k++)
+            h[k] += e * x[k];
+
+        outf(y);
+    }
+}
+)";
+
+Benchmark
+makeLms(const std::string &name, const std::string &label, int taps,
+        int samples)
+{
+    Benchmark b;
+    b.name = name;
+    b.label = label;
+    b.kind = BenchKind::Kernel;
+    b.description = "Least-mean-squared (LMS) adaptive FIR filter (" +
+                    std::to_string(taps) + " taps, " +
+                    std::to_string(samples) + " samples)";
+    b.source = expand(kLmsSrc, {{"T", std::to_string(taps)},
+                                {"S", std::to_string(samples)}});
+
+    std::vector<float> sig = randFloats(samples, 0x4321 + taps);
+    std::vector<float> des = randFloats(samples, 0x8765 + taps);
+    InBuilder in;
+    for (int n = 0; n < samples; ++n) {
+        in.putF(sig[n]);
+        in.putF(des[n]);
+    }
+    b.input = in.words;
+
+    std::vector<float> h(taps, 0.0f), x(taps, 0.0f);
+    OutCollector out;
+    for (int n = 0; n < samples; ++n) {
+        for (int k = taps - 1; k > 0; --k)
+            x[k] = x[k - 1];
+        x[0] = sig[n];
+        float y = 0.0f;
+        for (int k = 0; k < taps; ++k)
+            y += h[k] * x[k];
+        float e = (des[n] - y) * 0.03125f;
+        for (int k = 0; k < taps; ++k)
+            h[k] += e * x[k];
+        out.putF(y);
+    }
+    b.expected = out.words;
+    return b;
+}
+
+// ---------------------------------------------------------------------
+// mult_N_N: N x N integer matrix multiplication
+// ---------------------------------------------------------------------
+
+const char *kMultSrc = R"(
+// ${N} x ${N} integer matrix multiplication on static operand data.
+int A[${N}][${N}] = ${AINIT};
+int B[${N}][${N}] = ${BINIT};
+int C[${N}][${N}];
+
+void main() {
+    for (int i = 0; i < ${N}; i++) {
+        for (int j = 0; j < ${N}; j++) {
+            int acc = 0;
+            for (int k = 0; k < ${N}; k++)
+                acc += A[i][k] * B[k][j];
+            C[i][j] = acc;
+        }
+    }
+
+    for (int i = 0; i < ${N}; i++)
+        for (int j = 0; j < ${N}; j++)
+            out(C[i][j]);
+}
+)";
+
+Benchmark
+makeMult(const std::string &name, const std::string &label, int n)
+{
+    Benchmark b;
+    b.name = name;
+    b.label = label;
+    b.kind = BenchKind::Kernel;
+    b.description = "Matrix multiplication (" + std::to_string(n) + "x" +
+                    std::to_string(n) + ", integer)";
+    auto a = randInts(n * n, 0xA0 + n, -99, 99);
+    auto bm = randInts(n * n, 0xB0 + n, -99, 99);
+    b.source = expand(kMultSrc, {{"N", std::to_string(n)},
+                                 {"AINIT", intList(a)},
+                                 {"BINIT", intList(bm)}});
+
+    OutCollector out;
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            int32_t acc = 0;
+            for (int k = 0; k < n; ++k)
+                acc += a[i * n + k] * bm[k * n + j];
+            out.put(acc);
+        }
+    }
+    b.expected = out.words;
+    return b;
+}
+
+} // namespace
+
+const std::vector<Benchmark> &
+kernelBenchmarks()
+{
+    static const std::vector<Benchmark> kernels = [] {
+        std::vector<Benchmark> v;
+        v.push_back(makeFft("fft_1024", "k1", 1024));
+        v.push_back(makeFft("fft_256", "k2", 256));
+        v.push_back(makeFir("fir_256_64", "k3", 256, 64));
+        v.push_back(makeFir("fir_32_1", "k4", 32, 1));
+        v.push_back(makeIir("iir_4_64", "k5", 4, 64));
+        v.push_back(makeIir("iir_1_1", "k6", 1, 1));
+        v.push_back(makeLatnrm("latnrm_32_64", "k7", 32, 64));
+        v.push_back(makeLatnrm("latnrm_8_1", "k8", 8, 1));
+        v.push_back(makeLms("lmsfir_32_64", "k9", 32, 64));
+        v.push_back(makeLms("lmsfir_8_1", "k10", 8, 1));
+        v.push_back(makeMult("mult_10_10", "k11", 10));
+        v.push_back(makeMult("mult_4_4", "k12", 4));
+        return v;
+    }();
+    return kernels;
+}
+
+} // namespace dsp

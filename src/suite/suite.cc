@@ -1,0 +1,49 @@
+#include "suite/suite.hh"
+
+#include "suite/apps.hh"
+
+namespace dsp
+{
+
+const std::vector<Benchmark> &
+applicationBenchmarks()
+{
+    static const std::vector<Benchmark> benchmarks = [] {
+        std::vector<Benchmark> v;
+        v.push_back(apps::makeAdpcm());
+        v.push_back(apps::makeLpc());
+        v.push_back(apps::makeSpectral());
+        v.push_back(apps::makeEdgeDetect());
+        v.push_back(apps::makeCompress());
+        v.push_back(apps::makeHistogram());
+        v.push_back(apps::makeV32encode());
+        v.push_back(apps::makeG721MLencode());
+        v.push_back(apps::makeG721MLdecode());
+        v.push_back(apps::makeG721WFencode());
+        v.push_back(apps::makeTrellis());
+        return v;
+    }();
+    return benchmarks;
+}
+
+std::vector<const Benchmark *>
+allBenchmarks()
+{
+    std::vector<const Benchmark *> out;
+    for (const Benchmark &b : kernelBenchmarks())
+        out.push_back(&b);
+    for (const Benchmark &b : applicationBenchmarks())
+        out.push_back(&b);
+    return out;
+}
+
+const Benchmark *
+findBenchmark(const std::string &name)
+{
+    for (const Benchmark *b : allBenchmarks())
+        if (b->name == name)
+            return b;
+    return nullptr;
+}
+
+} // namespace dsp

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The paper's benchmark suite (Tables 1 and 2): twelve DSP kernels and
+ * eleven applications, each as MiniC source plus an input generator and
+ * a host-side reference implementation for output validation.
+ */
+
+#ifndef DSP_SUITE_SUITE_HH
+#define DSP_SUITE_SUITE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dsp
+{
+
+enum class BenchKind : unsigned char { Kernel, Application };
+
+struct Benchmark
+{
+    /** Paper's name, e.g. "fir_256_64" or "lpc". */
+    std::string name;
+    /** Short figure label, e.g. "k3" or "a2". */
+    std::string label;
+    BenchKind kind = BenchKind::Kernel;
+    std::string description;
+    /** MiniC source. */
+    std::string source;
+    /** Input channel contents. */
+    std::vector<uint32_t> input;
+    /**
+     * Expected output, computed by a host-side C++ reference
+     * implementation of the same algorithm.
+     */
+    std::vector<uint32_t> expected;
+};
+
+/** The twelve kernels of Table 1 (paper order: k1..k12). */
+const std::vector<Benchmark> &kernelBenchmarks();
+
+/** The eleven applications of Table 2 (paper order: a1..a11). */
+const std::vector<Benchmark> &applicationBenchmarks();
+
+/** Kernels followed by applications. */
+std::vector<const Benchmark *> allBenchmarks();
+
+/** Look up by name; null if unknown. */
+const Benchmark *findBenchmark(const std::string &name);
+
+} // namespace dsp
+
+#endif // DSP_SUITE_SUITE_HH

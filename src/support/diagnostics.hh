@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Error-reporting primitives shared by every subsystem.
+ *
+ * Follows the gem5 convention: panic() marks an internal invariant
+ * violation (a bug in this library), fatal() marks a user error (bad
+ * source program, bad configuration). Both carry formatted messages.
+ */
+
+#ifndef DSP_SUPPORT_DIAGNOSTICS_HH
+#define DSP_SUPPORT_DIAGNOSTICS_HH
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dsp
+{
+
+/** Thrown by panic(): an internal invariant of the library was violated. */
+class InternalError : public std::logic_error
+{
+  public:
+    explicit InternalError(const std::string &msg)
+        : std::logic_error(msg)
+    {}
+};
+
+/** Thrown by fatal(): user-level input (program, options) is invalid. */
+class UserError : public std::runtime_error
+{
+  public:
+    explicit UserError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+namespace detail
+{
+
+inline void
+formatInto(std::ostringstream &os)
+{
+    (void)os;
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &value, const Rest &...rest)
+{
+    os << value;
+    formatInto(os, rest...);
+}
+
+} // namespace detail
+
+/**
+ * Report an internal library bug and abort the current operation.
+ * Use only for conditions that no user input should be able to trigger.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    std::ostringstream os;
+    os << "panic: ";
+    detail::formatInto(os, args...);
+    throw InternalError(os.str());
+}
+
+/**
+ * Report a user error (invalid program, invalid option) and abort the
+ * current operation.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    std::ostringstream os;
+    detail::formatInto(os, args...);
+    throw UserError(os.str());
+}
+
+/** Assert an internal invariant, panicking with a message on failure. */
+template <typename... Args>
+void
+require(bool cond, const Args &...args)
+{
+    if (!cond)
+        panic(args...);
+}
+
+/**
+ * A position in a MiniC source file, 1-based. line == 0 means "unknown".
+ */
+struct SourceLoc
+{
+    int line = 0;
+    int column = 0;
+
+    bool known() const { return line > 0; }
+
+    std::string
+    str() const
+    {
+        if (!known())
+            return "<unknown>";
+        std::ostringstream os;
+        os << line << ":" << column;
+        return os.str();
+    }
+};
+
+} // namespace dsp
+
+#endif // DSP_SUPPORT_DIAGNOSTICS_HH

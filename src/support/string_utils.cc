@@ -1,0 +1,68 @@
+#include "support/string_utils.hh"
+
+#include <cstdio>
+
+namespace dsp
+{
+
+std::vector<std::string>
+splitString(const std::string &text, char sep)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : text) {
+        if (c == sep) {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+std::string
+joinStrings(const std::vector<std::string> &parts, const std::string &sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string
+padLeft(const std::string &text, std::size_t width)
+{
+    if (text.size() >= width)
+        return text;
+    return std::string(width - text.size(), ' ') + text;
+}
+
+std::string
+padRight(const std::string &text, std::size_t width)
+{
+    if (text.size() >= width)
+        return text;
+    return text + std::string(width - text.size(), ' ');
+}
+
+std::string
+fixed(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+bool
+startsWith(const std::string &text, const std::string &prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.compare(0, prefix.size(), prefix) == 0;
+}
+
+} // namespace dsp

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Small string helpers used by printers and the benchmark harnesses.
+ */
+
+#ifndef DSP_SUPPORT_STRING_UTILS_HH
+#define DSP_SUPPORT_STRING_UTILS_HH
+
+#include <string>
+#include <vector>
+
+namespace dsp
+{
+
+/** Split @p text on @p sep, keeping empty fields. */
+std::vector<std::string> splitString(const std::string &text, char sep);
+
+/** Join @p parts with @p sep between consecutive elements. */
+std::string joinStrings(const std::vector<std::string> &parts,
+                        const std::string &sep);
+
+/** Left-pad @p text with spaces to at least @p width characters. */
+std::string padLeft(const std::string &text, std::size_t width);
+
+/** Right-pad @p text with spaces to at least @p width characters. */
+std::string padRight(const std::string &text, std::size_t width);
+
+/** Render @p value with @p decimals digits after the point. */
+std::string fixed(double value, int decimals);
+
+/** True if @p text starts with @p prefix. */
+bool startsWith(const std::string &text, const std::string &prefix);
+
+} // namespace dsp
+
+#endif // DSP_SUPPORT_STRING_UTILS_HH

@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Back-end integration tests: compaction slot discipline, bank rules,
+ * register allocation under pressure, frame behavior, and the
+ * allocation pass's observable effects on compiled programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/compiler.hh"
+
+namespace dsp
+{
+namespace
+{
+
+CompileResult
+compile(const std::string &src, AllocMode mode)
+{
+    CompileOptions opts;
+    opts.mode = mode;
+    return compileSource(src, opts);
+}
+
+/** Check structural invariants of every instruction of a program. */
+void
+checkProgramInvariants(const CompileResult &compiled)
+{
+    bool dual = compiled.program.config.dualPorted;
+    for (const VliwInst &inst : compiled.program.insts) {
+        for (int s = 0; s < NumSlots; ++s) {
+            if (!inst.slots[s])
+                continue;
+            const Op &op = *inst.slots[s];
+            FuKind kind = fuKindOf(op);
+            switch (s) {
+              case SlotPCU:
+                EXPECT_EQ(kind, FuKind::PCU) << op.str();
+                break;
+              case SlotMU0:
+              case SlotMU1:
+                EXPECT_EQ(kind, FuKind::MU) << op.str();
+                if (op.isMem() && !dual) {
+                    // Port discipline: MU0 = X, MU1 = Y.
+                    Bank b = op.mem.bank;
+                    EXPECT_TRUE(b == Bank::X || b == Bank::Y)
+                        << op.str();
+                    if (s == SlotMU0)
+                        EXPECT_EQ(b, Bank::X) << op.str();
+                    else
+                        EXPECT_EQ(b, Bank::Y) << op.str();
+                }
+                break;
+              case SlotAU0:
+              case SlotAU1:
+                // AUs run address ops plus simple integer adds/moves.
+                EXPECT_TRUE(kind == FuKind::AU || kind == FuKind::DU)
+                    << op.str();
+                break;
+              case SlotDU0:
+              case SlotDU1:
+                EXPECT_EQ(kind, FuKind::DU) << op.str();
+                break;
+              case SlotFPU0:
+              case SlotFPU1:
+                EXPECT_EQ(kind, FuKind::FPU) << op.str();
+                break;
+            }
+            // All registers must be physical after allocation.
+            for (const VReg &u : op.uses())
+                EXPECT_LT(u.id, regs::FirstVirtual) << op.str();
+            if (op.def().valid()) {
+                EXPECT_LT(op.def().id, regs::FirstVirtual) << op.str();
+            }
+        }
+        // At most one control-flow op per instruction (single PCU).
+        int ctl = 0;
+        for (const auto &slot : inst.slots)
+            if (slot && (isBranch(slot->opcode) ||
+                         slot->opcode == Opcode::Call ||
+                         slot->opcode == Opcode::Ret ||
+                         slot->opcode == Opcode::Halt))
+                ++ctl;
+        EXPECT_LE(ctl, 1);
+    }
+}
+
+const char *kRepresentative = R"(
+    int a[16];
+    int b[16];
+    int w[16] = {3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3};
+    float fa[8];
+    float fb[8] = {0.5, 0.25, 1.5, 2.0, 0.75, 1.25, 3.0, 0.125};
+    int helper(int v[], int n) {
+        int s = 0;
+        for (int i = 0; i < n; i++)
+            s += v[i];
+        return s;
+    }
+    void main() {
+        for (int i = 0; i < 16; i++) {
+            a[i] = in();
+            b[i] = a[i] * 2;
+        }
+        int dot = 0;
+        for (int i = 0; i < 16; i++)
+            dot += b[i] * w[i];
+        for (int i = 0; i < 8; i++)
+            fa[i] = inf();
+        float facc = 0.0;
+        for (int i = 0; i < 8; i++)
+            facc += fa[i] * fb[i];
+        out(helper(a, 16) + dot);
+        outf(facc);
+    }
+)";
+
+TEST(Compaction, SlotDisciplineHolds)
+{
+    for (AllocMode mode :
+         {AllocMode::SingleBank, AllocMode::CB, AllocMode::CBDup,
+          AllocMode::FullDup, AllocMode::Ideal}) {
+        auto compiled = compile(kRepresentative, mode);
+        checkProgramInvariants(compiled);
+    }
+}
+
+TEST(Compaction, PairsMemoryOpsUnderCb)
+{
+    auto compiled = compile(kRepresentative, AllocMode::CB);
+    EXPECT_GT(compiled.layout.compact.pairedMemInsts, 0);
+}
+
+TEST(Compaction, NeverPairsDataMemoryOpsUnderSingleBank)
+{
+    auto compiled = compile(kRepresentative, AllocMode::SingleBank);
+    for (const VliwInst &inst : compiled.program.insts) {
+        int data_mem = 0;
+        for (const auto &slot : inst.slots)
+            if (slot && slot->isMem())
+                ++data_mem;
+        EXPECT_LE(data_mem, 1);
+    }
+}
+
+TEST(Alloc, SingleBankPutsEverythingInX)
+{
+    auto compiled = compile(kRepresentative, AllocMode::SingleBank);
+    for (const auto &g : compiled.module->globals) {
+        EXPECT_EQ(g->bank, Bank::X) << g->name;
+        EXPECT_GE(g->addrX, 0) << g->name;
+        EXPECT_EQ(g->addrY, -1) << g->name;
+    }
+    EXPECT_EQ(compiled.layout.dataWordsY, 0);
+}
+
+TEST(Alloc, CbSplitsInterferingArrays)
+{
+    auto compiled = compile(kRepresentative, AllocMode::CB);
+    // `b[i] = a[i] * 2` and `dot += b[i] * w[i]` make (a, b) and
+    // (b, w) interference pairs; the partitioner must separate them.
+    DataObject *a = compiled.module->findGlobal("a");
+    DataObject *b = compiled.module->findGlobal("b");
+    DataObject *w = compiled.module->findGlobal("w");
+    EXPECT_NE(a->bank, b->bank);
+    EXPECT_NE(b->bank, w->bank);
+}
+
+TEST(Alloc, ParamBoundObjectsShareABank)
+{
+    const char *src = R"(
+        int a[8];
+        int b[8];
+        int f(int v[]) { return v[0]; }
+        void main() { out(f(a) + f(b)); }
+    )";
+    auto compiled = compile(src, AllocMode::CB);
+    DataObject *a = compiled.module->findGlobal("a");
+    DataObject *b = compiled.module->findGlobal("b");
+    EXPECT_EQ(a->bank, b->bank);
+}
+
+TEST(Alloc, DuplicationDoublesStores)
+{
+    const char *src = R"(
+        int sig[32];
+        int R[4];
+        void main() {
+            for (int i = 0; i < 32; i++)
+                sig[i] = in();
+            for (int m = 0; m < 4; m++) {
+                int s = 0;
+                for (int n = 0; n < 20; n++)
+                    s += sig[n] * sig[n + m];
+                R[m] = s;
+            }
+            out(R[0] + R[1] + R[2] + R[3]);
+        }
+    )";
+    auto cb = compile(src, AllocMode::CB);
+    auto dup = compile(src, AllocMode::CBDup);
+    ASSERT_EQ(dup.alloc.duplicated.size(), 1u);
+    EXPECT_EQ(dup.alloc.duplicated[0]->name, "sig");
+    EXPECT_GT(dup.alloc.extraStores, 0);
+    // The duplicated copy occupies both banks at matching offsets.
+    DataObject *sig = dup.module->findGlobal("sig");
+    EXPECT_TRUE(sig->duplicated);
+    ASSERT_GE(sig->addrX, 0);
+    ASSERT_GE(sig->addrY, 0);
+    EXPECT_EQ(sig->addrX - dup.program.config.xBase(),
+              sig->addrY - dup.program.config.yBase());
+    (void)cb;
+}
+
+TEST(Alloc, ParamReachableObjectsAreNotDuplicated)
+{
+    const char *src = R"(
+        int sig[32];
+        int peek(int v[]) { return v[0]; }
+        void main() {
+            for (int i = 0; i < 32; i++)
+                sig[i] = in();
+            int m = in();
+            int s = peek(sig);
+            for (int n = 0; n < 20; n++)
+                s += sig[n] * sig[n + m];
+            out(s);
+        }
+    )";
+    auto dup = compile(src, AllocMode::CBDup);
+    EXPECT_TRUE(dup.alloc.duplicated.empty());
+    for (DataObject *rej : dup.alloc.dupRejected)
+        EXPECT_EQ(rej->name, "sig");
+}
+
+TEST(Alloc, FullDupDuplicatesAllEligibleGlobals)
+{
+    const char *src = R"(
+        int a[8];
+        int b[8];
+        void main() {
+            for (int i = 0; i < 8; i++) { a[i] = in(); b[i] = in(); }
+            out(a[3] + b[4]);
+        }
+    )";
+    auto full = compile(src, AllocMode::FullDup);
+    EXPECT_EQ(full.alloc.duplicated.size(), 2u);
+    EXPECT_EQ(full.layout.dataWordsX, full.layout.dataWordsY);
+}
+
+TEST(RegAlloc, HighPressureSpillsButStaysCorrect)
+{
+    // 30 simultaneously-live int values exceed every pool.
+    std::string src = "void main() {\n";
+    for (int i = 0; i < 30; ++i)
+        src += "    int v" + std::to_string(i) + " = in();\n";
+    src += "    int s = 0;\n";
+    for (int i = 0; i < 30; ++i)
+        src += "    s += v" + std::to_string(i) + " * " +
+               std::to_string(i + 1) + ";\n";
+    src += "    out(s);\n}\n";
+
+    std::vector<int32_t> input;
+    int32_t want = 0;
+    for (int i = 0; i < 30; ++i) {
+        input.push_back(100 + i);
+        want += (100 + i) * (i + 1);
+    }
+    for (AllocMode mode : {AllocMode::SingleBank, AllocMode::CB}) {
+        auto compiled = compile(src, mode);
+        auto run = runProgram(compiled, packInputInts(input));
+        ASSERT_EQ(run.output.size(), 1u);
+        EXPECT_EQ(run.output[0].asInt(), want);
+    }
+}
+
+TEST(RegAlloc, LeafFunctionsAvoidSaves)
+{
+    const char *src = R"(
+        int tiny(int x) { return x * 3 + 1; }
+        void main() { out(tiny(in())); }
+    )";
+    auto compiled = compile(src, AllocMode::CB);
+    // The leaf callee should get caller-saved registers: no StA/St
+    // save traffic in its body beyond what main itself needs.
+    int entry = -1;
+    for (const auto &[name, idx] : compiled.program.functionEntries)
+        if (name == "tiny")
+            entry = idx;
+    ASSERT_GE(entry, 0);
+    // tiny's first instruction must not be a stack adjustment.
+    const VliwInst &first = compiled.program.insts[entry];
+    for (const auto &slot : first.slots) {
+        if (slot) {
+            EXPECT_NE(slot->opcode, Opcode::AAddI) << slot->str();
+        }
+    }
+}
+
+TEST(Frame, DualStacksBalanceAcrossCalls)
+{
+    const char *src = R"(
+        int work(int depth) {
+            int local[6];
+            for (int i = 0; i < 6; i++)
+                local[i] = depth + i;
+            if (depth <= 0)
+                return local[0];
+            return local[5] + work(depth - 1);
+        }
+        void main() { out(work(5)); }
+    )";
+    int32_t want = 0;
+    {
+        // Host mirror of work().
+        std::function<int(int)> work = [&](int depth) {
+            int local[6];
+            for (int i = 0; i < 6; ++i)
+                local[i] = depth + i;
+            if (depth <= 0)
+                return local[0];
+            return local[5] + work(depth - 1);
+        };
+        want = work(5);
+    }
+    for (AllocMode mode : {AllocMode::SingleBank, AllocMode::CB,
+                           AllocMode::Ideal}) {
+        auto compiled = compile(src, mode);
+        auto run = runProgram(compiled);
+        ASSERT_EQ(run.output.size(), 1u);
+        EXPECT_EQ(run.output[0].asInt(), want);
+        EXPECT_GT(run.stats.peakStackX + run.stats.peakStackY, 0);
+    }
+}
+
+TEST(Layout, BankCapacityEnforced)
+{
+    CompileOptions opts;
+    opts.mode = AllocMode::SingleBank;
+    opts.machine.bankWords = 256;
+    opts.machine.stackWords = 64;
+    EXPECT_THROW(
+        compileSource("int big[500]; void main() { out(big[0]); }",
+                      opts),
+        UserError);
+}
+
+TEST(Layout, BranchTargetsResolve)
+{
+    auto compiled = compile(kRepresentative, AllocMode::CB);
+    int n = compiled.program.instructionWords();
+    for (const VliwInst &inst : compiled.program.insts) {
+        for (const auto &slot : inst.slots) {
+            if (!slot)
+                continue;
+            if (isBranch(slot->opcode) || slot->opcode == Opcode::Call) {
+                EXPECT_GE(slot->imm, 0);
+                EXPECT_LT(slot->imm, n);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace dsp

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Driver/facade tests: pipeline orchestration, option handling, error
+ * reporting, the cost model, and the profile-feedback loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/compiler.hh"
+
+namespace dsp
+{
+namespace
+{
+
+TEST(Driver, RejectsMainWithParameters)
+{
+    EXPECT_THROW(compileSource("void main(int x) { out(x); }"),
+                 UserError);
+}
+
+TEST(Driver, RejectsProgramsWithoutMain)
+{
+    EXPECT_THROW(compileSource("void helper() {}"), UserError);
+}
+
+TEST(Driver, ReportsSyntaxErrorsWithLocation)
+{
+    try {
+        compileSource("void main() { int x = ; }");
+        FAIL() << "expected UserError";
+    } catch (const UserError &e) {
+        EXPECT_NE(std::string(e.what()).find(":"), std::string::npos);
+    }
+}
+
+TEST(Driver, CostModelComposition)
+{
+    const char *src = R"(
+        int a[100];
+        int b[50];
+        void main() {
+            for (int i = 0; i < 100; i++) a[i] = i;
+            for (int i = 0; i < 50; i++) b[i] = a[i] + a[i + 50];
+            out(b[49]);
+        }
+    )";
+    CompileOptions opts;
+    opts.mode = AllocMode::CB;
+    auto compiled = compileSource(src, opts);
+    auto run = runProgram(compiled);
+    auto cost = computeCost(compiled, run);
+
+    EXPECT_EQ(cost.dataX + cost.dataY, 150);
+    EXPECT_EQ(cost.insts, compiled.program.instructionWords());
+    EXPECT_EQ(cost.total(),
+              cost.dataX + cost.dataY + 2L * cost.stack + cost.insts);
+}
+
+TEST(Driver, DuplicationShowsUpInCost)
+{
+    const char *src = R"(
+        int sig[64];
+        int R[8];
+        void main() {
+            for (int i = 0; i < 64; i++) sig[i] = in();
+            for (int m = 0; m < 8; m++) {
+                int s = 0;
+                for (int n = 0; n < 56; n++)
+                    s += sig[n] * sig[n + m];
+                R[m] = s;
+            }
+            for (int m = 0; m < 8; m++) out(R[m]);
+        }
+    )";
+    std::vector<int32_t> input(64, 3);
+
+    CompileOptions cb_opts;
+    cb_opts.mode = AllocMode::CB;
+    auto cb = compileSource(src, cb_opts);
+    auto cb_cost = computeCost(cb, runProgram(cb, packInputInts(input)));
+
+    CompileOptions dup_opts;
+    dup_opts.mode = AllocMode::CBDup;
+    auto dup = compileSource(src, dup_opts);
+    auto dup_cost =
+        computeCost(dup, runProgram(dup, packInputInts(input)));
+
+    // The duplicated signal buffer costs exactly its size in extra
+    // data words (modulo instruction-count deltas).
+    EXPECT_EQ(dup_cost.dataX + dup_cost.dataY,
+              cb_cost.dataX + cb_cost.dataY + 64);
+}
+
+TEST(Driver, ProfileFeedbackRoundTrip)
+{
+    const char *src = R"(
+        int a[16];
+        int b[16];
+        void main() {
+            for (int i = 0; i < 16; i++) { a[i] = in(); b[i] = in(); }
+            int s = 0;
+            for (int i = 0; i < 16; i++)
+                s += a[i] * b[i];
+            out(s);
+        }
+    )";
+    std::vector<int32_t> input;
+    for (int i = 0; i < 32; ++i)
+        input.push_back(i);
+
+    CompileOptions first;
+    first.mode = AllocMode::CB;
+    auto compiled = compileSource(src, first);
+    auto run = runProgram(compiled, packInputInts(input));
+    ASSERT_FALSE(run.profile.empty());
+
+    CompileOptions second;
+    second.mode = AllocMode::CB;
+    second.weights = WeightPolicy::Profile;
+    second.profile = &run.profile;
+    auto recompiled = compileSource(src, second);
+    auto rerun = runProgram(recompiled, packInputInts(input));
+    EXPECT_EQ(run.output, rerun.output);
+    // The profiled partition must still split the hot pair.
+    DataObject *a = recompiled.module->findGlobal("a");
+    DataObject *b = recompiled.module->findGlobal("b");
+    EXPECT_NE(a->bank, b->bank);
+}
+
+TEST(Driver, MachineConfigIsHonored)
+{
+    CompileOptions opts;
+    opts.machine.bankWords = 1024;
+    opts.machine.stackWords = 128;
+    auto compiled =
+        compileSource("int a[8]; void main() { out(a[0]); }", opts);
+    EXPECT_EQ(compiled.program.config.bankWords, 1024);
+    Simulator sim(compiled.program, *compiled.module);
+    EXPECT_EQ(sim.addrReg(regs::AddrSpX), 1024u);
+    EXPECT_EQ(sim.addrReg(regs::AddrSpY), 2048u);
+}
+
+TEST(Driver, OptLevelZeroStillCorrect)
+{
+    const char *src = R"(
+        void main() {
+            int s = 0;
+            for (int i = 1; i <= 10; i++) s += i * i;
+            out(s);
+        }
+    )";
+    for (int level : {0, 1}) {
+        CompileOptions opts;
+        opts.optLevel = level;
+        auto r = runProgram(compileSource(src, opts));
+        ASSERT_EQ(r.output.size(), 1u);
+        EXPECT_EQ(r.output[0].asInt(), 385);
+    }
+}
+
+TEST(Driver, PackHelpers)
+{
+    auto ints = packInputInts({-1, 2});
+    EXPECT_EQ(ints[0], 0xFFFFFFFFu);
+    EXPECT_EQ(ints[1], 2u);
+    auto floats = packInputFloats({1.0f});
+    EXPECT_EQ(floats[0], 0x3F800000u);
+}
+
+TEST(Driver, AllocModeNames)
+{
+    EXPECT_STREQ(allocModeName(AllocMode::SingleBank), "single-bank");
+    EXPECT_STREQ(allocModeName(AllocMode::CB), "CB");
+    EXPECT_STREQ(allocModeName(AllocMode::CBDup), "CB+dup");
+    EXPECT_STREQ(allocModeName(AllocMode::FullDup), "full-dup");
+    EXPECT_STREQ(allocModeName(AllocMode::Ideal), "ideal");
+}
+
+} // namespace
+} // namespace dsp

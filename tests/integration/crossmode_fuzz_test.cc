@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Cross-mode property fuzzing: pseudo-random MiniC programs must
+ * produce bit-identical output streams under every allocation mode and
+ * at every optimization level. Data allocation, duplication, and
+ * compaction are performance transformations; any observable
+ * difference is a compiler or simulator bug.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/compiler.hh"
+
+namespace dsp
+{
+namespace
+{
+
+class Rng
+{
+  public:
+    explicit Rng(uint32_t seed) : state(seed * 2654435761u + 12345u) {}
+
+    uint32_t
+    next()
+    {
+        state = state * 1664525u + 1013904223u;
+        return state >> 7;
+    }
+
+    int
+    range(int lo, int hi) // inclusive
+    {
+        return lo + static_cast<int>(next() % (hi - lo + 1));
+    }
+
+    template <typename T>
+    const T &
+    pick(const std::vector<T> &v)
+    {
+        return v[next() % v.size()];
+    }
+
+  private:
+    uint32_t state;
+};
+
+/** Generate a random but well-defined MiniC program. */
+std::string
+generateProgram(uint32_t seed, int &input_words)
+{
+    Rng rng(seed);
+    const int asize = 16;
+    int narrays = rng.range(2, 4);
+    std::vector<std::string> arrays;
+    std::string src;
+    for (int i = 0; i < narrays; ++i) {
+        arrays.push_back("g" + std::to_string(i));
+        src += "int " + arrays.back() + "[" + std::to_string(asize) +
+               "];\n";
+    }
+    src += "void main() {\n";
+
+    // Fill arrays: from input or from formulas.
+    input_words = 0;
+    for (int i = 0; i < narrays; ++i) {
+        if (rng.range(0, 1) == 0) {
+            src += "    for (int i = 0; i < " + std::to_string(asize) +
+                   "; i++) " + arrays[i] + "[i] = in();\n";
+            input_words += asize;
+        } else {
+            int mul = rng.range(1, 9);
+            int add = rng.range(-20, 20);
+            src += "    for (int i = 0; i < " + std::to_string(asize) +
+                   "; i++) " + arrays[i] + "[i] = i * " +
+                   std::to_string(mul) + " + " + std::to_string(add) +
+                   ";\n";
+        }
+    }
+    src += "    int acc = 0;\n";
+
+    const std::vector<std::string> binops = {"+", "-", "*", "&", "|",
+                                             "^"};
+    int nstmts = rng.range(2, 5);
+    for (int s = 0; s < nstmts; ++s) {
+        switch (rng.range(0, 4)) {
+          case 0: {
+            // Elementwise combine.
+            const std::string &d = rng.pick(arrays);
+            const std::string &x = rng.pick(arrays);
+            const std::string &y = rng.pick(arrays);
+            src += "    for (int i = 0; i < " + std::to_string(asize) +
+                   "; i++) " + d + "[i] = " + x + "[i] " +
+                   rng.pick(binops) + " " + y + "[i];\n";
+            break;
+          }
+          case 1: {
+            // Reduction.
+            const std::string &x = rng.pick(arrays);
+            const std::string &y = rng.pick(arrays);
+            src += "    for (int i = 0; i < " + std::to_string(asize) +
+                   "; i++) acc += " + x + "[i] * " + y + "[i];\n";
+            break;
+          }
+          case 2: {
+            // Same-array lag access (the Figure 6 pattern).
+            const std::string &x = rng.pick(arrays);
+            int lag = rng.range(1, 3);
+            src += "    for (int i = 0; i < " +
+                   std::to_string(asize - lag) + "; i++) acc += " + x +
+                   "[i] " + rng.pick(binops) + " " + x + "[i + " +
+                   std::to_string(lag) + "];\n";
+            break;
+          }
+          case 3: {
+            // Conditional update inside a loop.
+            const std::string &x = rng.pick(arrays);
+            int thr = rng.range(-10, 60);
+            src += "    for (int i = 0; i < " + std::to_string(asize) +
+                   "; i++) { if (" + x + "[i] > " +
+                   std::to_string(thr) + ") acc += " + x +
+                   "[i]; else acc -= 1; }\n";
+            break;
+          }
+          case 4: {
+            // Strided writes with shifts.
+            const std::string &x = rng.pick(arrays);
+            int sh = rng.range(1, 3);
+            src += "    for (int i = 0; i < " + std::to_string(asize) +
+                   "; i++) " + x + "[i] = (" + x + "[i] << " +
+                   std::to_string(sh) + ") ^ (acc >> 2);\n";
+            break;
+          }
+        }
+    }
+
+    // Outputs: checksum plus a few sampled elements.
+    src += "    out(acc);\n";
+    src += "    int chk = 0;\n";
+    for (int i = 0; i < narrays; ++i) {
+        src += "    for (int i = 0; i < " + std::to_string(asize) +
+               "; i++) chk = chk * 31 + " + arrays[i] + "[i];\n";
+    }
+    src += "    out(chk);\n";
+    src += "    out(" + arrays[0] + "[" +
+           std::to_string(rng.range(0, asize - 1)) + "]);\n";
+    src += "}\n";
+    return src;
+}
+
+class CrossModeFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CrossModeFuzz, AllModesAgree)
+{
+    uint32_t seed = static_cast<uint32_t>(GetParam());
+    int input_words = 0;
+    std::string src = generateProgram(seed, input_words);
+
+    std::vector<int32_t> input;
+    Rng rng(seed ^ 0xDEAD);
+    for (int i = 0; i < input_words; ++i)
+        input.push_back(rng.range(-100, 100));
+
+    // Reference: optimizer off, single bank.
+    CompileOptions ref_opts;
+    ref_opts.optLevel = 0;
+    ref_opts.mode = AllocMode::SingleBank;
+    auto ref =
+        runProgram(compileSource(src, ref_opts), packInputInts(input));
+    ASSERT_GE(ref.output.size(), 3u);
+
+    for (AllocMode mode :
+         {AllocMode::SingleBank, AllocMode::CB, AllocMode::CBDup,
+          AllocMode::FullDup, AllocMode::Ideal}) {
+        CompileOptions opts;
+        opts.mode = mode;
+        auto r =
+            runProgram(compileSource(src, opts), packInputInts(input));
+        EXPECT_EQ(r.output, ref.output)
+            << "mode " << allocModeName(mode) << "\n"
+            << src;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossModeFuzz, ::testing::Range(1, 41));
+
+} // namespace
+} // namespace dsp

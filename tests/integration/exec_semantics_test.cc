@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Execution-semantics sweep: each case is one MiniC program and its
+ * expected output computed by hand or by a trivially-correct host
+ * expression. Exercises corner semantics — operator edge cases, mixed
+ * types, evaluation order, scoping — end to end through the compiler
+ * and simulator.
+ */
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "driver/compiler.hh"
+
+namespace dsp
+{
+namespace
+{
+
+uint32_t
+fbits(float f)
+{
+    uint32_t w;
+    std::memcpy(&w, &f, sizeof(w));
+    return w;
+}
+
+struct ExecCase
+{
+    const char *name;
+    const char *src;
+    std::vector<uint32_t> input;
+    std::vector<uint32_t> expected;
+};
+
+class ExecSemantics : public ::testing::TestWithParam<ExecCase>
+{
+};
+
+TEST_P(ExecSemantics, Matches)
+{
+    const ExecCase &c = GetParam();
+    for (AllocMode mode : {AllocMode::SingleBank, AllocMode::CB,
+                           AllocMode::Ideal}) {
+        CompileOptions opts;
+        opts.mode = mode;
+        auto r = runProgram(compileSource(c.src, opts), c.input);
+        ASSERT_EQ(r.output.size(), c.expected.size());
+        for (std::size_t i = 0; i < c.expected.size(); ++i)
+            EXPECT_EQ(r.output[i].raw, c.expected[i]) << "word " << i;
+    }
+}
+
+std::vector<uint32_t>
+words(std::initializer_list<int32_t> vs)
+{
+    std::vector<uint32_t> out;
+    for (int32_t v : vs)
+        out.push_back(static_cast<uint32_t>(v));
+    return out;
+}
+
+const ExecCase kCases[] = {
+    {"NegativeDivisionTruncatesTowardZero",
+     "void main() { out(-7 / 2); out(7 / -2); out(-7 % 2); }",
+     {},
+     words({-3, -3, -1})},
+
+    {"ShiftSemantics",
+     "void main() { out(1 << 31); out(-8 >> 1); out(-1 >> 31); }",
+     {},
+     words({int32_t(0x80000000), -4, -1})},
+
+    {"LogicalShortCircuitSkipsSideEffects",
+     // in() must NOT be consumed when the left side decides.
+     "void main() { int t = 0; if (1 == 1 || in() > 0) t = 1;"
+     " if (0 == 1 && in() > 0) t = 2; out(t); out(in()); }",
+     words({42}),
+     words({1, 42})},
+
+    {"ChainedComparisonValues",
+     "void main() { int a = 5; out((a > 1) + (a > 2) + (a > 9)); }",
+     {},
+     words({2})},
+
+    {"AssignmentYieldsValue",
+     "void main() { int a; int b; a = b = 7; out(a + b);"
+     " int c = (a = 2) + a; out(c); }",
+     {},
+     words({14, 4})},
+
+    {"EvaluationOrderLeftToRight",
+     "void main() { out(in() - in()); }",
+     words({10, 3}),
+     words({7})},
+
+    {"WhileZeroTrips",
+     "void main() { int n = 0; while (n > 0) n--; out(n);"
+     " for (int i = 5; i < 5; i++) n++; out(n); }",
+     {},
+     words({0, 0})},
+
+    {"DoWhileRunsOnce",
+     "void main() { int n = 10; do n++; while (n < 0); out(n); }",
+     {},
+     words({11})},
+
+    {"NestedBreakOnlyExitsInner",
+     "void main() { int c = 0;"
+     " for (int i = 0; i < 3; i++)"
+     "   for (int j = 0; j < 10; j++) { if (j == 2) break; c++; }"
+     " out(c); }",
+     {},
+     words({6})},
+
+    {"ContinueSkipsRestOfBody",
+     "void main() { int s = 0;"
+     " for (int i = 0; i < 10; i++) { if (i % 2 == 1) continue; s += i; }"
+     " out(s); }",
+     {},
+     words({20})},
+
+    {"GlobalScalarsAreMemoryResident",
+     "int g = 3;"
+     "void bump() { g = g + 4; }"
+     "void main() { bump(); bump(); out(g); }",
+     {},
+     words({11})},
+
+    {"TwoDimRowMajorLayout",
+     "int m[2][3];"
+     "void main() { int k = 0;"
+     " for (int i = 0; i < 2; i++)"
+     "  for (int j = 0; j < 3; j++) { m[i][j] = k; k++; }"
+     " out(m[1][0]); out(m[0][2]); }",
+     {},
+     words({3, 2})},
+
+    {"FloatComparisons",
+     "void main() { float a = 0.5; float b = 0.25;"
+     " out(a > b); out(a == a); out(b >= a); out(a != b); }",
+     {},
+     words({1, 1, 0, 1})},
+
+    {"FloatTruncationOnCast",
+     "void main() { out((int)2.99); out((int)-2.99); out((int)0.5); }",
+     {},
+     words({2, -2, 0})},
+
+    {"MixedTypePromotion",
+     "void main() { int i = 3; float f = 0.5;"
+     " outf(i * f); outf(i / 2.0); out(i / 2); }",
+     {},
+     {fbits(1.5f), fbits(1.5f), 1u}},
+
+    {"UnaryChains",
+     "void main() { int x = 5; out(- -x); out(!!x); out(~~x); out(!0); }",
+     {},
+     words({5, 1, 5, 1})},
+
+    {"PostPreIncrementValues",
+     "void main() { int i = 5; out(i++); out(i); out(++i); out(i--);"
+     " out(--i); }",
+     {},
+     words({5, 6, 7, 7, 5})},
+
+    {"RecursiveFibonacci",
+     "int fib(int n) { if (n < 2) return n;"
+     " return fib(n - 1) + fib(n - 2); }"
+     "void main() { out(fib(12)); }",
+     {},
+     words({144})},
+
+    {"MutualRecursion",
+     "int isEven(int n) { if (n == 0) return 1; return isOdd(n - 1); }"
+     "int isOdd(int n) { if (n == 0) return 0; return isEven(n - 1); }"
+     "void main() { out(isEven(10)); out(isOdd(7)); }",
+     {},
+     words({1, 1})},
+
+    {"ArrayParamWritesVisibleToCaller",
+     "int buf[4];"
+     "void fill(int v[], int n) { for (int i = 0; i < n; i++)"
+     " v[i] = i * i; }"
+     "void main() { fill(buf, 4); out(buf[3]); }",
+     {},
+     words({9})},
+
+    {"LocalArrayPerCall",
+     "int sum(int seed) { int t[4]; for (int i = 0; i < 4; i++)"
+     " t[i] = seed + i; return t[0] + t[3]; }"
+     "void main() { out(sum(10) + sum(100)); }",
+     {},
+     words({10 + 13 + 100 + 103})},
+
+    {"BitwiseIdentity",
+     "void main() { int x = in(); int m = 986895;"
+     " out((x & m) | (x & ~m) ^ 0); }",
+     words({123456789}),
+     words({123456789})},
+};
+
+INSTANTIATE_TEST_SUITE_P(Programs, ExecSemantics,
+                         ::testing::ValuesIn(kCases),
+                         [](const auto &info) {
+                             return std::string(info.param.name);
+                         });
+
+} // namespace
+} // namespace dsp

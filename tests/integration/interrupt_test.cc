@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Duplicated-data interrupt coherence (paper §3.2).
+ *
+ * "Because stores to different copies of duplicated data may be
+ * scheduled in different instructions, it is possible that an
+ * interrupt may occur after the instruction containing a store to one
+ * copy and before the instruction containing the store to the other
+ * copy." The paper's remedy is a store-lock/store-unlock pair; our
+ * implementation models it as interrupt-atomic store pairs
+ * (CompileOptions::atomicDupStores).
+ *
+ * These tests deliver interrupts at every cycle and have the handler
+ * watch both copies of a duplicated array. With atomic pairs the
+ * handler must never observe the copies mid-divergence.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/compiler.hh"
+
+namespace dsp
+{
+namespace
+{
+
+const char *kProgram = R"(
+    int sig[16];
+    int R[8];
+    void main() {
+        // Stores to the duplicated array, interleaved with enough
+        // arithmetic that the compaction pass may split the X/Y store
+        // pairs across instructions.
+        for (int i = 0; i < 16; i++) {
+            int v = in();
+            int w = v * 3 + (v >> 2);
+            sig[i] = w - (w >> 4);
+        }
+        for (int m = 0; m < 8; m++) {
+            int s = 0;
+            for (int n = 0; n < 8; n++)
+                s += sig[n] * sig[n + m];
+            R[m] = s;
+        }
+        for (int m = 0; m < 8; m++)
+            out(R[m]);
+    }
+)";
+
+struct Observation
+{
+    long checks = 0;
+    long divergent = 0;
+};
+
+Observation
+observe(bool atomic_pairs)
+{
+    CompileOptions opts;
+    opts.mode = AllocMode::CBDup;
+    opts.atomicDupStores = atomic_pairs;
+    auto compiled = compileSource(kProgram, opts);
+
+    DataObject *sig = compiled.module->findGlobal("sig");
+    EXPECT_NE(sig, nullptr);
+    EXPECT_TRUE(sig->duplicated);
+
+    Simulator sim(compiled.program, *compiled.module);
+    std::vector<int32_t> input;
+    for (int i = 0; i < 16; ++i)
+        input.push_back(100 + 17 * i);
+    sim.setInput(packInputInts(input));
+
+    Observation obs;
+    sim.setInterruptPeriod(1); // fire between every pair of cycles
+    sim.setInterruptHandler([&](Simulator &s) {
+        for (int i = 0; i < sig->size; ++i) {
+            auto [ax, ay] = s.objectAddresses(*sig, i);
+            ++obs.checks;
+            if (s.readMem(ax) != s.readMem(ay))
+                ++obs.divergent;
+        }
+    });
+    sim.run();
+
+    // Whatever the interrupts observed, the program's own output must
+    // be correct.
+    CompileOptions ref_opts;
+    ref_opts.mode = AllocMode::SingleBank;
+    auto ref = runProgram(compileSource(kProgram, ref_opts),
+                          packInputInts(input));
+    EXPECT_EQ(sim.output().size(), ref.output.size());
+    for (std::size_t i = 0; i < ref.output.size(); ++i)
+        EXPECT_EQ(sim.output()[i].raw, ref.output[i].raw);
+    return obs;
+}
+
+TEST(DupInterrupts, AtomicPairsMaskMidUpdateWindows)
+{
+    Observation atomic = observe(true);
+    EXPECT_GT(atomic.checks, 0);
+    EXPECT_EQ(atomic.divergent, 0);
+}
+
+TEST(DupInterrupts, UnprotectedPairsCanBeObservedDiverging)
+{
+    // Without the lock pairing, interrupts may land between the two
+    // stores of a pair. This is the hazard the paper describes; we
+    // record (and report) whether this schedule actually exposes it.
+    Observation plain = observe(false);
+    EXPECT_GT(plain.checks, 0);
+    // Not asserted > 0: whether a divergent window exists depends on
+    // the schedule. It is asserted that enabling atomic pairs is never
+    // worse (see the companion test) and correctness is unaffected.
+    RecordProperty("divergent_windows",
+                   std::to_string(plain.divergent));
+}
+
+TEST(DupInterrupts, AtomicPairsCostNoCycles)
+{
+    CompileOptions plain_opts;
+    plain_opts.mode = AllocMode::CBDup;
+    auto plain = compileSource(kProgram, plain_opts);
+
+    CompileOptions atomic_opts;
+    atomic_opts.mode = AllocMode::CBDup;
+    atomic_opts.atomicDupStores = true;
+    auto atomic = compileSource(kProgram, atomic_opts);
+
+    // The lock semantics ride on the existing stores (paper: "a
+    // special pair of store operations"), so the schedules are
+    // identical in length.
+    EXPECT_EQ(plain.program.instructionWords(),
+              atomic.program.instructionWords());
+}
+
+} // namespace
+} // namespace dsp

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Regression guards for the paper's headline results. These assert the
+ * qualitative shapes of Figures 7/8 and Table 3 so that compiler
+ * changes cannot silently destroy the reproduction. Thresholds are
+ * deliberately loose — they encode orderings and bands, not exact
+ * cycle counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/compiler.hh"
+#include "suite/suite.hh"
+
+namespace dsp
+{
+namespace
+{
+
+struct Numbers
+{
+    long base = 0;
+    long cb = 0;
+    long dup = 0;
+    long full = 0;
+    long ideal = 0;
+    long costBase = 0;
+    long costDup = 0;
+    long costFull = 0;
+};
+
+Numbers
+measure(const std::string &name)
+{
+    const Benchmark *b = findBenchmark(name);
+    EXPECT_NE(b, nullptr) << name;
+    Numbers n;
+    auto one = [&](AllocMode mode, long *cost_out) {
+        CompileOptions opts;
+        opts.mode = mode;
+        auto compiled = compileSource(b->source, opts);
+        auto run = runProgram(compiled, b->input);
+        if (cost_out)
+            *cost_out = computeCost(compiled, run).total();
+        return run.stats.cycles;
+    };
+    n.base = one(AllocMode::SingleBank, &n.costBase);
+    n.cb = one(AllocMode::CB, nullptr);
+    n.dup = one(AllocMode::CBDup, &n.costDup);
+    n.full = one(AllocMode::FullDup, &n.costFull);
+    n.ideal = one(AllocMode::Ideal, nullptr);
+    return n;
+}
+
+double
+gain(long base, long v)
+{
+    return 100.0 * (base - v) / base;
+}
+
+TEST(PaperShapes, FirKernelGainsLargeAndCbMatchesIdeal)
+{
+    Numbers n = measure("fir_256_64");
+    EXPECT_GT(gain(n.base, n.cb), 25.0);
+    EXPECT_EQ(n.cb, n.ideal);
+}
+
+TEST(PaperShapes, EveryKernelGainsFromCb)
+{
+    for (const Benchmark &b : kernelBenchmarks()) {
+        Numbers n = measure(b.name);
+        EXPECT_GT(gain(n.base, n.cb), 0.0) << b.name;
+        // Ideal dominates every software technique.
+        EXPECT_LE(n.ideal, n.cb) << b.name;
+        EXPECT_LE(n.ideal, n.dup) << b.name;
+    }
+}
+
+TEST(PaperShapes, LpcDuplicationStory)
+{
+    Numbers n = measure("lpc");
+    double cb_gain = gain(n.base, n.cb);
+    double dup_gain = gain(n.base, n.dup);
+    double ideal_gain = gain(n.base, n.ideal);
+    // Paper: CB 3%, Dup 34%, Ideal 36%.
+    EXPECT_LT(cb_gain, 10.0);
+    EXPECT_GT(dup_gain, 20.0);
+    EXPECT_GT(dup_gain, cb_gain + 15.0);
+    EXPECT_GE(dup_gain + 3.0, ideal_gain);
+}
+
+TEST(PaperShapes, ControlDominatedAppsGainNothing)
+{
+    for (const char *name : {"adpcm", "G721MLencode", "G721MLdecode",
+                             "G721WFencode", "histogram"}) {
+        Numbers n = measure(name);
+        EXPECT_LT(gain(n.base, n.cb), 2.0) << name;
+        EXPECT_LT(gain(n.base, n.ideal), 6.0) << name;
+    }
+}
+
+TEST(PaperShapes, FullDuplicationNeverCostEffective)
+{
+    // Table 3: PCR < 1 for every application that stores any data.
+    for (const Benchmark &b : applicationBenchmarks()) {
+        Numbers n = measure(b.name);
+        double pg = double(n.base) / n.full;
+        double ci = double(n.costFull) / n.costBase;
+        double pcr = pg / ci;
+        EXPECT_LE(pcr, 1.001) << b.name;
+    }
+}
+
+TEST(PaperShapes, PartialDuplicationCostNearBaseline)
+{
+    // Table 3: partial duplication's mean cost increase ~1%.
+    double sum_ci = 0.0;
+    int count = 0;
+    for (const Benchmark &b : applicationBenchmarks()) {
+        Numbers n = measure(b.name);
+        sum_ci += double(n.costDup) / n.costBase;
+        ++count;
+    }
+    EXPECT_LT(sum_ci / count, 1.10);
+}
+
+TEST(PaperShapes, ApplicationsGainLessThanKernels)
+{
+    double kernel_sum = 0.0, app_sum = 0.0;
+    for (const Benchmark &b : kernelBenchmarks())
+        kernel_sum += gain(measure(b.name).base, measure(b.name).cb);
+    for (const Benchmark &b : applicationBenchmarks())
+        app_sum += gain(measure(b.name).base, measure(b.name).cb);
+    double kernel_avg = kernel_sum / kernelBenchmarks().size();
+    double app_avg = app_sum / applicationBenchmarks().size();
+    EXPECT_GT(kernel_avg, app_avg);
+}
+
+} // namespace
+} // namespace dsp

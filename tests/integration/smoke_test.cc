@@ -1,0 +1,234 @@
+/**
+ * @file
+ * End-to-end smoke tests: compile tiny MiniC programs in every
+ * allocation mode and check the simulator's observable output.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/compiler.hh"
+
+namespace dsp
+{
+namespace
+{
+
+std::vector<int32_t>
+runInts(const std::string &src, AllocMode mode,
+        const std::vector<int32_t> &input = {})
+{
+    CompileOptions opts;
+    opts.mode = mode;
+    auto compiled = compileSource(src, opts);
+    auto run = runProgram(compiled, packInputInts(input));
+    std::vector<int32_t> out;
+    for (const OutputWord &w : run.output)
+        out.push_back(w.asInt());
+    return out;
+}
+
+const AllocMode kAllModes[] = {
+    AllocMode::SingleBank, AllocMode::CB, AllocMode::CBDup,
+    AllocMode::FullDup, AllocMode::Ideal,
+};
+
+TEST(Smoke, OutputConstant)
+{
+    const char *src = "void main() { out(42); }";
+    for (AllocMode mode : kAllModes)
+        EXPECT_EQ(runInts(src, mode), (std::vector<int32_t>{42}));
+}
+
+TEST(Smoke, Arithmetic)
+{
+    const char *src = R"(
+        void main() {
+            int a = 7;
+            int b = 5;
+            out(a + b);
+            out(a - b);
+            out(a * b);
+            out(a / b);
+            out(a % b);
+        }
+    )";
+    for (AllocMode mode : kAllModes)
+        EXPECT_EQ(runInts(src, mode),
+                  (std::vector<int32_t>{12, 2, 35, 1, 2}));
+}
+
+TEST(Smoke, GlobalArraysLoop)
+{
+    const char *src = R"(
+        int A[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+        int B[8] = {8, 7, 6, 5, 4, 3, 2, 1};
+        void main() {
+            int sum = 0;
+            for (int i = 0; i < 8; i++)
+                sum += A[i] * B[i];
+            out(sum);
+        }
+    )";
+    for (AllocMode mode : kAllModes)
+        EXPECT_EQ(runInts(src, mode), (std::vector<int32_t>{120}));
+}
+
+TEST(Smoke, ControlFlow)
+{
+    const char *src = R"(
+        void main() {
+            int n = in();
+            if (n > 10 && n < 20) out(1); else out(0);
+            int i = 0;
+            while (i < n) i++;
+            out(i);
+            int count = 0;
+            do { count++; } while (count < 3);
+            out(count);
+        }
+    )";
+    for (AllocMode mode : kAllModes)
+        EXPECT_EQ(runInts(src, mode, {15}),
+                  (std::vector<int32_t>{1, 15, 3}));
+}
+
+TEST(Smoke, FunctionsAndLocals)
+{
+    const char *src = R"(
+        int square(int x) { return x * x; }
+        int sum3(int a, int b, int c) { return a + b + c; }
+        void main() {
+            out(square(9));
+            out(sum3(1, 2, 3));
+            out(square(square(2)));
+        }
+    )";
+    for (AllocMode mode : kAllModes)
+        EXPECT_EQ(runInts(src, mode),
+                  (std::vector<int32_t>{81, 6, 16}));
+}
+
+TEST(Smoke, ArrayParams)
+{
+    const char *src = R"(
+        int buf[4];
+        int total(int v[], int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++) s += v[i];
+            return s;
+        }
+        void main() {
+            for (int i = 0; i < 4; i++) buf[i] = i + 1;
+            out(total(buf, 4));
+        }
+    )";
+    for (AllocMode mode : kAllModes)
+        EXPECT_EQ(runInts(src, mode), (std::vector<int32_t>{10}));
+}
+
+TEST(Smoke, FloatPipeline)
+{
+    const char *src = R"(
+        float coef[4] = {0.5, 0.25, 0.125, 0.0625};
+        void main() {
+            float acc = 0.0;
+            for (int i = 0; i < 4; i++)
+                acc += coef[i] * 16.0;
+            out((int)acc);
+        }
+    )";
+    for (AllocMode mode : kAllModes)
+        EXPECT_EQ(runInts(src, mode), (std::vector<int32_t>{15}));
+}
+
+TEST(Smoke, SameArrayAccessesNeedDuplication)
+{
+    // The paper's autocorrelation pattern (Figure 6).
+    const char *src = R"(
+        int signal[16];
+        int R[4];
+        void main() {
+            for (int i = 0; i < 16; i++) signal[i] = i;
+            for (int m = 0; m < 4; m++) {
+                int acc = 0;
+                for (int n = 0; n < 12; n++)
+                    acc += signal[n] * signal[n + m];
+                R[m] = acc;
+            }
+            for (int m = 0; m < 4; m++) out(R[m]);
+        }
+    )";
+    std::vector<int32_t> expected;
+    {
+        int sig[16];
+        for (int i = 0; i < 16; ++i)
+            sig[i] = i;
+        for (int m = 0; m < 4; ++m) {
+            int acc = 0;
+            for (int n = 0; n < 12; ++n)
+                acc += sig[n] * sig[n + m];
+            expected.push_back(acc);
+        }
+    }
+    for (AllocMode mode : kAllModes)
+        EXPECT_EQ(runInts(src, mode), expected);
+
+    // CB+dup should actually duplicate `signal`.
+    CompileOptions opts;
+    opts.mode = AllocMode::CBDup;
+    auto compiled = compileSource(src, opts);
+    bool signal_dup = false;
+    for (DataObject *obj : compiled.alloc.duplicated)
+        if (obj->name == "signal")
+            signal_dup = true;
+    EXPECT_TRUE(signal_dup);
+}
+
+TEST(Smoke, TwoDimensionalArrays)
+{
+    const char *src = R"(
+        int M[3][3];
+        void main() {
+            for (int i = 0; i < 3; i++)
+                for (int j = 0; j < 3; j++)
+                    M[i][j] = i * 10 + j;
+            int trace = 0;
+            for (int i = 0; i < 3; i++)
+                trace += M[i][i];
+            out(trace);
+        }
+    )";
+    for (AllocMode mode : kAllModes)
+        EXPECT_EQ(runInts(src, mode), (std::vector<int32_t>{33}));
+}
+
+TEST(Smoke, CbBeatsSingleBankOnFir)
+{
+    const char *src = R"(
+        int A[64];
+        int B[64];
+        void main() {
+            for (int i = 0; i < 64; i++) { A[i] = i; B[i] = 64 - i; }
+            int sum = 0;
+            for (int i = 0; i < 64; i++)
+                sum += A[i] * B[i];
+            out(sum);
+        }
+    )";
+    CompileOptions single, cb, ideal;
+    single.mode = AllocMode::SingleBank;
+    cb.mode = AllocMode::CB;
+    ideal.mode = AllocMode::Ideal;
+
+    auto r_single = runProgram(compileSource(src, single));
+    auto r_cb = runProgram(compileSource(src, cb));
+    auto r_ideal = runProgram(compileSource(src, ideal));
+
+    EXPECT_EQ(r_single.output, r_cb.output);
+    EXPECT_EQ(r_single.output, r_ideal.output);
+    EXPECT_LT(r_cb.stats.cycles, r_single.stats.cycles);
+    EXPECT_LE(r_ideal.stats.cycles, r_cb.stats.cycles);
+}
+
+} // namespace
+} // namespace dsp

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * IR structure tests: verifier diagnostics, printing, op accessors,
+ * and the loop-analysis cross-check (structural depths recorded by
+ * lowering must agree with CFG-derived natural-loop depths).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/loop_info.hh"
+#include "ir/module.hh"
+#include "ir/printer.hh"
+#include "ir/verifier.hh"
+#include "lower/lower.hh"
+#include "minic/parser.hh"
+#include "minic/sema.hh"
+
+namespace dsp
+{
+namespace
+{
+
+std::unique_ptr<Module>
+lower(const std::string &src)
+{
+    auto prog = parseProgram(src);
+    analyzeProgram(*prog);
+    return lowerProgram(*prog);
+}
+
+TEST(Verifier, AcceptsLoweredPrograms)
+{
+    auto mod = lower(R"(
+        int a[4];
+        int f(int x) { return x * 2; }
+        void main() {
+            for (int i = 0; i < 4; i++)
+                a[i] = f(i);
+            out(a[3]);
+        }
+    )");
+    EXPECT_TRUE(verifyModule(*mod).empty());
+}
+
+TEST(Verifier, CatchesMissingTerminator)
+{
+    Module mod;
+    Function *fn = mod.newFunction("main", Type::Void);
+    BasicBlock *bb = fn->newBlock("entry");
+    Op op(Opcode::MovI);
+    op.dst = fn->newVReg(RegClass::Int);
+    op.imm = 1;
+    bb->ops.push_back(op);
+    auto errs = verifyModule(mod);
+    ASSERT_FALSE(errs.empty());
+    EXPECT_NE(errs[0].find("terminator"), std::string::npos);
+}
+
+TEST(Verifier, CatchesClassMismatch)
+{
+    Module mod;
+    Function *fn = mod.newFunction("main", Type::Void);
+    BasicBlock *bb = fn->newBlock("entry");
+    Op add(Opcode::FAdd);
+    add.dst = fn->newVReg(RegClass::Float);
+    add.srcs = {fn->newVReg(RegClass::Int), fn->newVReg(RegClass::Int)};
+    bb->ops.push_back(add);
+    bb->ops.push_back(Op(Opcode::Ret));
+    auto errs = verifyModule(mod);
+    ASSERT_FALSE(errs.empty());
+    EXPECT_NE(errs[0].find("class mismatch"), std::string::npos);
+}
+
+TEST(Verifier, CatchesBranchWithoutTarget)
+{
+    Module mod;
+    Function *fn = mod.newFunction("main", Type::Void);
+    BasicBlock *bb = fn->newBlock("entry");
+    bb->ops.push_back(Op(Opcode::Jmp)); // no target
+    auto errs = verifyModule(mod);
+    ASSERT_FALSE(errs.empty());
+}
+
+TEST(Verifier, CatchesEmptyBlock)
+{
+    Module mod;
+    Function *fn = mod.newFunction("main", Type::Void);
+    fn->newBlock("entry");
+    auto errs = verifyModule(mod);
+    ASSERT_FALSE(errs.empty());
+    EXPECT_NE(errs[0].find("empty"), std::string::npos);
+}
+
+TEST(Verifier, CatchesCallArityMismatch)
+{
+    Module mod;
+    Function *callee = mod.newFunction("f", Type::Void);
+    {
+        Param p;
+        p.name = "x";
+        p.type = Type::Int;
+        callee->params.push_back(p);
+        BasicBlock *bb = callee->newBlock("entry");
+        bb->ops.push_back(Op(Opcode::Ret));
+    }
+    Function *fn = mod.newFunction("main", Type::Void);
+    BasicBlock *bb = fn->newBlock("entry");
+    Op call(Opcode::Call);
+    call.callee = callee;
+    bb->ops.push_back(call); // zero args to a one-arg function
+    bb->ops.push_back(Op(Opcode::Ret));
+    auto errs = verifyFunction(*fn);
+    ASSERT_FALSE(errs.empty());
+    EXPECT_NE(errs[0].find("argument count"), std::string::npos);
+}
+
+TEST(OpAccessors, UsesIncludeMacAccumulator)
+{
+    Op mac(Opcode::Mac);
+    mac.dst = VReg(RegClass::Int, 40);
+    mac.srcs = {VReg(RegClass::Int, 41), VReg(RegClass::Int, 42)};
+    auto uses = mac.uses();
+    EXPECT_EQ(uses.size(), 3u);
+    EXPECT_TRUE(std::find(uses.begin(), uses.end(), mac.dst) !=
+                uses.end());
+    EXPECT_EQ(mac.def(), mac.dst);
+}
+
+TEST(OpAccessors, StoresDefineNothing)
+{
+    Op st(Opcode::St);
+    st.srcs = {VReg(RegClass::Int, 40)};
+    EXPECT_FALSE(st.def().valid());
+}
+
+TEST(OpAccessors, MemIndexIsAUse)
+{
+    Module mod;
+    DataObject *obj = mod.newGlobal("a", Type::Int, 8);
+    Op ld(Opcode::Ld);
+    ld.dst = VReg(RegClass::Int, 40);
+    ld.mem.object = obj;
+    ld.mem.index = VReg(RegClass::Int, 41);
+    auto uses = ld.uses();
+    ASSERT_EQ(uses.size(), 1u);
+    EXPECT_EQ(uses[0].id, 41);
+}
+
+TEST(Printer, RendersOps)
+{
+    Module mod;
+    DataObject *obj = mod.newGlobal("buf", Type::Int, 8);
+    Op ld(Opcode::Ld);
+    ld.dst = VReg(RegClass::Int, 40);
+    ld.mem.object = obj;
+    ld.mem.offset = 3;
+    EXPECT_EQ(ld.str(), "ld iv40, [buf + 3]");
+
+    Op movi(Opcode::MovI);
+    movi.dst = VReg(RegClass::Int, 33);
+    movi.imm = -7;
+    EXPECT_EQ(movi.str(), "movi iv33, #-7");
+}
+
+TEST(LoopInfo, AgreesWithLoweringDepths)
+{
+    auto mod = lower(R"(
+        int a[4];
+        void main() {
+            for (int i = 0; i < 3; i++) {
+                a[i] = i;
+                for (int j = 0; j < 3; j++) {
+                    a[j] += j;
+                    while (a[j] > 100) a[j] -= 1;
+                }
+            }
+            out(a[0]);
+        }
+    )");
+    for (const auto &fn : mod->functions) {
+        LoopInfo info(*fn);
+        for (const auto &bb : fn->blocks) {
+            EXPECT_EQ(info.depth(bb.get()), bb->loopDepth)
+                << fn->name << "/" << bb->label;
+        }
+    }
+}
+
+TEST(LoopInfo, CountsLoops)
+{
+    auto mod = lower(R"(
+        void main() {
+            int s = 0;
+            for (int i = 0; i < 3; i++) s += i;
+            for (int j = 0; j < 3; j++) s += j;
+            out(s);
+        }
+    )");
+    LoopInfo info(*mod->findFunction("main"));
+    EXPECT_EQ(info.loopCount(), 2);
+}
+
+TEST(NaturalLoops, FindsPreheaders)
+{
+    auto mod = lower(R"(
+        void main() {
+            int s = 0;
+            for (int i = 0; i < 8; i++) s += i;
+            out(s);
+        }
+    )");
+    auto loops = findNaturalLoops(*mod->findFunction("main"));
+    ASSERT_EQ(loops.size(), 1u);
+    EXPECT_NE(loops[0].preheader, nullptr);
+    EXPECT_GE(loops[0].body.size(), 2u);
+    EXPECT_TRUE(loops[0].body.count(loops[0].header));
+}
+
+TEST(Lowering, AliasAnalysisBindsParams)
+{
+    auto mod = lower(R"(
+        int a[4];
+        int b[4];
+        int pick(int v[]) { return v[0]; }
+        void main() { out(pick(a) + pick(b)); }
+    )");
+    Function *pick = mod->findFunction("pick");
+    ASSERT_NE(pick, nullptr);
+    ASSERT_FALSE(pick->params.empty());
+    DataObject *param = pick->params[0].object;
+    ASSERT_NE(param, nullptr);
+    EXPECT_EQ(param->mayBind.size(), 2u);
+}
+
+TEST(Lowering, TransitiveParamBinding)
+{
+    auto mod = lower(R"(
+        int a[4];
+        int inner(int v[]) { return v[1]; }
+        int outer(int w[]) { return inner(w); }
+        void main() { out(outer(a)); }
+    )");
+    DataObject *inner_param =
+        mod->findFunction("inner")->params[0].object;
+    ASSERT_EQ(inner_param->mayBind.size(), 1u);
+    EXPECT_EQ(inner_param->mayBind[0]->name, "a");
+}
+
+TEST(Lowering, GlobalInitializerWords)
+{
+    auto mod = lower("int a[4] = {1, 2}; void main() { out(a[0]); }");
+    DataObject *a = mod->findGlobal("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_EQ(a->init.size(), 4u);
+    EXPECT_EQ(a->init[0], 1u);
+    EXPECT_EQ(a->init[1], 2u);
+    EXPECT_EQ(a->init[2], 0u); // zero-filled tail
+}
+
+TEST(Lowering, UnreachableBlocksPruned)
+{
+    auto mod = lower(R"(
+        void main() {
+            out(1);
+            return;
+            out(2);
+        }
+    )");
+    // Everything after the return must be gone.
+    Function *fn = mod->findFunction("main");
+    int out_count = 0;
+    for (const auto &bb : fn->blocks)
+        for (const Op &op : bb->ops)
+            if (op.opcode == Opcode::Out)
+                ++out_count;
+    EXPECT_EQ(out_count, 1);
+}
+
+} // namespace
+} // namespace dsp

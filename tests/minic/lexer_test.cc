@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Lexer unit tests: token kinds, literal values, comments, and
+ * malformed-input diagnostics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "minic/lexer.hh"
+
+namespace dsp
+{
+namespace
+{
+
+std::vector<Tok>
+kinds(const std::string &src)
+{
+    std::vector<Tok> out;
+    for (const Token &t : lexSource(src))
+        out.push_back(t.kind);
+    return out;
+}
+
+TEST(Lexer, EmptyInput)
+{
+    EXPECT_EQ(kinds(""), (std::vector<Tok>{Tok::End}));
+    EXPECT_EQ(kinds("   \n\t  "), (std::vector<Tok>{Tok::End}));
+}
+
+TEST(Lexer, Keywords)
+{
+    EXPECT_EQ(kinds("int float void if else while for do return break "
+                    "continue"),
+              (std::vector<Tok>{Tok::KwInt, Tok::KwFloat, Tok::KwVoid,
+                                Tok::KwIf, Tok::KwElse, Tok::KwWhile,
+                                Tok::KwFor, Tok::KwDo, Tok::KwReturn,
+                                Tok::KwBreak, Tok::KwContinue,
+                                Tok::End}));
+}
+
+TEST(Lexer, IdentifiersAreNotKeywords)
+{
+    auto toks = lexSource("integer whilex _if do1");
+    ASSERT_EQ(toks.size(), 5u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(toks[i].kind, Tok::Ident);
+    EXPECT_EQ(toks[0].text, "integer");
+    EXPECT_EQ(toks[2].text, "_if");
+}
+
+TEST(Lexer, IntegerLiterals)
+{
+    auto toks = lexSource("0 7 12345");
+    EXPECT_EQ(toks[0].intValue, 0);
+    EXPECT_EQ(toks[1].intValue, 7);
+    EXPECT_EQ(toks[2].intValue, 12345);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(toks[i].kind, Tok::IntLit);
+}
+
+TEST(Lexer, FloatLiterals)
+{
+    auto toks = lexSource("1.5 0.25 3. 2e3 1.5e-2 7f");
+    EXPECT_EQ(toks[0].kind, Tok::FloatLit);
+    EXPECT_FLOAT_EQ(toks[0].floatValue, 1.5f);
+    EXPECT_FLOAT_EQ(toks[1].floatValue, 0.25f);
+    EXPECT_FLOAT_EQ(toks[2].floatValue, 3.0f);
+    EXPECT_FLOAT_EQ(toks[3].floatValue, 2000.0f);
+    EXPECT_FLOAT_EQ(toks[4].floatValue, 0.015f);
+    EXPECT_EQ(toks[5].kind, Tok::FloatLit);
+    EXPECT_FLOAT_EQ(toks[5].floatValue, 7.0f);
+}
+
+TEST(Lexer, LeadingDotFloat)
+{
+    auto toks = lexSource(".5");
+    EXPECT_EQ(toks[0].kind, Tok::FloatLit);
+    EXPECT_FLOAT_EQ(toks[0].floatValue, 0.5f);
+}
+
+TEST(Lexer, OperatorsSingleAndDouble)
+{
+    EXPECT_EQ(kinds("+ - * / % & | ^ ~ ! < > ="),
+              (std::vector<Tok>{Tok::Plus, Tok::Minus, Tok::Star,
+                                Tok::Slash, Tok::Percent, Tok::Amp,
+                                Tok::Pipe, Tok::Caret, Tok::Tilde,
+                                Tok::Bang, Tok::LT, Tok::GT, Tok::Assign,
+                                Tok::End}));
+    EXPECT_EQ(kinds("== != <= >= << >> && || ++ -- += -= *="),
+              (std::vector<Tok>{Tok::EQ, Tok::NE, Tok::LE, Tok::GE,
+                                Tok::Shl, Tok::Shr, Tok::AmpAmp,
+                                Tok::PipePipe, Tok::PlusPlus,
+                                Tok::MinusMinus, Tok::PlusAssign,
+                                Tok::MinusAssign, Tok::StarAssign,
+                                Tok::End}));
+}
+
+TEST(Lexer, MaximalMunch)
+{
+    // "a+++b" lexes as a ++ + b (C's maximal munch).
+    EXPECT_EQ(kinds("a+++b"),
+              (std::vector<Tok>{Tok::Ident, Tok::PlusPlus, Tok::Plus,
+                                Tok::Ident, Tok::End}));
+}
+
+TEST(Lexer, LineComments)
+{
+    EXPECT_EQ(kinds("1 // comment with * and /* tokens\n2"),
+              (std::vector<Tok>{Tok::IntLit, Tok::IntLit, Tok::End}));
+}
+
+TEST(Lexer, BlockComments)
+{
+    EXPECT_EQ(kinds("1 /* multi\nline\ncomment */ 2"),
+              (std::vector<Tok>{Tok::IntLit, Tok::IntLit, Tok::End}));
+}
+
+TEST(Lexer, UnterminatedBlockCommentFails)
+{
+    EXPECT_THROW(lexSource("1 /* never closed"), UserError);
+}
+
+TEST(Lexer, UnexpectedCharacterFails)
+{
+    EXPECT_THROW(lexSource("int $x;"), UserError);
+    EXPECT_THROW(lexSource("a @ b"), UserError);
+}
+
+TEST(Lexer, SourceLocations)
+{
+    auto toks = lexSource("a\n  b");
+    EXPECT_EQ(toks[0].loc.line, 1);
+    EXPECT_EQ(toks[0].loc.column, 1);
+    EXPECT_EQ(toks[1].loc.line, 2);
+    EXPECT_EQ(toks[1].loc.column, 3);
+}
+
+TEST(Lexer, MalformedExponentFails)
+{
+    EXPECT_THROW(lexSource("1e"), UserError);
+    EXPECT_THROW(lexSource("1e+"), UserError);
+}
+
+TEST(Lexer, Punctuation)
+{
+    EXPECT_EQ(kinds("( ) { } [ ] , ;"),
+              (std::vector<Tok>{Tok::LParen, Tok::RParen, Tok::LBrace,
+                                Tok::RBrace, Tok::LBracket,
+                                Tok::RBracket, Tok::Comma, Tok::Semi,
+                                Tok::End}));
+}
+
+} // namespace
+} // namespace dsp

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Parser unit tests: declaration forms, statement forms, expression
+ * precedence/associativity, and syntax-error diagnostics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "minic/parser.hh"
+
+namespace dsp
+{
+namespace
+{
+
+std::unique_ptr<Program>
+parse(const std::string &src)
+{
+    return parseProgram(src);
+}
+
+TEST(Parser, GlobalScalarsAndArrays)
+{
+    auto p = parse("int x; float y = 1.5; int a[4]; int m[3][5];");
+    ASSERT_EQ(p->globals.size(), 4u);
+    EXPECT_EQ(p->globals[0]->name, "x");
+    EXPECT_TRUE(p->globals[0]->dims.empty());
+    EXPECT_EQ(p->globals[1]->elem, Type::Float);
+    ASSERT_EQ(p->globals[1]->initExprs.size(), 1u);
+    EXPECT_EQ(p->globals[2]->dims, (std::vector<int>{4}));
+    EXPECT_EQ(p->globals[3]->dims, (std::vector<int>{3, 5}));
+}
+
+TEST(Parser, GlobalArrayInitializer)
+{
+    auto p = parse("int a[4] = {1, 2, -3};");
+    EXPECT_EQ(p->globals[0]->initExprs.size(), 3u);
+}
+
+TEST(Parser, FunctionForms)
+{
+    auto p = parse(R"(
+        void f() {}
+        int g(int a, float b) { return a; }
+        float h(float v[], int n) { return v[n]; }
+        void k(void) {}
+    )");
+    ASSERT_EQ(p->functions.size(), 4u);
+    EXPECT_TRUE(p->functions[0]->params.empty());
+    ASSERT_EQ(p->functions[1]->params.size(), 2u);
+    EXPECT_EQ(p->functions[1]->params[1].type, Type::Float);
+    EXPECT_TRUE(p->functions[2]->params[0].isArray);
+    EXPECT_FALSE(p->functions[2]->params[1].isArray);
+    EXPECT_TRUE(p->functions[3]->params.empty());
+}
+
+TEST(Parser, StatementKinds)
+{
+    auto p = parse(R"(
+        void f() {
+            int x = 1;
+            if (x) x = 2; else x = 3;
+            while (x) x--;
+            do x++; while (x < 10);
+            for (int i = 0; i < 4; i++) { break; }
+            for (;;) { continue; }
+            return;
+        }
+    )");
+    auto &body = p->functions[0]->body->stmts;
+    ASSERT_EQ(body.size(), 7u);
+    EXPECT_EQ(body[0]->kind, StmtKind::VarDecl);
+    EXPECT_EQ(body[1]->kind, StmtKind::If);
+    EXPECT_EQ(body[2]->kind, StmtKind::While);
+    EXPECT_EQ(body[3]->kind, StmtKind::DoWhile);
+    EXPECT_EQ(body[4]->kind, StmtKind::For);
+    EXPECT_EQ(body[5]->kind, StmtKind::For);
+    EXPECT_EQ(body[6]->kind, StmtKind::Return);
+}
+
+const BinaryExpr &
+asBinary(const Expr &e)
+{
+    EXPECT_EQ(e.kind, ExprKind::Binary);
+    return static_cast<const BinaryExpr &>(e);
+}
+
+const Expr &
+onlyExpr(const Program &p)
+{
+    const auto &stmts = p.functions[0]->body->stmts;
+    EXPECT_EQ(stmts[0]->kind, StmtKind::ExprStmt);
+    return *static_cast<const ExprStmt &>(*stmts[0]).expr;
+}
+
+TEST(Parser, MulBindsTighterThanAdd)
+{
+    auto p = parse("void f() { a + b * c; }");
+    const auto &add = asBinary(onlyExpr(*p));
+    EXPECT_EQ(add.op, BinOp::Add);
+    const auto &mul = asBinary(*add.rhs);
+    EXPECT_EQ(mul.op, BinOp::Mul);
+}
+
+TEST(Parser, ShiftVsRelationalPrecedence)
+{
+    // a << b < c parses as (a << b) < c (C precedence).
+    auto p = parse("void f() { a << b < c; }");
+    const auto &rel = asBinary(onlyExpr(*p));
+    EXPECT_EQ(rel.op, BinOp::LT);
+    EXPECT_EQ(asBinary(*rel.lhs).op, BinOp::Shl);
+}
+
+TEST(Parser, BitwisePrecedenceChain)
+{
+    // a | b ^ c & d == e
+    auto p = parse("void f() { a | b ^ c & d == e; }");
+    const auto &orx = asBinary(onlyExpr(*p));
+    EXPECT_EQ(orx.op, BinOp::BitOr);
+    const auto &xorx = asBinary(*orx.rhs);
+    EXPECT_EQ(xorx.op, BinOp::BitXor);
+    const auto &andx = asBinary(*xorx.rhs);
+    EXPECT_EQ(andx.op, BinOp::BitAnd);
+    EXPECT_EQ(asBinary(*andx.rhs).op, BinOp::EQ);
+}
+
+TEST(Parser, AssignmentIsRightAssociative)
+{
+    auto p = parse("void f() { a = b = c; }");
+    const Expr &e = onlyExpr(*p);
+    ASSERT_EQ(e.kind, ExprKind::Assign);
+    const auto &outer = static_cast<const AssignExpr &>(e);
+    EXPECT_EQ(outer.value->kind, ExprKind::Assign);
+}
+
+TEST(Parser, SubtractionIsLeftAssociative)
+{
+    auto p = parse("void f() { a - b - c; }");
+    const auto &outer = asBinary(onlyExpr(*p));
+    EXPECT_EQ(outer.op, BinOp::Sub);
+    EXPECT_EQ(asBinary(*outer.lhs).op, BinOp::Sub);
+    EXPECT_EQ(outer.rhs->kind, ExprKind::VarRef);
+}
+
+TEST(Parser, LogicalOperatorsNest)
+{
+    auto p = parse("void f() { a && b || c && d; }");
+    const auto &orx = asBinary(onlyExpr(*p));
+    EXPECT_EQ(orx.op, BinOp::LogicalOr);
+    EXPECT_EQ(asBinary(*orx.lhs).op, BinOp::LogicalAnd);
+    EXPECT_EQ(asBinary(*orx.rhs).op, BinOp::LogicalAnd);
+}
+
+TEST(Parser, CastExpressions)
+{
+    auto p = parse("void f() { (float)x; (int)(y + z); }");
+    const auto &stmts = p->functions[0]->body->stmts;
+    const Expr &c0 = *static_cast<const ExprStmt &>(*stmts[0]).expr;
+    EXPECT_EQ(c0.kind, ExprKind::Cast);
+    EXPECT_EQ(c0.type, Type::Float);
+}
+
+TEST(Parser, CallsAndIndexing)
+{
+    auto p = parse("void f() { g(1, x, h()); a[i][j]; }");
+    const auto &stmts = p->functions[0]->body->stmts;
+    const Expr &call = *static_cast<const ExprStmt &>(*stmts[0]).expr;
+    ASSERT_EQ(call.kind, ExprKind::Call);
+    EXPECT_EQ(static_cast<const CallExpr &>(call).args.size(), 3u);
+    const Expr &idx = *static_cast<const ExprStmt &>(*stmts[1]).expr;
+    ASSERT_EQ(idx.kind, ExprKind::ArrayRef);
+    EXPECT_EQ(static_cast<const ArrayRefExpr &>(idx).indices.size(), 2u);
+}
+
+TEST(Parser, UnaryChains)
+{
+    auto p = parse("void f() { - - x; !~y; }");
+    const Expr &e = onlyExpr(*p);
+    ASSERT_EQ(e.kind, ExprKind::Unary);
+    EXPECT_EQ(static_cast<const UnaryExpr &>(e).operand->kind,
+              ExprKind::Unary);
+}
+
+TEST(Parser, SyntaxErrors)
+{
+    EXPECT_THROW(parse("void f() { int; }"), UserError);
+    EXPECT_THROW(parse("void f() { x = ; }"), UserError);
+    EXPECT_THROW(parse("void f() { if x) y; }"), UserError);
+    EXPECT_THROW(parse("void f() {"), UserError);
+    EXPECT_THROW(parse("int a[];"), UserError);
+    EXPECT_THROW(parse("int a[0];"), UserError);
+    EXPECT_THROW(parse("void void() {}"), UserError);
+    EXPECT_THROW(parse("void f(void x) {}"), UserError);
+}
+
+TEST(Parser, DanglingElseBindsToInner)
+{
+    auto p = parse("void f() { if (a) if (b) x = 1; else x = 2; }");
+    const auto &outer = static_cast<const IfStmt &>(
+        *p->functions[0]->body->stmts[0]);
+    EXPECT_EQ(outer.elseStmt, nullptr);
+    const auto &inner =
+        static_cast<const IfStmt &>(*outer.thenStmt);
+    EXPECT_NE(inner.elseStmt, nullptr);
+}
+
+} // namespace
+} // namespace dsp

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Semantic-analysis unit tests: name resolution, scoping, type rules,
+ * implicit conversions, builtin signatures, and diagnostics.
+ */
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "minic/parser.hh"
+#include "minic/sema.hh"
+
+namespace dsp
+{
+namespace
+{
+
+std::unique_ptr<Program>
+analyze(const std::string &src)
+{
+    auto p = parseProgram(src);
+    analyzeProgram(*p);
+    return p;
+}
+
+void
+expectError(const std::string &src)
+{
+    auto p = parseProgram(src);
+    EXPECT_THROW(analyzeProgram(*p), UserError) << src;
+}
+
+TEST(Sema, RequiresMain)
+{
+    expectError("void notmain() {}");
+    EXPECT_NO_THROW(analyze("void main() {}"));
+}
+
+TEST(Sema, UndeclaredVariable)
+{
+    expectError("void main() { x = 1; }");
+    expectError("void main() { int y = x; }");
+}
+
+TEST(Sema, UseBeforeDeclarationInBlock)
+{
+    // C scoping: initializer cannot reference the variable being
+    // declared (no prior declaration exists).
+    expectError("void main() { int x = x; }");
+}
+
+TEST(Sema, BlockScoping)
+{
+    EXPECT_NO_THROW(analyze(R"(
+        void main() {
+            int x = 1;
+            { int x = 2; x = 3; }
+            x = 4;
+        }
+    )"));
+    expectError(R"(
+        void main() {
+            { int x = 1; }
+            x = 2;
+        }
+    )");
+}
+
+TEST(Sema, RedefinitionInSameScope)
+{
+    expectError("void main() { int x; int x; }");
+    expectError("int g; int g; void main() {}");
+    expectError("void f() {} void f() {} void main() {}");
+}
+
+TEST(Sema, ForLoopVariableScope)
+{
+    expectError(R"(
+        void main() {
+            for (int i = 0; i < 4; i++) {}
+            i = 1;
+        }
+    )");
+}
+
+TEST(Sema, BreakContinueOnlyInLoops)
+{
+    expectError("void main() { break; }");
+    expectError("void main() { if (1) continue; }");
+    EXPECT_NO_THROW(analyze(
+        "void main() { while (1) { if (1) break; continue; } }"));
+}
+
+TEST(Sema, ReturnTypeRules)
+{
+    expectError("void main() { return 1; }");
+    expectError("int f() { return; } void main() {}");
+    EXPECT_NO_THROW(analyze("int f() { return 1; } void main() {}"));
+    // Implicit conversion on return.
+    auto p = analyze("float f() { return 1; } void main() {}");
+    (void)p;
+}
+
+TEST(Sema, ImplicitConversionInsertsCasts)
+{
+    auto p = analyze("void main() { float f = 1; int i = 2.5; }");
+    auto &stmts = p->functions[0]->body->stmts;
+    const auto &d0 = static_cast<const VarDeclStmt &>(*stmts[0]);
+    EXPECT_EQ(d0.init->kind, ExprKind::Cast);
+    EXPECT_EQ(d0.init->type, Type::Float);
+    const auto &d1 = static_cast<const VarDeclStmt &>(*stmts[1]);
+    EXPECT_EQ(d1.init->kind, ExprKind::Cast);
+    EXPECT_EQ(d1.init->type, Type::Int);
+}
+
+TEST(Sema, MixedArithmeticPromotesToFloat)
+{
+    auto p = analyze("void main() { float f; f = f + 1; }");
+    (void)p;
+    expectError("void main() { float f; int x = f % 2; }");
+    expectError("void main() { float f; int x = f << 1; }");
+    expectError("void main() { float f; int x = f & 1; }");
+}
+
+TEST(Sema, ComparisonsYieldInt)
+{
+    auto p = analyze("void main() { float f; int b = f < 1.0; }");
+    auto &stmts = p->functions[0]->body->stmts;
+    const auto &d = static_cast<const VarDeclStmt &>(*stmts[1]);
+    EXPECT_EQ(d.init->type, Type::Int);
+}
+
+TEST(Sema, LValueRules)
+{
+    expectError("void main() { 1 = 2; }");
+    expectError("void main() { int x; (x + 1) = 2; }");
+    expectError("void main() { int x; x + 1 += 2; }");
+    expectError("void main() { 5++; }");
+    EXPECT_NO_THROW(analyze("int a[4]; void main() { a[1] = 2; "
+                            "a[0]++; a[2] += 3; }"));
+}
+
+TEST(Sema, ArrayIndexingRules)
+{
+    expectError("int a[4]; void main() { int x = a[1][2]; }");
+    expectError("int m[2][2]; void main() { int x = m[0]; }");
+    expectError("void main() { int x; int y = x[0]; }");
+    // Float index gets an implicit conversion.
+    EXPECT_NO_THROW(
+        analyze("int a[4]; void main() { float f; a[f] = 1; }"));
+}
+
+TEST(Sema, CallRules)
+{
+    expectError("void main() { g(); }");
+    expectError("int f(int a) { return a; } void main() { f(); }");
+    expectError("int f(int a) { return a; } void main() { f(1, 2); }");
+    expectError("void f() {} void main() { int x = f(); }");
+}
+
+TEST(Sema, ArrayParameterRules)
+{
+    const char *ok = R"(
+        int a[4];
+        int sum(int v[], int n) { return v[0] + n; }
+        void main() { sum(a, 4); }
+    )";
+    EXPECT_NO_THROW(analyze(ok));
+    // Scalar passed where array expected.
+    expectError(R"(
+        int sum(int v[]) { return v[0]; }
+        void main() { int x; sum(x); }
+    )");
+    // Array passed where scalar expected.
+    expectError(R"(
+        int a[4];
+        int f(int x) { return x; }
+        void main() { f(a); }
+    )");
+    // Element type mismatch.
+    expectError(R"(
+        float a[4];
+        int f(int v[]) { return v[0]; }
+        void main() { f(a); }
+    )");
+    // 2-D arrays cannot be parameters.
+    expectError(R"(
+        int m[2][2];
+        int f(int v[]) { return v[0]; }
+        void main() { f(m); }
+    )");
+}
+
+TEST(Sema, BuiltinSignatures)
+{
+    EXPECT_NO_THROW(analyze(
+        "void main() { int x = in(); float f = inf(); out(x); "
+        "outf(f); }"));
+    expectError("void main() { in(1); }");
+    expectError("void main() { out(); }");
+    expectError("void main() { out(1, 2); }");
+    // Implicit conversion of out()'s argument.
+    EXPECT_NO_THROW(analyze("void main() { out(1.5); outf(2); }"));
+}
+
+TEST(Sema, GlobalInitializersMustBeConstant)
+{
+    EXPECT_NO_THROW(analyze("int x = 3 + 4 * 2; void main() {}"));
+    EXPECT_NO_THROW(analyze("float f = -1.5; void main() {}"));
+    expectError("int y; int x = y; void main() {}");
+    expectError("int a[2] = {1, 2, 3}; void main() {}");
+}
+
+TEST(Sema, ConstantFolding)
+{
+    auto p = parseProgram("int x = 2 + 3; void main() {}");
+    analyzeProgram(*p);
+    EXPECT_EQ(foldConstantWord(*p->globals[0]->initExprs[0], Type::Int),
+              5u);
+    auto p2 = parseProgram("float x = 1.0 / 4.0; void main() {}");
+    analyzeProgram(*p2);
+    float f;
+    uint32_t w =
+        foldConstantWord(*p2->globals[0]->initExprs[0], Type::Float);
+    std::memcpy(&f, &w, sizeof(f));
+    EXPECT_FLOAT_EQ(f, 0.25f);
+}
+
+TEST(Sema, MainMustHaveNoParams)
+{
+    // Enforced at machine lowering; sema accepts, the driver rejects.
+    EXPECT_NO_THROW(analyze("void main(int x) { out(x); }"));
+}
+
+TEST(Sema, VoidMisuse)
+{
+    expectError("void f() {} void main() { int x = 1 + f(); }");
+    expectError("void f() {} void main() { if (f()) {} }");
+}
+
+} // namespace
+} // namespace dsp

@@ -1,0 +1,453 @@
+/**
+ * @file
+ * Optimizer unit tests. Each pass is checked two ways: structurally
+ * (the expected IR shape appears/disappears) and semantically (the
+ * optimized program still computes the same outputs).
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/compiler.hh"
+#include "ir/module.hh"
+#include "ir/verifier.hh"
+#include "lower/lower.hh"
+#include "minic/parser.hh"
+#include "minic/sema.hh"
+#include "opt/passes.hh"
+
+namespace dsp
+{
+namespace
+{
+
+std::unique_ptr<Module>
+lower(const std::string &src)
+{
+    auto prog = parseProgram(src);
+    analyzeProgram(*prog);
+    return lowerProgram(*prog);
+}
+
+int
+countOpcode(const Function &fn, Opcode op)
+{
+    int n = 0;
+    for (const auto &bb : fn.blocks)
+        for (const Op &o : bb->ops)
+            if (o.opcode == op)
+                ++n;
+    return n;
+}
+
+std::size_t
+totalOps(const Module &mod)
+{
+    std::size_t n = 0;
+    for (const auto &fn : mod.functions)
+        n += fn->opCount();
+    return n;
+}
+
+/** Optimized and unoptimized binaries must produce identical output. */
+void
+expectSemanticsPreserved(const std::string &src,
+                         const std::vector<int32_t> &input = {})
+{
+    CompileOptions raw;
+    raw.optLevel = 0;
+    raw.mode = AllocMode::SingleBank;
+    auto r0 = runProgram(compileSource(src, raw), packInputInts(input));
+
+    CompileOptions opt;
+    opt.optLevel = 1;
+    opt.mode = AllocMode::SingleBank;
+    auto r1 = runProgram(compileSource(src, opt), packInputInts(input));
+
+    EXPECT_EQ(r0.output, r1.output) << src;
+    // Optimization should never slow the program down.
+    EXPECT_LE(r1.stats.cycles, r0.stats.cycles);
+}
+
+TEST(ConstFold, FoldsConstantArithmetic)
+{
+    auto mod = lower("void main() { out(2 + 3 * 4); }");
+    runStandardPipeline(*mod);
+    Function *fn = mod->findFunction("main");
+    EXPECT_EQ(countOpcode(*fn, Opcode::Add), 0);
+    EXPECT_EQ(countOpcode(*fn, Opcode::Mul), 0);
+    // The whole expression collapses to movi 14.
+    bool found = false;
+    for (const auto &bb : fn->blocks)
+        for (const Op &op : bb->ops)
+            if (op.opcode == Opcode::MovI && op.imm == 14)
+                found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(ConstFold, StrengthReducesToImmediateForms)
+{
+    auto mod = lower(R"(
+        void main() {
+            int x = in();
+            out(x + 5);
+            out(x * 3);
+            out(x << 2);
+        }
+    )");
+    runStandardPipeline(*mod);
+    Function *fn = mod->findFunction("main");
+    EXPECT_EQ(countOpcode(*fn, Opcode::Add), 0);
+    EXPECT_EQ(countOpcode(*fn, Opcode::Mul), 0);
+    EXPECT_GE(countOpcode(*fn, Opcode::AddI), 1);
+    EXPECT_GE(countOpcode(*fn, Opcode::MulI), 1);
+    EXPECT_GE(countOpcode(*fn, Opcode::ShlI), 1);
+}
+
+TEST(ConstFold, FoldsFloatConstants)
+{
+    auto mod = lower("void main() { outf(1.5 * 4.0 + 0.25); }");
+    runStandardPipeline(*mod);
+    Function *fn = mod->findFunction("main");
+    EXPECT_EQ(countOpcode(*fn, Opcode::FMul), 0);
+    EXPECT_EQ(countOpcode(*fn, Opcode::FAdd), 0);
+}
+
+TEST(Dce, RemovesDeadComputation)
+{
+    auto mod = lower(R"(
+        void main() {
+            int unused = in() * 0 + 17;
+            int dead2 = unused + 1;
+            out(5);
+        }
+    )");
+    runStandardPipeline(*mod);
+    Function *fn = mod->findFunction("main");
+    // The In cannot be removed (stream side effect), but all the
+    // arithmetic feeding the dead values must be gone.
+    EXPECT_EQ(countOpcode(*fn, Opcode::In), 1);
+    EXPECT_EQ(countOpcode(*fn, Opcode::AddI), 0);
+}
+
+TEST(Dce, KeepsStoresAndCalls)
+{
+    auto mod = lower(R"(
+        int g;
+        int f() { g = g + 1; return g; }
+        void main() { f(); out(g); }
+    )");
+    runStandardPipeline(*mod);
+    EXPECT_EQ(countOpcode(*mod->findFunction("main"), Opcode::Call), 1);
+}
+
+TEST(MacFuse, FusesMultiplyAccumulate)
+{
+    auto mod = lower(R"(
+        int a[8];
+        int b[8];
+        void main() {
+            int s = 0;
+            for (int i = 0; i < 8; i++)
+                s += a[i] * b[i];
+            out(s);
+        }
+    )");
+    runStandardPipeline(*mod);
+    Function *fn = mod->findFunction("main");
+    EXPECT_GE(countOpcode(*fn, Opcode::Mac), 1);
+    EXPECT_EQ(countOpcode(*fn, Opcode::Mul), 0);
+}
+
+TEST(MacFuse, FusesFloatMac)
+{
+    auto mod = lower(R"(
+        float a[8];
+        float b[8];
+        void main() {
+            float s = 0.0;
+            for (int i = 0; i < 8; i++)
+                s += a[i] * b[i];
+            outf(s);
+        }
+    )");
+    runStandardPipeline(*mod);
+    EXPECT_GE(countOpcode(*mod->findFunction("main"), Opcode::FMac), 1);
+}
+
+TEST(MacFuse, DoesNotFuseMultiUseProducts)
+{
+    auto mod = lower(R"(
+        void main() {
+            int x = in();
+            int y = in();
+            int p = x * y;
+            int s = in() + p;
+            out(s);
+            out(p);
+        }
+    )");
+    runStandardPipeline(*mod);
+    // p has two uses; the multiply must survive.
+    Function *fn = mod->findFunction("main");
+    EXPECT_EQ(countOpcode(*fn, Opcode::Mac), 0);
+    EXPECT_EQ(countOpcode(*fn, Opcode::Mul), 1);
+}
+
+TEST(SimplifyCfg, MergesStraightLineChains)
+{
+    // Lowering produces separate cond/body/step blocks for the loop;
+    // simplification and rotation fuse them.
+    auto mod = lower(R"(
+        int a[8];
+        void main() {
+            for (int i = 0; i < 8; i++)
+                a[i] = i;
+            out(a[5]);
+        }
+    )");
+    std::size_t blocks_before = mod->findFunction("main")->blocks.size();
+    runStandardPipeline(*mod);
+    EXPECT_LT(mod->findFunction("main")->blocks.size(), blocks_before);
+    EXPECT_TRUE(verifyModule(*mod).empty());
+}
+
+TEST(LoopRotate, BottomTestsCountedLoops)
+{
+    auto mod = lower(R"(
+        int a[16];
+        void main() {
+            for (int i = 0; i < 16; i++)
+                a[i] = i;
+            out(a[7]);
+        }
+    )");
+    runStandardPipeline(*mod);
+    // After rotation + merge, some block must end with
+    // `bt cond, self`: a bottom-tested loop.
+    bool self_loop = false;
+    Function *fn = mod->findFunction("main");
+    for (const auto &bb : fn->blocks) {
+        if (bb->ops.size() >= 2 &&
+            bb->ops[bb->ops.size() - 2].opcode == Opcode::Bt &&
+            bb->ops[bb->ops.size() - 2].target == bb.get())
+            self_loop = true;
+    }
+    EXPECT_TRUE(self_loop);
+}
+
+TEST(StrengthReduce, MaterializesDerivedIndex)
+{
+    auto mod = lower(R"(
+        int a[32];
+        void main() {
+            int m = in();
+            int s = 0;
+            for (int n = 0; n < 16; n++)
+                s += a[n] * a[n + m];
+            out(s);
+        }
+    )");
+    runStandardPipeline(*mod);
+    // The in-loop `n + m` add must be gone: both loads now use
+    // independent induction registers.
+    Function *fn = mod->findFunction("main");
+    for (const auto &bb : fn->blocks) {
+        if (bb->loopDepth == 0)
+            continue;
+        EXPECT_EQ(countOpcode(*fn, Opcode::Add), 0);
+    }
+}
+
+TEST(Unroll, DoublesCountedLoopBodies)
+{
+    auto mod = lower(R"(
+        int a[16];
+        int b[16];
+        void main() {
+            int s = 0;
+            for (int i = 0; i < 16; i++)
+                s += a[i] * b[i];
+            out(s);
+        }
+    )");
+    runStandardPipeline(*mod);
+    // The unrolled loop body holds two MAC operations.
+    Function *fn = mod->findFunction("main");
+    int max_macs_in_block = 0;
+    for (const auto &bb : fn->blocks) {
+        int macs = 0;
+        for (const Op &op : bb->ops)
+            if (op.opcode == Opcode::Mac)
+                ++macs;
+        max_macs_in_block = std::max(max_macs_in_block, macs);
+    }
+    EXPECT_EQ(max_macs_in_block, 2);
+}
+
+TEST(Unroll, SkipsOddTripCounts)
+{
+    auto mod = lower(R"(
+        int a[15];
+        int b[15];
+        void main() {
+            int s = 0;
+            for (int i = 0; i < 15; i++)
+                s += a[i] * b[i];
+            out(s);
+        }
+    )");
+    runStandardPipeline(*mod);
+    Function *fn = mod->findFunction("main");
+    int max_macs_in_block = 0;
+    for (const auto &bb : fn->blocks) {
+        int macs = 0;
+        for (const Op &op : bb->ops)
+            if (op.opcode == Opcode::Mac)
+                ++macs;
+        max_macs_in_block = std::max(max_macs_in_block, macs);
+    }
+    EXPECT_EQ(max_macs_in_block, 1);
+}
+
+TEST(MemoryCse, ReusesRepeatedLoads)
+{
+    auto mod = lower(R"(
+        int a[8];
+        void main() {
+            int i = in();
+            out(a[i] + a[i]);
+        }
+    )");
+    runStandardPipeline(*mod);
+    EXPECT_EQ(countOpcode(*mod->findFunction("main"), Opcode::Ld), 1);
+}
+
+TEST(MemoryCse, ForwardsStoresToLoads)
+{
+    auto mod = lower(R"(
+        int a[8];
+        void main() {
+            a[2] = in();
+            out(a[2]);
+        }
+    )");
+    runStandardPipeline(*mod);
+    EXPECT_EQ(countOpcode(*mod->findFunction("main"), Opcode::Ld), 0);
+}
+
+TEST(MemoryCse, RespectsInterveningStores)
+{
+    auto mod = lower(R"(
+        int a[8];
+        void main() {
+            int i = in();
+            int j = in();
+            int x = a[i];
+            a[j] = 5;
+            out(x + a[i]);
+        }
+    )");
+    runStandardPipeline(*mod);
+    // a[j] may alias a[i]: the second load must remain.
+    EXPECT_EQ(countOpcode(*mod->findFunction("main"), Opcode::Ld), 2);
+}
+
+// --- semantic preservation sweeps ------------------------------------
+
+struct OptCase
+{
+    const char *name;
+    const char *src;
+    std::vector<int32_t> input;
+};
+
+class OptSemantics : public ::testing::TestWithParam<OptCase>
+{
+};
+
+TEST_P(OptSemantics, OutputUnchanged)
+{
+    expectSemanticsPreserved(GetParam().src, GetParam().input);
+}
+
+const OptCase kCases[] = {
+    {"ShortCircuit",
+     "void main() { int a = in(); int b = in();"
+     " if (a > 0 && b > 0) out(1); else out(0);"
+     " out(a > 2 || b < 1); }",
+     {3, -1}},
+    {"NestedLoops",
+     "int m[4][4]; void main() {"
+     " for (int i = 0; i < 4; i++)"
+     "  for (int j = 0; j < 4; j++)"
+     "   m[i][j] = i * 4 + j;"
+     " int t = 0;"
+     " for (int i = 0; i < 4; i++) t += m[i][i];"
+     " out(t); }",
+     {}},
+    {"WhileWithBreak",
+     "void main() { int n = in(); int i = 0;"
+     " while (1) { if (i >= n) break; i++; }"
+     " out(i); }",
+     {9}},
+    {"DoWhileContinue",
+     "void main() { int s = 0; int i = 0;"
+     " do { i++; if (i % 2 == 0) continue; s += i; } while (i < 10);"
+     " out(s); }",
+     {}},
+    {"FloatChain",
+     "void main() { float x = inf(); float y = x * 2.0 + 1.0;"
+     " outf(y / 4.0 - x); }",
+     {0x40000000}}, // 2.0f
+    {"IncDecForms",
+     "int a[4]; void main() { int i = 0;"
+     " a[i++] = 10; a[i] = 20; ++i; a[i--] = 30; out(a[0] + a[1] + a[2]);"
+     " out(i); }",
+     {}},
+    {"CompoundAssignArrays",
+     "int a[4]; void main() { a[1] = 5; a[1] += 2; a[1] -= 1;"
+     " a[1] *= 3; out(a[1]); }",
+     {}},
+    {"DeepExpression",
+     "void main() { int a = in(); out(((a + 1) * (a - 1)) % 7 +"
+     " ((a << 2) ^ (a >> 1) | (a & 12))); }",
+     {37}},
+    {"RecursionFactorial",
+     "int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); }"
+     "void main() { out(fact(6)); }",
+     {}},
+    {"NegativeBounds",
+     "void main() { int s = 0;"
+     " for (int i = 10; i > -10; i -= 3) s += i; out(s); }",
+     {}},
+};
+
+INSTANTIATE_TEST_SUITE_P(Programs, OptSemantics,
+                         ::testing::ValuesIn(kCases),
+                         [](const auto &info) {
+                             return std::string(info.param.name);
+                         });
+
+TEST(Pipeline, NeverGrowsOpsUnboundedly)
+{
+    auto mod = lower(R"(
+        int a[32];
+        void main() {
+            for (int i = 0; i < 32; i++)
+                a[i] = i * i;
+            int s = 0;
+            for (int i = 0; i < 32; i++)
+                s += a[i];
+            out(s);
+        }
+    )");
+    std::size_t before = totalOps(*mod);
+    runStandardPipeline(*mod);
+    // Unrolling doubles loop bodies; anything beyond ~4x signals a
+    // pass feeding on its own output.
+    EXPECT_LT(totalOps(*mod), 4 * before);
+    EXPECT_TRUE(verifyModule(*mod).empty());
+}
+
+} // namespace
+} // namespace dsp

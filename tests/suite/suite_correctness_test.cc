@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Benchmark-suite correctness: every benchmark, compiled under every
+ * allocation mode, must reproduce its host-reference output exactly,
+ * and the output must be identical across modes (data allocation is a
+ * performance transformation, never a semantic one).
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/compiler.hh"
+#include "suite/suite.hh"
+
+namespace dsp
+{
+namespace
+{
+
+struct Case
+{
+    const Benchmark *bench;
+    AllocMode mode;
+};
+
+std::vector<Case>
+allCases()
+{
+    std::vector<Case> cases;
+    for (const Benchmark *b : allBenchmarks()) {
+        for (AllocMode mode :
+             {AllocMode::SingleBank, AllocMode::CB, AllocMode::CBDup,
+              AllocMode::FullDup, AllocMode::Ideal}) {
+            cases.push_back({b, mode});
+        }
+    }
+    return cases;
+}
+
+std::string
+modeIdent(AllocMode mode)
+{
+    switch (mode) {
+      case AllocMode::SingleBank: return "SingleBank";
+      case AllocMode::CB: return "CB";
+      case AllocMode::CBDup: return "CBDup";
+      case AllocMode::FullDup: return "FullDup";
+      case AllocMode::Ideal: return "Ideal";
+    }
+    return "Unknown";
+}
+
+class SuiteCorrectness : public ::testing::TestWithParam<Case>
+{
+};
+
+TEST_P(SuiteCorrectness, MatchesReference)
+{
+    const Case &c = GetParam();
+    CompileOptions opts;
+    opts.mode = c.mode;
+    auto compiled = compileSource(c.bench->source, opts);
+    auto run = runProgram(compiled, c.bench->input);
+
+    ASSERT_EQ(run.output.size(), c.bench->expected.size())
+        << c.bench->name;
+    for (std::size_t i = 0; i < run.output.size(); ++i) {
+        EXPECT_EQ(run.output[i].raw, c.bench->expected[i])
+            << c.bench->name << " output word " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarksAllModes, SuiteCorrectness,
+    ::testing::ValuesIn(allCases()), [](const auto &info) {
+        return info.param.bench->name + "_" +
+               modeIdent(info.param.mode);
+    });
+
+} // namespace
+} // namespace dsp

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Benchmark-suite inventory tests: the suite must contain exactly the
+ * programs of Tables 1 and 2, with well-formed sources, inputs, and
+ * golden outputs, and each benchmark must exhibit the structural
+ * property its role in the evaluation depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/compiler.hh"
+#include "suite/suite.hh"
+
+namespace dsp
+{
+namespace
+{
+
+TEST(SuiteMeta, Table1HasTwelveKernels)
+{
+    const auto &kernels = kernelBenchmarks();
+    ASSERT_EQ(kernels.size(), 12u);
+    const char *expected[] = {
+        "fft_1024",     "fft_256",   "fir_256_64",   "fir_32_1",
+        "iir_4_64",     "iir_1_1",   "latnrm_32_64", "latnrm_8_1",
+        "lmsfir_32_64", "lmsfir_8_1", "mult_10_10",  "mult_4_4"};
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+        EXPECT_EQ(kernels[i].name, expected[i]);
+        EXPECT_EQ(kernels[i].label, "k" + std::to_string(i + 1));
+        EXPECT_EQ(kernels[i].kind, BenchKind::Kernel);
+    }
+}
+
+TEST(SuiteMeta, Table2HasElevenApplications)
+{
+    const auto &apps = applicationBenchmarks();
+    ASSERT_EQ(apps.size(), 11u);
+    const char *expected[] = {"adpcm",        "lpc",
+                              "spectral",     "edge_detect",
+                              "compress",     "histogram",
+                              "V32encode",    "G721MLencode",
+                              "G721MLdecode", "G721WFencode",
+                              "trellis"};
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        EXPECT_EQ(apps[i].name, expected[i]);
+        EXPECT_EQ(apps[i].kind, BenchKind::Application);
+        EXPECT_FALSE(apps[i].description.empty());
+    }
+}
+
+TEST(SuiteMeta, LookupByName)
+{
+    EXPECT_NE(findBenchmark("lpc"), nullptr);
+    EXPECT_NE(findBenchmark("fft_1024"), nullptr);
+    EXPECT_EQ(findBenchmark("nonexistent"), nullptr);
+    EXPECT_EQ(allBenchmarks().size(), 23u);
+}
+
+TEST(SuiteMeta, EveryBenchmarkHasGoldenOutput)
+{
+    for (const Benchmark *b : allBenchmarks()) {
+        EXPECT_FALSE(b->source.empty()) << b->name;
+        EXPECT_FALSE(b->expected.empty()) << b->name;
+    }
+}
+
+TEST(SuiteMeta, LargeAndSmallKernelVariantsDiffer)
+{
+    // The large variant of each algorithm must do strictly more work.
+    const std::pair<const char *, const char *> pairs[] = {
+        {"fft_1024", "fft_256"},     {"fir_256_64", "fir_32_1"},
+        {"iir_4_64", "iir_1_1"},     {"latnrm_32_64", "latnrm_8_1"},
+        {"lmsfir_32_64", "lmsfir_8_1"}, {"mult_10_10", "mult_4_4"}};
+    for (const auto &[big, small] : pairs) {
+        CompileOptions opts;
+        opts.mode = AllocMode::SingleBank;
+        auto rb = runProgram(compileSource(findBenchmark(big)->source,
+                                           opts),
+                             findBenchmark(big)->input);
+        auto rs = runProgram(compileSource(findBenchmark(small)->source,
+                                           opts),
+                             findBenchmark(small)->input);
+        EXPECT_GT(rb.stats.cycles, rs.stats.cycles) << big;
+    }
+}
+
+TEST(SuiteMeta, LpcRequiresDuplicationForItsGains)
+{
+    // The structural property Figure 8 hinges on: lpc's same-array
+    // autocorrelation reads leave CB near the baseline while
+    // duplication approaches Ideal.
+    const Benchmark *lpc = findBenchmark("lpc");
+    CompileOptions opts;
+
+    opts.mode = AllocMode::SingleBank;
+    long base =
+        runProgram(compileSource(lpc->source, opts), lpc->input)
+            .stats.cycles;
+    opts.mode = AllocMode::CB;
+    long cb = runProgram(compileSource(lpc->source, opts), lpc->input)
+                  .stats.cycles;
+    opts.mode = AllocMode::CBDup;
+    long dup = runProgram(compileSource(lpc->source, opts), lpc->input)
+                   .stats.cycles;
+    opts.mode = AllocMode::Ideal;
+    long ideal =
+        runProgram(compileSource(lpc->source, opts), lpc->input)
+            .stats.cycles;
+
+    double cb_gain = 100.0 * (base - cb) / base;
+    double dup_gain = 100.0 * (base - dup) / base;
+    double ideal_gain = 100.0 * (base - ideal) / base;
+
+    EXPECT_LT(cb_gain, 10.0);
+    EXPECT_GT(dup_gain, 20.0);
+    EXPECT_GE(dup_gain, ideal_gain - 3.0);
+}
+
+TEST(SuiteMeta, G721sShowNoMemoryParallelism)
+{
+    for (const char *name :
+         {"G721MLencode", "G721MLdecode", "G721WFencode"}) {
+        const Benchmark *b = findBenchmark(name);
+        CompileOptions opts;
+        opts.mode = AllocMode::SingleBank;
+        long base =
+            runProgram(compileSource(b->source, opts), b->input)
+                .stats.cycles;
+        opts.mode = AllocMode::Ideal;
+        long ideal =
+            runProgram(compileSource(b->source, opts), b->input)
+                .stats.cycles;
+        // Even a dual-ported memory buys (essentially) nothing.
+        EXPECT_LT(100.0 * (base - ideal) / base, 1.0) << name;
+    }
+}
+
+TEST(SuiteMeta, KernelsAllGainFromCb)
+{
+    for (const Benchmark &b : kernelBenchmarks()) {
+        CompileOptions opts;
+        opts.mode = AllocMode::SingleBank;
+        long base = runProgram(compileSource(b.source, opts), b.input)
+                        .stats.cycles;
+        opts.mode = AllocMode::CB;
+        long cb = runProgram(compileSource(b.source, opts), b.input)
+                      .stats.cycles;
+        EXPECT_LT(cb, base) << b.name;
+    }
+}
+
+TEST(SuiteMeta, DuplicationOnlyWhereJustified)
+{
+    // Partial duplication fires for lpc and the few programs with
+    // hot same-array read pairs; the rest must be untouched, which is
+    // what keeps Table 3's average cost increase near 1.0.
+    for (const Benchmark *b : allBenchmarks()) {
+        CompileOptions opts;
+        opts.mode = AllocMode::CBDup;
+        auto compiled = compileSource(b->source, opts);
+        if (b->name == "lpc") {
+            EXPECT_FALSE(compiled.alloc.duplicated.empty()) << b->name;
+        }
+        for (DataObject *obj : compiled.alloc.duplicated) {
+            EXPECT_GT(compiled.alloc.graph.duplicationBenefit(obj),
+                      compiled.alloc.graph.storeWeight(obj))
+                << b->name << "/" << obj->name;
+        }
+    }
+}
+
+} // namespace
+} // namespace dsp

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Support-library tests: diagnostics, string helpers, and the
+ * suite-generation utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "minic/lexer.hh"
+#include "support/diagnostics.hh"
+#include "support/string_utils.hh"
+#include "suite/gen.hh"
+
+namespace dsp
+{
+namespace
+{
+
+TEST(Diagnostics, PanicThrowsInternalError)
+{
+    EXPECT_THROW(panic("broken: ", 42), InternalError);
+    try {
+        panic("value ", 7, " bad");
+    } catch (const InternalError &e) {
+        EXPECT_STREQ(e.what(), "panic: value 7 bad");
+    }
+}
+
+TEST(Diagnostics, FatalThrowsUserError)
+{
+    EXPECT_THROW(fatal("user mistake"), UserError);
+}
+
+TEST(Diagnostics, RequirePassesAndFails)
+{
+    EXPECT_NO_THROW(require(true, "fine"));
+    EXPECT_THROW(require(false, "nope"), InternalError);
+}
+
+TEST(Diagnostics, SourceLocFormatting)
+{
+    SourceLoc unknown;
+    EXPECT_FALSE(unknown.known());
+    EXPECT_EQ(unknown.str(), "<unknown>");
+    SourceLoc loc{12, 7};
+    EXPECT_TRUE(loc.known());
+    EXPECT_EQ(loc.str(), "12:7");
+}
+
+TEST(StringUtils, SplitAndJoin)
+{
+    EXPECT_EQ(splitString("a,b,,c", ','),
+              (std::vector<std::string>{"a", "b", "", "c"}));
+    EXPECT_EQ(splitString("", ','), (std::vector<std::string>{""}));
+    EXPECT_EQ(joinStrings({"x", "y", "z"}, ", "), "x, y, z");
+    EXPECT_EQ(joinStrings({}, ","), "");
+}
+
+TEST(StringUtils, Padding)
+{
+    EXPECT_EQ(padLeft("ab", 5), "   ab");
+    EXPECT_EQ(padRight("ab", 5), "ab   ");
+    EXPECT_EQ(padLeft("abcdef", 3), "abcdef");
+}
+
+TEST(StringUtils, FixedAndPrefix)
+{
+    EXPECT_EQ(fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(fixed(-0.5, 1), "-0.5");
+    EXPECT_TRUE(startsWith("--mode=cb", "--mode="));
+    EXPECT_FALSE(startsWith("-m", "--mode="));
+}
+
+TEST(SuiteGen, RngIsDeterministic)
+{
+    suitegen::Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    suitegen::Rng c(42);
+    for (int i = 0; i < 100; ++i) {
+        int v = c.nextInt(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+    suitegen::Rng d(7);
+    for (int i = 0; i < 100; ++i) {
+        float f = d.nextFloat();
+        EXPECT_GE(f, -1.0f);
+        EXPECT_LT(f, 1.0f);
+    }
+}
+
+TEST(SuiteGen, FloatLiteralsRoundTripThroughTheLexer)
+{
+    // Every generated float literal must lex back to the same bits —
+    // this is what makes suite coefficients bit-exact.
+    suitegen::Rng rng(0xBEEF);
+    for (int i = 0; i < 200; ++i) {
+        float f = rng.nextFloat() * 100.0f;
+        std::string lit = suitegen::floatLit(f < 0 ? -f : f);
+        auto toks = lexSource(lit);
+        ASSERT_EQ(toks[0].kind, Tok::FloatLit) << lit;
+        EXPECT_EQ(suitegen::bitsOf(toks[0].floatValue),
+                  suitegen::bitsOf(f < 0 ? -f : f))
+            << lit;
+    }
+    // Special shapes.
+    EXPECT_EQ(suitegen::floatLit(1.0f), "1.0");
+    EXPECT_EQ(suitegen::floatLit(0.0f), "0.0");
+}
+
+TEST(SuiteGen, ExpandSubstitutesAllOccurrences)
+{
+    std::string out = suitegen::expand(
+        "${A} + ${B} = ${A}${B}", {{"A", "1"}, {"B", "2"}});
+    EXPECT_EQ(out, "1 + 2 = 12");
+}
+
+TEST(SuiteGen, ListFormatting)
+{
+    EXPECT_EQ(suitegen::intList({1, -2, 3}), "{1, -2, 3}");
+    EXPECT_EQ(suitegen::intList({}), "{}");
+    std::string fl = suitegen::floatList({0.5f, 2.0f});
+    EXPECT_EQ(fl, "{0.5, 2.0}");
+}
+
+} // namespace
+} // namespace dsp
