@@ -1,6 +1,12 @@
 #include "common.hh"
 
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
 #include "support/diagnostics.hh"
+#include "support/job_pool.hh"
 
 namespace dsp
 {
@@ -9,6 +15,16 @@ namespace bench
 
 namespace
 {
+
+constexpr long kMaxCycles = 200'000'000;
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
 
 void
 checkOutput(const Benchmark &bench, const RunResult &run,
@@ -22,19 +38,24 @@ checkOutput(const Benchmark &bench, const RunResult &run,
     }
 }
 
-} // namespace
-
+/** Run an already-compiled binary and score it. Throws UserError on a
+ *  machine fault or cycle-budget exhaustion (the caller catches and
+ *  records; the process keeps going). */
 Measurement
-measureMode(const Benchmark &bench, const CompileOptions &opts,
-            long base_cycles, long base_cost)
+measureCompiled(const Benchmark &bench, const CompileResult &compiled,
+                long base_cycles, long base_cost, Fidelity fidelity)
 {
-    auto compiled = compileSource(bench.source, opts);
-    auto run = runProgram(compiled, bench.input);
-    checkOutput(bench, run, allocModeName(opts.mode));
+    RunOutcome outcome =
+        tryRunProgram(compiled, bench.input, kMaxCycles, fidelity);
+    if (!outcome.ok)
+        fatal(bench.name, " (", allocModeName(compiled.options.mode),
+              "): ", outcome.error);
+    checkOutput(bench, outcome.result,
+                allocModeName(compiled.options.mode));
 
     Measurement m;
-    m.cycles = run.stats.cycles;
-    m.cost = computeCost(compiled, run);
+    m.cycles = outcome.result.stats.cycles;
+    m.cost = computeCost(compiled, outcome.result);
     if (base_cycles > 0) {
         m.pg = static_cast<double>(base_cycles) / m.cycles;
         m.gainPct = 100.0 * (base_cycles - m.cycles) / base_cycles;
@@ -46,51 +67,226 @@ measureMode(const Benchmark &bench, const CompileOptions &opts,
     return m;
 }
 
-BenchResult
-measureBenchmark(const Benchmark &bench)
+std::shared_ptr<const CompileResult>
+compileVia(CompileCache *cache, const std::string &source,
+           const CompileOptions &opts)
 {
+    if (cache)
+        return cache->get(source, opts);
+    return std::make_shared<const CompileResult>(
+        compileSource(source, opts));
+}
+
+} // namespace
+
+Measurement
+measureMode(const Benchmark &bench, const CompileOptions &opts,
+            long base_cycles, long base_cost, CompileCache *cache,
+            Fidelity fidelity)
+{
+    auto compiled = compileVia(cache, bench.source, opts);
+    return measureCompiled(bench, *compiled, base_cycles, base_cost,
+                           fidelity);
+}
+
+BenchResult
+measureBenchmark(const Benchmark &bench, CompileCache *cache,
+                 Fidelity fidelity)
+{
+    auto t0 = std::chrono::steady_clock::now();
+
+    CompileCache local_cache;
+    if (!cache)
+        cache = &local_cache;
+
     BenchResult r;
     r.name = bench.name;
     r.label = bench.label;
 
     CompileOptions base_opts;
     base_opts.mode = AllocMode::SingleBank;
-    r.base = measureMode(bench, base_opts, 0, 0);
+    r.base = measureMode(bench, base_opts, 0, 0, cache, fidelity);
     long bc = r.base.cycles;
     long bk = r.base.cost.total();
     r.base.pg = 1.0;
     r.base.ci = 1.0;
     r.base.pcr = 1.0;
 
-    CompileOptions opts;
-    opts.mode = AllocMode::CB;
-    r.cb = measureMode(bench, opts, bc, bk);
+    // CB: one compile serves both the measurement and the profile
+    // collection below.
+    CompileOptions cb_opts;
+    cb_opts.mode = AllocMode::CB;
+    auto cb_compiled = compileVia(cache, bench.source, cb_opts);
+    r.cb = measureCompiled(bench, *cb_compiled, bc, bk, fidelity);
 
-    // Profile-driven weights: run the CB binary once to collect block
-    // execution counts, then recompile with Profile weights.
+    // Profile-driven weights: run the CB binary once on the
+    // instrumented engine to collect block execution counts, then
+    // recompile with Profile weights.
     {
-        CompileOptions first;
-        first.mode = AllocMode::CB;
-        auto compiled = compileSource(bench.source, first);
-        auto run = runProgram(compiled, bench.input);
-        ProfileCounts counts = run.profile;
+        auto profile_run = runProgram(*cb_compiled, bench.input,
+                                      kMaxCycles,
+                                      Fidelity::Instrumented);
+        ProfileCounts counts = profile_run.profile;
+        r.simCycles += profile_run.stats.cycles;
 
-        CompileOptions second;
-        second.mode = AllocMode::CB;
-        second.weights = WeightPolicy::Profile;
-        second.profile = &counts;
-        r.pr = measureMode(bench, second, bc, bk);
+        CompileOptions pr_opts;
+        pr_opts.mode = AllocMode::CB;
+        pr_opts.weights = WeightPolicy::Profile;
+        pr_opts.profile = &counts;
+        r.pr = measureMode(bench, pr_opts, bc, bk, cache, fidelity);
     }
 
+    CompileOptions opts;
     opts.mode = AllocMode::CBDup;
-    r.dup = measureMode(bench, opts, bc, bk);
+    r.dup = measureMode(bench, opts, bc, bk, cache, fidelity);
 
     opts.mode = AllocMode::FullDup;
-    r.fullDup = measureMode(bench, opts, bc, bk);
+    r.fullDup = measureMode(bench, opts, bc, bk, cache, fidelity);
 
     opts.mode = AllocMode::Ideal;
-    r.ideal = measureMode(bench, opts, bc, bk);
+    r.ideal = measureMode(bench, opts, bc, bk, cache, fidelity);
+
+    r.simCycles += r.base.cycles + r.cb.cycles + r.pr.cycles +
+                   r.dup.cycles + r.fullDup.cycles + r.ideal.cycles;
+    r.hostSeconds = secondsSince(t0);
     return r;
+}
+
+std::vector<BenchResult>
+measureSuite(const std::vector<Benchmark> &benches,
+             const SuiteRunOptions &opts)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<BenchResult> results(benches.size());
+
+    CompileCache cache;
+    int threads;
+    {
+        JobPool pool(opts.threads);
+        threads = pool.threadCount();
+        for (std::size_t i = 0; i < benches.size(); ++i) {
+            pool.submit([&, i] {
+                try {
+                    results[i] = measureBenchmark(benches[i], &cache,
+                                                  opts.fidelity);
+                } catch (const std::exception &e) {
+                    results[i].name = benches[i].name;
+                    results[i].label = benches[i].label;
+                    results[i].error = e.what();
+                    results[i].hostSeconds = 0.0;
+                }
+            });
+        }
+        pool.wait();
+    }
+
+    if (!opts.jsonPath.empty())
+        writeBenchJson(opts.jsonPath, opts.suiteName, results,
+                       secondsSince(t0), threads);
+    return results;
+}
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::ostringstream os;
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                os << ' ';
+            else
+                os << c;
+        }
+    }
+    return os.str();
+}
+
+void
+emitMeasurement(std::ostream &os, const char *key, const Measurement &m)
+{
+    os << "        \"" << key << "\": {\"cycles\": " << m.cycles
+       << ", \"cost_total\": " << m.cost.total()
+       << ", \"gain_pct\": " << m.gainPct << ", \"pcr\": " << m.pcr
+       << "}";
+}
+
+double
+mips(long cycles, double seconds)
+{
+    // One instruction per cycle: simulated MIPS is cycles/s over the
+    // host wall time.
+    return seconds > 0 ? cycles / seconds / 1e6 : 0.0;
+}
+
+} // namespace
+
+void
+writeBenchJson(const std::string &path, const std::string &suite,
+               const std::vector<BenchResult> &results,
+               double wall_seconds, int threads)
+{
+    long total_cycles = 0;
+    for (const BenchResult &r : results)
+        total_cycles += r.simCycles;
+
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot write benchmark report: ", path);
+
+    os << "{\n";
+    os << "  \"suite\": \"" << jsonEscape(suite) << "\",\n";
+    os << "  \"threads\": " << threads << ",\n";
+    os << "  \"wall_seconds\": " << wall_seconds << ",\n";
+    os << "  \"total_sim_cycles\": " << total_cycles << ",\n";
+    os << "  \"total_mips\": " << mips(total_cycles, wall_seconds)
+       << ",\n";
+    os << "  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const BenchResult &r = results[i];
+        os << "    {\n";
+        os << "      \"name\": \"" << jsonEscape(r.name) << "\",\n";
+        os << "      \"label\": \"" << jsonEscape(r.label) << "\",\n";
+        if (!r.ok()) {
+            os << "      \"error\": \"" << jsonEscape(r.error)
+               << "\"\n    }";
+        } else {
+            os << "      \"host_seconds\": " << r.hostSeconds << ",\n";
+            os << "      \"sim_cycles\": " << r.simCycles << ",\n";
+            os << "      \"mips\": " << mips(r.simCycles, r.hostSeconds)
+               << ",\n";
+            os << "      \"modes\": {\n";
+            emitMeasurement(os, "single_bank", r.base);
+            os << ",\n";
+            emitMeasurement(os, "cb", r.cb);
+            os << ",\n";
+            emitMeasurement(os, "profile_cb", r.pr);
+            os << ",\n";
+            emitMeasurement(os, "cb_dup", r.dup);
+            os << ",\n";
+            emitMeasurement(os, "full_dup", r.fullDup);
+            os << ",\n";
+            emitMeasurement(os, "ideal", r.ideal);
+            os << "\n      }\n    }";
+        }
+        os << (i + 1 < results.size() ? ",\n" : "\n");
+    }
+    os << "  ]\n}\n";
+}
+
+std::string
+benchJsonPath()
+{
+    if (const char *env = std::getenv("DSP_BENCH_JSON"))
+        return env;
+    return "BENCH_sim.json";
 }
 
 } // namespace bench

@@ -3,13 +3,24 @@
  * Shared measurement harness for the figure/table benches: compiles
  * and runs a suite benchmark under each technique of the paper's
  * evaluation and reports cycle counts, gains, and memory costs.
+ *
+ * Two execution strategies:
+ *  - measureBenchmark() measures one benchmark, optionally sharing a
+ *    CompileCache so each (source, options) pair compiles once.
+ *  - measureSuite() fans the whole suite out over a worker-thread
+ *    pool (one job per benchmark — 23 independent jobs saturate any
+ *    small core count), simulates on the predecoded fast path, and
+ *    optionally emits a machine-readable BENCH_sim.json with host
+ *    wall-time, simulated cycles, and simulated MIPS.
  */
 
 #ifndef DSP_BENCH_COMMON_HH
 #define DSP_BENCH_COMMON_HH
 
 #include <string>
+#include <vector>
 
+#include "driver/compile_cache.hh"
 #include "driver/compiler.hh"
 #include "suite/suite.hh"
 
@@ -45,14 +56,61 @@ struct BenchResult
     Measurement dup;     ///< CB + partial duplication
     Measurement fullDup; ///< full duplication
     Measurement ideal;   ///< dual-ported memory
+
+    /** Non-empty if the benchmark failed (compile error, machine
+     *  fault, runaway cycle budget, output mismatch). */
+    std::string error;
+    /** Host wall-clock seconds spent measuring this benchmark. */
+    double hostSeconds = 0.0;
+    /** Simulated cycles summed over every run of this benchmark. */
+    long simCycles = 0;
+
+    bool ok() const { return error.empty(); }
 };
 
-/** Run every technique over @p bench (validating outputs throughout). */
-BenchResult measureBenchmark(const Benchmark &bench);
+/**
+ * Run every technique over @p bench (validating outputs throughout).
+ * @p cache    Optional shared compile cache (nullptr = private cache).
+ * @p fidelity Simulator engine for the measurement runs; profile
+ *             collection always uses the instrumented engine.
+ */
+BenchResult measureBenchmark(const Benchmark &bench,
+                             CompileCache *cache = nullptr,
+                             Fidelity fidelity = Fidelity::Fast);
 
 /** Measure one mode only (used by ablations). */
 Measurement measureMode(const Benchmark &bench, const CompileOptions &opts,
-                        long base_cycles, long base_cost);
+                        long base_cycles, long base_cost,
+                        CompileCache *cache = nullptr,
+                        Fidelity fidelity = Fidelity::Fast);
+
+/** Knobs for a parallel suite run. */
+struct SuiteRunOptions
+{
+    /** Worker threads; 0 = hardware concurrency. */
+    int threads = 0;
+    Fidelity fidelity = Fidelity::Fast;
+    /** Path for the machine-readable report ("" = don't write). */
+    std::string jsonPath;
+    /** Tag recorded in the report (e.g. "fig7_kernels"). */
+    std::string suiteName;
+};
+
+/**
+ * Measure @p benches in parallel (one pool job per benchmark). A
+ * failing benchmark records its diagnostic in BenchResult::error and
+ * never takes down the process. Results keep the input order.
+ */
+std::vector<BenchResult> measureSuite(const std::vector<Benchmark> &benches,
+                                      const SuiteRunOptions &opts = {});
+
+/** Write the BENCH_sim.json document (see README for the format). */
+void writeBenchJson(const std::string &path, const std::string &suite,
+                    const std::vector<BenchResult> &results,
+                    double wall_seconds, int threads);
+
+/** "BENCH_sim.json", overridable via the DSP_BENCH_JSON env var. */
+std::string benchJsonPath();
 
 } // namespace bench
 } // namespace dsp

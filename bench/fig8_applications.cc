@@ -8,6 +8,11 @@
  * histogram and the three G721 programs gain ~0% even with Ideal
  * memory; lpc jumps from 3% (CB) to 34% (Dup), near its 36% Ideal;
  * spectral's Dup is below its CB; profile weights (Pr) track CB.
+ *
+ * The applications are measured in parallel (one worker job per
+ * application) on the simulator's predecoded fast path; a
+ * machine-readable report is written to BENCH_sim.json (override with
+ * DSP_BENCH_JSON).
  */
 
 #include <iostream>
@@ -21,6 +26,17 @@ using namespace dsp::bench;
 int
 main()
 {
+    SuiteRunOptions run_opts;
+    run_opts.suiteName = "fig8_applications";
+    run_opts.jsonPath = benchJsonPath();
+    std::vector<BenchResult> results;
+    try {
+        results = measureSuite(applicationBenchmarks(), run_opts);
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+
     std::cout << "Figure 8: Performance Gain for DSP Applications\n";
     std::cout << "(percentage cycle-count improvement over the "
                  "single-bank baseline)\n\n";
@@ -31,8 +47,14 @@ main()
 
     double s_cb = 0, s_pr = 0, s_dup = 0, s_ideal = 0;
     int n = 0;
-    for (const Benchmark &bench : applicationBenchmarks()) {
-        BenchResult r = measureBenchmark(bench);
+    int failed = 0;
+    for (const BenchResult &r : results) {
+        if (!r.ok()) {
+            std::cout << padRight(r.label + " " + r.name, 20)
+                      << "  FAILED: " << r.error << "\n";
+            ++failed;
+            continue;
+        }
         std::cout << padRight(r.label + " " + r.name, 20)
                   << padLeft(std::to_string(r.base.cycles), 10)
                   << padLeft(fixed(r.cb.gainPct, 1), 8)
@@ -55,5 +77,6 @@ main()
                  "(avg 5% over all); Ideal 3%-36% (avg 9%);\n"
                  "histogram and the G721s gain ~0% even with Ideal; "
                  "lpc: CB 3% vs Dup 34%.\n";
-    return 0;
+    std::cout << "report: " << benchJsonPath() << "\n";
+    return failed == 0 ? 0 : 1;
 }

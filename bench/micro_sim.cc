@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Interpreter-throughput microbenchmarks: host nanoseconds per
+ * simulated cycle for both execution engines, on the fir_256_64 kernel
+ * under CB allocation.
+ *
+ * items_per_second in the output is simulated cycles per host second
+ * (one instruction per cycle, so this is the simulated MIPS * 1e6).
+ * The predecoded fast path is expected to run at least 3x the
+ * instrumented reference.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "driver/compiler.hh"
+#include "suite/suite.hh"
+
+namespace
+{
+
+using namespace dsp;
+
+const CompileResult &
+firCompiled()
+{
+    static const CompileResult compiled = [] {
+        const Benchmark *bench = findBenchmark("fir_256_64");
+        CompileOptions opts;
+        opts.mode = AllocMode::CB;
+        return compileSource(bench->source, opts);
+    }();
+    return compiled;
+}
+
+void
+runEngine(benchmark::State &state, Fidelity fidelity)
+{
+    const Benchmark *bench = findBenchmark("fir_256_64");
+    const CompileResult &compiled = firCompiled();
+    long cycles = 0;
+    for (auto _ : state) {
+        Simulator sim(compiled.program, *compiled.module, fidelity);
+        sim.setInput(bench->input);
+        sim.run();
+        cycles += sim.stats().cycles;
+        benchmark::DoNotOptimize(sim.stats().cycles);
+    }
+    state.SetItemsProcessed(cycles);
+    state.counters["sim_cycles_per_run"] = static_cast<double>(
+        state.iterations() ? cycles / state.iterations() : 0);
+}
+
+void
+BM_StepInstrumented(benchmark::State &state)
+{
+    runEngine(state, Fidelity::Instrumented);
+}
+BENCHMARK(BM_StepInstrumented);
+
+void
+BM_StepFast(benchmark::State &state)
+{
+    runEngine(state, Fidelity::Fast);
+}
+BENCHMARK(BM_StepFast);
+
+/** Construction cost of the predecode pass (amortized once per
+ *  simulator, not per cycle). */
+void
+BM_Predecode(benchmark::State &state)
+{
+    const CompileResult &compiled = firCompiled();
+    for (auto _ : state) {
+        Simulator sim(compiled.program, *compiled.module,
+                      Fidelity::Fast);
+        benchmark::DoNotOptimize(sim.pc());
+    }
+}
+BENCHMARK(BM_Predecode);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+#include "driver/compile_cache.hh"
+
+#include <sstream>
+
+namespace dsp
+{
+
+std::string
+CompileCache::optionsKey(const CompileOptions &opts)
+{
+    std::ostringstream os;
+    os << allocModeName(opts.mode) << '/'
+       << static_cast<int>(opts.weights) << '/'
+       << opts.alternatingPartitioner << opts.atomicDupStores << '/'
+       << opts.machine.bankWords << ',' << opts.machine.stackWords << ','
+       << opts.machine.dualPorted << '/' << opts.optLevel;
+    return os.str();
+}
+
+std::shared_ptr<const CompileResult>
+CompileCache::get(const std::string &source, const CompileOptions &opts)
+{
+    // Profile-driven compilations depend on data outside the key.
+    if (opts.profile != nullptr)
+        return std::make_shared<const CompileResult>(
+            compileSource(source, opts));
+
+    std::string key = optionsKey(opts) + '\n' + source;
+
+    std::promise<std::shared_ptr<const CompileResult>> promise;
+    Entry entry;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = entries.find(key);
+        if (it == entries.end()) {
+            entry = promise.get_future().share();
+            entries.emplace(key, entry);
+            ++compiles;
+            owner = true;
+        } else {
+            entry = it->second;
+        }
+    }
+
+    if (owner) {
+        try {
+            promise.set_value(std::make_shared<const CompileResult>(
+                compileSource(source, opts)));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+        }
+    }
+    return entry.get();
+}
+
+int
+CompileCache::compileCount() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return compiles;
+}
+
+} // namespace dsp

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Thread-safe memoization of compileSource results.
+ *
+ * The benchmark harness compiles the same (source, options) pair from
+ * several places — the CB measurement and the profile-collection run
+ * share a binary, ablations re-measure baselines — and, once the suite
+ * runs on a thread pool, concurrently. The cache guarantees each
+ * distinct (source, options) pair is compiled exactly once: the first
+ * requester compiles while later requesters for the same key block on
+ * a shared future.
+ *
+ * Options carrying a profile pointer are never cached (the pointed-to
+ * counts are not part of the key and typically differ per call).
+ */
+
+#ifndef DSP_DRIVER_COMPILE_CACHE_HH
+#define DSP_DRIVER_COMPILE_CACHE_HH
+
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "driver/compiler.hh"
+
+namespace dsp
+{
+
+class CompileCache
+{
+  public:
+    /**
+     * The compilation of @p source under @p opts, compiling at most
+     * once per distinct key. Thread-safe; rethrows the compiler's
+     * error to every waiter if the compilation fails.
+     */
+    std::shared_ptr<const CompileResult>
+    get(const std::string &source, const CompileOptions &opts);
+
+    /** Number of distinct compilations performed so far. */
+    int compileCount() const;
+
+    /** Cache key for @p opts (exposed for tests). */
+    static std::string optionsKey(const CompileOptions &opts);
+
+  private:
+    using Entry = std::shared_future<std::shared_ptr<const CompileResult>>;
+
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Entry> entries;
+    int compiles = 0;
+};
+
+} // namespace dsp
+
+#endif // DSP_DRIVER_COMPILE_CACHE_HH

@@ -62,9 +62,10 @@ compileSource(const std::string &source, const CompileOptions &opts)
 
 RunResult
 runProgram(const CompileResult &compiled,
-           const std::vector<uint32_t> &input, long max_cycles)
+           const std::vector<uint32_t> &input, long max_cycles,
+           Fidelity fidelity)
 {
-    Simulator sim(compiled.program, *compiled.module);
+    Simulator sim(compiled.program, *compiled.module, fidelity);
     sim.setInput(input);
     sim.run(max_cycles);
 
@@ -73,6 +74,32 @@ runProgram(const CompileResult &compiled,
     result.output = sim.output();
     result.profile = sim.profile();
     return result;
+}
+
+RunOutcome
+tryRunProgram(const CompileResult &compiled,
+              const std::vector<uint32_t> &input, long max_cycles,
+              Fidelity fidelity)
+{
+    RunOutcome outcome;
+    Simulator sim(compiled.program, *compiled.module, fidelity);
+    sim.setInput(input);
+    try {
+        if (sim.runBounded(max_cycles) ==
+            Simulator::RunStatus::CycleBudgetExhausted) {
+            outcome.error = "cycle budget exhausted (" +
+                            std::to_string(max_cycles) + ")";
+            return outcome;
+        }
+    } catch (const UserError &e) {
+        outcome.error = e.what();
+        return outcome;
+    }
+    outcome.ok = true;
+    outcome.result.stats = sim.stats();
+    outcome.result.output = sim.output();
+    outcome.result.profile = sim.profile();
+    return outcome;
 }
 
 std::vector<uint32_t>

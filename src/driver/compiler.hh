@@ -57,10 +57,37 @@ struct RunResult
     ProfileCounts profile;
 };
 
-/** Execute a compiled program on the instruction-set simulator. */
+/**
+ * Execute a compiled program on the instruction-set simulator.
+ * @p fidelity selects the engine: the predecoded fast path produces
+ * identical stats/output but an empty profile (see sim/simulator.hh).
+ */
 RunResult runProgram(const CompileResult &compiled,
                      const std::vector<uint32_t> &input = {},
-                     long max_cycles = 200'000'000);
+                     long max_cycles = 200'000'000,
+                     Fidelity fidelity = Fidelity::Instrumented);
+
+/**
+ * Outcome of a non-throwing program run: harness workers must not
+ * take down the whole process over one runaway or faulting benchmark.
+ */
+struct RunOutcome
+{
+    bool ok = false;
+    /** Diagnostic when !ok (budget exhaustion or machine fault). */
+    std::string error;
+    RunResult result;
+};
+
+/**
+ * Like runProgram, but cycle-budget exhaustion and machine faults
+ * (UserError) are reported in the outcome instead of thrown. Internal
+ * errors still propagate.
+ */
+RunOutcome tryRunProgram(const CompileResult &compiled,
+                         const std::vector<uint32_t> &input = {},
+                         long max_cycles = 200'000'000,
+                         Fidelity fidelity = Fidelity::Fast);
 
 /** Convenience: pack ints/floats into raw input words. */
 std::vector<uint32_t> packInputInts(const std::vector<int32_t> &vals);

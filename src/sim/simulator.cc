@@ -34,9 +34,21 @@ OutputWord::asFloat() const
     return bitsFloat(raw);
 }
 
-Simulator::Simulator(const VliwProgram &prog, const Module &mod)
-    : prog(prog), mod(mod)
+const char *
+fidelityName(Fidelity f)
 {
+    switch (f) {
+      case Fidelity::Instrumented: return "instrumented";
+      case Fidelity::Fast: return "fast";
+    }
+    return "?";
+}
+
+Simulator::Simulator(const VliwProgram &prog, const Module &mod,
+                     Fidelity fidelity)
+    : prog(prog), mod(mod), fid(fidelity)
+{
+    predecode();
     reset();
 }
 
@@ -44,13 +56,11 @@ void
 Simulator::reset()
 {
     memory.assign(prog.config.totalWords(), 0);
-    std::memset(iRegs, 0, sizeof(iRegs));
-    std::memset(fRegs, 0, sizeof(fRegs));
-    std::memset(aRegs, 0, sizeof(aRegs));
+    std::memset(regFile, 0, sizeof(regFile));
 
     // Stacks grow downward from the top of each bank.
-    aRegs[regs::AddrSpX] = prog.config.bankWords;
-    aRegs[regs::AddrSpY] = 2 * prog.config.bankWords;
+    regFile[kAddrBase + regs::AddrSpX] = prog.config.bankWords;
+    regFile[kAddrBase + regs::AddrSpY] = 2 * prog.config.bankWords;
 
     // Global data image (duplicated objects initialize both copies).
     for (const auto &g : mod.globals) {
@@ -89,15 +99,28 @@ Simulator::writeMem(int addr, uint32_t value)
     memory[addr] = value;
 }
 
+uint8_t
+Simulator::unified(const VReg &r)
+{
+    require(r.valid() && r.id < regs::PerClass,
+            "non-physical register at runtime: ", r.str());
+    switch (r.cls) {
+      case RegClass::Int: return static_cast<uint8_t>(kIntBase + r.id);
+      case RegClass::Float: return static_cast<uint8_t>(kFltBase + r.id);
+      case RegClass::Addr: return static_cast<uint8_t>(kAddrBase + r.id);
+    }
+    return kNoReg;
+}
+
 uint32_t
 Simulator::readReg(const VReg &r) const
 {
-    require(r.valid() && r.id < 32, "non-physical register at runtime: ",
-            r.str());
+    require(r.valid() && r.id < regs::PerClass,
+            "non-physical register at runtime: ", r.str());
     switch (r.cls) {
-      case RegClass::Int: return static_cast<uint32_t>(iRegs[r.id]);
-      case RegClass::Float: return fRegs[r.id];
-      case RegClass::Addr: return aRegs[r.id];
+      case RegClass::Int: return regFile[kIntBase + r.id];
+      case RegClass::Float: return regFile[kFltBase + r.id];
+      case RegClass::Addr: return regFile[kAddrBase + r.id];
     }
     return 0;
 }
@@ -117,7 +140,7 @@ Simulator::readFloat(const VReg &r) const
 float
 Simulator::floatReg(int idx) const
 {
-    return bitsFloat(fRegs[idx]);
+    return bitsFloat(regFile[kFltBase + idx]);
 }
 
 std::pair<int, int>
@@ -131,10 +154,12 @@ Simulator::objectAddresses(const DataObject &obj, int offset) const
         return {primary + offset, -1};
       }
       case Storage::Local: {
-        int base_x = static_cast<int>(aRegs[regs::AddrSpX]) +
-                     obj.frameOffset + offset;
-        int base_y = static_cast<int>(aRegs[regs::AddrSpY]) +
-                     obj.frameOffset + offset;
+        int base_x =
+            static_cast<int>(regFile[kAddrBase + regs::AddrSpX]) +
+            obj.frameOffset + offset;
+        int base_y =
+            static_cast<int>(regFile[kAddrBase + regs::AddrSpY]) +
+            obj.frameOffset + offset;
         if (obj.duplicated)
             return {base_x, base_y};
         return {obj.bank == Bank::Y ? base_y : base_x, -1};
@@ -144,6 +169,402 @@ Simulator::objectAddresses(const DataObject &obj, int offset) const
     }
     return {-1, -1};
 }
+
+// ---------------------------------------------------------------------
+// Predecode: flatten the VliwInst stream into a dense micro-op array.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+const char *
+portBankName(bool dual_ported, int slot)
+{
+    if (dual_ported)
+        return "X|Y";
+    return slot == SlotMU1 ? "Y" : "X";
+}
+
+} // namespace
+
+void
+Simulator::decodeMemAddress(const Op &op, int inst_index, DecodedOp &d)
+{
+    const DataObject *obj = op.mem.object;
+    require(obj, "memory op without object: ", op.str());
+
+    d.memBase = op.mem.offset;
+    if (op.mem.index.valid())
+        d.indexReg = unified(op.mem.index);
+
+    switch (obj->storage) {
+      case Storage::Param:
+        require(op.mem.addrBase.valid(),
+                "param access without base register");
+        d.baseReg = unified(op.mem.addrBase);
+        break;
+      case Storage::Global: {
+        Bank b = op.mem.bank;
+        if (obj->duplicated) {
+            require(b == Bank::X || b == Bank::Y,
+                    "duplicated access without a concrete bank: ",
+                    op.str());
+            d.memBase += b == Bank::X ? obj->addrX : obj->addrY;
+        } else {
+            d.memBase += obj->addrX >= 0 ? obj->addrX : obj->addrY;
+        }
+        break;
+      }
+      case Storage::Local: {
+        require(obj->frameOffset >= 0, "local without frame slot: ",
+                obj->name);
+        Bank b = obj->duplicated ? op.mem.bank : obj->bank;
+        d.baseReg = static_cast<uint8_t>(
+            kAddrBase + (b == Bank::Y ? regs::AddrSpY : regs::AddrSpX));
+        d.memBase += obj->frameOffset;
+        break;
+      }
+    }
+
+    // Legal address range of the issuing port.
+    if (prog.config.dualPorted) {
+        d.portLo = 0;
+        d.portHi = prog.config.totalWords();
+    } else if (d.slot == SlotMU0) {
+        d.portLo = 0;
+        d.portHi = prog.config.bankWords;
+    } else if (d.slot == SlotMU1) {
+        d.portLo = prog.config.bankWords;
+        d.portHi = prog.config.totalWords();
+    } else {
+        panic("memory op outside a memory-unit slot: ", op.str());
+    }
+
+    // Static addresses (globals without an index register) are checked
+    // once here; the execution hot path skips their range check.
+    if (d.baseReg == kNoReg && d.indexReg == kNoReg) {
+        if (d.memBase < d.portLo || d.memBase >= d.portHi)
+            fatal("bank ", portBankName(prog.config.dualPorted, d.slot),
+                  " static address out of range at pc=", inst_index,
+                  ": '", op.str(), "' addr ", d.memBase, " not in [",
+                  d.portLo, ", ", d.portHi, ")");
+        d.staticChecked = true;
+    }
+}
+
+void
+Simulator::decodeLeaAddress(const Op &op, DecodedOp &d)
+{
+    const DataObject *obj = op.mem.object;
+    require(obj, "lea without object: ", op.str());
+
+    d.memBase = op.mem.offset;
+    if (op.mem.index.valid())
+        d.indexReg = unified(op.mem.index);
+
+    if (obj->storage == Storage::Global) {
+        d.memBase += obj->addrX >= 0 ? obj->addrX : obj->addrY;
+    } else if (obj->storage == Storage::Local) {
+        d.baseReg = static_cast<uint8_t>(
+            kAddrBase +
+            (obj->bank == Bank::Y ? regs::AddrSpY : regs::AddrSpX));
+        d.memBase += obj->frameOffset;
+    } else {
+        require(op.mem.addrBase.valid(),
+                "param lea without base register");
+        d.baseReg = unified(op.mem.addrBase);
+    }
+}
+
+Simulator::DecodedOp
+Simulator::decodeOp(const Op &op, int slot, int inst_index)
+{
+    DecodedOp d;
+    d.opcode = op.opcode;
+    d.slot = static_cast<uint8_t>(slot);
+    d.origin = &op;
+
+    if (op.dst.valid())
+        d.dst = unified(op.dst);
+    if (op.srcs.size() > 0 && op.srcs[0].valid())
+        d.src0 = unified(op.srcs[0]);
+    if (op.srcs.size() > 1 && op.srcs[1].valid())
+        d.src1 = unified(op.srcs[1]);
+
+    if (op.opcode == Opcode::MovF)
+        d.imm = static_cast<int32_t>(floatBits(op.fimm));
+    else
+        d.imm = static_cast<int32_t>(op.imm);
+
+    if (op.isMem())
+        decodeMemAddress(op, inst_index, d);
+    else if (op.opcode == Opcode::Lea)
+        decodeLeaAddress(op, d);
+
+    return d;
+}
+
+void
+Simulator::predecode()
+{
+    decodedOps.clear();
+    decodedInsts.clear();
+    decodedInsts.reserve(prog.insts.size());
+
+    int sp_x = kAddrBase + regs::AddrSpX;
+    int sp_y = kAddrBase + regs::AddrSpY;
+
+    for (std::size_t i = 0; i < prog.insts.size(); ++i) {
+        const VliwInst &inst = prog.insts[i];
+        DecodedInst di;
+        di.first = static_cast<uint32_t>(decodedOps.size());
+        for (int s = 0; s < NumSlots; ++s) {
+            if (!inst.slots[s])
+                continue;
+            DecodedOp d =
+                decodeOp(*inst.slots[s], s, static_cast<int>(i));
+            if (inst.slots[s]->isMem())
+                ++di.memCount;
+            if (d.dst == sp_x || d.dst == sp_y)
+                di.writesSp = true;
+            decodedOps.push_back(d);
+            ++di.count;
+        }
+        di.paired = di.memCount >= 2;
+        decodedInsts.push_back(di);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fast engine.
+// ---------------------------------------------------------------------
+
+int32_t
+Simulator::resolveFast(const DecodedOp &d) const
+{
+    int32_t addr = d.memBase;
+    if (d.baseReg != kNoReg)
+        addr += static_cast<int32_t>(regFile[d.baseReg]);
+    if (d.indexReg != kNoReg)
+        addr += static_cast<int32_t>(regFile[d.indexReg]);
+    return addr;
+}
+
+void
+Simulator::checkFastAddress(const DecodedOp &d, int32_t addr) const
+{
+    if (addr < d.portLo || addr >= d.portHi)
+        fatal("bank ", portBankName(prog.config.dualPorted, d.slot),
+              " access out of range at pc=", curPc, ": '",
+              d.origin->str(), "' addr ", addr, " not in [", d.portLo,
+              ", ", d.portHi, ")");
+}
+
+bool
+Simulator::stepFast()
+{
+    if (isHalted)
+        return false;
+    if (curPc < 0 || curPc >= static_cast<int>(decodedInsts.size()))
+        fatal("PC out of range: ", curPc);
+
+    const DecodedInst &di = decodedInsts[curPc];
+    ++simStats.cycles;
+    simStats.opsExecuted += di.count;
+    simStats.memOps += di.memCount;
+    if (di.paired)
+        ++simStats.pairedMemCycles;
+
+    int next_pc = curPc + 1;
+    RegWrite regw[NumSlots];
+    MemWrite memw[NumSlots];
+    int nregw = 0;
+    int nmemw = 0;
+
+    auto ri = [&](uint8_t i) {
+        return static_cast<int32_t>(regFile[i]);
+    };
+    auto rf = [&](uint8_t i) { return bitsFloat(regFile[i]); };
+    auto wraw = [&](uint8_t idx, uint32_t v) {
+        regw[nregw++] = {idx, v};
+    };
+    auto wi = [&](uint8_t idx, int32_t v) {
+        wraw(idx, static_cast<uint32_t>(v));
+    };
+    auto wf = [&](uint8_t idx, float v) { wraw(idx, floatBits(v)); };
+
+    const DecodedOp *ops = decodedOps.data() + di.first;
+    for (int k = 0; k < di.count; ++k) {
+        const DecodedOp &d = ops[k];
+        switch (d.opcode) {
+          // ----- moves -----
+          case Opcode::MovI:
+          case Opcode::MovF:
+            wraw(d.dst, static_cast<uint32_t>(d.imm));
+            break;
+          case Opcode::Copy: wraw(d.dst, regFile[d.src0]); break;
+
+          // ----- integer ALU -----
+          case Opcode::Add: wi(d.dst, ri(d.src0) + ri(d.src1)); break;
+          case Opcode::Sub: wi(d.dst, ri(d.src0) - ri(d.src1)); break;
+          case Opcode::Mul: wi(d.dst, ri(d.src0) * ri(d.src1)); break;
+          case Opcode::Div: {
+            int32_t v = ri(d.src1);
+            if (v == 0)
+                fatal("integer division by zero at pc=", curPc);
+            wi(d.dst, ri(d.src0) / v);
+            break;
+          }
+          case Opcode::Rem: {
+            int32_t v = ri(d.src1);
+            if (v == 0)
+                fatal("integer remainder by zero at pc=", curPc);
+            wi(d.dst, ri(d.src0) % v);
+            break;
+          }
+          case Opcode::And: wi(d.dst, ri(d.src0) & ri(d.src1)); break;
+          case Opcode::Or: wi(d.dst, ri(d.src0) | ri(d.src1)); break;
+          case Opcode::Xor: wi(d.dst, ri(d.src0) ^ ri(d.src1)); break;
+          case Opcode::Shl:
+            wi(d.dst, ri(d.src0) << (ri(d.src1) & 31));
+            break;
+          case Opcode::Shr:
+            wi(d.dst, ri(d.src0) >> (ri(d.src1) & 31));
+            break;
+          case Opcode::AddI: wi(d.dst, ri(d.src0) + d.imm); break;
+          case Opcode::MulI: wi(d.dst, ri(d.src0) * d.imm); break;
+          case Opcode::AndI: wi(d.dst, ri(d.src0) & d.imm); break;
+          case Opcode::ShlI:
+            wi(d.dst, ri(d.src0) << (d.imm & 31));
+            break;
+          case Opcode::ShrI:
+            wi(d.dst, ri(d.src0) >> (d.imm & 31));
+            break;
+          case Opcode::Neg: wi(d.dst, -ri(d.src0)); break;
+          case Opcode::Not: wi(d.dst, ~ri(d.src0)); break;
+          case Opcode::Mac:
+            wi(d.dst, ri(d.dst) + ri(d.src0) * ri(d.src1));
+            break;
+
+          // ----- integer compares -----
+          case Opcode::CmpEQ: wi(d.dst, ri(d.src0) == ri(d.src1)); break;
+          case Opcode::CmpNE: wi(d.dst, ri(d.src0) != ri(d.src1)); break;
+          case Opcode::CmpLT: wi(d.dst, ri(d.src0) < ri(d.src1)); break;
+          case Opcode::CmpLE: wi(d.dst, ri(d.src0) <= ri(d.src1)); break;
+          case Opcode::CmpGT: wi(d.dst, ri(d.src0) > ri(d.src1)); break;
+          case Opcode::CmpGE: wi(d.dst, ri(d.src0) >= ri(d.src1)); break;
+          case Opcode::CmpEQI: wi(d.dst, ri(d.src0) == d.imm); break;
+          case Opcode::CmpNEI: wi(d.dst, ri(d.src0) != d.imm); break;
+          case Opcode::CmpLTI: wi(d.dst, ri(d.src0) < d.imm); break;
+          case Opcode::CmpLEI: wi(d.dst, ri(d.src0) <= d.imm); break;
+          case Opcode::CmpGTI: wi(d.dst, ri(d.src0) > d.imm); break;
+          case Opcode::CmpGEI: wi(d.dst, ri(d.src0) >= d.imm); break;
+
+          // ----- floating point -----
+          case Opcode::FAdd: wf(d.dst, rf(d.src0) + rf(d.src1)); break;
+          case Opcode::FSub: wf(d.dst, rf(d.src0) - rf(d.src1)); break;
+          case Opcode::FMul: wf(d.dst, rf(d.src0) * rf(d.src1)); break;
+          case Opcode::FDiv: wf(d.dst, rf(d.src0) / rf(d.src1)); break;
+          case Opcode::FNeg: wf(d.dst, -rf(d.src0)); break;
+          case Opcode::FMac:
+            wf(d.dst, rf(d.dst) + rf(d.src0) * rf(d.src1));
+            break;
+          case Opcode::FCmpEQ: wi(d.dst, rf(d.src0) == rf(d.src1)); break;
+          case Opcode::FCmpNE: wi(d.dst, rf(d.src0) != rf(d.src1)); break;
+          case Opcode::FCmpLT: wi(d.dst, rf(d.src0) < rf(d.src1)); break;
+          case Opcode::FCmpLE: wi(d.dst, rf(d.src0) <= rf(d.src1)); break;
+          case Opcode::FCmpGT: wi(d.dst, rf(d.src0) > rf(d.src1)); break;
+          case Opcode::FCmpGE: wi(d.dst, rf(d.src0) >= rf(d.src1)); break;
+          case Opcode::IToF:
+            wf(d.dst, static_cast<float>(ri(d.src0)));
+            break;
+          case Opcode::FToI:
+            wi(d.dst, static_cast<int32_t>(rf(d.src0)));
+            break;
+
+          // ----- memory -----
+          case Opcode::Ld:
+          case Opcode::LdF:
+          case Opcode::LdA: {
+            int32_t addr = resolveFast(d);
+            if (!d.staticChecked)
+                checkFastAddress(d, addr);
+            wraw(d.dst, memory[addr]);
+            break;
+          }
+          case Opcode::St:
+          case Opcode::StF:
+          case Opcode::StA: {
+            int32_t addr = resolveFast(d);
+            if (!d.staticChecked)
+                checkFastAddress(d, addr);
+            memw[nmemw++] = {addr, regFile[d.src0]};
+            break;
+          }
+          case Opcode::Lea:
+            wraw(d.dst, static_cast<uint32_t>(resolveFast(d)));
+            break;
+          case Opcode::AAddI:
+            wraw(d.dst, regFile[d.src0] + static_cast<uint32_t>(d.imm));
+            break;
+
+          // ----- control -----
+          case Opcode::Jmp: next_pc = d.imm; break;
+          case Opcode::Bt:
+            if (ri(d.src0) != 0)
+                next_pc = d.imm;
+            break;
+          case Opcode::Call:
+            wraw(static_cast<uint8_t>(kAddrBase + regs::AddrLink),
+                 static_cast<uint32_t>(curPc + 1));
+            next_pc = d.imm;
+            break;
+          case Opcode::Ret:
+            next_pc = static_cast<int>(
+                regFile[kAddrBase + regs::AddrLink]);
+            break;
+          case Opcode::Halt: isHalted = true; break;
+          case Opcode::Lock:
+          case Opcode::Unlock:
+          case Opcode::Nop:
+            break;
+
+          // ----- I/O -----
+          case Opcode::In:
+          case Opcode::InF:
+            if (inputPos >= input.size())
+                fatal("input channel underrun at pc=", curPc);
+            wraw(d.dst, input[inputPos++]);
+            break;
+          case Opcode::Out:
+            outWords.push_back({regFile[d.src0], false});
+            break;
+          case Opcode::OutF:
+            outWords.push_back({regFile[d.src0], true});
+            break;
+
+          default:
+            panic("unhandled opcode in fast path: ",
+                  opcodeName(d.opcode));
+        }
+    }
+
+    // Commit phase.
+    for (int k = 0; k < nregw; ++k)
+        regFile[regw[k].idx] = regw[k].value;
+    for (int k = 0; k < nmemw; ++k)
+        memory[memw[k].addr] = memw[k].value;
+
+    if (di.writesSp)
+        updateStackWatermarks();
+
+    curPc = next_pc;
+    return !isHalted;
+}
+
+// ---------------------------------------------------------------------
+// Instrumented engine (semantic reference).
+// ---------------------------------------------------------------------
 
 int
 Simulator::resolveAddress(const Op &op) const
@@ -177,8 +598,8 @@ Simulator::resolveAddress(const Op &op) const
         require(obj->frameOffset >= 0, "local without frame slot: ",
                 obj->name);
         Bank b = obj->duplicated ? op.mem.bank : obj->bank;
-        uint32_t sp = b == Bank::Y ? aRegs[regs::AddrSpY]
-                                   : aRegs[regs::AddrSpX];
+        uint32_t sp = b == Bank::Y ? regFile[kAddrBase + regs::AddrSpY]
+                                   : regFile[kAddrBase + regs::AddrSpX];
         addr += static_cast<long>(sp) + obj->frameOffset;
         break;
       }
@@ -201,24 +622,26 @@ Simulator::checkPort(const Op &op, int slot, int addr) const
 }
 
 void
-Simulator::execSlot(const Op &op, int slot, std::vector<RegWrite> &regw,
-                    std::vector<MemWrite> &memw, int &next_pc)
+Simulator::execSlot(const Op &op, int slot, RegWrite *regw, int &nregw,
+                    MemWrite *memw, int &nmemw, int &next_pc)
 {
+    auto push = [&](uint8_t idx, uint32_t v) {
+        regw[nregw++] = {idx, v};
+    };
     auto wi = [&](int idx, int32_t v) {
-        regw.push_back({RegClass::Int, idx, static_cast<uint32_t>(v)});
+        push(static_cast<uint8_t>(kIntBase + idx),
+             static_cast<uint32_t>(v));
     };
     auto wf = [&](int idx, float v) {
-        regw.push_back({RegClass::Float, idx, floatBits(v)});
+        push(static_cast<uint8_t>(kFltBase + idx), floatBits(v));
     };
     auto wfraw = [&](int idx, uint32_t v) {
-        regw.push_back({RegClass::Float, idx, v});
+        push(static_cast<uint8_t>(kFltBase + idx), v);
     };
     auto wa = [&](int idx, uint32_t v) {
-        regw.push_back({RegClass::Addr, idx, v});
+        push(static_cast<uint8_t>(kAddrBase + idx), v);
     };
-    auto writeDst = [&](uint32_t raw) {
-        regw.push_back({op.dst.cls, op.dst.id, raw});
-    };
+    auto writeDst = [&](uint32_t raw) { push(unified(op.dst), raw); };
 
     auto s0 = [&]() { return op.srcs[0]; };
     auto s1 = [&]() { return op.srcs[1]; };
@@ -354,7 +777,9 @@ Simulator::execSlot(const Op &op, int slot, std::vector<RegWrite> &regw,
       case Opcode::StA: {
         int addr = resolveAddress(op);
         checkPort(op, slot, addr);
-        memw.push_back({addr, readReg(s0())});
+        if (addr < 0 || addr >= static_cast<int>(memory.size()))
+            fatal("memory write out of range: ", addr);
+        memw[nmemw++] = {addr, readReg(s0())};
         ++simStats.memOps;
         if (op.atomicPair >= 0) {
             if (!openPairs.erase(op.atomicPair))
@@ -372,8 +797,9 @@ Simulator::execSlot(const Op &op, int slot, std::vector<RegWrite> &regw,
         if (obj->storage == Storage::Global) {
             addr += obj->addrX >= 0 ? obj->addrX : obj->addrY;
         } else if (obj->storage == Storage::Local) {
-            uint32_t sp = obj->bank == Bank::Y ? aRegs[regs::AddrSpY]
-                                               : aRegs[regs::AddrSpX];
+            uint32_t sp = obj->bank == Bank::Y
+                              ? regFile[kAddrBase + regs::AddrSpY]
+                              : regFile[kAddrBase + regs::AddrSpX];
             addr += static_cast<long>(sp) + obj->frameOffset;
         } else {
             addr += static_cast<long>(readReg(op.mem.addrBase));
@@ -398,7 +824,7 @@ Simulator::execSlot(const Op &op, int slot, std::vector<RegWrite> &regw,
         next_pc = static_cast<int>(op.imm);
         return;
       case Opcode::Ret:
-        next_pc = static_cast<int>(aRegs[regs::AddrLink]);
+        next_pc = static_cast<int>(regFile[kAddrBase + regs::AddrLink]);
         return;
       case Opcode::Halt:
         isHalted = true;
@@ -434,8 +860,19 @@ Simulator::execSlot(const Op &op, int slot, std::vector<RegWrite> &regw,
     panic("unhandled opcode in simulator: ", opcodeName(op.opcode));
 }
 
+void
+Simulator::updateStackWatermarks()
+{
+    int used_x = prog.config.bankWords -
+                 static_cast<int>(regFile[kAddrBase + regs::AddrSpX]);
+    int used_y = 2 * prog.config.bankWords -
+                 static_cast<int>(regFile[kAddrBase + regs::AddrSpY]);
+    simStats.peakStackX = std::max(simStats.peakStackX, used_x);
+    simStats.peakStackY = std::max(simStats.peakStackY, used_y);
+}
+
 bool
-Simulator::step()
+Simulator::stepInstrumented()
 {
     if (isHalted)
         return false;
@@ -447,8 +884,10 @@ Simulator::step()
     ++simStats.cycles;
 
     int next_pc = curPc + 1;
-    std::vector<RegWrite> regw;
-    std::vector<MemWrite> memw;
+    RegWrite regw[NumSlots];
+    MemWrite memw[NumSlots];
+    int nregw = 0;
+    int nmemw = 0;
 
     int data_mem = 0;
     for (int s = 0; s < NumSlots; ++s) {
@@ -458,35 +897,18 @@ Simulator::step()
         ++simStats.opsExecuted;
         if (op.isMem())
             ++data_mem;
-        execSlot(op, s, regw, memw, next_pc);
+        execSlot(op, s, regw, nregw, memw, nmemw, next_pc);
     }
     if (data_mem >= 2)
         ++simStats.pairedMemCycles;
 
     // Commit phase.
-    for (const RegWrite &w : regw) {
-        switch (w.cls) {
-          case RegClass::Int:
-            iRegs[w.idx] = static_cast<int32_t>(w.value);
-            break;
-          case RegClass::Float:
-            fRegs[w.idx] = w.value;
-            break;
-          case RegClass::Addr:
-            aRegs[w.idx] = w.value;
-            break;
-        }
-    }
-    for (const MemWrite &w : memw)
-        writeMem(w.addr, w.value);
+    for (int k = 0; k < nregw; ++k)
+        regFile[regw[k].idx] = regw[k].value;
+    for (int k = 0; k < nmemw; ++k)
+        memory[memw[k].addr] = memw[k].value;
 
-    // Stack watermarks.
-    int used_x = prog.config.bankWords -
-                 static_cast<int>(aRegs[regs::AddrSpX]);
-    int used_y = 2 * prog.config.bankWords -
-                 static_cast<int>(aRegs[regs::AddrSpY]);
-    simStats.peakStackX = std::max(simStats.peakStackX, used_x);
-    simStats.peakStackY = std::max(simStats.peakStackY, used_y);
+    updateStackWatermarks();
 
     curPc = next_pc;
 
@@ -501,14 +923,36 @@ Simulator::step()
 }
 
 bool
+Simulator::step()
+{
+    return useFastPath() ? stepFast() : stepInstrumented();
+}
+
+Simulator::RunStatus
+Simulator::runBounded(long max_cycles)
+{
+    if (useFastPath()) {
+        while (!isHalted) {
+            if (simStats.cycles >= max_cycles)
+                return RunStatus::CycleBudgetExhausted;
+            stepFast();
+        }
+    } else {
+        while (!isHalted) {
+            if (simStats.cycles >= max_cycles)
+                return RunStatus::CycleBudgetExhausted;
+            stepInstrumented();
+        }
+    }
+    return RunStatus::Halted;
+}
+
+bool
 Simulator::run(long max_cycles)
 {
-    while (!isHalted) {
-        if (simStats.cycles >= max_cycles)
-            fatal("cycle budget exhausted (", max_cycles,
-                  "): runaway program?");
-        step();
-    }
+    if (runBounded(max_cycles) == RunStatus::CycleBudgetExhausted)
+        fatal("cycle budget exhausted (", max_cycles,
+              "): runaway program?");
     return true;
 }
 

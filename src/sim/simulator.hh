@@ -13,6 +13,25 @@
  * bank Y occupies [bankWords, 2*bankWords). MU0 may only touch X and
  * MU1 only Y unless the configuration enables dual-ported (Ideal) mode.
  * Violations are a compiler bug and abort the run.
+ *
+ * Two execution engines share the machine state:
+ *
+ *  - Fidelity::Instrumented interprets the VliwInst stream directly.
+ *    It is the semantic reference: per-instruction execution counts
+ *    (profiling), interrupt delivery, and atomic-store-pair masking
+ *    all live here.
+ *
+ *  - Fidelity::Fast executes a predecoded micro-op array built once at
+ *    construction: operands are flattened to unified register-file
+ *    indices, static addresses of globals are pre-resolved AND
+ *    bounds/port-validated at decode time, immediates are folded, and
+ *    per-cycle results commit through fixed-size stack buffers (at
+ *    most NumSlots register writes and two memory writes per cycle —
+ *    no heap traffic on the hot path). The fast engine produces
+ *    bit-identical architectural state, output, and SimStats cycle /
+ *    op / memory counters; it does not maintain profiling counts and
+ *    does not deliver interrupts (setting an interrupt period falls
+ *    back to the instrumented engine).
  */
 
 #ifndef DSP_SIM_SIMULATOR_HH
@@ -60,14 +79,28 @@ struct SimStats
     long interruptsDelivered = 0;
 };
 
+/** Which execution engine a Simulator instance uses. */
+enum class Fidelity
+{
+    /** Reference interpreter: profiling counts and interrupts. */
+    Instrumented,
+    /** Predecoded hot path: same architectural results, no
+     *  instrumentation. */
+    Fast,
+};
+
+const char *fidelityName(Fidelity f);
+
 class Simulator
 {
   public:
     /**
-     * @param prog Program to execute (must outlive the simulator).
-     * @param mod  Module whose DataObjects carry the memory layout.
+     * @param prog     Program to execute (must outlive the simulator).
+     * @param mod      Module whose DataObjects carry the memory layout.
+     * @param fidelity Execution engine; see Fidelity.
      */
-    Simulator(const VliwProgram &prog, const Module &mod);
+    Simulator(const VliwProgram &prog, const Module &mod,
+              Fidelity fidelity = Fidelity::Instrumented);
 
     /** Reset machine state and (re)initialize data memory. */
     void reset();
@@ -78,22 +111,42 @@ class Simulator
     /**
      * Run until Halt or @p max_cycles. Returns true if halted normally.
      * Throws UserError on machine faults (bank violation, div by zero,
-     * address out of range, input underrun).
+     * address out of range, input underrun) and on cycle-budget
+     * exhaustion.
      */
     bool run(long max_cycles = 200'000'000);
+
+    /** Outcome of a bounded run (see runBounded). */
+    enum class RunStatus
+    {
+        Halted,
+        CycleBudgetExhausted,
+    };
+
+    /**
+     * Like run(), but budget exhaustion is reported as a status instead
+     * of a thrown error, so harnesses driving many programs from worker
+     * threads can record a runaway benchmark and keep going. Machine
+     * faults still throw UserError.
+     */
+    RunStatus runBounded(long max_cycles);
 
     /** Execute a single instruction. Returns false once halted. */
     bool step();
 
+    Fidelity fidelity() const { return fid; }
     const SimStats &stats() const { return simStats; }
     const std::vector<OutputWord> &output() const { return outWords; }
 
-    /** Block execution counts gathered during the run. */
+    /** Block execution counts gathered during the run. Only the
+     *  instrumented engine maintains them; a Fast simulator returns an
+     *  empty profile. */
     ProfileCounts profile() const;
 
     /// @name Interrupt injection (duplicated-data coherence testing).
     /// @{
-    /** Deliver an interrupt every @p period cycles (0 = never). */
+    /** Deliver an interrupt every @p period cycles (0 = never). A
+     *  non-zero period forces the instrumented engine. */
     void setInterruptPeriod(long period) { interruptPeriod = period; }
     /** Handler invoked at delivery; may inspect/modify machine state. */
     void setInterruptHandler(std::function<void(Simulator &)> fn)
@@ -108,9 +161,12 @@ class Simulator
     /// @{
     uint32_t readMem(int addr) const;
     void writeMem(int addr, uint32_t value);
-    int32_t intReg(int idx) const { return iRegs[idx]; }
+    int32_t intReg(int idx) const
+    {
+        return static_cast<int32_t>(regFile[kIntBase + idx]);
+    }
     float floatReg(int idx) const;
-    uint32_t addrReg(int idx) const { return aRegs[idx]; }
+    uint32_t addrReg(int idx) const { return regFile[kAddrBase + idx]; }
     int pc() const { return curPc; }
     bool halted() const { return isHalted; }
     /** Both absolute addresses of @p obj's element @p offset; the
@@ -120,13 +176,85 @@ class Simulator
     /// @}
 
   private:
+    /// @name Unified register file.
+    /// All three architectural files live in one dense array so a
+    /// decoded operand is a single byte-sized index and a register
+    /// write is class-agnostic: int regs at [0,32), float regs (raw
+    /// bits) at [32,64), address regs at [64,96).
+    /// @{
+    static constexpr int kIntBase = 0;
+    static constexpr int kFltBase = 32;
+    static constexpr int kAddrBase = 64;
+    static constexpr int kNumRegs = 96;
+    static constexpr uint8_t kNoReg = 0xFF;
+    /// @}
+
+    /**
+     * One predecoded operation. Register operands are unified-file
+     * indices; memory operands carry the statically-known part of the
+     * address (global base + constant offset + frame offset) plus up
+     * to two runtime register addends, and the word-address range the
+     * issuing port may legally touch.
+     */
+    struct DecodedOp
+    {
+        Opcode opcode = Opcode::Nop;
+        uint8_t slot = 0;
+        uint8_t dst = kNoReg;
+        uint8_t src0 = kNoReg;
+        uint8_t src1 = kNoReg;
+        /** Integer immediate, branch/call target, or (for MovF) the
+         *  raw bits of the float immediate. */
+        int32_t imm = 0;
+
+        /** Statically-resolved part of a memory / Lea address. */
+        int32_t memBase = 0;
+        /** Runtime base register (SP or parameter base), or kNoReg. */
+        uint8_t baseReg = kNoReg;
+        /** Runtime index register, or kNoReg. */
+        uint8_t indexReg = kNoReg;
+        /** Legal word-address range [portLo, portHi) for this port. */
+        int32_t portLo = 0;
+        int32_t portHi = 0;
+        /** Address fully known and validated at decode time; the hot
+         *  path skips the range check. */
+        bool staticChecked = false;
+
+        /** Original operation, for fault diagnostics only. */
+        const Op *origin = nullptr;
+    };
+
+    /** Per-instruction decode record: a dense slice of decodedOps plus
+     *  precomputed statistics contributions. */
+    struct DecodedInst
+    {
+        uint32_t first = 0;
+        uint8_t count = 0;
+        uint8_t memCount = 0;
+        bool paired = false;
+        /** Some op writes a stack pointer: update watermarks after
+         *  commit. */
+        bool writesSp = false;
+    };
+
+    /** Fixed-size commit buffer entry (unified register index). */
+    struct RegWrite
+    {
+        uint8_t idx;
+        uint32_t value;
+    };
+    struct MemWrite
+    {
+        int32_t addr;
+        uint32_t value;
+    };
+
     const VliwProgram &prog;
     const Module &mod;
+    Fidelity fid;
 
     std::vector<uint32_t> memory;
-    int32_t iRegs[32];
-    uint32_t fRegs[32]; ///< raw bits
-    uint32_t aRegs[32];
+    uint32_t regFile[kNumRegs];
     int curPc = 0;
     bool isHalted = false;
 
@@ -141,24 +269,41 @@ class Simulator
     std::function<void(Simulator &)> interruptHandler;
     std::set<int> openPairs;
 
-    struct RegWrite
-    {
-        RegClass cls;
-        int idx;
-        uint32_t value;
-    };
-    struct MemWrite
-    {
-        int addr;
-        uint32_t value;
-    };
+    /** Predecoded program (flat micro-op array, one slice per inst). */
+    std::vector<DecodedOp> decodedOps;
+    std::vector<DecodedInst> decodedInsts;
 
-    /** Resolve the absolute address of a memory operand. */
+    bool useFastPath() const
+    {
+        return fid == Fidelity::Fast && interruptPeriod == 0;
+    }
+
+    /// @name Predecode (construction time).
+    /// @{
+    void predecode();
+    DecodedOp decodeOp(const Op &op, int slot, int inst_index);
+    void decodeMemAddress(const Op &op, int inst_index, DecodedOp &d);
+    void decodeLeaAddress(const Op &op, DecodedOp &d);
+    static uint8_t unified(const VReg &r);
+    /// @}
+
+    /// @name Fast engine.
+    /// @{
+    bool stepFast();
+    int32_t resolveFast(const DecodedOp &d) const;
+    void checkFastAddress(const DecodedOp &d, int32_t addr) const;
+    /// @}
+
+    /// @name Instrumented engine (semantic reference).
+    /// @{
+    bool stepInstrumented();
     int resolveAddress(const Op &op) const;
     void checkPort(const Op &op, int slot, int addr) const;
+    void execSlot(const Op &op, int slot, RegWrite *regw, int &nregw,
+                  MemWrite *memw, int &nmemw, int &next_pc);
+    /// @}
 
-    void execSlot(const Op &op, int slot, std::vector<RegWrite> &regw,
-                  std::vector<MemWrite> &memw, int &next_pc);
+    void updateStackWatermarks();
 
     uint32_t readReg(const VReg &r) const;
     int32_t readInt(const VReg &r) const;

@@ -1,0 +1,70 @@
+#include "support/job_pool.hh"
+
+namespace dsp
+{
+
+int
+JobPool::defaultThreadCount()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n > 0 ? static_cast<int>(n) : 1;
+}
+
+JobPool::JobPool(int threads)
+{
+    int n = threads > 0 ? threads : defaultThreadCount();
+    workers.reserve(n);
+    for (int i = 0; i < n; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+JobPool::~JobPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        stopping = true;
+    }
+    wake.notify_all();
+    for (std::thread &t : workers)
+        t.join();
+}
+
+void
+JobPool::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        queue.push_back(std::move(job));
+    }
+    wake.notify_one();
+}
+
+void
+JobPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    drained.wait(lock, [this] { return queue.empty() && active == 0; });
+}
+
+void
+JobPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+        wake.wait(lock, [this] { return stopping || !queue.empty(); });
+        if (queue.empty())
+            return; // stopping, nothing left to run
+        std::function<void()> job = std::move(queue.front());
+        queue.pop_front();
+        ++active;
+        lock.unlock();
+        job();
+        lock.lock();
+        --active;
+        if (queue.empty() && active == 0)
+            drained.notify_all();
+    }
+}
+
+} // namespace dsp

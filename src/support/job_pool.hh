@@ -1,0 +1,64 @@
+/**
+ * @file
+ * A minimal fixed-size worker-thread pool for coarse-grained jobs.
+ *
+ * Built for the benchmark harness: the figure/table benches compile
+ * and simulate each suite benchmark independently, so one job per
+ * benchmark keeps every core busy with zero shared mutable state
+ * beyond the queue itself. Jobs are plain closures; error handling is
+ * the submitter's responsibility (an exception escaping a job
+ * terminates the process, by design — wrap fallible work).
+ */
+
+#ifndef DSP_SUPPORT_JOB_POOL_HH
+#define DSP_SUPPORT_JOB_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dsp
+{
+
+class JobPool
+{
+  public:
+    /** @param threads Worker count; 0 picks the hardware concurrency
+     *  (at least one). */
+    explicit JobPool(int threads = 0);
+
+    /** Waits for all submitted jobs, then joins the workers. */
+    ~JobPool();
+
+    JobPool(const JobPool &) = delete;
+    JobPool &operator=(const JobPool &) = delete;
+
+    /** Enqueue @p job for execution on some worker. */
+    void submit(std::function<void()> job);
+
+    /** Block until every submitted job has finished executing. */
+    void wait();
+
+    int threadCount() const { return static_cast<int>(workers.size()); }
+
+    /** The worker count a default-constructed pool would use. */
+    static int defaultThreadCount();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers;
+    std::deque<std::function<void()>> queue;
+    std::mutex mu;
+    std::condition_variable wake;  ///< signals workers: job or shutdown
+    std::condition_variable drained; ///< signals wait(): all jobs done
+    int active = 0;  ///< jobs currently executing
+    bool stopping = false;
+};
+
+} // namespace dsp
+
+#endif // DSP_SUPPORT_JOB_POOL_HH

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Target description of the model VLIW DSP (paper Figure 2).
+ *
+ * Nine single-cycle functional units — one program-control unit (PCU),
+ * two memory units (MU0 -> bank X, MU1 -> bank Y), two address units
+ * (AU), two integer data units (DU), and two floating-point units
+ * (FPU) — over three 32-entry register files (address / integer /
+ * float). Register usage is orthogonal to the memory banks, which is
+ * what decouples register allocation from data allocation.
+ */
+
+#ifndef DSP_TARGET_TARGET_DESC_HH
+#define DSP_TARGET_TARGET_DESC_HH
+
+#include "ir/op.hh"
+
+namespace dsp
+{
+
+/**
+ * Physical register-file layout. Each class has 32 registers; ids >=
+ * FirstVirtual denote virtual registers awaiting allocation.
+ *
+ * ABI: return and argument registers are caller-saved; the allocatable
+ * pools ([*AllocFirst, *AllocLast]) are callee-saved with save/restore
+ * assigned to alternating banks (paper section 3.1). The scratch
+ * registers are reserved for spill reloads and never allocated.
+ */
+namespace regs
+{
+
+// --- integer file ---
+inline constexpr int IntRet = 0;
+inline constexpr int IntArg0 = 1;
+inline constexpr int IntArgCount = 8;
+inline constexpr int IntScratch0 = 9;
+inline constexpr int IntScratch1 = 10;
+inline constexpr int IntScratch2 = 11;
+inline constexpr int IntAllocFirst = 12;
+inline constexpr int IntAllocLast = 31;
+
+// --- floating-point file ---
+inline constexpr int FltRet = 0;
+inline constexpr int FltArg0 = 1;
+inline constexpr int FltArgCount = 8;
+inline constexpr int FltScratch0 = 9;
+inline constexpr int FltScratch1 = 10;
+inline constexpr int FltScratch2 = 11;
+inline constexpr int FltAllocFirst = 12;
+inline constexpr int FltAllocLast = 31;
+
+// --- address file (A0 is a caller-saved temporary with no ABI role) ---
+inline constexpr int AddrArg0 = 1;
+inline constexpr int AddrArgCount = 3;
+inline constexpr int AddrScratch0 = 4;
+inline constexpr int AddrScratch1 = 5;
+/** Link register: Call writes the return address here. */
+inline constexpr int AddrLink = 6;
+/** Stack pointer for the X-bank stack (grows down from bank top). */
+inline constexpr int AddrSpX = 7;
+/** Stack pointer for the Y-bank stack. */
+inline constexpr int AddrSpY = 8;
+inline constexpr int AddrAllocFirst = 9;
+inline constexpr int AddrAllocLast = 31;
+
+/** Registers per class; ids >= FirstVirtual are virtual. */
+inline constexpr int PerClass = 32;
+inline constexpr int FirstVirtual = 32;
+
+} // namespace regs
+
+/** Functional-unit classes of the model architecture. */
+enum class FuKind : unsigned char
+{
+    PCU, ///< program control (branches, calls, halt)
+    MU,  ///< memory units (loads/stores and the I/O channels)
+    AU,  ///< address arithmetic
+    DU,  ///< integer data units
+    FPU, ///< floating-point units
+};
+
+inline const char *
+fuKindName(FuKind k)
+{
+    switch (k) {
+      case FuKind::PCU: return "PCU";
+      case FuKind::MU: return "MU";
+      case FuKind::AU: return "AU";
+      case FuKind::DU: return "DU";
+      case FuKind::FPU: return "FPU";
+    }
+    return "?";
+}
+
+/** The functional-unit class that executes @p op. */
+inline FuKind
+fuKindOf(const Op &op)
+{
+    switch (op.opcode) {
+      // Control flow (and the interrupt gates, which serialize).
+      case Opcode::Jmp:
+      case Opcode::Bt:
+      case Opcode::Call:
+      case Opcode::Ret:
+      case Opcode::Halt:
+      case Opcode::Lock:
+      case Opcode::Unlock:
+      case Opcode::Nop:
+        return FuKind::PCU;
+
+      // Memory units: data accesses plus the bank-agnostic I/O channels.
+      case Opcode::Ld:
+      case Opcode::LdF:
+      case Opcode::LdA:
+      case Opcode::St:
+      case Opcode::StF:
+      case Opcode::StA:
+      case Opcode::In:
+      case Opcode::InF:
+      case Opcode::Out:
+      case Opcode::OutF:
+        return FuKind::MU;
+
+      // Address arithmetic.
+      case Opcode::Lea:
+      case Opcode::AAddI:
+        return FuKind::AU;
+
+      // Floating point (conversions run on the FPU as well).
+      case Opcode::MovF:
+      case Opcode::FAdd:
+      case Opcode::FSub:
+      case Opcode::FMul:
+      case Opcode::FDiv:
+      case Opcode::FNeg:
+      case Opcode::FMac:
+      case Opcode::FCmpEQ:
+      case Opcode::FCmpNE:
+      case Opcode::FCmpLT:
+      case Opcode::FCmpLE:
+      case Opcode::FCmpGT:
+      case Opcode::FCmpGE:
+      case Opcode::IToF:
+      case Opcode::FToI:
+        return FuKind::FPU;
+
+      // Copies execute on the unit of their register class.
+      case Opcode::Copy:
+        switch (op.dst.cls) {
+          case RegClass::Addr: return FuKind::AU;
+          case RegClass::Float: return FuKind::FPU;
+          case RegClass::Int: return FuKind::DU;
+        }
+        return FuKind::DU;
+
+      // Everything else is integer ALU work.
+      default:
+        return FuKind::DU;
+    }
+}
+
+} // namespace dsp
+
+#endif // DSP_TARGET_TARGET_DESC_HH

@@ -1,0 +1,64 @@
+#include "target/vliw.hh"
+
+#include <sstream>
+
+#include "target/target_desc.hh"
+
+namespace dsp
+{
+
+const char *
+slotName(int slot)
+{
+    switch (slot) {
+      case SlotPCU: return "PCU";
+      case SlotMU0: return "MU0";
+      case SlotMU1: return "MU1";
+      case SlotAU0: return "AU0";
+      case SlotAU1: return "AU1";
+      case SlotDU0: return "DU0";
+      case SlotDU1: return "DU1";
+      case SlotFPU0: return "FPU0";
+      case SlotFPU1: return "FPU1";
+    }
+    return "?";
+}
+
+std::string
+printVliwInst(const VliwInst &inst)
+{
+    std::ostringstream os;
+    bool first = true;
+    for (int s = 0; s < NumSlots; ++s) {
+        if (!inst.slots[s])
+            continue;
+        if (!first)
+            os << " | ";
+        os << slotName(s) << ": " << inst.slots[s]->str();
+        first = false;
+    }
+    if (first)
+        os << "(empty)";
+    return os.str();
+}
+
+std::string
+printVliwProgram(const VliwProgram &prog)
+{
+    std::ostringstream os;
+    os << "; " << prog.insts.size() << " instructions, entry at "
+       << prog.entry << "\n";
+    std::size_t next_fn = 0;
+    for (std::size_t i = 0; i < prog.insts.size(); ++i) {
+        while (next_fn < prog.functionEntries.size() &&
+               prog.functionEntries[next_fn].firstInst ==
+                   static_cast<int>(i)) {
+            os << prog.functionEntries[next_fn].name << ":\n";
+            ++next_fn;
+        }
+        os << "  " << i << ":\t" << printVliwInst(prog.insts[i]) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace dsp

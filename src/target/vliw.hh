@@ -1,0 +1,113 @@
+/**
+ * @file
+ * VLIW instruction and program containers.
+ *
+ * A VliwInst is one long instruction word: up to nine operations, one
+ * per functional-unit slot, all issued in the same cycle. The slot
+ * order fixes the commit order of register writes within a cycle (all
+ * operand reads happen before any write commits, so the order is
+ * unobservable to correct programs but kept deterministic).
+ *
+ * A VliwProgram is the linked executable: the linearized instruction
+ * stream with branch/call targets resolved to instruction indices,
+ * plus the machine configuration the program was compiled for.
+ */
+
+#ifndef DSP_TARGET_VLIW_HH
+#define DSP_TARGET_VLIW_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/op.hh"
+#include "target/target_desc.hh"
+
+namespace dsp
+{
+
+/// @name Functional-unit slot indices within a VliwInst.
+/// @{
+inline constexpr int SlotPCU = 0;
+inline constexpr int SlotMU0 = 1; ///< memory unit on bank X
+inline constexpr int SlotMU1 = 2; ///< memory unit on bank Y
+inline constexpr int SlotAU0 = 3;
+inline constexpr int SlotAU1 = 4;
+inline constexpr int SlotDU0 = 5;
+inline constexpr int SlotDU1 = 6;
+inline constexpr int SlotFPU0 = 7;
+inline constexpr int SlotFPU1 = 8;
+inline constexpr int NumSlots = 9;
+/// @}
+
+const char *slotName(int slot);
+
+/**
+ * Memory-system configuration. Two single-ported banks of @ref
+ * bankWords words each, high-order interleaved: bank X occupies word
+ * addresses [0, bankWords), bank Y [bankWords, 2*bankWords). Each bank
+ * reserves @ref stackWords words at its top for the per-bank stack.
+ */
+struct MachineConfig
+{
+    int bankWords = 16384;
+    int stackWords = 2048;
+    /** Ideal mode: both MUs may reach both banks. */
+    bool dualPorted = false;
+
+    int xBase() const { return 0; }
+    int yBase() const { return bankWords; }
+    int totalWords() const { return 2 * bankWords; }
+};
+
+/** One VLIW instruction: at most one operation per unit slot. */
+struct VliwInst
+{
+    std::optional<Op> slots[NumSlots];
+
+    /** Owning function and basic block (profiling / diagnostics). */
+    std::string function;
+    int blockId = -1;
+
+    int
+    opCount() const
+    {
+        int n = 0;
+        for (const auto &slot : slots)
+            if (slot)
+                ++n;
+        return n;
+    }
+};
+
+/** One function's entry point in the linearized instruction stream. */
+struct FunctionEntry
+{
+    std::string name;
+    int firstInst = 0;
+};
+
+/** An executable, fully linked VLIW program. */
+struct VliwProgram
+{
+    MachineConfig config;
+    std::vector<VliwInst> insts;
+    /** Index of the first instruction of main(). */
+    int entry = 0;
+    std::vector<FunctionEntry> functionEntries;
+
+    /** Instruction-memory size in (long) words — the I of the paper's
+     *  cost model. */
+    int instructionWords() const { return static_cast<int>(insts.size()); }
+};
+
+/** Render one instruction as assembly, slots separated by " | ". */
+std::string printVliwInst(const VliwInst &inst);
+
+/** Render the whole program with instruction indices and function
+ *  headers. */
+std::string printVliwProgram(const VliwProgram &prog);
+
+} // namespace dsp
+
+#endif // DSP_TARGET_VLIW_HH

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "driver/compile_cache.hh"
 #include "driver/compiler.hh"
 
 namespace dsp
@@ -175,6 +176,64 @@ TEST(Driver, AllocModeNames)
     EXPECT_STREQ(allocModeName(AllocMode::CBDup), "CB+dup");
     EXPECT_STREQ(allocModeName(AllocMode::FullDup), "full-dup");
     EXPECT_STREQ(allocModeName(AllocMode::Ideal), "ideal");
+}
+
+TEST(CompileCache, CompilesEachKeyOnce)
+{
+    const char *src = "void main() { out(41 + 1); }";
+    CompileCache cache;
+    CompileOptions cb;
+    cb.mode = AllocMode::CB;
+
+    auto first = cache.get(src, cb);
+    auto again = cache.get(src, cb);
+    EXPECT_EQ(first.get(), again.get());
+    EXPECT_EQ(cache.compileCount(), 1);
+
+    // A different mode is a different key.
+    CompileOptions ideal;
+    ideal.mode = AllocMode::Ideal;
+    auto other = cache.get(src, ideal);
+    EXPECT_NE(first.get(), other.get());
+    EXPECT_EQ(cache.compileCount(), 2);
+
+    // Different source, same options: also a different key.
+    cache.get("void main() { out(2); }", cb);
+    EXPECT_EQ(cache.compileCount(), 3);
+}
+
+TEST(CompileCache, ProfileCompilationsBypassTheCache)
+{
+    const char *src = "void main() { out(7); }";
+    CompileCache cache;
+
+    CompileOptions first;
+    first.mode = AllocMode::CB;
+    auto run = runProgram(*cache.get(src, first));
+
+    CompileOptions profiled;
+    profiled.mode = AllocMode::CB;
+    profiled.weights = WeightPolicy::Profile;
+    profiled.profile = &run.profile;
+    auto a = cache.get(src, profiled);
+    auto b = cache.get(src, profiled);
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_EQ(cache.compileCount(), 1);
+}
+
+TEST(CompileCache, OptionsKeySeparatesEveryKnob)
+{
+    CompileOptions a;
+    CompileOptions b;
+    EXPECT_EQ(CompileCache::optionsKey(a), CompileCache::optionsKey(b));
+    b.weights = WeightPolicy::Uniform;
+    EXPECT_NE(CompileCache::optionsKey(a), CompileCache::optionsKey(b));
+    b = a;
+    b.machine.bankWords = 4096;
+    EXPECT_NE(CompileCache::optionsKey(a), CompileCache::optionsKey(b));
+    b = a;
+    b.optLevel = 0;
+    EXPECT_NE(CompileCache::optionsKey(a), CompileCache::optionsKey(b));
 }
 
 } // namespace

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Differential test of the two simulator engines: for every suite
+ * benchmark under every allocation mode, the predecoded fast path must
+ * reproduce the instrumented reference bit for bit — identical output
+ * words and identical statistics (cycles, ops, memory ops, paired
+ * cycles, stack watermarks).
+ *
+ * This is the contract that lets the benchmark harness measure on the
+ * fast path while the instrumented engine remains the semantic
+ * reference.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/compiler.hh"
+#include "suite/suite.hh"
+
+namespace dsp
+{
+namespace
+{
+
+struct DiffCase
+{
+    const Benchmark *bench;
+    AllocMode mode;
+};
+
+std::vector<DiffCase>
+allCases()
+{
+    std::vector<DiffCase> cases;
+    for (const Benchmark *b : allBenchmarks()) {
+        for (AllocMode mode :
+             {AllocMode::SingleBank, AllocMode::CB, AllocMode::CBDup,
+              AllocMode::FullDup, AllocMode::Ideal}) {
+            cases.push_back({b, mode});
+        }
+    }
+    return cases;
+}
+
+const char *
+modeToken(AllocMode mode)
+{
+    switch (mode) {
+      case AllocMode::SingleBank: return "SingleBank";
+      case AllocMode::CB: return "CB";
+      case AllocMode::CBDup: return "CBDup";
+      case AllocMode::FullDup: return "FullDup";
+      case AllocMode::Ideal: return "Ideal";
+    }
+    return "Unknown";
+}
+
+std::string
+caseName(const testing::TestParamInfo<DiffCase> &info)
+{
+    return info.param.bench->name + "_" + modeToken(info.param.mode);
+}
+
+class FastPathDiff : public testing::TestWithParam<DiffCase>
+{
+};
+
+TEST_P(FastPathDiff, MatchesInstrumentedReference)
+{
+    const DiffCase &c = GetParam();
+    CompileOptions opts;
+    opts.mode = c.mode;
+    auto compiled = compileSource(c.bench->source, opts);
+
+    Simulator ref(compiled.program, *compiled.module,
+                  Fidelity::Instrumented);
+    ref.setInput(c.bench->input);
+    ref.run();
+
+    Simulator fast(compiled.program, *compiled.module, Fidelity::Fast);
+    fast.setInput(c.bench->input);
+    fast.run();
+
+    // Identical output streams.
+    ASSERT_EQ(fast.output().size(), ref.output().size());
+    for (std::size_t i = 0; i < ref.output().size(); ++i) {
+        EXPECT_EQ(fast.output()[i].raw, ref.output()[i].raw)
+            << "output word " << i;
+        EXPECT_EQ(fast.output()[i].isFloat, ref.output()[i].isFloat)
+            << "output word " << i;
+    }
+
+    // Identical performance statistics.
+    EXPECT_EQ(fast.stats().cycles, ref.stats().cycles);
+    EXPECT_EQ(fast.stats().opsExecuted, ref.stats().opsExecuted);
+    EXPECT_EQ(fast.stats().memOps, ref.stats().memOps);
+    EXPECT_EQ(fast.stats().pairedMemCycles, ref.stats().pairedMemCycles);
+    EXPECT_EQ(fast.stats().peakStackX, ref.stats().peakStackX);
+    EXPECT_EQ(fast.stats().peakStackY, ref.stats().peakStackY);
+
+    // Identical halt state.
+    EXPECT_TRUE(fast.halted());
+    EXPECT_EQ(fast.pc(), ref.pc());
+
+    // The reference keeps profiling counts; the fast path does not.
+    EXPECT_FALSE(ref.profile().empty());
+    EXPECT_TRUE(fast.profile().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, FastPathDiff,
+                         testing::ValuesIn(allCases()), caseName);
+
+// The driver-level helpers honor the fidelity selection end to end.
+TEST(FastPathDriver, RunProgramFidelity)
+{
+    const Benchmark *b = findBenchmark("fir_256_64");
+    ASSERT_NE(b, nullptr);
+    CompileOptions opts;
+    opts.mode = AllocMode::CB;
+    auto compiled = compileSource(b->source, opts);
+
+    auto ref = runProgram(compiled, b->input, 200'000'000,
+                          Fidelity::Instrumented);
+    auto fast = runProgram(compiled, b->input, 200'000'000,
+                           Fidelity::Fast);
+    EXPECT_EQ(fast.stats.cycles, ref.stats.cycles);
+    EXPECT_EQ(fast.output.size(), ref.output.size());
+    EXPECT_FALSE(ref.profile.empty());
+    EXPECT_TRUE(fast.profile.empty());
+}
+
+// Budget exhaustion is recoverable through the bounded-run API on both
+// engines (harness workers must never abort the process).
+TEST(FastPathDriver, BoundedRunReportsBudgetExhaustion)
+{
+    auto compiled =
+        compileSource("void main() { while (1) {} out(1); }");
+    for (Fidelity f : {Fidelity::Instrumented, Fidelity::Fast}) {
+        Simulator sim(compiled.program, *compiled.module, f);
+        EXPECT_EQ(sim.runBounded(5'000),
+                  Simulator::RunStatus::CycleBudgetExhausted)
+            << fidelityName(f);
+        EXPECT_FALSE(sim.halted());
+
+        RunOutcome outcome = tryRunProgram(compiled, {}, 5'000, f);
+        EXPECT_FALSE(outcome.ok);
+        EXPECT_NE(outcome.error.find("cycle budget"), std::string::npos)
+            << outcome.error;
+    }
+}
+
+} // namespace
+} // namespace dsp

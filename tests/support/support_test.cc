@@ -6,8 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 #include "minic/lexer.hh"
 #include "support/diagnostics.hh"
+#include "support/job_pool.hh"
 #include "support/string_utils.hh"
 #include "suite/gen.hh"
 
@@ -69,6 +72,48 @@ TEST(StringUtils, FixedAndPrefix)
     EXPECT_EQ(fixed(-0.5, 1), "-0.5");
     EXPECT_TRUE(startsWith("--mode=cb", "--mode="));
     EXPECT_FALSE(startsWith("-m", "--mode="));
+}
+
+TEST(JobPool, RunsEverySubmittedJob)
+{
+    std::atomic<int> sum{0};
+    JobPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4);
+    for (int i = 1; i <= 100; ++i)
+        pool.submit([&sum, i] { sum += i; });
+    pool.wait();
+    EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(JobPool, WaitIsReusable)
+{
+    std::atomic<int> count{0};
+    JobPool pool(2);
+    pool.submit([&] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+    pool.submit([&] { ++count; });
+    pool.submit([&] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 3);
+}
+
+TEST(JobPool, DefaultsToHardwareConcurrency)
+{
+    EXPECT_GE(JobPool::defaultThreadCount(), 1);
+    JobPool pool;
+    EXPECT_EQ(pool.threadCount(), JobPool::defaultThreadCount());
+}
+
+TEST(JobPool, DestructorDrainsPendingJobs)
+{
+    std::atomic<int> count{0};
+    {
+        JobPool pool(1);
+        for (int i = 0; i < 16; ++i)
+            pool.submit([&] { ++count; });
+    }
+    EXPECT_EQ(count.load(), 16);
 }
 
 TEST(SuiteGen, RngIsDeterministic)

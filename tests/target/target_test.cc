@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Target-model unit tests: functional-unit classification, register
+ * file ABI layout, machine configuration arithmetic, and the assembly
+ * printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "target/target_desc.hh"
+#include "target/vliw.hh"
+
+namespace dsp
+{
+namespace
+{
+
+Op
+makeOp(Opcode opc, RegClass dst_cls = RegClass::Int)
+{
+    Op op(opc);
+    op.dst = VReg(dst_cls, 0);
+    return op;
+}
+
+TEST(TargetDesc, FuKindClassification)
+{
+    EXPECT_EQ(fuKindOf(makeOp(Opcode::Jmp)), FuKind::PCU);
+    EXPECT_EQ(fuKindOf(makeOp(Opcode::Bt)), FuKind::PCU);
+    EXPECT_EQ(fuKindOf(makeOp(Opcode::Call)), FuKind::PCU);
+    EXPECT_EQ(fuKindOf(makeOp(Opcode::Ret)), FuKind::PCU);
+    EXPECT_EQ(fuKindOf(makeOp(Opcode::Halt)), FuKind::PCU);
+
+    EXPECT_EQ(fuKindOf(makeOp(Opcode::Ld)), FuKind::MU);
+    EXPECT_EQ(fuKindOf(makeOp(Opcode::StF)), FuKind::MU);
+    EXPECT_EQ(fuKindOf(makeOp(Opcode::LdA, RegClass::Addr)), FuKind::MU);
+    EXPECT_EQ(fuKindOf(makeOp(Opcode::In)), FuKind::MU);
+    EXPECT_EQ(fuKindOf(makeOp(Opcode::OutF)), FuKind::MU);
+
+    EXPECT_EQ(fuKindOf(makeOp(Opcode::Lea, RegClass::Addr)), FuKind::AU);
+    EXPECT_EQ(fuKindOf(makeOp(Opcode::AAddI, RegClass::Addr)), FuKind::AU);
+
+    EXPECT_EQ(fuKindOf(makeOp(Opcode::Add)), FuKind::DU);
+    EXPECT_EQ(fuKindOf(makeOp(Opcode::Mac)), FuKind::DU);
+    EXPECT_EQ(fuKindOf(makeOp(Opcode::CmpLT)), FuKind::DU);
+    EXPECT_EQ(fuKindOf(makeOp(Opcode::MovI)), FuKind::DU);
+
+    EXPECT_EQ(fuKindOf(makeOp(Opcode::FAdd, RegClass::Float)),
+              FuKind::FPU);
+    EXPECT_EQ(fuKindOf(makeOp(Opcode::FMac, RegClass::Float)),
+              FuKind::FPU);
+    EXPECT_EQ(fuKindOf(makeOp(Opcode::MovF, RegClass::Float)),
+              FuKind::FPU);
+    // Float compares produce an int result but run on the FPU.
+    EXPECT_EQ(fuKindOf(makeOp(Opcode::FCmpLT)), FuKind::FPU);
+    EXPECT_EQ(fuKindOf(makeOp(Opcode::IToF, RegClass::Float)),
+              FuKind::FPU);
+    EXPECT_EQ(fuKindOf(makeOp(Opcode::FToI)), FuKind::FPU);
+}
+
+TEST(TargetDesc, CopyRunsOnItsClassUnit)
+{
+    EXPECT_EQ(fuKindOf(makeOp(Opcode::Copy, RegClass::Int)), FuKind::DU);
+    EXPECT_EQ(fuKindOf(makeOp(Opcode::Copy, RegClass::Float)),
+              FuKind::FPU);
+    EXPECT_EQ(fuKindOf(makeOp(Opcode::Copy, RegClass::Addr)), FuKind::AU);
+}
+
+TEST(TargetDesc, AbiRegistersAreDistinctAndPhysical)
+{
+    // Integer file: ret, args, scratches, and the allocatable pool must
+    // not overlap.
+    std::set<int> ints = {regs::IntRet, regs::IntScratch0,
+                          regs::IntScratch1, regs::IntScratch2};
+    for (int i = 0; i < regs::IntArgCount; ++i)
+        ints.insert(regs::IntArg0 + i);
+    EXPECT_EQ(ints.size(), 4u + regs::IntArgCount);
+    for (int r : ints) {
+        EXPECT_GE(r, 0);
+        EXPECT_LT(r, regs::IntAllocFirst);
+    }
+    EXPECT_LE(regs::IntAllocLast, regs::PerClass - 1);
+
+    // Address file: every special register is distinct.
+    std::set<int> addrs = {0,
+                           regs::AddrScratch0,
+                           regs::AddrScratch1,
+                           regs::AddrLink,
+                           regs::AddrSpX,
+                           regs::AddrSpY};
+    for (int i = 0; i < regs::AddrArgCount; ++i)
+        addrs.insert(regs::AddrArg0 + i);
+    EXPECT_EQ(addrs.size(), 6u + regs::AddrArgCount);
+    for (int r : addrs) {
+        EXPECT_GE(r, 0);
+        EXPECT_LT(r, regs::AddrAllocFirst);
+    }
+    EXPECT_LE(regs::AddrAllocLast, regs::PerClass - 1);
+
+    EXPECT_EQ(regs::FirstVirtual, regs::PerClass);
+}
+
+TEST(TargetVliw, ConfigAddressArithmetic)
+{
+    MachineConfig config;
+    config.bankWords = 1024;
+    EXPECT_EQ(config.xBase(), 0);
+    EXPECT_EQ(config.yBase(), 1024);
+    EXPECT_EQ(config.totalWords(), 2048);
+    EXPECT_GT(config.bankWords, config.stackWords < config.bankWords
+                                    ? config.stackWords
+                                    : 0);
+}
+
+TEST(TargetVliw, DefaultConfigFitsSuite)
+{
+    // The default machine must hold the largest suite benchmark
+    // (fft_1024: several multi-kiloword arrays) plus its stack.
+    MachineConfig config;
+    EXPECT_GE(config.bankWords - config.stackWords, 8192);
+}
+
+TEST(TargetVliw, SlotIndicesAreDense)
+{
+    std::set<int> slots = {SlotPCU, SlotMU0, SlotMU1,  SlotAU0, SlotAU1,
+                           SlotDU0, SlotDU1, SlotFPU0, SlotFPU1};
+    EXPECT_EQ(slots.size(), static_cast<std::size_t>(NumSlots));
+    EXPECT_EQ(*slots.begin(), 0);
+    EXPECT_EQ(*slots.rbegin(), NumSlots - 1);
+}
+
+TEST(TargetVliw, InstructionPrinterShowsSlots)
+{
+    VliwInst inst;
+    Op add(Opcode::Add);
+    add.dst = VReg(RegClass::Int, 3);
+    add.srcs = {VReg(RegClass::Int, 1), VReg(RegClass::Int, 2)};
+    inst.slots[SlotDU0] = add;
+    std::string text = printVliwInst(inst);
+    EXPECT_NE(text.find("DU0"), std::string::npos) << text;
+
+    VliwInst empty;
+    EXPECT_EQ(printVliwInst(empty), "(empty)");
+}
+
+TEST(TargetVliw, ProgramPrinterListsFunctions)
+{
+    VliwProgram prog;
+    VliwInst inst;
+    inst.slots[SlotPCU] = Op(Opcode::Halt);
+    prog.insts.push_back(inst);
+    prog.functionEntries.push_back({"main", 0});
+    std::string text = printVliwProgram(prog);
+    EXPECT_NE(text.find("main:"), std::string::npos) << text;
+    EXPECT_EQ(prog.instructionWords(), 1);
+}
+
+} // namespace
+} // namespace dsp
