@@ -1,6 +1,7 @@
 #include "common.hh"
 
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -56,7 +57,7 @@ measureCompiled(const Benchmark &bench, const CompileResult &compiled,
     Measurement m;
     m.cycles = outcome.result.stats.cycles;
     m.cost = computeCost(compiled, outcome.result);
-    if (base_cycles > 0) {
+    if (base_cycles > 0 && m.cycles > 0) {
         m.pg = static_cast<double>(base_cycles) / m.cycles;
         m.gainPct = 100.0 * (base_cycles - m.cycles) / base_cycles;
     }
@@ -67,6 +68,11 @@ measureCompiled(const Benchmark &bench, const CompileResult &compiled,
     return m;
 }
 
+/**
+ * All benchmark compiles flow through here with CompileOptions::verifyMc
+ * at its default (on), so every measured binary passed the machine-code
+ * bank-safety verifier before a single cycle is simulated.
+ */
 std::shared_ptr<const CompileResult>
 compileVia(CompileCache *cache, const std::string &source,
            const CompileOptions &opts)
@@ -189,6 +195,22 @@ measureSuite(const std::vector<Benchmark> &benches,
 namespace
 {
 
+/**
+ * Render a double as a JSON number. Bare ostream formatting writes
+ * "inf"/"nan" for non-finite values, which no JSON parser accepts; a
+ * non-finite metric (a zero baseline slipping past the guards, a
+ * zero-duration timer) becomes null so the report stays parseable.
+ */
+std::string
+jsonNum(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    std::ostringstream os;
+    os << v;
+    return os.str();
+}
+
 std::string
 jsonEscape(const std::string &s)
 {
@@ -214,8 +236,8 @@ emitMeasurement(std::ostream &os, const char *key, const Measurement &m)
 {
     os << "        \"" << key << "\": {\"cycles\": " << m.cycles
        << ", \"cost_total\": " << m.cost.total()
-       << ", \"gain_pct\": " << m.gainPct << ", \"pcr\": " << m.pcr
-       << "}";
+       << ", \"gain_pct\": " << jsonNum(m.gainPct)
+       << ", \"pcr\": " << jsonNum(m.pcr) << "}";
 }
 
 double
@@ -244,10 +266,10 @@ writeBenchJson(const std::string &path, const std::string &suite,
     os << "{\n";
     os << "  \"suite\": \"" << jsonEscape(suite) << "\",\n";
     os << "  \"threads\": " << threads << ",\n";
-    os << "  \"wall_seconds\": " << wall_seconds << ",\n";
+    os << "  \"wall_seconds\": " << jsonNum(wall_seconds) << ",\n";
     os << "  \"total_sim_cycles\": " << total_cycles << ",\n";
-    os << "  \"total_mips\": " << mips(total_cycles, wall_seconds)
-       << ",\n";
+    os << "  \"total_mips\": "
+       << jsonNum(mips(total_cycles, wall_seconds)) << ",\n";
     os << "  \"benchmarks\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
         const BenchResult &r = results[i];
@@ -258,10 +280,11 @@ writeBenchJson(const std::string &path, const std::string &suite,
             os << "      \"error\": \"" << jsonEscape(r.error)
                << "\"\n    }";
         } else {
-            os << "      \"host_seconds\": " << r.hostSeconds << ",\n";
-            os << "      \"sim_cycles\": " << r.simCycles << ",\n";
-            os << "      \"mips\": " << mips(r.simCycles, r.hostSeconds)
+            os << "      \"host_seconds\": " << jsonNum(r.hostSeconds)
                << ",\n";
+            os << "      \"sim_cycles\": " << r.simCycles << ",\n";
+            os << "      \"mips\": "
+               << jsonNum(mips(r.simCycles, r.hostSeconds)) << ",\n";
             os << "      \"modes\": {\n";
             emitMeasurement(os, "single_bank", r.base);
             os << ",\n";

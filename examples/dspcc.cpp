@@ -33,6 +33,7 @@ struct CliOptions
     bool showAsm = false;
     bool showGraph = false;
     bool compare = false;
+    bool verifyMc = true;
     std::vector<uint32_t> input;
 };
 
@@ -45,7 +46,10 @@ usage()
            "  --asm                                dump VLIW assembly\n"
            "  --graph       dump interference graph and partition\n"
            "  --compare     run under every mode and compare cycles\n"
-           "  --in=a,b,c    integer input words for in()/inf()\n";
+           "  --in=a,b,c    integer input words for in()/inf()\n"
+           "  --verify-mc / --no-verify-mc\n"
+           "                run the machine-code bank-safety verifier\n"
+           "                on the emitted program (default: on)\n";
     std::exit(2);
 }
 
@@ -79,6 +83,10 @@ parseArgs(int argc, char **argv)
             cli.showGraph = true;
         } else if (arg == "--compare") {
             cli.compare = true;
+        } else if (arg == "--verify-mc") {
+            cli.verifyMc = true;
+        } else if (arg == "--no-verify-mc") {
+            cli.verifyMc = false;
         } else if (startsWith(arg, "--in=")) {
             for (const std::string &tok :
                  splitString(arg.substr(5), ',')) {
@@ -115,6 +123,7 @@ runOnce(const std::string &source, const CliOptions &cli)
 {
     CompileOptions opts;
     opts.mode = cli.mode;
+    opts.verifyMc = cli.verifyMc;
     auto compiled = compileSource(source, opts);
 
     if (cli.showGraph) {
@@ -160,6 +169,7 @@ runCompare(const std::string &source, const CliOptions &cli)
           AllocMode::FullDup, AllocMode::Ideal}) {
         CompileOptions opts;
         opts.mode = mode;
+        opts.verifyMc = cli.verifyMc;
         auto compiled = compileSource(source, opts);
         auto run = runProgram(compiled, cli.input);
         if (mode == AllocMode::SingleBank)

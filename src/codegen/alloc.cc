@@ -42,10 +42,10 @@ concreteObjects(Module &mod)
 
 /** Objects that some array parameter may bind to (never duplicable:
  *  stores through the parameter could not keep the copies coherent). */
-std::set<DataObject *>
+std::set<DataObject *, ObjIdLess>
 paramReachable(Module &mod)
 {
-    std::set<DataObject *> out;
+    std::set<DataObject *, ObjIdLess> out;
     for (auto &fn : mod.functions) {
         for (auto &obj : fn->localObjects) {
             if (obj->storage != Storage::Param)
@@ -183,7 +183,7 @@ runDataAllocation(Module &mod, const AllocOptions &opts)
 
     // --- duplication (paper §3.2) ---
     if (opts.mode == AllocMode::CBDup || opts.mode == AllocMode::FullDup) {
-        std::set<DataObject *> reachable = paramReachable(mod);
+        std::set<DataObject *, ObjIdLess> reachable = paramReachable(mod);
 
         std::vector<DataObject *> candidates;
         if (opts.mode == AllocMode::FullDup) {

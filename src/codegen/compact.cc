@@ -123,29 +123,6 @@ class BlockCompactor
         return op.isMem();
     }
 
-    /**
-     * Simple integer adds and moves may issue on an idle address unit:
-     * the AUs are plain adders, and DSP code generators routinely use
-     * spare AGU capacity for induction arithmetic. Without this the
-     * two DUs saturate on index updates and hide all memory-bank
-     * effects behind an integer-ALU bottleneck.
-     */
-    static bool
-    auCompatible(const Op &op)
-    {
-        switch (op.opcode) {
-          case Opcode::MovI:
-          case Opcode::Add:
-          case Opcode::Sub:
-          case Opcode::AddI:
-            return true;
-          case Opcode::Copy:
-            return op.dst.cls == RegClass::Int;
-          default:
-            return false;
-        }
-    }
-
     /** Find a free slot for @p op; -1 if none this cycle. */
     int
     findSlot(const VliwInst &inst, const Op &op) const
@@ -165,7 +142,7 @@ class BlockCompactor
             return free_of(SlotAU0, SlotAU1);
           case FuKind::DU: {
             int slot = free_of(SlotDU0, SlotDU1);
-            if (slot < 0 && auCompatible(op))
+            if (slot < 0 && auCompatibleOp(op))
                 slot = free_of(SlotAU0, SlotAU1);
             return slot;
           }
@@ -208,6 +185,26 @@ class BlockCompactor
 };
 
 } // namespace
+
+/**
+ * Without this relaxation the two DUs saturate on index updates and
+ * hide all memory-bank effects behind an integer-ALU bottleneck.
+ */
+bool
+auCompatibleOp(const Op &op)
+{
+    switch (op.opcode) {
+      case Opcode::MovI:
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::AddI:
+        return true;
+      case Opcode::Copy:
+        return op.dst.cls == RegClass::Int;
+      default:
+        return false;
+    }
+}
 
 std::vector<VliwInst>
 compactBlock(const BasicBlock &bb, bool dual_ported, CompactStats *stats)

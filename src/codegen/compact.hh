@@ -27,6 +27,14 @@ struct CompactStats
 };
 
 /**
+ * True if integer op @p op may issue on an idle address unit: the AUs
+ * are plain adders, and DSP code generators routinely use spare AGU
+ * capacity for induction arithmetic. Shared with the machine-code
+ * verifier so its slot-discipline check matches the scheduler exactly.
+ */
+bool auCompatibleOp(const Op &op);
+
+/**
  * Compact one basic block into VLIW instructions.
  *
  * @param dual_ported With dual-ported (Ideal) memory any data memory op

@@ -68,7 +68,7 @@ InterferenceGraph::mergeNodes(DataObject *a, DataObject *b)
     // Re-key edges that referenced rb; a resulting self-edge marks the
     // merged class as needing duplication (its members must share a
     // bank yet could be accessed in parallel).
-    std::map<std::pair<DataObject *, DataObject *>, long> rekeyed;
+    EdgeMap rekeyed;
     for (const auto &[key, w] : edgeMap) {
         DataObject *x = find(key.first);
         DataObject *y = find(key.second);
@@ -84,7 +84,7 @@ InterferenceGraph::mergeNodes(DataObject *a, DataObject *b)
 
     if (dupSet.erase(rb))
         dupSet.insert(ra);
-    auto migrate = [&](std::map<DataObject *, long> &m) {
+    auto migrate = [&](std::map<DataObject *, long, ObjIdLess> &m) {
         auto it = m.find(rb);
         if (it != m.end()) {
             m[ra] += it->second;

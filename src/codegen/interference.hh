@@ -42,8 +42,31 @@ enum class WeightPolicy : unsigned char
 /** Profile data: execution count per (function name, block id). */
 using ProfileCounts = std::map<std::pair<std::string, int>, long>;
 
+/** Orders representative pairs by (id, id) — see ObjIdLess. */
+struct ObjPairIdLess
+{
+    bool
+    operator()(const std::pair<DataObject *, DataObject *> &a,
+               const std::pair<DataObject *, DataObject *> &b) const
+    {
+        if (a.first->id != b.first->id)
+            return a.first->id < b.first->id;
+        return a.second->id < b.second->id;
+    }
+};
+
 class InterferenceGraph
 {
+  public:
+    /**
+     * All containers keyed by DataObject* order by the object's stable
+     * id, never by pointer value: iteration order feeds the partitioner,
+     * the duplication report, and str(), and must not vary run to run.
+     */
+    using NodeSet = std::set<DataObject *, ObjIdLess>;
+    using EdgeMap = std::map<std::pair<DataObject *, DataObject *>, long,
+                             ObjPairIdLess>;
+
   public:
     /** Register a partitionable node; idempotent. */
     void addNode(DataObject *obj);
@@ -71,20 +94,20 @@ class InterferenceGraph
     /** Representative ("node id") for an object. */
     DataObject *repr(DataObject *obj) const;
 
-    const std::set<DataObject *> &nodes() const { return nodeSet; }
+    const NodeSet &nodes() const { return nodeSet; }
 
     /** Members of the node represented by @p r. */
     std::vector<DataObject *> members(DataObject *r) const;
 
     long edgeWeight(DataObject *a, DataObject *b) const;
 
-    const std::map<std::pair<DataObject *, DataObject *>, long> &
+    const EdgeMap &
     edges() const
     {
         return edgeMap;
     }
 
-    const std::set<DataObject *> &
+    const NodeSet &
     duplicationCandidates() const
     {
         return dupSet;
@@ -97,13 +120,13 @@ class InterferenceGraph
 
   private:
     // Union-find over objects.
-    mutable std::map<DataObject *, DataObject *> parent;
-    std::set<DataObject *> nodeSet; ///< current representatives
+    mutable std::map<DataObject *, DataObject *, ObjIdLess> parent;
+    NodeSet nodeSet; ///< current representatives
     /** Edges between representatives; key ordered by object id. */
-    std::map<std::pair<DataObject *, DataObject *>, long> edgeMap;
-    std::set<DataObject *> dupSet; ///< representatives to duplicate
-    std::map<DataObject *, long> dupBenefit;
-    std::map<DataObject *, long> storeWeights;
+    EdgeMap edgeMap;
+    NodeSet dupSet; ///< representatives to duplicate
+    std::map<DataObject *, long, ObjIdLess> dupBenefit;
+    std::map<DataObject *, long, ObjIdLess> storeWeights;
 
     DataObject *find(DataObject *obj) const;
     std::pair<DataObject *, DataObject *>

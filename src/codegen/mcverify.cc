@@ -1,0 +1,993 @@
+#include "codegen/mcverify.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+#include <vector>
+
+#include "codegen/compact.hh"
+#include "codegen/dep_graph.hh"
+#include "ir/module.hh"
+#include "support/diagnostics.hh"
+#include "target/target_desc.hh"
+
+namespace dsp
+{
+
+const char *
+mcCheckName(McCheck check)
+{
+    switch (check) {
+      case McCheck::BankConflict: return "bank-conflict";
+      case McCheck::DupCoherence: return "dup-coherence";
+      case McCheck::StackDiscipline: return "stack-discipline";
+      case McCheck::AddressBounds: return "address-bounds";
+      case McCheck::Schedule: return "schedule";
+      case McCheck::Structure: return "structure";
+    }
+    return "?";
+}
+
+std::string
+McViolation::str() const
+{
+    std::ostringstream os;
+    os << "[" << mcCheckName(check) << "]";
+    if (!function.empty())
+        os << " " << function;
+    if (pc >= 0)
+        os << " pc=" << pc;
+    if (slot >= 0)
+        os << " slot=" << slotName(slot);
+    if (!object.empty())
+        os << " object='" << object << "'";
+    os << ": " << message;
+    return os.str();
+}
+
+bool
+McVerifyResult::has(McCheck check) const
+{
+    return count(check) > 0;
+}
+
+int
+McVerifyResult::count(McCheck check) const
+{
+    int n = 0;
+    for (const McViolation &v : violations)
+        if (v.check == check)
+            ++n;
+    return n;
+}
+
+std::string
+McVerifyResult::str() const
+{
+    std::ostringstream os;
+    for (const McViolation &v : violations)
+        os << v.str() << "\n";
+    return os.str();
+}
+
+namespace
+{
+
+template <typename... Parts>
+std::string
+cat(const Parts &...parts)
+{
+    std::ostringstream os;
+    detail::formatInto(os, parts...);
+    return os.str();
+}
+
+const char *
+depKindName(DepKind kind)
+{
+    switch (kind) {
+      case DepKind::Flow: return "flow";
+      case DepKind::Anti: return "anti";
+      case DepKind::Output: return "output";
+      case DepKind::Ctrl: return "control";
+    }
+    return "?";
+}
+
+std::string
+objName(const Op &op)
+{
+    return op.mem.object ? op.mem.object->name : std::string();
+}
+
+/** Everything @p op writes, including call-clobbered registers. */
+std::vector<VReg>
+defsOf(const Op &op)
+{
+    std::vector<VReg> d;
+    if (op.def().valid())
+        d.push_back(op.def());
+    auto extra = implicitDefs(op);
+    d.insert(d.end(), extra.begin(), extra.end());
+    return d;
+}
+
+/**
+ * Does the emitted op @p e correspond to the source-block op @p o?
+ * Layout rewrote the imm of branches and calls to instruction indices,
+ * so those compare by target/callee identity; compaction resolves a
+ * Bank::Either tag to the port the op landed on, so an Either original
+ * accepts a concrete emitted bank.
+ */
+bool
+opEquivalent(const Op &e, const Op &o)
+{
+    if (e.opcode != o.opcode || !(e.dst == o.dst) || e.srcs != o.srcs ||
+        e.atomicPair != o.atomicPair)
+        return false;
+    if (isBranch(e.opcode))
+        return e.target == o.target;
+    if (e.opcode == Opcode::Call)
+        return e.callee == o.callee;
+    if (e.imm != o.imm)
+        return false;
+    if (std::memcmp(&e.fimm, &o.fimm, sizeof(e.fimm)) != 0)
+        return false;
+    if (e.mem.valid() != o.mem.valid())
+        return false;
+    if (e.mem.valid()) {
+        if (e.mem.object != o.mem.object || e.mem.offset != o.mem.offset ||
+            !(e.mem.index == o.mem.index) ||
+            !(e.mem.addrBase == o.mem.addrBase))
+            return false;
+        if (e.mem.bank != o.mem.bank &&
+            !(o.mem.bank == Bank::Either &&
+              (e.mem.bank == Bank::X || e.mem.bank == Bank::Y)))
+            return false;
+    }
+    return true;
+}
+
+/** The twin stores that keep a duplicated object coherent differ only
+ *  in their bank tag. */
+bool
+sameDupStore(const Op &a, const Op &b)
+{
+    return a.opcode == b.opcode && a.mem.object == b.mem.object &&
+           a.mem.offset == b.mem.offset && a.mem.index == b.mem.index &&
+           a.mem.addrBase == b.mem.addrBase && a.srcs == b.srcs &&
+           a.atomicPair == b.atomicPair;
+}
+
+class Verifier
+{
+  public:
+    Verifier(const VliwProgram &prog, const Module &mod)
+        : prog(prog), mod(mod), config(prog.config)
+    {}
+
+    McVerifyResult
+    run()
+    {
+        checkLayout();
+        checkParamDuplication();
+        checkInstructions();
+        checkBlocks();
+        checkStacks();
+        return std::move(res);
+    }
+
+  private:
+    const VliwProgram &prog;
+    const Module &mod;
+    const MachineConfig &config;
+    McVerifyResult res;
+
+    void
+    violate(McCheck check, std::string function, int pc, int slot,
+            std::string object, std::string message)
+    {
+        McViolation v;
+        v.check = check;
+        v.function = std::move(function);
+        v.pc = pc;
+        v.slot = slot;
+        v.object = std::move(object);
+        v.message = std::move(message);
+        res.violations.push_back(std::move(v));
+    }
+
+    // -----------------------------------------------------------------
+    // Check (d), layout half: the data layout itself must be sound
+    // before per-access addresses can mean anything.
+    // -----------------------------------------------------------------
+    void
+    checkLayout()
+    {
+        const int data_words = config.bankWords - config.stackWords;
+        std::vector<std::pair<int, const DataObject *>> in_x, in_y;
+
+        auto checkRange = [&](const DataObject *obj, int addr, int base,
+                              const char *bank) {
+            if (addr < base || addr + obj->size > base + data_words)
+                violate(McCheck::AddressBounds, "", -1, -1, obj->name,
+                        cat(bank, " copy at [", addr, ", ",
+                            addr + obj->size,
+                            ") falls outside the bank's data region [",
+                            base, ", ", base + data_words, ")"));
+        };
+
+        for (const auto &g : mod.globals) {
+            const DataObject *obj = g.get();
+            if (obj->duplicated) {
+                if (obj->addrX < 0 || obj->addrY < 0) {
+                    violate(McCheck::AddressBounds, "", -1, -1, obj->name,
+                            "duplicated object is missing a bank copy");
+                    continue;
+                }
+                if (obj->addrX - config.xBase() !=
+                    obj->addrY - config.yBase())
+                    violate(McCheck::AddressBounds, "", -1, -1, obj->name,
+                            cat("duplicated copies at different bank "
+                                "offsets (X+",
+                                obj->addrX - config.xBase(), " vs Y+",
+                                obj->addrY - config.yBase(), ")"));
+            }
+            if (obj->addrX < 0 && obj->addrY < 0) {
+                violate(McCheck::AddressBounds, "", -1, -1, obj->name,
+                        "global was never placed in either bank");
+                continue;
+            }
+            if (obj->addrX >= 0) {
+                checkRange(obj, obj->addrX, config.xBase(), "X");
+                in_x.push_back({obj->addrX, obj});
+            }
+            if (obj->addrY >= 0) {
+                checkRange(obj, obj->addrY, config.yBase(), "Y");
+                in_y.push_back({obj->addrY, obj});
+            }
+        }
+        checkOverlap(in_x, "X", "");
+        checkOverlap(in_y, "Y", "");
+
+        // Frame slots: inside the stack reservation and overlap-free
+        // per bank (duplicated locals occupy both stacks).
+        for (const auto &fn : mod.functions) {
+            std::vector<std::pair<int, const DataObject *>> fx, fy;
+            for (const auto &obj : fn->localObjects) {
+                if (obj->storage != Storage::Local ||
+                    obj->frameOffset < 0)
+                    continue;
+                if (obj->frameOffset + obj->size > config.stackWords)
+                    violate(McCheck::AddressBounds, fn->name, -1, -1,
+                            obj->name,
+                            cat("frame slot [", obj->frameOffset, ", ",
+                                obj->frameOffset + obj->size,
+                                ") exceeds the ", config.stackWords,
+                                "-word stack reservation"));
+                if (obj->duplicated || obj->bank != Bank::Y)
+                    fx.push_back({obj->frameOffset, obj.get()});
+                if (obj->duplicated || obj->bank == Bank::Y)
+                    fy.push_back({obj->frameOffset, obj.get()});
+            }
+            checkOverlap(fx, "X", fn->name);
+            checkOverlap(fy, "Y", fn->name);
+        }
+    }
+
+    void
+    checkOverlap(std::vector<std::pair<int, const DataObject *>> &objs,
+                 const char *bank, const std::string &function)
+    {
+        std::sort(objs.begin(), objs.end(),
+                  [](const auto &a, const auto &b) {
+                      if (a.first != b.first)
+                          return a.first < b.first;
+                      return a.second->id < b.second->id;
+                  });
+        for (std::size_t i = 1; i < objs.size(); ++i) {
+            if (objs[i - 1].first + objs[i - 1].second->size >
+                objs[i].first)
+                violate(McCheck::AddressBounds, function, -1, -1,
+                        objs[i].second->name,
+                        cat("overlaps object '", objs[i - 1].second->name,
+                            "' in bank ", bank));
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Check (b), reachability half: a store through an array parameter
+    // writes one copy only, so a duplicated object must never be
+    // bindable to a parameter.
+    // -----------------------------------------------------------------
+    void
+    checkParamDuplication()
+    {
+        for (const auto &fn : mod.functions) {
+            for (const auto &obj : fn->localObjects) {
+                if (obj->storage != Storage::Param)
+                    continue;
+                for (const DataObject *m : obj->mayBind) {
+                    if (m->duplicated)
+                        violate(McCheck::DupCoherence, fn->name, -1, -1,
+                                m->name,
+                                cat("duplicated object may be reached "
+                                    "through array parameter '",
+                                    obj->name,
+                                    "'; stores through the parameter "
+                                    "cannot keep the copies coherent"));
+                }
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Checks (a), (d access half), and the per-cycle half of (e).
+    // -----------------------------------------------------------------
+    static bool
+    slotAllowed(const Op &op, int slot)
+    {
+        switch (fuKindOf(op)) {
+          case FuKind::PCU:
+            return slot == SlotPCU;
+          case FuKind::MU:
+            return slot == SlotMU0 || slot == SlotMU1;
+          case FuKind::AU:
+            return slot == SlotAU0 || slot == SlotAU1;
+          case FuKind::DU:
+            return slot == SlotDU0 || slot == SlotDU1 ||
+                   (auCompatibleOp(op) &&
+                    (slot == SlotAU0 || slot == SlotAU1));
+          case FuKind::FPU:
+            return slot == SlotFPU0 || slot == SlotFPU1;
+        }
+        return false;
+    }
+
+    /** Absolute word address of @p op if statically known, else -1. */
+    int
+    staticAddress(const Op &op) const
+    {
+        const DataObject *obj = op.mem.object;
+        if (!obj || obj->storage != Storage::Global ||
+            op.mem.index.valid() || op.mem.addrBase.valid())
+            return -1;
+        if (op.mem.bank == Bank::X && obj->addrX >= 0)
+            return obj->addrX + op.mem.offset;
+        if (op.mem.bank == Bank::Y && obj->addrY >= 0)
+            return obj->addrY + op.mem.offset;
+        return -1;
+    }
+
+    /** The bank @p op actually touches: exact for static addresses,
+     *  the allocator's tag otherwise. */
+    Bank
+    resolvedBank(const Op &op) const
+    {
+        int addr = staticAddress(op);
+        if (addr >= 0)
+            return addr < config.yBase() ? Bank::X : Bank::Y;
+        return op.mem.bank;
+    }
+
+    void
+    checkInstructions()
+    {
+        for (int pc = 0; pc < static_cast<int>(prog.insts.size()); ++pc) {
+            const VliwInst &inst = prog.insts[pc];
+            ++res.instsChecked;
+
+            for (int s = 0; s < NumSlots; ++s) {
+                if (!inst.slots[s])
+                    continue;
+                const Op &op = *inst.slots[s];
+                if (!slotAllowed(op, s))
+                    violate(McCheck::Structure, inst.function, pc, s, "",
+                            cat(opcodeName(op.opcode),
+                                " executes on the ",
+                                fuKindName(fuKindOf(op)),
+                                " but was issued in slot ", slotName(s)));
+                if (op.isMem() && op.mem.valid()) {
+                    ++res.memOpsChecked;
+                    checkMemOp(inst, pc, s, op);
+                }
+            }
+
+            // Check (a): with single-ported banks, the two data
+            // accesses of one instruction must hit different banks.
+            if (!config.dualPorted && inst.slots[SlotMU0] &&
+                inst.slots[SlotMU1]) {
+                const Op &a = *inst.slots[SlotMU0];
+                const Op &b = *inst.slots[SlotMU1];
+                if (a.isMem() && a.mem.valid() && b.isMem() &&
+                    b.mem.valid()) {
+                    Bank ba = resolvedBank(a);
+                    Bank bb = resolvedBank(b);
+                    if (ba == bb &&
+                        (ba == Bank::X || ba == Bank::Y))
+                        violate(McCheck::BankConflict, inst.function, pc,
+                                SlotMU1, objName(b),
+                                cat("two data memory accesses to bank ",
+                                    bankName(ba),
+                                    " in one instruction ('",
+                                    objName(a), "' and '", objName(b),
+                                    "')"));
+                }
+            }
+
+            checkDoubleWrites(inst, pc);
+        }
+    }
+
+    void
+    checkMemOp(const VliwInst &inst, int pc, int s, const Op &op)
+    {
+        const DataObject *obj = op.mem.object;
+
+        if (!config.dualPorted) {
+            Bank b = op.mem.bank;
+            if (b != Bank::X && b != Bank::Y) {
+                violate(McCheck::BankConflict, inst.function, pc, s,
+                        obj->name,
+                        cat("data access with unresolved bank tag '",
+                            bankName(b), "'"));
+            } else {
+                if (s == SlotMU0 && b != Bank::X)
+                    violate(McCheck::BankConflict, inst.function, pc, s,
+                            obj->name,
+                            "Y-bank access issued on the X memory port");
+                if (s == SlotMU1 && b != Bank::Y)
+                    violate(McCheck::BankConflict, inst.function, pc, s,
+                            obj->name,
+                            "X-bank access issued on the Y memory port");
+                // The tag must agree with the allocation decision.
+                if (obj->storage == Storage::Param) {
+                    for (const DataObject *m : obj->mayBind) {
+                        if (!m->duplicated &&
+                            (m->bank == Bank::X || m->bank == Bank::Y) &&
+                            m->bank != b)
+                            violate(McCheck::BankConflict, inst.function,
+                                    pc, s, obj->name,
+                                    cat("access tagged ", bankName(b),
+                                        " but parameter may bind '",
+                                        m->name, "', allocated to bank ",
+                                        bankName(m->bank)));
+                    }
+                } else if (!obj->duplicated &&
+                           (obj->bank == Bank::X ||
+                            obj->bank == Bank::Y) &&
+                           obj->bank != b) {
+                    violate(McCheck::BankConflict, inst.function, pc, s,
+                            obj->name,
+                            cat("access tagged ", bankName(b),
+                                " but the object was allocated to bank ",
+                                bankName(obj->bank)));
+                }
+            }
+        }
+
+        // Check (d), access half: static offsets inside the object,
+        // and the referenced copy must exist.
+        if (!op.mem.index.valid() && !op.mem.addrBase.valid() &&
+            obj->storage != Storage::Param &&
+            (op.mem.offset < 0 || op.mem.offset >= obj->size))
+            violate(McCheck::AddressBounds, inst.function, pc, s,
+                    obj->name,
+                    cat("static offset ", op.mem.offset,
+                        " outside object of ", obj->size, " words"));
+        if (obj->storage == Storage::Global && !config.dualPorted) {
+            if (op.mem.bank == Bank::X && obj->addrX < 0)
+                violate(McCheck::AddressBounds, inst.function, pc, s,
+                        obj->name,
+                        "access to the X copy of an object with no X "
+                        "placement");
+            if (op.mem.bank == Bank::Y && obj->addrY < 0)
+                violate(McCheck::AddressBounds, inst.function, pc, s,
+                        obj->name,
+                        "access to the Y copy of an object with no Y "
+                        "placement");
+        } else if (obj->storage == Storage::Local &&
+                   obj->frameOffset < 0) {
+            violate(McCheck::AddressBounds, inst.function, pc, s,
+                    obj->name, "access to a local with no frame slot");
+        }
+    }
+
+    /** Check (e), commit half: one register write per cycle. The
+     *  machine reads all operands before any write commits, so a
+     *  double write makes the surviving value depend on slot order. */
+    void
+    checkDoubleWrites(const VliwInst &inst, int pc)
+    {
+        std::vector<std::pair<VReg, int>> writes;
+        for (int s = 0; s < NumSlots; ++s) {
+            if (!inst.slots[s])
+                continue;
+            for (const VReg &d : defsOf(*inst.slots[s])) {
+                for (const auto &[reg, other] : writes) {
+                    if (reg == d) {
+                        violate(McCheck::Schedule, inst.function, pc, s,
+                                "",
+                                cat("register ", d.str(),
+                                    " written twice in one cycle (also "
+                                    "by slot ",
+                                    slotName(other), ")"));
+                    }
+                }
+                writes.push_back({d, s});
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Per-block checks: match the emitted stream back to the block's
+    // op list, then re-validate the schedule against the dependence
+    // graph (check e) and the twin-store pairing (check b).
+    // -----------------------------------------------------------------
+    void
+    checkBlocks()
+    {
+        std::set<std::pair<std::string, int>> seen;
+        int n = static_cast<int>(prog.insts.size());
+        int pc = 0;
+        while (pc < n) {
+            int start = pc;
+            const std::string fname = prog.insts[pc].function;
+            int bid = prog.insts[pc].blockId;
+            while (pc < n && prog.insts[pc].function == fname &&
+                   prog.insts[pc].blockId == bid)
+                ++pc;
+            checkBlockRun(fname, bid, start, pc);
+            seen.insert({fname, bid});
+        }
+        for (const auto &fn : mod.functions) {
+            for (const auto &bb : fn->blocks) {
+                if (!bb->ops.empty() &&
+                    !seen.count({fn->name, bb->id}))
+                    violate(McCheck::Structure, fn->name, -1, -1, "",
+                            cat("block ", bb->label, " with ",
+                                bb->ops.size(),
+                                " ops was never emitted"));
+            }
+        }
+    }
+
+    void
+    checkBlockRun(const std::string &fname, int bid, int start, int end)
+    {
+        const Function *fn = mod.findFunction(fname);
+        if (!fn) {
+            violate(McCheck::Structure, fname, start, -1, "",
+                    "instruction claims a function the module does not "
+                    "contain");
+            return;
+        }
+        const BasicBlock *bb = nullptr;
+        for (const auto &b : fn->blocks) {
+            if (b->id == bid) {
+                bb = b.get();
+                break;
+            }
+        }
+        if (!bb) {
+            violate(McCheck::Structure, fname, start, -1, "",
+                    cat("instruction claims unknown block id ", bid));
+            return;
+        }
+
+        // Greedy matching of emitted ops (pc order, then slot order)
+        // against the block's op list. The emitted stream is a
+        // permutation of bb->ops; anything unmatched on either side is
+        // a structural bug.
+        int nops = static_cast<int>(bb->ops.size());
+        std::vector<int> cycle(nops, -1), at_pc(nops, -1);
+        std::vector<char> used(nops, 0);
+        for (int pc = start; pc < end; ++pc) {
+            for (int s = 0; s < NumSlots; ++s) {
+                const auto &slot = prog.insts[pc].slots[s];
+                if (!slot)
+                    continue;
+                int found = -1;
+                for (int i = 0; i < nops; ++i) {
+                    if (!used[i] && opEquivalent(*slot, bb->ops[i])) {
+                        found = i;
+                        break;
+                    }
+                }
+                if (found < 0) {
+                    violate(McCheck::Structure, fname, pc, s,
+                            objName(*slot),
+                            cat("emitted op '", slot->str(),
+                                "' does not correspond to any op of "
+                                "block ",
+                                bb->label));
+                    continue;
+                }
+                used[found] = 1;
+                cycle[found] = pc - start;
+                at_pc[found] = pc;
+            }
+        }
+        for (int i = 0; i < nops; ++i) {
+            if (!used[i])
+                violate(McCheck::Structure, fname, -1, -1,
+                        objName(bb->ops[i]),
+                        cat("op '", bb->ops[i].str(), "' of block ",
+                            bb->label, " was never issued"));
+        }
+
+        checkSchedule(*fn, *bb, cycle, at_pc);
+        checkDupStores(*fn, *bb, cycle, at_pc);
+    }
+
+    /** Check (e), ordering half: re-derive the block's dependence
+     *  graph and confirm the compacted cycles respect it. Flow and
+     *  output dependences demand a strictly later cycle; anti and
+     *  control dependences may share one (reads precede writes). */
+    void
+    checkSchedule(const Function &fn, const BasicBlock &bb,
+                  const std::vector<int> &cycle,
+                  const std::vector<int> &at_pc)
+    {
+        DepGraph deps(bb);
+        for (int j = 0; j < deps.size(); ++j) {
+            if (cycle[j] < 0)
+                continue;
+            for (const DepEdge &e : deps.preds(j)) {
+                if (cycle[e.other] < 0)
+                    continue;
+                bool same_cycle_ok =
+                    e.kind == DepKind::Anti || e.kind == DepKind::Ctrl;
+                bool bad = same_cycle_ok
+                               ? cycle[e.other] > cycle[j]
+                               : cycle[e.other] >= cycle[j];
+                if (bad)
+                    violate(McCheck::Schedule, fn.name, at_pc[j], -1,
+                            objName(bb.ops[j]),
+                            cat("'", bb.ops[j].str(),
+                                "' issued in cycle ", cycle[j],
+                                " of block ", bb.label, " but its ",
+                                depKindName(e.kind), " predecessor '",
+                                bb.ops[e.other].str(),
+                                "' issues in cycle ", cycle[e.other]));
+            }
+        }
+    }
+
+    /** Check (b): within a block, every store to a duplicated object
+     *  pairs an X-tagged with a Y-tagged twin writing the same value
+     *  to the same element, and nothing redefines the value or
+     *  address registers between their commit points. */
+    void
+    checkDupStores(const Function &fn, const BasicBlock &bb,
+                   const std::vector<int> &cycle,
+                   const std::vector<int> &at_pc)
+    {
+        int nops = static_cast<int>(bb.ops.size());
+        std::vector<int> xs, ys;
+        for (int i = 0; i < nops; ++i) {
+            const Op &op = bb.ops[i];
+            if (!isStore(op.opcode) || !op.mem.valid() ||
+                !op.mem.object->duplicated ||
+                op.mem.object->storage == Storage::Param)
+                continue;
+            if (op.mem.bank == Bank::X) {
+                xs.push_back(i);
+            } else if (op.mem.bank == Bank::Y) {
+                ys.push_back(i);
+            } else {
+                violate(McCheck::DupCoherence, fn.name, at_pc[i], -1,
+                        op.mem.object->name,
+                        cat("store to duplicated object with "
+                            "unresolved bank tag '",
+                            bankName(op.mem.bank), "'"));
+            }
+        }
+
+        std::vector<std::pair<int, int>> pairs;
+        std::vector<char> y_used(ys.size(), 0);
+        for (int xi : xs) {
+            int mate = -1;
+            for (std::size_t k = 0; k < ys.size(); ++k) {
+                if (!y_used[k] &&
+                    sameDupStore(bb.ops[xi], bb.ops[ys[k]])) {
+                    mate = static_cast<int>(k);
+                    break;
+                }
+            }
+            if (mate < 0) {
+                violate(McCheck::DupCoherence, fn.name, at_pc[xi], -1,
+                        objName(bb.ops[xi]),
+                        cat("X-bank store '", bb.ops[xi].str(),
+                            "' to a duplicated object has no coherent "
+                            "Y-bank twin in block ",
+                            bb.label));
+                continue;
+            }
+            y_used[mate] = 1;
+            pairs.push_back({xi, ys[mate]});
+        }
+        for (std::size_t k = 0; k < ys.size(); ++k) {
+            if (!y_used[k])
+                violate(McCheck::DupCoherence, fn.name, at_pc[ys[k]], -1,
+                        objName(bb.ops[ys[k]]),
+                        cat("Y-bank store '", bb.ops[ys[k]].str(),
+                            "' to a duplicated object has no coherent "
+                            "X-bank twin in block ",
+                            bb.label));
+        }
+
+        for (const auto &[xi, yi] : pairs) {
+            if (cycle[xi] < 0 || cycle[yi] < 0) {
+                violate(McCheck::DupCoherence, fn.name,
+                        cycle[xi] < 0 ? at_pc[yi] : at_pc[xi], -1,
+                        objName(bb.ops[xi]),
+                        "one twin of a duplicated-object store pair "
+                        "was never issued; the copies can diverge");
+                continue;
+            }
+            // Divergence window: a redefinition committing in a cycle
+            // in [first, second) is read by the second store but was
+            // not read by the first (reads precede commits, so the
+            // second store's own cycle is safe).
+            int lo = std::min(cycle[xi], cycle[yi]);
+            int hi = std::max(cycle[xi], cycle[yi]);
+            if (lo == hi)
+                continue;
+            std::vector<VReg> watched = bb.ops[xi].uses();
+            auto extra = implicitUses(bb.ops[xi]);
+            watched.insert(watched.end(), extra.begin(), extra.end());
+            for (int k = 0; k < nops; ++k) {
+                if (k == xi || k == yi || cycle[k] < lo ||
+                    cycle[k] >= hi)
+                    continue;
+                for (const VReg &d : defsOf(bb.ops[k])) {
+                    if (std::find(watched.begin(), watched.end(), d) ==
+                        watched.end())
+                        continue;
+                    violate(McCheck::DupCoherence, fn.name, at_pc[k], -1,
+                            objName(bb.ops[xi]),
+                            cat("'", bb.ops[k].str(), "' redefines ",
+                                d.str(),
+                                " between the twin stores to '",
+                                objName(bb.ops[xi]), "' (cycles ", lo,
+                                "..", hi,
+                                " of block ", bb.label,
+                                "); the copies can diverge"));
+                }
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Check (c): dual-stack discipline over the emitted stream.
+    // -----------------------------------------------------------------
+    void
+    checkStacks()
+    {
+        int n = static_cast<int>(prog.insts.size());
+        int pc = 0;
+        while (pc < n) {
+            int start = pc;
+            const std::string fname = prog.insts[pc].function;
+            while (pc < n && prog.insts[pc].function == fname)
+                ++pc;
+            checkFunctionStack(fname, start, pc);
+        }
+    }
+
+    void
+    checkFunctionStack(const std::string &fname, int start, int end)
+    {
+        const Function *fn = mod.findFunction(fname);
+        if (!fn || fn->blocks.empty())
+            return; // reported by checkBlocks
+
+        int entry_id = fn->blocks.front()->id;
+        std::set<int> ret_blocks;
+        for (const auto &bb : fn->blocks) {
+            if (!bb->ops.empty() &&
+                bb->ops.back().opcode == Opcode::Ret)
+                ret_blocks.insert(bb->id);
+        }
+
+        const VReg sp_x(RegClass::Addr, regs::AddrSpX);
+        const VReg sp_y(RegClass::Addr, regs::AddrSpY);
+        auto spName = [&](bool y) { return y ? "SP.Y" : "SP.X"; };
+
+        long neg_x = 0, neg_y = 0;
+        std::map<int, long> pos_x, pos_y;
+        struct Save
+        {
+            const DataObject *slot;
+            VReg reg;
+        };
+        std::vector<Save> saves;
+        std::map<int, std::vector<Save>> restores;
+
+        for (int pc = start; pc < end; ++pc) {
+            const VliwInst &inst = prog.insts[pc];
+            int bid = inst.blockId;
+            for (int s = 0; s < NumSlots; ++s) {
+                if (!inst.slots[s])
+                    continue;
+                const Op &op = *inst.slots[s];
+
+                for (const VReg &d : defsOf(op)) {
+                    if (!(d == sp_x) && !(d == sp_y))
+                        continue;
+                    bool y = d == sp_y;
+                    if (op.opcode != Opcode::AAddI) {
+                        violate(McCheck::StackDiscipline, fname, pc, s,
+                                "",
+                                cat("stack pointer ", spName(y),
+                                    " written by ",
+                                    opcodeName(op.opcode),
+                                    " (only AAddI adjustments are "
+                                    "allowed)"));
+                        continue;
+                    }
+                    if (op.srcs.size() != 1 || !(op.srcs[0] == d)) {
+                        violate(McCheck::StackDiscipline, fname, pc, s,
+                                "",
+                                cat(spName(y),
+                                    " adjusted from a different source "
+                                    "register"));
+                        continue;
+                    }
+                    if (op.imm < 0) {
+                        if (bid != entry_id)
+                            violate(McCheck::StackDiscipline, fname, pc,
+                                    s, "",
+                                    cat("frame allocation (", spName(y),
+                                        " -= ", -op.imm,
+                                        ") outside the entry block"));
+                        long &neg = y ? neg_y : neg_x;
+                        if (neg != 0)
+                            violate(McCheck::StackDiscipline, fname, pc,
+                                    s, "",
+                                    cat("multiple frame allocations "
+                                        "for ",
+                                        spName(y), " in one function"));
+                        neg += -op.imm;
+                    } else if (op.imm > 0) {
+                        if (!ret_blocks.count(bid))
+                            violate(McCheck::StackDiscipline, fname, pc,
+                                    s, "",
+                                    cat("frame release (", spName(y),
+                                        " += ", op.imm,
+                                        ") outside a return block"));
+                        else
+                            (y ? pos_y : pos_x)[bid] += op.imm;
+                    } else {
+                        violate(McCheck::StackDiscipline, fname, pc, s,
+                                "",
+                                cat("zero-word ", spName(y),
+                                    " adjustment"));
+                    }
+                }
+
+                if (op.mem.valid() && op.mem.object &&
+                    op.mem.object->storage == Storage::Local &&
+                    op.mem.object->name.rfind("sv.", 0) == 0) {
+                    const DataObject *slot_obj = op.mem.object;
+                    if (isStore(op.opcode)) {
+                        if (bid != entry_id)
+                            violate(McCheck::StackDiscipline, fname, pc,
+                                    s, slot_obj->name,
+                                    "callee save outside the entry "
+                                    "block");
+                        else
+                            saves.push_back(
+                                {slot_obj, op.srcs.empty()
+                                               ? VReg()
+                                               : op.srcs[0]});
+                    } else if (isLoad(op.opcode)) {
+                        if (!ret_blocks.count(bid))
+                            violate(McCheck::StackDiscipline, fname, pc,
+                                    s, slot_obj->name,
+                                    "callee restore outside a return "
+                                    "block");
+                        else
+                            restores[bid].push_back({slot_obj, op.dst});
+                    }
+                }
+            }
+        }
+
+        // Every return path must release exactly what the prologue
+        // allocated, on both stacks, and restore exactly the saved
+        // registers from their save slots.
+        auto saveKey = [](const Save &s) {
+            return std::make_tuple(s.slot->id,
+                                   static_cast<int>(s.reg.cls),
+                                   s.reg.id);
+        };
+        std::vector<Save> saves_sorted = saves;
+        std::sort(saves_sorted.begin(), saves_sorted.end(),
+                  [&](const Save &a, const Save &b) {
+                      return saveKey(a) < saveKey(b);
+                  });
+        for (int bid : ret_blocks) {
+            long px = pos_x.count(bid) ? pos_x[bid] : 0;
+            long py = pos_y.count(bid) ? pos_y[bid] : 0;
+            if (px != neg_x)
+                violate(McCheck::StackDiscipline, fname, -1, -1, "",
+                        cat("return block ", bid, " releases ", px,
+                            " X-stack words but the prologue "
+                            "allocated ",
+                            neg_x));
+            if (py != neg_y)
+                violate(McCheck::StackDiscipline, fname, -1, -1, "",
+                        cat("return block ", bid, " releases ", py,
+                            " Y-stack words but the prologue "
+                            "allocated ",
+                            neg_y));
+
+            std::vector<Save> r = restores.count(bid)
+                                      ? restores[bid]
+                                      : std::vector<Save>();
+            std::sort(r.begin(), r.end(),
+                      [&](const Save &a, const Save &b) {
+                          return saveKey(a) < saveKey(b);
+                      });
+            bool match = r.size() == saves_sorted.size();
+            for (std::size_t i = 0; match && i < r.size(); ++i)
+                match = saveKey(r[i]) == saveKey(saves_sorted[i]);
+            if (!match)
+                violate(McCheck::StackDiscipline, fname, -1, -1, "",
+                        cat("return block ", bid, " restores ",
+                            r.size(),
+                            " registers that do not match the ",
+                            saves_sorted.size(), " prologue saves"));
+        }
+
+        // Save slots alternate banks (X, Y, X, ...) whenever the
+        // function uses the Y stack for saves at all; with a single
+        // stack every slot legitimately lands in X.
+        std::vector<Save> by_id = saves;
+        std::sort(by_id.begin(), by_id.end(),
+                  [](const Save &a, const Save &b) {
+                      return a.slot->id < b.slot->id;
+                  });
+        bool any_y = false;
+        for (const Save &s : by_id)
+            any_y = any_y || s.slot->bank == Bank::Y;
+        if (any_y) {
+            for (std::size_t k = 0; k < by_id.size(); ++k) {
+                Bank expect = (k % 2) ? Bank::Y : Bank::X;
+                if (by_id[k].slot->bank != expect)
+                    violate(McCheck::StackDiscipline, fname, -1, -1,
+                            by_id[k].slot->name,
+                            cat("callee-save slots do not alternate "
+                                "banks (slot ",
+                                k, " is in bank ",
+                                bankName(by_id[k].slot->bank),
+                                ", expected ", bankName(expect), ")"));
+            }
+        }
+    }
+};
+
+} // namespace
+
+McVerifyResult
+verifyMachineCode(const VliwProgram &prog, const Module &mod)
+{
+    return Verifier(prog, mod).run();
+}
+
+void
+verifyMachineCodeOrDie(const VliwProgram &prog, const Module &mod)
+{
+    McVerifyResult r = verifyMachineCode(prog, mod);
+    if (!r.ok())
+        panic("machine-code verification failed (",
+              r.violations.size(), " violations over ", r.instsChecked,
+              " instructions):\n", r.str());
+}
+
+} // namespace dsp

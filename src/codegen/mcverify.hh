@@ -1,0 +1,111 @@
+/**
+ * @file
+ * mcverify: static bank-safety verification of emitted VLIW programs.
+ *
+ * The paper's techniques are only performance transformations as long
+ * as two invariants hold: CB partitioning (§3.1) may pair memory
+ * operations in one instruction only when their data lives in
+ * different banks, and partial duplication (§3.2) must keep the X and
+ * Y images of a duplicated object bit-identical at every store. The
+ * differential fuzzer checks these dynamically, which misses latent
+ * violations that happen not to change an output stream; this pass
+ * proves them statically on the linked machine code.
+ *
+ * Checks, each mapped to the invariant it protects:
+ *
+ *  - BankConflict (§3.1): every data memory operation issues on the
+ *    memory unit of its bank — statically-addressed accesses are
+ *    resolved exactly, dynamic ones are judged by the bank the
+ *    allocation pass assigned — so no instruction can carry two
+ *    same-bank data accesses.
+ *  - DupCoherence (§3.2): every store to a duplicated object is
+ *    paired, within its block, with a twin store of the same value to
+ *    the other copy, with no intervening redefinition of the value or
+ *    address registers between the two commit points; duplicated
+ *    objects are never reachable through array parameters.
+ *  - StackDiscipline (§3.1): stack pointers are only adjusted by
+ *    symmetric prologue/epilogue AAddI pairs, and callee save/restore
+ *    slots alternate banks and restore exactly what was saved.
+ *  - AddressBounds: every statically-resolved address falls inside its
+ *    object and its bank's data region, and the global/frame layout
+ *    itself is overlap-free and inside the bank capacities.
+ *  - Schedule: the compacted schedule respects the machine's
+ *    read-before-write semantics — flow and output dependences never
+ *    share a cycle (re-validated against the block's dependence
+ *    graph), and no instruction commits two writes to one register.
+ *
+ * Runs after layout on the final VliwProgram, using the Module only
+ * for the object/block metadata the program's ops already reference.
+ */
+
+#ifndef DSP_CODEGEN_MCVERIFY_HH
+#define DSP_CODEGEN_MCVERIFY_HH
+
+#include <string>
+#include <vector>
+
+#include "target/vliw.hh"
+
+namespace dsp
+{
+
+class Module;
+
+/** The invariant a violation belongs to (see file comment). */
+enum class McCheck : unsigned char
+{
+    BankConflict,
+    DupCoherence,
+    StackDiscipline,
+    AddressBounds,
+    Schedule,
+    /** Program malformed beyond the specific checks (op in a wrong
+     *  unit slot, instruction stream not matching the module, ...). */
+    Structure,
+};
+
+const char *mcCheckName(McCheck check);
+
+/** One structured diagnostic. */
+struct McViolation
+{
+    McCheck check = McCheck::Structure;
+    std::string function;
+    /** Instruction index in the linked program (-1 = whole function
+     *  or layout-level finding). */
+    int pc = -1;
+    /** Slot within the instruction (-1 = whole instruction). */
+    int slot = -1;
+    /** Name of the data object involved, if any. */
+    std::string object;
+    std::string message;
+
+    std::string str() const;
+};
+
+struct McVerifyResult
+{
+    std::vector<McViolation> violations;
+    int instsChecked = 0;
+    int memOpsChecked = 0;
+
+    bool ok() const { return violations.empty(); }
+    bool has(McCheck check) const;
+    /** Count of violations of one kind. */
+    int count(McCheck check) const;
+    /** Full report, one line per violation. */
+    std::string str() const;
+};
+
+/** Run every check over the linked @p prog. @p mod must be the module
+ *  the program was compiled from (its DataObjects carry the layout). */
+McVerifyResult verifyMachineCode(const VliwProgram &prog,
+                                 const Module &mod);
+
+/** verifyMachineCode, then panic (InternalError) with the full report
+ *  if anything was found: an emitted violation is a compiler bug. */
+void verifyMachineCodeOrDie(const VliwProgram &prog, const Module &mod);
+
+} // namespace dsp
+
+#endif // DSP_CODEGEN_MCVERIFY_HH

@@ -20,7 +20,8 @@ partitionGreedy(const InterferenceGraph &graph)
     // the complexity the paper states (§3.1): for every node still in
     // set 1, gain = (edge weight into set 1) - (edge weight into
     // set 2); moving the node reduces the cost by that amount.
-    std::map<DataObject *, std::vector<std::pair<DataObject *, long>>>
+    std::map<DataObject *, std::vector<std::pair<DataObject *, long>>,
+             ObjIdLess>
         adj;
     long total = 0;
     for (const auto &[key, w] : graph.edges()) {
@@ -29,8 +30,8 @@ partitionGreedy(const InterferenceGraph &graph)
         total += w;
     }
 
-    std::map<DataObject *, int> set; // 1 or 2
-    std::map<DataObject *, long> to_set1, to_set2;
+    std::map<DataObject *, int, ObjIdLess> set; // 1 or 2
+    std::map<DataObject *, long, ObjIdLess> to_set1, to_set2;
     for (DataObject *n : nodes) {
         set[n] = 1;
         long sum = 0;

@@ -27,8 +27,8 @@ namespace dsp
 
 struct PartitionResult
 {
-    /** Bank per representative node. */
-    std::map<DataObject *, Bank> bankOf;
+    /** Bank per representative node, iterable in stable id order. */
+    std::map<DataObject *, Bank, ObjIdLess> bankOf;
     /** Cut cost before any node moved (all nodes in X). */
     long initialCost = 0;
     /** Cost of edges left uncut after partitioning. */

@@ -13,7 +13,8 @@ CompileCache::optionsKey(const CompileOptions &opts)
        << static_cast<int>(opts.weights) << '/'
        << opts.alternatingPartitioner << opts.atomicDupStores << '/'
        << opts.machine.bankWords << ',' << opts.machine.stackWords << ','
-       << opts.machine.dualPorted << '/' << opts.optLevel;
+       << opts.machine.dualPorted << '/' << opts.optLevel << '/'
+       << opts.verifyMc;
     return os.str();
 }
 

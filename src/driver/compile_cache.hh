@@ -12,6 +12,12 @@
  *
  * Options carrying a profile pointer are never cached (the pointed-to
  * counts are not part of the key and typically differ per call).
+ *
+ * Key discipline: optionsKey() must cover EVERY CompileOptions field
+ * that can change the compiled artifact — a field left out silently
+ * aliases two different compilations to one cache entry. When adding a
+ * field to CompileOptions, extend optionsKey() and the key-completeness
+ * regression test in tests/driver/driver_test.cc together.
  */
 
 #ifndef DSP_DRIVER_COMPILE_CACHE_HH

@@ -4,6 +4,7 @@
 
 #include "codegen/frame.hh"
 #include "codegen/isel.hh"
+#include "codegen/mcverify.hh"
 #include "codegen/regalloc.hh"
 #include "ir/verifier.hh"
 #include "lower/lower.hh"
@@ -57,6 +58,8 @@ compileSource(const std::string &source, const CompileOptions &opts)
     config.dualPorted = opts.mode == AllocMode::Ideal;
     result.program = layoutProgram(*result.module, config,
                                    &result.layout);
+    if (opts.verifyMc)
+        verifyMachineCodeOrDie(result.program, *result.module);
     return result;
 }
 

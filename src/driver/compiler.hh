@@ -34,6 +34,14 @@ struct CompileOptions
     MachineConfig machine;
     /** 0 disables the machine-independent optimizer (testing only). */
     int optLevel = 1;
+    /**
+     * Run the machine-code bank-safety verifier (codegen/mcverify.hh)
+     * on the linked program and panic on any violation. On by default:
+     * every test, fuzz iteration, and benchmark compile is gated on the
+     * paper's bank invariants. The dspcc CLI exposes --no-verify-mc to
+     * time compilation without the pass.
+     */
+    bool verifyMc = true;
 };
 
 struct CompileResult

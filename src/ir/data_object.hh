@@ -104,6 +104,21 @@ class DataObject
     }
 };
 
+/**
+ * Orders DataObject pointers by their stable per-module id. Use this as
+ * the comparator of every pointer-keyed set/map whose iteration order
+ * can leak into results (bank assignments, reports, diagnostics):
+ * raw pointer order varies run to run with ASLR and heap layout.
+ */
+struct ObjIdLess
+{
+    bool
+    operator()(const DataObject *a, const DataObject *b) const
+    {
+        return a->id < b->id;
+    }
+};
+
 } // namespace dsp
 
 #endif // DSP_IR_DATA_OBJECT_HH

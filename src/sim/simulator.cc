@@ -26,6 +26,63 @@ bitsFloat(uint32_t w)
     return f;
 }
 
+/// @name Wrapping integer ALU semantics.
+/// The machine's integer unit wraps in 32 bits (two's complement),
+/// but C++ signed overflow is undefined behaviour, so every operation
+/// that can overflow computes through uint32_t. Div/Rem additionally
+/// pin the one overflowing quotient (INT32_MIN / -1) to the wrapped
+/// machine result instead of a hardware trap.
+/// @{
+int32_t
+wrapAdd(int32_t a, int32_t b)
+{
+    return static_cast<int32_t>(static_cast<uint32_t>(a) +
+                                static_cast<uint32_t>(b));
+}
+
+int32_t
+wrapSub(int32_t a, int32_t b)
+{
+    return static_cast<int32_t>(static_cast<uint32_t>(a) -
+                                static_cast<uint32_t>(b));
+}
+
+int32_t
+wrapMul(int32_t a, int32_t b)
+{
+    return static_cast<int32_t>(static_cast<uint32_t>(a) *
+                                static_cast<uint32_t>(b));
+}
+
+int32_t
+wrapNeg(int32_t a)
+{
+    return static_cast<int32_t>(-static_cast<uint32_t>(a));
+}
+
+int32_t
+wrapShl(int32_t a, int sh)
+{
+    return static_cast<int32_t>(static_cast<uint32_t>(a) << sh);
+}
+
+int32_t
+wrapDiv(int32_t a, int32_t b)
+{
+    if (a == INT32_MIN && b == -1)
+        return INT32_MIN;
+    return a / b;
+}
+
+int32_t
+wrapRem(int32_t a, int32_t b)
+{
+    if (a == INT32_MIN && b == -1)
+        return 0;
+    return a % b;
+}
+/// @}
+
 } // namespace
 
 float
@@ -405,45 +462,46 @@ Simulator::stepFast()
           case Opcode::Copy: wraw(d.dst, regFile[d.src0]); break;
 
           // ----- integer ALU -----
-          case Opcode::Add: wi(d.dst, ri(d.src0) + ri(d.src1)); break;
-          case Opcode::Sub: wi(d.dst, ri(d.src0) - ri(d.src1)); break;
-          case Opcode::Mul: wi(d.dst, ri(d.src0) * ri(d.src1)); break;
+          case Opcode::Add: wi(d.dst, wrapAdd(ri(d.src0), ri(d.src1))); break;
+          case Opcode::Sub: wi(d.dst, wrapSub(ri(d.src0), ri(d.src1))); break;
+          case Opcode::Mul: wi(d.dst, wrapMul(ri(d.src0), ri(d.src1))); break;
           case Opcode::Div: {
             int32_t v = ri(d.src1);
             if (v == 0)
                 fatal("integer division by zero at pc=", curPc);
-            wi(d.dst, ri(d.src0) / v);
+            wi(d.dst, wrapDiv(ri(d.src0), v));
             break;
           }
           case Opcode::Rem: {
             int32_t v = ri(d.src1);
             if (v == 0)
                 fatal("integer remainder by zero at pc=", curPc);
-            wi(d.dst, ri(d.src0) % v);
+            wi(d.dst, wrapRem(ri(d.src0), v));
             break;
           }
           case Opcode::And: wi(d.dst, ri(d.src0) & ri(d.src1)); break;
           case Opcode::Or: wi(d.dst, ri(d.src0) | ri(d.src1)); break;
           case Opcode::Xor: wi(d.dst, ri(d.src0) ^ ri(d.src1)); break;
           case Opcode::Shl:
-            wi(d.dst, ri(d.src0) << (ri(d.src1) & 31));
+            wi(d.dst, wrapShl(ri(d.src0), ri(d.src1) & 31));
             break;
           case Opcode::Shr:
             wi(d.dst, ri(d.src0) >> (ri(d.src1) & 31));
             break;
-          case Opcode::AddI: wi(d.dst, ri(d.src0) + d.imm); break;
-          case Opcode::MulI: wi(d.dst, ri(d.src0) * d.imm); break;
+          case Opcode::AddI: wi(d.dst, wrapAdd(ri(d.src0), d.imm)); break;
+          case Opcode::MulI: wi(d.dst, wrapMul(ri(d.src0), d.imm)); break;
           case Opcode::AndI: wi(d.dst, ri(d.src0) & d.imm); break;
           case Opcode::ShlI:
-            wi(d.dst, ri(d.src0) << (d.imm & 31));
+            wi(d.dst, wrapShl(ri(d.src0), d.imm & 31));
             break;
           case Opcode::ShrI:
             wi(d.dst, ri(d.src0) >> (d.imm & 31));
             break;
-          case Opcode::Neg: wi(d.dst, -ri(d.src0)); break;
+          case Opcode::Neg: wi(d.dst, wrapNeg(ri(d.src0))); break;
           case Opcode::Not: wi(d.dst, ~ri(d.src0)); break;
           case Opcode::Mac:
-            wi(d.dst, ri(d.dst) + ri(d.src0) * ri(d.src1));
+            wi(d.dst,
+               wrapAdd(ri(d.dst), wrapMul(ri(d.src0), ri(d.src1))));
             break;
 
           // ----- integer compares -----
@@ -659,52 +717,61 @@ Simulator::execSlot(const Op &op, int slot, RegWrite *regw, int &nregw,
         return;
 
       // ----- integer ALU -----
-      case Opcode::Add: wi(op.dst.id, readInt(s0()) + readInt(s1())); return;
-      case Opcode::Sub: wi(op.dst.id, readInt(s0()) - readInt(s1())); return;
-      case Opcode::Mul: wi(op.dst.id, readInt(s0()) * readInt(s1())); return;
+      case Opcode::Add:
+        wi(op.dst.id, wrapAdd(readInt(s0()), readInt(s1())));
+        return;
+      case Opcode::Sub:
+        wi(op.dst.id, wrapSub(readInt(s0()), readInt(s1())));
+        return;
+      case Opcode::Mul:
+        wi(op.dst.id, wrapMul(readInt(s0()), readInt(s1())));
+        return;
       case Opcode::Div: {
         int32_t d = readInt(s1());
         if (d == 0)
             fatal("integer division by zero at pc=", curPc);
-        wi(op.dst.id, readInt(s0()) / d);
+        wi(op.dst.id, wrapDiv(readInt(s0()), d));
         return;
       }
       case Opcode::Rem: {
         int32_t d = readInt(s1());
         if (d == 0)
             fatal("integer remainder by zero at pc=", curPc);
-        wi(op.dst.id, readInt(s0()) % d);
+        wi(op.dst.id, wrapRem(readInt(s0()), d));
         return;
       }
       case Opcode::And: wi(op.dst.id, readInt(s0()) & readInt(s1())); return;
       case Opcode::Or: wi(op.dst.id, readInt(s0()) | readInt(s1())); return;
       case Opcode::Xor: wi(op.dst.id, readInt(s0()) ^ readInt(s1())); return;
       case Opcode::Shl:
-        wi(op.dst.id, readInt(s0()) << (readInt(s1()) & 31));
+        wi(op.dst.id, wrapShl(readInt(s0()), readInt(s1()) & 31));
         return;
       case Opcode::Shr:
         wi(op.dst.id, readInt(s0()) >> (readInt(s1()) & 31));
         return;
       case Opcode::AddI:
-        wi(op.dst.id, readInt(s0()) + static_cast<int32_t>(op.imm));
+        wi(op.dst.id,
+           wrapAdd(readInt(s0()), static_cast<int32_t>(op.imm)));
         return;
       case Opcode::MulI:
-        wi(op.dst.id, readInt(s0()) * static_cast<int32_t>(op.imm));
+        wi(op.dst.id,
+           wrapMul(readInt(s0()), static_cast<int32_t>(op.imm)));
         return;
       case Opcode::AndI:
         wi(op.dst.id, readInt(s0()) & static_cast<int32_t>(op.imm));
         return;
       case Opcode::ShlI:
-        wi(op.dst.id, readInt(s0()) << (op.imm & 31));
+        wi(op.dst.id, wrapShl(readInt(s0()), op.imm & 31));
         return;
       case Opcode::ShrI:
         wi(op.dst.id, readInt(s0()) >> (op.imm & 31));
         return;
-      case Opcode::Neg: wi(op.dst.id, -readInt(s0())); return;
+      case Opcode::Neg: wi(op.dst.id, wrapNeg(readInt(s0()))); return;
       case Opcode::Not: wi(op.dst.id, ~readInt(s0())); return;
       case Opcode::Mac:
         wi(op.dst.id,
-           readInt(op.dst) + readInt(s0()) * readInt(s1()));
+           wrapAdd(readInt(op.dst),
+                   wrapMul(readInt(s0()), readInt(s1()))));
         return;
 
       // ----- integer compares -----

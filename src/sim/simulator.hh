@@ -128,6 +128,15 @@ class Simulator
      * of a thrown error, so harnesses driving many programs from worker
      * threads can record a runaway benchmark and keep going. Machine
      * faults still throw UserError.
+     *
+     * Budget semantics, exactly: a budget of N executes at most N
+     * instructions. The halt check precedes the budget check, so a
+     * program whose Halt commits on its N-th instruction returns Halted
+     * with stats().cycles == N — never CycleBudgetExhausted, and never
+     * an N+1-th execution or a double-counted halting instruction. A
+     * program needing N instructions given a budget of N-1 returns
+     * CycleBudgetExhausted with stats().cycles == N-1. Pinned by the
+     * SimFaults.RunBoundedBudgetBoundary tests.
      */
     RunStatus runBounded(long max_cycles);
 

@@ -1,0 +1,384 @@
+/**
+ * @file
+ * BENCH_sim.json validity tests.
+ *
+ * The benchmark report is consumed by external tooling, so it must be
+ * strictly valid JSON no matter what the measurements contained. The
+ * historical failure modes were non-finite doubles (ostream renders
+ * them as the bare tokens "inf"/"nan", which no JSON parser accepts)
+ * and unescaped quotes/control characters in benchmark names or error
+ * strings. A minimal strict RFC-8259 parser below — notably one that
+ * accepts `null` but rejects bare inf/nan — parses every report the
+ * harness can produce.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common.hh"
+
+namespace dsp
+{
+namespace
+{
+
+/** Minimal strict JSON acceptor. parse() returns false (with a
+ *  position in @ref error) on anything outside the RFC grammar. */
+class JsonChecker
+{
+  public:
+    bool
+    parse(const std::string &text)
+    {
+        s = &text;
+        pos = 0;
+        error.clear();
+        if (!value())
+            return false;
+        skipWs();
+        if (pos != s->size())
+            return fail("trailing characters");
+        return true;
+    }
+
+    /** Every string literal seen during the parse, unescaped. */
+    const std::vector<std::string> &strings() const { return seen; }
+    std::string error;
+
+  private:
+    const std::string *s = nullptr;
+    std::size_t pos = 0;
+    std::vector<std::string> seen;
+
+    bool
+    fail(const std::string &what)
+    {
+        std::ostringstream os;
+        os << what << " at byte " << pos;
+        error = os.str();
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < s->size() &&
+               ((*s)[pos] == ' ' || (*s)[pos] == '\t' ||
+                (*s)[pos] == '\n' || (*s)[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t n = std::strlen(word);
+        if (s->compare(pos, n, word) != 0)
+            return fail("bad literal");
+        pos += n;
+        return true;
+    }
+
+    bool
+    value()
+    {
+        skipWs();
+        if (pos >= s->size())
+            return fail("unexpected end");
+        char c = (*s)[pos];
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return string(nullptr);
+        if (c == 't')
+            return literal("true");
+        if (c == 'f')
+            return literal("false");
+        if (c == 'n')
+            return literal("null");
+        if (c == '-' || (c >= '0' && c <= '9'))
+            return number();
+        return fail("unexpected character");
+    }
+
+    bool
+    object()
+    {
+        ++pos; // '{'
+        skipWs();
+        if (pos < s->size() && (*s)[pos] == '}') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (pos >= s->size() || (*s)[pos] != '"')
+                return fail("expected object key");
+            if (!string(nullptr))
+                return false;
+            skipWs();
+            if (pos >= s->size() || (*s)[pos] != ':')
+                return fail("expected ':'");
+            ++pos;
+            if (!value())
+                return false;
+            skipWs();
+            if (pos < s->size() && (*s)[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (pos < s->size() && (*s)[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos; // '['
+        skipWs();
+        if (pos < s->size() && (*s)[pos] == ']') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            if (!value())
+                return false;
+            skipWs();
+            if (pos < s->size() && (*s)[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (pos < s->size() && (*s)[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    string(std::string *out)
+    {
+        ++pos; // '"'
+        std::string decoded;
+        while (pos < s->size()) {
+            char c = (*s)[pos];
+            if (c == '"') {
+                ++pos;
+                seen.push_back(decoded);
+                if (out)
+                    *out = decoded;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("unescaped control character");
+            if (c == '\\') {
+                ++pos;
+                if (pos >= s->size())
+                    return fail("truncated escape");
+                char e = (*s)[pos];
+                switch (e) {
+                  case '"': decoded += '"'; break;
+                  case '\\': decoded += '\\'; break;
+                  case '/': decoded += '/'; break;
+                  case 'b': decoded += '\b'; break;
+                  case 'f': decoded += '\f'; break;
+                  case 'n': decoded += '\n'; break;
+                  case 'r': decoded += '\r'; break;
+                  case 't': decoded += '\t'; break;
+                  case 'u':
+                    if (pos + 4 >= s->size())
+                        return fail("truncated \\u escape");
+                    pos += 4;
+                    decoded += '?';
+                    break;
+                  default:
+                    return fail("bad escape");
+                }
+                ++pos;
+                continue;
+            }
+            decoded += c;
+            ++pos;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    number()
+    {
+        std::size_t start = pos;
+        if ((*s)[pos] == '-')
+            ++pos;
+        // "inf"/"nan" never start with a digit, so a bare non-finite
+        // value fails right here.
+        if (pos >= s->size() || (*s)[pos] < '0' || (*s)[pos] > '9')
+            return fail("bad number");
+        while (pos < s->size() && (*s)[pos] >= '0' && (*s)[pos] <= '9')
+            ++pos;
+        if (pos < s->size() && (*s)[pos] == '.') {
+            ++pos;
+            if (pos >= s->size() || (*s)[pos] < '0' || (*s)[pos] > '9')
+                return fail("bad fraction");
+            while (pos < s->size() && (*s)[pos] >= '0' &&
+                   (*s)[pos] <= '9')
+                ++pos;
+        }
+        if (pos < s->size() &&
+            ((*s)[pos] == 'e' || (*s)[pos] == 'E')) {
+            ++pos;
+            if (pos < s->size() &&
+                ((*s)[pos] == '+' || (*s)[pos] == '-'))
+                ++pos;
+            if (pos >= s->size() || (*s)[pos] < '0' || (*s)[pos] > '9')
+                return fail("bad exponent");
+            while (pos < s->size() && (*s)[pos] >= '0' &&
+                   (*s)[pos] <= '9')
+                ++pos;
+        }
+        return pos > start;
+    }
+};
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(static_cast<bool>(in)) << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** RAII temp path in the test's working directory. */
+struct TempFile
+{
+    std::string path;
+    explicit TempFile(const std::string &name) : path(name) {}
+    ~TempFile() { std::remove(path.c_str()); }
+};
+
+TEST(BenchJson, ChecksumTheChecker)
+{
+    JsonChecker c;
+    EXPECT_TRUE(c.parse(R"({"a": [1, -2.5, 1e3, null, "x\n"]})"))
+        << c.error;
+    EXPECT_FALSE(c.parse("{\"a\": inf}"));
+    EXPECT_FALSE(c.parse("{\"a\": nan}"));
+    EXPECT_FALSE(c.parse("{\"a\": \"unterminated}"));
+    EXPECT_FALSE(c.parse("{\"a\": \"raw\ncontrol\"}"));
+}
+
+TEST(BenchJson, NonFiniteMetricsBecomeNull)
+{
+    // Handcraft results exercising every double the writer emits with
+    // the worst values measurement code could produce.
+    const double inf = std::numeric_limits<double>::infinity();
+    const double nan = std::nan("");
+
+    bench::BenchResult r;
+    r.name = "degenerate";
+    r.label = "d1";
+    r.hostSeconds = inf;
+    r.simCycles = 100;
+    r.base.cycles = 0; // a zero baseline is how the NaNs got in
+    r.base.gainPct = nan;
+    r.base.pcr = inf;
+    r.cb.gainPct = -inf;
+    r.pr.pcr = nan;
+
+    TempFile tmp("bench_json_test_nonfinite.json");
+    bench::writeBenchJson(tmp.path, "unit", {r}, nan, 4);
+
+    std::string text = readFile(tmp.path);
+    EXPECT_NE(text.find("null"), std::string::npos);
+    EXPECT_EQ(text.find("inf"), std::string::npos) << text;
+    EXPECT_EQ(text.find("nan"), std::string::npos) << text;
+
+    JsonChecker checker;
+    EXPECT_TRUE(checker.parse(text)) << checker.error << "\n" << text;
+}
+
+TEST(BenchJson, NamesAndErrorsAreEscaped)
+{
+    bench::BenchResult bad;
+    bad.name = "quote\"back\\slash";
+    bad.label = "tab\there";
+    bad.error = "failed:\n\"line two\"";
+
+    bench::BenchResult good;
+    good.name = "plain";
+    good.label = "p1";
+    good.hostSeconds = 0.25;
+    good.simCycles = 12;
+
+    TempFile tmp("bench_json_test_escape.json");
+    bench::writeBenchJson(tmp.path, "suite \"q\"", {bad, good}, 1.0, 2);
+
+    std::string text = readFile(tmp.path);
+    JsonChecker checker;
+    ASSERT_TRUE(checker.parse(text)) << checker.error << "\n" << text;
+
+    // The escaped strings round-trip through a conforming parser.
+    auto contains = [&](const std::string &want) {
+        for (const std::string &s : checker.strings())
+            if (s == want)
+                return true;
+        return false;
+    };
+    EXPECT_TRUE(contains("quote\"back\\slash"));
+    EXPECT_TRUE(contains("failed:\n\"line two\""));
+    EXPECT_TRUE(contains("suite \"q\""));
+}
+
+TEST(BenchJson, MeasuredSuiteReportParses)
+{
+    // End-to-end: measure a tiny suite (including one benchmark that
+    // fails to compile, exercising the error path) and parse the
+    // emitted report.
+    Benchmark ok;
+    ok.name = "tiny_sum";
+    ok.label = "t1";
+    ok.source = "void main() { out(2 + 3); }";
+    ok.expected = {5};
+
+    Benchmark broken;
+    broken.name = "does_not_compile";
+    broken.label = "t2";
+    broken.source = "void main() { this is not MiniC }";
+
+    TempFile tmp("bench_json_test_suite.json");
+    bench::SuiteRunOptions opts;
+    opts.threads = 2;
+    opts.jsonPath = tmp.path;
+    opts.suiteName = "bench_json_test";
+    auto results = bench::measureSuite({ok, broken}, opts);
+
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_TRUE(results[0].ok()) << results[0].error;
+    EXPECT_FALSE(results[1].ok());
+
+    std::string text = readFile(tmp.path);
+    JsonChecker checker;
+    EXPECT_TRUE(checker.parse(text)) << checker.error << "\n" << text;
+
+    bool has_error_string = false;
+    for (const std::string &s : checker.strings())
+        has_error_string |= s == results[1].error;
+    EXPECT_TRUE(has_error_string)
+        << "report must carry the failing benchmark's diagnostic";
+}
+
+} // namespace
+} // namespace dsp

@@ -1,0 +1,497 @@
+/**
+ * @file
+ * Machine-code verifier tests.
+ *
+ * Two halves. The sweep half runs verifyMachineCode over every suite
+ * benchmark under every allocation mode and requires a clean report —
+ * the compiler must never emit a bank-safety violation. The mutation
+ * half proves the verifier actually has teeth: it compiles a correct
+ * program, injects one specific violation into a copy of the emitted
+ * VliwProgram, and asserts the matching check fires. Mutations may
+ * trip additional Structure diagnostics (the mutated op no longer
+ * matches the block's op list); the assertions therefore test
+ * has(check), not exact violation counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codegen/mcverify.hh"
+#include "driver/compiler.hh"
+#include "suite/suite.hh"
+#include "target/target_desc.hh"
+
+namespace dsp
+{
+namespace
+{
+
+CompileResult
+compile(const std::string &src, AllocMode mode)
+{
+    CompileOptions opts;
+    opts.mode = mode;
+    return compileSource(src, opts); // verifyMc defaults on: compiling
+                                     // already proves the clean case
+}
+
+const char *kArrayLoop = R"(
+    int A[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    int B[8] = {8, 7, 6, 5, 4, 3, 2, 1};
+    void main() {
+        int sum = 0;
+        for (int i = 0; i < 8; i++)
+            sum += A[i] * B[i];
+        out(sum);
+    }
+)";
+
+// ---------------------------------------------------------------------
+// Check (a): bank conflicts.
+// ---------------------------------------------------------------------
+
+TEST(McVerify, BankConflictFires)
+{
+    auto compiled = compile(kArrayLoop, AllocMode::CB);
+    VliwProgram mutated = compiled.program;
+
+    // Retag a data access issued on the X port as a Y-bank access.
+    bool injected = false;
+    for (VliwInst &inst : mutated.insts) {
+        auto &slot = inst.slots[SlotMU0];
+        if (slot && slot->isMem() && slot->mem.valid()) {
+            slot->mem.bank = Bank::Y;
+            injected = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(injected) << "no data access on MU0 to mutate";
+
+    McVerifyResult r = verifyMachineCode(mutated, *compiled.module);
+    EXPECT_TRUE(r.has(McCheck::BankConflict)) << r.str();
+}
+
+TEST(McVerify, UnresolvedBankTagFires)
+{
+    auto compiled = compile(kArrayLoop, AllocMode::CB);
+    VliwProgram mutated = compiled.program;
+
+    // An Either tag surviving into linked single-ported code means
+    // compaction never pinned the access to a port.
+    bool injected = false;
+    for (VliwInst &inst : mutated.insts) {
+        for (int s : {SlotMU0, SlotMU1}) {
+            auto &slot = inst.slots[s];
+            if (slot && slot->isMem() && slot->mem.valid()) {
+                slot->mem.bank = Bank::Either;
+                injected = true;
+                break;
+            }
+        }
+        if (injected)
+            break;
+    }
+    ASSERT_TRUE(injected);
+
+    McVerifyResult r = verifyMachineCode(mutated, *compiled.module);
+    EXPECT_TRUE(r.has(McCheck::BankConflict)) << r.str();
+}
+
+// ---------------------------------------------------------------------
+// Check (b): duplicated-store coherence.
+// ---------------------------------------------------------------------
+
+TEST(McVerify, DupCoherenceFiresWhenTwinStoreDropped)
+{
+    const char *src = R"(
+        int A[8];
+        void main() {
+            for (int i = 0; i < 8; i++)
+                A[i] = i * 3;
+            int s = 0;
+            for (int i = 0; i < 8; i++)
+                s += A[i] + A[7 - i];
+            out(s);
+        }
+    )";
+    auto compiled = compile(src, AllocMode::FullDup);
+    VliwProgram mutated = compiled.program;
+
+    // Drop the Y-bank twin of one duplicated store: the copies can now
+    // silently diverge.
+    bool injected = false;
+    for (VliwInst &inst : mutated.insts) {
+        for (int s : {SlotMU0, SlotMU1}) {
+            auto &slot = inst.slots[s];
+            if (slot && isStore(slot->opcode) && slot->mem.valid() &&
+                slot->mem.object->duplicated &&
+                slot->mem.bank == Bank::Y) {
+                slot.reset();
+                injected = true;
+                break;
+            }
+        }
+        if (injected)
+            break;
+    }
+    ASSERT_TRUE(injected) << "no duplicated store emitted under FullDup";
+
+    McVerifyResult r = verifyMachineCode(mutated, *compiled.module);
+    EXPECT_TRUE(r.has(McCheck::DupCoherence)) << r.str();
+}
+
+// ---------------------------------------------------------------------
+// Check (c): dual-stack discipline.
+// ---------------------------------------------------------------------
+
+const char *kFrameSource = R"(
+    int helper(int x) {
+        int t[4];
+        t[0] = x;
+        t[1] = x + 1;
+        t[2] = x * 2;
+        t[3] = t[0] + t[2];
+        int s = 0;
+        for (int i = 0; i < 4; i++)
+            s += t[i];
+        return s;
+    }
+    void main() {
+        out(helper(5));
+        out(helper(11));
+    }
+)";
+
+TEST(McVerify, StackDisciplineFiresOnAsymmetricRelease)
+{
+    auto compiled = compile(kFrameSource, AllocMode::CB);
+    VliwProgram mutated = compiled.program;
+
+    // Grow one epilogue SP release so it no longer matches the
+    // prologue allocation.
+    const VReg sp_x(RegClass::Addr, regs::AddrSpX);
+    const VReg sp_y(RegClass::Addr, regs::AddrSpY);
+    bool injected = false;
+    for (VliwInst &inst : mutated.insts) {
+        for (int s = 0; s < NumSlots && !injected; ++s) {
+            auto &slot = inst.slots[s];
+            if (slot && slot->opcode == Opcode::AAddI &&
+                (slot->def() == sp_x || slot->def() == sp_y) &&
+                slot->imm > 0) {
+                slot->imm += 1;
+                injected = true;
+            }
+        }
+        if (injected)
+            break;
+    }
+    ASSERT_TRUE(injected) << "no epilogue stack release to mutate";
+
+    McVerifyResult r = verifyMachineCode(mutated, *compiled.module);
+    EXPECT_TRUE(r.has(McCheck::StackDiscipline)) << r.str();
+}
+
+TEST(McVerify, StackDisciplineFiresOnForeignSourceAdjustment)
+{
+    auto compiled = compile(kFrameSource, AllocMode::CB);
+    VliwProgram mutated = compiled.program;
+
+    // Rebase a stack adjustment off the *other* stack's pointer: the
+    // written SP no longer derives from its own previous value.
+    const VReg sp_x(RegClass::Addr, regs::AddrSpX);
+    const VReg sp_y(RegClass::Addr, regs::AddrSpY);
+    bool injected = false;
+    for (VliwInst &inst : mutated.insts) {
+        for (int s = 0; s < NumSlots && !injected; ++s) {
+            auto &slot = inst.slots[s];
+            if (slot && slot->opcode == Opcode::AAddI &&
+                (slot->def() == sp_x || slot->def() == sp_y)) {
+                slot->srcs[0] = slot->def() == sp_x ? sp_y : sp_x;
+                injected = true;
+            }
+        }
+        if (injected)
+            break;
+    }
+    ASSERT_TRUE(injected) << "no stack adjustment to mutate";
+
+    McVerifyResult r = verifyMachineCode(mutated, *compiled.module);
+    EXPECT_TRUE(r.has(McCheck::StackDiscipline)) << r.str();
+}
+
+// ---------------------------------------------------------------------
+// Check (d): address bounds.
+// ---------------------------------------------------------------------
+
+TEST(McVerify, AddressBoundsFiresOnOutOfRangeOffset)
+{
+    const char *src = R"(
+        int g = 3;
+        int h = 4;
+        void main() { out(g + h); }
+    )";
+    auto compiled = compile(src, AllocMode::CB);
+    VliwProgram mutated = compiled.program;
+
+    // Push a statically-addressed scalar access past its object.
+    bool injected = false;
+    for (VliwInst &inst : mutated.insts) {
+        for (int s : {SlotMU0, SlotMU1}) {
+            auto &slot = inst.slots[s];
+            if (slot && slot->isMem() && slot->mem.valid() &&
+                !slot->mem.index.valid() &&
+                !slot->mem.addrBase.valid() &&
+                slot->mem.object->storage == Storage::Global) {
+                slot->mem.offset = slot->mem.object->size + 100;
+                injected = true;
+                break;
+            }
+        }
+        if (injected)
+            break;
+    }
+    ASSERT_TRUE(injected) << "no statically-addressed global access";
+
+    McVerifyResult r = verifyMachineCode(mutated, *compiled.module);
+    EXPECT_TRUE(r.has(McCheck::AddressBounds)) << r.str();
+}
+
+// ---------------------------------------------------------------------
+// Check (e): schedule legality.
+// ---------------------------------------------------------------------
+
+TEST(McVerify, ScheduleFiresOnDoubleRegisterWrite)
+{
+    auto compiled = compile(kArrayLoop, AllocMode::CB);
+    VliwProgram mutated = compiled.program;
+
+    // Clone a computation into its sibling slot: two writes to one
+    // register now commit in the same cycle.
+    bool injected = false;
+    for (VliwInst &inst : mutated.insts) {
+        for (int s : {SlotAU0, SlotDU0, SlotFPU0}) {
+            if (inst.slots[s] && !inst.slots[s + 1] &&
+                inst.slots[s]->def().valid()) {
+                inst.slots[s + 1] = inst.slots[s];
+                injected = true;
+                break;
+            }
+        }
+        if (injected)
+            break;
+    }
+    ASSERT_TRUE(injected) << "no paired slot free for a clone";
+
+    McVerifyResult r = verifyMachineCode(mutated, *compiled.module);
+    EXPECT_TRUE(r.has(McCheck::Schedule)) << r.str();
+}
+
+TEST(McVerify, ScheduleFiresOnReorderedFlowDependence)
+{
+    auto compiled = compile(kArrayLoop, AllocMode::CB);
+    VliwProgram mutated = compiled.program;
+
+    // Swapping two adjacent instructions of a multi-instruction block
+    // must break some flow or output dependence somewhere in the
+    // program — compaction already packed independent ops into one
+    // cycle, so consecutive cycles of a block are never independent in
+    // both directions. Try each adjacent same-block pair until the
+    // verifier objects.
+    bool fired = false;
+    for (std::size_t pc = 0; pc + 1 < mutated.insts.size(); ++pc) {
+        VliwInst &a = mutated.insts[pc];
+        VliwInst &b = mutated.insts[pc + 1];
+        if (a.function != b.function || a.blockId != b.blockId)
+            continue;
+        // Control-flow ops must stay put: moving them changes targets.
+        auto hasCtl = [](const VliwInst &inst) {
+            return static_cast<bool>(inst.slots[SlotPCU]);
+        };
+        if (hasCtl(a) || hasCtl(b))
+            continue;
+        std::swap(a, b);
+        McVerifyResult r = verifyMachineCode(mutated, *compiled.module);
+        if (r.has(McCheck::Schedule)) {
+            fired = true;
+            break;
+        }
+        std::swap(a, b); // restore and try the next pair
+    }
+    EXPECT_TRUE(fired)
+        << "no adjacent swap produced a schedule violation";
+}
+
+// ---------------------------------------------------------------------
+// Structure: the linked stream must match the module.
+// ---------------------------------------------------------------------
+
+TEST(McVerify, StructureFiresOnForeignOp)
+{
+    auto compiled = compile(kArrayLoop, AllocMode::CB);
+    VliwProgram mutated = compiled.program;
+
+    // Insert an op the block never contained.
+    bool injected = false;
+    for (VliwInst &inst : mutated.insts) {
+        if (!inst.slots[SlotDU0]) {
+            Op op;
+            op.opcode = Opcode::MovI;
+            op.dst = VReg(RegClass::Int, 0);
+            op.imm = 777;
+            inst.slots[SlotDU0] = op;
+            injected = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(injected);
+
+    McVerifyResult r = verifyMachineCode(mutated, *compiled.module);
+    EXPECT_TRUE(r.has(McCheck::Structure)) << r.str();
+}
+
+TEST(McVerify, StructureFiresOnWrongSlot)
+{
+    auto compiled = compile(kArrayLoop, AllocMode::CB);
+    VliwProgram mutated = compiled.program;
+
+    // Move a memory op onto an arithmetic unit.
+    bool injected = false;
+    for (VliwInst &inst : mutated.insts) {
+        for (int s : {SlotMU0, SlotMU1}) {
+            if (inst.slots[s] && !inst.slots[SlotFPU1]) {
+                inst.slots[SlotFPU1] = inst.slots[s];
+                inst.slots[s].reset();
+                injected = true;
+                break;
+            }
+        }
+        if (injected)
+            break;
+    }
+    ASSERT_TRUE(injected);
+
+    McVerifyResult r = verifyMachineCode(mutated, *compiled.module);
+    EXPECT_TRUE(r.has(McCheck::Structure)) << r.str();
+}
+
+// ---------------------------------------------------------------------
+// Diagnostics plumbing.
+// ---------------------------------------------------------------------
+
+TEST(McVerify, ViolationReportCarriesLocation)
+{
+    auto compiled = compile(kArrayLoop, AllocMode::CB);
+    VliwProgram mutated = compiled.program;
+
+    int mutated_pc = -1;
+    for (std::size_t pc = 0; pc < mutated.insts.size(); ++pc) {
+        auto &slot = mutated.insts[pc].slots[SlotMU0];
+        if (slot && slot->isMem() && slot->mem.valid()) {
+            slot->mem.bank = Bank::Y;
+            mutated_pc = static_cast<int>(pc);
+            break;
+        }
+    }
+    ASSERT_GE(mutated_pc, 0);
+
+    McVerifyResult r = verifyMachineCode(mutated, *compiled.module);
+    ASSERT_TRUE(r.has(McCheck::BankConflict));
+    // The retag may trip several diagnostics (port discipline plus the
+    // pairwise conflict against MU1); at least one must pinpoint the
+    // mutated slot exactly.
+    bool located = false;
+    for (const McViolation &v : r.violations) {
+        if (v.check != McCheck::BankConflict)
+            continue;
+        EXPECT_FALSE(v.function.empty());
+        EXPECT_NE(v.str().find("bank-conflict"), std::string::npos);
+        if (v.pc == mutated_pc && v.slot == SlotMU0)
+            located = true;
+    }
+    EXPECT_TRUE(located);
+    EXPECT_GT(r.instsChecked, 0);
+    EXPECT_GT(r.memOpsChecked, 0);
+}
+
+TEST(McVerify, CompilerDiesOnViolationWhenEnabled)
+{
+    // verifyMachineCodeOrDie reports violations as InternalError: an
+    // emitted violation is by definition a compiler bug.
+    auto compiled = compile(kArrayLoop, AllocMode::CB);
+    VliwProgram mutated = compiled.program;
+    for (VliwInst &inst : mutated.insts) {
+        auto &slot = inst.slots[SlotMU0];
+        if (slot && slot->isMem() && slot->mem.valid()) {
+            slot->mem.bank = Bank::Y;
+            break;
+        }
+    }
+    EXPECT_THROW(verifyMachineCodeOrDie(mutated, *compiled.module),
+                 InternalError);
+}
+
+// ---------------------------------------------------------------------
+// The sweep: every benchmark, every mode, zero violations.
+// ---------------------------------------------------------------------
+
+struct SweepCase
+{
+    const Benchmark *bench;
+    AllocMode mode;
+};
+
+std::vector<SweepCase>
+allSweepCases()
+{
+    std::vector<SweepCase> cases;
+    for (const Benchmark *b : allBenchmarks()) {
+        for (AllocMode mode :
+             {AllocMode::SingleBank, AllocMode::CB, AllocMode::CBDup,
+              AllocMode::FullDup, AllocMode::Ideal}) {
+            cases.push_back({b, mode});
+        }
+    }
+    return cases;
+}
+
+std::string
+modeIdent(AllocMode mode)
+{
+    switch (mode) {
+      case AllocMode::SingleBank: return "SingleBank";
+      case AllocMode::CB: return "CB";
+      case AllocMode::CBDup: return "CBDup";
+      case AllocMode::FullDup: return "FullDup";
+      case AllocMode::Ideal: return "Ideal";
+    }
+    return "Unknown";
+}
+
+class McVerifySweep : public ::testing::TestWithParam<SweepCase>
+{
+};
+
+TEST_P(McVerifySweep, CleanOnSuite)
+{
+    const SweepCase &c = GetParam();
+    CompileOptions opts;
+    opts.mode = c.mode;
+    opts.verifyMc = false; // verify explicitly below
+    auto compiled = compileSource(c.bench->source, opts);
+
+    McVerifyResult r =
+        verifyMachineCode(compiled.program, *compiled.module);
+    EXPECT_TRUE(r.ok()) << c.bench->name << " ("
+                        << allocModeName(c.mode) << "):\n"
+                        << r.str();
+    EXPECT_GT(r.instsChecked, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarksAllModes, McVerifySweep,
+    ::testing::ValuesIn(allSweepCases()), [](const auto &info) {
+        return info.param.bench->name + "_" +
+               modeIdent(info.param.mode);
+    });
+
+} // namespace
+} // namespace dsp

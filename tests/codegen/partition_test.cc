@@ -6,8 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "codegen/interference.hh"
 #include "codegen/partition.hh"
+#include "driver/compiler.hh"
 #include "ir/module.hh"
 
 namespace dsp
@@ -229,6 +232,59 @@ TEST_P(PartitionProperty, GreedyNeverIncreasesCostAndBeatsHalfTotal)
 
 INSTANTIATE_TEST_SUITE_P(RandomGraphs, PartitionProperty,
                          ::testing::Range(1, 33));
+
+// ---------------------------------------------------------------------
+// Determinism: repeated compiles must make identical decisions.
+// ---------------------------------------------------------------------
+
+/** Bank decisions keyed by name plus the full emitted program — a
+ *  complete fingerprint of the allocation and code-generation output. */
+std::string
+compileFingerprint(const std::string &src, AllocMode mode)
+{
+    CompileOptions opts;
+    opts.mode = mode;
+    auto compiled = compileSource(src, opts);
+    std::ostringstream os;
+    for (const auto &g : compiled.module->globals)
+        os << g->name << ":" << bankName(g->bank)
+           << (g->duplicated ? ":dup" : "") << "\n";
+    os << printVliwProgram(compiled.program);
+    return os.str();
+}
+
+TEST(PartitionDeterminism, RepeatedCompilesAgree)
+{
+    // Several same-weight objects and a tie-rich access pattern: if
+    // any pass iterates a pointer-keyed container, heap-address
+    // variation between compiles (same process, different allocation
+    // order) makes ties break differently and the fingerprints split.
+    const char *src = R"(
+        int a[16]; int b[16]; int c[16]; int d[16];
+        int e[16]; int f[16]; int g[16]; int h[16];
+        void main() {
+            for (int i = 0; i < 16; i++) {
+                a[i] = i; b[i] = i; c[i] = i; d[i] = i;
+                e[i] = i; f[i] = i; g[i] = i; h[i] = i;
+            }
+            int s = 0;
+            for (int i = 0; i < 16; i++) {
+                s += a[i] * b[i] + c[i] * d[i];
+                s += e[i] * f[i] + g[i] * h[i];
+                s += a[i] * c[i] + b[i] * d[i];
+            }
+            out(s);
+        }
+    )";
+    for (AllocMode mode :
+         {AllocMode::SingleBank, AllocMode::CB, AllocMode::CBDup,
+          AllocMode::FullDup, AllocMode::Ideal}) {
+        std::string first = compileFingerprint(src, mode);
+        for (int round = 1; round < 4; ++round)
+            EXPECT_EQ(compileFingerprint(src, mode), first)
+                << allocModeName(mode) << " round " << round;
+    }
+}
 
 } // namespace
 } // namespace dsp

@@ -8,6 +8,7 @@
 
 #include "driver/compile_cache.hh"
 #include "driver/compiler.hh"
+#include "support/job_pool.hh"
 
 namespace dsp
 {
@@ -223,17 +224,95 @@ TEST(CompileCache, ProfileCompilationsBypassTheCache)
 
 TEST(CompileCache, OptionsKeySeparatesEveryKnob)
 {
-    CompileOptions a;
-    CompileOptions b;
+    // One variant per codegen-affecting CompileOptions field. Every
+    // pair of option sets — each variant against the default AND
+    // against every other variant — must produce a distinct key: two
+    // different compilations silently aliasing to one cache entry is
+    // the bug this test pins. When a field is added to CompileOptions,
+    // extend optionsKey() and this list together (compile_cache.hh).
+    std::vector<std::pair<const char *, CompileOptions>> variants;
+    auto add = [&](const char *label, auto &&mutate) {
+        CompileOptions o;
+        mutate(o);
+        variants.push_back({label, o});
+    };
+    add("default", [](CompileOptions &) {});
+    add("mode", [](CompileOptions &o) { o.mode = AllocMode::Ideal; });
+    add("weights",
+        [](CompileOptions &o) { o.weights = WeightPolicy::Uniform; });
+    add("alternatingPartitioner",
+        [](CompileOptions &o) { o.alternatingPartitioner = true; });
+    add("atomicDupStores",
+        [](CompileOptions &o) { o.atomicDupStores = true; });
+    add("machine.bankWords",
+        [](CompileOptions &o) { o.machine.bankWords = 4096; });
+    add("machine.stackWords",
+        [](CompileOptions &o) { o.machine.stackWords = 512; });
+    add("machine.dualPorted",
+        [](CompileOptions &o) { o.machine.dualPorted = true; });
+    add("optLevel", [](CompileOptions &o) { o.optLevel = 0; });
+    add("verifyMc", [](CompileOptions &o) { o.verifyMc = false; });
+
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+        for (std::size_t j = i + 1; j < variants.size(); ++j) {
+            EXPECT_NE(CompileCache::optionsKey(variants[i].second),
+                      CompileCache::optionsKey(variants[j].second))
+                << variants[i].first << " vs " << variants[j].first;
+        }
+    }
+
+    // Same options, independently constructed: same key.
+    CompileOptions a, b;
     EXPECT_EQ(CompileCache::optionsKey(a), CompileCache::optionsKey(b));
-    b.weights = WeightPolicy::Uniform;
-    EXPECT_NE(CompileCache::optionsKey(a), CompileCache::optionsKey(b));
-    b = a;
-    b.machine.bankWords = 4096;
-    EXPECT_NE(CompileCache::optionsKey(a), CompileCache::optionsKey(b));
-    b = a;
-    b.optLevel = 0;
-    EXPECT_NE(CompileCache::optionsKey(a), CompileCache::optionsKey(b));
+}
+
+TEST(CompileCache, ConcurrentLookupsCompileOnce)
+{
+    // Many threads race on a handful of distinct keys; each key must
+    // compile exactly once and every requester of a key must receive
+    // the same shared result object.
+    const std::vector<std::string> sources = {
+        "void main() { out(1); }",
+        "void main() { out(2); }",
+        "void main() { out(3); }",
+    };
+    const AllocMode modes[] = {AllocMode::SingleBank, AllocMode::CB};
+    const int distinct = static_cast<int>(sources.size()) *
+                         static_cast<int>(std::size(modes));
+    const int rounds = 8;
+
+    CompileCache cache;
+    std::vector<std::shared_ptr<const CompileResult>> got(
+        static_cast<std::size_t>(distinct) * rounds);
+    {
+        JobPool pool(8);
+        for (int r = 0; r < rounds; ++r) {
+            for (std::size_t si = 0; si < sources.size(); ++si) {
+                for (std::size_t mi = 0; mi < std::size(modes); ++mi) {
+                    std::size_t slot =
+                        (r * sources.size() + si) * std::size(modes) +
+                        mi;
+                    pool.submit([&, si, mi, slot] {
+                        CompileOptions opts;
+                        opts.mode = modes[mi];
+                        got[slot] = cache.get(sources[si], opts);
+                    });
+                }
+            }
+        }
+        pool.wait();
+    }
+
+    EXPECT_EQ(cache.compileCount(), distinct);
+    // All rounds of one key saw the identical object.
+    for (int r = 1; r < rounds; ++r) {
+        for (int k = 0; k < distinct; ++k) {
+            EXPECT_EQ(got[static_cast<std::size_t>(r) * distinct + k]
+                          .get(),
+                      got[k].get())
+                << "key " << k << " round " << r;
+        }
+    }
 }
 
 } // namespace

@@ -114,6 +114,82 @@ TEST(SimFaults, RunawayCycleBudget)
     EXPECT_THROW(sim.run(10'000), UserError);
 }
 
+// Budget boundary semantics of runBounded, as documented in
+// simulator.hh: a budget of N executes at most N instructions, and the
+// halt check precedes the budget check. Run the program to completion
+// first to learn its exact length N, then probe budgets N-1, N, N+1 on
+// both engines.
+TEST(SimFaults, RunBoundedBudgetBoundary)
+{
+    CompileOptions opts;
+    auto compiled = compileSource(
+        "void main() { int s = 0;"
+        "  for (int i = 0; i < 5; i++) s += i;"
+        "  out(s); }",
+        opts);
+
+    long n = 0;
+    {
+        Simulator probe(compiled.program, *compiled.module);
+        ASSERT_EQ(probe.runBounded(1'000'000),
+                  Simulator::RunStatus::Halted);
+        n = probe.stats().cycles;
+        ASSERT_GT(n, 1);
+    }
+
+    for (Fidelity fid : {Fidelity::Instrumented, Fidelity::Fast}) {
+        // Budget N-1: one instruction short of the Halt.
+        {
+            Simulator sim(compiled.program, *compiled.module, fid);
+            EXPECT_EQ(sim.runBounded(n - 1),
+                      Simulator::RunStatus::CycleBudgetExhausted)
+                << fidelityName(fid);
+            EXPECT_EQ(sim.stats().cycles, n - 1) << fidelityName(fid);
+            EXPECT_FALSE(sim.halted()) << fidelityName(fid);
+        }
+        // Budget N: Halt commits as exactly the N-th instruction.
+        {
+            Simulator sim(compiled.program, *compiled.module, fid);
+            EXPECT_EQ(sim.runBounded(n), Simulator::RunStatus::Halted)
+                << fidelityName(fid);
+            EXPECT_EQ(sim.stats().cycles, n) << fidelityName(fid);
+            EXPECT_TRUE(sim.halted()) << fidelityName(fid);
+        }
+        // Budget N+1: slack changes nothing — no extra execution, no
+        // double-counted halting instruction.
+        {
+            Simulator sim(compiled.program, *compiled.module, fid);
+            EXPECT_EQ(sim.runBounded(n + 1),
+                      Simulator::RunStatus::Halted)
+                << fidelityName(fid);
+            EXPECT_EQ(sim.stats().cycles, n) << fidelityName(fid);
+        }
+    }
+}
+
+TEST(SimFaults, RunBoundedBudgetBoundaryReportsNoOutputShortfall)
+{
+    // Exhaustion must leave the partial architectural state intact:
+    // the words output before the budget ran out are still there.
+    CompileOptions opts;
+    auto compiled = compileSource(
+        "void main() { out(11); out(22); out(33); }", opts);
+
+    Simulator full(compiled.program, *compiled.module);
+    ASSERT_EQ(full.runBounded(1'000'000), Simulator::RunStatus::Halted);
+    long n = full.stats().cycles;
+    ASSERT_EQ(full.output().size(), 3u);
+
+    Simulator cut(compiled.program, *compiled.module);
+    ASSERT_EQ(cut.runBounded(n - 1),
+              Simulator::RunStatus::CycleBudgetExhausted);
+    // The final out() may or may not have committed depending on where
+    // the Halt landed, but earlier output is never lost.
+    EXPECT_GE(cut.output().size(), 2u);
+    EXPECT_EQ(cut.output().at(0).asInt(), 11);
+    EXPECT_EQ(cut.output().at(1).asInt(), 22);
+}
+
 TEST(SimMemory, GlobalInitialization)
 {
     auto r = run(R"(
