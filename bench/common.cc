@@ -39,15 +39,40 @@ checkOutput(const Benchmark &bench, const RunResult &run,
     }
 }
 
+/** Execution limits for one simulation run: always the suite cycle
+ *  budget; when a JobContext is supplied, also its wall-clock deadline
+ *  and the pool's cancellation flag, polled every million cycles. */
+RunLimits
+runLimitsFor(const JobContext *ctx)
+{
+    RunLimits limits;
+    limits.maxCycles = kMaxCycles;
+    if (ctx) {
+        limits.expired = [ctx] {
+            return ctx->expired() || ctx->cancelled();
+        };
+        limits.pollCycles = 1'000'000;
+    } else {
+        limits.pollCycles = kMaxCycles; // no deadline: one chunk
+    }
+    return limits;
+}
+
 /** Run an already-compiled binary and score it. Throws UserError on a
- *  machine fault or cycle-budget exhaustion (the caller catches and
- *  records; the process keeps going). */
+ *  machine fault or cycle-budget exhaustion and JobTimeout past the
+ *  job's deadline (the caller catches and records; the process keeps
+ *  going). */
 Measurement
 measureCompiled(const Benchmark &bench, const CompileResult &compiled,
-                long base_cycles, long base_cost, Fidelity fidelity)
+                long base_cycles, long base_cost, Fidelity fidelity,
+                const JobContext *ctx)
 {
-    RunOutcome outcome =
-        tryRunProgram(compiled, bench.input, kMaxCycles, fidelity);
+    RunOutcome outcome = tryRunProgram(compiled, bench.input,
+                                       runLimitsFor(ctx), fidelity);
+    if (outcome.timedOut)
+        throw JobTimeout(bench.name + " (" +
+                         allocModeName(compiled.options.mode) +
+                         "): " + outcome.error);
     if (!outcome.ok)
         fatal(bench.name, " (", allocModeName(compiled.options.mode),
               "): ", outcome.error);
@@ -83,21 +108,36 @@ compileVia(CompileCache *cache, const std::string &source,
         compileSource(source, opts));
 }
 
+/** Append @p compiled's degradation trail to @p out, one line per
+ *  event, prefixed with the report-mode key ("cb: pass-rollback ..."). */
+void
+collectDegradations(const char *mode_key, const CompileResult &compiled,
+                    std::vector<std::string> *out)
+{
+    if (!out)
+        return;
+    for (const DegradationEvent &event : compiled.degradations)
+        out->push_back(std::string(mode_key) + ": " + event.str());
+}
+
 } // namespace
 
 Measurement
 measureMode(const Benchmark &bench, const CompileOptions &opts,
             long base_cycles, long base_cost, CompileCache *cache,
-            Fidelity fidelity)
+            Fidelity fidelity, const JobContext *ctx,
+            std::vector<std::string> *degradations)
 {
     auto compiled = compileVia(cache, bench.source, opts);
+    collectDegradations(allocModeName(opts.mode), *compiled,
+                        degradations);
     return measureCompiled(bench, *compiled, base_cycles, base_cost,
-                           fidelity);
+                           fidelity, ctx);
 }
 
 BenchResult
 measureBenchmark(const Benchmark &bench, CompileCache *cache,
-                 Fidelity fidelity)
+                 Fidelity fidelity, const JobContext *ctx, bool resilient)
 {
     auto t0 = std::chrono::steady_clock::now();
 
@@ -109,9 +149,28 @@ measureBenchmark(const Benchmark &bench, CompileCache *cache,
     r.name = bench.name;
     r.label = bench.label;
 
+    // One measurement, with the compile's degradation trail keyed by
+    // the report-mode name (so "cb" and "profile_cb" stay distinct).
+    auto measure = [&](const char *key, const CompileOptions &mode_opts,
+                       long bc, long bk) {
+        std::vector<std::string> events;
+        Measurement m = measureMode(bench, mode_opts, bc, bk, cache,
+                                    fidelity, ctx, &events);
+        for (const std::string &event : events) {
+            // Re-key: measureMode prefixes with the alloc-mode name.
+            std::size_t colon = event.find(": ");
+            r.degradations.push_back(
+                std::string(key) + ": " +
+                (colon == std::string::npos ? event
+                                            : event.substr(colon + 2)));
+        }
+        return m;
+    };
+
     CompileOptions base_opts;
     base_opts.mode = AllocMode::SingleBank;
-    r.base = measureMode(bench, base_opts, 0, 0, cache, fidelity);
+    base_opts.resilient = resilient;
+    r.base = measure("single_bank", base_opts, 0, 0);
     long bc = r.base.cycles;
     long bk = r.base.cost.total();
     r.base.pg = 1.0;
@@ -122,35 +181,44 @@ measureBenchmark(const Benchmark &bench, CompileCache *cache,
     // collection below.
     CompileOptions cb_opts;
     cb_opts.mode = AllocMode::CB;
+    cb_opts.resilient = resilient;
     auto cb_compiled = compileVia(cache, bench.source, cb_opts);
-    r.cb = measureCompiled(bench, *cb_compiled, bc, bk, fidelity);
+    collectDegradations("cb", *cb_compiled, &r.degradations);
+    r.cb = measureCompiled(bench, *cb_compiled, bc, bk, fidelity, ctx);
 
     // Profile-driven weights: run the CB binary once on the
     // instrumented engine to collect block execution counts, then
     // recompile with Profile weights.
     {
-        auto profile_run = runProgram(*cb_compiled, bench.input,
-                                      kMaxCycles,
-                                      Fidelity::Instrumented);
-        ProfileCounts counts = profile_run.profile;
-        r.simCycles += profile_run.stats.cycles;
+        RunOutcome profile_run =
+            tryRunProgram(*cb_compiled, bench.input, runLimitsFor(ctx),
+                          Fidelity::Instrumented);
+        if (profile_run.timedOut)
+            throw JobTimeout(bench.name +
+                             " (profile run): " + profile_run.error);
+        if (!profile_run.ok)
+            fatal(bench.name, " (profile run): ", profile_run.error);
+        ProfileCounts counts = profile_run.result.profile;
+        r.simCycles += profile_run.result.stats.cycles;
 
         CompileOptions pr_opts;
         pr_opts.mode = AllocMode::CB;
         pr_opts.weights = WeightPolicy::Profile;
         pr_opts.profile = &counts;
-        r.pr = measureMode(bench, pr_opts, bc, bk, cache, fidelity);
+        pr_opts.resilient = resilient;
+        r.pr = measure("profile_cb", pr_opts, bc, bk);
     }
 
     CompileOptions opts;
+    opts.resilient = resilient;
     opts.mode = AllocMode::CBDup;
-    r.dup = measureMode(bench, opts, bc, bk, cache, fidelity);
+    r.dup = measure("cb_dup", opts, bc, bk);
 
     opts.mode = AllocMode::FullDup;
-    r.fullDup = measureMode(bench, opts, bc, bk, cache, fidelity);
+    r.fullDup = measure("full_dup", opts, bc, bk);
 
     opts.mode = AllocMode::Ideal;
-    r.ideal = measureMode(bench, opts, bc, bk, cache, fidelity);
+    r.ideal = measure("ideal", opts, bc, bk);
 
     r.simCycles += r.base.cycles + r.cb.cycles + r.pr.cycles +
                    r.dup.cycles + r.fullDup.cycles + r.ideal.cycles;
@@ -170,18 +238,35 @@ measureSuite(const std::vector<Benchmark> &benches,
     {
         JobPool pool(opts.threads);
         threads = pool.threadCount();
+        JobLimits limits;
+        limits.timeoutSeconds = opts.benchTimeoutSeconds;
+        limits.retries = opts.benchRetries;
         for (std::size_t i = 0; i < benches.size(); ++i) {
-            pool.submit([&, i] {
-                try {
-                    results[i] = measureBenchmark(benches[i], &cache,
-                                                  opts.fidelity);
-                } catch (const std::exception &e) {
-                    results[i].name = benches[i].name;
-                    results[i].label = benches[i].label;
-                    results[i].error = e.what();
-                    results[i].hostSeconds = 0.0;
-                }
-            });
+            pool.submit(
+                [&, i](JobContext &ctx) {
+                    try {
+                        results[i] = measureBenchmark(
+                            benches[i], &cache, opts.fidelity, &ctx,
+                            opts.resilient);
+                    } catch (const JobTimeout &e) {
+                        // Rethrow while retries remain: the pool
+                        // requeues the job for another attempt. The
+                        // final timeout becomes this row's error —
+                        // never the whole sweep's.
+                        if (ctx.attempt() < opts.benchRetries)
+                            throw;
+                        results[i].name = benches[i].name;
+                        results[i].label = benches[i].label;
+                        results[i].error = e.what();
+                        results[i].hostSeconds = 0.0;
+                    } catch (const std::exception &e) {
+                        results[i].name = benches[i].name;
+                        results[i].label = benches[i].label;
+                        results[i].error = e.what();
+                        results[i].hostSeconds = 0.0;
+                    }
+                },
+                limits);
         }
         pool.wait();
     }
@@ -282,6 +367,14 @@ writeBenchJson(const std::string &path, const std::string &suite,
         } else {
             os << "      \"host_seconds\": " << jsonNum(r.hostSeconds)
                << ",\n";
+            if (!r.degradations.empty()) {
+                os << "      \"degraded\": [";
+                for (std::size_t d = 0; d < r.degradations.size(); ++d) {
+                    os << (d ? ", " : "") << '"'
+                       << jsonEscape(r.degradations[d]) << '"';
+                }
+                os << "],\n";
+            }
             os << "      \"sim_cycles\": " << r.simCycles << ",\n";
             os << "      \"mips\": "
                << jsonNum(mips(r.simCycles, r.hostSeconds)) << ",\n";

@@ -23,6 +23,7 @@
 #include "driver/compile_cache.hh"
 #include "driver/compiler.hh"
 #include "suite/suite.hh"
+#include "support/job_pool.hh"
 
 namespace dsp
 {
@@ -58,8 +59,15 @@ struct BenchResult
     Measurement ideal;   ///< dual-ported memory
 
     /** Non-empty if the benchmark failed (compile error, machine
-     *  fault, runaway cycle budget, output mismatch). */
+     *  fault, runaway cycle budget, output mismatch, timeout). */
     std::string error;
+    /**
+     * Degradation events from resilient compiles, one line per event,
+     * prefixed with the allocation mode that degraded ("cb: ..."). A
+     * degraded benchmark still measures — these lines flag that some
+     * mode fell back to a safer configuration (see DESIGN.md).
+     */
+    std::vector<std::string> degradations;
     /** Host wall-clock seconds spent measuring this benchmark. */
     double hostSeconds = 0.0;
     /** Simulated cycles summed over every run of this benchmark. */
@@ -70,19 +78,30 @@ struct BenchResult
 
 /**
  * Run every technique over @p bench (validating outputs throughout).
- * @p cache    Optional shared compile cache (nullptr = private cache).
- * @p fidelity Simulator engine for the measurement runs; profile
- *             collection always uses the instrumented engine.
+ * @p cache     Optional shared compile cache (nullptr = private cache).
+ * @p fidelity  Simulator engine for the measurement runs; profile
+ *              collection always uses the instrumented engine.
+ * @p ctx       Optional JobPool context: simulation runs poll its
+ *              deadline/cancellation between chunks and abandon the
+ *              benchmark with JobTimeout.
+ * @p resilient Compile with graceful degradation (default): a faulting
+ *              pass or allocator falls back instead of erroring the
+ *              benchmark; events land in BenchResult::degradations.
  */
 BenchResult measureBenchmark(const Benchmark &bench,
                              CompileCache *cache = nullptr,
-                             Fidelity fidelity = Fidelity::Fast);
+                             Fidelity fidelity = Fidelity::Fast,
+                             const JobContext *ctx = nullptr,
+                             bool resilient = true);
 
-/** Measure one mode only (used by ablations). */
+/** Measure one mode only (used by ablations). @p degradations, when
+ *  non-null, collects mode-prefixed degradation lines. */
 Measurement measureMode(const Benchmark &bench, const CompileOptions &opts,
                         long base_cycles, long base_cost,
                         CompileCache *cache = nullptr,
-                        Fidelity fidelity = Fidelity::Fast);
+                        Fidelity fidelity = Fidelity::Fast,
+                        const JobContext *ctx = nullptr,
+                        std::vector<std::string> *degradations = nullptr);
 
 /** Knobs for a parallel suite run. */
 struct SuiteRunOptions
@@ -94,6 +113,14 @@ struct SuiteRunOptions
     std::string jsonPath;
     /** Tag recorded in the report (e.g. "fig7_kernels"). */
     std::string suiteName;
+    /** Per-benchmark wall-clock budget (0 = none). A benchmark that
+     *  exceeds it is retried, then reported as an error row — the rest
+     *  of the sweep is unaffected. */
+    double benchTimeoutSeconds = 0;
+    /** Extra attempts after a benchmark times out. */
+    int benchRetries = 1;
+    /** Compile with graceful degradation (see measureBenchmark). */
+    bool resilient = true;
 };
 
 /**

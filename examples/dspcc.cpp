@@ -12,6 +12,14 @@
  *     dspcc --asm prog.c                  # dump VLIW assembly
  *     dspcc --in=1,2,3 prog.c             # provide input words
  *     dspcc --compare prog.c              # cycle counts for all modes
+ *     dspcc --inject=opt.dce prog.c       # demo graceful degradation
+ *
+ * Exit codes (pinned by tests/driver/dspcc_cli_test.cc):
+ *   0  success
+ *   1  user error (bad source, bad usage, unreadable file)
+ *   2  internal error (compiler bug; in --strict mode any internal
+ *      failure surfaces here instead of degrading)
+ *   3  the compile succeeded but degraded, and --werror was given
  */
 
 #include <fstream>
@@ -19,6 +27,7 @@
 #include <sstream>
 
 #include "driver/compiler.hh"
+#include "support/fault_injection.hh"
 #include "support/string_utils.hh"
 
 using namespace dsp;
@@ -34,6 +43,14 @@ struct CliOptions
     bool showGraph = false;
     bool compare = false;
     bool verifyMc = true;
+    /** Fail loud: disable the degradation ladder (CompileOptions::
+     *  resilient) so internal errors exit 2 instead of falling back. */
+    bool strict = false;
+    /** Treat a degraded compile as an error (exit 3). */
+    bool werror = false;
+    int maxErrors = 20;
+    /** Fault sites to arm ("opt.dce", "mcverify", "sim.mem:100"). */
+    std::vector<std::string> inject;
     std::vector<uint32_t> input;
 };
 
@@ -49,8 +66,20 @@ usage()
            "  --in=a,b,c    integer input words for in()/inf()\n"
            "  --verify-mc / --no-verify-mc\n"
            "                run the machine-code bank-safety verifier\n"
-           "                on the emitted program (default: on)\n";
-    std::exit(2);
+           "                on the emitted program (default: on)\n"
+           "  --strict      fail loud: no graceful degradation; any\n"
+           "                internal failure exits 2\n"
+           "  --werror      exit 3 when the compile degraded\n"
+           "  --max-errors=N\n"
+           "                report up to N front-end errors before\n"
+           "                giving up (default 20)\n"
+           "  --inject=site[:n]\n"
+           "                arm a fault at a pipeline site on its n'th\n"
+           "                visit (testing; site sim.mem:n faults the\n"
+           "                simulator after n memory operations)\n"
+           "exit codes: 0 ok, 1 user error, 2 internal error,\n"
+           "            3 degraded compile with --werror\n";
+    std::exit(1); // bad usage is a user error
 }
 
 AllocMode
@@ -87,6 +116,16 @@ parseArgs(int argc, char **argv)
             cli.verifyMc = true;
         } else if (arg == "--no-verify-mc") {
             cli.verifyMc = false;
+        } else if (arg == "--strict") {
+            cli.strict = true;
+        } else if (arg == "--werror") {
+            cli.werror = true;
+        } else if (startsWith(arg, "--max-errors=")) {
+            cli.maxErrors = std::stoi(arg.substr(13));
+            if (cli.maxErrors < 1)
+                usage();
+        } else if (startsWith(arg, "--inject=")) {
+            cli.inject.push_back(arg.substr(9));
         } else if (startsWith(arg, "--in=")) {
             for (const std::string &tok :
                  splitString(arg.substr(5), ',')) {
@@ -105,6 +144,29 @@ parseArgs(int argc, char **argv)
     return cli;
 }
 
+/** Arm every --inject site on @p plan ("site" or "site:n"). */
+void
+armInjections(FaultPlan &plan, const CliOptions &cli)
+{
+    for (const std::string &spec : cli.inject) {
+        std::string site = spec;
+        std::uint64_t n = 1;
+        std::size_t colon = spec.rfind(':');
+        if (colon != std::string::npos) {
+            site = spec.substr(0, colon);
+            try {
+                n = std::stoull(spec.substr(colon + 1));
+            } catch (const std::exception &) {
+                usage();
+            }
+        }
+        if (site == "sim.mem")
+            plan.armSimMemFault(n);
+        else
+            plan.arm(site, n);
+    }
+}
+
 std::string
 readFile(const std::string &path)
 {
@@ -118,13 +180,32 @@ readFile(const std::string &path)
     return ss.str();
 }
 
-void
-runOnce(const std::string &source, const CliOptions &cli)
+CompileOptions
+compileOptions(const CliOptions &cli, AllocMode mode)
 {
     CompileOptions opts;
-    opts.mode = cli.mode;
+    opts.mode = mode;
     opts.verifyMc = cli.verifyMc;
-    auto compiled = compileSource(source, opts);
+    opts.resilient = !cli.strict;
+    opts.maxErrors = cli.maxErrors;
+    return opts;
+}
+
+/** Print @p compiled's degradation trail as warnings; returns whether
+ *  any degradation happened (drives the --werror exit code). */
+bool
+reportDegradations(const CompileResult &compiled)
+{
+    for (const DegradationEvent &event : compiled.degradations)
+        std::cerr << "dspcc: warning: degraded: " << event.str() << "\n";
+    return compiled.degraded();
+}
+
+bool
+runOnce(const std::string &source, const CliOptions &cli)
+{
+    auto compiled = compileSource(source, compileOptions(cli, cli.mode));
+    bool degraded = reportDegradations(compiled);
 
     if (cli.showGraph) {
         std::cout << "=== interference graph ===\n"
@@ -158,19 +239,19 @@ runOnce(const std::string &source, const CliOptions &cli)
         }
         std::cout << "\n";
     }
+    return degraded;
 }
 
-void
+bool
 runCompare(const std::string &source, const CliOptions &cli)
 {
     long base = 0;
+    bool degraded = false;
     for (AllocMode mode :
          {AllocMode::SingleBank, AllocMode::CB, AllocMode::CBDup,
           AllocMode::FullDup, AllocMode::Ideal}) {
-        CompileOptions opts;
-        opts.mode = mode;
-        opts.verifyMc = cli.verifyMc;
-        auto compiled = compileSource(source, opts);
+        auto compiled = compileSource(source, compileOptions(cli, mode));
+        degraded |= reportDegradations(compiled);
         auto run = runProgram(compiled, cli.input);
         if (mode == AllocMode::SingleBank)
             base = run.stats.cycles;
@@ -181,6 +262,7 @@ runCompare(const std::string &source, const CliOptions &cli)
                   << " cycles  " << padLeft(fixed(gain, 1), 6)
                   << "% gain\n";
     }
+    return degraded;
 }
 
 } // namespace
@@ -190,14 +272,25 @@ main(int argc, char **argv)
 {
     CliOptions cli = parseArgs(argc, argv);
     std::string source = readFile(cli.file);
+
+    FaultPlan plan;
+    armInjections(plan, cli);
+    ScopedFaultPlan scope(plan);
+
     try {
-        if (cli.compare)
-            runCompare(source, cli);
-        else
-            runOnce(source, cli);
+        bool degraded =
+            cli.compare ? runCompare(source, cli) : runOnce(source, cli);
+        if (degraded && cli.werror) {
+            std::cerr << "dspcc: error: compile degraded "
+                         "(--werror)\n";
+            return 3;
+        }
     } catch (const UserError &e) {
         std::cerr << "dspcc: " << e.what() << "\n";
         return 1;
+    } catch (const std::exception &e) {
+        std::cerr << "dspcc: internal error: " << e.what() << "\n";
+        return 2;
     }
     return 0;
 }

@@ -14,7 +14,8 @@ CompileCache::optionsKey(const CompileOptions &opts)
        << opts.alternatingPartitioner << opts.atomicDupStores << '/'
        << opts.machine.bankWords << ',' << opts.machine.stackWords << ','
        << opts.machine.dualPorted << '/' << opts.optLevel << '/'
-       << opts.verifyMc;
+       << opts.verifyMc << '/' << opts.resilient << '/'
+       << opts.maxErrors;
     return os.str();
 }
 

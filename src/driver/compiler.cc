@@ -1,5 +1,6 @@
 #include "driver/compiler.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "codegen/frame.hh"
@@ -11,31 +12,77 @@
 #include "minic/parser.hh"
 #include "minic/sema.hh"
 #include "opt/passes.hh"
+#include "support/fault_injection.hh"
 
 namespace dsp
 {
 
+const char *
+degradationKindName(DegradationEvent::Kind kind)
+{
+    switch (kind) {
+      case DegradationEvent::Kind::PassRollback: return "pass-rollback";
+      case DegradationEvent::Kind::ModeFallback: return "mode-fallback";
+      case DegradationEvent::Kind::OptFallback: return "opt-fallback";
+    }
+    return "?";
+}
+
+std::string
+DegradationEvent::str() const
+{
+    std::string out = degradationKindName(kind);
+    out += " ";
+    out += stage;
+    if (!function.empty()) {
+        out += " in ";
+        out += function;
+    }
+    out += ": ";
+    out += detail;
+    return out;
+}
+
+namespace
+{
+
+/**
+ * One straight-through compile at exactly @p opts. Fault-site hooks
+ * cover every back-end stage; in resilient mode the optimizer runs
+ * its guarded variant and appends rollback events to @p events.
+ */
 CompileResult
-compileSource(const std::string &source, const CompileOptions &opts)
+compileOnce(const std::string &source, const CompileOptions &opts,
+            std::vector<DegradationEvent> *events)
 {
     CompileResult result;
     result.options = opts;
 
     // Front end.
-    result.ast = parseProgram(source);
+    result.ast = parseProgram(source, opts.maxErrors);
     analyzeProgram(*result.ast);
     result.module = lowerProgram(*result.ast);
     verifyOrDie(*result.module);
 
     // Machine-independent optimization.
     if (opts.optLevel > 0) {
-        runStandardPipeline(*result.module);
+        if (opts.resilient && events) {
+            PipelineReport report = runResilientPipeline(*result.module);
+            for (const PassDegradation &d : report.degradations) {
+                events->push_back(
+                    DegradationEvent{DegradationEvent::Kind::PassRollback,
+                                     d.pass, d.function, d.detail});
+            }
+        } else {
+            runStandardPipeline(*result.module);
+        }
         verifyOrDie(*result.module);
     }
 
     // Back end.
     lowerToMachine(*result.module);
 
+    checkFaultSite("alloc.partition");
     AllocOptions alloc_opts;
     alloc_opts.mode = opts.mode;
     alloc_opts.weights = opts.weights;
@@ -50,16 +97,83 @@ compileSource(const std::string &source, const CompileOptions &opts)
     frame_opts.idealTags = opts.mode == AllocMode::Ideal;
 
     for (auto &fn : result.module->functions) {
+        checkFaultSite("backend.regalloc");
         RegAllocResult ra = allocateRegisters(*fn, *result.module);
+        checkFaultSite("backend.frame");
         buildFrame(*fn, *result.module, ra, frame_opts);
     }
 
+    checkFaultSite("backend.layout");
     MachineConfig config = opts.machine;
     config.dualPorted = opts.mode == AllocMode::Ideal;
     result.program = layoutProgram(*result.module, config,
                                    &result.layout);
-    if (opts.verifyMc)
+    if (opts.verifyMc) {
+        checkFaultSite("mcverify");
         verifyMachineCodeOrDie(result.program, *result.module);
+    }
+    return result;
+}
+
+/** Record why a ladder rung failed, attributing injected faults to
+ *  their site for precise chaos-test assertions. */
+DegradationEvent
+fallbackEvent(DegradationEvent::Kind kind, const std::exception &e)
+{
+    DegradationEvent event;
+    event.kind = kind;
+    if (const auto *injected = dynamic_cast<const InjectedFault *>(&e))
+        event.stage = injected->site();
+    else
+        event.stage = "backend";
+    event.detail = e.what();
+    return event;
+}
+
+} // namespace
+
+CompileResult
+compileSource(const std::string &source, const CompileOptions &opts)
+{
+    if (!opts.resilient)
+        return compileOnce(source, opts, nullptr);
+
+    std::vector<DegradationEvent> events;
+
+    // Rung 1: the requested configuration (with the guarded optimizer).
+    try {
+        CompileResult result = compileOnce(source, opts, &events);
+        result.degradations = std::move(events);
+        return result;
+    } catch (const UserError &) {
+        throw; // bad input: no safer configuration can fix the program
+    } catch (const std::exception &e) {
+        events.push_back(
+            fallbackEvent(DegradationEvent::Kind::ModeFallback, e));
+    }
+
+    // Rung 2: provably-safe single-bank allocation (the paper's
+    // baseline). For transient faults this doubles as a retry when the
+    // requested mode already was SingleBank.
+    CompileOptions safe = opts;
+    safe.mode = AllocMode::SingleBank;
+    try {
+        CompileResult result = compileOnce(source, safe, &events);
+        result.degradations = std::move(events);
+        return result;
+    } catch (const UserError &) {
+        throw;
+    } catch (const std::exception &e) {
+        events.push_back(
+            fallbackEvent(DegradationEvent::Kind::OptFallback, e));
+    }
+
+    // Rung 3: single-bank with the optimizer off — the minimal
+    // configuration we ship. Beyond this there is nothing safer to
+    // try, so a failure here propagates.
+    safe.optLevel = 0;
+    CompileResult result = compileOnce(source, safe, &events);
+    result.degradations = std::move(events);
     return result;
 }
 
@@ -84,15 +198,43 @@ tryRunProgram(const CompileResult &compiled,
               const std::vector<uint32_t> &input, long max_cycles,
               Fidelity fidelity)
 {
+    RunLimits limits;
+    limits.maxCycles = max_cycles;
+    limits.pollCycles = max_cycles; // no deadline: run in one chunk
+    return tryRunProgram(compiled, input, limits, fidelity);
+}
+
+RunOutcome
+tryRunProgram(const CompileResult &compiled,
+              const std::vector<uint32_t> &input, const RunLimits &limits,
+              Fidelity fidelity)
+{
     RunOutcome outcome;
     Simulator sim(compiled.program, *compiled.module, fidelity);
     sim.setInput(input);
+    long poll =
+        limits.pollCycles > 0 ? limits.pollCycles : limits.maxCycles;
     try {
-        if (sim.runBounded(max_cycles) ==
-            Simulator::RunStatus::CycleBudgetExhausted) {
-            outcome.error = "cycle budget exhausted (" +
-                            std::to_string(max_cycles) + ")";
-            return outcome;
+        for (;;) {
+            // runBounded compares the *cumulative* cycle count against
+            // its bound, so repeated calls resume where the last chunk
+            // stopped.
+            long bound = std::min(limits.maxCycles,
+                                  sim.stats().cycles + poll);
+            if (sim.runBounded(bound) == Simulator::RunStatus::Halted)
+                break;
+            if (sim.stats().cycles >= limits.maxCycles) {
+                outcome.error = "cycle budget exhausted (" +
+                                std::to_string(limits.maxCycles) + ")";
+                return outcome;
+            }
+            if (limits.expired && limits.expired()) {
+                outcome.timedOut = true;
+                outcome.error =
+                    "wall-clock limit exceeded after " +
+                    std::to_string(sim.stats().cycles) + " cycles";
+                return outcome;
+            }
         }
     } catch (const UserError &e) {
         outcome.error = e.what();

@@ -11,8 +11,10 @@
 #ifndef DSP_DRIVER_COMPILER_HH
 #define DSP_DRIVER_COMPILER_HH
 
+#include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "codegen/alloc.hh"
 #include "codegen/layout.hh"
@@ -42,7 +44,47 @@ struct CompileOptions
      * time compilation without the pass.
      */
     bool verifyMc = true;
+    /**
+     * Graceful degradation. When set, an optimization pass that throws
+     * or breaks the IR is rolled back and disabled for that function
+     * (runResilientPipeline), and a back-end or mcverify failure
+     * triggers recompilation down a ladder of safer configurations:
+     * requested options -> SingleBank -> SingleBank at -O0. Every
+     * fallback is recorded in CompileResult::degradations. UserError
+     * (bad input) is never degraded away. Off by default: tests and
+     * strict-mode dspcc want failures loud.
+     */
+    bool resilient = false;
+    /**
+     * Front-end error cap: parsing accumulates up to this many errors
+     * (reporting all of them) before giving up with TooManyErrors.
+     */
+    int maxErrors = 20;
 };
+
+/** One resilience mechanism firing during a degraded compile. */
+struct DegradationEvent
+{
+    enum class Kind : unsigned char
+    {
+        PassRollback, ///< an opt pass was rolled back and disabled
+        ModeFallback, ///< recompiled with single-bank allocation
+        OptFallback   ///< recompiled with the optimizer disabled
+    };
+
+    Kind kind = Kind::PassRollback;
+    /** Pipeline stage / fault site ("opt.dce", "backend.regalloc"). */
+    std::string stage;
+    /** Affected function; empty for module-wide fallbacks. */
+    std::string function;
+    /** What went wrong (exception message, verifier findings). */
+    std::string detail;
+
+    /** "pass-rollback opt.dce in main: ..." (stable, grep-able). */
+    std::string str() const;
+};
+
+const char *degradationKindName(DegradationEvent::Kind kind);
 
 struct CompileResult
 {
@@ -52,9 +94,21 @@ struct CompileResult
     AllocReport alloc;
     LayoutStats layout;
     CompileOptions options;
+    /**
+     * Resilience event trail (resilient compiles only). Ordered as the
+     * events fired; includes rollbacks from attempts that were later
+     * discarded by a mode fallback, so the full story is preserved.
+     */
+    std::vector<DegradationEvent> degradations;
+
+    bool degraded() const { return !degradations.empty(); }
 };
 
-/** Compile @p source with @p opts. Throws UserError on bad input. */
+/**
+ * Compile @p source with @p opts. Throws UserError on bad input; with
+ * opts.resilient set, internal failures degrade (see CompileOptions)
+ * instead of propagating whenever a safer configuration succeeds.
+ */
 CompileResult compileSource(const std::string &source,
                             const CompileOptions &opts = {});
 
@@ -84,6 +138,8 @@ struct RunOutcome
     bool ok = false;
     /** Diagnostic when !ok (budget exhaustion or machine fault). */
     std::string error;
+    /** The run was abandoned because RunLimits::expired() fired. */
+    bool timedOut = false;
     RunResult result;
 };
 
@@ -95,6 +151,27 @@ struct RunOutcome
 RunOutcome tryRunProgram(const CompileResult &compiled,
                          const std::vector<uint32_t> &input = {},
                          long max_cycles = 200'000'000,
+                         Fidelity fidelity = Fidelity::Fast);
+
+/**
+ * Execution limits for the deadline-aware tryRunProgram overload.
+ * The wall-clock check is cooperative: the simulator runs pollCycles
+ * at a time and evaluates expired() between chunks, so a deadline
+ * never requires killing a worker thread mid-simulation.
+ */
+struct RunLimits
+{
+    long maxCycles = 200'000'000;
+    /** Polled between chunks; returning true abandons the run with
+     *  outcome.timedOut set. Empty = no wall-clock limit. */
+    std::function<bool()> expired;
+    /** Cycles to simulate between expired() polls. */
+    long pollCycles = 1'000'000;
+};
+
+RunOutcome tryRunProgram(const CompileResult &compiled,
+                         const std::vector<uint32_t> &input,
+                         const RunLimits &limits,
                          Fidelity fidelity = Fidelity::Fast);
 
 /** Convenience: pack ints/floats into raw input words. */

@@ -1,0 +1,55 @@
+#include "ir/clone.hh"
+
+#include <unordered_map>
+
+#include "ir/function.hh"
+
+namespace dsp
+{
+
+std::vector<std::unique_ptr<BasicBlock>>
+cloneBlocks(const std::vector<std::unique_ptr<BasicBlock>> &src,
+            Function *parent)
+{
+    std::vector<std::unique_ptr<BasicBlock>> out;
+    out.reserve(src.size());
+    std::unordered_map<const BasicBlock *, BasicBlock *> remap;
+    for (const auto &bb : src) {
+        auto copy = std::make_unique<BasicBlock>(parent, bb->label, bb->id);
+        copy->loopDepth = bb->loopDepth;
+        copy->ops = bb->ops;
+        remap[bb.get()] = copy.get();
+        out.push_back(std::move(copy));
+    }
+    for (auto &bb : out) {
+        for (Op &op : bb->ops) {
+            if (!op.target)
+                continue;
+            auto it = remap.find(op.target);
+            require(it != remap.end(),
+                    "cloneBlocks: branch target outside the function");
+            op.target = it->second;
+        }
+    }
+    return out;
+}
+
+FunctionSnapshot::FunctionSnapshot(const Function &fn)
+    : blocks(cloneBlocks(fn.blocks, const_cast<Function *>(&fn))),
+      nextVRegId(fn.nextVRegId), nextBlockId(fn.nextBlockId),
+      localObjectCount(fn.localObjects.size())
+{}
+
+void
+FunctionSnapshot::restore(Function &fn) const
+{
+    fn.blocks = cloneBlocks(blocks, &fn);
+    fn.nextVRegId = nextVRegId;
+    fn.nextBlockId = nextBlockId;
+    // Ops referencing objects appended after the snapshot are gone with
+    // the rolled-back body, so the objects themselves can go too.
+    if (fn.localObjects.size() > localObjectCount)
+        fn.localObjects.resize(localObjectCount);
+}
+
+} // namespace dsp

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Deep-copy snapshot of a Function's body, for transactional passes.
+ *
+ * An optimization pass mutates blocks/ops in place; if it throws — or
+ * produces IR the verifier rejects — the driver needs the *old* body
+ * back to continue with that pass disabled. FunctionSnapshot captures
+ * everything a pass may touch: the block list (with intra-function
+ * branch targets remapped into the copy), the loop depths, and the
+ * vreg/block id counters. DataObject and callee pointers are shared,
+ * not cloned: they are owned by the module/function and passes only
+ * ever append to those tables, so a snapshot taken earlier never holds
+ * a dangling pointer. restore() also trims locally-appended
+ * DataObjects, since every op referencing one is discarded with the
+ * rolled-back body.
+ */
+
+#ifndef DSP_IR_CLONE_HH
+#define DSP_IR_CLONE_HH
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "ir/basic_block.hh"
+
+namespace dsp
+{
+
+class Function;
+
+/** Deep-copy @p src's blocks, remapping branch targets into the copy.
+ *  The copies' parent pointer is set to @p parent. */
+std::vector<std::unique_ptr<BasicBlock>>
+cloneBlocks(const std::vector<std::unique_ptr<BasicBlock>> &src,
+            Function *parent);
+
+class FunctionSnapshot
+{
+  public:
+    explicit FunctionSnapshot(const Function &fn);
+
+    /** Reset @p fn's body and id counters to the snapshotted state.
+     *  May be called repeatedly; the snapshot is not consumed. */
+    void restore(Function &fn) const;
+
+  private:
+    std::vector<std::unique_ptr<BasicBlock>> blocks;
+    int nextVRegId;
+    int nextBlockId;
+    std::size_t localObjectCount;
+};
+
+} // namespace dsp
+
+#endif // DSP_IR_CLONE_HH

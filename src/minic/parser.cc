@@ -8,23 +8,105 @@ namespace dsp
 namespace
 {
 
+/** Unwinds one bad construct up to the nearest recovery point; the
+ *  diagnostic has already been reported when this is thrown. */
+struct SyntaxError
+{};
+
 class Parser
 {
   public:
-    explicit Parser(std::vector<Token> toks) : tokens(std::move(toks)) {}
+    Parser(std::vector<Token> toks, DiagnosticEngine &diags)
+        : tokens(std::move(toks)), diags(diags)
+    {}
 
     std::unique_ptr<Program>
     run()
     {
         auto prog = std::make_unique<Program>();
-        while (!at(Tok::End))
-            parseTopLevel(*prog);
+        try {
+            while (!at(Tok::End)) {
+                try {
+                    parseTopLevel(*prog);
+                } catch (const SyntaxError &) {
+                    syncTopLevel();
+                }
+            }
+        } catch (const TooManyErrors &) {
+            // Error cap hit: stop parsing, hand back what we have.
+            // diags.hitErrorLimit() tells the caller why we stopped.
+        }
         return prog;
     }
 
   private:
     std::vector<Token> tokens;
+    DiagnosticEngine &diags;
     std::size_t pos = 0;
+
+    /** Report a syntax error and unwind to the nearest recovery point.
+     *  (TooManyErrors from the engine propagates past SyntaxError
+     *  handlers and ends the parse.) */
+    template <typename... Args>
+    [[noreturn]] void
+    syntaxError(SourceLoc loc, const Args &...args)
+    {
+        diags.error(loc, "parse", args...);
+        throw SyntaxError{};
+    }
+
+    /**
+     * Statement-level recovery: skip to just after the next ';' at the
+     * current brace depth, or to the enclosing '}' (left for the block
+     * loop to consume). Nested braces are skipped whole so we never
+     * resynchronize in the middle of a deeper construct.
+     */
+    void
+    syncStmt()
+    {
+        int depth = 0;
+        while (!at(Tok::End)) {
+            if (depth == 0 && at(Tok::Semi)) {
+                advance();
+                return;
+            }
+            if (depth == 0 && at(Tok::RBrace))
+                return;
+            if (at(Tok::LBrace))
+                ++depth;
+            else if (at(Tok::RBrace))
+                --depth;
+            advance();
+        }
+    }
+
+    /** Top-level recovery: skip to the next plausible declaration — a
+     *  type keyword, or just past a balanced '}' or a ';' at depth 0. */
+    void
+    syncTopLevel()
+    {
+        int depth = 0;
+        while (!at(Tok::End)) {
+            if (depth == 0) {
+                if (at(Tok::Semi)) {
+                    advance();
+                    return;
+                }
+                if (atType())
+                    return;
+            }
+            if (at(Tok::LBrace)) {
+                ++depth;
+            } else if (at(Tok::RBrace) && depth > 0) {
+                --depth;
+                if (depth == 0) {
+                    advance();
+                    return;
+                }
+            }
+            advance();
+        }
+    }
 
     const Token &cur() const { return tokens[pos]; }
     const Token &
@@ -58,9 +140,9 @@ class Parser
     expect(Tok k, const char *context)
     {
         if (!at(k))
-            fatal("expected ", tokName(k), " but found ",
-                  tokName(cur().kind), " at ", cur().loc.str(), " (",
-                  context, ")");
+            syntaxError(cur().loc, "expected ", tokName(k),
+                        " but found ", tokName(cur().kind), " (",
+                        context, ")");
         return advance();
     }
 
@@ -79,7 +161,7 @@ class Parser
             return Type::Float;
         if (accept(Tok::KwVoid))
             return Type::Void;
-        fatal("expected a type at ", cur().loc.str());
+        syntaxError(cur().loc, "expected a type");
     }
 
     // -----------------------------------------------------------------
@@ -117,7 +199,7 @@ class Parser
                 p.loc = cur().loc;
                 p.type = parseType();
                 if (p.type == Type::Void)
-                    fatal("void parameter at ", p.loc.str());
+                    syntaxError(p.loc, "void parameter");
                 p.name = expect(Tok::Ident, "parameter name").text;
                 if (accept(Tok::LBracket)) {
                     expect(Tok::RBracket, "array parameter");
@@ -136,7 +218,7 @@ class Parser
     parseGlobal(Type type, const std::string &name, SourceLoc loc)
     {
         if (type == Type::Void)
-            fatal("void variable '", name, "' at ", loc.str());
+            syntaxError(loc, "void variable '", name, "'");
         auto g = std::make_unique<GlobalDecl>();
         g->name = name;
         g->elem = type;
@@ -145,8 +227,7 @@ class Parser
         while (accept(Tok::LBracket)) {
             Token dim = expect(Tok::IntLit, "array dimension");
             if (dim.intValue <= 0)
-                fatal("array dimension must be positive at ",
-                      dim.loc.str());
+                syntaxError(dim.loc, "array dimension must be positive");
             g->dims.push_back(static_cast<int>(dim.intValue));
             expect(Tok::RBracket, "array dimension");
         }
@@ -179,8 +260,13 @@ class Parser
         expect(Tok::LBrace, "block");
         auto block = std::make_unique<BlockStmt>();
         block->loc = loc;
-        while (!at(Tok::RBrace) && !at(Tok::End))
-            block->stmts.push_back(parseStmt());
+        while (!at(Tok::RBrace) && !at(Tok::End)) {
+            try {
+                block->stmts.push_back(parseStmt());
+            } catch (const SyntaxError &) {
+                syncStmt();
+            }
+        }
         expect(Tok::RBrace, "block");
         return block;
     }
@@ -235,7 +321,7 @@ class Parser
         SourceLoc loc = cur().loc;
         Type type = parseType();
         if (type == Type::Void)
-            fatal("void local variable at ", loc.str());
+            syntaxError(loc, "void local variable");
 
         auto decl = std::make_unique<VarDeclStmt>();
         decl->loc = loc;
@@ -245,8 +331,7 @@ class Parser
         while (accept(Tok::LBracket)) {
             Token dim = expect(Tok::IntLit, "array dimension");
             if (dim.intValue <= 0)
-                fatal("array dimension must be positive at ",
-                      dim.loc.str());
+                syntaxError(dim.loc, "array dimension must be positive");
             decl->dims.push_back(static_cast<int>(dim.intValue));
             expect(Tok::RBracket, "array dimension");
         }
@@ -619,17 +704,37 @@ class Parser
             e->loc = loc;
             return e;
         }
-        fatal("unexpected token ", tokName(cur().kind), " at ",
-              cur().loc.str());
+        syntaxError(cur().loc, "unexpected token ", tokName(cur().kind));
     }
 };
 
 } // namespace
 
 std::unique_ptr<Program>
+parseProgram(const std::string &source, DiagnosticEngine &diags)
+{
+    return Parser(lexSource(source), diags).run();
+}
+
+std::unique_ptr<Program>
+parseProgram(const std::string &source, int max_errors)
+{
+    DiagnosticEngine diags(max_errors);
+    auto prog = parseProgram(source, diags);
+    if (!diags.hasErrors())
+        return prog;
+    std::string msg = diags.summary();
+    if (diags.hitErrorLimit()) {
+        msg += "\ntoo many errors (limit " +
+               std::to_string(diags.errorLimit()) + "); giving up";
+    }
+    throw UserError(msg);
+}
+
+std::unique_ptr<Program>
 parseProgram(const std::string &source)
 {
-    return Parser(lexSource(source)).run();
+    return parseProgram(source, DiagnosticEngine::kDefaultMaxErrors);
 }
 
 } // namespace dsp

@@ -1,6 +1,11 @@
 /**
  * @file
- * Recursive-descent parser for MiniC.
+ * Recursive-descent parser for MiniC, with error recovery.
+ *
+ * Syntax errors don't stop the parse: the parser reports into a
+ * DiagnosticEngine and synchronizes (to the next ';' at the same brace
+ * depth within a block, to the next top-level declaration otherwise),
+ * so one run surfaces every syntax error in the file.
  */
 
 #ifndef DSP_MINIC_PARSER_HH
@@ -10,11 +15,31 @@
 #include <string>
 
 #include "minic/ast.hh"
+#include "support/diagnostics.hh"
 
 namespace dsp
 {
 
-/** Parse MiniC source into an (unchecked) AST. Throws UserError. */
+/**
+ * Parse MiniC source into an (unchecked) AST, reporting all syntax
+ * errors into @p diags and recovering past each one. Returns the
+ * (possibly partial) AST; callers must check diags.hasErrors() before
+ * trusting it. Does not throw on syntax errors — hitting the error cap
+ * just stops the parse early (diags.hitErrorLimit()). Lexer errors
+ * (malformed tokens) still throw UserError.
+ */
+std::unique_ptr<Program> parseProgram(const std::string &source,
+                                      DiagnosticEngine &diags);
+
+/**
+ * Convenience: parse with an internal engine capped at @p max_errors
+ * and throw UserError carrying *every* accumulated diagnostic (one per
+ * line) if the source has syntax errors.
+ */
+std::unique_ptr<Program> parseProgram(const std::string &source,
+                                      int max_errors);
+
+/** Parse with the default error cap. Throws UserError on bad input. */
 std::unique_ptr<Program> parseProgram(const std::string &source);
 
 } // namespace dsp

@@ -12,6 +12,9 @@
 #ifndef DSP_OPT_PASSES_HH
 #define DSP_OPT_PASSES_HH
 
+#include <string>
+#include <vector>
+
 namespace dsp
 {
 
@@ -55,6 +58,34 @@ bool runLoopUnroll(Function &fn);
 /** Run all passes to a fixpoint (bounded). Returns total change count. */
 int runStandardPipeline(Function &fn);
 int runStandardPipeline(Module &mod);
+
+/** One pass that failed (threw, or broke the IR) and was rolled back. */
+struct PassDegradation
+{
+    /** Fault-site name of the pass, e.g. "opt.dce". */
+    std::string pass;
+    /** Function it failed on. */
+    std::string function;
+    /** What went wrong: the exception message or verifier findings. */
+    std::string detail;
+};
+
+/** Outcome of a resilient pipeline run. */
+struct PipelineReport
+{
+    int changes = 0;
+    std::vector<PassDegradation> degradations;
+};
+
+/**
+ * The standard pipeline with per-pass fault isolation: every pass runs
+ * against a FunctionSnapshot, is verified afterward, and on exception
+ * or verifier failure is rolled back and disabled for the rest of this
+ * function's pipeline. Pass order and fixpoint structure are exactly
+ * runStandardPipeline's (both drive the same pipeline body).
+ */
+PipelineReport runResilientPipeline(Function &fn);
+PipelineReport runResilientPipeline(Module &mod);
 
 } // namespace dsp
 

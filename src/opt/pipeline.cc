@@ -1,27 +1,54 @@
 /**
  * @file
  * Standard optimization pipeline driver.
+ *
+ * One pipeline body, two runners. pipelineBody() encodes the pass
+ * order and fixpoint structure; the runner decides what "run one pass"
+ * means. The plain runner just calls the pass (plus the fault-site
+ * hook, so injected faults propagate like real pass bugs in strict
+ * mode). The guarded runner additionally snapshots the function,
+ * verifies the result, and rolls back + disables the pass on failure —
+ * the graceful-degradation half of the resilience layer. Sharing the
+ * body is what guarantees the two modes can never drift apart in pass
+ * ordering.
  */
 
+#include <set>
+
+#include "ir/clone.hh"
 #include "ir/module.hh"
+#include "ir/verifier.hh"
 #include "opt/passes.hh"
+#include "support/fault_injection.hh"
+#include "support/string_utils.hh"
 
 namespace dsp
 {
 
+namespace
+{
+
+using PassFn = bool (*)(Function &);
+
+/**
+ * The fixpoint structure shared by both pipeline modes. @p run is
+ * called as run(site, pass) and returns whether the pass changed
+ * anything (false also covers "skipped" and "rolled back").
+ */
+template <typename Runner>
 int
-runStandardPipeline(Function &fn)
+pipelineBody(Runner &&run)
 {
     int total = 0;
     for (int round = 0; round < 8; ++round) {
         bool changed = false;
-        changed |= runSimplifyCfg(fn);
-        changed |= runCopyProp(fn);
-        changed |= runConstFold(fn);
-        changed |= runMemoryCse(fn);
-        changed |= runCopyCoalesce(fn);
-        changed |= runMacFuse(fn);
-        changed |= runDeadCodeElim(fn);
+        changed |= run("opt.simplify_cfg", runSimplifyCfg);
+        changed |= run("opt.copyprop", runCopyProp);
+        changed |= run("opt.constfold", runConstFold);
+        changed |= run("opt.memcse", runMemoryCse);
+        changed |= run("opt.copy_coalesce", runCopyCoalesce);
+        changed |= run("opt.mac_fuse", runMacFuse);
+        changed |= run("opt.dce", runDeadCodeElim);
         if (!changed)
             break;
         ++total;
@@ -29,50 +56,81 @@ runStandardPipeline(Function &fn)
     // Loop-shaping phase: rotate loops so body+condition share a block
     // (compaction is block-local), strength-reduce derived indices,
     // then shorten the back-branch recurrence.
-    if (runLoopRotate(fn))
+    if (run("opt.loop_rotate", runLoopRotate))
         ++total;
     for (int round = 0; round < 4; ++round) {
         bool changed = false;
-        changed |= runCopyProp(fn);
-        changed |= runConstFold(fn);
-        changed |= runMemoryCse(fn);
-        changed |= runCopyCoalesce(fn);
-        changed |= runMacFuse(fn);
-        changed |= runDeadCodeElim(fn);
-        changed |= runSimplifyCfg(fn);
+        changed |= run("opt.copyprop", runCopyProp);
+        changed |= run("opt.constfold", runConstFold);
+        changed |= run("opt.memcse", runMemoryCse);
+        changed |= run("opt.copy_coalesce", runCopyCoalesce);
+        changed |= run("opt.mac_fuse", runMacFuse);
+        changed |= run("opt.dce", runDeadCodeElim);
+        changed |= run("opt.simplify_cfg", runSimplifyCfg);
         if (!changed)
             break;
         ++total;
     }
     // Iterate: reducing `2*i` exposes `2*i + 1` as a further candidate.
     for (int round = 0; round < 4; ++round) {
-        if (!runStrengthReduce(fn))
+        if (!run("opt.strength_reduce", runStrengthReduce))
             break;
-        runDeadCodeElim(fn);
-        runConstFold(fn);
-        runCopyProp(fn);
-        runDeadCodeElim(fn);
+        run("opt.dce", runDeadCodeElim);
+        run("opt.constfold", runConstFold);
+        run("opt.copyprop", runCopyProp);
+        run("opt.dce", runDeadCodeElim);
         ++total;
     }
-    if (runLoopUnroll(fn)) {
+    if (run("opt.loop_unroll", runLoopUnroll)) {
         // The unrolled bodies expose fresh derived-index candidates
         // and cross-copy redundant loads.
         for (int round = 0; round < 2; ++round) {
-            if (!runStrengthReduce(fn))
+            if (!run("opt.strength_reduce", runStrengthReduce))
                 break;
-            runDeadCodeElim(fn);
-            runConstFold(fn);
-            runCopyProp(fn);
-            runDeadCodeElim(fn);
+            run("opt.dce", runDeadCodeElim);
+            run("opt.constfold", runConstFold);
+            run("opt.copyprop", runCopyProp);
+            run("opt.dce", runDeadCodeElim);
         }
-        runMemoryCse(fn);
-        runCopyProp(fn);
-        runDeadCodeElim(fn);
+        run("opt.memcse", runMemoryCse);
+        run("opt.copyprop", runCopyProp);
+        run("opt.dce", runDeadCodeElim);
         ++total;
     }
-    if (runExitCompareRewrite(fn))
+    if (run("opt.exit_compare", runExitCompareRewrite))
         ++total;
     return total;
+}
+
+/** A CorruptIr fault fired: break the function the way a buggy pass
+ *  would, with an op the verifier is guaranteed to reject. */
+void
+corruptFunctionIr(Function &fn)
+{
+    fn.entry()->ops.insert(fn.entry()->ops.begin(), Op(Opcode::Add));
+}
+
+/** Run one pass with only the fault-site hook (strict mode). */
+bool
+runPassStrict(Function &fn, const char *site, PassFn pass)
+{
+    bool corrupt = checkFaultSite(site);
+    bool changed = pass(fn);
+    if (corrupt) {
+        corruptFunctionIr(fn);
+        changed = true;
+    }
+    return changed;
+}
+
+} // namespace
+
+int
+runStandardPipeline(Function &fn)
+{
+    return pipelineBody([&fn](const char *site, PassFn pass) {
+        return runPassStrict(fn, site, pass);
+    });
 }
 
 int
@@ -82,6 +140,50 @@ runStandardPipeline(Module &mod)
     for (auto &fn : mod.functions)
         total += runStandardPipeline(*fn);
     return total;
+}
+
+PipelineReport
+runResilientPipeline(Function &fn)
+{
+    PipelineReport report;
+    // Disabled for the rest of *this function's* pipeline only: a pass
+    // that broke on one function may be fine on the next.
+    std::set<std::string> disabled;
+
+    report.changes = pipelineBody([&](const char *site, PassFn pass) {
+        if (disabled.count(site))
+            return false;
+        FunctionSnapshot snapshot(fn);
+        std::string failure;
+        try {
+            bool changed = runPassStrict(fn, site, pass);
+            std::vector<std::string> errs = verifyFunction(fn);
+            if (errs.empty())
+                return changed;
+            failure = "verifier: " + joinStrings(errs, "; ");
+        } catch (const std::exception &e) {
+            failure = e.what();
+        }
+        snapshot.restore(fn);
+        disabled.insert(site);
+        report.degradations.push_back(
+            PassDegradation{site, fn.name, failure});
+        return false;
+    });
+    return report;
+}
+
+PipelineReport
+runResilientPipeline(Module &mod)
+{
+    PipelineReport report;
+    for (auto &fn : mod.functions) {
+        PipelineReport one = runResilientPipeline(*fn);
+        report.changes += one.changes;
+        for (auto &d : one.degradations)
+            report.degradations.push_back(std::move(d));
+    }
+    return report;
 }
 
 } // namespace dsp

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "ir/module.hh"
+#include "support/fault_injection.hh"
 
 namespace dsp
 {
@@ -138,6 +139,19 @@ Simulator::reset()
     simStats = SimStats{};
     instCounts.assign(prog.insts.size(), 0);
     openPairs.clear();
+
+    FaultPlan *plan = ambientFaultPlan();
+    memFaultAfterOps = plan ? plan->simMemFaultAfterOps() : 0;
+}
+
+void
+Simulator::checkInjectedMemFault() const
+{
+    if (memFaultAfterOps == 0 ||
+        static_cast<std::uint64_t>(simStats.memOps) < memFaultAfterOps)
+        return;
+    fatal("injected memory fault after ", simStats.memOps,
+          " memory operations (armed at ", memFaultAfterOps, ")");
 }
 
 uint32_t
@@ -424,6 +438,7 @@ Simulator::stepFast()
         return false;
     if (curPc < 0 || curPc >= static_cast<int>(decodedInsts.size()))
         fatal("PC out of range: ", curPc);
+    checkInjectedMemFault();
 
     const DecodedInst &di = decodedInsts[curPc];
     ++simStats.cycles;
@@ -945,6 +960,7 @@ Simulator::stepInstrumented()
         return false;
     if (curPc < 0 || curPc >= static_cast<int>(prog.insts.size()))
         fatal("PC out of range: ", curPc);
+    checkInjectedMemFault();
 
     const VliwInst &inst = prog.insts[curPc];
     ++instCounts[curPc];

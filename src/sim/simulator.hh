@@ -262,6 +262,16 @@ class Simulator
     const Module &mod;
     Fidelity fid;
 
+    /**
+     * Fault injection: abort (UserError, like any machine fault) once
+     * this many memory operations have completed. Sampled from the
+     * ambient FaultPlan's sim.mem schedule at reset(); 0 = disarmed.
+     * Checked at instruction boundaries, where both engines agree on
+     * the cumulative count, so the Instrumented and Fast engines
+     * classify an injected fault identically.
+     */
+    std::uint64_t memFaultAfterOps = 0;
+
     std::vector<uint32_t> memory;
     uint32_t regFile[kNumRegs];
     int curPc = 0;
@@ -313,6 +323,7 @@ class Simulator
     /// @}
 
     void updateStackWatermarks();
+    void checkInjectedMemFault() const;
 
     uint32_t readReg(const VReg &r) const;
     int32_t readInt(const VReg &r) const;

@@ -1,0 +1,59 @@
+#include "support/diagnostics.hh"
+
+namespace dsp
+{
+
+const char *
+severityName(Severity sev)
+{
+    switch (sev) {
+      case Severity::Note: return "note";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+      case Severity::Internal: return "internal error";
+    }
+    return "?";
+}
+
+std::string
+Diagnostic::str() const
+{
+    std::ostringstream os;
+    if (loc.known())
+        os << loc.str() << ": ";
+    os << severityName(severity) << ": " << message;
+    if (!stage.empty())
+        os << " (" << stage << ")";
+    return os.str();
+}
+
+void
+DiagnosticEngine::report(Diagnostic d)
+{
+    bool counts = d.severity == Severity::Error ||
+                  d.severity == Severity::Internal;
+    if (counts && errors >= maxErrors) {
+        capped = true;
+        throw TooManyErrors(maxErrors);
+    }
+
+    all.push_back(std::move(d));
+    if (counts)
+        ++errors;
+    if (sink)
+        sink(all.back());
+}
+
+std::string
+DiagnosticEngine::summary() const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        if (i)
+            os << '\n';
+        os << all[i].str();
+    }
+    return os.str();
+}
+
+} // namespace dsp

@@ -2,18 +2,31 @@
  * @file
  * Error-reporting primitives shared by every subsystem.
  *
- * Follows the gem5 convention: panic() marks an internal invariant
- * violation (a bug in this library), fatal() marks a user error (bad
- * source program, bad configuration). Both carry formatted messages.
+ * Two layers:
+ *
+ *  - Throwing primitives (gem5 convention): panic() marks an internal
+ *    invariant violation (a bug in this library), fatal() marks a user
+ *    error (bad source program, bad configuration). Both carry
+ *    formatted messages and remain the control-flow mechanism for
+ *    aborting one operation.
+ *
+ *  - DiagnosticEngine: an accumulator the front end and the driver
+ *    report through so a single run can surface *every* problem — a
+ *    parse error no longer hides the next one, and a degraded compile
+ *    carries its full event trail. Severities, source locations, a
+ *    pluggable sink (stderr printer, test capture, ...), and an error
+ *    cap (--max-errors) that stops runaway cascades via TooManyErrors.
  */
 
 #ifndef DSP_SUPPORT_DIAGNOSTICS_HH
 #define DSP_SUPPORT_DIAGNOSTICS_HH
 
 #include <cstdint>
+#include <functional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace dsp
 {
@@ -110,6 +123,116 @@ struct SourceLoc
         os << line << ":" << column;
         return os.str();
     }
+};
+
+/** How bad one reported diagnostic is. */
+enum class Severity : unsigned char
+{
+    Note,    ///< supplementary information attached to another report
+    Warning, ///< suspicious but not fatal (e.g. a degradation event)
+    Error,   ///< user-level problem; compilation cannot succeed
+    Internal ///< library bug surfaced through the engine
+};
+
+const char *severityName(Severity sev);
+
+/** One accumulated report. */
+struct Diagnostic
+{
+    Severity severity = Severity::Error;
+    SourceLoc loc;
+    /** Subsystem that reported it ("parse", "sema", "driver", ...). */
+    std::string stage;
+    std::string message;
+
+    /** "12:7: error: expected ';' (parse)" */
+    std::string str() const;
+};
+
+/** Thrown by DiagnosticEngine::report() once the error cap is hit. */
+class TooManyErrors : public UserError
+{
+  public:
+    explicit TooManyErrors(int limit)
+        : UserError("too many errors (limit " + std::to_string(limit) +
+                    "); giving up")
+    {}
+};
+
+/**
+ * Accumulates diagnostics instead of aborting on the first one.
+ *
+ * Reporters call error()/warning()/note(); every diagnostic is stored
+ * and forwarded to the sink (if any). Reporting more than @p max_errors
+ * errors throws TooManyErrors, which recovery loops (the parser, the
+ * driver) catch to stop gracefully. Notes and warnings never count
+ * toward the cap.
+ */
+class DiagnosticEngine
+{
+  public:
+    using Sink = std::function<void(const Diagnostic &)>;
+
+    static constexpr int kDefaultMaxErrors = 20;
+
+    explicit DiagnosticEngine(int max_errors = kDefaultMaxErrors)
+        : maxErrors(max_errors > 0 ? max_errors : kDefaultMaxErrors)
+    {}
+
+    /** Forward every subsequent diagnostic to @p sink as it arrives. */
+    void setSink(Sink sink) { this->sink = std::move(sink); }
+
+    /** Record @p d; throws TooManyErrors past the error cap. */
+    void report(Diagnostic d);
+
+    template <typename... Args>
+    void
+    error(SourceLoc loc, const std::string &stage, const Args &...args)
+    {
+        report(make(Severity::Error, loc, stage, args...));
+    }
+
+    template <typename... Args>
+    void
+    warning(SourceLoc loc, const std::string &stage, const Args &...args)
+    {
+        report(make(Severity::Warning, loc, stage, args...));
+    }
+
+    template <typename... Args>
+    void
+    note(SourceLoc loc, const std::string &stage, const Args &...args)
+    {
+        report(make(Severity::Note, loc, stage, args...));
+    }
+
+    int errorCount() const { return errors; }
+    bool hasErrors() const { return errors > 0; }
+    int errorLimit() const { return maxErrors; }
+    /** Did report() ever throw TooManyErrors? */
+    bool hitErrorLimit() const { return capped; }
+
+    const std::vector<Diagnostic> &diagnostics() const { return all; }
+
+    /** Every diagnostic rendered one per line (for aggregate throws). */
+    std::string summary() const;
+
+  private:
+    template <typename... Args>
+    static Diagnostic
+    make(Severity sev, SourceLoc loc, const std::string &stage,
+         const Args &...args)
+    {
+        std::ostringstream os;
+        detail::formatInto(os, args...);
+        return Diagnostic{sev, loc, stage, os.str()};
+    }
+
+    std::vector<Diagnostic> all;
+    Sink sink;
+    int errors = 0;
+    int maxErrors;
+    bool capped = false;
 };
 
 } // namespace dsp

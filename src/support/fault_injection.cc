@@ -1,0 +1,157 @@
+#include "support/fault_injection.hh"
+
+namespace dsp
+{
+
+namespace
+{
+
+std::atomic<FaultPlan *> ambientPlan{nullptr};
+
+/** splitmix64: tiny, fixed-algorithm PRNG so random() plans are
+ *  bit-identical across platforms (std::mt19937 would be too, but the
+ *  distributions are not). */
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+void
+FaultPlan::arm(const std::string &site, std::uint64_t hit, FaultKind kind,
+               bool one_shot)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    Armed a;
+    a.hit = hit ? hit : 1;
+    a.kind = kind;
+    a.oneShot = one_shot;
+    armed[site] = a;
+}
+
+void
+FaultPlan::seedRandom(std::uint64_t seed, double probability)
+{
+    std::uint64_t state = seed;
+    for (const auto &site : compileFaultSites()) {
+        double roll = double(splitmix64(state) >> 11) * 0x1.0p-53;
+        std::uint64_t hit = 1 + splitmix64(state) % 3;
+        if (roll < probability)
+            arm(site, hit, FaultKind::Throw, true);
+    }
+}
+
+bool
+FaultPlan::fired(const std::string &site) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = armed.find(site);
+    return it != armed.end() && it->second.fireCount > 0;
+}
+
+std::uint64_t
+FaultPlan::totalFired() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    std::uint64_t total = 0;
+    for (const auto &[site, a] : armed)
+        total += a.fireCount;
+    return total;
+}
+
+std::uint64_t
+FaultPlan::hits(const std::string &site) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = visits.find(site);
+    return it == visits.end() ? 0 : it->second;
+}
+
+std::vector<std::string>
+FaultPlan::armedSites() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    std::vector<std::string> names;
+    names.reserve(armed.size());
+    for (const auto &[site, a] : armed)
+        names.push_back(site);
+    return names;
+}
+
+bool
+FaultPlan::visit(const std::string &site)
+{
+    FaultKind kind;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        std::uint64_t count = ++visits[site];
+        auto it = armed.find(site);
+        if (it == armed.end() || it->second.disarmed ||
+            count != it->second.hit) {
+            return false;
+        }
+        it->second.fireCount++;
+        if (it->second.oneShot)
+            it->second.disarmed = true;
+        kind = it->second.kind;
+    }
+    if (kind == FaultKind::Throw)
+        throw InjectedFault(site);
+    return true; // CorruptIr: caller mangles its own output
+}
+
+const std::vector<std::string> &
+compileFaultSites()
+{
+    static const std::vector<std::string> sites = {
+        "opt.simplify_cfg",
+        "opt.copyprop",
+        "opt.constfold",
+        "opt.memcse",
+        "opt.copy_coalesce",
+        "opt.mac_fuse",
+        "opt.dce",
+        "opt.loop_rotate",
+        "opt.strength_reduce",
+        "opt.exit_compare",
+        "opt.loop_unroll",
+        "alloc.partition",
+        "backend.regalloc",
+        "backend.frame",
+        "backend.layout",
+        "mcverify",
+    };
+    return sites;
+}
+
+FaultPlan *
+ambientFaultPlan()
+{
+    return ambientPlan.load(std::memory_order_relaxed);
+}
+
+ScopedFaultPlan::ScopedFaultPlan(FaultPlan &plan)
+    : previous(ambientPlan.exchange(&plan, std::memory_order_relaxed))
+{}
+
+ScopedFaultPlan::~ScopedFaultPlan()
+{
+    ambientPlan.store(previous, std::memory_order_relaxed);
+}
+
+bool
+checkFaultSite(const std::string &site)
+{
+    FaultPlan *plan = ambientFaultPlan();
+    if (!plan)
+        return false;
+    return plan->visit(site);
+}
+
+} // namespace dsp

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Seeded, deterministic fault injection for resilience testing.
+ *
+ * A FaultPlan names pipeline *sites* ("opt.dce", "backend.regalloc",
+ * "sim.mem", ...) and arms faults at them: either on a specific hit
+ * count or pseudo-randomly from a seed. Production code calls
+ * checkFaultSite(site) at each site; with no plan installed that is a
+ * single relaxed atomic load, so the hooks cost nothing in normal
+ * operation.
+ *
+ * Plans are process-ambient (installed via ScopedFaultPlan, RAII) so
+ * that deeply nested code — an optimization pass, the simulator's
+ * memory system — can be faulted without threading a handle through
+ * every signature. Armed sites default to one-shot: after a site
+ * fires once it disarms, which lets the driver's fallback recompile
+ * succeed. That is exactly the transient-failure shape the
+ * degradation ladder is designed for; set oneShot=false to model a
+ * hard (persistent) fault instead.
+ *
+ * Determinism: FaultPlan::seedRandom() expands a seed over the known
+ * site registry with a fixed-algorithm PRNG (splitmix64), so a seed
+ * arms the same sites with the same hit counts on every platform and
+ * every run.
+ */
+
+#ifndef DSP_SUPPORT_FAULT_INJECTION_HH
+#define DSP_SUPPORT_FAULT_INJECTION_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.hh"
+
+namespace dsp
+{
+
+/** Thrown by an armed Throw-kind fault site. Subclass of InternalError
+ *  so the driver's degradation ladder treats an injected fault exactly
+ *  like a genuine library bug. */
+class InjectedFault : public InternalError
+{
+  public:
+    explicit InjectedFault(const std::string &site)
+        : InternalError("injected fault at " + site), faultSite(site)
+    {}
+
+    const std::string &site() const { return faultSite; }
+
+  private:
+    std::string faultSite;
+};
+
+/** What an armed site does when it fires. */
+enum class FaultKind : unsigned char
+{
+    Throw,    ///< checkFaultSite throws InjectedFault
+    CorruptIr ///< checkFaultSite returns true; the site corrupts its IR
+};
+
+/**
+ * A deterministic schedule of faults, keyed by site name.
+ *
+ * Thread-safe: sites fire under a mutex, and the same plan may be
+ * consulted concurrently from JobPool workers.
+ */
+class FaultPlan
+{
+  public:
+    FaultPlan() = default;
+
+    /**
+     * Arm @p site to fire on its @p hit 'th visit (1-based). One-shot
+     * sites disarm after firing so retry/fallback paths run clean.
+     */
+    void arm(const std::string &site, std::uint64_t hit = 1,
+             FaultKind kind = FaultKind::Throw, bool one_shot = true);
+
+    /**
+     * Seed-expand a pseudo-random schedule over compileFaultSites():
+     * each site is independently armed with probability @p probability
+     * on a hit count in [1, 3]. Deterministic in @p seed.
+     */
+    void seedRandom(std::uint64_t seed, double probability = 0.25);
+
+    /**
+     * Arm the simulator's memory system to fault after @p mem_ops
+     * memory operations (checked at instruction boundaries so both
+     * engines classify identically). 0 disarms.
+     */
+    void armSimMemFault(std::uint64_t mem_ops) { simMemOps = mem_ops; }
+
+    std::uint64_t simMemFaultAfterOps() const { return simMemOps; }
+
+    /** Did @p site fire at least once? */
+    bool fired(const std::string &site) const;
+
+    /** Total number of times any site fired. */
+    std::uint64_t totalFired() const;
+
+    /** How many times @p site has been visited (armed or not). */
+    std::uint64_t hits(const std::string &site) const;
+
+    /** Names of all armed sites (for test assertions / logging). */
+    std::vector<std::string> armedSites() const;
+
+    /**
+     * Called by production code at a named site. Returns true if a
+     * CorruptIr fault fired (caller should corrupt its output);
+     * throws InjectedFault if a Throw fault fired; returns false
+     * otherwise.
+     */
+    bool visit(const std::string &site);
+
+  private:
+    struct Armed
+    {
+        std::uint64_t hit = 1;
+        FaultKind kind = FaultKind::Throw;
+        bool oneShot = true;
+        bool disarmed = false;
+        std::uint64_t fireCount = 0;
+    };
+
+    mutable std::mutex mtx;
+    std::map<std::string, Armed> armed;
+    std::map<std::string, std::uint64_t> visits;
+    std::uint64_t simMemOps = 0;
+};
+
+/**
+ * The registry of named compile-pipeline fault sites. chaos tests
+ * iterate this to prove every degradation path fires; FaultPlan::random
+ * seeds over it. Keep in sync with the checkFaultSite() calls in
+ * src/opt, src/codegen, and src/driver.
+ */
+const std::vector<std::string> &compileFaultSites();
+
+/** The ambient plan, or nullptr when none is installed. */
+FaultPlan *ambientFaultPlan();
+
+/**
+ * Install @p plan as the process-ambient fault plan for this scope.
+ * Nesting replaces the outer plan until the inner scope exits. The
+ * plan must outlive the scope (the caller owns it).
+ */
+class ScopedFaultPlan
+{
+  public:
+    explicit ScopedFaultPlan(FaultPlan &plan);
+    ~ScopedFaultPlan();
+
+    ScopedFaultPlan(const ScopedFaultPlan &) = delete;
+    ScopedFaultPlan &operator=(const ScopedFaultPlan &) = delete;
+
+  private:
+    FaultPlan *previous;
+};
+
+/**
+ * The hook production code calls at a named site. With no ambient plan
+ * this is one relaxed atomic load. Returns true when a CorruptIr fault
+ * fired at the site; throws InjectedFault for Throw faults.
+ */
+bool checkFaultSite(const std::string &site);
+
+} // namespace dsp
+
+#endif // DSP_SUPPORT_FAULT_INJECTION_HH

@@ -1,7 +1,20 @@
 #include "support/job_pool.hh"
 
+#include <sstream>
+
 namespace dsp
 {
+
+void
+JobContext::checkpoint() const
+{
+    if (!expired())
+        return;
+    std::ostringstream os;
+    os << "job exceeded its " << budgetSeconds
+       << "s wall-clock limit (attempt " << attemptNum << ")";
+    throw JobTimeout(os.str());
+}
 
 int
 JobPool::defaultThreadCount()
@@ -20,9 +33,10 @@ JobPool::JobPool(int threads)
 
 JobPool::~JobPool()
 {
-    wait();
     {
-        std::lock_guard<std::mutex> lock(mu);
+        std::unique_lock<std::mutex> lock(mu);
+        drained.wait(lock, [this] { return queue.empty() && active == 0; });
+        firstError = nullptr; // unobserved; destructors must not throw
         stopping = true;
     }
     wake.notify_all();
@@ -33,9 +47,15 @@ JobPool::~JobPool()
 void
 JobPool::submit(std::function<void()> job)
 {
+    submit([job = std::move(job)](JobContext &) { job(); }, JobLimits{});
+}
+
+void
+JobPool::submit(std::function<void(JobContext &)> job, JobLimits limits)
+{
     {
         std::lock_guard<std::mutex> lock(mu);
-        queue.push_back(std::move(job));
+        queue.push_back(Pending{std::move(job), limits, 0});
     }
     wake.notify_one();
 }
@@ -43,8 +63,26 @@ JobPool::submit(std::function<void()> job)
 void
 JobPool::wait()
 {
-    std::unique_lock<std::mutex> lock(mu);
-    drained.wait(lock, [this] { return queue.empty() && active == 0; });
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        drained.wait(lock, [this] { return queue.empty() && active == 0; });
+        error = firstError;
+        firstError = nullptr;
+        cancelFlag.store(false, std::memory_order_relaxed);
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+void
+JobPool::cancel()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    cancelFlag.store(true, std::memory_order_relaxed);
+    queue.clear();
+    if (active == 0)
+        drained.notify_all();
 }
 
 void
@@ -55,12 +93,37 @@ JobPool::workerLoop()
         wake.wait(lock, [this] { return stopping || !queue.empty(); });
         if (queue.empty())
             return; // stopping, nothing left to run
-        std::function<void()> job = std::move(queue.front());
+        Pending p = std::move(queue.front());
         queue.pop_front();
         ++active;
         lock.unlock();
-        job();
+
+        std::exception_ptr error;
+        bool retry = false;
+        {
+            JobContext ctx(&cancelFlag, p.limits.timeoutSeconds, p.attempt);
+            try {
+                p.fn(ctx);
+            } catch (const JobTimeout &) {
+                if (p.attempt < p.limits.retries &&
+                    !cancelFlag.load(std::memory_order_relaxed)) {
+                    retry = true;
+                } else {
+                    error = std::current_exception();
+                }
+            } catch (...) {
+                error = std::current_exception();
+            }
+        }
+
         lock.lock();
+        if (retry) {
+            queue.push_back(
+                Pending{std::move(p.fn), p.limits, p.attempt + 1});
+            wake.notify_one();
+        }
+        if (error && !firstError)
+            firstError = error;
         --active;
         if (queue.empty() && active == 0)
             drained.notify_all();

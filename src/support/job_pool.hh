@@ -1,27 +1,126 @@
 /**
  * @file
- * A minimal fixed-size worker-thread pool for coarse-grained jobs.
+ * A fixed-size worker-thread pool with fault isolation for
+ * coarse-grained jobs.
  *
  * Built for the benchmark harness: the figure/table benches compile
  * and simulate each suite benchmark independently, so one job per
  * benchmark keeps every core busy with zero shared mutable state
- * beyond the queue itself. Jobs are plain closures; error handling is
- * the submitter's responsibility (an exception escaping a job
- * terminates the process, by design — wrap fallible work).
+ * beyond the queue itself.
+ *
+ * Fault isolation, three layers:
+ *
+ *  - Exceptions escaping a job no longer terminate the process. The
+ *    pool captures the first escaping exception and rethrows it from
+ *    wait(); later escapes are dropped (first-error-wins, like
+ *    std::async fan-ins).
+ *
+ *  - cancel() discards every queued job and raises a flag that
+ *    running jobs can poll through their JobContext, so one fatal
+ *    error can stop a sweep early instead of grinding through it.
+ *
+ *  - Context-aware jobs get a per-job wall-clock deadline
+ *    (JobLimits::timeoutSeconds). Timeouts are cooperative: the job
+ *    polls JobContext::expired() or calls checkpoint(), which throws
+ *    JobTimeout past the deadline. A timed-out job is retried
+ *    (JobLimits::retries, default one extra attempt) before the
+ *    timeout counts as the pool's error — transient host load should
+ *    not null out a benchmark.
  */
 
 #ifndef DSP_SUPPORT_JOB_POOL_HH
 #define DSP_SUPPORT_JOB_POOL_HH
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
 namespace dsp
 {
+
+/** Thrown from JobContext::checkpoint() once the job's wall-clock
+ *  deadline has passed (and by deadline-aware code such as the bench
+ *  harness's bounded simulation loop). */
+class JobTimeout : public std::runtime_error
+{
+  public:
+    explicit JobTimeout(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Per-job execution limits for JobPool::submit(). */
+struct JobLimits
+{
+    /** Wall-clock budget per attempt; 0 means no deadline. */
+    double timeoutSeconds = 0;
+    /** Extra attempts after a JobTimeout before it becomes the
+     *  pool's error. */
+    int retries = 1;
+};
+
+/**
+ * Handed to context-aware jobs; exposes the cooperative cancellation
+ * flag, the wall-clock deadline, and which attempt this is.
+ */
+class JobContext
+{
+  public:
+    /** True once JobPool::cancel() has been called. */
+    bool
+    cancelled() const
+    {
+        return cancelFlag &&
+               cancelFlag->load(std::memory_order_relaxed);
+    }
+
+    /** True once this attempt's wall-clock deadline has passed. */
+    bool
+    expired() const
+    {
+        return hasDeadline &&
+               std::chrono::steady_clock::now() >= deadline;
+    }
+
+    /** Throws JobTimeout if expired; long-running jobs call this at
+     *  convenient boundaries. */
+    void checkpoint() const;
+
+    /** 0 on the first run, 1 on the first retry, ... */
+    int attempt() const { return attemptNum; }
+
+    /** The per-attempt budget this job was submitted with (0 = none). */
+    double timeoutSeconds() const { return budgetSeconds; }
+
+  private:
+    friend class JobPool;
+
+    JobContext(const std::atomic<bool> *cancel, double timeout_seconds,
+               int attempt)
+        : cancelFlag(cancel), budgetSeconds(timeout_seconds),
+          attemptNum(attempt)
+    {
+        if (timeout_seconds > 0) {
+            hasDeadline = true;
+            deadline = std::chrono::steady_clock::now() +
+                       std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(timeout_seconds));
+        }
+    }
+
+    const std::atomic<bool> *cancelFlag = nullptr;
+    std::chrono::steady_clock::time_point deadline;
+    bool hasDeadline = false;
+    double budgetSeconds = 0;
+    int attemptNum = 0;
+};
 
 class JobPool
 {
@@ -30,7 +129,9 @@ class JobPool
      *  (at least one). */
     explicit JobPool(int threads = 0);
 
-    /** Waits for all submitted jobs, then joins the workers. */
+    /** Waits for all submitted jobs, then joins the workers. An
+     *  unobserved captured error is dropped (destructors must not
+     *  throw); call wait() first if you care. */
     ~JobPool();
 
     JobPool(const JobPool &) = delete;
@@ -39,8 +140,20 @@ class JobPool
     /** Enqueue @p job for execution on some worker. */
     void submit(std::function<void()> job);
 
-    /** Block until every submitted job has finished executing. */
+    /** Enqueue a context-aware job with per-job limits. */
+    void submit(std::function<void(JobContext &)> job, JobLimits limits);
+
+    /**
+     * Block until every submitted job has finished executing, then
+     * rethrow the first exception that escaped a job (if any). The
+     * captured error and the cancellation flag are cleared, so the
+     * pool is reusable after wait() returns or throws.
+     */
     void wait();
+
+    /** Discard all queued jobs and raise the cancellation flag that
+     *  running jobs observe via JobContext::cancelled(). */
+    void cancel();
 
     int threadCount() const { return static_cast<int>(workers.size()); }
 
@@ -48,13 +161,22 @@ class JobPool
     static int defaultThreadCount();
 
   private:
+    struct Pending
+    {
+        std::function<void(JobContext &)> fn;
+        JobLimits limits;
+        int attempt = 0;
+    };
+
     void workerLoop();
 
     std::vector<std::thread> workers;
-    std::deque<std::function<void()>> queue;
+    std::deque<Pending> queue;
     std::mutex mu;
     std::condition_variable wake;  ///< signals workers: job or shutdown
     std::condition_variable drained; ///< signals wait(): all jobs done
+    std::exception_ptr firstError; ///< first exception escaping a job
+    std::atomic<bool> cancelFlag{false};
     int active = 0;  ///< jobs currently executing
     bool stopping = false;
 };

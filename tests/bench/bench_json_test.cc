@@ -342,6 +342,92 @@ TEST(BenchJson, NamesAndErrorsAreEscaped)
     EXPECT_TRUE(contains("suite \"q\""));
 }
 
+TEST(BenchJson, DegradationsAreEmittedAndEscaped)
+{
+    bench::BenchResult r;
+    r.name = "degraded_bench";
+    r.label = "d1";
+    r.hostSeconds = 0.5;
+    r.simCycles = 10;
+    r.degradations = {
+        "cb: pass-rollback opt.dce in main: injected fault",
+        "ideal: mode-fallback mcverify: \"quoted\"\ndetail",
+    };
+
+    bench::BenchResult clean;
+    clean.name = "clean_bench";
+    clean.label = "c1";
+    clean.hostSeconds = 0.5;
+    clean.simCycles = 10;
+
+    TempFile tmp("bench_json_test_degraded.json");
+    bench::writeBenchJson(tmp.path, "unit", {r, clean}, 1.0, 1);
+
+    std::string text = readFile(tmp.path);
+    JsonChecker checker;
+    ASSERT_TRUE(checker.parse(text)) << checker.error << "\n" << text;
+
+    // The degraded row carries both event lines (escaped, round-
+    // tripping through a conforming parser); the clean row carries no
+    // "degraded" key at all.
+    auto contains = [&](const std::string &want) {
+        for (const std::string &s : checker.strings())
+            if (s == want)
+                return true;
+        return false;
+    };
+    EXPECT_TRUE(contains(r.degradations[0]));
+    EXPECT_TRUE(contains(r.degradations[1]));
+    std::size_t first = text.find("\"degraded\"");
+    ASSERT_NE(first, std::string::npos);
+    EXPECT_EQ(text.find("\"degraded\"", first + 1), std::string::npos)
+        << "clean benchmark must not emit a degraded array";
+}
+
+TEST(BenchJson, TimedOutBenchmarkBecomesAnErrorRow)
+{
+    // A benchmark that spins for several million cycles against a
+    // microscopic wall-clock budget and no retries: the suite must
+    // record a per-row timeout error (not throw, not hang) and keep
+    // measuring the other benchmark.
+    Benchmark spin;
+    spin.name = "spin";
+    spin.label = "s1";
+    spin.source = R"(
+        void main() {
+            int s = 0;
+            for (int i = 0; i < 5000000; i++) s = s + 1;
+            out(s);
+        }
+    )";
+    spin.expected = {5000000};
+
+    Benchmark quick;
+    quick.name = "quick";
+    quick.label = "q1";
+    quick.source = "void main() { out(7); }";
+    quick.expected = {7};
+
+    TempFile tmp("bench_json_test_timeout.json");
+    bench::SuiteRunOptions opts;
+    opts.threads = 2;
+    opts.jsonPath = tmp.path;
+    opts.suiteName = "bench_json_test";
+    opts.benchTimeoutSeconds = 1e-6;
+    opts.benchRetries = 0;
+    auto results = bench::measureSuite({spin, quick}, opts);
+
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_FALSE(results[0].ok());
+    EXPECT_NE(results[0].error.find("wall-clock"), std::string::npos)
+        << results[0].error;
+    EXPECT_TRUE(results[1].ok()) << results[1].error;
+
+    std::string text = readFile(tmp.path);
+    JsonChecker checker;
+    EXPECT_TRUE(checker.parse(text)) << checker.error << "\n" << text;
+}
+
 TEST(BenchJson, MeasuredSuiteReportParses)
 {
     // End-to-end: measure a tiny suite (including one benchmark that

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Chaos tier (`ctest -L chaos`): seeded fault injection across the
+ * whole compile pipeline and the benchmark suite.
+ *
+ * The contract under test is ISSUE 4's acceptance bar: with a fault
+ * armed at ANY named pipeline site, compiling ANY suite benchmark in
+ * resilient mode must not abort — it degrades (pass rollback or
+ * single-bank fallback), the degraded binary still passes the
+ * machine-code bank-safety verifier (verifyMc stays on throughout),
+ * its output still matches the host-side reference, and the
+ * degradation trail is visible in CompileResult::degradations and in
+ * the BENCH_sim.json report.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common.hh"
+#include "driver/compiler.hh"
+#include "suite/suite.hh"
+#include "support/fault_injection.hh"
+
+namespace dsp
+{
+namespace
+{
+
+/** Compile @p bench resiliently in @p mode and check the result runs
+ *  to the benchmark's reference output. */
+CompileResult
+compileAndCheck(const Benchmark &bench, AllocMode mode,
+                const std::string &what)
+{
+    CompileOptions opts;
+    opts.mode = mode;
+    opts.resilient = true; // verifyMc stays at its default: on
+    CompileResult compiled = compileSource(bench.source, opts);
+
+    RunOutcome outcome = tryRunProgram(compiled, bench.input);
+    EXPECT_TRUE(outcome.ok) << bench.name << " (" << what
+                            << "): " << outcome.error;
+    if (outcome.ok) {
+        EXPECT_EQ(outcome.result.output.size(), bench.expected.size())
+            << bench.name << " (" << what << ")";
+        if (outcome.result.output.size() == bench.expected.size()) {
+            for (std::size_t i = 0; i < outcome.result.output.size();
+                 ++i)
+                EXPECT_EQ(outcome.result.output[i].raw,
+                          bench.expected[i])
+                    << bench.name << " (" << what << "): word " << i;
+        }
+    }
+    return compiled;
+}
+
+bool
+anyEventAtSite(const CompileResult &compiled, const std::string &site)
+{
+    return std::any_of(compiled.degradations.begin(),
+                       compiled.degradations.end(),
+                       [&](const DegradationEvent &e) {
+                           return e.stage == site;
+                       });
+}
+
+/**
+ * The acceptance sweep: a transient Throw fault at every named
+ * pipeline site, for every benchmark in the suite, under the full CB
+ * configuration. Every compile must degrade instead of aborting and
+ * still produce a reference-exact, verifier-clean binary.
+ */
+TEST(Chaos, EverySiteEveryBenchmarkDegradesCleanly)
+{
+    for (const Benchmark *bench : allBenchmarks()) {
+        for (const std::string &site : compileFaultSites()) {
+            FaultPlan plan;
+            plan.arm(site);
+            ScopedFaultPlan scope(plan);
+
+            CompileResult compiled;
+            ASSERT_NO_THROW(compiled = compileAndCheck(
+                                *bench, AllocMode::CB, site))
+                << bench->name << " aborted with a fault at " << site;
+
+            EXPECT_TRUE(plan.fired(site))
+                << site << " was never reached compiling "
+                << bench->name;
+            EXPECT_TRUE(compiled.degraded())
+                << bench->name << ": fault at " << site
+                << " left no degradation trail";
+            EXPECT_TRUE(anyEventAtSite(compiled, site))
+                << bench->name << ": no event names site " << site;
+        }
+    }
+}
+
+TEST(Chaos, CorruptIrRollsBackViaTheVerifier)
+{
+    const Benchmark *bench = allBenchmarks().front();
+    FaultPlan plan;
+    plan.arm("opt.dce", 1, FaultKind::CorruptIr);
+    ScopedFaultPlan scope(plan);
+
+    CompileResult compiled =
+        compileAndCheck(*bench, AllocMode::CB, "corrupt-ir");
+    EXPECT_TRUE(plan.fired("opt.dce"));
+    ASSERT_TRUE(compiled.degraded());
+    bool verifier_caught = false;
+    for (const DegradationEvent &e : compiled.degradations)
+        verifier_caught |= e.stage == "opt.dce" &&
+                           e.detail.find("verifier") !=
+                               std::string::npos;
+    EXPECT_TRUE(verifier_caught)
+        << "IR corruption must be caught by the post-pass verifier";
+}
+
+TEST(Chaos, McVerifyFailureFallsBackToSingleBank)
+{
+    const Benchmark *bench = allBenchmarks().front();
+    FaultPlan plan;
+    plan.arm("mcverify");
+    ScopedFaultPlan scope(plan);
+
+    CompileResult compiled =
+        compileAndCheck(*bench, AllocMode::CB, "mcverify");
+    ASSERT_TRUE(compiled.degraded());
+    EXPECT_TRUE(anyEventAtSite(compiled, "mcverify"));
+    // The surviving binary is the single-bank fallback, re-verified
+    // (the fault was one-shot, so the second mcverify pass really ran).
+    EXPECT_EQ(compiled.options.mode, AllocMode::SingleBank);
+}
+
+TEST(Chaos, PersistentFaultDisablesThePassAndStillCompiles)
+{
+    const Benchmark *bench = allBenchmarks().front();
+    FaultPlan plan;
+    plan.arm("opt.copyprop", 1, FaultKind::Throw, /*one_shot=*/false);
+    ScopedFaultPlan scope(plan);
+
+    CompileResult compiled =
+        compileAndCheck(*bench, AllocMode::CB, "persistent");
+    ASSERT_TRUE(compiled.degraded());
+    EXPECT_TRUE(anyEventAtSite(compiled, "opt.copyprop"));
+}
+
+/**
+ * An injected simulator memory fault is a machine fault (UserError),
+ * reported — not thrown — by tryRunProgram, with the exact same
+ * classification and diagnostic from both execution engines
+ * (satellite: the fault check sits at the instruction boundary where
+ * the engines agree on the cumulative memory-op count).
+ */
+TEST(Chaos, SimMemFaultClassifiedIdenticallyAcrossEngines)
+{
+    const Benchmark *bench = allBenchmarks().front();
+    CompileOptions opts;
+    opts.mode = AllocMode::CB;
+    CompileResult compiled = compileSource(bench->source, opts);
+
+    auto faultedRun = [&](Fidelity fid) {
+        FaultPlan plan;
+        plan.armSimMemFault(10);
+        ScopedFaultPlan scope(plan);
+        return tryRunProgram(compiled, bench->input, 200'000'000, fid);
+    };
+
+    RunOutcome fast = faultedRun(Fidelity::Fast);
+    RunOutcome instrumented = faultedRun(Fidelity::Instrumented);
+
+    EXPECT_FALSE(fast.ok);
+    EXPECT_FALSE(instrumented.ok);
+    EXPECT_FALSE(fast.timedOut);
+    EXPECT_FALSE(instrumented.timedOut);
+    EXPECT_EQ(fast.error, instrumented.error);
+    EXPECT_NE(fast.error.find("injected memory fault"),
+              std::string::npos)
+        << fast.error;
+}
+
+TEST(Chaos, SeededRandomPlanNeverAbortsTheSuiteFrontRunner)
+{
+    // A seeded multi-site schedule (the "chaos monkey" shape): still
+    // no aborts, still reference-exact output.
+    const Benchmark *bench = allBenchmarks().front();
+    for (std::uint64_t seed : {1u, 7u, 42u}) {
+        FaultPlan plan;
+        plan.seedRandom(seed, 0.5);
+        ScopedFaultPlan scope(plan);
+        ASSERT_NO_THROW(compileAndCheck(*bench, AllocMode::CB,
+                                        "seed " + std::to_string(seed)))
+            << "seed " << seed;
+    }
+}
+
+TEST(Chaos, SuiteReportCarriesTheDegradationTrail)
+{
+    Benchmark tiny;
+    tiny.name = "chaos_tiny";
+    tiny.label = "c1";
+    tiny.source = "void main() { out(2 + 3); }";
+    tiny.expected = {5};
+
+    FaultPlan plan;
+    plan.arm("alloc.partition");
+    ScopedFaultPlan scope(plan);
+
+    std::string path = "chaos_test_suite.json";
+    bench::SuiteRunOptions opts;
+    opts.threads = 1;
+    opts.jsonPath = path;
+    opts.suiteName = "chaos";
+    auto results = bench::measureSuite({tiny}, opts);
+
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_TRUE(results[0].ok()) << results[0].error;
+    ASSERT_FALSE(results[0].degradations.empty())
+        << "the armed fault must surface in BenchResult::degradations";
+    EXPECT_NE(results[0].degradations[0].find("alloc.partition"),
+              std::string::npos)
+        << results[0].degradations[0];
+
+    std::ifstream in(path);
+    ASSERT_TRUE(static_cast<bool>(in));
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::remove(path.c_str());
+    EXPECT_NE(ss.str().find("\"degraded\""), std::string::npos)
+        << ss.str();
+}
+
+} // namespace
+} // namespace dsp

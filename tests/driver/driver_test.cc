@@ -252,6 +252,8 @@ TEST(CompileCache, OptionsKeySeparatesEveryKnob)
         [](CompileOptions &o) { o.machine.dualPorted = true; });
     add("optLevel", [](CompileOptions &o) { o.optLevel = 0; });
     add("verifyMc", [](CompileOptions &o) { o.verifyMc = false; });
+    add("resilient", [](CompileOptions &o) { o.resilient = true; });
+    add("maxErrors", [](CompileOptions &o) { o.maxErrors = 5; });
 
     for (std::size_t i = 0; i < variants.size(); ++i) {
         for (std::size_t j = i + 1; j < variants.size(); ++j) {

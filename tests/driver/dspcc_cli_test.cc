@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Pins the dspcc command-line contract: exit codes, degradation
+ * warnings, --strict / --werror / --max-errors / --inject behavior.
+ *
+ * The exit codes are part of the tool's interface (build scripts and
+ * the chaos harness branch on them):
+ *   0  success
+ *   1  user error (bad source, bad usage, unreadable file)
+ *   2  internal error (only surfaced in --strict mode, or when even
+ *      the degradation ladder cannot produce a binary)
+ *   3  degraded compile with --werror
+ *
+ * The binary's path arrives via the DSPCC_BIN compile definition
+ * (tests/CMakeLists.txt points it at $<TARGET_FILE:dspcc>).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace
+{
+
+/** RAII temp file in the test's working directory. */
+struct TempFile
+{
+    std::string path;
+
+    TempFile(const std::string &name, const std::string &contents)
+        : path(name)
+    {
+        std::ofstream out(path);
+        out << contents;
+    }
+    ~TempFile() { std::remove(path.c_str()); }
+};
+
+struct CliResult
+{
+    int exitCode = -1;
+    std::string stderrText;
+};
+
+/** Run dspcc with @p args, capturing the exit code and stderr. */
+CliResult
+runDspcc(const std::string &args)
+{
+    std::string err_path = "dspcc_cli_test_stderr.txt";
+    std::string cmd = std::string(DSPCC_BIN) + " " + args +
+                      " >/dev/null 2>" + err_path;
+    int status = std::system(cmd.c_str());
+
+    CliResult r;
+    r.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    std::ifstream in(err_path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    r.stderrText = ss.str();
+    std::remove(err_path.c_str());
+    return r;
+}
+
+const char *const kGoodProgram = "void main() { out(2 + 3); }\n";
+
+TEST(DspccCli, SuccessExitsZero)
+{
+    TempFile src("dspcc_cli_ok.c", kGoodProgram);
+    CliResult r = runDspcc(src.path);
+    EXPECT_EQ(r.exitCode, 0) << r.stderrText;
+}
+
+TEST(DspccCli, SyntaxErrorExitsOneAndReportsEveryError)
+{
+    // Three independent statement-level errors: recovery must surface
+    // all three before the compile fails.
+    TempFile src("dspcc_cli_bad.c",
+                 "void main() {\n"
+                 "    int a = ;\n"
+                 "    int b = 1;\n"
+                 "    b = * 2;\n"
+                 "    out(;\n"
+                 "}\n");
+    CliResult r = runDspcc(src.path);
+    EXPECT_EQ(r.exitCode, 1) << r.stderrText;
+    // All three diagnostics arrive in one UserError report.
+    int errors = 0;
+    for (std::size_t pos = 0;
+         (pos = r.stderrText.find("error:", pos)) != std::string::npos;
+         ++pos)
+        ++errors;
+    EXPECT_GE(errors, 3) << r.stderrText;
+}
+
+TEST(DspccCli, MaxErrorsCapsTheReport)
+{
+    TempFile src("dspcc_cli_cap.c",
+                 "void main() {\n"
+                 "    int a = ;\n"
+                 "    int b = ;\n"
+                 "    int c = ;\n"
+                 "    int d = ;\n"
+                 "}\n");
+    CliResult r = runDspcc("--max-errors=2 " + src.path);
+    EXPECT_EQ(r.exitCode, 1) << r.stderrText;
+    EXPECT_NE(r.stderrText.find("too many errors"), std::string::npos)
+        << r.stderrText;
+}
+
+TEST(DspccCli, BadUsageExitsOne)
+{
+    EXPECT_EQ(runDspcc("").exitCode, 1);
+    EXPECT_EQ(runDspcc("--definitely-not-a-flag whatever.c").exitCode,
+              1);
+    EXPECT_EQ(runDspcc("--mode=bogus whatever.c").exitCode, 1);
+}
+
+TEST(DspccCli, MissingFileExitsOne)
+{
+    CliResult r = runDspcc("dspcc_cli_test_no_such_file.c");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.stderrText.find("cannot open"), std::string::npos);
+}
+
+TEST(DspccCli, InjectedFaultDegradesGracefullyByDefault)
+{
+    TempFile src("dspcc_cli_inject.c", kGoodProgram);
+    CliResult r = runDspcc("--inject=opt.dce " + src.path);
+    EXPECT_EQ(r.exitCode, 0) << r.stderrText;
+    EXPECT_NE(r.stderrText.find("warning: degraded"), std::string::npos)
+        << r.stderrText;
+    EXPECT_NE(r.stderrText.find("opt.dce"), std::string::npos)
+        << r.stderrText;
+}
+
+TEST(DspccCli, WerrorTurnsDegradationIntoExitThree)
+{
+    TempFile src("dspcc_cli_werror.c", kGoodProgram);
+    CliResult r =
+        runDspcc("--werror --inject=backend.regalloc " + src.path);
+    EXPECT_EQ(r.exitCode, 3) << r.stderrText;
+    EXPECT_NE(r.stderrText.find("backend.regalloc"), std::string::npos)
+        << r.stderrText;
+}
+
+TEST(DspccCli, StrictModeSurfacesInternalErrorsAsExitTwo)
+{
+    TempFile src("dspcc_cli_strict.c", kGoodProgram);
+    CliResult r = runDspcc("--strict --inject=mcverify " + src.path);
+    EXPECT_EQ(r.exitCode, 2) << r.stderrText;
+    EXPECT_NE(r.stderrText.find("internal error"), std::string::npos)
+        << r.stderrText;
+}
+
+TEST(DspccCli, InjectedSimMemFaultIsAMachineFault)
+{
+    // Machine faults (including injected ones) are user-level errors:
+    // exit 1, not an internal-error exit 2. The program needs real
+    // memory traffic for the armed fault to trigger.
+    TempFile src("dspcc_cli_simmem.c",
+                 "int a[4];\n"
+                 "void main() {\n"
+                 "    for (int i = 0; i < 4; i++) a[i] = i;\n"
+                 "    out(a[3]);\n"
+                 "}\n");
+    CliResult r = runDspcc("--inject=sim.mem:1 " + src.path);
+    EXPECT_EQ(r.exitCode, 1) << r.stderrText;
+    EXPECT_NE(r.stderrText.find("injected memory fault"),
+              std::string::npos)
+        << r.stderrText;
+}
+
+} // namespace

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "ir/clone.hh"
 #include "ir/loop_info.hh"
 #include "ir/module.hh"
 #include "ir/printer.hh"
@@ -274,6 +275,52 @@ TEST(Lowering, UnreachableBlocksPruned)
             if (op.opcode == Opcode::Out)
                 ++out_count;
     EXPECT_EQ(out_count, 1);
+}
+
+TEST(FunctionSnapshot, RestoreUndoesArbitraryMutation)
+{
+    auto mod = lower(R"(
+        int a[8];
+        void main() {
+            int s = 0;
+            for (int i = 0; i < 8; i++) s += a[i];
+            out(s);
+        }
+    )");
+    Function *fn = mod->findFunction("main");
+    std::string before = printFunction(*fn);
+    int vregsBefore = fn->nextVRegId;
+
+    FunctionSnapshot snapshot(*fn);
+
+    // Mangle the body the way a buggy pass might: new blocks, new
+    // vregs, ops deleted, a stray unterminated block.
+    fn->entry()->ops.clear();
+    BasicBlock *junk = fn->newBlock("junk");
+    Op add(Opcode::Add);
+    add.dst = fn->newVReg(RegClass::Int);
+    junk->ops.push_back(add);
+    EXPECT_FALSE(verifyFunction(*fn).empty());
+
+    snapshot.restore(*fn);
+    EXPECT_EQ(printFunction(*fn), before);
+    EXPECT_EQ(fn->nextVRegId, vregsBefore);
+    EXPECT_TRUE(verifyFunction(*fn).empty());
+
+    // The snapshot is not consumed: restore works repeatedly, and the
+    // restored branch targets point into the restored body (the
+    // verifier's CFG walk would catch stale pointers).
+    fn->blocks.clear();
+    snapshot.restore(*fn);
+    EXPECT_EQ(printFunction(*fn), before);
+    for (const auto &bb : fn->blocks)
+        for (const Op &op : bb->ops)
+            if (op.target) {
+                bool found = false;
+                for (const auto &other : fn->blocks)
+                    found |= other.get() == op.target;
+                EXPECT_TRUE(found);
+            }
 }
 
 } // namespace

@@ -193,6 +193,94 @@ TEST(Parser, SyntaxErrors)
     EXPECT_THROW(parse("void f(void x) {}"), UserError);
 }
 
+TEST(Parser, RecoveryReportsEveryError)
+{
+    // Three statement-level errors in one program: recovery must
+    // synchronize past each and report all three with their own
+    // source locations, while still parsing the valid declarations
+    // around them.
+    const char *src = R"(
+        int g;
+        void f() {
+            int a = ;
+            a = 1;
+            a = * 2;
+            out(;
+            a = 3;
+        }
+    )";
+    DiagnosticEngine diags;
+    auto p = parseProgram(src, diags);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(diags.errorCount(), 3) << diags.summary();
+    EXPECT_FALSE(diags.hitErrorLimit());
+    // The surviving AST still carries the healthy parts.
+    ASSERT_EQ(p->globals.size(), 1u);
+    ASSERT_EQ(p->functions.size(), 1u);
+
+    // Every diagnostic has a distinct location, in source order.
+    const auto &ds = diags.diagnostics();
+    ASSERT_EQ(ds.size(), 3u);
+    EXPECT_LT(ds[0].loc.line, ds[1].loc.line);
+    EXPECT_LT(ds[1].loc.line, ds[2].loc.line);
+}
+
+TEST(Parser, RecoveryResyncsAcrossFunctions)
+{
+    // An error inside one function must not swallow the next
+    // function's definition.
+    const char *src = R"(
+        void broken() { if ( }
+        void fine() { out(1); }
+    )";
+    DiagnosticEngine diags;
+    auto p = parseProgram(src, diags);
+    EXPECT_GE(diags.errorCount(), 1);
+    ASSERT_GE(p->functions.size(), 1u);
+    EXPECT_EQ(p->functions.back()->name, "fine");
+}
+
+TEST(Parser, ThrowingOverloadCarriesEveryDiagnostic)
+{
+    try {
+        parseProgram("void f() { int a = ; int b = ; }", 20);
+        FAIL() << "expected UserError";
+    } catch (const UserError &e) {
+        std::string msg = e.what();
+        int errors = 0;
+        for (std::size_t pos = 0;
+             (pos = msg.find("error:", pos)) != std::string::npos;
+             ++pos)
+            ++errors;
+        EXPECT_EQ(errors, 2) << msg;
+    }
+}
+
+TEST(Parser, ErrorCapStopsTheParseEarly)
+{
+    // Ten bad statements against a cap of three: the parse stops at
+    // the cap instead of grinding on, and says so.
+    std::string src = "void f() {\n";
+    for (int i = 0; i < 10; ++i)
+        src += "    int v" + std::to_string(i) + " = ;\n";
+    src += "}\n";
+
+    DiagnosticEngine diags(/*max_errors=*/3);
+    auto p = parseProgram(src, diags);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(diags.errorCount(), 3);
+    EXPECT_TRUE(diags.hitErrorLimit());
+
+    try {
+        parseProgram(src, 3);
+        FAIL() << "expected UserError";
+    } catch (const UserError &e) {
+        EXPECT_NE(std::string(e.what()).find("too many errors"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
 TEST(Parser, DanglingElseBindsToInner)
 {
     auto p = parse("void f() { if (a) if (b) x = 1; else x = 2; }");

@@ -9,11 +9,13 @@
 
 #include "driver/compiler.hh"
 #include "ir/module.hh"
+#include "ir/printer.hh"
 #include "ir/verifier.hh"
 #include "lower/lower.hh"
 #include "minic/parser.hh"
 #include "minic/sema.hh"
 #include "opt/passes.hh"
+#include "support/fault_injection.hh"
 
 namespace dsp
 {
@@ -447,6 +449,82 @@ TEST(Pipeline, NeverGrowsOpsUnboundedly)
     // pass feeding on its own output.
     EXPECT_LT(totalOps(*mod), 4 * before);
     EXPECT_TRUE(verifyModule(*mod).empty());
+}
+
+namespace
+{
+
+const char *kResilienceProgram = R"(
+    int a[16];
+    void main() {
+        int s = 0;
+        for (int i = 0; i < 16; i++) {
+            a[i] = 3 * i + 1;
+            s += a[i] * 2;
+        }
+        out(s);
+    }
+)";
+
+} // namespace
+
+TEST(ResilientPipeline, MatchesStandardPipelineWithoutFaults)
+{
+    auto plain = lower(kResilienceProgram);
+    auto guarded = lower(kResilienceProgram);
+
+    int changes = runStandardPipeline(*plain);
+    PipelineReport report = runResilientPipeline(*guarded);
+
+    EXPECT_TRUE(report.degradations.empty());
+    EXPECT_EQ(report.changes, changes);
+    // Same passes in the same order on identical input: the guarded
+    // pipeline must be a bit-identical no-op wrapper when nothing fails.
+    EXPECT_EQ(printModule(*guarded), printModule(*plain));
+}
+
+TEST(ResilientPipeline, RollsBackAndDisablesAThrowingPass)
+{
+    auto mod = lower(kResilienceProgram);
+
+    FaultPlan plan;
+    plan.arm("opt.dce", 1, FaultKind::Throw, /*one_shot=*/false);
+    ScopedFaultPlan scope(plan);
+
+    PipelineReport report = runResilientPipeline(*mod);
+    ASSERT_FALSE(report.degradations.empty());
+    EXPECT_EQ(report.degradations[0].pass, "opt.dce");
+    EXPECT_EQ(report.degradations[0].function, "main");
+    EXPECT_NE(report.degradations[0].detail.find("injected fault"),
+              std::string::npos);
+    // Persistent fault + per-function disable: it fired exactly once.
+    EXPECT_EQ(plan.totalFired(), 1u);
+    EXPECT_TRUE(verifyModule(*mod).empty());
+}
+
+TEST(ResilientPipeline, RollsBackIrCorruptionViaTheVerifier)
+{
+    auto mod = lower(kResilienceProgram);
+
+    FaultPlan plan;
+    plan.arm("opt.constfold", 1, FaultKind::CorruptIr);
+    ScopedFaultPlan scope(plan);
+
+    PipelineReport report = runResilientPipeline(*mod);
+    ASSERT_FALSE(report.degradations.empty());
+    EXPECT_EQ(report.degradations[0].pass, "opt.constfold");
+    EXPECT_NE(report.degradations[0].detail.find("verifier:"),
+              std::string::npos);
+    EXPECT_TRUE(verifyModule(*mod).empty());
+}
+
+TEST(ResilientPipeline, StrictPipelinePropagatesInjectedFaults)
+{
+    auto mod = lower(kResilienceProgram);
+    FaultPlan plan;
+    plan.arm("opt.copyprop");
+    ScopedFaultPlan scope(plan);
+    EXPECT_THROW(runStandardPipeline(*mod), InjectedFault);
 }
 
 } // namespace

@@ -6,10 +6,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <thread>
+#include <type_traits>
 
 #include "minic/lexer.hh"
 #include "support/diagnostics.hh"
+#include "support/fault_injection.hh"
 #include "support/job_pool.hh"
 #include "support/string_utils.hh"
 #include "suite/gen.hh"
@@ -114,6 +119,248 @@ TEST(JobPool, DestructorDrainsPendingJobs)
             pool.submit([&] { ++count; });
     }
     EXPECT_EQ(count.load(), 16);
+}
+
+TEST(DiagnosticEngine, AccumulatesAndFormats)
+{
+    DiagnosticEngine engine;
+    engine.error(SourceLoc{12, 7}, "parse", "expected ", "';'");
+    engine.warning(SourceLoc{}, "driver", "degraded to SingleBank");
+    engine.note(SourceLoc{12, 7}, "parse", "opened here");
+
+    ASSERT_EQ(engine.diagnostics().size(), 3u);
+    EXPECT_EQ(engine.errorCount(), 1);
+    EXPECT_TRUE(engine.hasErrors());
+    EXPECT_EQ(engine.diagnostics()[0].str(),
+              "12:7: error: expected ';' (parse)");
+    EXPECT_EQ(engine.diagnostics()[1].str(),
+              "warning: degraded to SingleBank (driver)");
+    EXPECT_NE(engine.summary().find("note: opened here"),
+              std::string::npos);
+}
+
+TEST(DiagnosticEngine, SinkSeesEveryDiagnostic)
+{
+    DiagnosticEngine engine;
+    std::vector<std::string> seen;
+    engine.setSink([&](const Diagnostic &d) { seen.push_back(d.str()); });
+    engine.error(SourceLoc{1, 1}, "sema", "bad type");
+    engine.warning(SourceLoc{}, "driver", "fallback");
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_NE(seen[0].find("bad type"), std::string::npos);
+}
+
+TEST(DiagnosticEngine, ErrorCapThrowsTooManyErrors)
+{
+    DiagnosticEngine engine(3);
+    EXPECT_EQ(engine.errorLimit(), 3);
+    engine.error(SourceLoc{}, "parse", "e1");
+    engine.error(SourceLoc{}, "parse", "e2");
+    engine.error(SourceLoc{}, "parse", "e3");
+    // Warnings and notes never count toward the cap.
+    EXPECT_NO_THROW(engine.warning(SourceLoc{}, "parse", "w"));
+    EXPECT_NO_THROW(engine.note(SourceLoc{}, "parse", "n"));
+    EXPECT_THROW(engine.error(SourceLoc{}, "parse", "e4"), TooManyErrors);
+    // TooManyErrors is a UserError: bad input, not a library bug.
+    EXPECT_THROW(engine.error(SourceLoc{}, "parse", "e5"), UserError);
+    EXPECT_EQ(engine.errorCount(), 3);
+}
+
+TEST(FaultInjection, NoAmbientPlanIsFree)
+{
+    ASSERT_EQ(ambientFaultPlan(), nullptr);
+    EXPECT_FALSE(checkFaultSite("opt.dce"));
+}
+
+TEST(FaultInjection, ArmedSiteFiresOnExactHitThenDisarms)
+{
+    FaultPlan plan;
+    plan.arm("opt.dce", 2);
+    ScopedFaultPlan scope(plan);
+
+    EXPECT_FALSE(checkFaultSite("opt.dce")); // hit 1: not yet
+    EXPECT_THROW(checkFaultSite("opt.dce"), InjectedFault); // hit 2
+    EXPECT_FALSE(checkFaultSite("opt.dce")); // one-shot: disarmed
+    EXPECT_TRUE(plan.fired("opt.dce"));
+    EXPECT_EQ(plan.hits("opt.dce"), 3u);
+    EXPECT_EQ(plan.totalFired(), 1u);
+}
+
+TEST(FaultInjection, CorruptIrFaultReturnsTrueInsteadOfThrowing)
+{
+    FaultPlan plan;
+    plan.arm("opt.constfold", 1, FaultKind::CorruptIr);
+    ScopedFaultPlan scope(plan);
+    EXPECT_TRUE(checkFaultSite("opt.constfold"));
+    EXPECT_FALSE(checkFaultSite("opt.constfold"));
+}
+
+TEST(FaultInjection, InjectedFaultIsAnInternalErrorAndNamesItsSite)
+{
+    FaultPlan plan;
+    plan.arm("backend.regalloc");
+    ScopedFaultPlan scope(plan);
+    try {
+        checkFaultSite("backend.regalloc");
+        FAIL() << "expected InjectedFault";
+    } catch (const InjectedFault &e) {
+        EXPECT_EQ(e.site(), "backend.regalloc");
+        EXPECT_NE(std::string(e.what()).find("backend.regalloc"),
+                  std::string::npos);
+    }
+    static_assert(std::is_base_of_v<InternalError, InjectedFault>);
+}
+
+TEST(FaultInjection, ScopedPlanRestoresOuterPlanOnExit)
+{
+    FaultPlan outer, inner;
+    ScopedFaultPlan outerScope(outer);
+    EXPECT_EQ(ambientFaultPlan(), &outer);
+    {
+        ScopedFaultPlan innerScope(inner);
+        EXPECT_EQ(ambientFaultPlan(), &inner);
+    }
+    EXPECT_EQ(ambientFaultPlan(), &outer);
+}
+
+TEST(FaultInjection, SeededRandomPlanIsDeterministic)
+{
+    FaultPlan a, b, c;
+    a.seedRandom(1234, 0.5);
+    b.seedRandom(1234, 0.5);
+    c.seedRandom(5678, 0.5);
+    EXPECT_EQ(a.armedSites(), b.armedSites());
+    EXPECT_FALSE(a.armedSites().empty());
+    // A different seed should (for these constants) pick another set.
+    EXPECT_NE(a.armedSites(), c.armedSites());
+}
+
+TEST(FaultInjection, SiteRegistryCoversEveryPipelineStage)
+{
+    const auto &sites = compileFaultSites();
+    EXPECT_GE(sites.size(), 16u);
+    auto has = [&](const char *s) {
+        return std::find(sites.begin(), sites.end(), s) != sites.end();
+    };
+    EXPECT_TRUE(has("opt.dce"));
+    EXPECT_TRUE(has("alloc.partition"));
+    EXPECT_TRUE(has("backend.regalloc"));
+    EXPECT_TRUE(has("mcverify"));
+}
+
+TEST(JobPool, ExceptionEscapingJobRethrownFromWait)
+{
+    JobPool pool(2);
+    std::atomic<int> ran{0};
+    pool.submit([&] {
+        ++ran;
+        throw UserError("job 0 failed");
+    });
+    pool.submit([&] { ++ran; });
+    try {
+        pool.wait();
+        FAIL() << "expected UserError from wait()";
+    } catch (const UserError &e) {
+        EXPECT_STREQ(e.what(), "job 0 failed");
+    }
+    EXPECT_EQ(ran.load(), 2); // the healthy job still ran
+    // The error was consumed: the pool is reusable.
+    pool.submit([&] { ++ran; });
+    EXPECT_NO_THROW(pool.wait());
+    EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(JobPool, FirstErrorWinsAcrossManyFailingJobs)
+{
+    JobPool pool(1); // serial: deterministic first failure
+    for (int i = 0; i < 5; ++i)
+        pool.submit([i] { fatal("failure ", i); });
+    try {
+        pool.wait();
+        FAIL() << "expected UserError";
+    } catch (const UserError &e) {
+        EXPECT_STREQ(e.what(), "failure 0");
+    }
+}
+
+TEST(JobPool, CancelDiscardsQueuedJobsAndFlagsRunningOnes)
+{
+    JobPool pool(1);
+    std::atomic<int> ran{0};
+    std::atomic<bool> sawCancel{false};
+    std::atomic<bool> started{false};
+    pool.submit(
+        [&](JobContext &ctx) {
+            started = true;
+            ++ran;
+            while (!ctx.cancelled())
+                std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            sawCancel = true;
+        },
+        JobLimits{});
+    for (int i = 0; i < 8; ++i)
+        pool.submit([&] { ++ran; });
+    while (!started)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    pool.cancel();
+    pool.wait();
+    EXPECT_TRUE(sawCancel.load());
+    EXPECT_EQ(ran.load(), 1); // the 8 queued jobs were discarded
+}
+
+TEST(JobPool, TimeoutRetriesOnceThenSurfacesJobTimeout)
+{
+    JobPool pool(1);
+    std::atomic<int> attempts{0};
+    JobLimits limits;
+    limits.timeoutSeconds = 0.01;
+    limits.retries = 1;
+    pool.submit(
+        [&](JobContext &ctx) {
+            attempts++;
+            EXPECT_EQ(ctx.attempt(), attempts.load() - 1);
+            EXPECT_EQ(ctx.timeoutSeconds(), 0.01);
+            // Burn past the deadline, then hit a checkpoint.
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            EXPECT_TRUE(ctx.expired());
+            ctx.checkpoint(); // throws JobTimeout
+            FAIL() << "checkpoint should have thrown";
+        },
+        limits);
+    EXPECT_THROW(pool.wait(), JobTimeout);
+    EXPECT_EQ(attempts.load(), 2); // initial attempt + one retry
+}
+
+TEST(JobPool, RetrySucceedsWhenSecondAttemptMeetsDeadline)
+{
+    JobPool pool(1);
+    std::atomic<int> attempts{0};
+    JobLimits limits;
+    limits.timeoutSeconds = 5.0; // generous; attempt 0 fakes a timeout
+    limits.retries = 1;
+    pool.submit(
+        [&](JobContext &ctx) {
+            if (attempts++ == 0)
+                throw JobTimeout("simulated slow first attempt");
+            EXPECT_EQ(ctx.attempt(), 1);
+        },
+        limits);
+    EXPECT_NO_THROW(pool.wait());
+    EXPECT_EQ(attempts.load(), 2);
+}
+
+TEST(JobPool, DestructorSwallowsUnobservedErrors)
+{
+    std::atomic<int> ran{0};
+    {
+        JobPool pool(1);
+        pool.submit([&] {
+            ++ran;
+            throw UserError("never observed");
+        });
+        // No wait(): destructor must drain and not terminate.
+    }
+    EXPECT_EQ(ran.load(), 1);
 }
 
 TEST(SuiteGen, RngIsDeterministic)
