@@ -8,6 +8,8 @@
 
 #include "support/diagnostics.hh"
 #include "support/job_pool.hh"
+#include "support/json.hh"
+#include "support/telemetry.hh"
 
 namespace dsp
 {
@@ -149,21 +151,36 @@ measureBenchmark(const Benchmark &bench, CompileCache *cache,
     r.name = bench.name;
     r.label = bench.label;
 
+    // Compile through the cache with the host time attributed to this
+    // row's compile share (a cache hit costs ~nothing, matching the
+    // work actually done on this row's behalf).
+    auto timed_compile = [&](const CompileOptions &mode_opts) {
+        auto c0 = std::chrono::steady_clock::now();
+        auto compiled = compileVia(cache, bench.source, mode_opts);
+        r.compileSeconds += secondsSince(c0);
+        return compiled;
+    };
+
     // One measurement, with the compile's degradation trail keyed by
     // the report-mode name (so "cb" and "profile_cb" stay distinct).
     auto measure = [&](const char *key, const CompileOptions &mode_opts,
                        long bc, long bk) {
         std::vector<std::string> events;
-        Measurement m = measureMode(bench, mode_opts, bc, bk, cache,
-                                    fidelity, ctx, &events);
+        auto compiled = timed_compile(mode_opts);
+        collectDegradations(allocModeName(mode_opts.mode), *compiled,
+                            &events);
         for (const std::string &event : events) {
-            // Re-key: measureMode prefixes with the alloc-mode name.
+            // Re-key: collectDegradations prefixes the alloc-mode name.
             std::size_t colon = event.find(": ");
             r.degradations.push_back(
                 std::string(key) + ": " +
                 (colon == std::string::npos ? event
                                             : event.substr(colon + 2)));
         }
+        auto s0 = std::chrono::steady_clock::now();
+        Measurement m = measureCompiled(bench, *compiled, bc, bk,
+                                        fidelity, ctx);
+        r.simSeconds += secondsSince(s0);
         return m;
     };
 
@@ -182,17 +199,24 @@ measureBenchmark(const Benchmark &bench, CompileCache *cache,
     CompileOptions cb_opts;
     cb_opts.mode = AllocMode::CB;
     cb_opts.resilient = resilient;
-    auto cb_compiled = compileVia(cache, bench.source, cb_opts);
+    auto cb_compiled = timed_compile(cb_opts);
     collectDegradations("cb", *cb_compiled, &r.degradations);
-    r.cb = measureCompiled(bench, *cb_compiled, bc, bk, fidelity, ctx);
+    {
+        auto s0 = std::chrono::steady_clock::now();
+        r.cb =
+            measureCompiled(bench, *cb_compiled, bc, bk, fidelity, ctx);
+        r.simSeconds += secondsSince(s0);
+    }
 
     // Profile-driven weights: run the CB binary once on the
     // instrumented engine to collect block execution counts, then
     // recompile with Profile weights.
     {
+        auto s0 = std::chrono::steady_clock::now();
         RunOutcome profile_run =
             tryRunProgram(*cb_compiled, bench.input, runLimitsFor(ctx),
                           Fidelity::Instrumented);
+        r.simSeconds += secondsSince(s0);
         if (profile_run.timedOut)
             throw JobTimeout(bench.name +
                              " (profile run): " + profile_run.error);
@@ -233,6 +257,17 @@ measureSuite(const std::vector<Benchmark> &benches,
     auto t0 = std::chrono::steady_clock::now();
     std::vector<BenchResult> results(benches.size());
 
+    // Optional whole-sweep tracing: the session is ambient, so the
+    // pool workers, every compile stage, and every simulation record
+    // into it concurrently.
+    std::string trace_path =
+        opts.tracePath.empty() ? benchTracePath() : opts.tracePath;
+    TraceSession trace_session;
+    std::unique_ptr<ScopedTraceSession> trace_scope;
+    if (!trace_path.empty())
+        trace_scope =
+            std::make_unique<ScopedTraceSession>(trace_session);
+
     CompileCache cache;
     int threads;
     {
@@ -242,6 +277,7 @@ measureSuite(const std::vector<Benchmark> &benches,
         limits.timeoutSeconds = opts.benchTimeoutSeconds;
         limits.retries = opts.benchRetries;
         for (std::size_t i = 0; i < benches.size(); ++i) {
+            limits.name = benches[i].name;
             pool.submit(
                 [&, i](JobContext &ctx) {
                     try {
@@ -271,6 +307,11 @@ measureSuite(const std::vector<Benchmark> &benches,
         pool.wait();
     }
 
+    if (trace_scope) {
+        trace_scope.reset(); // uninstall before writing
+        trace_session.writeChromeTraceFile(trace_path);
+    }
+
     if (!opts.jsonPath.empty())
         writeBenchJson(opts.jsonPath, opts.suiteName, results,
                        secondsSince(t0), threads);
@@ -280,40 +321,18 @@ measureSuite(const std::vector<Benchmark> &benches,
 namespace
 {
 
-/**
- * Render a double as a JSON number. Bare ostream formatting writes
- * "inf"/"nan" for non-finite values, which no JSON parser accepts; a
- * non-finite metric (a zero baseline slipping past the guards, a
- * zero-duration timer) becomes null so the report stays parseable.
- */
-std::string
-jsonNum(double v)
-{
-    if (!std::isfinite(v))
-        return "null";
-    std::ostringstream os;
-    os << v;
-    return os.str();
-}
-
-std::string
+// Shared emission helpers (src/support/json.hh), aliased to keep the
+// writer below terse.
+inline std::string
 jsonEscape(const std::string &s)
 {
-    std::ostringstream os;
-    for (char c : s) {
-        switch (c) {
-          case '"': os << "\\\""; break;
-          case '\\': os << "\\\\"; break;
-          case '\n': os << "\\n"; break;
-          case '\t': os << "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20)
-                os << ' ';
-            else
-                os << c;
-        }
-    }
-    return os.str();
+    return json::escape(s);
+}
+
+inline std::string
+jsonNum(double v)
+{
+    return json::num(v);
 }
 
 void
@@ -367,6 +386,10 @@ writeBenchJson(const std::string &path, const std::string &suite,
         } else {
             os << "      \"host_seconds\": " << jsonNum(r.hostSeconds)
                << ",\n";
+            os << "      \"compile_seconds\": "
+               << jsonNum(r.compileSeconds) << ",\n";
+            os << "      \"sim_seconds\": " << jsonNum(r.simSeconds)
+               << ",\n";
             if (!r.degradations.empty()) {
                 os << "      \"degraded\": [";
                 for (std::size_t d = 0; d < r.degradations.size(); ++d) {
@@ -403,6 +426,14 @@ benchJsonPath()
     if (const char *env = std::getenv("DSP_BENCH_JSON"))
         return env;
     return "BENCH_sim.json";
+}
+
+std::string
+benchTracePath()
+{
+    if (const char *env = std::getenv("DSP_TRACE_JSON"))
+        return env;
+    return "";
 }
 
 } // namespace bench

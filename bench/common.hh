@@ -70,6 +70,12 @@ struct BenchResult
     std::vector<std::string> degradations;
     /** Host wall-clock seconds spent measuring this benchmark. */
     double hostSeconds = 0.0;
+    /** Host seconds obtaining compiled binaries (near zero when a
+     *  shared CompileCache already holds the entry). */
+    double compileSeconds = 0.0;
+    /** Host seconds inside the simulator (all measurement and profile
+     *  runs). */
+    double simSeconds = 0.0;
     /** Simulated cycles summed over every run of this benchmark. */
     long simCycles = 0;
 
@@ -121,6 +127,15 @@ struct SuiteRunOptions
     int benchRetries = 1;
     /** Compile with graceful degradation (see measureBenchmark). */
     bool resilient = true;
+    /**
+     * Chrome trace_event output for the whole run ("" = consult the
+     * DSP_TRACE_JSON env var, which is how the fig benches get
+     * tracing without their own flag plumbing). When a path results,
+     * measureSuite installs an ambient TraceSession for the sweep:
+     * every pool job, compile stage, pass and simulation becomes a
+     * span, written to the path on completion (Perfetto-loadable).
+     */
+    std::string tracePath;
 };
 
 /**
@@ -138,6 +153,9 @@ void writeBenchJson(const std::string &path, const std::string &suite,
 
 /** "BENCH_sim.json", overridable via the DSP_BENCH_JSON env var. */
 std::string benchJsonPath();
+
+/** Trace output path from the DSP_TRACE_JSON env var ("" = off). */
+std::string benchTracePath();
 
 } // namespace bench
 } // namespace dsp

@@ -44,9 +44,11 @@ main()
     std::cout << "initial cost (all nodes in set 1): "
               << result.initialCost << "   (paper: 7)\n";
     long running = result.initialCost;
-    for (DataObject *moved : result.moves) {
-        (void)running;
-        std::cout << "  move " << moved->name << " to set 2\n";
+    for (const PartitionMove &move : result.moves) {
+        std::cout << "  move " << move.node->name
+                  << " to set 2  (gain " << move.gain << ", cost "
+                  << running << " -> " << move.costAfter << ")\n";
+        running = move.costAfter;
     }
     std::cout << "final cost: " << result.finalCost
               << "   (paper: 2)\n\n";

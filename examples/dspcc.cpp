@@ -13,6 +13,9 @@
  *     dspcc --in=1,2,3 prog.c             # provide input words
  *     dspcc --compare prog.c              # cycle counts for all modes
  *     dspcc --inject=opt.dce prog.c       # demo graceful degradation
+ *     dspcc --explain-partition prog.c    # why each object got its bank
+ *     dspcc --trace-out=t.json prog.c     # Perfetto-loadable trace
+ *     dspcc --stats-out=s.json prog.c     # counters + span aggregates
  *
  * Exit codes (pinned by tests/driver/dspcc_cli_test.cc):
  *   0  success
@@ -24,11 +27,13 @@
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "driver/compiler.hh"
 #include "support/fault_injection.hh"
 #include "support/string_utils.hh"
+#include "support/telemetry.hh"
 
 using namespace dsp;
 
@@ -52,6 +57,13 @@ struct CliOptions
     /** Fault sites to arm ("opt.dce", "mcverify", "sim.mem:100"). */
     std::vector<std::string> inject;
     std::vector<uint32_t> input;
+    /** Print the partition decision trace (edges, greedy moves,
+     *  final banks — the paper's Figure 5, generalized). */
+    bool explainPartition = false;
+    /** Chrome trace_event JSON output path ("" = tracing off). */
+    std::string traceOut;
+    /** Stats (counters + span aggregates) JSON output path. */
+    std::string statsOut;
 };
 
 [[noreturn]] void
@@ -77,6 +89,17 @@ usage()
            "                arm a fault at a pipeline site on its n'th\n"
            "                visit (testing; site sim.mem:n faults the\n"
            "                simulator after n memory operations)\n"
+           "  --explain-partition\n"
+           "                print the bank-partition decision trace:\n"
+           "                every interference edge, every greedy move\n"
+           "                with its cost delta, the final bank per\n"
+           "                object (Figure 5 of the paper, generalized)\n"
+           "  --trace-out=FILE\n"
+           "                write a Chrome trace_event JSON timeline of\n"
+           "                the compile and run (open in Perfetto)\n"
+           "  --stats-out=FILE\n"
+           "                write counters and per-span aggregates as\n"
+           "                JSON (schema dsp-stats-v1)\n"
            "exit codes: 0 ok, 1 user error, 2 internal error,\n"
            "            3 degraded compile with --werror\n";
     std::exit(1); // bad usage is a user error
@@ -126,6 +149,16 @@ parseArgs(int argc, char **argv)
                 usage();
         } else if (startsWith(arg, "--inject=")) {
             cli.inject.push_back(arg.substr(9));
+        } else if (arg == "--explain-partition") {
+            cli.explainPartition = true;
+        } else if (startsWith(arg, "--trace-out=")) {
+            cli.traceOut = arg.substr(12);
+            if (cli.traceOut.empty())
+                usage();
+        } else if (startsWith(arg, "--stats-out=")) {
+            cli.statsOut = arg.substr(12);
+            if (cli.statsOut.empty())
+                usage();
         } else if (startsWith(arg, "--in=")) {
             for (const std::string &tok :
                  splitString(arg.substr(5), ',')) {
@@ -219,6 +252,8 @@ runOnce(const std::string &source, const CliOptions &cli)
                       << (g->duplicated ? "  (duplicated)" : "") << "\n";
         std::cout << "\n";
     }
+    if (cli.explainPartition)
+        std::cout << explainPartition(compiled.alloc);
     if (cli.showAsm)
         std::cout << printVliwProgram(compiled.program) << "\n";
 
@@ -277,18 +312,42 @@ main(int argc, char **argv)
     armInjections(plan, cli);
     ScopedFaultPlan scope(plan);
 
+    // Tracing covers compile and run alike; the files are written even
+    // when the compile fails, so a trace of the failure survives.
+    bool tracing = !cli.traceOut.empty() || !cli.statsOut.empty();
+    TraceSession session;
+    auto write_telemetry = [&] {
+        if (!cli.traceOut.empty())
+            session.writeChromeTraceFile(cli.traceOut);
+        if (!cli.statsOut.empty())
+            session.writeStatsFile(cli.statsOut);
+    };
+
     try {
-        bool degraded =
-            cli.compare ? runCompare(source, cli) : runOnce(source, cli);
+        bool degraded;
+        {
+            std::unique_ptr<ScopedTraceSession> trace_scope;
+            if (tracing)
+                trace_scope =
+                    std::make_unique<ScopedTraceSession>(session);
+            degraded = cli.compare ? runCompare(source, cli)
+                                   : runOnce(source, cli);
+        }
+        if (tracing)
+            write_telemetry();
         if (degraded && cli.werror) {
             std::cerr << "dspcc: error: compile degraded "
                          "(--werror)\n";
             return 3;
         }
     } catch (const UserError &e) {
+        if (tracing)
+            write_telemetry();
         std::cerr << "dspcc: " << e.what() << "\n";
         return 1;
     } catch (const std::exception &e) {
+        if (tracing)
+            write_telemetry();
         std::cerr << "dspcc: internal error: " << e.what() << "\n";
         return 2;
     }

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <set>
+#include <sstream>
 
 #include "ir/module.hh"
+#include "support/json.hh"
+#include "support/telemetry.hh"
 
 namespace dsp
 {
@@ -158,10 +161,47 @@ runDataAllocation(Module &mod, const AllocOptions &opts)
     }
 
     // --- CB partitioning (paper §3.1) ---
-    report.graph = buildInterferenceGraph(mod, opts.weights, opts.profile);
-    report.partition = opts.alternatingPartitioner
-                           ? partitionAlternating(report.graph)
-                           : partitionGreedy(report.graph);
+    {
+        Span span("alloc.build_graph", "alloc");
+        report.graph =
+            buildInterferenceGraph(mod, opts.weights, opts.profile);
+        span.arg("nodes",
+                 static_cast<long long>(report.graph.nodes().size()));
+        span.arg("edges",
+                 static_cast<long long>(report.graph.edges().size()));
+    }
+    {
+        Span span("alloc.partition", "alloc");
+        report.partition = opts.alternatingPartitioner
+                               ? partitionAlternating(report.graph)
+                               : partitionGreedy(report.graph);
+        span.arg("initial_cost", report.partition.initialCost);
+        span.arg("final_cost", report.partition.finalCost);
+    }
+    if (TraceSession *session = ambientTraceSession()) {
+        // The explainable decision trace: one instant per greedy
+        // transfer, in descent order, plus aggregate counters.
+        CounterRegistry &c = session->counters();
+        c.add("alloc.graph.nodes",
+              static_cast<long>(report.graph.nodes().size()));
+        c.add("alloc.graph.edges",
+              static_cast<long>(report.graph.edges().size()));
+        c.add("alloc.partition.initial_cost",
+              report.partition.initialCost);
+        c.add("alloc.partition.final_cost", report.partition.finalCost);
+        c.add("alloc.partition.moves",
+              static_cast<long>(report.partition.moves.size()));
+        long running = report.partition.initialCost;
+        for (const PartitionMove &move : report.partition.moves) {
+            session->instant(
+                "partition.move", "alloc",
+                {TraceArg::str("node", move.node->name),
+                 TraceArg::number("gain", move.gain),
+                 TraceArg::number("cost_before", running),
+                 TraceArg::number("cost_after", move.costAfter)});
+            running = move.costAfter;
+        }
+    }
 
     for (DataObject *obj : objects) {
         DataObject *rep = report.graph.repr(obj);
@@ -183,6 +223,7 @@ runDataAllocation(Module &mod, const AllocOptions &opts)
 
     // --- duplication (paper §3.2) ---
     if (opts.mode == AllocMode::CBDup || opts.mode == AllocMode::FullDup) {
+        Span dup_span("alloc.duplicate", "alloc");
         std::set<DataObject *, ObjIdLess> reachable = paramReachable(mod);
 
         std::vector<DataObject *> candidates;
@@ -225,10 +266,148 @@ runDataAllocation(Module &mod, const AllocOptions &opts)
                 mod, obj, opts.atomicDupStores, next_pair);
             report.duplicated.push_back(obj);
         }
+        dup_span.arg("duplicated",
+                     static_cast<long long>(report.duplicated.size()));
+        dup_span.arg("extra_stores", report.extraStores);
+        if (TraceSession *session = ambientTraceSession()) {
+            CounterRegistry &c = session->counters();
+            c.add("alloc.dup.applied",
+                  static_cast<long>(report.duplicated.size()));
+            c.add("alloc.dup.rejected",
+                  static_cast<long>(report.dupRejected.size()));
+            c.add("alloc.dup.extra_stores", report.extraStores);
+        }
     }
 
     tagAccesses(mod, true, false);
     return report;
+}
+
+namespace
+{
+
+/** Assignment rows: every member of every node, stable id order. */
+std::vector<std::pair<DataObject *, Bank>>
+assignmentRows(const AllocReport &report)
+{
+    std::vector<std::pair<DataObject *, Bank>> rows;
+    for (DataObject *rep : report.graph.nodes()) {
+        auto it = report.partition.bankOf.find(rep);
+        Bank bank = it == report.partition.bankOf.end() ? Bank::X
+                                                        : it->second;
+        for (DataObject *member : report.graph.members(rep))
+            rows.push_back({member, bank});
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first->id < b.first->id;
+              });
+    return rows;
+}
+
+} // namespace
+
+std::string
+explainPartition(const AllocReport &report)
+{
+    std::ostringstream os;
+    os << "=== partition decision trace ===\n";
+    if (report.graph.nodes().empty()) {
+        os << "no interference graph: the allocation mode made no "
+              "partitioning decisions\n";
+        return os.str();
+    }
+
+    os << "nodes " << report.graph.nodes().size() << ", edges "
+       << report.graph.edges().size() << ", total weight "
+       << report.graph.totalWeight() << "\n";
+    os << "interference edges (weight = modeled parallel accesses "
+          "lost if co-banked):\n";
+    for (const auto &[key, w] : report.graph.edges())
+        os << "  " << key.first->name << " -- " << key.second->name
+           << "  weight " << w << "\n";
+
+    os << "greedy descent (initial cost "
+       << report.partition.initialCost << ", all nodes in X):\n";
+    long running = report.partition.initialCost;
+    for (const PartitionMove &move : report.partition.moves) {
+        os << "  move " << move.node->name << " -> Y  (gain "
+           << move.gain << ", cost " << running << " -> "
+           << move.costAfter << ")\n";
+        running = move.costAfter;
+    }
+    if (report.partition.moves.empty())
+        os << "  (no move decreases the cut cost)\n";
+    os << "final cost " << report.partition.finalCost << " (cut "
+       << report.partition.initialCost - report.partition.finalCost
+       << " of " << report.partition.initialCost << ")\n";
+
+    os << "assignment:\n";
+    for (const auto &[obj, bank] : assignmentRows(report))
+        os << "  " << obj->name << " -> " << bankName(bank) << "\n";
+
+    if (!report.duplicated.empty()) {
+        os << "duplicated (" << report.extraStores
+           << " extra stores):\n";
+        for (DataObject *obj : report.duplicated)
+            os << "  " << obj->name << "\n";
+    }
+    if (!report.dupRejected.empty()) {
+        os << "duplication rejected (param-reachable or net loss):\n";
+        for (DataObject *obj : report.dupRejected)
+            os << "  " << obj->name << "\n";
+    }
+    return os.str();
+}
+
+std::string
+partitionTraceJson(const AllocReport &report)
+{
+    std::ostringstream os;
+    os << "{\n  \"schema\": \"dsp-partition-trace-v1\",\n";
+    os << "  \"nodes\": " << report.graph.nodes().size() << ",\n";
+    os << "  \"total_weight\": " << report.graph.totalWeight() << ",\n";
+    os << "  \"edges\": [";
+    std::size_t i = 0;
+    for (const auto &[key, w] : report.graph.edges()) {
+        os << (i++ ? ",\n    " : "\n    ") << "{\"a\": "
+           << json::quote(key.first->name)
+           << ", \"b\": " << json::quote(key.second->name)
+           << ", \"weight\": " << w << "}";
+    }
+    os << (i ? "\n  " : "") << "],\n";
+    os << "  \"initial_cost\": " << report.partition.initialCost
+       << ",\n";
+    os << "  \"final_cost\": " << report.partition.finalCost << ",\n";
+    os << "  \"moves\": [";
+    i = 0;
+    for (const PartitionMove &move : report.partition.moves) {
+        os << (i++ ? ",\n    " : "\n    ") << "{\"node\": "
+           << json::quote(move.node->name)
+           << ", \"gain\": " << move.gain
+           << ", \"cost_after\": " << move.costAfter << "}";
+    }
+    os << (i ? "\n  " : "") << "],\n";
+    os << "  \"assignment\": [";
+    i = 0;
+    for (const auto &[obj, bank] : assignmentRows(report)) {
+        os << (i++ ? ",\n    " : "\n    ") << "{\"object\": "
+           << json::quote(obj->name) << ", \"bank\": "
+           << json::quote(bankName(bank)) << "}";
+    }
+    os << (i ? "\n  " : "") << "],\n";
+    os << "  \"duplicated\": [";
+    i = 0;
+    for (DataObject *obj : report.duplicated)
+        os << (i++ ? ", " : "") << json::quote(obj->name);
+    os << "],\n";
+    os << "  \"dup_rejected\": [";
+    i = 0;
+    for (DataObject *obj : report.dupRejected)
+        os << (i++ ? ", " : "") << json::quote(obj->name);
+    os << "],\n";
+    os << "  \"extra_stores\": " << report.extraStores << "\n}\n";
+    return os.str();
 }
 
 } // namespace dsp

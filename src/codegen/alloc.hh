@@ -69,8 +69,27 @@ struct AllocReport
  * Run the allocation pass over @p mod: builds the interference graph,
  * partitions, applies duplication, and tags every memory access with
  * its bank. Mutates code (duplication stores) and DataObject fields.
+ *
+ * With an ambient TraceSession installed the pass records a full
+ * decision trace: spans per phase, one "partition.move" instant per
+ * greedy transfer (object, gain, running cost), and counters for
+ * nodes/edges/costs — the machine-readable generalization of the
+ * paper's Figure 5 walk-through.
  */
 AllocReport runDataAllocation(Module &mod, const AllocOptions &opts);
+
+/**
+ * Human-readable partition decision trace: every interference edge
+ * with its weight, every greedy move with its net cut delta, the
+ * final bank per object, and the duplication verdicts. This is what
+ * `dspcc --explain-partition` prints; the fig5 kernel's output
+ * reproduces the paper's Figure 5 move sequence (golden-tested in
+ * tests/obs/partition_trace_test.cc).
+ */
+std::string explainPartition(const AllocReport &report);
+
+/** The same decision trace as a strict-parsing JSON document. */
+std::string partitionTraceJson(const AllocReport &report);
 
 } // namespace dsp
 

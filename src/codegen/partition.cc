@@ -5,8 +5,16 @@
 namespace dsp
 {
 
+namespace
+{
+
+/**
+ * One greedy descent with a fixed tie order. @p tie_later picks, among
+ * the nodes tied at the maximum positive gain, the latest-declared one
+ * (highest id) instead of the earliest.
+ */
 PartitionResult
-partitionGreedy(const InterferenceGraph &graph)
+greedyDescent(const InterferenceGraph &graph, bool tie_later)
 {
     PartitionResult result;
 
@@ -50,10 +58,13 @@ partitionGreedy(const InterferenceGraph &graph)
         for (DataObject *n : nodes) {
             if (set[n] != 1)
                 continue;
-            // Strict improvement required; ties keep the node put
-            // (moving on a tie could oscillate between equal costs).
+            // Strict improvement required; zero-gain moves could
+            // oscillate between equal costs.
             long gain = to_set1[n] - to_set2[n];
-            if (gain > best_gain) {
+            if (gain <= 0)
+                continue;
+            if (!best || gain > best_gain ||
+                (tie_later && gain == best_gain)) {
                 best_gain = gain;
                 best = n;
             }
@@ -62,7 +73,7 @@ partitionGreedy(const InterferenceGraph &graph)
             break;
         set[best] = 2;
         current -= best_gain;
-        result.moves.push_back(best);
+        result.moves.push_back(PartitionMove{best, best_gain, current});
         for (const auto &[m, w] : adj[best]) {
             to_set1[m] -= w;
             to_set2[m] += w;
@@ -73,6 +84,48 @@ partitionGreedy(const InterferenceGraph &graph)
     for (DataObject *n : nodes)
         result.bankOf[n] = set[n] == 1 ? Bank::X : Bank::Y;
     return result;
+}
+
+/** True when the two results cut the same edges: bank assignments
+ *  agree for every node either directly or after swapping X and Y
+ *  globally (the cut, and therefore every pairing opportunity, is
+ *  identical — only the walk that found it differs). */
+bool
+sameCut(const PartitionResult &a, const PartitionResult &b)
+{
+    bool all_same = true, all_swapped = true;
+    for (const auto &[node, bank] : a.bankOf) {
+        if (bank == b.bankOf.at(node))
+            all_swapped = false;
+        else
+            all_same = false;
+    }
+    return all_same || all_swapped;
+}
+
+} // namespace
+
+PartitionResult
+partitionGreedy(const InterferenceGraph &graph)
+{
+    // The paper does not say how gain ties break, and the choice
+    // steers the descent into different local optima. Run both
+    // deterministic orders and keep the strictly cheaper cut. When
+    // costs tie: if both walks found the *same* cut the narration is
+    // free, and we take the later-declared order — the walk the
+    // paper's Figure 5 takes through its own example (D, tied with A
+    // at gain 4, moves before C). If the tied-cost cuts genuinely
+    // differ (edge_detect's symmetric triangle is the real case: the
+    // weights model both cuts as equal but only one pairs in the
+    // emitted schedule), keep the first-declared order, the
+    // longstanding deterministic choice the measured figures rest on.
+    PartitionResult earlier = greedyDescent(graph, false);
+    PartitionResult later = greedyDescent(graph, true);
+    if (later.finalCost < earlier.finalCost)
+        return later;
+    if (later.finalCost == earlier.finalCost && sameCut(earlier, later))
+        return later;
+    return earlier;
 }
 
 PartitionResult

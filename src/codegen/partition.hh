@@ -25,6 +25,17 @@
 namespace dsp
 {
 
+/** One greedy transfer in the Figure 5 descent, with its net effect. */
+struct PartitionMove
+{
+    /** Representative node transferred from set 1 (X) to set 2 (Y). */
+    DataObject *node = nullptr;
+    /** Net cut-cost decrease the transfer bought (always > 0). */
+    long gain = 0;
+    /** Remaining (uncut) cost after this move committed. */
+    long costAfter = 0;
+};
+
 struct PartitionResult
 {
     /** Bank per representative node, iterable in stable id order. */
@@ -33,8 +44,10 @@ struct PartitionResult
     long initialCost = 0;
     /** Cost of edges left uncut after partitioning. */
     long finalCost = 0;
-    /** Sequence of nodes moved, in order (for the Figure 5 trace). */
-    std::vector<DataObject *> moves;
+    /** The greedy descent, move by move — the machine-readable
+     *  generalization of the paper's Figure 5 trace. Empty for the
+     *  alternating baseline (it makes no cost-driven decisions). */
+    std::vector<PartitionMove> moves;
 };
 
 /** The paper's greedy min-cost partitioner (Figure 5). */

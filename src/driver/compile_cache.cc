@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "support/telemetry.hh"
+
 namespace dsp
 {
 
@@ -44,6 +46,7 @@ CompileCache::get(const std::string &source, const CompileOptions &opts)
             entry = it->second;
         }
     }
+    bumpCounter(owner ? "compile.cache.miss" : "compile.cache.hit");
 
     if (owner) {
         try {

@@ -13,6 +13,7 @@
 #include "minic/sema.hh"
 #include "opt/passes.hh"
 #include "support/fault_injection.hh"
+#include "support/telemetry.hh"
 
 namespace dsp
 {
@@ -46,26 +47,59 @@ DegradationEvent::str() const
 namespace
 {
 
+/** Total IR operation count across every block of every function. */
+long
+countModuleOps(const Module &mod)
+{
+    long total = 0;
+    for (const auto &fn : mod.functions)
+        for (const auto &bb : fn->blocks)
+            total += static_cast<long>(bb->ops.size());
+    return total;
+}
+
 /**
  * One straight-through compile at exactly @p opts. Fault-site hooks
  * cover every back-end stage; in resilient mode the optimizer runs
  * its guarded variant and appends rollback events to @p events.
+ *
+ * With an ambient TraceSession installed, every stage records one
+ * span ("frontend.parse" through "backend.mcverify") plus the
+ * ir.ops.before_opt / ir.ops.after_opt counters, all nested under an
+ * outer "compile" span.
  */
 CompileResult
 compileOnce(const std::string &source, const CompileOptions &opts,
             std::vector<DegradationEvent> *events)
 {
+    Span compile_span("compile", "driver");
+    compile_span.arg("mode", std::string(allocModeName(opts.mode)));
+    compile_span.arg("opt_level", static_cast<long long>(opts.optLevel));
+
     CompileResult result;
     result.options = opts;
 
     // Front end.
-    result.ast = parseProgram(source, opts.maxErrors);
-    analyzeProgram(*result.ast);
-    result.module = lowerProgram(*result.ast);
-    verifyOrDie(*result.module);
+    {
+        Span span("frontend.parse", "driver");
+        result.ast = parseProgram(source, opts.maxErrors);
+    }
+    {
+        Span span("frontend.sema", "driver");
+        analyzeProgram(*result.ast);
+    }
+    {
+        Span span("frontend.lower", "driver");
+        result.module = lowerProgram(*result.ast);
+        verifyOrDie(*result.module);
+    }
 
     // Machine-independent optimization.
     if (opts.optLevel > 0) {
+        Span span("opt.pipeline", "driver");
+        if (TraceSession *session = ambientTraceSession())
+            session->counters().max("ir.ops.before_opt",
+                                    countModuleOps(*result.module));
         if (opts.resilient && events) {
             PipelineReport report = runResilientPipeline(*result.module);
             for (const PassDegradation &d : report.degradations) {
@@ -77,10 +111,16 @@ compileOnce(const std::string &source, const CompileOptions &opts,
             runStandardPipeline(*result.module);
         }
         verifyOrDie(*result.module);
+        if (TraceSession *session = ambientTraceSession())
+            session->counters().max("ir.ops.after_opt",
+                                    countModuleOps(*result.module));
     }
 
     // Back end.
-    lowerToMachine(*result.module);
+    {
+        Span span("backend.lower", "driver");
+        lowerToMachine(*result.module);
+    }
 
     checkFaultSite("alloc.partition");
     AllocOptions alloc_opts;
@@ -89,7 +129,10 @@ compileOnce(const std::string &source, const CompileOptions &opts,
     alloc_opts.alternatingPartitioner = opts.alternatingPartitioner;
     alloc_opts.atomicDupStores = opts.atomicDupStores;
     alloc_opts.profile = opts.profile;
-    result.alloc = runDataAllocation(*result.module, alloc_opts);
+    {
+        Span span("alloc.data", "driver");
+        result.alloc = runDataAllocation(*result.module, alloc_opts);
+    }
 
     FrameOptions frame_opts;
     frame_opts.dualStacks = opts.mode != AllocMode::SingleBank &&
@@ -98,18 +141,31 @@ compileOnce(const std::string &source, const CompileOptions &opts,
 
     for (auto &fn : result.module->functions) {
         checkFaultSite("backend.regalloc");
-        RegAllocResult ra = allocateRegisters(*fn, *result.module);
+        RegAllocResult ra;
+        {
+            Span span("backend.regalloc", "driver");
+            span.arg("function", fn->name);
+            ra = allocateRegisters(*fn, *result.module);
+        }
         checkFaultSite("backend.frame");
-        buildFrame(*fn, *result.module, ra, frame_opts);
+        {
+            Span span("backend.frame", "driver");
+            span.arg("function", fn->name);
+            buildFrame(*fn, *result.module, ra, frame_opts);
+        }
     }
 
     checkFaultSite("backend.layout");
     MachineConfig config = opts.machine;
     config.dualPorted = opts.mode == AllocMode::Ideal;
-    result.program = layoutProgram(*result.module, config,
-                                   &result.layout);
+    {
+        Span span("backend.layout", "driver");
+        result.program = layoutProgram(*result.module, config,
+                                       &result.layout);
+    }
     if (opts.verifyMc) {
         checkFaultSite("mcverify");
+        Span span("backend.mcverify", "driver");
         verifyMachineCodeOrDie(result.program, *result.module);
     }
     return result;
@@ -130,6 +186,28 @@ fallbackEvent(DegradationEvent::Kind kind, const std::exception &e)
     return event;
 }
 
+/** Mirror every degradation into the trace as an instant, so ladder
+ *  falls and pass rollbacks show up on the timeline next to the stage
+ *  spans they interrupted. */
+void
+traceDegradations(const std::vector<DegradationEvent> &events)
+{
+    TraceSession *session = ambientTraceSession();
+    if (!session)
+        return;
+    for (const DegradationEvent &event : events) {
+        session->instant(
+            "degradation", "driver",
+            {TraceArg::str("kind", degradationKindName(event.kind)),
+             TraceArg::str("stage", event.stage),
+             TraceArg::str("function", event.function),
+             TraceArg::str("detail", event.detail)});
+        session->counters().add(
+            std::string("compile.degradations.") +
+            degradationKindName(event.kind));
+    }
+}
+
 } // namespace
 
 CompileResult
@@ -144,6 +222,7 @@ compileSource(const std::string &source, const CompileOptions &opts)
     try {
         CompileResult result = compileOnce(source, opts, &events);
         result.degradations = std::move(events);
+        traceDegradations(result.degradations);
         return result;
     } catch (const UserError &) {
         throw; // bad input: no safer configuration can fix the program
@@ -160,6 +239,7 @@ compileSource(const std::string &source, const CompileOptions &opts)
     try {
         CompileResult result = compileOnce(source, safe, &events);
         result.degradations = std::move(events);
+        traceDegradations(result.degradations);
         return result;
     } catch (const UserError &) {
         throw;
@@ -174,17 +254,56 @@ compileSource(const std::string &source, const CompileOptions &opts)
     safe.optLevel = 0;
     CompileResult result = compileOnce(source, safe, &events);
     result.degradations = std::move(events);
+    traceDegradations(result.degradations);
     return result;
 }
+
+namespace
+{
+
+/** Record one finished simulation into the ambient session: span args,
+ *  aggregate counters, the derived mem-width histogram, and (under the
+ *  instrumented engine) per-basic-block cycle attribution. */
+void
+traceSimRun(Span &span, const Simulator &sim)
+{
+    if (!span.active())
+        return;
+    const SimStats &stats = sim.stats();
+    span.arg("fidelity", std::string(fidelityName(sim.fidelity())));
+    span.arg("cycles", stats.cycles);
+    span.arg("paired_mem_cycles", stats.pairedMemCycles);
+
+    TraceSession *session = ambientTraceSession();
+    if (!session)
+        return;
+    CounterRegistry &c = session->counters();
+    c.add("sim.runs");
+    c.add("sim.cycles", stats.cycles);
+    c.add("sim.ops_executed", stats.opsExecuted);
+    c.add("sim.mem_ops", stats.memOps);
+    SimStats::MemWidthHistogram hist = stats.memWidthHistogram();
+    c.add("sim.mem_width.cycles0", hist.cycles0);
+    c.add("sim.mem_width.cycles1", hist.cycles1);
+    c.add("sim.mem_width.cycles2", hist.cycles2);
+    for (const auto &[key, cycles] : sim.blockCycles())
+        c.add("sim.block." + key.first + ".bb" +
+                  std::to_string(key.second),
+              cycles);
+}
+
+} // namespace
 
 RunResult
 runProgram(const CompileResult &compiled,
            const std::vector<uint32_t> &input, long max_cycles,
            Fidelity fidelity)
 {
+    Span span("sim.run", "sim");
     Simulator sim(compiled.program, *compiled.module, fidelity);
     sim.setInput(input);
     sim.run(max_cycles);
+    traceSimRun(span, sim);
 
     RunResult result;
     result.stats = sim.stats();
@@ -210,6 +329,7 @@ tryRunProgram(const CompileResult &compiled,
               Fidelity fidelity)
 {
     RunOutcome outcome;
+    Span span("sim.run", "sim");
     Simulator sim(compiled.program, *compiled.module, fidelity);
     sim.setInput(input);
     long poll =
@@ -241,6 +361,7 @@ tryRunProgram(const CompileResult &compiled,
         return outcome;
     }
     outcome.ok = true;
+    traceSimRun(span, sim);
     outcome.result.stats = sim.stats();
     outcome.result.output = sim.output();
     outcome.result.profile = sim.profile();

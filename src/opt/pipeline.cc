@@ -21,6 +21,7 @@
 #include "opt/passes.hh"
 #include "support/fault_injection.hh"
 #include "support/string_utils.hh"
+#include "support/telemetry.hh"
 
 namespace dsp
 {
@@ -114,11 +115,18 @@ corruptFunctionIr(Function &fn)
 bool
 runPassStrict(Function &fn, const char *site, PassFn pass)
 {
+    Span span(site, "opt");
     bool corrupt = checkFaultSite(site);
     bool changed = pass(fn);
     if (corrupt) {
         corruptFunctionIr(fn);
         changed = true;
+    }
+    span.arg("function", fn.name);
+    span.arg("changed", static_cast<long long>(changed));
+    if (changed) {
+        if (TraceSession *session = ambientTraceSession())
+            session->counters().add(std::string(site) + ".changes", 1);
     }
     return changed;
 }
@@ -166,6 +174,11 @@ runResilientPipeline(Function &fn)
         }
         snapshot.restore(fn);
         disabled.insert(site);
+        bumpCounter("opt.rollbacks");
+        traceInstant("pass.rollback", "opt",
+                     {TraceArg::str("pass", site),
+                      TraceArg::str("function", fn.name),
+                      TraceArg::str("error", failure)});
         report.degradations.push_back(
             PassDegradation{site, fn.name, failure});
         return false;

@@ -1053,4 +1053,18 @@ Simulator::profile() const
     return counts;
 }
 
+ProfileCounts
+Simulator::blockCycles() const
+{
+    ProfileCounts cycles;
+    for (std::size_t i = 0; i < prog.insts.size(); ++i) {
+        if (instCounts[i] == 0)
+            continue;
+        const VliwInst &inst = prog.insts[i];
+        cycles[std::make_pair(inst.function, inst.blockId)] +=
+            instCounts[i];
+    }
+    return cycles;
+}
+
 } // namespace dsp

@@ -66,6 +66,19 @@ struct OutputWord
     }
 };
 
+/**
+ * Aggregate counters of one simulation run.
+ *
+ * Engine-independence contract (pinned by
+ * tests/sim/stats_fidelity_test.cc and the fast-path diff test):
+ * cycles, opsExecuted, memOps, pairedMemCycles, peakStackX and
+ * peakStackY are identical under both engines — the fast path
+ * precomputes their per-instruction contributions at decode time and
+ * updates stack watermarks whenever an instruction writes a stack
+ * pointer. Only interruptsDelivered is instrumented-only (it stays 0
+ * under Fidelity::Fast because a nonzero interrupt period forces the
+ * instrumented engine), as is Simulator::profile()/blockCycles().
+ */
 struct SimStats
 {
     long cycles = 0;
@@ -76,7 +89,32 @@ struct SimStats
     /** Peak words used on each stack. */
     int peakStackX = 0;
     int peakStackY = 0;
+    /** Instrumented engine only; always 0 under Fidelity::Fast. */
     long interruptsDelivered = 0;
+
+    /** Cycle counts by data-memory width (engine-independent). */
+    struct MemWidthHistogram
+    {
+        long cycles0 = 0; ///< cycles issuing no data-memory access
+        long cycles1 = 0; ///< cycles issuing exactly one access
+        long cycles2 = 0; ///< cycles issuing a paired access
+    };
+
+    /**
+     * The paired-memory-cycle histogram, derived arithmetically from
+     * the counters above (so it is exact under both engines and adds
+     * zero cost to the fast path): cycles2 = pairedMemCycles, cycles1
+     * = memOps - 2*pairedMemCycles, cycles0 = the rest.
+     */
+    MemWidthHistogram
+    memWidthHistogram() const
+    {
+        MemWidthHistogram h;
+        h.cycles2 = pairedMemCycles;
+        h.cycles1 = memOps - 2 * pairedMemCycles;
+        h.cycles0 = cycles - h.cycles1 - h.cycles2;
+        return h;
+    }
 };
 
 /** Which execution engine a Simulator instance uses. */
@@ -151,6 +189,12 @@ class Simulator
      *  instrumented engine maintains them; a Fast simulator returns an
      *  empty profile. */
     ProfileCounts profile() const;
+
+    /** Cycles spent per (function, block id): the sum of executed
+     *  instruction counts over the block's instructions (each
+     *  instruction costs one cycle). Instrumented engine only; a Fast
+     *  simulator returns an empty map. */
+    ProfileCounts blockCycles() const;
 
     /// @name Interrupt injection (duplicated-data coherence testing).
     /// @{

@@ -1,5 +1,7 @@
 #include "support/diagnostics.hh"
 
+#include "support/telemetry.hh"
+
 namespace dsp
 {
 
@@ -40,6 +42,16 @@ DiagnosticEngine::report(Diagnostic d)
     all.push_back(std::move(d));
     if (counts)
         ++errors;
+    if (TraceSession *session = ambientTraceSession()) {
+        const Diagnostic &diag = all.back();
+        session->instant(
+            "diagnostic", "diag",
+            {TraceArg::str("severity", severityName(diag.severity)),
+             TraceArg::str("message", diag.message),
+             TraceArg::str("stage", diag.stage)});
+        session->counters().add(std::string("diag.") +
+                                severityName(diag.severity));
+    }
     if (sink)
         sink(all.back());
 }

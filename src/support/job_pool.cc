@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "support/telemetry.hh"
+
 namespace dsp
 {
 
@@ -102,6 +104,14 @@ JobPool::workerLoop()
         bool retry = false;
         {
             JobContext ctx(&cancelFlag, p.limits.timeoutSeconds, p.attempt);
+            // Worker threads record into the ambient session: each
+            // attempt becomes one span on this worker's timeline. The
+            // name string outlives the span (p lives past this block).
+            Span span(p.limits.name.empty() ? nullptr
+                                            : ambientTraceSession(),
+                      p.limits.name.c_str(), "job");
+            if (span.active())
+                span.arg("attempt", static_cast<long long>(p.attempt));
             try {
                 p.fn(ctx);
             } catch (const JobTimeout &) {

@@ -63,6 +63,9 @@ struct JobLimits
     /** Extra attempts after a JobTimeout before it becomes the
      *  pool's error. */
     int retries = 1;
+    /** Telemetry label: with an ambient TraceSession installed each
+     *  attempt records a "job" span named this (empty = untraced). */
+    std::string name;
 };
 
 /**

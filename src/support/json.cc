@@ -1,0 +1,49 @@
+#include "support/json.hh"
+
+#include <cmath>
+#include <sstream>
+
+namespace dsp
+{
+namespace json
+{
+
+std::string
+escape(const std::string &s)
+{
+    std::ostringstream os;
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          case '\r': os << "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                os << ' ';
+            else
+                os << c;
+        }
+    }
+    return os.str();
+}
+
+std::string
+quote(const std::string &s)
+{
+    return "\"" + escape(s) + "\"";
+}
+
+std::string
+num(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    std::ostringstream os;
+    os << v;
+    return os.str();
+}
+
+} // namespace json
+} // namespace dsp

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Minimal JSON emission helpers shared by every machine-readable
+ * exporter (the benchmark harness's BENCH_sim.json and the telemetry
+ * layer's trace/stats documents).
+ *
+ * One escaping and one NaN-guard implementation: the historical bug
+ * class this kills is an exporter hand-rolling its own number
+ * formatting and emitting the bare tokens "inf"/"nan", which no JSON
+ * parser accepts (see tests/bench/bench_json_test.cc). Every document
+ * the repo writes must strict-parse, so every document goes through
+ * these helpers.
+ */
+
+#ifndef DSP_SUPPORT_JSON_HH
+#define DSP_SUPPORT_JSON_HH
+
+#include <string>
+
+namespace dsp
+{
+namespace json
+{
+
+/**
+ * Escape @p s for inclusion inside a JSON string literal (no
+ * surrounding quotes). Control characters below 0x20 without a short
+ * escape are replaced by a space — the writers' inputs are diagnostics
+ * and benchmark names, where lossless round-tripping of, say, a
+ * vertical tab buys nothing over staying trivially parseable.
+ */
+std::string escape(const std::string &s);
+
+/** @p s escaped and wrapped in double quotes: `"..."`. */
+std::string quote(const std::string &s);
+
+/**
+ * Render @p v as a JSON number. Non-finite values (a zero baseline
+ * slipping past the guards, a zero-duration timer) become `null` so
+ * the document stays parseable; bare ostream formatting would emit
+ * "inf"/"nan".
+ */
+std::string num(double v);
+
+} // namespace json
+} // namespace dsp
+
+#endif // DSP_SUPPORT_JSON_HH

@@ -1,0 +1,311 @@
+#include "support/telemetry.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "support/diagnostics.hh"
+#include "support/json.hh"
+
+namespace dsp
+{
+
+namespace
+{
+
+std::atomic<TraceSession *> ambientSession{nullptr};
+
+/** Small dense per-thread ids (Chrome tids), assigned on first use. */
+std::atomic<int> nextThreadId{0};
+
+int
+thisThreadId()
+{
+    thread_local int id = nextThreadId.fetch_add(1) + 1;
+    return id;
+}
+
+void
+emitArgs(std::ostream &os, const std::vector<TraceArg> &args)
+{
+    os << "{";
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const TraceArg &a = args[i];
+        os << (i ? ", " : "") << json::quote(a.key) << ": ";
+        if (a.isString)
+            os << json::quote(a.sval);
+        else
+            os << a.nval;
+    }
+    os << "}";
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// CounterRegistry
+// ---------------------------------------------------------------------
+
+void
+CounterRegistry::add(const std::string &name, long delta)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    counters[name] += delta;
+}
+
+void
+CounterRegistry::max(const std::string &name, long value)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    long &slot = counters[name];
+    slot = std::max(slot, value);
+}
+
+long
+CounterRegistry::value(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+}
+
+long
+CounterRegistry::sumPrefix(const std::string &prefix) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    long sum = 0;
+    // Dotted names sort contiguously: everything in ["prefix",
+    // "prefix/") with '.' < '/' in ASCII covers the subtree.
+    for (auto it = counters.lower_bound(prefix); it != counters.end();
+         ++it) {
+        const std::string &name = it->first;
+        if (name.compare(0, prefix.size(), prefix) != 0)
+            break;
+        if (name.size() == prefix.size() ||
+            name[prefix.size()] == '.')
+            sum += it->second;
+    }
+    return sum;
+}
+
+std::map<std::string, long>
+CounterRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return counters;
+}
+
+// ---------------------------------------------------------------------
+// TraceSession
+// ---------------------------------------------------------------------
+
+TraceSession::TraceSession() : epoch(std::chrono::steady_clock::now()) {}
+
+double
+TraceSession::nowUs() const
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch)
+        .count();
+}
+
+int
+TraceSession::threadId()
+{
+    return thisThreadId();
+}
+
+void
+TraceSession::record(TraceEvent event)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    log.push_back(std::move(event));
+}
+
+void
+TraceSession::instant(const std::string &name,
+                      const std::string &category,
+                      std::vector<TraceArg> args)
+{
+    TraceEvent e;
+    e.phase = TraceEvent::Phase::Instant;
+    e.name = name;
+    e.category = category;
+    e.tid = thisThreadId();
+    e.tsUs = nowUs();
+    e.args = std::move(args);
+    record(std::move(e));
+}
+
+std::size_t
+TraceSession::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return log.size();
+}
+
+std::vector<TraceEvent>
+TraceSession::events() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return log;
+}
+
+void
+TraceSession::writeChromeTrace(std::ostream &os) const
+{
+    std::vector<TraceEvent> snapshot = events();
+    os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
+    for (std::size_t i = 0; i < snapshot.size(); ++i) {
+        const TraceEvent &e = snapshot[i];
+        os << (i ? ",\n    " : "\n    ");
+        os << "{\"name\": " << json::quote(e.name)
+           << ", \"cat\": " << json::quote(e.category)
+           << ", \"ph\": "
+           << (e.phase == TraceEvent::Phase::Complete ? "\"X\"" : "\"i\"")
+           << ", \"pid\": 1, \"tid\": " << e.tid
+           << ", \"ts\": " << json::num(e.tsUs);
+        if (e.phase == TraceEvent::Phase::Complete)
+            os << ", \"dur\": " << json::num(e.durUs);
+        else
+            os << ", \"s\": \"t\""; // thread-scoped instant
+        if (!e.args.empty()) {
+            os << ", \"args\": ";
+            emitArgs(os, e.args);
+        }
+        os << "}";
+    }
+    os << "\n  ]\n}\n";
+}
+
+void
+TraceSession::writeChromeTraceFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot write trace: ", path);
+    writeChromeTrace(os);
+}
+
+void
+TraceSession::writeStats(std::ostream &os) const
+{
+    /** Aggregate Complete events by span name. */
+    struct SpanAgg
+    {
+        long count = 0;
+        double totalUs = 0.0;
+        double maxUs = 0.0;
+    };
+    std::map<std::string, SpanAgg> spans;
+    for (const TraceEvent &e : events()) {
+        if (e.phase != TraceEvent::Phase::Complete)
+            continue;
+        SpanAgg &agg = spans[e.name];
+        ++agg.count;
+        agg.totalUs += e.durUs;
+        agg.maxUs = std::max(agg.maxUs, e.durUs);
+    }
+
+    os << "{\n  \"schema\": \"dsp-stats-v1\",\n";
+    os << "  \"counters\": {";
+    std::map<std::string, long> counts = registry.snapshot();
+    std::size_t i = 0;
+    for (const auto &[name, value] : counts) {
+        os << (i++ ? ",\n    " : "\n    ") << json::quote(name) << ": "
+           << value;
+    }
+    os << (counts.empty() ? "" : "\n  ") << "},\n";
+    os << "  \"spans\": [";
+    i = 0;
+    for (const auto &[name, agg] : spans) {
+        os << (i++ ? ",\n    " : "\n    ") << "{\"name\": "
+           << json::quote(name) << ", \"count\": " << agg.count
+           << ", \"total_us\": " << json::num(agg.totalUs)
+           << ", \"max_us\": " << json::num(agg.maxUs) << "}";
+    }
+    os << (spans.empty() ? "" : "\n  ") << "]\n}\n";
+}
+
+void
+TraceSession::writeStatsFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot write stats: ", path);
+    writeStats(os);
+}
+
+// ---------------------------------------------------------------------
+// Ambient installation
+// ---------------------------------------------------------------------
+
+TraceSession *
+ambientTraceSession()
+{
+    return ambientSession.load(std::memory_order_relaxed);
+}
+
+ScopedTraceSession::ScopedTraceSession(TraceSession &session)
+    : previous(
+          ambientSession.exchange(&session, std::memory_order_relaxed))
+{}
+
+ScopedTraceSession::~ScopedTraceSession()
+{
+    ambientSession.store(previous, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Span
+// ---------------------------------------------------------------------
+
+Span::Span(const char *name, const char *category)
+    : Span(ambientTraceSession(), name, category)
+{}
+
+Span::Span(TraceSession *session, const char *name, const char *category)
+    : session(session), name(name), category(category)
+{
+    if (session)
+        startUs = session->nowUs();
+}
+
+void
+Span::arg(const char *key, const std::string &value)
+{
+    if (session)
+        args.push_back(TraceArg::str(key, value));
+}
+
+void
+Span::arg(const char *key, long long value)
+{
+    if (session)
+        args.push_back(TraceArg::number(key, value));
+}
+
+Span::~Span()
+{
+    if (!session)
+        return;
+    TraceEvent e;
+    e.phase = TraceEvent::Phase::Complete;
+    e.name = name;
+    e.category = category;
+    e.tid = thisThreadId();
+    e.tsUs = startUs;
+    e.durUs = session->nowUs() - startUs;
+    e.args = std::move(args);
+    session->record(std::move(e));
+}
+
+void
+traceInstant(const char *name, const char *category,
+             std::vector<TraceArg> args)
+{
+    if (TraceSession *s = ambientTraceSession())
+        s->instant(name, category, std::move(args));
+}
+
+} // namespace dsp

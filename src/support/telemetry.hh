@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Structured telemetry: pass-level tracing, a hierarchical counter
+ * registry, and trace instants, exportable as Chrome `trace_event`
+ * JSON (loadable in Perfetto / chrome://tracing) and as a stable
+ * machine-readable stats document.
+ *
+ * The shape mirrors production compiler/runtime stacks: a thread-safe
+ * TraceSession accumulates events; RAII Spans time one named unit of
+ * work (a pass over a function, a pipeline stage, a benchmark job);
+ * CounterRegistry accumulates dotted-name counters ("opt.dce.changes",
+ * "compile.cache.hit"); instants mark point occurrences (degradation
+ * events, diagnostics).
+ *
+ * Sessions are process-ambient, exactly like FaultPlan: install one
+ * with ScopedTraceSession and every instrumented site in the process
+ * records into it; with no session installed every hook is a single
+ * relaxed atomic load and an early return — tracing is cheap when on
+ * and free when off (pinned by tests/obs/trace_overhead_test.cc).
+ * Instrumented sites therefore never thread a session handle through
+ * their signatures, and JobPool workers all record into the same
+ * session concurrently.
+ */
+
+#ifndef DSP_SUPPORT_TELEMETRY_HH
+#define DSP_SUPPORT_TELEMETRY_HH
+
+#include <atomic>
+#include <chrono>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dsp
+{
+
+/** One key/value argument attached to a trace event. */
+struct TraceArg
+{
+    std::string key;
+    /** Value: a string or an integer (isString discriminates). */
+    std::string sval;
+    long long nval = 0;
+    bool isString = false;
+
+    static TraceArg
+    str(std::string key, std::string value)
+    {
+        TraceArg a;
+        a.key = std::move(key);
+        a.sval = std::move(value);
+        a.isString = true;
+        return a;
+    }
+
+    static TraceArg
+    number(std::string key, long long value)
+    {
+        TraceArg a;
+        a.key = std::move(key);
+        a.nval = value;
+        return a;
+    }
+};
+
+/** One recorded occurrence: a timed span or a point instant. */
+struct TraceEvent
+{
+    enum class Phase : unsigned char
+    {
+        Complete, ///< Chrome "X": has a duration
+        Instant,  ///< Chrome "i": a point in time
+    };
+
+    Phase phase = Phase::Complete;
+    std::string name;
+    std::string category;
+    /** Small sequential id of the recording thread (not the OS tid). */
+    int tid = 0;
+    /** Microseconds since the session epoch. */
+    double tsUs = 0.0;
+    /** Duration in microseconds (Complete events only). */
+    double durUs = 0.0;
+    std::vector<TraceArg> args;
+};
+
+/**
+ * Thread-safe accumulator of named monotonic counters. Hierarchy is
+ * by dotted names: "opt.dce.changes" is a leaf under "opt.dce" under
+ * "opt", and sumPrefix("opt") aggregates the whole subtree.
+ */
+class CounterRegistry
+{
+  public:
+    /** Add @p delta to counter @p name (creating it at zero). */
+    void add(const std::string &name, long delta = 1);
+
+    /** Set counter @p name to @p value if larger (peak tracking). */
+    void max(const std::string &name, long value);
+
+    /** Current value of @p name (0 if never touched). */
+    long value(const std::string &name) const;
+
+    /** Sum of @p prefix itself plus every counter under "prefix.". */
+    long sumPrefix(const std::string &prefix) const;
+
+    /** Stable-ordered snapshot of all counters. */
+    std::map<std::string, long> snapshot() const;
+
+  private:
+    mutable std::mutex mtx;
+    std::map<std::string, long> counters;
+};
+
+/**
+ * One tracing session: an epoch, an event log, and a counter registry.
+ * All members are safe to call from any number of threads.
+ */
+class TraceSession
+{
+  public:
+    TraceSession();
+
+    CounterRegistry &counters() { return registry; }
+    const CounterRegistry &counters() const { return registry; }
+
+    /** Microseconds elapsed since the session epoch. */
+    double nowUs() const;
+
+    /** Append @p event (tid/ts already filled by the caller). */
+    void record(TraceEvent event);
+
+    /** Record a point event at the current time on this thread. */
+    void instant(const std::string &name, const std::string &category,
+                 std::vector<TraceArg> args = {});
+
+    /** Number of events recorded so far. */
+    std::size_t eventCount() const;
+
+    /** Snapshot of the event log (tests, custom exporters). */
+    std::vector<TraceEvent> events() const;
+
+    /**
+     * Chrome trace_event JSON: {"displayTimeUnit":"ms",
+     * "traceEvents":[...]}. Load the file in Perfetto
+     * (https://ui.perfetto.dev) or chrome://tracing.
+     */
+    void writeChromeTrace(std::ostream &os) const;
+    /** writeChromeTrace to @p path; throws UserError if unwritable. */
+    void writeChromeTraceFile(const std::string &path) const;
+
+    /**
+     * The stable stats document (schema "dsp-stats-v1"):
+     *
+     *   {"schema": "dsp-stats-v1",
+     *    "counters": {"compile.cache.hit": 3, ...},
+     *    "spans": [{"name": "opt.dce", "count": 12,
+     *               "total_us": 41.5, "max_us": 9.1}, ...]}
+     *
+     * Stability guarantees (see DESIGN.md §10): the three top-level
+     * keys never change meaning; counters is a flat object with
+     * dotted keys, sorted; spans aggregates Complete events by name,
+     * sorted by name. New keys may be added; existing ones are never
+     * renamed or retyped.
+     */
+    void writeStats(std::ostream &os) const;
+    /** writeStats to @p path; throws UserError if unwritable. */
+    void writeStatsFile(const std::string &path) const;
+
+    /** The small sequential id record()/Span use for this thread. */
+    static int threadId();
+
+  private:
+    std::chrono::steady_clock::time_point epoch;
+    mutable std::mutex mtx;
+    std::vector<TraceEvent> log;
+    CounterRegistry registry;
+};
+
+/** The ambient session, or nullptr when tracing is off. */
+TraceSession *ambientTraceSession();
+
+/**
+ * Install @p session as the process-ambient trace session for this
+ * scope. Nesting replaces the outer session until the inner scope
+ * exits. The session must outlive the scope (the caller owns it).
+ */
+class ScopedTraceSession
+{
+  public:
+    explicit ScopedTraceSession(TraceSession &session);
+    ~ScopedTraceSession();
+
+    ScopedTraceSession(const ScopedTraceSession &) = delete;
+    ScopedTraceSession &operator=(const ScopedTraceSession &) = delete;
+
+  private:
+    TraceSession *previous;
+};
+
+/**
+ * RAII timed span. Construction samples the clock, destruction records
+ * one Complete event into the session captured at construction. With
+ * no ambient session the constructor is a single relaxed atomic load
+ * and every other member is an early-out — instrument hot paths
+ * freely.
+ *
+ * Name and category are `const char *` by design: string construction
+ * happens only at record time, never on the disabled path.
+ */
+class Span
+{
+  public:
+    /** Span against the ambient session (no-op when none). */
+    Span(const char *name, const char *category);
+    /** Span against an explicit @p session (may be null = no-op). */
+    Span(TraceSession *session, const char *name, const char *category);
+    ~Span();
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+    /** Attach a key/value argument (no-op when the span is inactive). */
+    void arg(const char *key, const std::string &value);
+    void arg(const char *key, long long value);
+
+    bool active() const { return session != nullptr; }
+
+  private:
+    TraceSession *session;
+    const char *name;
+    const char *category;
+    double startUs = 0.0;
+    std::vector<TraceArg> args;
+};
+
+/** Add @p delta to ambient counter @p name; no-op when tracing is off
+ *  (one relaxed atomic load, no string construction). */
+inline void
+bumpCounter(const char *name, long delta = 1)
+{
+    if (TraceSession *s = ambientTraceSession())
+        s->counters().add(name, delta);
+}
+
+/** Record an ambient instant event; no-op when tracing is off. */
+void traceInstant(const char *name, const char *category,
+                  std::vector<TraceArg> args = {});
+
+} // namespace dsp
+
+#endif // DSP_SUPPORT_TELEMETRY_HH

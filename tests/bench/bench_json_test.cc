@@ -7,249 +7,28 @@
  * historical failure modes were non-finite doubles (ostream renders
  * them as the bare tokens "inf"/"nan", which no JSON parser accepts)
  * and unescaped quotes/control characters in benchmark names or error
- * strings. A minimal strict RFC-8259 parser below — notably one that
- * accepts `null` but rejects bare inf/nan — parses every report the
- * harness can produce.
+ * strings. The shared strict RFC-8259 acceptor
+ * (tests/support/json_checker.hh) parses every report the harness can
+ * produce.
  */
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <limits>
 #include <sstream>
 
 #include "common.hh"
+#include "support/json_checker.hh"
 
 namespace dsp
 {
 namespace
 {
 
-/** Minimal strict JSON acceptor. parse() returns false (with a
- *  position in @ref error) on anything outside the RFC grammar. */
-class JsonChecker
-{
-  public:
-    bool
-    parse(const std::string &text)
-    {
-        s = &text;
-        pos = 0;
-        error.clear();
-        if (!value())
-            return false;
-        skipWs();
-        if (pos != s->size())
-            return fail("trailing characters");
-        return true;
-    }
-
-    /** Every string literal seen during the parse, unescaped. */
-    const std::vector<std::string> &strings() const { return seen; }
-    std::string error;
-
-  private:
-    const std::string *s = nullptr;
-    std::size_t pos = 0;
-    std::vector<std::string> seen;
-
-    bool
-    fail(const std::string &what)
-    {
-        std::ostringstream os;
-        os << what << " at byte " << pos;
-        error = os.str();
-        return false;
-    }
-
-    void
-    skipWs()
-    {
-        while (pos < s->size() &&
-               ((*s)[pos] == ' ' || (*s)[pos] == '\t' ||
-                (*s)[pos] == '\n' || (*s)[pos] == '\r'))
-            ++pos;
-    }
-
-    bool
-    literal(const char *word)
-    {
-        std::size_t n = std::strlen(word);
-        if (s->compare(pos, n, word) != 0)
-            return fail("bad literal");
-        pos += n;
-        return true;
-    }
-
-    bool
-    value()
-    {
-        skipWs();
-        if (pos >= s->size())
-            return fail("unexpected end");
-        char c = (*s)[pos];
-        if (c == '{')
-            return object();
-        if (c == '[')
-            return array();
-        if (c == '"')
-            return string(nullptr);
-        if (c == 't')
-            return literal("true");
-        if (c == 'f')
-            return literal("false");
-        if (c == 'n')
-            return literal("null");
-        if (c == '-' || (c >= '0' && c <= '9'))
-            return number();
-        return fail("unexpected character");
-    }
-
-    bool
-    object()
-    {
-        ++pos; // '{'
-        skipWs();
-        if (pos < s->size() && (*s)[pos] == '}') {
-            ++pos;
-            return true;
-        }
-        while (true) {
-            skipWs();
-            if (pos >= s->size() || (*s)[pos] != '"')
-                return fail("expected object key");
-            if (!string(nullptr))
-                return false;
-            skipWs();
-            if (pos >= s->size() || (*s)[pos] != ':')
-                return fail("expected ':'");
-            ++pos;
-            if (!value())
-                return false;
-            skipWs();
-            if (pos < s->size() && (*s)[pos] == ',') {
-                ++pos;
-                continue;
-            }
-            if (pos < s->size() && (*s)[pos] == '}') {
-                ++pos;
-                return true;
-            }
-            return fail("expected ',' or '}'");
-        }
-    }
-
-    bool
-    array()
-    {
-        ++pos; // '['
-        skipWs();
-        if (pos < s->size() && (*s)[pos] == ']') {
-            ++pos;
-            return true;
-        }
-        while (true) {
-            if (!value())
-                return false;
-            skipWs();
-            if (pos < s->size() && (*s)[pos] == ',') {
-                ++pos;
-                continue;
-            }
-            if (pos < s->size() && (*s)[pos] == ']') {
-                ++pos;
-                return true;
-            }
-            return fail("expected ',' or ']'");
-        }
-    }
-
-    bool
-    string(std::string *out)
-    {
-        ++pos; // '"'
-        std::string decoded;
-        while (pos < s->size()) {
-            char c = (*s)[pos];
-            if (c == '"') {
-                ++pos;
-                seen.push_back(decoded);
-                if (out)
-                    *out = decoded;
-                return true;
-            }
-            if (static_cast<unsigned char>(c) < 0x20)
-                return fail("unescaped control character");
-            if (c == '\\') {
-                ++pos;
-                if (pos >= s->size())
-                    return fail("truncated escape");
-                char e = (*s)[pos];
-                switch (e) {
-                  case '"': decoded += '"'; break;
-                  case '\\': decoded += '\\'; break;
-                  case '/': decoded += '/'; break;
-                  case 'b': decoded += '\b'; break;
-                  case 'f': decoded += '\f'; break;
-                  case 'n': decoded += '\n'; break;
-                  case 'r': decoded += '\r'; break;
-                  case 't': decoded += '\t'; break;
-                  case 'u':
-                    if (pos + 4 >= s->size())
-                        return fail("truncated \\u escape");
-                    pos += 4;
-                    decoded += '?';
-                    break;
-                  default:
-                    return fail("bad escape");
-                }
-                ++pos;
-                continue;
-            }
-            decoded += c;
-            ++pos;
-        }
-        return fail("unterminated string");
-    }
-
-    bool
-    number()
-    {
-        std::size_t start = pos;
-        if ((*s)[pos] == '-')
-            ++pos;
-        // "inf"/"nan" never start with a digit, so a bare non-finite
-        // value fails right here.
-        if (pos >= s->size() || (*s)[pos] < '0' || (*s)[pos] > '9')
-            return fail("bad number");
-        while (pos < s->size() && (*s)[pos] >= '0' && (*s)[pos] <= '9')
-            ++pos;
-        if (pos < s->size() && (*s)[pos] == '.') {
-            ++pos;
-            if (pos >= s->size() || (*s)[pos] < '0' || (*s)[pos] > '9')
-                return fail("bad fraction");
-            while (pos < s->size() && (*s)[pos] >= '0' &&
-                   (*s)[pos] <= '9')
-                ++pos;
-        }
-        if (pos < s->size() &&
-            ((*s)[pos] == 'e' || (*s)[pos] == 'E')) {
-            ++pos;
-            if (pos < s->size() &&
-                ((*s)[pos] == '+' || (*s)[pos] == '-'))
-                ++pos;
-            if (pos >= s->size() || (*s)[pos] < '0' || (*s)[pos] > '9')
-                return fail("bad exponent");
-            while (pos < s->size() && (*s)[pos] >= '0' &&
-                   (*s)[pos] <= '9')
-                ++pos;
-        }
-        return pos > start;
-    }
-};
+using testing::JsonChecker;
 
 std::string
 readFile(const std::string &path)

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Telemetry-layer unit tests: spans, counters, ambient installation,
+ * thread safety under JobPool concurrency, and strict validity of
+ * both export formats (Chrome trace_event JSON and dsp-stats-v1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "driver/compile_cache.hh"
+#include "driver/compiler.hh"
+#include "support/fault_injection.hh"
+#include "support/job_pool.hh"
+#include "support/json_checker.hh"
+#include "support/telemetry.hh"
+
+namespace dsp
+{
+namespace
+{
+
+using testing::JsonChecker;
+
+TEST(Telemetry, DisabledIsANoOp)
+{
+    ASSERT_EQ(ambientTraceSession(), nullptr)
+        << "tests must start with no ambient session";
+    {
+        Span span("noop", "test");
+        span.arg("k", 1LL);
+        EXPECT_FALSE(span.active());
+    }
+    bumpCounter("noop.counter");
+    traceInstant("noop", "test");
+    // Nothing to observe — the assertions above prove no crash and no
+    // ambient session; a session created afterwards starts empty.
+    TraceSession session;
+    EXPECT_EQ(session.eventCount(), 0u);
+    EXPECT_EQ(session.counters().value("noop.counter"), 0);
+}
+
+TEST(Telemetry, SpanRecordsCompleteEventWithArgs)
+{
+    TraceSession session;
+    {
+        ScopedTraceSession scope(session);
+        Span span("unit.work", "test");
+        span.arg("detail", std::string("abc"));
+        span.arg("n", 42LL);
+    }
+    ASSERT_EQ(session.eventCount(), 1u);
+    TraceEvent e = session.events()[0];
+    EXPECT_EQ(e.phase, TraceEvent::Phase::Complete);
+    EXPECT_EQ(e.name, "unit.work");
+    EXPECT_EQ(e.category, "test");
+    EXPECT_GE(e.durUs, 0.0);
+    ASSERT_EQ(e.args.size(), 2u);
+    EXPECT_EQ(e.args[0].key, "detail");
+    EXPECT_TRUE(e.args[0].isString);
+    EXPECT_EQ(e.args[0].sval, "abc");
+    EXPECT_EQ(e.args[1].key, "n");
+    EXPECT_FALSE(e.args[1].isString);
+    EXPECT_EQ(e.args[1].nval, 42);
+}
+
+TEST(Telemetry, NestedSpansShareThreadAndContainTimestamps)
+{
+    TraceSession session;
+    {
+        ScopedTraceSession scope(session);
+        Span outer("outer", "test");
+        {
+            Span inner("inner", "test");
+        }
+    }
+    // Destruction order records inner first.
+    ASSERT_EQ(session.eventCount(), 2u);
+    auto events = session.events();
+    const TraceEvent &inner = events[0];
+    const TraceEvent &outer = events[1];
+    EXPECT_EQ(inner.name, "inner");
+    EXPECT_EQ(outer.name, "outer");
+    EXPECT_EQ(inner.tid, outer.tid);
+    // Chrome infers nesting from ts/dur containment per tid.
+    EXPECT_GE(inner.tsUs, outer.tsUs);
+    EXPECT_LE(inner.tsUs + inner.durUs, outer.tsUs + outer.durUs + 1e-6);
+}
+
+TEST(Telemetry, ScopedSessionNestsAndRestores)
+{
+    TraceSession a, b;
+    EXPECT_EQ(ambientTraceSession(), nullptr);
+    {
+        ScopedTraceSession sa(a);
+        EXPECT_EQ(ambientTraceSession(), &a);
+        {
+            ScopedTraceSession sb(b);
+            EXPECT_EQ(ambientTraceSession(), &b);
+        }
+        EXPECT_EQ(ambientTraceSession(), &a);
+    }
+    EXPECT_EQ(ambientTraceSession(), nullptr);
+}
+
+TEST(Telemetry, CountersAccumulateAndSumByPrefix)
+{
+    CounterRegistry c;
+    c.add("opt.dce.changes", 3);
+    c.add("opt.dce.changes");
+    c.add("opt.cse.changes", 2);
+    c.add("optimist", 100); // shares the byte prefix, not the subtree
+    c.max("peak", 5);
+    c.max("peak", 3);
+
+    EXPECT_EQ(c.value("opt.dce.changes"), 4);
+    EXPECT_EQ(c.value("never.touched"), 0);
+    EXPECT_EQ(c.sumPrefix("opt"), 6)
+        << "\"optimist\" must not count toward the \"opt\" subtree";
+    EXPECT_EQ(c.sumPrefix("opt.dce"), 4);
+    EXPECT_EQ(c.value("peak"), 5);
+}
+
+TEST(Telemetry, ConcurrentJobPoolSpansAllRecord)
+{
+    constexpr int kJobs = 64;
+    TraceSession session;
+    {
+        ScopedTraceSession scope(session);
+        JobPool pool(4);
+        JobLimits limits;
+        for (int i = 0; i < kJobs; ++i) {
+            limits.name = "job" + std::to_string(i);
+            pool.submit(
+                [](JobContext &) {
+                    Span span("inner.work", "test");
+                    bumpCounter("jobs.ran");
+                },
+                limits);
+        }
+        pool.wait();
+    }
+    EXPECT_EQ(session.counters().value("jobs.ran"), kJobs);
+    int named = 0, inner = 0;
+    for (const TraceEvent &e : session.events()) {
+        if (e.category == "job")
+            ++named;
+        if (e.name == "inner.work")
+            ++inner;
+    }
+    EXPECT_EQ(named, kJobs) << "every pool job records its named span";
+    EXPECT_EQ(inner, kJobs);
+
+    // The whole concurrent log still exports strictly-valid JSON.
+    std::ostringstream trace, stats;
+    session.writeChromeTrace(trace);
+    session.writeStats(stats);
+    JsonChecker checker;
+    EXPECT_TRUE(checker.parse(trace.str())) << checker.error;
+    EXPECT_TRUE(checker.parse(stats.str())) << checker.error;
+}
+
+TEST(Telemetry, ChromeTraceExportStrictParses)
+{
+    TraceSession session;
+    {
+        ScopedTraceSession scope(session);
+        Span span("weird \"name\"\n", "cat\\egory");
+        span.arg("msg", std::string("tab\there \"quoted\""));
+        traceInstant("point", "test",
+                     {TraceArg::number("n", -7),
+                      TraceArg::str("s", "line1\nline2")});
+    }
+    std::ostringstream os;
+    session.writeChromeTrace(os);
+    std::string text = os.str();
+
+    JsonChecker checker;
+    ASSERT_TRUE(checker.parse(text)) << checker.error << "\n" << text;
+    EXPECT_TRUE(checker.sawString("weird \"name\"\n"));
+    EXPECT_TRUE(checker.sawString("line1\nline2"));
+    // Chrome format essentials.
+    EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(text.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(text.find("\"ph\": \"i\""), std::string::npos);
+}
+
+TEST(Telemetry, StatsExportAggregatesSpansByName)
+{
+    TraceSession session;
+    {
+        ScopedTraceSession scope(session);
+        for (int i = 0; i < 3; ++i) {
+            Span span("repeated", "test");
+        }
+        session.counters().add("a.b", 2);
+    }
+    std::ostringstream os;
+    session.writeStats(os);
+    std::string text = os.str();
+
+    JsonChecker checker;
+    ASSERT_TRUE(checker.parse(text)) << checker.error << "\n" << text;
+    EXPECT_NE(text.find("\"schema\": \"dsp-stats-v1\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"name\": \"repeated\", \"count\": 3"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("\"a.b\": 2"), std::string::npos);
+}
+
+TEST(Telemetry, CompilePipelineEmitsSpanPerStagePerFunction)
+{
+    const char *source = R"(
+        int helper(int x) { return x * 2; }
+        void main() { out(helper(21)); }
+    )";
+    TraceSession session;
+    {
+        ScopedTraceSession scope(session);
+        CompileOptions opts;
+        compileSource(source, opts);
+    }
+
+    // Every pipeline stage appears at least once; per-function stages
+    // and per-function optimizer passes appear once per function.
+    std::map<std::string, int> count;
+    std::map<std::string, std::set<std::string>> pass_fns;
+    for (const TraceEvent &e : session.events()) {
+        ++count[e.name];
+        if (e.category == "opt")
+            for (const TraceArg &a : e.args)
+                if (a.key == "function")
+                    pass_fns[e.name].insert(a.sval);
+    }
+    for (const char *stage :
+         {"compile", "frontend.parse", "frontend.sema", "frontend.lower",
+          "opt.pipeline", "backend.lower", "alloc.data",
+          "backend.regalloc", "backend.frame", "backend.layout",
+          "backend.mcverify"})
+        EXPECT_GE(count[stage], 1) << "missing stage span: " << stage;
+    EXPECT_GE(count["backend.regalloc"], 2)
+        << "one regalloc span per function";
+    ASSERT_NE(pass_fns.find("opt.dce"), pass_fns.end());
+    EXPECT_EQ(pass_fns["opt.dce"].size(), 2u)
+        << "opt passes span each function";
+
+    EXPECT_GE(session.counters().value("ir.ops.before_opt"), 1);
+    EXPECT_GE(session.counters().value("ir.ops.after_opt"), 1);
+}
+
+TEST(Telemetry, CompileCacheCountsHitsAndMisses)
+{
+    const char *source = "void main() { out(1); }";
+    TraceSession session;
+    {
+        ScopedTraceSession scope(session);
+        CompileCache cache;
+        CompileOptions opts;
+        cache.get(source, opts);
+        cache.get(source, opts);
+        cache.get(source, opts);
+    }
+    EXPECT_EQ(session.counters().value("compile.cache.miss"), 1);
+    EXPECT_EQ(session.counters().value("compile.cache.hit"), 2);
+}
+
+TEST(Telemetry, RollbacksBecomeCountersAndInstants)
+{
+    // Arm a fault in a pass; the resilient pipeline rolls back and the
+    // telemetry layer must mirror the degradation.
+    FaultPlan plan;
+    plan.arm("opt.dce", 1);
+    ScopedFaultPlan fault_scope(plan);
+
+    TraceSession session;
+    {
+        ScopedTraceSession scope(session);
+        CompileOptions opts;
+        opts.resilient = true;
+        auto compiled =
+            compileSource("void main() { out(2 + 3); }", opts);
+        EXPECT_TRUE(compiled.degraded());
+    }
+    EXPECT_GE(session.counters().value("opt.rollbacks"), 1);
+    bool saw_rollback = false, saw_degradation = false;
+    for (const TraceEvent &e : session.events()) {
+        if (e.phase != TraceEvent::Phase::Instant)
+            continue;
+        saw_rollback |= e.name == "pass.rollback";
+        saw_degradation |= e.name == "degradation";
+    }
+    EXPECT_TRUE(saw_rollback);
+    EXPECT_TRUE(saw_degradation);
+}
+
+} // namespace
+} // namespace dsp

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tracing-overhead smoke check: running a suite benchmark with an
+ * ambient TraceSession installed must not meaningfully slow the
+ * simulator's fast path. The hot loop's only telemetry cost is one
+ * relaxed atomic load per runProgram call (the sim itself records a
+ * single "sim.run" span per run), so traced and untraced wall time
+ * should be statistically indistinguishable; the assertion bound is
+ * deliberately generous (1.25x) to survive noisy CI machines, and the
+ * measured ratio is logged so regressions are visible before they
+ * trip it. Measured locally the ratio stays within 5%.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <limits>
+
+#include "driver/compiler.hh"
+#include "suite/suite.hh"
+#include "support/telemetry.hh"
+
+namespace dsp
+{
+namespace
+{
+
+double
+timeOneRun(const CompileResult &compiled, const Benchmark &bench)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    RunResult r = runProgram(compiled, bench.input, 200'000'000,
+                             Fidelity::Fast);
+    auto t1 = std::chrono::steady_clock::now();
+    EXPECT_GT(r.stats.cycles, 0);
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+TEST(TraceOverhead, TracedRunStaysCloseToUntraced)
+{
+    // The fig7 workload's biggest kernel: a real simulation-dominated
+    // run (hundreds of thousands of cycles), compiled once outside the
+    // timed region so only the simulator is under test.
+    const Benchmark *bench = findBenchmark("fir_256_64");
+    if (!bench)
+        bench = allBenchmarks().front();
+    ASSERT_NE(bench, nullptr);
+
+    CompileOptions opts;
+    opts.mode = AllocMode::CB;
+    CompileResult compiled = compileSource(bench->source, opts);
+
+    // Warm up caches/allocator before measuring either arm.
+    timeOneRun(compiled, *bench);
+
+    // Interleaved min-of-N: alternating arms cancels machine-wide
+    // drift (thermal, scheduler), and min-of-N is robust to one-sided
+    // noise since timing jitter only ever adds time.
+    constexpr int kRounds = 7;
+    double untraced = std::numeric_limits<double>::infinity();
+    double traced = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < kRounds; ++i) {
+        untraced = std::min(untraced, timeOneRun(compiled, *bench));
+        TraceSession session;
+        {
+            ScopedTraceSession scope(session);
+            traced = std::min(traced, timeOneRun(compiled, *bench));
+        }
+        EXPECT_GE(session.eventCount(), 1u)
+            << "the traced arm must actually record the sim.run span";
+    }
+
+    ASSERT_GT(untraced, 0.0);
+    double ratio = traced / untraced;
+    std::cout << "[ overhead ] untraced min " << untraced * 1e3
+              << " ms, traced min " << traced * 1e3 << " ms, ratio "
+              << ratio << "\n";
+    RecordProperty("trace_overhead_ratio", std::to_string(ratio));
+    EXPECT_LT(ratio, 1.25)
+        << "tracing overhead ratio " << ratio
+        << " — the sim fast path must not pay for telemetry";
+}
+
+} // namespace
+} // namespace dsp
