@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Compare two BENCH_sim.json sweep reports and render a verdict.
+ *
+ * Usage:
+ *   bench_diff BEFORE.json AFTER.json [--json] [--markdown]
+ *              [--fail-on-timing] [--timing-threshold=REL]
+ *
+ * Deterministic cycle counts are compared exactly; host timings are
+ * noise-thresholded (see diff.hh). Exit codes:
+ *   0  no cycle regressions
+ *   1  at least one regression (or timing shift with --fail-on-timing)
+ *   2  usage error / unreadable input file
+ *   3  runs are incomparable (different instrumentation flags,
+ *      malformed JSON)
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "diff.hh"
+
+using namespace dsp::bench;
+
+namespace
+{
+
+int
+usage()
+{
+    std::cerr
+        << "usage: bench_diff BEFORE.json AFTER.json [options]\n"
+           "  --json                  machine-readable verdict "
+           "(dsp-bench-diff-v1)\n"
+           "  --markdown              markdown summary (default)\n"
+           "  --fail-on-timing        over-threshold timing shifts "
+           "fail the diff\n"
+           "  --timing-threshold=REL  relative host-timing noise "
+           "threshold (default 0.30)\n";
+    return 2;
+}
+
+bool
+readFile(const std::string &path, std::string &text)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "bench_diff: cannot read " << path << "\n";
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string before_path, after_path;
+    DiffOptions opts;
+    bool want_json = false;
+    bool want_markdown = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--json") {
+            want_json = true;
+        } else if (arg == "--markdown") {
+            want_markdown = true;
+        } else if (arg == "--fail-on-timing") {
+            opts.failOnTiming = true;
+        } else if (arg.rfind("--timing-threshold=", 0) == 0) {
+            const std::string v = arg.substr(19);
+            char *end = nullptr;
+            opts.timingThreshold = std::strtod(v.c_str(), &end);
+            if (v.empty() || *end != '\0' || opts.timingThreshold < 0)
+                return usage();
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else if (before_path.empty()) {
+            before_path = arg;
+        } else if (after_path.empty()) {
+            after_path = arg;
+        } else {
+            return usage();
+        }
+    }
+    if (after_path.empty())
+        return usage();
+    if (!want_json && !want_markdown)
+        want_markdown = true;
+
+    std::string before_text, after_text;
+    if (!readFile(before_path, before_text) ||
+        !readFile(after_path, after_text))
+        return 2;
+
+    DiffResult diff = diffBenchReports(before_text, after_text, opts);
+    if (want_json)
+        std::cout << diffJson(diff, opts);
+    if (want_markdown)
+        std::cout << diffMarkdown(diff, opts);
+
+    if (diff.incomparable)
+        return 3;
+    return diff.regressed(opts) ? 1 : 0;
+}

@@ -312,36 +312,29 @@ measureSuite(const std::vector<Benchmark> &benches,
         trace_session.writeChromeTraceFile(trace_path);
     }
 
-    if (!opts.jsonPath.empty())
+    if (!opts.jsonPath.empty()) {
+        BenchRunFlags flags;
+        flags.fidelity = fidelityName(opts.fidelity);
+        flags.resilient = opts.resilient;
+        flags.traced = !trace_path.empty();
         writeBenchJson(opts.jsonPath, opts.suiteName, results,
-                       secondsSince(t0), threads);
+                       secondsSince(t0), threads, flags);
+    }
     return results;
 }
 
 namespace
 {
 
-// Shared emission helpers (src/support/json.hh), aliased to keep the
-// writer below terse.
-inline std::string
-jsonEscape(const std::string &s)
-{
-    return json::escape(s);
-}
-
-inline std::string
-jsonNum(double v)
-{
-    return json::num(v);
-}
-
 void
-emitMeasurement(std::ostream &os, const char *key, const Measurement &m)
+emitMeasurement(json::Writer &w, const char *key, const Measurement &m)
 {
-    os << "        \"" << key << "\": {\"cycles\": " << m.cycles
-       << ", \"cost_total\": " << m.cost.total()
-       << ", \"gain_pct\": " << jsonNum(m.gainPct)
-       << ", \"pcr\": " << jsonNum(m.pcr) << "}";
+    w.key(key).beginObject(json::Writer::Block::Inline);
+    w.field("cycles", m.cycles);
+    w.field("cost_total", m.cost.total());
+    w.field("gain_pct", m.gainPct);
+    w.field("pcr", m.pcr);
+    w.endObject();
 }
 
 double
@@ -355,69 +348,73 @@ mips(long cycles, double seconds)
 } // namespace
 
 void
-writeBenchJson(const std::string &path, const std::string &suite,
+writeBenchJson(std::ostream &os, const std::string &suite,
                const std::vector<BenchResult> &results,
-               double wall_seconds, int threads)
+               double wall_seconds, int threads,
+               const BenchRunFlags &flags)
 {
     long total_cycles = 0;
     for (const BenchResult &r : results)
         total_cycles += r.simCycles;
 
+    json::Writer w(os);
+    w.beginObject();
+    w.field("suite", suite);
+    w.field("threads", threads);
+    w.key("flags").beginObject(json::Writer::Block::Inline);
+    w.field("fidelity", flags.fidelity);
+    w.field("resilient", flags.resilient);
+    w.field("traced", flags.traced);
+    w.endObject();
+    w.field("wall_seconds", wall_seconds);
+    w.field("total_sim_cycles", total_cycles);
+    w.field("total_mips", mips(total_cycles, wall_seconds));
+    w.key("benchmarks").beginArray();
+    for (const BenchResult &r : results) {
+        w.beginObject();
+        w.field("name", r.name);
+        w.field("label", r.label);
+        if (!r.ok()) {
+            w.field("error", r.error);
+            w.endObject();
+            continue;
+        }
+        w.field("host_seconds", r.hostSeconds);
+        w.field("compile_seconds", r.compileSeconds);
+        w.field("sim_seconds", r.simSeconds);
+        if (!r.degradations.empty()) {
+            w.key("degraded").beginArray(json::Writer::Block::Inline);
+            for (const std::string &event : r.degradations)
+                w.value(event);
+            w.endArray();
+        }
+        w.field("sim_cycles", r.simCycles);
+        w.field("mips", mips(r.simCycles, r.hostSeconds));
+        w.key("modes").beginObject();
+        emitMeasurement(w, "single_bank", r.base);
+        emitMeasurement(w, "cb", r.cb);
+        emitMeasurement(w, "profile_cb", r.pr);
+        emitMeasurement(w, "cb_dup", r.dup);
+        emitMeasurement(w, "full_dup", r.fullDup);
+        emitMeasurement(w, "ideal", r.ideal);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << '\n';
+}
+
+void
+writeBenchJson(const std::string &path, const std::string &suite,
+               const std::vector<BenchResult> &results,
+               double wall_seconds, int threads,
+               const BenchRunFlags &flags)
+{
     std::ofstream os(path);
     if (!os)
         fatal("cannot write benchmark report: ", path);
-
-    os << "{\n";
-    os << "  \"suite\": \"" << jsonEscape(suite) << "\",\n";
-    os << "  \"threads\": " << threads << ",\n";
-    os << "  \"wall_seconds\": " << jsonNum(wall_seconds) << ",\n";
-    os << "  \"total_sim_cycles\": " << total_cycles << ",\n";
-    os << "  \"total_mips\": "
-       << jsonNum(mips(total_cycles, wall_seconds)) << ",\n";
-    os << "  \"benchmarks\": [\n";
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        const BenchResult &r = results[i];
-        os << "    {\n";
-        os << "      \"name\": \"" << jsonEscape(r.name) << "\",\n";
-        os << "      \"label\": \"" << jsonEscape(r.label) << "\",\n";
-        if (!r.ok()) {
-            os << "      \"error\": \"" << jsonEscape(r.error)
-               << "\"\n    }";
-        } else {
-            os << "      \"host_seconds\": " << jsonNum(r.hostSeconds)
-               << ",\n";
-            os << "      \"compile_seconds\": "
-               << jsonNum(r.compileSeconds) << ",\n";
-            os << "      \"sim_seconds\": " << jsonNum(r.simSeconds)
-               << ",\n";
-            if (!r.degradations.empty()) {
-                os << "      \"degraded\": [";
-                for (std::size_t d = 0; d < r.degradations.size(); ++d) {
-                    os << (d ? ", " : "") << '"'
-                       << jsonEscape(r.degradations[d]) << '"';
-                }
-                os << "],\n";
-            }
-            os << "      \"sim_cycles\": " << r.simCycles << ",\n";
-            os << "      \"mips\": "
-               << jsonNum(mips(r.simCycles, r.hostSeconds)) << ",\n";
-            os << "      \"modes\": {\n";
-            emitMeasurement(os, "single_bank", r.base);
-            os << ",\n";
-            emitMeasurement(os, "cb", r.cb);
-            os << ",\n";
-            emitMeasurement(os, "profile_cb", r.pr);
-            os << ",\n";
-            emitMeasurement(os, "cb_dup", r.dup);
-            os << ",\n";
-            emitMeasurement(os, "full_dup", r.fullDup);
-            os << ",\n";
-            emitMeasurement(os, "ideal", r.ideal);
-            os << "\n      }\n    }";
-        }
-        os << (i + 1 < results.size() ? ",\n" : "\n");
-    }
-    os << "  ]\n}\n";
+    writeBenchJson(os, suite, results, wall_seconds, threads, flags);
 }
 
 std::string

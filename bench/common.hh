@@ -17,6 +17,7 @@
 #ifndef DSP_BENCH_COMMON_HH
 #define DSP_BENCH_COMMON_HH
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -146,10 +147,34 @@ struct SuiteRunOptions
 std::vector<BenchResult> measureSuite(const std::vector<Benchmark> &benches,
                                       const SuiteRunOptions &opts = {});
 
+/**
+ * Instrumentation knobs in effect for a sweep, recorded in
+ * BENCH_sim.json so bench_diff can refuse to compare runs whose
+ * numbers were produced under different conditions (a traced or
+ * resilient-off run times differently; a different engine is a
+ * different measurement even when the cycle counts agree).
+ */
+struct BenchRunFlags
+{
+    /** Simulator engine of the measurement runs (fidelityName). */
+    std::string fidelity = "fast";
+    /** Compiles used the graceful-degradation ladder. */
+    bool resilient = true;
+    /** An ambient TraceSession recorded the sweep. */
+    bool traced = false;
+};
+
 /** Write the BENCH_sim.json document (see README for the format). */
 void writeBenchJson(const std::string &path, const std::string &suite,
                     const std::vector<BenchResult> &results,
-                    double wall_seconds, int threads);
+                    double wall_seconds, int threads,
+                    const BenchRunFlags &flags = {});
+
+/** writeBenchJson onto an open stream (tests, stdout). */
+void writeBenchJson(std::ostream &os, const std::string &suite,
+                    const std::vector<BenchResult> &results,
+                    double wall_seconds, int threads,
+                    const BenchRunFlags &flags = {});
 
 /** "BENCH_sim.json", overridable via the DSP_BENCH_JSON env var. */
 std::string benchJsonPath();

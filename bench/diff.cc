@@ -1,0 +1,330 @@
+#include "diff.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "support/diagnostics.hh"
+#include "support/json.hh"
+
+namespace dsp
+{
+namespace bench
+{
+
+namespace
+{
+
+/** Render a flags member for mismatch diagnostics and comparison. */
+std::string
+flagValueStr(const json::Value &v)
+{
+    switch (v.kind) {
+      case json::Value::Kind::Null: return "null";
+      case json::Value::Kind::Bool: return v.boolean ? "true" : "false";
+      case json::Value::Kind::Number: return json::num(v.number);
+      case json::Value::Kind::String: return v.str;
+      default: return "<composite>";
+    }
+}
+
+/** The "flags" object as a sorted key->value map ("" when absent). */
+std::map<std::string, std::string>
+flagsOf(const json::Value &doc)
+{
+    std::map<std::string, std::string> flags;
+    if (const json::Value *f = doc.find("flags"))
+        for (const auto &[key, value] : f->members)
+            flags[key] = flagValueStr(value);
+    return flags;
+}
+
+/** Benchmark rows by name, preserving nothing else about order. */
+std::map<std::string, const json::Value *>
+rowsOf(const json::Value &doc)
+{
+    std::map<std::string, const json::Value *> rows;
+    if (const json::Value *b = doc.find("benchmarks"))
+        for (const json::Value &row : b->items)
+            if (row.isObject())
+                rows[row.stringAt("name", "?")] = &row;
+    return rows;
+}
+
+void
+compareExact(DiffResult &out, const std::string &name,
+             const std::string &metric, long before, long after)
+{
+    ++out.metricsCompared;
+    if (before == after)
+        return;
+    CycleDelta d;
+    d.name = name;
+    d.metric = metric;
+    d.before = before;
+    d.after = after;
+    (after > before ? out.regressions : out.improvements)
+        .push_back(std::move(d));
+}
+
+void
+compareTiming(DiffResult &out, const DiffOptions &opts,
+              const std::string &name, const std::string &metric,
+              double before, double after)
+{
+    if (before <= 0.0)
+        return; // no meaningful baseline
+    double rel = (after - before) / before;
+    if (std::fabs(rel) <= opts.timingThreshold)
+        return;
+    TimingDelta d;
+    d.name = name;
+    d.metric = metric;
+    d.before = before;
+    d.after = after;
+    d.relChange = rel;
+    out.timingShifts.push_back(std::move(d));
+}
+
+} // namespace
+
+DiffResult
+diffBenchReports(const std::string &before_text,
+                 const std::string &after_text, const DiffOptions &opts)
+{
+    DiffResult out;
+
+    json::Value before, after;
+    try {
+        before = json::parse(before_text);
+        after = json::parse(after_text);
+    } catch (const UserError &e) {
+        out.incomparable = true;
+        out.incomparableReason = e.what();
+        return out;
+    }
+    if (!before.isObject() || !after.isObject()) {
+        out.incomparable = true;
+        out.incomparableReason = "not a BENCH_sim.json document";
+        return out;
+    }
+
+    // Refuse runs made under different instrumentation knobs: the
+    // numbers are answers to different questions. Two legacy reports
+    // without a flags object compare as equals.
+    auto flags_a = flagsOf(before);
+    auto flags_b = flagsOf(after);
+    if (flags_a != flags_b) {
+        std::ostringstream why;
+        why << "instrumentation flags differ:";
+        for (const auto &[key, value] : flags_a)
+            if (!flags_b.count(key) || flags_b[key] != value)
+                why << " " << key << "=" << value << "->"
+                    << (flags_b.count(key) ? flags_b[key] : "<absent>");
+        for (const auto &[key, value] : flags_b)
+            if (!flags_a.count(key))
+                why << " " << key << "=<absent>->" << value;
+        out.incomparable = true;
+        out.incomparableReason = why.str();
+        return out;
+    }
+
+    auto rows_a = rowsOf(before);
+    auto rows_b = rowsOf(after);
+
+    for (const auto &[name, row] : rows_a)
+        if (!rows_b.count(name))
+            out.notes.push_back({name, "row missing from after-run"});
+    for (const auto &[name, row] : rows_b)
+        if (!rows_a.count(name))
+            out.notes.push_back({name, "row new in after-run"});
+
+    for (const auto &[name, row_a] : rows_a) {
+        auto it = rows_b.find(name);
+        if (it == rows_b.end())
+            continue;
+        const json::Value *row_b = it->second;
+
+        const json::Value *err_a = row_a->find("error");
+        const json::Value *err_b = row_b->find("error");
+        if (err_a || err_b) {
+            // A row erroring on one side only is itself a regression
+            // (or a fix); on both sides there is nothing to compare.
+            if (!err_a && err_b)
+                out.notes.push_back(
+                    {name, "regressed to error: " + err_b->str});
+            else if (err_a && !err_b)
+                out.notes.push_back({name, "error fixed"});
+            else
+                out.notes.push_back({name, "errored in both runs"});
+            if (!err_a && err_b) {
+                CycleDelta d;
+                d.name = name;
+                d.metric = "status";
+                d.before = 0;
+                d.after = 1;
+                out.regressions.push_back(std::move(d));
+            }
+            continue;
+        }
+
+        ++out.rowsCompared;
+        compareExact(out, name, "sim_cycles",
+                     row_a->longAt("sim_cycles"),
+                     row_b->longAt("sim_cycles"));
+
+        const json::Value *modes_a = row_a->find("modes");
+        const json::Value *modes_b = row_b->find("modes");
+        if (modes_a && modes_b) {
+            for (const auto &[mode, m_a] : modes_a->members) {
+                const json::Value *m_b = modes_b->find(mode);
+                if (!m_b) {
+                    out.notes.push_back(
+                        {name, "mode " + mode + " missing from "
+                               "after-run"});
+                    continue;
+                }
+                compareExact(out, name, mode + ".cycles",
+                             m_a.longAt("cycles"),
+                             m_b->longAt("cycles"));
+                compareExact(out, name, mode + ".cost_total",
+                             m_a.longAt("cost_total"),
+                             m_b->longAt("cost_total"));
+            }
+        }
+
+        compareTiming(out, opts, name, "compile_seconds",
+                      row_a->numberAt("compile_seconds"),
+                      row_b->numberAt("compile_seconds"));
+        compareTiming(out, opts, name, "sim_seconds",
+                      row_a->numberAt("sim_seconds"),
+                      row_b->numberAt("sim_seconds"));
+    }
+    return out;
+}
+
+std::string
+diffJson(const DiffResult &diff, const DiffOptions &opts)
+{
+    std::ostringstream os;
+    json::Writer w(os);
+    w.beginObject();
+    w.field("schema", "dsp-bench-diff-v1");
+    w.field("comparable", !diff.incomparable);
+    const char *verdict = diff.incomparable ? "incomparable"
+                          : diff.regressed(opts) ? "regression"
+                                                 : "ok";
+    w.field("verdict", verdict);
+    if (diff.incomparable)
+        w.field("reason", diff.incomparableReason);
+    w.field("rows_compared", diff.rowsCompared);
+    w.field("metrics_compared", diff.metricsCompared);
+    w.field("timing_threshold", opts.timingThreshold);
+
+    auto emit_cycles = [&](const char *key,
+                           const std::vector<CycleDelta> &list) {
+        w.key(key).beginArray();
+        for (const CycleDelta &d : list) {
+            w.beginObject(json::Writer::Block::Inline);
+            w.field("name", d.name);
+            w.field("metric", d.metric);
+            w.field("before", d.before);
+            w.field("after", d.after);
+            w.field("delta", d.delta());
+            w.endObject();
+        }
+        w.endArray();
+    };
+    emit_cycles("regressions", diff.regressions);
+    emit_cycles("improvements", diff.improvements);
+
+    w.key("timing_shifts").beginArray();
+    for (const TimingDelta &d : diff.timingShifts) {
+        w.beginObject(json::Writer::Block::Inline);
+        w.field("name", d.name);
+        w.field("metric", d.metric);
+        w.field("before", d.before);
+        w.field("after", d.after);
+        w.field("rel_change", d.relChange);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("notes").beginArray();
+    for (const StructuralNote &n : diff.notes) {
+        w.beginObject(json::Writer::Block::Inline);
+        w.field("name", n.name);
+        w.field("what", n.what);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << '\n';
+    return os.str();
+}
+
+std::string
+diffMarkdown(const DiffResult &diff, const DiffOptions &opts)
+{
+    std::ostringstream os;
+    if (diff.incomparable) {
+        os << "## bench_diff: INCOMPARABLE\n\n"
+           << diff.incomparableReason << "\n";
+        return os.str();
+    }
+
+    os << "## bench_diff: "
+       << (diff.regressed(opts) ? "REGRESSION" : "OK") << " ("
+       << diff.regressions.size() << " regressions, "
+       << diff.improvements.size() << " improvements, "
+       << diff.rowsCompared << " rows / " << diff.metricsCompared
+       << " deterministic metrics compared)\n";
+
+    auto cycle_table = [&](const char *title,
+                           const std::vector<CycleDelta> &list) {
+        if (list.empty())
+            return;
+        os << "\n### " << title << "\n\n"
+           << "| benchmark | metric | before | after | delta |\n"
+           << "|---|---|---:|---:|---:|\n";
+        for (const CycleDelta &d : list) {
+            os << "| " << d.name << " | " << d.metric << " | "
+               << d.before << " | " << d.after << " | "
+               << (d.delta() > 0 ? "+" : "") << d.delta() << " |\n";
+        }
+    };
+    cycle_table("regressions", diff.regressions);
+    cycle_table("improvements", diff.improvements);
+
+    if (!diff.timingShifts.empty()) {
+        char threshold[32];
+        std::snprintf(threshold, sizeof(threshold), "%.0f%%",
+                      100.0 * opts.timingThreshold);
+        os << "\n### timing shifts beyond " << threshold
+           << " (host noise — informational"
+           << (opts.failOnTiming ? ", counted as failures" : "")
+           << ")\n\n"
+           << "| benchmark | metric | before | after | change |\n"
+           << "|---|---|---:|---:|---:|\n";
+        for (const TimingDelta &d : diff.timingShifts) {
+            char b[32], a[32], c[32];
+            std::snprintf(b, sizeof(b), "%.3fs", d.before);
+            std::snprintf(a, sizeof(a), "%.3fs", d.after);
+            std::snprintf(c, sizeof(c), "%+.0f%%",
+                          100.0 * d.relChange);
+            os << "| " << d.name << " | " << d.metric << " | " << b
+               << " | " << a << " | " << c << " |\n";
+        }
+    }
+
+    if (!diff.notes.empty()) {
+        os << "\n### notes\n\n";
+        for (const StructuralNote &n : diff.notes)
+            os << "- " << n.name << ": " << n.what << "\n";
+    }
+    return os.str();
+}
+
+} // namespace bench
+} // namespace dsp

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * BENCH_sim.json comparison engine behind the bench_diff tool and the
+ * `ctest -L perf` regression tier.
+ *
+ * Two kinds of numbers live in a sweep report and they demand
+ * different treatment:
+ *
+ *  - Simulated cycle counts (per-mode cycles, cost_total, sim_cycles)
+ *    are DETERMINISTIC: the simulator is a pure function of the
+ *    program, so any difference is a real behavior change. They are
+ *    compared exactly; a cycle increase is a regression, a decrease an
+ *    improvement.
+ *  - Host timings (compile_seconds, sim_seconds) are NOISY: they
+ *    measure the machine running the sweep, not the compiler's output.
+ *    They are compared against a relative threshold and reported as
+ *    warnings, never verdict-changing by default.
+ *
+ * Runs made under different instrumentation knobs (the "flags" object:
+ * engine fidelity, resilience, tracing) are refused as incomparable —
+ * a traced run times differently, and a different engine is a
+ * different measurement.
+ */
+
+#ifndef DSP_BENCH_DIFF_HH
+#define DSP_BENCH_DIFF_HH
+
+#include <string>
+#include <vector>
+
+namespace dsp
+{
+namespace bench
+{
+
+/** One exact-count difference between the two runs. */
+struct CycleDelta
+{
+    /** Benchmark name. */
+    std::string name;
+    /** Metric within the row ("cb.cycles", "ideal.cost_total",
+     *  "sim_cycles"). */
+    std::string metric;
+    long before = 0;
+    long after = 0;
+
+    long delta() const { return after - before; }
+    bool regressed() const { return after > before; }
+};
+
+/** One noisy-timing difference exceeding the threshold. */
+struct TimingDelta
+{
+    std::string name;
+    std::string metric; ///< "compile_seconds" | "sim_seconds"
+    double before = 0.0;
+    double after = 0.0;
+    /** (after-before)/before; sign carries direction. */
+    double relChange = 0.0;
+};
+
+/** Structural differences: rows present on only one side, rows that
+ *  errored on either side, flag mismatches. */
+struct StructuralNote
+{
+    std::string name;
+    std::string what;
+};
+
+struct DiffOptions
+{
+    /** Relative change below which a timing difference is noise. */
+    double timingThreshold = 0.30;
+    /** Count over-threshold timing changes as regressions. */
+    bool failOnTiming = false;
+};
+
+/** The full comparison verdict. */
+struct DiffResult
+{
+    /** The two runs were made under different instrumentation knobs
+     *  (or structurally unreadable); nothing was compared. */
+    bool incomparable = false;
+    /** Why, when incomparable. */
+    std::string incomparableReason;
+
+    std::vector<CycleDelta> regressions;   ///< after > before
+    std::vector<CycleDelta> improvements;  ///< after < before
+    std::vector<TimingDelta> timingShifts; ///< |rel| > threshold
+    std::vector<StructuralNote> notes;
+
+    /** Rows compared (both sides present and ok). */
+    int rowsCompared = 0;
+    /** Exact metrics compared across those rows. */
+    int metricsCompared = 0;
+
+    bool
+    regressed(const DiffOptions &opts = {}) const
+    {
+        return !regressions.empty() ||
+               (opts.failOnTiming && !timingShifts.empty());
+    }
+};
+
+/**
+ * Compare two BENCH_sim.json documents (@p before_text, @p after_text
+ * are the raw file contents). Malformed JSON or a missing benchmarks
+ * array makes the result incomparable; it never throws.
+ */
+DiffResult diffBenchReports(const std::string &before_text,
+                            const std::string &after_text,
+                            const DiffOptions &opts = {});
+
+/** Machine-readable verdict (schema "dsp-bench-diff-v1"). */
+std::string diffJson(const DiffResult &diff, const DiffOptions &opts);
+
+/** Markdown summary: verdict line plus a table of every delta. */
+std::string diffMarkdown(const DiffResult &diff,
+                         const DiffOptions &opts);
+
+} // namespace bench
+} // namespace dsp
+
+#endif // DSP_BENCH_DIFF_HH

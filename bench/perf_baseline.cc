@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Generate the canonical full-suite sweep (the twelve kernels of
+ * Table 1 plus the application benchmarks) as a BENCH_sim.json report,
+ * for use as the perf-tier regression baseline.
+ *
+ * Usage: perf_baseline [OUT.json]   (default BENCH_sim.json)
+ *
+ * The checked-in copy lives at bench/baselines/BENCH_sim.json; the
+ * `ctest -L perf` tier regenerates the sweep and bench_diff's it
+ * against that copy. Cycle counts are deterministic, so the baseline
+ * only needs regenerating when compiler output intentionally changes —
+ * rerun this tool and commit the result alongside the change that
+ * moved the numbers.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "common.hh"
+
+using namespace dsp;
+using namespace dsp::bench;
+
+int
+main(int argc, char **argv)
+{
+    SuiteRunOptions run_opts;
+    run_opts.suiteName = "perf_baseline";
+    run_opts.jsonPath = argc > 1 ? argv[1] : "BENCH_sim.json";
+
+    std::vector<Benchmark> benches = kernelBenchmarks();
+    const std::vector<Benchmark> &apps = applicationBenchmarks();
+    benches.insert(benches.end(), apps.begin(), apps.end());
+
+    std::vector<BenchResult> results;
+    try {
+        results = measureSuite(benches, run_opts);
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+
+    int failed = 0;
+    for (const BenchResult &r : results)
+        if (!r.ok()) {
+            std::cerr << r.name << " FAILED: " << r.error << "\n";
+            ++failed;
+        }
+    std::cout << "wrote " << run_opts.jsonPath << " ("
+              << results.size() - failed << "/" << results.size()
+              << " benchmarks ok)\n";
+    return failed == 0 ? 0 : 1;
+}

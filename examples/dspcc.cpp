@@ -16,6 +16,10 @@
  *     dspcc --explain-partition prog.c    # why each object got its bank
  *     dspcc --trace-out=t.json prog.c     # Perfetto-loadable trace
  *     dspcc --stats-out=s.json prog.c     # counters + span aggregates
+ *     dspcc --profile-out=p.json prog.c   # per-block dsp-profile-v1
+ *     dspcc --profile-report prog.c       # human-readable hot blocks
+ *     dspcc --profile-out=- prog.c        # any *-out flag takes "-"
+ *                                         # to mean stdout
  *
  * Exit codes (pinned by tests/driver/dspcc_cli_test.cc):
  *   0  success
@@ -31,7 +35,9 @@
 #include <sstream>
 
 #include "driver/compiler.hh"
+#include "support/diagnostics.hh"
 #include "support/fault_injection.hh"
+#include "support/profile.hh"
 #include "support/string_utils.hh"
 #include "support/telemetry.hh"
 
@@ -60,10 +66,17 @@ struct CliOptions
     /** Print the partition decision trace (edges, greedy moves,
      *  final banks — the paper's Figure 5, generalized). */
     bool explainPartition = false;
-    /** Chrome trace_event JSON output path ("" = tracing off). */
+    /** Chrome trace_event JSON output path ("" = tracing off,
+     *  "-" = stdout). */
     std::string traceOut;
     /** Stats (counters + span aggregates) JSON output path. */
     std::string statsOut;
+    /** dsp-profile-v1 per-block profile output path. */
+    std::string profileOut;
+    /** Print the human-readable profile report to stdout. */
+    bool profileReport = false;
+    /** Simulator engine for the (single-mode) run. */
+    Fidelity fidelity = Fidelity::Instrumented;
 };
 
 [[noreturn]] void
@@ -100,6 +113,19 @@ usage()
            "  --stats-out=FILE\n"
            "                write counters and per-span aggregates as\n"
            "                JSON (schema dsp-stats-v1)\n"
+           "  --profile-out=FILE\n"
+           "                write the per-block execution profile as\n"
+           "                JSON (schema dsp-profile-v1): cycles, bank\n"
+           "                traffic, conflict cycles, dup-store\n"
+           "                overhead per basic block\n"
+           "  --profile-report\n"
+           "                print a human-readable profile: hot-block\n"
+           "                ranking, per-function cycle shares, the\n"
+           "                bank-conflict heatmap, dup-store overhead\n"
+           "  --fidelity=instrumented|fast\n"
+           "                simulator engine for the run (profiles are\n"
+           "                engine-independent; default instrumented)\n"
+           "  *-out flags accept '-' as FILE to mean stdout\n"
            "exit codes: 0 ok, 1 user error, 2 internal error,\n"
            "            3 degraded compile with --werror\n";
     std::exit(1); // bad usage is a user error
@@ -158,6 +184,20 @@ parseArgs(int argc, char **argv)
         } else if (startsWith(arg, "--stats-out=")) {
             cli.statsOut = arg.substr(12);
             if (cli.statsOut.empty())
+                usage();
+        } else if (startsWith(arg, "--profile-out=")) {
+            cli.profileOut = arg.substr(14);
+            if (cli.profileOut.empty())
+                usage();
+        } else if (arg == "--profile-report") {
+            cli.profileReport = true;
+        } else if (startsWith(arg, "--fidelity=")) {
+            std::string f = arg.substr(11);
+            if (f == "instrumented")
+                cli.fidelity = Fidelity::Instrumented;
+            else if (f == "fast")
+                cli.fidelity = Fidelity::Fast;
+            else
                 usage();
         } else if (startsWith(arg, "--in=")) {
             for (const std::string &tok :
@@ -224,6 +264,22 @@ compileOptions(const CliOptions &cli, AllocMode mode)
     return opts;
 }
 
+/** Write a JSON document to @p path, where "-" means stdout. The
+ *  callback receives the destination stream. */
+template <typename Fn>
+void
+writeDocument(const std::string &path, Fn &&emit)
+{
+    if (path == "-") {
+        emit(std::cout);
+        return;
+    }
+    std::ofstream out(path);
+    if (!out)
+        throw UserError("cannot write " + path);
+    emit(out);
+}
+
 /** Print @p compiled's degradation trail as warnings; returns whether
  *  any degradation happened (drives the --werror exit code). */
 bool
@@ -257,8 +313,22 @@ runOnce(const std::string &source, const CliOptions &cli)
     if (cli.showAsm)
         std::cout << printVliwProgram(compiled.program) << "\n";
 
-    auto run = runProgram(compiled, cli.input);
+    bool profiling = !cli.profileOut.empty() || cli.profileReport;
+    auto run = runProgram(compiled, cli.input, 200'000'000,
+                          cli.fidelity, profiling);
     auto cost = computeCost(compiled, run);
+
+    if (profiling) {
+        ProgramProfile prof = run.blockProfile;
+        prof.program = cli.file;
+        prof.mode = allocModeName(cli.mode);
+        if (!cli.profileOut.empty())
+            writeDocument(cli.profileOut, [&](std::ostream &os) {
+                writeProfileJson(os, prof);
+            });
+        if (cli.profileReport)
+            std::cout << profileReport(prof);
+    }
 
     std::cout << "[" << allocModeName(cli.mode) << "] cycles "
               << run.stats.cycles << ", ops " << run.stats.opsExecuted
@@ -287,7 +357,8 @@ runCompare(const std::string &source, const CliOptions &cli)
           AllocMode::FullDup, AllocMode::Ideal}) {
         auto compiled = compileSource(source, compileOptions(cli, mode));
         degraded |= reportDegradations(compiled);
-        auto run = runProgram(compiled, cli.input);
+        auto run =
+            runProgram(compiled, cli.input, 200'000'000, cli.fidelity);
         if (mode == AllocMode::SingleBank)
             base = run.stats.cycles;
         double gain =
@@ -318,9 +389,13 @@ main(int argc, char **argv)
     TraceSession session;
     auto write_telemetry = [&] {
         if (!cli.traceOut.empty())
-            session.writeChromeTraceFile(cli.traceOut);
+            writeDocument(cli.traceOut, [&](std::ostream &os) {
+                session.writeChromeTrace(os);
+            });
         if (!cli.statsOut.empty())
-            session.writeStatsFile(cli.statsOut);
+            writeDocument(cli.statsOut, [&](std::ostream &os) {
+                session.writeStats(os);
+            });
     };
 
     try {

@@ -364,49 +364,50 @@ std::string
 partitionTraceJson(const AllocReport &report)
 {
     std::ostringstream os;
-    os << "{\n  \"schema\": \"dsp-partition-trace-v1\",\n";
-    os << "  \"nodes\": " << report.graph.nodes().size() << ",\n";
-    os << "  \"total_weight\": " << report.graph.totalWeight() << ",\n";
-    os << "  \"edges\": [";
-    std::size_t i = 0;
-    for (const auto &[key, w] : report.graph.edges()) {
-        os << (i++ ? ",\n    " : "\n    ") << "{\"a\": "
-           << json::quote(key.first->name)
-           << ", \"b\": " << json::quote(key.second->name)
-           << ", \"weight\": " << w << "}";
+    json::Writer w(os);
+    w.beginObject();
+    w.field("schema", "dsp-partition-trace-v1");
+    w.field("nodes", static_cast<long>(report.graph.nodes().size()));
+    w.field("total_weight", report.graph.totalWeight());
+    w.key("edges").beginArray();
+    for (const auto &[key, weight] : report.graph.edges()) {
+        w.beginObject(json::Writer::Block::Inline);
+        w.field("a", key.first->name);
+        w.field("b", key.second->name);
+        w.field("weight", weight);
+        w.endObject();
     }
-    os << (i ? "\n  " : "") << "],\n";
-    os << "  \"initial_cost\": " << report.partition.initialCost
-       << ",\n";
-    os << "  \"final_cost\": " << report.partition.finalCost << ",\n";
-    os << "  \"moves\": [";
-    i = 0;
+    w.endArray();
+    w.field("initial_cost", report.partition.initialCost);
+    w.field("final_cost", report.partition.finalCost);
+    w.key("moves").beginArray();
     for (const PartitionMove &move : report.partition.moves) {
-        os << (i++ ? ",\n    " : "\n    ") << "{\"node\": "
-           << json::quote(move.node->name)
-           << ", \"gain\": " << move.gain
-           << ", \"cost_after\": " << move.costAfter << "}";
+        w.beginObject(json::Writer::Block::Inline);
+        w.field("node", move.node->name);
+        w.field("gain", move.gain);
+        w.field("cost_after", move.costAfter);
+        w.endObject();
     }
-    os << (i ? "\n  " : "") << "],\n";
-    os << "  \"assignment\": [";
-    i = 0;
+    w.endArray();
+    w.key("assignment").beginArray();
     for (const auto &[obj, bank] : assignmentRows(report)) {
-        os << (i++ ? ",\n    " : "\n    ") << "{\"object\": "
-           << json::quote(obj->name) << ", \"bank\": "
-           << json::quote(bankName(bank)) << "}";
+        w.beginObject(json::Writer::Block::Inline);
+        w.field("object", obj->name);
+        w.field("bank", bankName(bank));
+        w.endObject();
     }
-    os << (i ? "\n  " : "") << "],\n";
-    os << "  \"duplicated\": [";
-    i = 0;
+    w.endArray();
+    w.key("duplicated").beginArray(json::Writer::Block::Inline);
     for (DataObject *obj : report.duplicated)
-        os << (i++ ? ", " : "") << json::quote(obj->name);
-    os << "],\n";
-    os << "  \"dup_rejected\": [";
-    i = 0;
+        w.value(obj->name);
+    w.endArray();
+    w.key("dup_rejected").beginArray(json::Writer::Block::Inline);
     for (DataObject *obj : report.dupRejected)
-        os << (i++ ? ", " : "") << json::quote(obj->name);
-    os << "],\n";
-    os << "  \"extra_stores\": " << report.extraStores << "\n}\n";
+        w.value(obj->name);
+    w.endArray();
+    w.field("extra_stores", report.extraStores);
+    w.endObject();
+    os << '\n';
     return os.str();
 }
 

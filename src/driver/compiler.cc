@@ -297,10 +297,12 @@ traceSimRun(Span &span, const Simulator &sim)
 RunResult
 runProgram(const CompileResult &compiled,
            const std::vector<uint32_t> &input, long max_cycles,
-           Fidelity fidelity)
+           Fidelity fidelity, bool collectBlockProfile)
 {
     Span span("sim.run", "sim");
     Simulator sim(compiled.program, *compiled.module, fidelity);
+    if (collectBlockProfile)
+        sim.setBlockProfiling(true);
     sim.setInput(input);
     sim.run(max_cycles);
     traceSimRun(span, sim);
@@ -309,6 +311,8 @@ runProgram(const CompileResult &compiled,
     result.stats = sim.stats();
     result.output = sim.output();
     result.profile = sim.profile();
+    if (collectBlockProfile)
+        result.blockProfile = sim.blockProfile();
     return result;
 }
 

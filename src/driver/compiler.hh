@@ -117,17 +117,25 @@ struct RunResult
     SimStats stats;
     std::vector<OutputWord> output;
     ProfileCounts profile;
+    /** Per-block attribution (see sim/simulator.hh); populated only
+     *  when the run collected block profiling. The program/mode
+     *  context fields are left for the caller to fill. */
+    ProgramProfile blockProfile;
 };
 
 /**
  * Execute a compiled program on the instruction-set simulator.
  * @p fidelity selects the engine: the predecoded fast path produces
- * identical stats/output but an empty profile (see sim/simulator.hh).
+ * identical stats/output but, by default, an empty profile (see
+ * sim/simulator.hh). @p collectBlockProfile opts the run into block
+ * profiling on either engine, filling RunResult::profile and
+ * RunResult::blockProfile with engine-independent attribution.
  */
 RunResult runProgram(const CompileResult &compiled,
                      const std::vector<uint32_t> &input = {},
                      long max_cycles = 200'000'000,
-                     Fidelity fidelity = Fidelity::Instrumented);
+                     Fidelity fidelity = Fidelity::Instrumented,
+                     bool collectBlockProfile = false);
 
 /**
  * Outcome of a non-throwing program run: harness workers must not

@@ -1,6 +1,8 @@
 #include "sim/simulator.hh"
 
+#include <algorithm>
 #include <cstring>
+#include <map>
 
 #include "ir/module.hh"
 #include "support/fault_injection.hh"
@@ -138,6 +140,11 @@ Simulator::reset()
     outWords.clear();
     simStats = SimStats{};
     instCounts.assign(prog.insts.size(), 0);
+    bankOpsXPc.assign(prog.insts.size(), 0);
+    bankOpsYPc.assign(prog.insts.size(), 0);
+    conflictXPc.assign(prog.insts.size(), 0);
+    conflictYPc.assign(prog.insts.size(), 0);
+    stepMemX = stepMemY = 0;
     openPairs.clear();
 
     FaultPlan *plan = ambientFaultPlan();
@@ -446,6 +453,13 @@ Simulator::stepFast()
     simStats.memOps += di.memCount;
     if (di.paired)
         ++simStats.pairedMemCycles;
+    if (fastProfiling)
+        ++instCounts[curPc];
+    // Runtime bank classification for the profile (matches the
+    // instrumented engine's attribution bit for bit).
+    int mem_x = 0;
+    int mem_y = 0;
+    const int32_t bank_words = prog.config.bankWords;
 
     int next_pc = curPc + 1;
     RegWrite regw[NumSlots];
@@ -562,6 +576,8 @@ Simulator::stepFast()
             int32_t addr = resolveFast(d);
             if (!d.staticChecked)
                 checkFastAddress(d, addr);
+            if (fastProfiling)
+                ++(addr < bank_words ? mem_x : mem_y);
             wraw(d.dst, memory[addr]);
             break;
           }
@@ -571,6 +587,8 @@ Simulator::stepFast()
             int32_t addr = resolveFast(d);
             if (!d.staticChecked)
                 checkFastAddress(d, addr);
+            if (fastProfiling)
+                ++(addr < bank_words ? mem_x : mem_y);
             memw[nmemw++] = {addr, regFile[d.src0]};
             break;
           }
@@ -620,6 +638,15 @@ Simulator::stepFast()
             panic("unhandled opcode in fast path: ",
                   opcodeName(d.opcode));
         }
+    }
+
+    if (fastProfiling && (mem_x | mem_y)) {
+        bankOpsXPc[curPc] += mem_x;
+        bankOpsYPc[curPc] += mem_y;
+        if (mem_x >= 2)
+            ++conflictXPc[curPc];
+        if (mem_y >= 2)
+            ++conflictYPc[curPc];
     }
 
     // Commit phase.
@@ -846,6 +873,7 @@ Simulator::execSlot(const Op &op, int slot, RegWrite *regw, int &nregw,
         checkPort(op, slot, addr);
         uint32_t w = readMem(addr);
         ++simStats.memOps;
+        ++(addr < prog.config.bankWords ? stepMemX : stepMemY);
         if (op.opcode == Opcode::Ld)
             wi(op.dst.id, static_cast<int32_t>(w));
         else if (op.opcode == Opcode::LdF)
@@ -863,6 +891,7 @@ Simulator::execSlot(const Op &op, int slot, RegWrite *regw, int &nregw,
             fatal("memory write out of range: ", addr);
         memw[nmemw++] = {addr, readReg(s0())};
         ++simStats.memOps;
+        ++(addr < prog.config.bankWords ? stepMemX : stepMemY);
         if (op.atomicPair >= 0) {
             if (!openPairs.erase(op.atomicPair))
                 openPairs.insert(op.atomicPair);
@@ -973,6 +1002,7 @@ Simulator::stepInstrumented()
     int nmemw = 0;
 
     int data_mem = 0;
+    stepMemX = stepMemY = 0;
     for (int s = 0; s < NumSlots; ++s) {
         if (!inst.slots[s])
             continue;
@@ -984,6 +1014,14 @@ Simulator::stepInstrumented()
     }
     if (data_mem >= 2)
         ++simStats.pairedMemCycles;
+    if (stepMemX | stepMemY) {
+        bankOpsXPc[curPc] += stepMemX;
+        bankOpsYPc[curPc] += stepMemY;
+        if (stepMemX >= 2)
+            ++conflictXPc[curPc];
+        if (stepMemY >= 2)
+            ++conflictYPc[curPc];
+    }
 
     // Commit phase.
     for (int k = 0; k < nregw; ++k)
@@ -1065,6 +1103,60 @@ Simulator::blockCycles() const
             instCounts[i];
     }
     return cycles;
+}
+
+ProgramProfile
+Simulator::blockProfile() const
+{
+    // Per-pc static facts (slot occupancy, memory-op count, dup-store
+    // count) are scaled by the dynamic execution count; only the bank
+    // attribution needs the runtime arrays. A std::map keys the rows
+    // so the result comes out sorted by (function, blockId) — the
+    // determinism the JSON artifact relies on.
+    std::map<std::pair<std::string, int>, BlockProfileRow> rows;
+    for (std::size_t i = 0; i < prog.insts.size(); ++i) {
+        if (instCounts[i] == 0)
+            continue;
+        const VliwInst &inst = prog.insts[i];
+        BlockProfileRow &r =
+            rows[std::make_pair(inst.function, inst.blockId)];
+        r.function = inst.function;
+        r.blockId = inst.blockId;
+
+        long n = instCounts[i];
+        r.executions = std::max(r.executions, n);
+        r.cycles += n;
+
+        int ops = 0;
+        int mem = 0;
+        int dup_stores = 0;
+        for (int s = 0; s < NumSlots; ++s) {
+            if (!inst.slots[s])
+                continue;
+            const Op &op = *inst.slots[s];
+            ++ops;
+            if (op.isMem())
+                ++mem;
+            if (isStore(op.opcode) && op.mem.object &&
+                op.mem.object->duplicated)
+                ++dup_stores;
+        }
+        r.ops += ops * n;
+        r.memOps += mem * n;
+        r.memWidthCycles[mem >= 2 ? 2 : mem] += n;
+        r.dupStoreOps += dup_stores * n;
+
+        r.bankOps[0] += bankOpsXPc[i];
+        r.bankOps[1] += bankOpsYPc[i];
+        r.conflictCycles[0] += conflictXPc[i];
+        r.conflictCycles[1] += conflictYPc[i];
+    }
+
+    ProgramProfile p;
+    p.totalCycles = simStats.cycles;
+    for (auto &kv : rows)
+        p.blocks.push_back(std::move(kv.second));
+    return p;
 }
 
 } // namespace dsp

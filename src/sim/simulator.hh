@@ -29,9 +29,11 @@
  *    most NumSlots register writes and two memory writes per cycle —
  *    no heap traffic on the hot path). The fast engine produces
  *    bit-identical architectural state, output, and SimStats cycle /
- *    op / memory counters; it does not maintain profiling counts and
- *    does not deliver interrupts (setting an interrupt period falls
- *    back to the instrumented engine).
+ *    op / memory counters; block profiling is opt-in
+ *    (setBlockProfiling) and produces counts identical to the
+ *    instrumented engine's, and it does not deliver interrupts
+ *    (setting an interrupt period falls back to the instrumented
+ *    engine).
  */
 
 #ifndef DSP_SIM_SIMULATOR_HH
@@ -43,6 +45,7 @@
 #include <vector>
 
 #include "codegen/interference.hh"
+#include "support/profile.hh"
 #include "target/vliw.hh"
 
 namespace dsp
@@ -77,7 +80,10 @@ struct OutputWord
  * updates stack watermarks whenever an instruction writes a stack
  * pointer. Only interruptsDelivered is instrumented-only (it stays 0
  * under Fidelity::Fast because a nonzero interrupt period forces the
- * instrumented engine), as is Simulator::profile()/blockCycles().
+ * instrumented engine). Simulator::profile()/blockCycles()/
+ * blockProfile() are engine-independent too, but under Fidelity::Fast
+ * only when block profiling is enabled (setBlockProfiling); otherwise
+ * the fast engine skips them and they come back empty.
  */
 struct SimStats
 {
@@ -185,16 +191,41 @@ class Simulator
     const SimStats &stats() const { return simStats; }
     const std::vector<OutputWord> &output() const { return outWords; }
 
-    /** Block execution counts gathered during the run. Only the
-     *  instrumented engine maintains them; a Fast simulator returns an
-     *  empty profile. */
+    /**
+     * Opt into block profiling on the fast engine (call before run).
+     * The instrumented engine always profiles — this is a no-op
+     * there — but a Fast simulator skips the per-cycle execution
+     * counts and bank attribution unless enabled here. With profiling
+     * on, both engines produce identical profile()/blockCycles()/
+     * blockProfile() results (pinned by stats_fidelity_test).
+     */
+    void setBlockProfiling(bool on) { fastProfiling = on; }
+
+    /** True when this simulator is collecting block-level counts. */
+    bool blockProfilingEnabled() const
+    {
+        return fastProfiling || !useFastPath();
+    }
+
+    /** Block execution counts gathered during the run. Empty under
+     *  the fast engine unless setBlockProfiling(true) was called. */
     ProfileCounts profile() const;
 
     /** Cycles spent per (function, block id): the sum of executed
      *  instruction counts over the block's instructions (each
-     *  instruction costs one cycle). Instrumented engine only; a Fast
-     *  simulator returns an empty map. */
+     *  instruction costs one cycle). Empty under the fast engine
+     *  unless setBlockProfiling(true) was called. */
     ProfileCounts blockCycles() const;
+
+    /**
+     * Full per-block attribution of the run: cycles, ops, memory
+     * width mix, per-bank traffic, same-bank conflict cycles, and
+     * duplicated-store overhead, one row per executed (function,
+     * block). The caller fills ProgramProfile::program/mode context
+     * fields. Engine-independent whenever profiling is enabled (see
+     * setBlockProfiling); empty otherwise.
+     */
+    ProgramProfile blockProfile() const;
 
     /// @name Interrupt injection (duplicated-data coherence testing).
     /// @{
@@ -327,6 +358,28 @@ class Simulator
 
     SimStats simStats;
     std::vector<long> instCounts;
+
+    /// @name Block-profiling state.
+    /// Per-pc attribution arrays behind profile()/blockCycles()/
+    /// blockProfile(). The instrumented engine always fills them (it
+    /// is the slow reference; the overhead is noise there); the fast
+    /// engine only when fastProfiling is set, so the default fast
+    /// path stays uninstrumented.
+    /// @{
+    bool fastProfiling = false;
+    /** Data accesses of the in-flight instruction that resolved to
+     *  bank X / bank Y (reset each instrumented step, filled by
+     *  execSlot, committed to the per-pc arrays after the slot
+     *  loop). */
+    int stepMemX = 0;
+    int stepMemY = 0;
+    std::vector<long> bankOpsXPc;
+    std::vector<long> bankOpsYPc;
+    /** Cycles at this pc in which ≥2 accesses resolved to bank X/Y
+     *  (possible only under the dual-ported Ideal machine). */
+    std::vector<long> conflictXPc;
+    std::vector<long> conflictYPc;
+    /// @}
 
     long interruptPeriod = 0;
     std::function<void(Simulator &)> interruptHandler;

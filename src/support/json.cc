@@ -1,7 +1,11 @@
 #include "support/json.hh"
 
 #include <cmath>
+#include <cstdlib>
+#include <ostream>
 #include <sstream>
+
+#include "support/diagnostics.hh"
 
 namespace dsp
 {
@@ -43,6 +47,471 @@ num(double v)
     std::ostringstream os;
     os << v;
     return os.str();
+}
+
+// --------------------------------------------------------------------
+// Writer
+
+void
+Writer::indent(std::size_t depth)
+{
+    for (std::size_t i = 0; i < depth; ++i)
+        os << "  ";
+}
+
+void
+Writer::beforeItem()
+{
+    if (stack.empty())
+        return; // root value
+    Frame &top = stack.back();
+    if (top.count > 0)
+        os << ',';
+    if (top.style == Block::Indented) {
+        os << '\n';
+        indent(stack.size());
+    } else if (top.count > 0) {
+        os << ' ';
+    }
+}
+
+void
+Writer::open(char c, bool is_object, Block style)
+{
+    if (!pendingKey)
+        beforeItem();
+    if (!pendingKey && !stack.empty())
+        ++stack.back().count;
+    pendingKey = false;
+    os << c;
+    Frame f;
+    f.isObject = is_object;
+    f.style = style;
+    stack.push_back(f);
+}
+
+void
+Writer::close(char c)
+{
+    Frame top = stack.back();
+    stack.pop_back();
+    if (top.style == Block::Indented && top.count > 0) {
+        os << '\n';
+        indent(stack.size());
+    }
+    os << c;
+}
+
+Writer &
+Writer::beginObject(Block style)
+{
+    open('{', true, style);
+    return *this;
+}
+
+Writer &
+Writer::endObject()
+{
+    close('}');
+    return *this;
+}
+
+Writer &
+Writer::beginArray(Block style)
+{
+    open('[', false, style);
+    return *this;
+}
+
+Writer &
+Writer::endArray()
+{
+    close(']');
+    return *this;
+}
+
+Writer &
+Writer::key(const std::string &k)
+{
+    beforeItem();
+    ++stack.back().count;
+    os << quote(k) << ": ";
+    pendingKey = true;
+    return *this;
+}
+
+Writer &
+Writer::raw(const std::string &token)
+{
+    if (!pendingKey) {
+        beforeItem();
+        if (!stack.empty())
+            ++stack.back().count;
+    }
+    pendingKey = false;
+    os << token;
+    return *this;
+}
+
+Writer &
+Writer::value(const std::string &s)
+{
+    return raw(quote(s));
+}
+
+Writer &
+Writer::value(const char *s)
+{
+    return raw(quote(s));
+}
+
+Writer &
+Writer::value(double v)
+{
+    return raw(num(v));
+}
+
+Writer &
+Writer::value(long v)
+{
+    return raw(std::to_string(v));
+}
+
+Writer &
+Writer::value(long long v)
+{
+    return raw(std::to_string(v));
+}
+
+Writer &
+Writer::value(int v)
+{
+    return raw(std::to_string(v));
+}
+
+Writer &
+Writer::value(bool v)
+{
+    return raw(v ? "true" : "false");
+}
+
+Writer &
+Writer::null()
+{
+    return raw("null");
+}
+
+// --------------------------------------------------------------------
+// Value / parse
+
+const Value *
+Value::find(const std::string &k) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &m : members)
+        if (m.first == k)
+            return &m.second;
+    return nullptr;
+}
+
+double
+Value::numberAt(const std::string &k, double fallback) const
+{
+    const Value *v = find(k);
+    return v && v->kind == Kind::Number ? v->number : fallback;
+}
+
+long
+Value::longAt(const std::string &k, long fallback) const
+{
+    const Value *v = find(k);
+    return v && v->kind == Kind::Number
+               ? static_cast<long>(std::llround(v->number))
+               : fallback;
+}
+
+std::string
+Value::stringAt(const std::string &k, const std::string &fallback) const
+{
+    const Value *v = find(k);
+    return v && v->kind == Kind::String ? v->str : fallback;
+}
+
+namespace
+{
+
+/** One-pass recursive-descent parser over the document bytes. Kept
+ *  strict (no comments, no trailing commas, no bare tokens) so the
+ *  parser accepts exactly what the test suite's RFC-8259 checker
+ *  does — a document the Writer emits must round-trip through here. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text(text) {}
+
+    Value
+    document()
+    {
+        Value v = value();
+        skipWs();
+        if (pos != text.size())
+            fail("trailing garbage after document");
+        return v;
+    }
+
+  private:
+    const std::string &text;
+    std::size_t pos = 0;
+
+    [[noreturn]] void
+    fail(const std::string &msg) const
+    {
+        throw UserError("json parse error at byte " +
+                        std::to_string(pos) + ": " + msg);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    char
+    peek()
+    {
+        if (pos >= text.size())
+            fail("unexpected end of input");
+        return text[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos;
+    }
+
+    bool
+    consumeWord(const char *w)
+    {
+        std::size_t n = 0;
+        while (w[n])
+            ++n;
+        if (text.compare(pos, n, w) != 0)
+            return false;
+        pos += n;
+        return true;
+    }
+
+    Value
+    value()
+    {
+        skipWs();
+        switch (peek()) {
+          case '{': return object();
+          case '[': return array();
+          case '"': {
+            Value v;
+            v.kind = Value::Kind::String;
+            v.str = string();
+            return v;
+          }
+          case 't':
+            if (!consumeWord("true"))
+                fail("bad token");
+            return boolean(true);
+          case 'f':
+            if (!consumeWord("false"))
+                fail("bad token");
+            return boolean(false);
+          case 'n':
+            if (!consumeWord("null"))
+                fail("bad token");
+            return Value();
+          default: return number();
+        }
+    }
+
+    static Value
+    boolean(bool b)
+    {
+        Value v;
+        v.kind = Value::Kind::Bool;
+        v.boolean = b;
+        return v;
+    }
+
+    Value
+    object()
+    {
+        expect('{');
+        Value v;
+        v.kind = Value::Kind::Object;
+        skipWs();
+        if (peek() == '}') {
+            ++pos;
+            return v;
+        }
+        for (;;) {
+            skipWs();
+            std::string k = string();
+            skipWs();
+            expect(':');
+            v.members.emplace_back(std::move(k), value());
+            skipWs();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    Value
+    array()
+    {
+        expect('[');
+        Value v;
+        v.kind = Value::Kind::Array;
+        skipWs();
+        if (peek() == ']') {
+            ++pos;
+            return v;
+        }
+        for (;;) {
+            v.items.push_back(value());
+            skipWs();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    int
+    hexDigit()
+    {
+        char c = peek();
+        ++pos;
+        if (c >= '0' && c <= '9')
+            return c - '0';
+        if (c >= 'a' && c <= 'f')
+            return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F')
+            return c - 'A' + 10;
+        fail("bad \\u escape");
+    }
+
+    void
+    appendUtf8(std::string &out, unsigned cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos >= text.size())
+                fail("unterminated string");
+            char c = text[pos++];
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            char e = peek();
+            ++pos;
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i)
+                    cp = cp * 16 + static_cast<unsigned>(hexDigit());
+                appendUtf8(out, cp);
+                break;
+              }
+              default: fail("bad escape character");
+            }
+        }
+    }
+
+    Value
+    number()
+    {
+        std::size_t start = pos;
+        if (peek() == '-')
+            ++pos;
+        if (pos >= text.size() || text[pos] < '0' || text[pos] > '9')
+            fail("bad number");
+        // Leading zero may not be followed by more digits (08 is not
+        // a JSON number).
+        if (text[pos] == '0' && pos + 1 < text.size() &&
+            text[pos + 1] >= '0' && text[pos + 1] <= '9')
+            fail("leading zero in number");
+        while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9')
+            ++pos;
+        if (pos < text.size() && text[pos] == '.') {
+            ++pos;
+            if (pos >= text.size() || text[pos] < '0' || text[pos] > '9')
+                fail("bad fraction");
+            while (pos < text.size() && text[pos] >= '0' &&
+                   text[pos] <= '9')
+                ++pos;
+        }
+        if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+            ++pos;
+            if (pos < text.size() &&
+                (text[pos] == '+' || text[pos] == '-'))
+                ++pos;
+            if (pos >= text.size() || text[pos] < '0' || text[pos] > '9')
+                fail("bad exponent");
+            while (pos < text.size() && text[pos] >= '0' &&
+                   text[pos] <= '9')
+                ++pos;
+        }
+        Value v;
+        v.kind = Value::Kind::Number;
+        v.number = std::strtod(text.c_str() + start, nullptr);
+        return v;
+    }
+};
+
+} // namespace
+
+Value
+parse(const std::string &text)
+{
+    return Parser(text).document();
 }
 
 } // namespace json

@@ -1,8 +1,9 @@
 /**
  * @file
- * Minimal JSON emission helpers shared by every machine-readable
- * exporter (the benchmark harness's BENCH_sim.json and the telemetry
- * layer's trace/stats documents).
+ * Minimal JSON emission and parsing shared by every machine-readable
+ * exporter (the benchmark harness's BENCH_sim.json, the telemetry
+ * layer's trace/stats documents, the partition decision trace, and
+ * the profiler's dsp-profile-v1 artifact).
  *
  * One escaping and one NaN-guard implementation: the historical bug
  * class this kills is an exporter hand-rolling its own number
@@ -10,12 +11,26 @@
  * parser accepts (see tests/bench/bench_json_test.cc). Every document
  * the repo writes must strict-parse, so every document goes through
  * these helpers.
+ *
+ * Writer adds the structural layer: a streaming emitter whose objects
+ * keep keys in exactly the order the caller wrote them (insertion
+ * order). Determinism is the point — two runs that compute the same
+ * data must produce byte-identical documents, so BENCH_sim.json and
+ * dsp-profile-v1 artifacts are textually diffable (pinned by
+ * tests/support/json_writer_test.cc).
+ *
+ * Value/parse is the read side, used by bench_diff to compare two
+ * BENCH_sim.json runs. Object members preserve document order.
  */
 
 #ifndef DSP_SUPPORT_JSON_HH
 #define DSP_SUPPORT_JSON_HH
 
+#include <cstdint>
+#include <iosfwd>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace dsp
 {
@@ -41,6 +56,135 @@ std::string quote(const std::string &s);
  * "inf"/"nan".
  */
 std::string num(double v);
+
+/**
+ * Streaming JSON emitter with deterministic (insertion-ordered) keys.
+ *
+ * Two block styles: Indented opens a block whose children each start
+ * on their own line (two-space indent per depth level); Inline keeps
+ * the whole block on one line (`{"name": "x", "count": 3}`) — the
+ * row format every existing exporter uses for leaf records. Empty
+ * blocks collapse to `{}` / `[]` in either style.
+ *
+ * The writer never reorders, dedups, or sorts: a key appears exactly
+ * where the caller emitted it, so a document's byte image is a pure
+ * function of the call sequence. Sortedness, where wanted (the stats
+ * counters object), is the caller's job.
+ */
+class Writer
+{
+  public:
+    enum class Block
+    {
+        Indented,
+        Inline,
+    };
+
+    explicit Writer(std::ostream &os) : os(os) {}
+
+    Writer &beginObject(Block style = Block::Indented);
+    Writer &endObject();
+    Writer &beginArray(Block style = Block::Indented);
+    Writer &endArray();
+
+    /** Emit the key of the next member (objects only): `"k": `. */
+    Writer &key(const std::string &k);
+
+    /// @name Scalar values (quoted/escaped/NaN-guarded as needed).
+    /// @{
+    Writer &value(const std::string &s);
+    Writer &value(const char *s);
+    Writer &value(double v);
+    Writer &value(long v);
+    Writer &value(long long v);
+    Writer &value(int v);
+    Writer &value(bool v);
+    Writer &null();
+    /** Emit @p token verbatim as a value — for callers with a pinned
+     *  numeric format (e.g. fixed-precision seconds) the generic
+     *  double path would alter. The token must be one valid JSON
+     *  value. */
+    Writer &raw(const std::string &token);
+    /// @}
+
+    /// @name key+value in one call, for terse exporters.
+    /// @{
+    template <typename T>
+    Writer &
+    field(const std::string &k, T v)
+    {
+        key(k);
+        return value(v);
+    }
+    /// @}
+
+  private:
+    struct Frame
+    {
+        bool isObject = false;
+        Block style = Block::Indented;
+        long count = 0;
+    };
+
+    std::ostream &os;
+    std::vector<Frame> stack;
+    bool pendingKey = false;
+
+    void beforeItem();
+    void indent(std::size_t depth);
+    void open(char c, bool is_object, Block style);
+    void close(char c);
+};
+
+/**
+ * A parsed JSON value. Object members keep document order, so a
+ * document written by Writer and re-parsed preserves the writer's
+ * insertion order.
+ */
+struct Value
+{
+    enum class Kind : unsigned char
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Object,
+        Array,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<std::pair<std::string, Value>> members; ///< objects
+    std::vector<Value> items;                           ///< arrays
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+
+    /** Member lookup (first match); nullptr when absent or not an
+     *  object. */
+    const Value *find(const std::string &k) const;
+
+    /** The member's number, or @p fallback when absent / non-numeric. */
+    double numberAt(const std::string &k, double fallback = 0.0) const;
+    /** numberAt, rounded to long (counters, cycle counts). */
+    long longAt(const std::string &k, long fallback = 0) const;
+    /** The member's string, or @p fallback when absent / non-string. */
+    std::string stringAt(const std::string &k,
+                         const std::string &fallback = "") const;
+};
+
+/**
+ * Parse @p text as one JSON document (RFC-8259 grammar; `null` is a
+ * Value of Kind::Null, never an error). Throws UserError with the
+ * byte position on malformed input or trailing garbage.
+ */
+Value parse(const std::string &text);
 
 } // namespace json
 } // namespace dsp

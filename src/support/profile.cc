@@ -1,0 +1,215 @@
+#include "support/profile.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "support/json.hh"
+
+namespace dsp
+{
+
+namespace
+{
+
+std::string
+blockName(const BlockProfileRow &r)
+{
+    return r.function + ".bb" + std::to_string(r.blockId);
+}
+
+std::string
+pct(long part, long whole)
+{
+    char buf[32];
+    double v = whole > 0 ? 100.0 * static_cast<double>(part) /
+                               static_cast<double>(whole)
+                         : 0.0;
+    std::snprintf(buf, sizeof(buf), "%5.1f%%", v);
+    return buf;
+}
+
+/** Left-pad @p s to @p width (right-align a numeric column). */
+std::string
+rpad(const std::string &s, std::size_t width)
+{
+    return s.size() >= width ? s
+                             : std::string(width - s.size(), ' ') + s;
+}
+
+std::string
+lpad(const std::string &s, std::size_t width)
+{
+    return s.size() >= width ? s
+                             : s + std::string(width - s.size(), ' ');
+}
+
+} // namespace
+
+void
+writeProfileJson(std::ostream &os, const ProgramProfile &p)
+{
+    json::Writer w(os);
+    w.beginObject();
+    w.field("schema", "dsp-profile-v1");
+    w.field("program", p.program);
+    w.field("mode", p.mode);
+    w.field("total_cycles", p.totalCycles);
+    w.key("blocks").beginArray();
+    for (const BlockProfileRow &r : p.blocks) {
+        w.beginObject(json::Writer::Block::Inline);
+        w.field("function", r.function);
+        w.field("block", r.blockId);
+        w.field("executions", r.executions);
+        w.field("cycles", r.cycles);
+        w.field("ops", r.ops);
+        w.field("mem_ops", r.memOps);
+        w.key("mem_width_cycles").beginArray(json::Writer::Block::Inline);
+        for (long c : r.memWidthCycles)
+            w.value(c);
+        w.endArray();
+        w.key("bank_ops").beginArray(json::Writer::Block::Inline);
+        for (long c : r.bankOps)
+            w.value(c);
+        w.endArray();
+        w.key("conflict_cycles").beginArray(json::Writer::Block::Inline);
+        for (long c : r.conflictCycles)
+            w.value(c);
+        w.endArray();
+        w.field("dup_store_ops", r.dupStoreOps);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << '\n';
+}
+
+std::string
+profileJson(const ProgramProfile &p)
+{
+    std::ostringstream os;
+    writeProfileJson(os, p);
+    return os.str();
+}
+
+std::string
+profileReport(const ProgramProfile &p)
+{
+    std::ostringstream os;
+    os << "profile: " << p.program << " (mode " << p.mode << ", "
+       << p.totalCycles << " cycles, " << p.blocks.size()
+       << " blocks)\n";
+    if (p.blocks.empty())
+        return os.str();
+
+    // Name column wide enough for the longest block name.
+    std::size_t name_w = 5;
+    for (const BlockProfileRow &r : p.blocks)
+        name_w = std::max(name_w, blockName(r).size());
+
+    // ---- hot-block ranking -------------------------------------
+    std::vector<const BlockProfileRow *> by_cycles;
+    for (const BlockProfileRow &r : p.blocks)
+        by_cycles.push_back(&r);
+    std::stable_sort(by_cycles.begin(), by_cycles.end(),
+                     [](const BlockProfileRow *a,
+                        const BlockProfileRow *b) {
+                         return a->cycles > b->cycles;
+                     });
+
+    os << "\nhot blocks (by cycles):\n";
+    os << "  rank  " << lpad("block", name_w)
+       << "       cycles   share     cum        execs  mem/cycle\n";
+    long cum = 0;
+    int rank = 0;
+    for (const BlockProfileRow *r : by_cycles) {
+        cum += r->cycles;
+        ++rank;
+        double mem_per_cycle =
+            r->cycles > 0 ? static_cast<double>(r->memOps) /
+                                static_cast<double>(r->cycles)
+                          : 0.0;
+        char mpc[16];
+        std::snprintf(mpc, sizeof(mpc), "%.2f", mem_per_cycle);
+        os << rpad(std::to_string(rank), 6) << "  "
+           << lpad(blockName(*r), name_w) << "  "
+           << rpad(std::to_string(r->cycles), 11) << "  "
+           << pct(r->cycles, p.totalCycles) << "  "
+           << pct(cum, p.totalCycles) << "  "
+           << rpad(std::to_string(r->executions), 11) << "  "
+           << rpad(mpc, 9) << "\n";
+    }
+
+    // ---- per-function shares -----------------------------------
+    // Rows are sorted by (function, blockId), so functions form
+    // contiguous runs.
+    os << "\nfunction cycle shares:\n";
+    for (std::size_t i = 0; i < p.blocks.size();) {
+        const std::string &fn = p.blocks[i].function;
+        long fn_cycles = 0;
+        std::size_t j = i;
+        for (; j < p.blocks.size() && p.blocks[j].function == fn; ++j)
+            fn_cycles += p.blocks[j].cycles;
+        os << "  " << lpad(fn, name_w) << "  "
+           << rpad(std::to_string(fn_cycles), 11) << "  "
+           << pct(fn_cycles, p.totalCycles) << "\n";
+        i = j;
+    }
+
+    // ---- bank-conflict heatmap ---------------------------------
+    long total_conf = 0;
+    bool any_mem = false;
+    for (const BlockProfileRow &r : p.blocks) {
+        total_conf += r.conflictCycles[0] + r.conflictCycles[1];
+        any_mem = any_mem || r.memOps > 0;
+    }
+    os << "\nbank traffic and conflicts (X / Y):\n";
+    if (!any_mem) {
+        os << "  (no data-memory traffic)\n";
+    } else {
+        os << "  " << lpad("block", name_w)
+           << "        X ops        Y ops   confl X   confl Y\n";
+        for (const BlockProfileRow &r : p.blocks) {
+            if (r.memOps == 0)
+                continue;
+            os << "  " << lpad(blockName(r), name_w) << "  "
+               << rpad(std::to_string(r.bankOps[0]), 11) << "  "
+               << rpad(std::to_string(r.bankOps[1]), 11) << "  "
+               << rpad(std::to_string(r.conflictCycles[0]), 8) << "  "
+               << rpad(std::to_string(r.conflictCycles[1]), 8) << "\n";
+        }
+        if (total_conf == 0)
+            os << "  no same-bank conflict cycles (banked "
+                  "configurations are conflict-free by "
+                  "construction)\n";
+    }
+
+    // ---- dup-store overhead ------------------------------------
+    long total_dup = 0, total_mem = 0;
+    for (const BlockProfileRow &r : p.blocks) {
+        total_dup += r.dupStoreOps;
+        total_mem += r.memOps;
+    }
+    os << "\nduplicated-store overhead:\n";
+    if (total_dup == 0) {
+        os << "  none (no stores to duplicated objects)\n";
+    } else {
+        os << "  " << lpad("block", name_w)
+           << "  dup stores  extra stores   of mem ops\n";
+        for (const BlockProfileRow &r : p.blocks) {
+            if (r.dupStoreOps == 0)
+                continue;
+            os << "  " << lpad(blockName(r), name_w) << "  "
+               << rpad(std::to_string(r.dupStoreOps), 10) << "  "
+               << rpad(std::to_string(r.dupStoreOps / 2), 12) << "  "
+               << rpad(pct(r.dupStoreOps, r.memOps), 11) << "\n";
+        }
+        os << "  total: " << total_dup / 2
+           << " extra stores (dup traffic is "
+           << pct(total_dup, total_mem) << " of all memory ops)\n";
+    }
+    return os.str();
+}
+
+} // namespace dsp

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Per-block execution profile: the data model behind `dspcc
+ * --profile-out` and the observability layer the planned template-JIT
+ * tier will consume for hot-block selection.
+ *
+ * The paper's evaluation is a cost/benefit accounting of memory-bank
+ * behavior; aggregate SimStats say *how much* a binary spends, this
+ * profile says *where*: cycles, memory-width mix, per-bank traffic,
+ * same-bank conflict cycles, and duplicated-store overhead, attributed
+ * to (function, basic block). Rows are engine-independent — the
+ * instrumented and fast engines must produce byte-identical
+ * dsp-profile-v1 artifacts (pinned by tests/obs/profile_test.cc and
+ * tests/sim/stats_fidelity_test.cc).
+ *
+ * The struct layer is simulator-agnostic on purpose: the Simulator
+ * fills it (Simulator::blockProfile()), this file only models and
+ * renders it, so report/JSON formatting stays testable without a
+ * simulation run.
+ */
+
+#ifndef DSP_SUPPORT_PROFILE_HH
+#define DSP_SUPPORT_PROFILE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dsp
+{
+
+/** One basic block's share of a simulation run. */
+struct BlockProfileRow
+{
+    std::string function;
+    int blockId = 0;
+
+    /** Times the block was entered (max per-instruction execution
+     *  count over the block — robust to partially-executed tails). */
+    long executions = 0;
+    /** Cycles spent in the block (one per executed instruction). */
+    long cycles = 0;
+    /** Operations executed (slots actually filled). */
+    long ops = 0;
+    /** Data-memory accesses issued. */
+    long memOps = 0;
+    /** Cycles by data-memory width: [no access, single, paired]. */
+    long memWidthCycles[3] = {0, 0, 0};
+    /** Accesses that resolved to bank X / bank Y at runtime. */
+    long bankOps[2] = {0, 0};
+    /** Cycles in which ≥2 accesses resolved to the same bank, per
+     *  bank. Structurally zero in banked configurations (the port
+     *  check forbids them); nonzero only under the dual-ported Ideal
+     *  machine, where they mark the accesses a real part would
+     *  serialize. */
+    long conflictCycles[2] = {0, 0};
+    /** Store operations into duplicated objects. Every logical store
+     *  to a duplicated object issues twice (once per copy), so
+     *  dupStoreOps/2 is the count of extra stores paid for
+     *  duplication. */
+    long dupStoreOps = 0;
+};
+
+/**
+ * A whole run's block profile, rows sorted by (function, blockId) so
+ * the JSON artifact is deterministic and diffable.
+ */
+struct ProgramProfile
+{
+    /** Source file or benchmark name (caller-provided context). */
+    std::string program;
+    /** Allocation mode the binary was compiled under. */
+    std::string mode;
+    /** stats().cycles of the run; equals the sum of row cycles. */
+    long totalCycles = 0;
+    std::vector<BlockProfileRow> blocks;
+
+    bool empty() const { return blocks.empty(); }
+};
+
+/** Write @p p as a dsp-profile-v1 JSON document to @p os. The
+ *  document deliberately has no engine field: both engines must emit
+ *  identical bytes. */
+void writeProfileJson(std::ostream &os, const ProgramProfile &p);
+
+/** writeProfileJson into a string. */
+std::string profileJson(const ProgramProfile &p);
+
+/**
+ * Human-readable report: hot-block ranking with cycle shares and
+ * cumulative coverage, per-function cycle shares, a bank-conflict
+ * heatmap (bank traffic and same-bank conflict cycles by block), and
+ * duplicated-store overhead attribution.
+ */
+std::string profileReport(const ProgramProfile &p);
+
+} // namespace dsp
+
+#endif // DSP_SUPPORT_PROFILE_HH

@@ -26,18 +26,17 @@ thisThreadId()
 }
 
 void
-emitArgs(std::ostream &os, const std::vector<TraceArg> &args)
+emitArgs(json::Writer &w, const std::vector<TraceArg> &args)
 {
-    os << "{";
-    for (std::size_t i = 0; i < args.size(); ++i) {
-        const TraceArg &a = args[i];
-        os << (i ? ", " : "") << json::quote(a.key) << ": ";
+    w.beginObject(json::Writer::Block::Inline);
+    for (const TraceArg &a : args) {
+        w.key(a.key);
         if (a.isString)
-            os << json::quote(a.sval);
+            w.value(a.sval);
         else
-            os << a.nval;
+            w.value(a.nval);
     }
-    os << "}";
+    w.endObject();
 }
 
 } // namespace
@@ -155,27 +154,32 @@ void
 TraceSession::writeChromeTrace(std::ostream &os) const
 {
     std::vector<TraceEvent> snapshot = events();
-    os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
-    for (std::size_t i = 0; i < snapshot.size(); ++i) {
-        const TraceEvent &e = snapshot[i];
-        os << (i ? ",\n    " : "\n    ");
-        os << "{\"name\": " << json::quote(e.name)
-           << ", \"cat\": " << json::quote(e.category)
-           << ", \"ph\": "
-           << (e.phase == TraceEvent::Phase::Complete ? "\"X\"" : "\"i\"")
-           << ", \"pid\": 1, \"tid\": " << e.tid
-           << ", \"ts\": " << json::num(e.tsUs);
-        if (e.phase == TraceEvent::Phase::Complete)
-            os << ", \"dur\": " << json::num(e.durUs);
+    json::Writer w(os);
+    w.beginObject();
+    w.field("displayTimeUnit", "ms");
+    w.key("traceEvents").beginArray();
+    for (const TraceEvent &e : snapshot) {
+        bool complete = e.phase == TraceEvent::Phase::Complete;
+        w.beginObject(json::Writer::Block::Inline);
+        w.field("name", e.name);
+        w.field("cat", e.category);
+        w.field("ph", complete ? "X" : "i");
+        w.field("pid", 1);
+        w.field("tid", e.tid);
+        w.field("ts", e.tsUs);
+        if (complete)
+            w.field("dur", e.durUs);
         else
-            os << ", \"s\": \"t\""; // thread-scoped instant
+            w.field("s", "t"); // thread-scoped instant
         if (!e.args.empty()) {
-            os << ", \"args\": ";
-            emitArgs(os, e.args);
+            w.key("args");
+            emitArgs(w, e.args);
         }
-        os << "}";
+        w.endObject();
     }
-    os << "\n  ]\n}\n";
+    w.endArray();
+    w.endObject();
+    os << '\n';
 }
 
 void
@@ -207,24 +211,28 @@ TraceSession::writeStats(std::ostream &os) const
         agg.maxUs = std::max(agg.maxUs, e.durUs);
     }
 
-    os << "{\n  \"schema\": \"dsp-stats-v1\",\n";
-    os << "  \"counters\": {";
-    std::map<std::string, long> counts = registry.snapshot();
-    std::size_t i = 0;
-    for (const auto &[name, value] : counts) {
-        os << (i++ ? ",\n    " : "\n    ") << json::quote(name) << ": "
-           << value;
-    }
-    os << (counts.empty() ? "" : "\n  ") << "},\n";
-    os << "  \"spans\": [";
-    i = 0;
+    json::Writer w(os);
+    w.beginObject();
+    w.field("schema", "dsp-stats-v1");
+    // Counters are a flat sorted object (std::map iteration order),
+    // spans aggregate by name, sorted — the writer preserves exactly
+    // that insertion order.
+    w.key("counters").beginObject();
+    for (const auto &[name, value] : registry.snapshot())
+        w.field(name, value);
+    w.endObject();
+    w.key("spans").beginArray();
     for (const auto &[name, agg] : spans) {
-        os << (i++ ? ",\n    " : "\n    ") << "{\"name\": "
-           << json::quote(name) << ", \"count\": " << agg.count
-           << ", \"total_us\": " << json::num(agg.totalUs)
-           << ", \"max_us\": " << json::num(agg.maxUs) << "}";
+        w.beginObject(json::Writer::Block::Inline);
+        w.field("name", name);
+        w.field("count", agg.count);
+        w.field("total_us", agg.totalUs);
+        w.field("max_us", agg.maxUs);
+        w.endObject();
     }
-    os << (spans.empty() ? "" : "\n  ") << "]\n}\n";
+    w.endArray();
+    w.endObject();
+    os << '\n';
 }
 
 void

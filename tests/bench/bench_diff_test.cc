@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Pins the bench_diff comparison engine on synthetic BENCH_sim.json
+ * documents: self-comparison is clean, a seeded cycle increase is a
+ * regression and a decrease an improvement, host-timing noise is
+ * thresholded rather than exact, error rows and row-set changes are
+ * surfaced, and runs made under different instrumentation flags are
+ * refused as incomparable. The real-sweep counterpart is the perf
+ * tier (tests/bench/perf_regression_test.cc).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common.hh"
+#include "diff.hh"
+#include "support/json_checker.hh"
+
+namespace dsp
+{
+namespace bench
+{
+namespace
+{
+
+Measurement
+meas(long cycles, long cost)
+{
+    Measurement m;
+    m.cycles = cycles;
+    m.cost.insts = static_cast<int>(cost); // cost_total = insts alone
+    return m;
+}
+
+std::vector<BenchResult>
+syntheticResults()
+{
+    BenchResult fir;
+    fir.name = "fir_256_64";
+    fir.label = "k3";
+    fir.base = meas(1000, 300);
+    fir.cb = meas(700, 300);
+    fir.pr = meas(700, 300);
+    fir.dup = meas(690, 320);
+    fir.fullDup = meas(680, 600);
+    fir.ideal = meas(670, 300);
+    fir.compileSeconds = 1.0;
+    fir.simSeconds = 2.0;
+    fir.simCycles = 4440;
+
+    BenchResult lpc = fir;
+    lpc.name = "lpc";
+    lpc.label = "a2";
+    lpc.cb = meas(5000, 400);
+    return {fir, lpc};
+}
+
+std::string
+render(const std::vector<BenchResult> &results,
+       const BenchRunFlags &flags = {})
+{
+    std::ostringstream os;
+    writeBenchJson(os, "synthetic", results, 3.0, 2, flags);
+    return os.str();
+}
+
+TEST(BenchDiff, SelfComparisonIsClean)
+{
+    std::string doc = render(syntheticResults());
+    DiffResult d = diffBenchReports(doc, doc);
+    EXPECT_FALSE(d.incomparable);
+    EXPECT_FALSE(d.regressed());
+    EXPECT_TRUE(d.regressions.empty());
+    EXPECT_TRUE(d.improvements.empty());
+    EXPECT_TRUE(d.timingShifts.empty());
+    EXPECT_TRUE(d.notes.empty());
+    EXPECT_EQ(d.rowsCompared, 2);
+    // sim_cycles + 6 modes x {cycles, cost_total} per row.
+    EXPECT_EQ(d.metricsCompared, 2 * 13);
+}
+
+TEST(BenchDiff, CycleIncreaseIsARegression)
+{
+    std::vector<BenchResult> before = syntheticResults();
+    std::vector<BenchResult> after = before;
+    after[0].cb.cycles += 50;
+
+    DiffResult d = diffBenchReports(render(before), render(after));
+    ASSERT_EQ(d.regressions.size(), 1u);
+    EXPECT_EQ(d.regressions[0].name, "fir_256_64");
+    EXPECT_EQ(d.regressions[0].metric, "cb.cycles");
+    EXPECT_EQ(d.regressions[0].delta(), 50);
+    EXPECT_TRUE(d.regressed());
+
+    // The same delta in the other direction is an improvement, not a
+    // failure.
+    DiffResult up = diffBenchReports(render(after), render(before));
+    EXPECT_FALSE(up.regressed());
+    ASSERT_EQ(up.improvements.size(), 1u);
+    EXPECT_EQ(up.improvements[0].delta(), -50);
+}
+
+TEST(BenchDiff, CostIncreaseIsARegression)
+{
+    std::vector<BenchResult> before = syntheticResults();
+    std::vector<BenchResult> after = before;
+    after[1].fullDup.cost.insts += 8;
+    DiffResult d = diffBenchReports(render(before), render(after));
+    ASSERT_EQ(d.regressions.size(), 1u);
+    EXPECT_EQ(d.regressions[0].metric, "full_dup.cost_total");
+}
+
+TEST(BenchDiff, HostTimingIsThresholdedNotExact)
+{
+    std::vector<BenchResult> before = syntheticResults();
+    std::vector<BenchResult> after = before;
+    after[0].compileSeconds = 1.2; // +20%: noise
+    after[1].simSeconds = 3.0;     // +50%: a shift
+
+    DiffResult d = diffBenchReports(render(before), render(after));
+    EXPECT_FALSE(d.regressed()) << "timing never fails by default";
+    ASSERT_EQ(d.timingShifts.size(), 1u);
+    EXPECT_EQ(d.timingShifts[0].name, "lpc");
+    EXPECT_EQ(d.timingShifts[0].metric, "sim_seconds");
+    EXPECT_NEAR(d.timingShifts[0].relChange, 0.5, 1e-9);
+
+    DiffOptions strict;
+    strict.failOnTiming = true;
+    DiffResult ds =
+        diffBenchReports(render(before), render(after), strict);
+    EXPECT_TRUE(ds.regressed(strict));
+
+    DiffOptions loose;
+    loose.timingThreshold = 0.75;
+    DiffResult dl =
+        diffBenchReports(render(before), render(after), loose);
+    EXPECT_TRUE(dl.timingShifts.empty());
+}
+
+TEST(BenchDiff, InstrumentationFlagMismatchIsIncomparable)
+{
+    BenchRunFlags traced;
+    traced.traced = true;
+    DiffResult d = diffBenchReports(render(syntheticResults()),
+                                    render(syntheticResults(), traced));
+    EXPECT_TRUE(d.incomparable);
+    EXPECT_NE(d.incomparableReason.find("traced"), std::string::npos);
+    EXPECT_EQ(d.rowsCompared, 0);
+    // Incomparable dominates the exit verdict (bench_diff exits 3).
+    EXPECT_FALSE(d.regressed());
+}
+
+TEST(BenchDiff, MalformedJsonIsIncomparable)
+{
+    DiffResult d =
+        diffBenchReports(render(syntheticResults()), "not json");
+    EXPECT_TRUE(d.incomparable);
+    EXPECT_NE(d.incomparableReason.find("json parse error"),
+              std::string::npos);
+}
+
+TEST(BenchDiff, ErrorRowIsARegressionAndANote)
+{
+    std::vector<BenchResult> before = syntheticResults();
+    std::vector<BenchResult> after = before;
+    after[1].error = "machine fault: unmapped address";
+
+    DiffResult d = diffBenchReports(render(before), render(after));
+    EXPECT_TRUE(d.regressed());
+    ASSERT_EQ(d.regressions.size(), 1u);
+    EXPECT_EQ(d.regressions[0].name, "lpc");
+    EXPECT_EQ(d.regressions[0].metric, "status");
+    ASSERT_EQ(d.notes.size(), 1u);
+    EXPECT_NE(d.notes[0].what.find("regressed to error"),
+              std::string::npos);
+    // Only the healthy row was compared.
+    EXPECT_EQ(d.rowsCompared, 1);
+
+    // The reverse direction (error fixed) is not a regression.
+    DiffResult fixed = diffBenchReports(render(after), render(before));
+    EXPECT_FALSE(fixed.regressed());
+    ASSERT_EQ(fixed.notes.size(), 1u);
+    EXPECT_EQ(fixed.notes[0].what, "error fixed");
+}
+
+TEST(BenchDiff, RowSetChangesAreNotes)
+{
+    std::vector<BenchResult> before = syntheticResults();
+    std::vector<BenchResult> after = {before[0]};
+    DiffResult d = diffBenchReports(render(before), render(after));
+    EXPECT_FALSE(d.regressed())
+        << "a removed row is surfaced, not silently failed";
+    ASSERT_EQ(d.notes.size(), 1u);
+    EXPECT_EQ(d.notes[0].name, "lpc");
+    EXPECT_NE(d.notes[0].what.find("missing"), std::string::npos);
+}
+
+TEST(BenchDiff, VerdictRenderingsAreWellFormed)
+{
+    std::vector<BenchResult> before = syntheticResults();
+    std::vector<BenchResult> after = before;
+    after[0].cb.cycles += 1;
+    DiffOptions opts;
+    DiffResult d = diffBenchReports(render(before), render(after), opts);
+
+    std::string json = diffJson(d, opts);
+    testing::JsonChecker checker;
+    EXPECT_TRUE(checker.parse(json)) << checker.error;
+    EXPECT_TRUE(checker.sawString("dsp-bench-diff-v1"));
+    EXPECT_TRUE(checker.sawString("regression"));
+    EXPECT_TRUE(checker.sawString("cb.cycles"));
+
+    std::string md = diffMarkdown(d, opts);
+    EXPECT_NE(md.find("REGRESSION"), std::string::npos);
+    EXPECT_NE(md.find("| fir_256_64 | cb.cycles | 700 | 701 | +1 |"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace bench
+} // namespace dsp

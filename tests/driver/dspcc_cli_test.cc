@@ -46,28 +46,34 @@ struct TempFile
 struct CliResult
 {
     int exitCode = -1;
+    std::string stdoutText;
     std::string stderrText;
 };
 
-/** Run dspcc with @p args, capturing the exit code and stderr. The
- *  capture file is keyed by PID: ctest runs each TEST as its own
- *  process, concurrently, in one working directory. */
+/** Run dspcc with @p args, capturing the exit code and both output
+ *  streams. The capture files are keyed by PID: ctest runs each TEST
+ *  as its own process, concurrently, in one working directory. */
 CliResult
 runDspcc(const std::string &args)
 {
-    std::string err_path = "dspcc_cli_test_stderr." +
-                           std::to_string(::getpid()) + ".txt";
-    std::string cmd = std::string(DSPCC_BIN) + " " + args +
-                      " >/dev/null 2>" + err_path;
+    std::string key = std::to_string(::getpid());
+    std::string out_path = "dspcc_cli_test_stdout." + key + ".txt";
+    std::string err_path = "dspcc_cli_test_stderr." + key + ".txt";
+    std::string cmd = std::string(DSPCC_BIN) + " " + args + " >" +
+                      out_path + " 2>" + err_path;
     int status = std::system(cmd.c_str());
 
     CliResult r;
     r.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
-    std::ifstream in(err_path);
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    r.stderrText = ss.str();
-    std::remove(err_path.c_str());
+    auto slurp = [](const std::string &path) {
+        std::ifstream in(path);
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        std::remove(path.c_str());
+        return ss.str();
+    };
+    r.stdoutText = slurp(out_path);
+    r.stderrText = slurp(err_path);
     return r;
 }
 
@@ -207,6 +213,85 @@ TEST(DspccCli, EmptyTelemetryPathIsBadUsage)
 {
     EXPECT_EQ(runDspcc("--trace-out= whatever.c").exitCode, 1);
     EXPECT_EQ(runDspcc("--stats-out= whatever.c").exitCode, 1);
+    EXPECT_EQ(runDspcc("--profile-out= whatever.c").exitCode, 1);
+}
+
+TEST(DspccCli, DashOutputPathMeansStdout)
+{
+    TempFile src("dspcc_cli_dash.c", kGoodProgram);
+    CliResult r = runDspcc("--stats-out=- " + src.path);
+    EXPECT_EQ(r.exitCode, 0) << r.stderrText;
+    EXPECT_NE(r.stdoutText.find("\"dsp-stats-v1\""), std::string::npos)
+        << r.stdoutText;
+
+    r = runDspcc("--trace-out=- " + src.path);
+    EXPECT_EQ(r.exitCode, 0) << r.stderrText;
+    EXPECT_NE(r.stdoutText.find("\"traceEvents\""), std::string::npos)
+        << r.stdoutText;
+}
+
+const char *const kLoopProgram =
+    "int a[8]; int b[8];\n"
+    "void main() {\n"
+    "    int s = 0;\n"
+    "    for (int i = 0; i < 8; i++) { a[i] = i; b[i] = i + 1; }\n"
+    "    for (int i = 0; i < 8; i++) s = s + a[i] * b[i];\n"
+    "    out(s);\n"
+    "}\n";
+
+/** @p text without the `[MODE] ... cycles` summary lines dspcc always
+ *  prints, leaving only the requested document. */
+std::string
+withoutSummaryLines(const std::string &text)
+{
+    std::istringstream in(text);
+    std::ostringstream out;
+    std::string line;
+    while (std::getline(in, line))
+        if (line.empty() || line[0] != '[')
+            out << line << '\n';
+    return out.str();
+}
+
+TEST(DspccCli, ProfileOutDashEmitsTheArtifactOnStdout)
+{
+    TempFile src("dspcc_cli_prof.c", kLoopProgram);
+    CliResult r = runDspcc("--profile-out=- " + src.path);
+    EXPECT_EQ(r.exitCode, 0) << r.stderrText;
+    EXPECT_NE(r.stdoutText.find("\"dsp-profile-v1\""),
+              std::string::npos)
+        << r.stdoutText;
+    EXPECT_NE(r.stdoutText.find("\"blocks\""), std::string::npos);
+}
+
+TEST(DspccCli, ProfileIsIdenticalAcrossEngines)
+{
+    TempFile src("dspcc_cli_prof_eng.c", kLoopProgram);
+    CliResult fast =
+        runDspcc("--fidelity=fast --profile-out=- " + src.path);
+    CliResult instrumented =
+        runDspcc("--fidelity=instrumented --profile-out=- " + src.path);
+    EXPECT_EQ(fast.exitCode, 0) << fast.stderrText;
+    EXPECT_EQ(instrumented.exitCode, 0) << instrumented.stderrText;
+    EXPECT_EQ(withoutSummaryLines(fast.stdoutText),
+              withoutSummaryLines(instrumented.stdoutText));
+}
+
+TEST(DspccCli, ProfileReportPrintsTheRanking)
+{
+    TempFile src("dspcc_cli_prof_rep.c", kLoopProgram);
+    CliResult r = runDspcc("--profile-report " + src.path);
+    EXPECT_EQ(r.exitCode, 0) << r.stderrText;
+    EXPECT_NE(r.stdoutText.find("hot blocks (by cycles):"),
+              std::string::npos)
+        << r.stdoutText;
+    EXPECT_NE(r.stdoutText.find("bank traffic and conflicts"),
+              std::string::npos);
+}
+
+TEST(DspccCli, BadFidelityIsBadUsage)
+{
+    EXPECT_EQ(runDspcc("--fidelity=bogus whatever.c").exitCode, 1);
 }
 
 TEST(DspccCli, InjectedSimMemFaultIsAMachineFault)

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Acceptance test for the dsp-profile-v1 artifact on a real paper
+ * workload: profiling the fig8 `lpc` application must rank its
+ * autocorrelation inner loop first by cycles, produce byte-identical
+ * artifacts from both simulator engines, and satisfy the profile's
+ * arithmetic identities (cycle partition, bank-traffic coverage,
+ * conflict-freedom of banked configurations, duplication overhead).
+ * Also pins the human-readable report's sections on a synthetic
+ * profile, so formatting stays testable without a simulation run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "driver/compiler.hh"
+#include "suite/suite.hh"
+#include "support/profile.hh"
+#include "support/json_checker.hh"
+
+namespace dsp
+{
+namespace
+{
+
+ProgramProfile
+profileLpc(Fidelity fid, AllocMode mode)
+{
+    const Benchmark *lpc = findBenchmark("lpc");
+    EXPECT_NE(lpc, nullptr);
+    CompileOptions opts;
+    opts.mode = mode;
+    CompileResult compiled = compileSource(lpc->source, opts);
+    RunResult run = runProgram(compiled, lpc->input, 200'000'000, fid,
+                               /*collectBlockProfile=*/true);
+    EXPECT_EQ(run.output.size(), lpc->expected.size());
+    for (std::size_t i = 0; i < run.output.size() &&
+                            i < lpc->expected.size();
+         ++i)
+        EXPECT_EQ(run.output[i].raw, lpc->expected[i]) << "word " << i;
+    ProgramProfile p = run.blockProfile;
+    p.program = "lpc";
+    p.mode = allocModeName(mode);
+    return p;
+}
+
+TEST(Profile, LpcEnginesEmitIdenticalArtifacts)
+{
+    ProgramProfile ref = profileLpc(Fidelity::Instrumented,
+                                    AllocMode::CB);
+    ProgramProfile fast = profileLpc(Fidelity::Fast, AllocMode::CB);
+    EXPECT_EQ(profileJson(ref), profileJson(fast));
+
+    testing::JsonChecker checker;
+    EXPECT_TRUE(checker.parse(profileJson(ref))) << checker.error;
+    EXPECT_TRUE(checker.sawString("dsp-profile-v1"));
+    // No engine field: the artifact must not leak which engine ran.
+    EXPECT_EQ(profileJson(ref).find("engine"), std::string::npos);
+}
+
+TEST(Profile, LpcHotBlockIsTheAutocorrelationLoop)
+{
+    ProgramProfile p = profileLpc(Fidelity::Fast, AllocMode::CB);
+    ASSERT_FALSE(p.empty());
+
+    std::vector<BlockProfileRow> ranked = p.blocks;
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const BlockProfileRow &a,
+                        const BlockProfileRow &b) {
+                         return a.cycles > b.cycles;
+                     });
+    // lpc's autocorrelation inner loop runs (N-P)(P+1) times per
+    // frame — thousands of iterations, an order of magnitude beyond
+    // every other loop. The top-ranked block must be it.
+    EXPECT_GT(ranked[0].executions, 1000);
+    ASSERT_GT(ranked.size(), 1u);
+    EXPECT_GT(ranked[0].cycles, ranked[1].cycles);
+}
+
+TEST(Profile, LpcProfileIdentitiesHold)
+{
+    for (AllocMode mode : {AllocMode::SingleBank, AllocMode::CB,
+                           AllocMode::FullDup, AllocMode::Ideal}) {
+        ProgramProfile p = profileLpc(Fidelity::Fast, mode);
+        long cycle_sum = 0, mem_sum = 0, bank_sum = 0;
+        for (const BlockProfileRow &r : p.blocks) {
+            cycle_sum += r.cycles;
+            mem_sum += r.memOps;
+            bank_sum += r.bankOps[0] + r.bankOps[1];
+            // Width histogram partitions the block's cycles and
+            // reproduces its access count.
+            EXPECT_EQ(r.memWidthCycles[0] + r.memWidthCycles[1] +
+                          r.memWidthCycles[2],
+                      r.cycles);
+            EXPECT_EQ(r.memWidthCycles[1] + 2 * r.memWidthCycles[2],
+                      r.memOps);
+            if (mode != AllocMode::Ideal) {
+                // Banked configurations are conflict-free by
+                // construction (the port check forbids same-bank
+                // pairs).
+                EXPECT_EQ(r.conflictCycles[0], 0);
+                EXPECT_EQ(r.conflictCycles[1], 0);
+            }
+        }
+        // Attribution is exhaustive, and every access resolved to
+        // exactly one bank.
+        EXPECT_EQ(cycle_sum, p.totalCycles);
+        EXPECT_EQ(bank_sum, mem_sum);
+
+        if (mode == AllocMode::SingleBank) {
+            // Everything lives in bank X by definition.
+            long y = 0;
+            for (const BlockProfileRow &r : p.blocks)
+                y += r.bankOps[1];
+            EXPECT_EQ(y, 0);
+        }
+    }
+}
+
+TEST(Profile, LpcFullDuplicationPaysVisibleStoreOverhead)
+{
+    ProgramProfile p = profileLpc(Fidelity::Fast, AllocMode::FullDup);
+    long dup_stores = 0;
+    for (const BlockProfileRow &r : p.blocks)
+        dup_stores += r.dupStoreOps;
+    EXPECT_GT(dup_stores, 0)
+        << "full duplication must attribute duplicated stores";
+}
+
+TEST(Profile, ReportRendersEverySection)
+{
+    ProgramProfile p;
+    p.program = "synthetic";
+    p.mode = "CB";
+    p.totalCycles = 130;
+    BlockProfileRow hot;
+    hot.function = "main";
+    hot.blockId = 2;
+    hot.executions = 10;
+    hot.cycles = 100;
+    hot.ops = 300;
+    hot.memOps = 120;
+    hot.memWidthCycles[1] = 40;
+    hot.memWidthCycles[2] = 40;
+    hot.memWidthCycles[0] = 20;
+    hot.bankOps[0] = 70;
+    hot.bankOps[1] = 50;
+    hot.dupStoreOps = 8;
+    BlockProfileRow cold;
+    cold.function = "init";
+    cold.blockId = 0;
+    cold.executions = 1;
+    cold.cycles = 30;
+    cold.ops = 30;
+    cold.memWidthCycles[0] = 30;
+    p.blocks = {cold, hot};
+
+    std::string report = profileReport(p);
+    EXPECT_NE(report.find("hot blocks (by cycles):"),
+              std::string::npos);
+    EXPECT_NE(report.find("function cycle shares:"),
+              std::string::npos);
+    EXPECT_NE(report.find("bank traffic and conflicts"),
+              std::string::npos);
+    EXPECT_NE(report.find("duplicated-store overhead:"),
+              std::string::npos);
+    // Hot block leads the ranking.
+    EXPECT_LT(report.find("main.bb2"), report.find("init.bb0"));
+    // Deterministic rendering.
+    EXPECT_EQ(report, profileReport(p));
+}
+
+} // namespace
+} // namespace dsp

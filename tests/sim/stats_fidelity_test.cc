@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "driver/compiler.hh"
+#include "support/profile.hh"
 
 namespace dsp
 {
@@ -114,6 +115,37 @@ TEST(StatsFidelity, InstrumentedOnlyFieldsAreEmptyUnderFast)
     EXPECT_FALSE(e.instrumentedBlockCycles.empty());
     EXPECT_TRUE(e.fastProfile.empty());
     EXPECT_TRUE(e.fastBlockCycles.empty());
+}
+
+TEST(StatsFidelity, OptInFastProfilingMatchesInstrumented)
+{
+    // With block profiling enabled, the fast engine must reproduce
+    // the instrumented engine's attribution exactly — counts, bank
+    // traffic, conflicts, the whole dsp-profile-v1 row set.
+    for (AllocMode mode :
+         {AllocMode::SingleBank, AllocMode::CB, AllocMode::Ideal}) {
+        CompileOptions opts;
+        opts.mode = mode;
+        CompileResult compiled = compileSource(kKernel, opts);
+
+        Simulator ref(compiled.program, *compiled.module,
+                      Fidelity::Instrumented);
+        ref.setInput(kernelInput());
+        ref.run();
+
+        Simulator fst(compiled.program, *compiled.module,
+                      Fidelity::Fast);
+        fst.setBlockProfiling(true);
+        fst.setInput(kernelInput());
+        fst.run();
+
+        EXPECT_TRUE(fst.blockProfilingEnabled());
+        EXPECT_EQ(fst.profile(), ref.profile());
+        EXPECT_EQ(fst.blockCycles(), ref.blockCycles());
+        EXPECT_EQ(profileJson(fst.blockProfile()),
+                  profileJson(ref.blockProfile()));
+        EXPECT_FALSE(fst.blockProfile().empty());
+    }
 }
 
 TEST(StatsFidelity, MemWidthHistogramIdentities)

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Pins the shared JSON layer (support/json): the Writer's
+ * insertion-ordered, byte-deterministic output in both block styles,
+ * and the strict parser bench_diff relies on — including that parsed
+ * object members preserve document order, so a Writer document
+ * round-trips order-exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <sstream>
+
+#include "support/diagnostics.hh"
+#include "support/json.hh"
+#include "support/json_checker.hh"
+
+namespace dsp
+{
+namespace
+{
+
+std::string
+write(const std::function<void(json::Writer &)> &emit)
+{
+    std::ostringstream os;
+    json::Writer w(os);
+    emit(w);
+    return os.str();
+}
+
+TEST(JsonWriter, KeysKeepInsertionOrder)
+{
+    // Deliberately non-alphabetical: the writer must not sort.
+    std::string doc = write([](json::Writer &w) {
+        w.beginObject();
+        w.field("zebra", 1);
+        w.field("alpha", 2);
+        w.field("mid", 3);
+        w.endObject();
+    });
+    json::Value v = json::parse(doc);
+    ASSERT_EQ(v.members.size(), 3u);
+    EXPECT_EQ(v.members[0].first, "zebra");
+    EXPECT_EQ(v.members[1].first, "alpha");
+    EXPECT_EQ(v.members[2].first, "mid");
+}
+
+TEST(JsonWriter, OutputIsByteDeterministic)
+{
+    auto emit = [](json::Writer &w) {
+        w.beginObject();
+        w.field("n", 3.25);
+        w.key("rows").beginArray();
+        w.beginObject(json::Writer::Block::Inline);
+        w.field("name", "a");
+        w.field("count", 1L);
+        w.endObject();
+        w.endArray();
+        w.endObject();
+    };
+    EXPECT_EQ(write(emit), write(emit));
+}
+
+TEST(JsonWriter, IndentedAndInlineFormatsArePinned)
+{
+    std::string doc = write([](json::Writer &w) {
+        w.beginObject();
+        w.field("a", 1);
+        w.key("row").beginObject(json::Writer::Block::Inline);
+        w.field("x", 2);
+        w.field("y", "z");
+        w.endObject();
+        w.endObject();
+    });
+    EXPECT_EQ(doc, "{\n"
+                   "  \"a\": 1,\n"
+                   "  \"row\": {\"x\": 2, \"y\": \"z\"}\n"
+                   "}");
+}
+
+TEST(JsonWriter, EmptyBlocksCollapse)
+{
+    EXPECT_EQ(write([](json::Writer &w) {
+                  w.beginObject();
+                  w.endObject();
+              }),
+              "{}");
+    EXPECT_EQ(write([](json::Writer &w) {
+                  w.beginObject();
+                  w.key("rows").beginArray();
+                  w.endArray();
+                  w.endObject();
+              }),
+              "{\n  \"rows\": []\n}");
+}
+
+TEST(JsonWriter, ScalarsAreEscapedAndGuarded)
+{
+    std::string doc = write([](json::Writer &w) {
+        w.beginObject();
+        w.field("quote", "a\"b\\c\n");
+        w.field("inf", 1.0 / 0.0); // must become null, never "inf"
+        w.field("flag", true);
+        w.key("none").null();
+        w.endObject();
+    });
+    testing::JsonChecker checker;
+    EXPECT_TRUE(checker.parse(doc)) << checker.error;
+    EXPECT_TRUE(checker.sawString("a\"b\\c\n"));
+    EXPECT_NE(doc.find("\"inf\": null"), std::string::npos);
+    EXPECT_EQ(doc.find("nan"), std::string::npos);
+}
+
+TEST(JsonParse, RoundTripsValuesAndMemberOrder)
+{
+    std::string doc = write([](json::Writer &w) {
+        w.beginObject();
+        w.field("suite", "fig7");
+        w.field("threads", 4);
+        w.key("flags").beginObject(json::Writer::Block::Inline);
+        w.field("resilient", true);
+        w.field("fidelity", "fast");
+        w.endObject();
+        w.key("cycles").beginArray(json::Writer::Block::Inline);
+        w.value(10L);
+        w.value(-3L);
+        w.value(2.5);
+        w.endArray();
+        w.endObject();
+    });
+    json::Value v = json::parse(doc);
+    EXPECT_EQ(v.stringAt("suite"), "fig7");
+    EXPECT_EQ(v.longAt("threads"), 4);
+    const json::Value *flags = v.find("flags");
+    ASSERT_NE(flags, nullptr);
+    ASSERT_EQ(flags->members.size(), 2u);
+    EXPECT_EQ(flags->members[0].first, "resilient");
+    EXPECT_TRUE(flags->members[0].second.boolean);
+    EXPECT_EQ(flags->members[1].first, "fidelity");
+    const json::Value *cycles = v.find("cycles");
+    ASSERT_NE(cycles, nullptr);
+    ASSERT_EQ(cycles->items.size(), 3u);
+    EXPECT_EQ(cycles->items[0].number, 10.0);
+    EXPECT_EQ(cycles->items[1].number, -3.0);
+    EXPECT_EQ(cycles->items[2].number, 2.5);
+}
+
+TEST(JsonParse, AcceptsEscapesAndNull)
+{
+    json::Value v = json::parse(
+        "{\"s\": \"a\\u0041\\n\", \"n\": null, \"e\": 1e3}");
+    EXPECT_EQ(v.stringAt("s"), "aA\n");
+    ASSERT_NE(v.find("n"), nullptr);
+    EXPECT_TRUE(v.find("n")->isNull());
+    EXPECT_EQ(v.numberAt("e"), 1000.0);
+}
+
+TEST(JsonParse, RejectsMalformedInputWithBytePosition)
+{
+    const char *bad[] = {
+        "{\"a\": 1,}",       // trailing comma
+        "{\"a\": inf}",      // bare non-finite token
+        "{\"a\": 01}",       // leading zero
+        "{\"a\": 1} tail",   // trailing garbage
+        "{\"a\" 1}",         // missing colon
+        "\"unterminated",    // unterminated string
+        "",                  // empty document
+    };
+    for (const char *text : bad) {
+        try {
+            json::parse(text);
+            FAIL() << "accepted: " << text;
+        } catch (const UserError &e) {
+            EXPECT_NE(std::string(e.what()).find(
+                          "json parse error at byte"),
+                      std::string::npos)
+                << e.what();
+        }
+    }
+}
+
+} // namespace
+} // namespace dsp
