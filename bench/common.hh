@@ -9,7 +9,7 @@
  *    CompileCache so each (source, options) pair compiles once.
  *  - measureSuite() fans the whole suite out over a worker-thread
  *    pool (one job per benchmark — 23 independent jobs saturate any
- *    small core count), simulates on the predecoded fast path, and
+ *    small core count), simulates on the threaded-code tier, and
  *    optionally emits a machine-readable BENCH_sim.json with host
  *    wall-time, simulated cycles, and simulated MIPS.
  */
@@ -97,7 +97,7 @@ struct BenchResult
  */
 BenchResult measureBenchmark(const Benchmark &bench,
                              CompileCache *cache = nullptr,
-                             Fidelity fidelity = Fidelity::Fast,
+                             Fidelity fidelity = Fidelity::Threaded,
                              const JobContext *ctx = nullptr,
                              bool resilient = true);
 
@@ -106,7 +106,7 @@ BenchResult measureBenchmark(const Benchmark &bench,
 Measurement measureMode(const Benchmark &bench, const CompileOptions &opts,
                         long base_cycles, long base_cost,
                         CompileCache *cache = nullptr,
-                        Fidelity fidelity = Fidelity::Fast,
+                        Fidelity fidelity = Fidelity::Threaded,
                         const JobContext *ctx = nullptr,
                         std::vector<std::string> *degradations = nullptr);
 
@@ -115,7 +115,10 @@ struct SuiteRunOptions
 {
     /** Worker threads; 0 = hardware concurrency. */
     int threads = 0;
-    Fidelity fidelity = Fidelity::Fast;
+    /** Sweeps default to the threaded-code tier — the fastest engine
+     *  that is differentially proven cycle-exact against the
+     *  instrumented reference (tests/sim/threaded_diff_test.cc). */
+    Fidelity fidelity = Fidelity::Threaded;
     /** Path for the machine-readable report ("" = don't write). */
     std::string jsonPath;
     /** Tag recorded in the report (e.g. "fig7_kernels"). */

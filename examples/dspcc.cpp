@@ -122,7 +122,7 @@ usage()
            "                print a human-readable profile: hot-block\n"
            "                ranking, per-function cycle shares, the\n"
            "                bank-conflict heatmap, dup-store overhead\n"
-           "  --fidelity=instrumented|fast\n"
+           "  --fidelity=instrumented|fast|threaded\n"
            "                simulator engine for the run (profiles are\n"
            "                engine-independent; default instrumented)\n"
            "  *-out flags accept '-' as FILE to mean stdout\n"
@@ -193,12 +193,16 @@ parseArgs(int argc, char **argv)
             cli.profileReport = true;
         } else if (startsWith(arg, "--fidelity=")) {
             std::string f = arg.substr(11);
-            if (f == "instrumented")
-                cli.fidelity = Fidelity::Instrumented;
-            else if (f == "fast")
-                cli.fidelity = Fidelity::Fast;
-            else
+            if (auto fid = fidelityFromName(f)) {
+                cli.fidelity = *fid;
+            } else {
+                std::cerr << "dspcc: unknown fidelity '" << f
+                          << "'; valid values are";
+                for (Fidelity v : allFidelities())
+                    std::cerr << " " << fidelityName(v);
+                std::cerr << "\n";
                 usage();
+            }
         } else if (startsWith(arg, "--in=")) {
             for (const std::string &tok :
                  splitString(arg.substr(5), ',')) {

@@ -18,32 +18,6 @@
 namespace dsp
 {
 
-const char *
-degradationKindName(DegradationEvent::Kind kind)
-{
-    switch (kind) {
-      case DegradationEvent::Kind::PassRollback: return "pass-rollback";
-      case DegradationEvent::Kind::ModeFallback: return "mode-fallback";
-      case DegradationEvent::Kind::OptFallback: return "opt-fallback";
-    }
-    return "?";
-}
-
-std::string
-DegradationEvent::str() const
-{
-    std::string out = degradationKindName(kind);
-    out += " ";
-    out += stage;
-    if (!function.empty()) {
-        out += " in ";
-        out += function;
-    }
-    out += ": ";
-    out += detail;
-    return out;
-}
-
 namespace
 {
 
@@ -286,6 +260,18 @@ traceSimRun(Span &span, const Simulator &sim)
     c.add("sim.mem_width.cycles0", hist.cycles0);
     c.add("sim.mem_width.cycles1", hist.cycles1);
     c.add("sim.mem_width.cycles2", hist.cycles2);
+    const ThreadedStats &ts = sim.threadedStats();
+    if (ts.blocksTranslated || ts.deopts) {
+        c.add("sim.threaded.blocks_translated", ts.blocksTranslated);
+        c.add("sim.threaded.ops_fused", ts.opsFused);
+        c.add("sim.threaded.chains_patched", ts.chainsPatched);
+        c.add("sim.threaded.slow_instructions", ts.slowInstructions);
+        c.add("sim.threaded.deopts", ts.deopts);
+    }
+    for (const DegradationEvent &e : sim.engineDegradations())
+        session->instant("sim.deopt", "sim",
+                         {TraceArg::str("stage", e.stage),
+                          TraceArg::str("detail", e.detail)});
     for (const auto &[key, cycles] : sim.blockCycles())
         c.add("sim.block." + key.first + ".bb" +
                   std::to_string(key.second),
@@ -313,6 +299,7 @@ runProgram(const CompileResult &compiled,
     result.profile = sim.profile();
     if (collectBlockProfile)
         result.blockProfile = sim.blockProfile();
+    result.engineDegradations = sim.engineDegradations();
     return result;
 }
 
@@ -369,6 +356,7 @@ tryRunProgram(const CompileResult &compiled,
     outcome.result.stats = sim.stats();
     outcome.result.output = sim.output();
     outcome.result.profile = sim.profile();
+    outcome.result.engineDegradations = sim.engineDegradations();
     return outcome;
 }
 

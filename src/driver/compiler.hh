@@ -21,6 +21,7 @@
 #include "ir/module.hh"
 #include "minic/ast.hh"
 #include "sim/simulator.hh"
+#include "support/degradation.hh"
 #include "target/vliw.hh"
 
 namespace dsp
@@ -62,30 +63,6 @@ struct CompileOptions
     int maxErrors = 20;
 };
 
-/** One resilience mechanism firing during a degraded compile. */
-struct DegradationEvent
-{
-    enum class Kind : unsigned char
-    {
-        PassRollback, ///< an opt pass was rolled back and disabled
-        ModeFallback, ///< recompiled with single-bank allocation
-        OptFallback   ///< recompiled with the optimizer disabled
-    };
-
-    Kind kind = Kind::PassRollback;
-    /** Pipeline stage / fault site ("opt.dce", "backend.regalloc"). */
-    std::string stage;
-    /** Affected function; empty for module-wide fallbacks. */
-    std::string function;
-    /** What went wrong (exception message, verifier findings). */
-    std::string detail;
-
-    /** "pass-rollback opt.dce in main: ..." (stable, grep-able). */
-    std::string str() const;
-};
-
-const char *degradationKindName(DegradationEvent::Kind kind);
-
 struct CompileResult
 {
     std::unique_ptr<Program> ast;
@@ -121,6 +98,10 @@ struct RunResult
      *  when the run collected block profiling. The program/mode
      *  context fields are left for the caller to fill. */
     ProgramProfile blockProfile;
+    /** Engine-level deoptimizations (Fidelity::Threaded only): one
+     *  Kind::EngineDeopt event per injected translate/chain fault that
+     *  dropped the run back to the fast path. Empty otherwise. */
+    std::vector<DegradationEvent> engineDegradations;
 };
 
 /**

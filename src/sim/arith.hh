@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Shared scalar semantics of the simulator's execution engines.
+ *
+ * The fast interpreter (simulator.cc) and the threaded-code engine
+ * (threaded_engine.cc) must produce bit-identical results, so the
+ * wrapping integer ALU and the float<->bits punning live here and both
+ * engines compile against the exact same expressions. The machine's
+ * integer unit wraps in 32 bits (two's complement), but C++ signed
+ * overflow is undefined behaviour, so every operation that can
+ * overflow computes through uint32_t. Div/Rem additionally pin the one
+ * overflowing quotient (INT32_MIN / -1) to the wrapped machine result
+ * instead of a hardware trap.
+ */
+
+#ifndef DSP_SIM_ARITH_HH
+#define DSP_SIM_ARITH_HH
+
+#include <cstdint>
+#include <cstring>
+
+namespace dsp::simarith
+{
+
+inline uint32_t
+floatBits(float f)
+{
+    uint32_t w;
+    std::memcpy(&w, &f, sizeof(w));
+    return w;
+}
+
+inline float
+bitsFloat(uint32_t w)
+{
+    float f;
+    std::memcpy(&f, &w, sizeof(f));
+    return f;
+}
+
+inline int32_t
+wrapAdd(int32_t a, int32_t b)
+{
+    return static_cast<int32_t>(static_cast<uint32_t>(a) +
+                                static_cast<uint32_t>(b));
+}
+
+inline int32_t
+wrapSub(int32_t a, int32_t b)
+{
+    return static_cast<int32_t>(static_cast<uint32_t>(a) -
+                                static_cast<uint32_t>(b));
+}
+
+inline int32_t
+wrapMul(int32_t a, int32_t b)
+{
+    return static_cast<int32_t>(static_cast<uint32_t>(a) *
+                                static_cast<uint32_t>(b));
+}
+
+inline int32_t
+wrapNeg(int32_t a)
+{
+    return static_cast<int32_t>(-static_cast<uint32_t>(a));
+}
+
+inline int32_t
+wrapShl(int32_t a, int sh)
+{
+    return static_cast<int32_t>(static_cast<uint32_t>(a) << sh);
+}
+
+inline int32_t
+wrapDiv(int32_t a, int32_t b)
+{
+    if (a == INT32_MIN && b == -1)
+        return INT32_MIN;
+    return a / b;
+}
+
+inline int32_t
+wrapRem(int32_t a, int32_t b)
+{
+    if (a == INT32_MIN && b == -1)
+        return 0;
+    return a % b;
+}
+
+} // namespace dsp::simarith
+
+#endif // DSP_SIM_ARITH_HH

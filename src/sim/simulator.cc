@@ -5,88 +5,17 @@
 #include <map>
 
 #include "ir/module.hh"
+#include "sim/arith.hh"
+#include "sim/threaded_engine.hh"
 #include "support/fault_injection.hh"
 
 namespace dsp
 {
 
-namespace
-{
-
-uint32_t
-floatBits(float f)
-{
-    uint32_t w;
-    std::memcpy(&w, &f, sizeof(w));
-    return w;
-}
-
-float
-bitsFloat(uint32_t w)
-{
-    float f;
-    std::memcpy(&f, &w, sizeof(f));
-    return f;
-}
-
-/// @name Wrapping integer ALU semantics.
-/// The machine's integer unit wraps in 32 bits (two's complement),
-/// but C++ signed overflow is undefined behaviour, so every operation
-/// that can overflow computes through uint32_t. Div/Rem additionally
-/// pin the one overflowing quotient (INT32_MIN / -1) to the wrapped
-/// machine result instead of a hardware trap.
-/// @{
-int32_t
-wrapAdd(int32_t a, int32_t b)
-{
-    return static_cast<int32_t>(static_cast<uint32_t>(a) +
-                                static_cast<uint32_t>(b));
-}
-
-int32_t
-wrapSub(int32_t a, int32_t b)
-{
-    return static_cast<int32_t>(static_cast<uint32_t>(a) -
-                                static_cast<uint32_t>(b));
-}
-
-int32_t
-wrapMul(int32_t a, int32_t b)
-{
-    return static_cast<int32_t>(static_cast<uint32_t>(a) *
-                                static_cast<uint32_t>(b));
-}
-
-int32_t
-wrapNeg(int32_t a)
-{
-    return static_cast<int32_t>(-static_cast<uint32_t>(a));
-}
-
-int32_t
-wrapShl(int32_t a, int sh)
-{
-    return static_cast<int32_t>(static_cast<uint32_t>(a) << sh);
-}
-
-int32_t
-wrapDiv(int32_t a, int32_t b)
-{
-    if (a == INT32_MIN && b == -1)
-        return INT32_MIN;
-    return a / b;
-}
-
-int32_t
-wrapRem(int32_t a, int32_t b)
-{
-    if (a == INT32_MIN && b == -1)
-        return 0;
-    return a % b;
-}
-/// @}
-
-} // namespace
+// Both execution engines must compute bit-identical scalar results, so
+// the wrapping ALU and float punning live in sim/arith.hh and are
+// compiled into threaded_engine.cc from the same definitions.
+using namespace simarith;
 
 float
 OutputWord::asFloat() const
@@ -100,8 +29,29 @@ fidelityName(Fidelity f)
     switch (f) {
       case Fidelity::Instrumented: return "instrumented";
       case Fidelity::Fast: return "fast";
+      case Fidelity::Threaded: return "threaded";
     }
     return "?";
+}
+
+std::optional<Fidelity>
+fidelityFromName(std::string_view name)
+{
+    for (Fidelity f : allFidelities())
+        if (name == fidelityName(f))
+            return f;
+    return std::nullopt;
+}
+
+const std::vector<Fidelity> &
+allFidelities()
+{
+    static const std::vector<Fidelity> all = {
+        Fidelity::Instrumented,
+        Fidelity::Fast,
+        Fidelity::Threaded,
+    };
+    return all;
 }
 
 Simulator::Simulator(const VliwProgram &prog, const Module &mod,
@@ -111,6 +61,10 @@ Simulator::Simulator(const VliwProgram &prog, const Module &mod,
     predecode();
     reset();
 }
+
+// Out of line so the unique_ptr<ThreadedEngine> destructor sees the
+// complete type.
+Simulator::~Simulator() = default;
 
 void
 Simulator::reset()
@@ -149,6 +103,13 @@ Simulator::reset()
 
     FaultPlan *plan = ambientFaultPlan();
     memFaultAfterOps = plan ? plan->simMemFaultAfterOps() : 0;
+
+    // Threaded traces survive the reset (they depend only on the
+    // predecoded program); the run-scoped deopt trail does not.
+    engineDeopts.clear();
+    tstats.deopts = 0;
+    if (engine)
+        engine->rearm();
 }
 
 void
@@ -1050,9 +1011,51 @@ Simulator::step()
 }
 
 Simulator::RunStatus
+Simulator::runThreaded(long max_cycles)
+{
+    if (!engine)
+        engine = std::make_unique<ThreadedEngine>(*this);
+
+    while (!isHalted) {
+        if (simStats.cycles >= max_cycles)
+            return RunStatus::CycleBudgetExhausted;
+        if (!engine->disabled() && curPc >= 0 &&
+            curPc < static_cast<int>(decodedInsts.size())) {
+            try {
+                if (ThreadedBlock *tb = engine->blockAt(curPc)) {
+                    // Enter the trace only when the remaining budget
+                    // covers the whole block; budget tails interpret
+                    // instruction-at-a-time below, preserving exact
+                    // runBounded semantics.
+                    if (max_cycles - simStats.cycles >= tb->cycles) {
+                        engine->exec(tb, max_cycles);
+                        continue;
+                    }
+                } else if (engine->noteBlockEntry(curPc)) {
+                    continue; // freshly translated: re-dispatch
+                }
+            } catch (const InjectedFault &f) {
+                // Deopt: record the event, disable the engine, and
+                // carry on bit-exact on the fast path. Machine state
+                // is consistent (curPc was set before the site ran).
+                ++tstats.deopts;
+                engineDeopts.push_back({DegradationEvent::Kind::EngineDeopt,
+                                        f.site(), "", f.what()});
+                engine->disable();
+                continue;
+            }
+        }
+        stepFast();
+    }
+    return RunStatus::Halted;
+}
+
+Simulator::RunStatus
 Simulator::runBounded(long max_cycles)
 {
-    if (useFastPath()) {
+    if (useThreadedCode()) {
+        return runThreaded(max_cycles);
+    } else if (useFastPath()) {
         while (!isHalted) {
             if (simStats.cycles >= max_cycles)
                 return RunStatus::CycleBudgetExhausted;

@@ -34,6 +34,21 @@
  *    instrumented engine's, and it does not deliver interrupts
  *    (setting an interrupt period falls back to the instrumented
  *    engine).
+ *
+ *  - Fidelity::Threaded adds trace-guided threaded code on top of the
+ *    fast engine's predecoded micro-ops: basic blocks run on the fast
+ *    path until a hot counter crosses a threshold, then get compiled
+ *    into contiguous threaded-code traces (computed-goto dispatch
+ *    where the compiler supports labels-as-values, a portable
+ *    tail-switch otherwise) with block chaining and superinstruction
+ *    fusion, so steady-state control flow never returns to a central
+ *    dispatch loop. Architectural state, output, and SimStats remain
+ *    bit-identical to the other engines; interrupts, block profiling,
+ *    and armed sim.mem fault injection all force the precise tier
+ *    (instrumented or fast path respectively). Injected faults at the
+ *    sim.translate / sim.chain sites deopt the engine back to the
+ *    fast path with a structured DegradationEvent — never an abort.
+ *    See sim/threaded_engine.hh.
  */
 
 #ifndef DSP_SIM_SIMULATOR_HH
@@ -41,10 +56,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <optional>
 #include <set>
+#include <string_view>
 #include <vector>
 
 #include "codegen/interference.hh"
+#include "support/degradation.hh"
 #include "support/profile.hh"
 #include "target/vliw.hh"
 
@@ -52,6 +71,7 @@ namespace dsp
 {
 
 class Module;
+class ThreadedEngine;
 
 /** One word written to the output channel. */
 struct OutputWord
@@ -131,9 +151,44 @@ enum class Fidelity
     /** Predecoded hot path: same architectural results, no
      *  instrumentation. */
     Fast,
+    /** Trace-guided threaded code: hot blocks compiled to chained
+     *  dispatch-free traces, cold blocks interpreted on the fast
+     *  path. Same architectural results. */
+    Threaded,
 };
 
 const char *fidelityName(Fidelity f);
+
+/** Inverse of fidelityName; nullopt for unknown names. */
+std::optional<Fidelity> fidelityFromName(std::string_view name);
+
+/** Every engine, in CLI listing order (pinned round-trippable with
+ *  fidelityName/fidelityFromName). */
+const std::vector<Fidelity> &allFidelities();
+
+/**
+ * Counters of the threaded engine's translation activity (see
+ * Simulator::threadedStats). All zero unless the simulator actually
+ * executed threaded code.
+ */
+struct ThreadedStats
+{
+    /** Basic blocks compiled into threaded traces. */
+    long blocksTranslated = 0;
+    /** Micro-ops eliminated by superinstruction pair fusion. */
+    long opsFused = 0;
+    /** Block-to-block chain links patched (after the first execution
+     *  of an edge whose target is translated, control transfers on it
+     *  never leave threaded code). */
+    long chainsPatched = 0;
+    /** Instructions inside traces that fell back to the buffered
+     *  interpreter step (intra-instruction hazards too irregular to
+     *  rename). */
+    long slowInstructions = 0;
+    /** Engine-level deoptimizations (injected translate/chain
+     *  faults); details in Simulator::engineDegradations(). */
+    long deopts = 0;
+};
 
 class Simulator
 {
@@ -145,8 +200,11 @@ class Simulator
      */
     Simulator(const VliwProgram &prog, const Module &mod,
               Fidelity fidelity = Fidelity::Instrumented);
+    ~Simulator();
 
-    /** Reset machine state and (re)initialize data memory. */
+    /** Reset machine state and (re)initialize data memory. Threaded
+     *  traces survive a reset (they depend only on the static
+     *  program); run state, including the deopt trail, is cleared. */
     void reset();
 
     /** Provide the input channel contents. */
@@ -190,6 +248,22 @@ class Simulator
     Fidelity fidelity() const { return fid; }
     const SimStats &stats() const { return simStats; }
     const std::vector<OutputWord> &output() const { return outWords; }
+
+    /** Translation counters of the threaded engine (all zero for the
+     *  other fidelities and for runs that stayed cold). */
+    const ThreadedStats &threadedStats() const { return tstats; }
+
+    /**
+     * Structured deopt trail of the threaded engine: one
+     * Kind::EngineDeopt event per injected sim.translate / sim.chain
+     * fault that disabled threaded execution for the rest of the run
+     * (execution continues, bit-exact, on the fast path). Cleared by
+     * reset(). Always empty for the other fidelities.
+     */
+    const std::vector<DegradationEvent> &engineDegradations() const
+    {
+        return engineDeopts;
+    }
 
     /**
      * Opt into block profiling on the fast engine (call before run).
@@ -260,16 +334,28 @@ class Simulator
     /// @}
 
   private:
+    friend class ThreadedEngine;
+
     /// @name Unified register file.
     /// All three architectural files live in one dense array so a
     /// decoded operand is a single byte-sized index and a register
     /// write is class-agnostic: int regs at [0,32), float regs (raw
-    /// bits) at [32,64), address regs at [64,96).
+    /// bits) at [32,64), address regs at [64,96). Above the
+    /// architectural files sit a handful of scratch slots only the
+    /// threaded engine touches: renaming temporaries that preserve
+    /// read-before-write semantics inside a VLIW instruction without
+    /// commit buffers, plus one hardwired-zero slot that lets memory
+    /// handlers resolve addresses branchlessly (absent base/index
+    /// operands point at it).
     /// @{
     static constexpr int kIntBase = 0;
     static constexpr int kFltBase = 32;
     static constexpr int kAddrBase = 64;
     static constexpr int kNumRegs = 96;
+    static constexpr int kScratchBase = 96;
+    static constexpr int kNumScratch = 12;
+    static constexpr int kZeroReg = kScratchBase + kNumScratch;
+    static constexpr int kTotalRegs = kZeroReg + 1;
     static constexpr uint8_t kNoReg = 0xFF;
     /// @}
 
@@ -348,7 +434,7 @@ class Simulator
     std::uint64_t memFaultAfterOps = 0;
 
     std::vector<uint32_t> memory;
-    uint32_t regFile[kNumRegs];
+    uint32_t regFile[kTotalRegs];
     int curPc = 0;
     bool isHalted = false;
 
@@ -389,9 +475,34 @@ class Simulator
     std::vector<DecodedOp> decodedOps;
     std::vector<DecodedInst> decodedInsts;
 
+    /// @name Threaded-engine state.
+    /// The engine itself is built lazily on the first threaded
+    /// runBounded; traces it compiles survive reset() because they
+    /// depend only on the predecoded program.
+    /// @{
+    std::unique_ptr<ThreadedEngine> engine;
+    ThreadedStats tstats;
+    std::vector<DegradationEvent> engineDeopts;
+    /// @}
+
     bool useFastPath() const
     {
-        return fid == Fidelity::Fast && interruptPeriod == 0;
+        return (fid == Fidelity::Fast || fid == Fidelity::Threaded) &&
+               interruptPeriod == 0;
+    }
+
+    /**
+     * Threaded code additionally requires the uninstrumented hot
+     * path: block profiling needs per-pc attribution and an armed
+     * sim.mem fault needs the cumulative memory-op count checked at
+     * every instruction boundary, so both force precise
+     * instruction-at-a-time execution (which the fast path provides
+     * bit-exactly).
+     */
+    bool useThreadedCode() const
+    {
+        return fid == Fidelity::Threaded && interruptPeriod == 0 &&
+               !fastProfiling && memFaultAfterOps == 0;
     }
 
     /// @name Predecode (construction time).
@@ -408,6 +519,11 @@ class Simulator
     bool stepFast();
     int32_t resolveFast(const DecodedOp &d) const;
     void checkFastAddress(const DecodedOp &d, int32_t addr) const;
+    /// @}
+
+    /// @name Threaded engine driver (see sim/threaded_engine.hh).
+    /// @{
+    RunStatus runThreaded(long max_cycles);
     /// @}
 
     /// @name Instrumented engine (semantic reference).

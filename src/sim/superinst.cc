@@ -1,0 +1,48 @@
+#include "sim/superinst.hh"
+
+namespace dsp
+{
+
+bool
+superinstFor(TOp::Opc a, TOp::Opc b, TOp::Opc &fused)
+{
+    using Opc = TOp::Opc;
+    if (a == Opc::Ld && b == Opc::Ld) {
+        fused = Opc::LdLd;
+        return true;
+    }
+    if (a == Opc::Ld && b == Opc::Mac) {
+        fused = Opc::LdMac;
+        return true;
+    }
+    if (a == Opc::Ld && b == Opc::FMac) {
+        fused = Opc::LdFMac;
+        return true;
+    }
+    if (a == Opc::Add && b == Opc::St) {
+        fused = Opc::AddSt;
+        return true;
+    }
+    if (a == Opc::AddI && b == Opc::St) {
+        fused = Opc::AddISt;
+        return true;
+    }
+    return false;
+}
+
+long
+fuseBlock(std::vector<TOp> &code)
+{
+    long fusions = 0;
+    for (std::size_t i = 0; i + 1 < code.size(); ++i) {
+        TOp::Opc fused;
+        if (!superinstFor(code[i].opc, code[i + 1].opc, fused))
+            continue;
+        code[i].opc = fused;
+        ++fusions;
+        ++i; // the second TOp becomes the fused handler's operand slab
+    }
+    return fusions;
+}
+
+} // namespace dsp

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Superinstruction selection for the threaded-code engine.
+ *
+ * A superinstruction fuses two adjacent TOps into one handler, halving
+ * dispatch cost on the fused pair. Because a trace executes strictly
+ * sequentially (branch targets are always block heads, never interior
+ * TOps), any adjacent pair is fusable without an operand-relation
+ * check: the fused handler simply executes ip[0] then ip[1] and
+ * advances by two. The pair table covers the pairs that dominate the
+ * paper's DSP kernels:
+ *
+ *   Ld+Ld    dual-bank paired issue (fir/iir inner loops)
+ *   Ld+Mac   load feeding an integer multiply-accumulate
+ *   Ld+FMac  load feeding a float multiply-accumulate
+ *   Add+St / AddI+St   pointer/accumulator update followed by a store
+ *
+ * Selection is a greedy left-to-right peephole: a matched pair rewrites
+ * the first TOp's opcode to the fused one and skips the second (which
+ * stays in the stream as data for the fused handler to read).
+ */
+
+#ifndef DSP_SIM_SUPERINST_HH
+#define DSP_SIM_SUPERINST_HH
+
+#include "sim/threaded_engine.hh"
+
+namespace dsp
+{
+
+/** The fused opcode for the adjacent pair (@p a, @p b), if any. */
+bool superinstFor(TOp::Opc a, TOp::Opc b, TOp::Opc &fused);
+
+/**
+ * Run pair fusion over @p code (one block's trace, before handler
+ * assignment). Returns the number of pairs fused.
+ */
+long fuseBlock(std::vector<TOp> &code);
+
+} // namespace dsp
+
+#endif // DSP_SIM_SUPERINST_HH

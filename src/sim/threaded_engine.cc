@@ -1,0 +1,945 @@
+#include "sim/threaded_engine.hh"
+
+#include <cstring>
+
+#include "ir/op.hh"
+#include "sim/arith.hh"
+#include "sim/superinst.hh"
+#include "support/diagnostics.hh"
+#include "support/fault_injection.hh"
+#include "target/target_desc.hh"
+
+/**
+ * Dispatch selection. DSP_THREADED_HAVE_GOTO is set by the build when
+ * check_cxx_source_compiles proves the compiler supports GCC/Clang
+ * labels-as-values; DSP_THREADED_FORCE_SWITCH overrides it so the
+ * portable tail-switch fallback stays compiled and tested even on
+ * supporting compilers (the asan preset forces it).
+ */
+#if !defined(DSP_THREADED_FORCE_SWITCH) && defined(DSP_THREADED_HAVE_GOTO)
+#define DSP_THREADED_GOTO 1
+#else
+#define DSP_THREADED_GOTO 0
+#endif
+
+namespace dsp
+{
+
+using namespace simarith;
+using Opc = TOp::Opc;
+
+namespace
+{
+
+/** DecodedOp opcode -> threaded opcode. Raw word moves collapse the
+ *  typed load/store/input variants; MovF's immediate already carries
+ *  float bits after predecode. */
+Opc
+mapOpc(Opcode op)
+{
+    switch (op) {
+      case Opcode::MovI:
+      case Opcode::MovF: return Opc::MovI;
+      case Opcode::Copy: return Opc::Copy;
+      case Opcode::Add: return Opc::Add;
+      case Opcode::Sub: return Opc::Sub;
+      case Opcode::Mul: return Opc::Mul;
+      case Opcode::Div: return Opc::Div;
+      case Opcode::Rem: return Opc::Rem;
+      case Opcode::And: return Opc::And;
+      case Opcode::Or: return Opc::Or;
+      case Opcode::Xor: return Opc::Xor;
+      case Opcode::Shl: return Opc::Shl;
+      case Opcode::Shr: return Opc::Shr;
+      case Opcode::AddI: return Opc::AddI;
+      case Opcode::MulI: return Opc::MulI;
+      case Opcode::AndI: return Opc::AndI;
+      case Opcode::ShlI: return Opc::ShlI;
+      case Opcode::ShrI: return Opc::ShrI;
+      case Opcode::Neg: return Opc::Neg;
+      case Opcode::Not: return Opc::Not;
+      case Opcode::Mac: return Opc::Mac;
+      case Opcode::CmpEQ: return Opc::CmpEQ;
+      case Opcode::CmpNE: return Opc::CmpNE;
+      case Opcode::CmpLT: return Opc::CmpLT;
+      case Opcode::CmpLE: return Opc::CmpLE;
+      case Opcode::CmpGT: return Opc::CmpGT;
+      case Opcode::CmpGE: return Opc::CmpGE;
+      case Opcode::CmpEQI: return Opc::CmpEQI;
+      case Opcode::CmpNEI: return Opc::CmpNEI;
+      case Opcode::CmpLTI: return Opc::CmpLTI;
+      case Opcode::CmpLEI: return Opc::CmpLEI;
+      case Opcode::CmpGTI: return Opc::CmpGTI;
+      case Opcode::CmpGEI: return Opc::CmpGEI;
+      case Opcode::FAdd: return Opc::FAdd;
+      case Opcode::FSub: return Opc::FSub;
+      case Opcode::FMul: return Opc::FMul;
+      case Opcode::FDiv: return Opc::FDiv;
+      case Opcode::FNeg: return Opc::FNeg;
+      case Opcode::FMac: return Opc::FMac;
+      case Opcode::FCmpEQ: return Opc::FCmpEQ;
+      case Opcode::FCmpNE: return Opc::FCmpNE;
+      case Opcode::FCmpLT: return Opc::FCmpLT;
+      case Opcode::FCmpLE: return Opc::FCmpLE;
+      case Opcode::FCmpGT: return Opc::FCmpGT;
+      case Opcode::FCmpGE: return Opc::FCmpGE;
+      case Opcode::IToF: return Opc::IToF;
+      case Opcode::FToI: return Opc::FToI;
+      case Opcode::Ld:
+      case Opcode::LdF:
+      case Opcode::LdA: return Opc::Ld;
+      case Opcode::St:
+      case Opcode::StF:
+      case Opcode::StA: return Opc::St;
+      case Opcode::Lea: return Opc::Lea;
+      case Opcode::AAddI: return Opc::AAddI;
+      case Opcode::In:
+      case Opcode::InF: return Opc::In;
+      case Opcode::Out: return Opc::OutI;
+      case Opcode::OutF: return Opc::OutF;
+      case Opcode::Jmp: return Opc::Jmp;
+      case Opcode::Bt: return Opc::Bt;
+      case Opcode::Call: return Opc::Call;
+      case Opcode::Ret: return Opc::Ret;
+      case Opcode::Halt: return Opc::Halt;
+      default:
+        panic("unmapped opcode in threaded translate: ",
+              opcodeName(op));
+    }
+}
+
+bool
+isControlOpcode(Opcode op)
+{
+    return op == Opcode::Jmp || op == Opcode::Bt ||
+           op == Opcode::Call || op == Opcode::Ret ||
+           op == Opcode::Halt;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Leaders and heat.
+// ---------------------------------------------------------------------
+
+ThreadedEngine::ThreadedEngine(Simulator &sim) : sim(sim)
+{
+    const int n = static_cast<int>(sim.decodedInsts.size());
+    leader.assign(n, 0);
+    heat.assign(n, 0);
+    byHead.assign(n, nullptr);
+
+    auto mark = [&](int pc) {
+        if (pc >= 0 && pc < n)
+            leader[pc] = 1;
+    };
+    mark(sim.prog.entry);
+    for (const auto &fe : sim.prog.functionEntries)
+        mark(fe.firstInst);
+    for (int pc = 0; pc < n; ++pc) {
+        const Simulator::DecodedInst &di = sim.decodedInsts[pc];
+        const Simulator::DecodedOp *ops =
+            sim.decodedOps.data() + di.first;
+        for (int k = 0; k < di.count; ++k) {
+            if (!isControlOpcode(ops[k].opcode))
+                continue;
+            if (ops[k].opcode == Opcode::Jmp ||
+                ops[k].opcode == Opcode::Bt ||
+                ops[k].opcode == Opcode::Call)
+                mark(ops[k].imm);
+            mark(pc + 1); // fall-through / return-site leader
+        }
+    }
+}
+
+bool
+ThreadedEngine::instHasControl(int pc) const
+{
+    const Simulator::DecodedInst &di = sim.decodedInsts[pc];
+    const Simulator::DecodedOp *ops = sim.decodedOps.data() + di.first;
+    for (int k = 0; k < di.count; ++k)
+        if (isControlOpcode(ops[k].opcode))
+            return true;
+    return false;
+}
+
+bool
+ThreadedEngine::noteBlockEntry(int pc)
+{
+    if (off || pc < 0 || pc >= static_cast<int>(leader.size()) ||
+        !leader[pc] || byHead[pc])
+        return false;
+    if (++heat[pc] < kHotThreshold)
+        return false;
+    ThreadedBlock *tb = translate(pc); // runs the sim.translate site
+    byHead[pc] = tb;
+    ++sim.tstats.blocksTranslated;
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Translation.
+// ---------------------------------------------------------------------
+
+ThreadedBlock *
+ThreadedEngine::translate(int head)
+{
+    checkFaultSite("sim.translate");
+
+    auto owned = std::make_unique<ThreadedBlock>();
+    ThreadedBlock &tb = *owned;
+    tb.head = head;
+
+    const int n = static_cast<int>(sim.decodedInsts.size());
+    int end = head;
+    bool endsWithControl = false;
+    while (end < n) {
+        if (end > head && leader[end])
+            break;
+        const bool ctrl = instHasControl(end);
+        ++end;
+        if (ctrl) {
+            endsWithControl = true;
+            break;
+        }
+    }
+    tb.end = end;
+
+    for (int pc = head; pc < end; ++pc) {
+        const Simulator::DecodedInst &di = sim.decodedInsts[pc];
+        tb.cycles += 1;
+        tb.ops += di.count;
+        tb.memOps += di.memCount;
+        tb.pairedCycles += di.paired ? 1 : 0;
+        emitInst(tb, pc);
+    }
+    if (!endsWithControl) {
+        TOp t;
+        t.opc = Opc::FallThru;
+        t.imm = end;
+        t.pc = end - 1;
+        tb.code.push_back(t);
+    }
+
+    sim.tstats.opsFused += fuseBlock(tb.code);
+    assignHandlers(tb);
+    blocks.push_back(std::move(owned));
+    return &tb;
+}
+
+void
+ThreadedEngine::emitInst(ThreadedBlock &tb, int pc)
+{
+    const Simulator::DecodedInst &di = sim.decodedInsts[pc];
+    const Simulator::DecodedOp *ops = sim.decodedOps.data() + di.first;
+
+    // Emission order: non-store ops keep slot order (memory-unit
+    // slots come first architecturally, so loads precede the ALU
+    // ops), stores are delayed to the end so loads of the same cycle
+    // still see old memory, and the control op goes last.
+    const Simulator::DecodedOp *body[NumSlots];
+    const Simulator::DecodedOp *stores[NumSlots];
+    int nbody = 0;
+    int nstores = 0;
+    const Simulator::DecodedOp *ctrl = nullptr;
+    for (int k = 0; k < di.count; ++k) {
+        const Simulator::DecodedOp &d = ops[k];
+        if (d.opcode == Opcode::Nop || d.opcode == Opcode::Lock ||
+            d.opcode == Opcode::Unlock)
+            continue;
+        if (isControlOpcode(d.opcode)) {
+            ctrl = &d;
+            continue;
+        }
+        if (isStore(d.opcode))
+            stores[nstores++] = &d;
+        else
+            body[nbody++] = &d;
+    }
+
+    bool written[Simulator::kTotalRegs] = {};
+    uint8_t renamedTo[Simulator::kTotalRegs];
+    std::memset(renamedTo, Simulator::kNoReg, sizeof(renamedTo));
+    std::vector<TOp> saves;
+    std::vector<TOp> emitted;
+    bool bail = false;
+    int lastFaultSlot = -1;
+
+    // A read of a register written by an earlier-emitted op of this
+    // instruction must see the pre-instruction value: route it through
+    // a scratch slot loaded by a Copy at the instruction start.
+    auto renameRead = [&](uint8_t &r) {
+        if (r == Simulator::kNoReg || !written[r])
+            return;
+        if (renamedTo[r] == Simulator::kNoReg) {
+            if (static_cast<int>(saves.size()) ==
+                Simulator::kNumScratch) {
+                bail = true;
+                return;
+            }
+            const uint8_t s = static_cast<uint8_t>(
+                Simulator::kScratchBase + saves.size());
+            TOp save;
+            save.opc = Opc::Copy;
+            save.dst = s;
+            save.src0 = r;
+            save.pc = pc;
+            saves.push_back(save);
+            renamedTo[r] = s;
+        }
+        r = renamedTo[r];
+    };
+
+    auto translateOne = [&](const Simulator::DecodedOp &d) {
+        TOp t;
+        t.opc = mapOpc(d.opcode);
+        t.dst = d.dst;
+        t.src0 = d.src0;
+        t.src1 = d.src1;
+        t.slot = d.slot;
+        t.imm = d.imm;
+        t.pc = pc;
+        t.origin = d.origin;
+        if (isMemOp(d.opcode) || d.opcode == Opcode::Lea) {
+            t.imm = d.memBase;
+            t.base = d.baseReg == Simulator::kNoReg
+                         ? static_cast<uint8_t>(Simulator::kZeroReg)
+                         : d.baseReg;
+            t.index = d.indexReg == Simulator::kNoReg
+                          ? static_cast<uint8_t>(Simulator::kZeroReg)
+                          : d.indexReg;
+            if (d.staticChecked) {
+                // Validated at decode: widen the range so the
+                // unconditional check in the handler never fires.
+                t.portLo = INT32_MIN;
+                t.portHi = INT32_MAX;
+            } else {
+                t.portLo = d.portLo;
+                t.portHi = d.portHi;
+            }
+        }
+        if (d.opcode == Opcode::Ret)
+            t.src0 = static_cast<uint8_t>(Simulator::kAddrBase +
+                                          regs::AddrLink);
+        if (d.opcode == Opcode::Bt)
+            t.imm2 = pc + 1;
+
+        // The emitted sequence of potentially-faulting ops must keep
+        // slot order, or the two engines would report different first
+        // faults for a multi-fault instruction.
+        const bool canFault =
+            d.opcode == Opcode::Div || d.opcode == Opcode::Rem ||
+            d.opcode == Opcode::In || d.opcode == Opcode::InF ||
+            (isMemOp(d.opcode) && !d.staticChecked);
+        if (canFault) {
+            if (d.slot < lastFaultSlot)
+                bail = true;
+            lastFaultSlot = d.slot;
+        }
+
+        switch (d.opcode) {
+          case Opcode::Add:
+          case Opcode::Sub:
+          case Opcode::Mul:
+          case Opcode::Div:
+          case Opcode::Rem:
+          case Opcode::And:
+          case Opcode::Or:
+          case Opcode::Xor:
+          case Opcode::Shl:
+          case Opcode::Shr:
+          case Opcode::Mac:
+          case Opcode::CmpEQ:
+          case Opcode::CmpNE:
+          case Opcode::CmpLT:
+          case Opcode::CmpLE:
+          case Opcode::CmpGT:
+          case Opcode::CmpGE:
+          case Opcode::FAdd:
+          case Opcode::FSub:
+          case Opcode::FMul:
+          case Opcode::FDiv:
+          case Opcode::FMac:
+          case Opcode::FCmpEQ:
+          case Opcode::FCmpNE:
+          case Opcode::FCmpLT:
+          case Opcode::FCmpLE:
+          case Opcode::FCmpGT:
+          case Opcode::FCmpGE:
+            renameRead(t.src0);
+            renameRead(t.src1);
+            break;
+          case Opcode::Copy:
+          case Opcode::AddI:
+          case Opcode::MulI:
+          case Opcode::AndI:
+          case Opcode::ShlI:
+          case Opcode::ShrI:
+          case Opcode::Neg:
+          case Opcode::Not:
+          case Opcode::CmpEQI:
+          case Opcode::CmpNEI:
+          case Opcode::CmpLTI:
+          case Opcode::CmpLEI:
+          case Opcode::CmpGTI:
+          case Opcode::CmpGEI:
+          case Opcode::FNeg:
+          case Opcode::IToF:
+          case Opcode::FToI:
+          case Opcode::AAddI:
+          case Opcode::Out:
+          case Opcode::OutF:
+          case Opcode::Bt:
+          case Opcode::Ret:
+            renameRead(t.src0);
+            break;
+          case Opcode::Ld:
+          case Opcode::LdF:
+          case Opcode::LdA:
+          case Opcode::Lea:
+            renameRead(t.base);
+            renameRead(t.index);
+            break;
+          case Opcode::St:
+          case Opcode::StF:
+          case Opcode::StA:
+            renameRead(t.src0);
+            renameRead(t.base);
+            renameRead(t.index);
+            break;
+          default:
+            break; // MovI/MovF/In/Jmp/Call/Halt read no registers
+        }
+
+        // A read-modify-write accumulator clobbered earlier in the
+        // same cycle cannot be renamed (the handler reads its dst).
+        if (readsDst(d.opcode) && t.dst != Simulator::kNoReg &&
+            written[t.dst])
+            bail = true;
+        // The control op commits FIRST under the fast path's slot
+        // order but executes LAST here; a write/write race against it
+        // would resolve the other way.
+        if (d.opcode == Opcode::Call &&
+            written[Simulator::kAddrBase + regs::AddrLink])
+            bail = true;
+
+        const bool writesReg = !isStore(d.opcode) &&
+                               d.opcode != Opcode::Out &&
+                               d.opcode != Opcode::OutF &&
+                               !isControlOpcode(d.opcode) &&
+                               t.dst != Simulator::kNoReg;
+        if (writesReg)
+            written[t.dst] = true;
+        emitted.push_back(t);
+    };
+
+    for (int k = 0; k < nbody && !bail; ++k)
+        translateOne(*body[k]);
+    for (int k = 0; k < nstores && !bail; ++k)
+        translateOne(*stores[k]);
+    if (ctrl && !bail)
+        translateOne(*ctrl);
+
+    if (bail) {
+        TOp t;
+        t.opc = ctrl ? Opc::SlowTail : Opc::SlowInst;
+        t.pc = pc;
+        tb.code.push_back(t);
+        ++sim.tstats.slowInstructions;
+        return;
+    }
+
+    tb.code.insert(tb.code.end(), saves.begin(), saves.end());
+    TOp ctrlOp;
+    if (ctrl) {
+        ctrlOp = emitted.back();
+        emitted.pop_back();
+    }
+    tb.code.insert(tb.code.end(), emitted.begin(), emitted.end());
+    if (di.writesSp) {
+        TOp w;
+        w.opc = Opc::WMark;
+        w.pc = pc;
+        tb.code.push_back(w);
+    }
+    if (ctrl)
+        tb.code.push_back(ctrlOp);
+}
+
+void
+ThreadedEngine::assignHandlers(ThreadedBlock &tb)
+{
+#if DSP_THREADED_GOTO
+    const void *const *table = handlerTable();
+    for (TOp &t : tb.code)
+        t.handler = table[static_cast<int>(t.opc)];
+#else
+    (void)tb; // tail-switch dispatch reads TOp::opc directly
+#endif
+}
+
+const void *const *
+ThreadedEngine::handlerTable()
+{
+    return execImpl(nullptr, 0);
+}
+
+const char *
+ThreadedEngine::dispatchName()
+{
+#if DSP_THREADED_GOTO
+    return "computed-goto";
+#else
+    return "tail-switch";
+#endif
+}
+
+// ---------------------------------------------------------------------
+// Execution.
+// ---------------------------------------------------------------------
+
+void
+ThreadedEngine::faultAddress(const TOp &t, int32_t addr) const
+{
+    const bool dual = sim.prog.config.dualPorted;
+    const char *bank = dual ? "X|Y" : (t.slot == SlotMU1 ? "Y" : "X");
+    fatal("bank ", bank, " access out of range at pc=", t.pc, ": '",
+          t.origin->str(), "' addr ", addr, " not in [", t.portLo,
+          ", ", t.portHi, ")");
+}
+
+void
+ThreadedEngine::slowReplay(const TOp &t)
+{
+    const Simulator::DecodedInst &di = sim.decodedInsts[t.pc];
+    sim.simStats.cycles -= 1;
+    sim.simStats.opsExecuted -= di.count;
+    sim.simStats.memOps -= di.memCount;
+    sim.simStats.pairedMemCycles -= di.paired ? 1 : 0;
+    sim.curPc = t.pc;
+    sim.stepFast();
+}
+
+void
+ThreadedEngine::exec(ThreadedBlock *tb, long max_cycles)
+{
+    execImpl(tb, max_cycles);
+}
+
+const void *const *
+ThreadedEngine::execImpl(ThreadedBlock *tb, long max_cycles)
+{
+    Simulator &S = sim;
+    uint32_t *const rf = S.regFile;
+    uint32_t *const memv = S.memory.data();
+    TOp *ip = nullptr;
+
+#define ENTER_STATS(b)                                                 \
+    do {                                                               \
+        S.simStats.cycles += (b)->cycles;                              \
+        S.simStats.opsExecuted += (b)->ops;                            \
+        S.simStats.memOps += (b)->memOps;                              \
+        S.simStats.pairedMemCycles += (b)->pairedCycles;               \
+    } while (0)
+
+#if DSP_THREADED_GOTO
+
+    // Handler label table, indexed by TOp::Opc value — the order here
+    // MUST match the enum declaration order in threaded_engine.hh.
+    static const void *const table[] = {
+        &&L_MovI, &&L_Copy,
+        &&L_Add, &&L_Sub, &&L_Mul, &&L_Div, &&L_Rem, &&L_And, &&L_Or,
+        &&L_Xor, &&L_Shl, &&L_Shr, &&L_AddI, &&L_MulI, &&L_AndI,
+        &&L_ShlI, &&L_ShrI, &&L_Neg, &&L_Not, &&L_Mac,
+        &&L_CmpEQ, &&L_CmpNE, &&L_CmpLT, &&L_CmpLE, &&L_CmpGT,
+        &&L_CmpGE, &&L_CmpEQI, &&L_CmpNEI, &&L_CmpLTI, &&L_CmpLEI,
+        &&L_CmpGTI, &&L_CmpGEI,
+        &&L_FAdd, &&L_FSub, &&L_FMul, &&L_FDiv, &&L_FNeg, &&L_FMac,
+        &&L_FCmpEQ, &&L_FCmpNE, &&L_FCmpLT, &&L_FCmpLE, &&L_FCmpGT,
+        &&L_FCmpGE, &&L_IToF, &&L_FToI,
+        &&L_Ld, &&L_St, &&L_Lea, &&L_AAddI,
+        &&L_In, &&L_OutI, &&L_OutF,
+        &&L_WMark, &&L_SlowInst, &&L_SlowTail,
+        &&L_Jmp, &&L_Bt, &&L_Call, &&L_Ret, &&L_Halt, &&L_FallThru,
+        &&L_LdLd, &&L_LdMac, &&L_LdFMac, &&L_AddSt, &&L_AddISt,
+    };
+    static_assert(sizeof(table) / sizeof(table[0]) ==
+                      static_cast<std::size_t>(Opc::Count),
+                  "handler table out of sync with TOp::Opc");
+    if (!tb)
+        return table;
+
+#define HANDLER(name) L_##name:
+#define DISPATCH() goto *ip->handler
+#define NEXT(n)                                                        \
+    do {                                                               \
+        ip += (n);                                                     \
+        DISPATCH();                                                    \
+    } while (0)
+
+#else
+
+    if (!tb)
+        return nullptr;
+
+#define HANDLER(name) case Opc::name:
+#define DISPATCH() goto dispatch
+#define NEXT(n)                                                        \
+    do {                                                               \
+        ip += (n);                                                     \
+        goto dispatch;                                                 \
+    } while (0)
+
+#endif
+
+// Operand accessors over the unified register file.
+#define RDI(idx) static_cast<int32_t>(rf[idx])
+#define RDF(idx) bitsFloat(rf[idx])
+#define WRI(idx, v)                                                    \
+    rf[idx] = static_cast<uint32_t>(static_cast<int32_t>(v))
+#define WRF(idx, v) rf[idx] = floatBits(v)
+
+// Branchless address resolution (absent base/index point at the
+// hardwired-zero slot) followed by the port-range check; decode-
+// validated addresses carry a sentinel range that can never fire.
+#define RESOLVE(t, a)                                                  \
+    int32_t a = (t)->imm;                                              \
+    a += static_cast<int32_t>(rf[(t)->base]);                          \
+    a += static_cast<int32_t>(rf[(t)->index]);                         \
+    if (a < (t)->portLo || a >= (t)->portHi)                           \
+        faultAddress(*(t), a)
+
+// Transfer control along an edge: look up and lazily patch the cached
+// target trace, exit to the driver when the target is cold or the
+// remaining budget no longer covers it (the driver interprets the
+// tail instruction-at-a-time, preserving exact budget semantics).
+#define CHAIN(targetExpr, linkRef)                                     \
+    do {                                                               \
+        const int t_ = (targetExpr);                                   \
+        S.curPc = t_;                                                  \
+        ThreadedBlock *nb_ = (linkRef);                                \
+        if (!nb_) {                                                    \
+            nb_ = blockAt(t_);                                         \
+            if (!nb_)                                                  \
+                return nullptr;                                        \
+            checkFaultSite("sim.chain");                               \
+            (linkRef) = nb_;                                           \
+            ++S.tstats.chainsPatched;                                  \
+        }                                                              \
+        if (nb_->cycles > max_cycles - S.simStats.cycles)              \
+            return nullptr;                                            \
+        ENTER_STATS(nb_);                                              \
+        ip = nb_->code.data();                                         \
+        DISPATCH();                                                    \
+    } while (0)
+
+// One-line handler families.
+#define ALU2(name, expr)                                               \
+    HANDLER(name)                                                      \
+    {                                                                  \
+        const int32_t a = RDI(ip->src0);                               \
+        const int32_t b = RDI(ip->src1);                               \
+        WRI(ip->dst, (expr));                                          \
+        NEXT(1);                                                       \
+    }
+#define ALU1(name, expr)                                               \
+    HANDLER(name)                                                      \
+    {                                                                  \
+        const int32_t a = RDI(ip->src0);                               \
+        WRI(ip->dst, (expr));                                          \
+        NEXT(1);                                                       \
+    }
+#define FOP2(name, expr)                                               \
+    HANDLER(name)                                                      \
+    {                                                                  \
+        const float a = RDF(ip->src0);                                 \
+        const float b = RDF(ip->src1);                                 \
+        WRF(ip->dst, (expr));                                          \
+        NEXT(1);                                                       \
+    }
+#define FCMP(name, expr)                                               \
+    HANDLER(name)                                                      \
+    {                                                                  \
+        const float a = RDF(ip->src0);                                 \
+        const float b = RDF(ip->src1);                                 \
+        WRI(ip->dst, (expr));                                          \
+        NEXT(1);                                                       \
+    }
+
+    ENTER_STATS(tb);
+    ip = tb->code.data();
+
+#if DSP_THREADED_GOTO
+    DISPATCH();
+#else
+  dispatch:
+    switch (ip->opc) {
+#endif
+
+    // ----- moves -----
+    HANDLER(MovI)
+    {
+        rf[ip->dst] = static_cast<uint32_t>(ip->imm);
+        NEXT(1);
+    }
+    HANDLER(Copy)
+    {
+        rf[ip->dst] = rf[ip->src0];
+        NEXT(1);
+    }
+
+    // ----- integer ALU -----
+    ALU2(Add, wrapAdd(a, b))
+    ALU2(Sub, wrapSub(a, b))
+    ALU2(Mul, wrapMul(a, b))
+    HANDLER(Div)
+    {
+        const int32_t v = RDI(ip->src1);
+        if (v == 0)
+            fatal("integer division by zero at pc=", ip->pc);
+        WRI(ip->dst, wrapDiv(RDI(ip->src0), v));
+        NEXT(1);
+    }
+    HANDLER(Rem)
+    {
+        const int32_t v = RDI(ip->src1);
+        if (v == 0)
+            fatal("integer remainder by zero at pc=", ip->pc);
+        WRI(ip->dst, wrapRem(RDI(ip->src0), v));
+        NEXT(1);
+    }
+    ALU2(And, a & b)
+    ALU2(Or, a | b)
+    ALU2(Xor, a ^ b)
+    ALU2(Shl, wrapShl(a, b & 31))
+    ALU2(Shr, a >> (b & 31))
+    ALU1(AddI, wrapAdd(a, ip->imm))
+    ALU1(MulI, wrapMul(a, ip->imm))
+    ALU1(AndI, a &ip->imm)
+    ALU1(ShlI, wrapShl(a, ip->imm & 31))
+    ALU1(ShrI, a >> (ip->imm & 31))
+    ALU1(Neg, wrapNeg(a))
+    ALU1(Not, ~a)
+    HANDLER(Mac)
+    {
+        WRI(ip->dst, wrapAdd(RDI(ip->dst),
+                             wrapMul(RDI(ip->src0), RDI(ip->src1))));
+        NEXT(1);
+    }
+
+    // ----- integer compares -----
+    ALU2(CmpEQ, a == b)
+    ALU2(CmpNE, a != b)
+    ALU2(CmpLT, a < b)
+    ALU2(CmpLE, a <= b)
+    ALU2(CmpGT, a > b)
+    ALU2(CmpGE, a >= b)
+    ALU1(CmpEQI, a == ip->imm)
+    ALU1(CmpNEI, a != ip->imm)
+    ALU1(CmpLTI, a < ip->imm)
+    ALU1(CmpLEI, a <= ip->imm)
+    ALU1(CmpGTI, a > ip->imm)
+    ALU1(CmpGEI, a >= ip->imm)
+
+    // ----- floating point -----
+    FOP2(FAdd, a + b)
+    FOP2(FSub, a - b)
+    FOP2(FMul, a *b)
+    FOP2(FDiv, a / b)
+    HANDLER(FNeg)
+    {
+        WRF(ip->dst, -RDF(ip->src0));
+        NEXT(1);
+    }
+    HANDLER(FMac)
+    {
+        WRF(ip->dst,
+            RDF(ip->dst) + RDF(ip->src0) * RDF(ip->src1));
+        NEXT(1);
+    }
+    FCMP(FCmpEQ, a == b)
+    FCMP(FCmpNE, a != b)
+    FCMP(FCmpLT, a < b)
+    FCMP(FCmpLE, a <= b)
+    FCMP(FCmpGT, a > b)
+    FCMP(FCmpGE, a >= b)
+    HANDLER(IToF)
+    {
+        WRF(ip->dst, static_cast<float>(RDI(ip->src0)));
+        NEXT(1);
+    }
+    HANDLER(FToI)
+    {
+        WRI(ip->dst, static_cast<int32_t>(RDF(ip->src0)));
+        NEXT(1);
+    }
+
+    // ----- memory / addresses -----
+    HANDLER(Ld)
+    {
+        RESOLVE(ip, addr);
+        rf[ip->dst] = memv[addr];
+        NEXT(1);
+    }
+    HANDLER(St)
+    {
+        RESOLVE(ip, addr);
+        memv[addr] = rf[ip->src0];
+        NEXT(1);
+    }
+    HANDLER(Lea)
+    {
+        int32_t addr = ip->imm;
+        addr += static_cast<int32_t>(rf[ip->base]);
+        addr += static_cast<int32_t>(rf[ip->index]);
+        rf[ip->dst] = static_cast<uint32_t>(addr);
+        NEXT(1);
+    }
+    HANDLER(AAddI)
+    {
+        rf[ip->dst] = rf[ip->src0] + static_cast<uint32_t>(ip->imm);
+        NEXT(1);
+    }
+
+    // ----- I/O -----
+    HANDLER(In)
+    {
+        if (S.inputPos >= S.input.size())
+            fatal("input channel underrun at pc=", ip->pc);
+        rf[ip->dst] = S.input[S.inputPos++];
+        NEXT(1);
+    }
+    HANDLER(OutI)
+    {
+        S.outWords.push_back({rf[ip->src0], false});
+        NEXT(1);
+    }
+    HANDLER(OutF)
+    {
+        S.outWords.push_back({rf[ip->src0], true});
+        NEXT(1);
+    }
+
+    // ----- trace plumbing -----
+    HANDLER(WMark)
+    {
+        S.updateStackWatermarks();
+        NEXT(1);
+    }
+    HANDLER(SlowInst)
+    {
+        slowReplay(*ip);
+        NEXT(1);
+    }
+    HANDLER(SlowTail)
+    {
+        slowReplay(*ip);
+        return nullptr;
+    }
+
+    // ----- control -----
+    HANDLER(Jmp) { CHAIN(ip->imm, ip->link); }
+    HANDLER(Bt)
+    {
+        if (RDI(ip->src0) != 0)
+            CHAIN(ip->imm, ip->link);
+        CHAIN(ip->imm2, ip->link2);
+    }
+    HANDLER(Call)
+    {
+        rf[Simulator::kAddrBase + regs::AddrLink] =
+            static_cast<uint32_t>(ip->pc + 1);
+        CHAIN(ip->imm, ip->link);
+    }
+    HANDLER(Ret)
+    {
+        // Dynamic target: per-execution lookup, no patching.
+        const int t = static_cast<int>(rf[ip->src0]);
+        S.curPc = t;
+        ThreadedBlock *nb = blockAt(t);
+        if (!nb)
+            return nullptr;
+        checkFaultSite("sim.chain");
+        if (nb->cycles > max_cycles - S.simStats.cycles)
+            return nullptr;
+        ENTER_STATS(nb);
+        ip = nb->code.data();
+        DISPATCH();
+    }
+    HANDLER(Halt)
+    {
+        S.isHalted = true;
+        S.curPc = ip->pc + 1;
+        return nullptr;
+    }
+    HANDLER(FallThru) { CHAIN(ip->imm, ip->link); }
+
+    // ----- superinstructions -----
+    HANDLER(LdLd)
+    {
+        RESOLVE(ip, a0);
+        rf[ip->dst] = memv[a0];
+        TOp *t1 = ip + 1;
+        RESOLVE(t1, a1);
+        rf[t1->dst] = memv[a1];
+        NEXT(2);
+    }
+    HANDLER(LdMac)
+    {
+        RESOLVE(ip, a0);
+        rf[ip->dst] = memv[a0];
+        TOp *t1 = ip + 1;
+        WRI(t1->dst, wrapAdd(RDI(t1->dst),
+                             wrapMul(RDI(t1->src0), RDI(t1->src1))));
+        NEXT(2);
+    }
+    HANDLER(LdFMac)
+    {
+        RESOLVE(ip, a0);
+        rf[ip->dst] = memv[a0];
+        TOp *t1 = ip + 1;
+        WRF(t1->dst,
+            RDF(t1->dst) + RDF(t1->src0) * RDF(t1->src1));
+        NEXT(2);
+    }
+    HANDLER(AddSt)
+    {
+        WRI(ip->dst, wrapAdd(RDI(ip->src0), RDI(ip->src1)));
+        TOp *t1 = ip + 1;
+        RESOLVE(t1, a1);
+        memv[a1] = rf[t1->src0];
+        NEXT(2);
+    }
+    HANDLER(AddISt)
+    {
+        WRI(ip->dst, wrapAdd(RDI(ip->src0), ip->imm));
+        TOp *t1 = ip + 1;
+        RESOLVE(t1, a1);
+        memv[a1] = rf[t1->src0];
+        NEXT(2);
+    }
+
+#if !DSP_THREADED_GOTO
+      case Opc::Count:
+        break;
+    }
+    panic("threaded dispatch fell through at pc=", S.curPc);
+#endif
+
+#undef ALU2
+#undef ALU1
+#undef FOP2
+#undef FCMP
+#undef CHAIN
+#undef RESOLVE
+#undef WRF
+#undef WRI
+#undef RDF
+#undef RDI
+#undef NEXT
+#undef DISPATCH
+#undef HANDLER
+#undef ENTER_STATS
+}
+
+} // namespace dsp

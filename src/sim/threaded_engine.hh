@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Trace-guided threaded-code engine behind Fidelity::Threaded.
+ *
+ * The fast interpreter pays a dispatch branch, a stats update, and a
+ * commit loop on every micro-op of every cycle. This engine removes
+ * all three for hot code:
+ *
+ *  - TRANSLATION. Each basic block of the predecoded micro-op array
+ *    runs on the fast path until its entry counter crosses a hot
+ *    threshold, then gets compiled into a contiguous array of TOps —
+ *    threaded code whose every element carries the address of its
+ *    handler. Dispatch is a computed goto (`goto *ip->handler`) where
+ *    the compiler supports labels-as-values, or a portable tail-switch
+ *    otherwise (configure-time detection; see DSP_THREADED_GOTO in
+ *    threaded_engine.cc).
+ *
+ *  - RENAMING instead of commit buffers. The VLIW's read-before-write
+ *    semantics inside an instruction are enforced at translate time:
+ *    an op that reads a register written by an earlier-emitted op of
+ *    the same instruction reads a scratch slot instead, loaded with
+ *    the old value by a Copy emitted at the instruction start. All
+ *    handler writes then go straight to the register file / memory.
+ *    Instructions whose hazards cannot be renamed (a read-modify-write
+ *    dst clobbered in the same cycle, a write/write race against the
+ *    control op, a fault-order inversion) fall back to one SlowInst
+ *    TOp that replays the instruction through the buffered fast step.
+ *
+ *  - BLOCK-GRANULAR STATS. A block's cycle/op/memory-op/paired-cycle
+ *    contributions are precomputed at translate time and added once on
+ *    entry. The driver only enters a trace when the remaining cycle
+ *    budget covers the whole block, so runBounded's exact budget
+ *    semantics are preserved: budget tails are interpreted
+ *    instruction-at-a-time on the fast path.
+ *
+ *  - CHAINING. Control handlers cache the translated target block in
+ *    their TOp (patched lazily on first transfer) and jump straight
+ *    into its trace, so steady-state loops and call/return webs never
+ *    return to the driver loop. Ret chains through a per-execution
+ *    table lookup (its target is dynamic).
+ *
+ *  - SUPERINSTRUCTIONS. Adjacent TOp pairs that dominate DSP kernels
+ *    (dual-bank load+load, load+mac, add+store; see superinst.hh) are
+ *    fused into one handler that consumes both TOps, halving dispatch
+ *    on the hottest paths.
+ *
+ * Fault injection: translation runs the "sim.translate" site and every
+ * chain patch runs "sim.chain". An InjectedFault from either unwinds
+ * to Simulator::runThreaded, which disables the engine for the rest of
+ * the run, records a DegradationEvent (Kind::EngineDeopt), and
+ * continues bit-exact on the fast path.
+ */
+
+#ifndef DSP_SIM_THREADED_ENGINE_HH
+#define DSP_SIM_THREADED_ENGINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace dsp
+{
+
+struct Op;
+struct ThreadedBlock;
+
+/**
+ * Threaded-code micro-op. One TOp usually encodes one DecodedOp; the
+ * extra opcodes cover trace plumbing (renaming copies, watermark
+ * updates, block exits) and fused pairs. Fused TOps read their own
+ * fields and those of the following TOp, which stays in the stream as
+ * data but is never dispatched.
+ */
+struct TOp
+{
+    /** Opcode namespace of the threaded engine (order is load-bearing:
+     *  the computed-goto handler table indexes by value). */
+    enum class Opc : uint8_t
+    {
+        // moves
+        MovI, Copy,
+        // integer ALU
+        Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr,
+        AddI, MulI, AndI, ShlI, ShrI, Neg, Not, Mac,
+        // integer compares
+        CmpEQ, CmpNE, CmpLT, CmpLE, CmpGT, CmpGE,
+        CmpEQI, CmpNEI, CmpLTI, CmpLEI, CmpGTI, CmpGEI,
+        // floating point
+        FAdd, FSub, FMul, FDiv, FNeg, FMac,
+        FCmpEQ, FCmpNE, FCmpLT, FCmpLE, FCmpGT, FCmpGE,
+        IToF, FToI,
+        // memory / addresses (Ld covers Ld/LdF/LdA: raw word moves)
+        Ld, St, Lea, AAddI,
+        // I/O
+        In, OutI, OutF,
+        // trace plumbing
+        WMark,    ///< update stack watermarks (instruction wrote an SP)
+        SlowInst, ///< replay this instruction via the buffered fast step
+        SlowTail, ///< SlowInst for a block-ending instruction: exit after
+        // control (always the last TOp of its instruction)
+        Jmp, Bt, Call, Ret, Halt,
+        FallThru, ///< block ended without a control op: chain to `imm`
+        // superinstructions (fused pairs; see superinst.hh)
+        LdLd, LdMac, LdFMac, AddSt, AddISt,
+
+        Count,
+    };
+
+    /** Handler label address (computed-goto builds; unused, and left
+     *  null, under tail-switch dispatch). */
+    const void *handler = nullptr;
+    Opc opc = Opc::MovI;
+    uint8_t dst = 0;
+    uint8_t src0 = 0;
+    uint8_t src1 = 0;
+    /** Memory operands: unified register-file indices; absent operands
+     *  point at the hardwired-zero scratch slot so address resolution
+     *  is branchless. */
+    uint8_t base = 0;
+    uint8_t index = 0;
+    /** Issue slot of the originating op (bank naming in faults). */
+    uint8_t slot = 0;
+    /** Immediate / static address part / branch target pc. */
+    int32_t imm = 0;
+    /** Bt only: fall-through pc. */
+    int32_t imm2 = 0;
+    /** Legal word-address range; decode-validated static addresses get
+     *  (INT32_MIN, INT32_MAX) so the always-taken check never fires. */
+    int32_t portLo = 0;
+    int32_t portHi = 0;
+    /** Originating instruction pc (fault messages, slow replays). */
+    int32_t pc = 0;
+    /** Chained target trace (control TOps; patched lazily). */
+    ThreadedBlock *link = nullptr;
+    /** Bt only: chained fall-through trace. */
+    ThreadedBlock *link2 = nullptr;
+    /** Original operation, for fault diagnostics only. */
+    const Op *origin = nullptr;
+};
+
+/** One translated basic block: a contiguous trace plus its precomputed
+ *  per-execution statistics contributions. */
+struct ThreadedBlock
+{
+    int head = 0; ///< pc of the first instruction
+    int end = 0;  ///< pc one past the last instruction
+    /** Whole-block stats, added once at entry (exact because a basic
+     *  block, once entered, executes every instruction). */
+    long cycles = 0;
+    long ops = 0;
+    long memOps = 0;
+    long pairedCycles = 0;
+    std::vector<TOp> code;
+};
+
+/**
+ * Per-simulator translation cache and executor. Constructed lazily on
+ * the first threaded run; traces depend only on the predecoded
+ * program, so they survive Simulator::reset().
+ */
+class ThreadedEngine
+{
+  public:
+    explicit ThreadedEngine(Simulator &sim);
+
+    /** The trace anchored at @p pc, or null if @p pc is cold, not a
+     *  block head, or the engine is disabled. */
+    ThreadedBlock *blockAt(int pc) const
+    {
+        if (off || pc < 0 || pc >= static_cast<int>(byHead.size()))
+            return nullptr;
+        return byHead[pc];
+    }
+
+    /**
+     * Record one interpreted entry at @p pc. When @p pc is a block
+     * head whose heat crosses the hot threshold this translates the
+     * block (running the "sim.translate" fault site, which may throw
+     * InjectedFault) and returns true so the caller re-dispatches.
+     */
+    bool noteBlockEntry(int pc);
+
+    /**
+     * Execute @p tb and everything it chains to, returning when
+     * control reaches untranslated code, the remaining budget no
+     * longer covers the next block, or the machine halts. The caller
+     * must have checked that @p max_cycles - cycles covers @p tb.
+     * Leaves Simulator::curPc at the next instruction to execute. An
+     * injected "sim.chain" fault propagates with machine state
+     * consistent at that pc.
+     */
+    void exec(ThreadedBlock *tb, long max_cycles);
+
+    /** Deopt: stop translating, chaining, and executing traces. */
+    void disable() { off = true; }
+    bool disabled() const { return off; }
+    /** Re-arm after reset(): a fresh run starts undegraded. */
+    void rearm() { off = false; }
+
+    /** Blocks entered below this many times interpret on the fast
+     *  path; translation is for code that will amortize it. */
+    static constexpr int kHotThreshold = 16;
+
+    /** "computed-goto" or "tail-switch" — how this build dispatches. */
+    static const char *dispatchName();
+
+  private:
+    Simulator &sim;
+    bool off = false;
+    /** Per-pc: is this pc a basic-block leader? */
+    std::vector<uint8_t> leader;
+    /** Per-leader interpreted entry count (hot detection). */
+    std::vector<int> heat;
+    /** Translated trace per block-head pc (null = cold). */
+    std::vector<ThreadedBlock *> byHead;
+    std::vector<std::unique_ptr<ThreadedBlock>> blocks;
+
+    ThreadedBlock *translate(int head);
+    void emitInst(ThreadedBlock &tb, int pc);
+    bool instHasControl(int pc) const;
+
+    /** Shared body of exec() and (computed-goto builds) the handler
+     *  table query: a null @p tb returns the label table. */
+    const void *const *execImpl(ThreadedBlock *tb, long max_cycles);
+    const void *const *handlerTable();
+    void assignHandlers(ThreadedBlock &tb);
+
+    /** Bank-range fault, bit-identical to the fast path's message. */
+    [[noreturn]] void faultAddress(const TOp &t, int32_t addr) const;
+    /** Replay one hazardous instruction through the buffered fast
+     *  step, first backing its contributions out of the block-granular
+     *  stats the trace entry already added. */
+    void slowReplay(const TOp &t);
+};
+
+} // namespace dsp
+
+#endif // DSP_SIM_THREADED_ENGINE_HH

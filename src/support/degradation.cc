@@ -1,0 +1,33 @@
+#include "support/degradation.hh"
+
+namespace dsp
+{
+
+const char *
+degradationKindName(DegradationEvent::Kind kind)
+{
+    switch (kind) {
+      case DegradationEvent::Kind::PassRollback: return "pass-rollback";
+      case DegradationEvent::Kind::ModeFallback: return "mode-fallback";
+      case DegradationEvent::Kind::OptFallback: return "opt-fallback";
+      case DegradationEvent::Kind::EngineDeopt: return "engine-deopt";
+    }
+    return "?";
+}
+
+std::string
+DegradationEvent::str() const
+{
+    std::string out = degradationKindName(kind);
+    out += " ";
+    out += stage;
+    if (!function.empty()) {
+        out += " in ";
+        out += function;
+    }
+    out += ": ";
+    out += detail;
+    return out;
+}
+
+} // namespace dsp

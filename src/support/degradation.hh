@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Structured degradation events, shared by every resilience layer.
+ *
+ * A DegradationEvent records one fallback mechanism firing: an
+ * optimization pass rolled back, a compile retried down the
+ * single-bank ladder, or an execution engine deoptimizing to a safer
+ * tier. The driver's graceful-degradation ladder (driver/compiler.hh)
+ * and the simulator's threaded-code engine (sim/threaded_engine.hh)
+ * both emit them, so the struct lives here in support/ — below both —
+ * and keeps one stable, grep-able string format for logs, tests, and
+ * the BENCH_sim.json degradation trail.
+ */
+
+#ifndef DSP_SUPPORT_DEGRADATION_HH
+#define DSP_SUPPORT_DEGRADATION_HH
+
+#include <string>
+
+namespace dsp
+{
+
+/** One resilience mechanism firing during a degraded compile or run. */
+struct DegradationEvent
+{
+    enum class Kind : unsigned char
+    {
+        PassRollback, ///< an opt pass was rolled back and disabled
+        ModeFallback, ///< recompiled with single-bank allocation
+        OptFallback,  ///< recompiled with the optimizer disabled
+        EngineDeopt   ///< an execution engine fell back to a safer tier
+    };
+
+    Kind kind = Kind::PassRollback;
+    /** Pipeline stage / fault site ("opt.dce", "sim.translate"). */
+    std::string stage;
+    /** Affected function; empty for module- or program-wide events. */
+    std::string function;
+    /** What went wrong (exception message, verifier findings). */
+    std::string detail;
+
+    /** "pass-rollback opt.dce in main: ..." (stable, grep-able). */
+    std::string str() const;
+};
+
+const char *degradationKindName(DegradationEvent::Kind kind);
+
+} // namespace dsp
+
+#endif // DSP_SUPPORT_DEGRADATION_HH

@@ -171,15 +171,74 @@ TEST(Chaos, SimMemFaultClassifiedIdenticallyAcrossEngines)
 
     RunOutcome fast = faultedRun(Fidelity::Fast);
     RunOutcome instrumented = faultedRun(Fidelity::Instrumented);
+    RunOutcome threaded = faultedRun(Fidelity::Threaded);
 
     EXPECT_FALSE(fast.ok);
     EXPECT_FALSE(instrumented.ok);
+    EXPECT_FALSE(threaded.ok);
     EXPECT_FALSE(fast.timedOut);
     EXPECT_FALSE(instrumented.timedOut);
+    EXPECT_FALSE(threaded.timedOut);
     EXPECT_EQ(fast.error, instrumented.error);
+    EXPECT_EQ(threaded.error, instrumented.error);
     EXPECT_NE(fast.error.find("injected memory fault"),
               std::string::npos)
         << fast.error;
+}
+
+/**
+ * The threaded engine's own fault sites: an injected fault at
+ * translation ("sim.translate") or chain patching ("sim.chain") must
+ * never abort the run — the engine deopts to the fast path, the run
+ * completes with reference-exact output, and the deopt is visible as
+ * a structured DegradationEvent naming the site.
+ */
+TEST(Chaos, ThreadedEngineDeoptsCleanlyOnInjectedFaults)
+{
+    const Benchmark *bench = allBenchmarks().front();
+    CompileOptions opts;
+    opts.mode = AllocMode::CB;
+    CompileResult compiled = compileSource(bench->source, opts);
+
+    RunOutcome reference =
+        tryRunProgram(compiled, bench->input, 200'000'000,
+                      Fidelity::Fast);
+    ASSERT_TRUE(reference.ok) << reference.error;
+
+    for (const char *site : {"sim.translate", "sim.chain"}) {
+        FaultPlan plan;
+        plan.arm(site);
+        ScopedFaultPlan scope(plan);
+
+        RunOutcome outcome;
+        ASSERT_NO_THROW(outcome = tryRunProgram(compiled, bench->input,
+                                                200'000'000,
+                                                Fidelity::Threaded))
+            << "injected fault at " << site << " aborted the run";
+        ASSERT_TRUE(outcome.ok) << site << ": " << outcome.error;
+        EXPECT_TRUE(plan.fired(site))
+            << site << " was never reached under threaded execution";
+
+        // Bit-exact continuation on the fast path.
+        ASSERT_EQ(outcome.result.output.size(),
+                  reference.result.output.size())
+            << site;
+        for (std::size_t i = 0; i < reference.result.output.size(); ++i)
+            EXPECT_EQ(outcome.result.output[i].raw,
+                      reference.result.output[i].raw)
+                << site << " word " << i;
+        EXPECT_EQ(outcome.result.stats.cycles,
+                  reference.result.stats.cycles)
+            << site;
+
+        // Structured deopt trail names the site.
+        ASSERT_EQ(outcome.result.engineDegradations.size(), 1u) << site;
+        const DegradationEvent &e = outcome.result.engineDegradations[0];
+        EXPECT_EQ(e.kind, DegradationEvent::Kind::EngineDeopt) << site;
+        EXPECT_EQ(e.stage, site);
+        EXPECT_NE(e.detail.find("injected fault"), std::string::npos)
+            << e.detail;
+    }
 }
 
 TEST(Chaos, SeededRandomPlanNeverAbortsTheSuiteFrontRunner)

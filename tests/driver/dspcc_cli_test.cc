@@ -291,7 +291,27 @@ TEST(DspccCli, ProfileReportPrintsTheRanking)
 
 TEST(DspccCli, BadFidelityIsBadUsage)
 {
-    EXPECT_EQ(runDspcc("--fidelity=bogus whatever.c").exitCode, 1);
+    CliResult r = runDspcc("--fidelity=bogus whatever.c");
+    EXPECT_EQ(r.exitCode, 1);
+    // The rejection names the bad value and lists every valid engine.
+    EXPECT_NE(r.stderrText.find("unknown fidelity 'bogus'"),
+              std::string::npos)
+        << r.stderrText;
+    for (const char *name : {"instrumented", "fast", "threaded"})
+        EXPECT_NE(r.stderrText.find(name), std::string::npos)
+            << "missing '" << name << "' in: " << r.stderrText;
+}
+
+TEST(DspccCli, ThreadedFidelityMatchesInstrumentedRun)
+{
+    TempFile src("dspcc_cli_thr.c", kLoopProgram);
+    CliResult thr = runDspcc("--fidelity=threaded " + src.path);
+    CliResult instrumented =
+        runDspcc("--fidelity=instrumented " + src.path);
+    EXPECT_EQ(thr.exitCode, 0) << thr.stderrText;
+    EXPECT_EQ(instrumented.exitCode, 0) << instrumented.stderrText;
+    // Same cycles / ops / output summary, word for word.
+    EXPECT_EQ(thr.stdoutText, instrumented.stdoutText);
 }
 
 TEST(DspccCli, InjectedSimMemFaultIsAMachineFault)

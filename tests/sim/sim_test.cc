@@ -137,7 +137,8 @@ TEST(SimFaults, RunBoundedBudgetBoundary)
         ASSERT_GT(n, 1);
     }
 
-    for (Fidelity fid : {Fidelity::Instrumented, Fidelity::Fast}) {
+    for (Fidelity fid :
+         {Fidelity::Instrumented, Fidelity::Fast, Fidelity::Threaded}) {
         // Budget N-1: one instruction short of the Halt.
         {
             Simulator sim(compiled.program, *compiled.module, fid);

@@ -1,0 +1,402 @@
+/**
+ * @file
+ * Differential test of the threaded-code engine: for every suite
+ * benchmark under every allocation mode, Fidelity::Threaded must
+ * reproduce the instrumented reference AND the fast path bit for bit —
+ * identical output words, identical statistics, identical final memory
+ * image. This is the contract that lets the benchmark harness measure
+ * on threaded code while the instrumented engine remains the semantic
+ * reference.
+ *
+ * Also pinned here: the fidelity name round-trip, the translation
+ * counters, interrupt coherence (a nonzero interrupt period forces the
+ * instrumented engine under Threaded exactly as under Fast), and the
+ * runBounded budget-boundary semantics on the threaded tier.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/compiler.hh"
+#include "sim/threaded_engine.hh"
+#include "suite/suite.hh"
+
+namespace dsp
+{
+namespace
+{
+
+struct DiffCase
+{
+    const Benchmark *bench;
+    AllocMode mode;
+};
+
+std::vector<DiffCase>
+allCases()
+{
+    std::vector<DiffCase> cases;
+    for (const Benchmark *b : allBenchmarks()) {
+        for (AllocMode mode :
+             {AllocMode::SingleBank, AllocMode::CB, AllocMode::CBDup,
+              AllocMode::FullDup, AllocMode::Ideal}) {
+            cases.push_back({b, mode});
+        }
+    }
+    return cases;
+}
+
+const char *
+modeToken(AllocMode mode)
+{
+    switch (mode) {
+      case AllocMode::SingleBank: return "SingleBank";
+      case AllocMode::CB: return "CB";
+      case AllocMode::CBDup: return "CBDup";
+      case AllocMode::FullDup: return "FullDup";
+      case AllocMode::Ideal: return "Ideal";
+    }
+    return "Unknown";
+}
+
+std::string
+caseName(const testing::TestParamInfo<DiffCase> &info)
+{
+    return info.param.bench->name + "_" + modeToken(info.param.mode);
+}
+
+void
+expectIdenticalRun(Simulator &a, Simulator &b, const char *label)
+{
+    ASSERT_EQ(a.output().size(), b.output().size()) << label;
+    for (std::size_t i = 0; i < b.output().size(); ++i) {
+        ASSERT_EQ(a.output()[i].raw, b.output()[i].raw)
+            << label << " output word " << i;
+        ASSERT_EQ(a.output()[i].isFloat, b.output()[i].isFloat)
+            << label << " output word " << i;
+    }
+
+    EXPECT_EQ(a.stats().cycles, b.stats().cycles) << label;
+    EXPECT_EQ(a.stats().opsExecuted, b.stats().opsExecuted) << label;
+    EXPECT_EQ(a.stats().memOps, b.stats().memOps) << label;
+    EXPECT_EQ(a.stats().pairedMemCycles, b.stats().pairedMemCycles)
+        << label;
+    EXPECT_EQ(a.stats().peakStackX, b.stats().peakStackX) << label;
+    EXPECT_EQ(a.stats().peakStackY, b.stats().peakStackY) << label;
+
+    EXPECT_EQ(a.halted(), b.halted()) << label;
+    EXPECT_EQ(a.pc(), b.pc()) << label;
+}
+
+void
+expectIdenticalMemory(Simulator &a, Simulator &b, int total_words,
+                      const char *label)
+{
+    for (int addr = 0; addr < total_words; ++addr)
+        ASSERT_EQ(a.readMem(addr), b.readMem(addr))
+            << label << " memory word " << addr;
+}
+
+class ThreadedDiff : public testing::TestWithParam<DiffCase>
+{
+};
+
+// The core three-way sweep: instrumented vs fast vs threaded over the
+// full benchmark suite in every allocation mode, comparing output,
+// statistics, and the complete final data-memory image.
+TEST_P(ThreadedDiff, MatchesBothReferenceEngines)
+{
+    const DiffCase &c = GetParam();
+    CompileOptions opts;
+    opts.mode = c.mode;
+    auto compiled = compileSource(c.bench->source, opts);
+    const int total_words = compiled.program.config.totalWords();
+
+    Simulator ref(compiled.program, *compiled.module,
+                  Fidelity::Instrumented);
+    ref.setInput(c.bench->input);
+    ref.run();
+
+    Simulator fast(compiled.program, *compiled.module, Fidelity::Fast);
+    fast.setInput(c.bench->input);
+    fast.run();
+
+    Simulator thr(compiled.program, *compiled.module,
+                  Fidelity::Threaded);
+    thr.setInput(c.bench->input);
+    thr.run();
+
+    expectIdenticalRun(thr, ref, "threaded-vs-instrumented");
+    expectIdenticalRun(thr, fast, "threaded-vs-fast");
+    expectIdenticalMemory(thr, ref, total_words,
+                          "threaded-vs-instrumented");
+    expectIdenticalMemory(thr, fast, total_words, "threaded-vs-fast");
+
+    // No deopts on a clean run, and the engine stays on the hot tier.
+    EXPECT_EQ(thr.threadedStats().deopts, 0);
+    EXPECT_TRUE(thr.engineDegradations().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, ThreadedDiff,
+                         testing::ValuesIn(allCases()), caseName);
+
+// Block profiling forces the precise tier under Threaded exactly as
+// documented: profiles come out engine-independent.
+TEST(ThreadedProfile, BlockProfileMatchesInstrumented)
+{
+    const Benchmark *b = findBenchmark("fir_256_64");
+    ASSERT_NE(b, nullptr);
+    CompileOptions opts;
+    opts.mode = AllocMode::CB;
+    auto compiled = compileSource(b->source, opts);
+
+    Simulator ref(compiled.program, *compiled.module,
+                  Fidelity::Instrumented);
+    ref.setInput(b->input);
+    ref.run();
+
+    Simulator thr(compiled.program, *compiled.module,
+                  Fidelity::Threaded);
+    thr.setBlockProfiling(true);
+    thr.setInput(b->input);
+    thr.run();
+
+    EXPECT_EQ(thr.profile(), ref.profile());
+    EXPECT_EQ(thr.blockCycles(), ref.blockCycles());
+    // Profiling forced the fast path, so nothing was translated.
+    EXPECT_EQ(thr.threadedStats().blocksTranslated, 0);
+
+    ProgramProfile pr = ref.blockProfile();
+    ProgramProfile pt = thr.blockProfile();
+    ASSERT_EQ(pt.blocks.size(), pr.blocks.size());
+    for (std::size_t i = 0; i < pr.blocks.size(); ++i) {
+        EXPECT_EQ(pt.blocks[i].cycles, pr.blocks[i].cycles);
+        EXPECT_EQ(pt.blocks[i].executions, pr.blocks[i].executions);
+        EXPECT_EQ(pt.blocks[i].memOps, pr.blocks[i].memOps);
+    }
+}
+
+// A nonzero interrupt period forces the instrumented engine under
+// Threaded, so duplicated-data interrupt coherence is preserved and
+// interrupts actually deliver.
+TEST(ThreadedInterrupts, InterruptPeriodForcesInstrumentedEngine)
+{
+    const Benchmark *b = findBenchmark("fir_256_64");
+    ASSERT_NE(b, nullptr);
+    CompileOptions opts;
+    opts.mode = AllocMode::CBDup;
+    auto compiled = compileSource(b->source, opts);
+
+    Simulator ref(compiled.program, *compiled.module,
+                  Fidelity::Instrumented);
+    ref.setInterruptPeriod(512);
+    long ref_interrupts = 0;
+    ref.setInterruptHandler([&](Simulator &) { ++ref_interrupts; });
+    ref.setInput(b->input);
+    ref.run();
+
+    Simulator thr(compiled.program, *compiled.module,
+                  Fidelity::Threaded);
+    thr.setInterruptPeriod(512);
+    long thr_interrupts = 0;
+    thr.setInterruptHandler([&](Simulator &) { ++thr_interrupts; });
+    thr.setInput(b->input);
+    thr.run();
+
+    EXPECT_GT(thr_interrupts, 0);
+    EXPECT_EQ(thr_interrupts, ref_interrupts);
+    EXPECT_EQ(thr.stats().interruptsDelivered,
+              ref.stats().interruptsDelivered);
+    EXPECT_EQ(thr.stats().cycles, ref.stats().cycles);
+    ASSERT_EQ(thr.output().size(), ref.output().size());
+    for (std::size_t i = 0; i < ref.output().size(); ++i)
+        EXPECT_EQ(thr.output()[i].raw, ref.output()[i].raw);
+    // The instrumented tier ran: nothing was translated.
+    EXPECT_EQ(thr.threadedStats().blocksTranslated, 0);
+}
+
+// runBounded budget semantics on the threaded tier: a budget of N
+// executes at most N instructions, the halt check precedes the budget
+// check, and resuming after exhaustion continues bit-exact. Hot code
+// makes this interesting: traces are only entered when the remaining
+// budget covers the whole block, so budget tails interpret.
+TEST(ThreadedBudget, RunBoundedBoundaryExactness)
+{
+    const Benchmark *b = findBenchmark("fir_256_64");
+    ASSERT_NE(b, nullptr);
+    CompileOptions opts;
+    opts.mode = AllocMode::CB;
+    auto compiled = compileSource(b->source, opts);
+
+    long n = 0;
+    {
+        Simulator probe(compiled.program, *compiled.module,
+                        Fidelity::Fast);
+        probe.setInput(b->input);
+        ASSERT_EQ(probe.runBounded(200'000'000),
+                  Simulator::RunStatus::Halted);
+        n = probe.stats().cycles;
+        ASSERT_GT(n, ThreadedEngine::kHotThreshold);
+    }
+
+    // Budget N-1: one instruction short of the Halt.
+    {
+        Simulator sim(compiled.program, *compiled.module,
+                      Fidelity::Threaded);
+        sim.setInput(b->input);
+        EXPECT_EQ(sim.runBounded(n - 1),
+                  Simulator::RunStatus::CycleBudgetExhausted);
+        EXPECT_EQ(sim.stats().cycles, n - 1);
+        EXPECT_FALSE(sim.halted());
+    }
+    // Budget N: Halt commits as exactly the N-th instruction.
+    {
+        Simulator sim(compiled.program, *compiled.module,
+                      Fidelity::Threaded);
+        sim.setInput(b->input);
+        EXPECT_EQ(sim.runBounded(n), Simulator::RunStatus::Halted);
+        EXPECT_EQ(sim.stats().cycles, n);
+        EXPECT_TRUE(sim.halted());
+    }
+    // Budget N+1: slack changes nothing.
+    {
+        Simulator sim(compiled.program, *compiled.module,
+                      Fidelity::Threaded);
+        sim.setInput(b->input);
+        EXPECT_EQ(sim.runBounded(n + 1), Simulator::RunStatus::Halted);
+        EXPECT_EQ(sim.stats().cycles, n);
+        EXPECT_TRUE(sim.halted());
+    }
+
+    // Chunked bounded runs (the tryRunProgram poll loop) accumulate to
+    // the same final state as one unbounded run.
+    {
+        Simulator sim(compiled.program, *compiled.module,
+                      Fidelity::Threaded);
+        sim.setInput(b->input);
+        long chunk = n / 7 + 1;
+        Simulator::RunStatus st = Simulator::RunStatus::Halted;
+        for (long bound = chunk; bound < n + chunk; bound += chunk) {
+            st = sim.runBounded(bound);
+            if (st == Simulator::RunStatus::Halted)
+                break;
+        }
+        EXPECT_EQ(st, Simulator::RunStatus::Halted);
+        EXPECT_EQ(sim.stats().cycles, n);
+    }
+}
+
+// The translation counters report real work on a hot benchmark, and a
+// reset clears the run-scoped state while traces survive.
+TEST(ThreadedStatsCounters, TranslationHappensAndSurvivesReset)
+{
+    const Benchmark *b = findBenchmark("fir_256_64");
+    ASSERT_NE(b, nullptr);
+    CompileOptions opts;
+    opts.mode = AllocMode::CB;
+    auto compiled = compileSource(b->source, opts);
+
+    Simulator sim(compiled.program, *compiled.module,
+                  Fidelity::Threaded);
+    sim.setInput(b->input);
+    sim.run();
+    long first_cycles = sim.stats().cycles;
+
+    const ThreadedStats &ts = sim.threadedStats();
+    EXPECT_GT(ts.blocksTranslated, 0);
+    EXPECT_GT(ts.chainsPatched, 0);
+    EXPECT_GT(ts.opsFused, 0);
+    EXPECT_EQ(ts.deopts, 0);
+    long translated = ts.blocksTranslated;
+
+    // Re-run after reset: the trace cache is warm, so no new blocks
+    // are translated, and the results are unchanged.
+    sim.reset();
+    sim.setInput(b->input);
+    sim.run();
+    EXPECT_EQ(sim.stats().cycles, first_cycles);
+    EXPECT_EQ(sim.threadedStats().blocksTranslated, translated);
+}
+
+// The fidelity name round-trip covers every engine, and the dispatch
+// mechanism reports one of the two supported strategies.
+TEST(ThreadedNaming, FidelityNamesRoundTrip)
+{
+    ASSERT_EQ(allFidelities().size(), 3u);
+    for (Fidelity f : allFidelities()) {
+        auto back = fidelityFromName(fidelityName(f));
+        ASSERT_TRUE(back.has_value()) << fidelityName(f);
+        EXPECT_EQ(*back, f) << fidelityName(f);
+    }
+    EXPECT_EQ(fidelityFromName("threaded"), Fidelity::Threaded);
+    EXPECT_FALSE(fidelityFromName("Threaded").has_value());
+    EXPECT_FALSE(fidelityFromName("").has_value());
+    EXPECT_FALSE(fidelityFromName("turbo").has_value());
+
+    std::string d = ThreadedEngine::dispatchName();
+    EXPECT_TRUE(d == "computed-goto" || d == "tail-switch") << d;
+}
+
+// Machine faults must carry the same message under threaded execution
+// so harnesses classify them identically. The fault fires inside a hot
+// loop, well past the translation threshold.
+TEST(ThreadedFaults, FaultMessagesMatchFastPath)
+{
+    auto compiled = compileSource(R"(
+        void main() {
+            int d = 40;
+            int acc = 0;
+            for (int i = 0; i < 64; i++) {
+                d = d - 1;
+                acc += 1000 / d;
+            }
+            out(acc);
+        }
+    )");
+
+    std::string fast_err;
+    std::string thr_err;
+    for (int pass = 0; pass < 2; ++pass) {
+        Fidelity f = pass ? Fidelity::Threaded : Fidelity::Fast;
+        Simulator sim(compiled.program, *compiled.module, f);
+        try {
+            sim.run();
+            FAIL() << "expected division fault under "
+                   << fidelityName(f);
+        } catch (const UserError &e) {
+            (pass ? thr_err : fast_err) = e.what();
+        }
+    }
+    EXPECT_EQ(thr_err, fast_err);
+    EXPECT_NE(thr_err.find("integer division by zero"),
+              std::string::npos)
+        << thr_err;
+}
+
+// The driver-level fidelity plumbing reaches the threaded engine.
+TEST(ThreadedDriver, RunProgramThreadedFidelity)
+{
+    const Benchmark *b = findBenchmark("fir_256_64");
+    ASSERT_NE(b, nullptr);
+    CompileOptions opts;
+    opts.mode = AllocMode::CB;
+    auto compiled = compileSource(b->source, opts);
+
+    auto ref = runProgram(compiled, b->input, 200'000'000,
+                          Fidelity::Instrumented);
+    auto thr = runProgram(compiled, b->input, 200'000'000,
+                          Fidelity::Threaded);
+    EXPECT_EQ(thr.stats.cycles, ref.stats.cycles);
+    ASSERT_EQ(thr.output.size(), ref.output.size());
+    for (std::size_t i = 0; i < ref.output.size(); ++i)
+        EXPECT_EQ(thr.output[i].raw, ref.output[i].raw);
+    EXPECT_TRUE(thr.engineDegradations.empty());
+
+    RunOutcome outcome =
+        tryRunProgram(compiled, b->input, 200'000'000,
+                      Fidelity::Threaded);
+    ASSERT_TRUE(outcome.ok) << outcome.error;
+    EXPECT_EQ(outcome.result.stats.cycles, ref.stats.cycles);
+}
+
+} // namespace
+} // namespace dsp
