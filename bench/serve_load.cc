@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Load-test client for `dspcc --serve`: replays the paper's 23-benchmark
+ * suite against a compile server at high concurrency and reports
+ * throughput and cache hit rates.
+ *
+ *     serve_load                          # in-process server, 16 clients
+ *     serve_load --clients=32 --passes=3
+ *     serve_load --socket=/run/dspcc.sock # target an external server
+ *     serve_load --cache-dir=/tmp/cache   # warm L2 across invocations
+ *
+ * Each client thread opens its own connection and walks the whole
+ * suite once per pass, validating every response's output words
+ * against the benchmark's host-side reference. Pass 1 is the cold
+ * pass (every distinct request compiles once, stampedes collapse on
+ * the in-memory cache); pass 2 onward should be served almost
+ * entirely from cache — the summary prints the per-pass hit rate so
+ * a warm-cache regression is visible as a number, not a feeling.
+ *
+ * Exit code 1 on any wrong output, protocol error, or server failure:
+ * the load test doubles as an end-to-end correctness check.
+ */
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/server.hh"
+#include "suite/suite.hh"
+#include "support/diagnostics.hh"
+#include "support/string_utils.hh"
+
+using namespace dsp;
+
+namespace
+{
+
+struct LoadOptions
+{
+    /** External server socket; empty = run an in-process server. */
+    std::string socketPath;
+    std::string cacheDir;
+    int clients = 16;
+    int passes = 2;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::cerr << "usage: serve_load [--socket=SOCK] [--cache-dir=DIR]\n"
+                 "                  [--clients=N] [--passes=N]\n";
+    std::exit(1);
+}
+
+LoadOptions
+parseArgs(int argc, char **argv)
+{
+    LoadOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (startsWith(arg, "--socket=")) {
+            opt.socketPath = arg.substr(9);
+        } else if (startsWith(arg, "--cache-dir=")) {
+            opt.cacheDir = arg.substr(12);
+        } else if (startsWith(arg, "--clients=")) {
+            opt.clients = std::stoi(arg.substr(10));
+            if (opt.clients < 1)
+                usage();
+        } else if (startsWith(arg, "--passes=")) {
+            opt.passes = std::stoi(arg.substr(9));
+            if (opt.passes < 1)
+                usage();
+        } else {
+            usage();
+        }
+    }
+    return opt;
+}
+
+std::string
+compileRequest(long long id, const Benchmark &b)
+{
+    std::ostringstream os;
+    json::Writer w(os);
+    w.beginObject(json::Writer::Block::Inline);
+    w.field("id", id);
+    w.field("op", "compile");
+    w.field("source", b.source);
+    w.field("mode", "cb");
+    w.key("input").beginArray(json::Writer::Block::Inline);
+    for (uint32_t word : b.input)
+        w.value(static_cast<long long>(word));
+    w.endArray();
+    w.endObject();
+    return os.str();
+}
+
+bool
+outputMatches(const json::Value &result, const Benchmark &b)
+{
+    const json::Value *out = result.find("output");
+    if (!out || !out->isArray() || out->items.size() != b.expected.size())
+        return false;
+    for (std::size_t i = 0; i < b.expected.size(); ++i) {
+        if (static_cast<uint32_t>(out->items[i].numberAt("raw")) !=
+            b.expected[i])
+            return false;
+    }
+    return true;
+}
+
+/** Per-pass tallies, merged across clients under a mutex at the end
+ *  of each client's pass (the hot path stays lock-free). */
+struct PassTally
+{
+    long requests = 0;
+    long hits = 0; ///< served from memory or disk cache
+    long errors = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    LoadOptions opt = parseArgs(argc, argv);
+
+    // In-process server unless pointed at an external one. The load
+    // path is identical either way: real socket, real protocol.
+    std::unique_ptr<Server> server;
+    std::string socketPath = opt.socketPath;
+    if (socketPath.empty()) {
+        std::ostringstream os;
+        os << "/tmp/dspcc-serve-load-" << ::getpid() << ".sock";
+        socketPath = os.str();
+        ServeOptions sopts;
+        sopts.socketPath = socketPath;
+        sopts.cacheDir = opt.cacheDir;
+        server = std::make_unique<Server>(sopts);
+        server->start();
+    }
+
+    std::vector<const Benchmark *> suite = allBenchmarks();
+    std::vector<PassTally> tallies(opt.passes);
+    std::mutex tallyMu;
+    std::atomic<bool> failed{false};
+
+    auto begin = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    for (int c = 0; c < opt.clients; ++c) {
+        clients.emplace_back([&, c] {
+            try {
+                ServeClient client(socketPath);
+                long long nextId = static_cast<long long>(c) * 1'000'000;
+                for (int pass = 0; pass < opt.passes; ++pass) {
+                    PassTally local;
+                    for (std::size_t i = 0; i < suite.size(); ++i) {
+                        // Stripe the start offset so concurrent
+                        // clients stampede different keys, not march
+                        // in lockstep.
+                        const Benchmark &b =
+                            *suite[(i + c) % suite.size()];
+                        json::Value resp = client.call(
+                            compileRequest(++nextId, b));
+                        ++local.requests;
+                        const json::Value *ok = resp.find("ok");
+                        if (!ok || !ok->boolean) {
+                            ++local.errors;
+                            std::cerr << "serve_load: " << b.name
+                                      << ": error response\n";
+                            continue;
+                        }
+                        if (resp.stringAt("cached") != "none")
+                            ++local.hits;
+                        const json::Value *result = resp.find("result");
+                        if (!result || !outputMatches(*result, b)) {
+                            ++local.errors;
+                            std::cerr << "serve_load: " << b.name
+                                      << ": wrong output\n";
+                        }
+                    }
+                    std::lock_guard<std::mutex> lock(tallyMu);
+                    tallies[pass].requests += local.requests;
+                    tallies[pass].hits += local.hits;
+                    tallies[pass].errors += local.errors;
+                    if (local.errors > 0)
+                        failed.store(true);
+                }
+            } catch (const std::exception &e) {
+                std::cerr << "serve_load: client " << c << ": "
+                          << e.what() << "\n";
+                failed.store(true);
+            }
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+    double seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - begin)
+                         .count();
+
+    long total = 0;
+    for (int pass = 0; pass < opt.passes; ++pass) {
+        const PassTally &t = tallies[pass];
+        total += t.requests;
+        double hitRate =
+            t.requests > 0 ? 100.0 * t.hits / t.requests : 0.0;
+        std::cout << "pass " << (pass + 1) << ": " << t.requests
+                  << " requests, " << t.hits << " cache hits ("
+                  << fixed(hitRate, 1) << "%), " << t.errors
+                  << " errors\n";
+    }
+    std::cout << opt.clients << " clients x " << opt.passes
+              << " passes x " << suite.size() << " benchmarks: "
+              << total << " requests in " << fixed(seconds, 2)
+              << "s = " << fixed(total / std::max(seconds, 1e-9), 0)
+              << " req/s\n";
+
+    if (server)
+        server->stop();
+    return failed.load() ? 1 : 0;
+}

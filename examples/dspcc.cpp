@@ -35,6 +35,7 @@
 #include <sstream>
 
 #include "driver/compiler.hh"
+#include "driver/server.hh"
 #include "support/diagnostics.hh"
 #include "support/fault_injection.hh"
 #include "support/profile.hh"
@@ -77,6 +78,15 @@ struct CliOptions
     bool profileReport = false;
     /** Simulator engine for the (single-mode) run. */
     Fidelity fidelity = Fidelity::Instrumented;
+    /** --serve=SOCK: run as a compile service instead of compiling a
+     *  file (see driver/server.hh for the protocol). */
+    std::string servePath;
+    /** --cache-dir=DIR: on-disk response cache ("" disables L2). */
+    std::string cacheDir;
+    /** --serve-threads=N worker threads (0 = hardware concurrency). */
+    int serveThreads = 0;
+    /** --request-timeout=SECONDS per attempt (0 = no deadline). */
+    double requestTimeout = 30.0;
 };
 
 [[noreturn]] void
@@ -125,6 +135,18 @@ usage()
            "  --fidelity=instrumented|fast|threaded\n"
            "                simulator engine for the run (profiles are\n"
            "                engine-independent; default instrumented)\n"
+           "  --serve=SOCK  run as a long-lived compile service on the\n"
+           "                unix-domain socket SOCK (newline-delimited\n"
+           "                JSON, schema dsp-serve-v1); no input file\n"
+           "  --cache-dir=DIR\n"
+           "                (with --serve) persist responses to an\n"
+           "                on-disk cache that survives restarts\n"
+           "  --serve-threads=N\n"
+           "                (with --serve) worker threads (default:\n"
+           "                hardware concurrency)\n"
+           "  --request-timeout=SECONDS\n"
+           "                (with --serve) per-request wall-clock\n"
+           "                budget per attempt; one retry (default 30)\n"
            "  *-out flags accept '-' as FILE to mean stdout\n"
            "exit codes: 0 ok, 1 user error, 2 internal error,\n"
            "            3 degraded compile with --werror\n";
@@ -203,6 +225,22 @@ parseArgs(int argc, char **argv)
                 std::cerr << "\n";
                 usage();
             }
+        } else if (startsWith(arg, "--serve=")) {
+            cli.servePath = arg.substr(8);
+            if (cli.servePath.empty())
+                usage();
+        } else if (startsWith(arg, "--cache-dir=")) {
+            cli.cacheDir = arg.substr(12);
+            if (cli.cacheDir.empty())
+                usage();
+        } else if (startsWith(arg, "--serve-threads=")) {
+            cli.serveThreads = std::stoi(arg.substr(16));
+            if (cli.serveThreads < 0)
+                usage();
+        } else if (startsWith(arg, "--request-timeout=")) {
+            cli.requestTimeout = std::stod(arg.substr(18));
+            if (cli.requestTimeout < 0)
+                usage();
         } else if (startsWith(arg, "--in=")) {
             for (const std::string &tok :
                  splitString(arg.substr(5), ',')) {
@@ -216,7 +254,7 @@ parseArgs(int argc, char **argv)
             cli.file = arg;
         }
     }
-    if (cli.file.empty())
+    if (cli.file.empty() && cli.servePath.empty())
         usage();
     return cli;
 }
@@ -375,12 +413,45 @@ runCompare(const std::string &source, const CliOptions &cli)
     return degraded;
 }
 
+/** --serve mode: run the compile service until a client sends the
+ *  "shutdown" op. The process blocks here; exit code 0 on a clean
+ *  shutdown, 1 on a bind/setup UserError. */
+int
+runServe(const CliOptions &cli)
+{
+    ServeOptions sopts;
+    sopts.socketPath = cli.servePath;
+    sopts.cacheDir = cli.cacheDir;
+    sopts.threads = cli.serveThreads;
+    sopts.requestTimeoutSeconds = cli.requestTimeout;
+    try {
+        Server server(sopts);
+        server.start();
+        std::cerr << "dspcc: serving on " << cli.servePath
+                  << (cli.cacheDir.empty()
+                          ? std::string()
+                          : " (cache " + cli.cacheDir + ")")
+                  << "\n";
+        server.waitForShutdown();
+        server.stop();
+    } catch (const UserError &e) {
+        std::cerr << "dspcc: " << e.what() << "\n";
+        return 1;
+    } catch (const std::exception &e) {
+        std::cerr << "dspcc: internal error: " << e.what() << "\n";
+        return 2;
+    }
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     CliOptions cli = parseArgs(argc, argv);
+    if (!cli.servePath.empty())
+        return runServe(cli);
     std::string source = readFile(cli.file);
 
     FaultPlan plan;

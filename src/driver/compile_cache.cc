@@ -1,5 +1,6 @@
 #include "driver/compile_cache.hh"
 
+#include <chrono>
 #include <sstream>
 
 #include "support/telemetry.hh"
@@ -22,12 +23,16 @@ CompileCache::optionsKey(const CompileOptions &opts)
 }
 
 std::shared_ptr<const CompileResult>
-CompileCache::get(const std::string &source, const CompileOptions &opts)
+CompileCache::get(const std::string &source, const CompileOptions &opts,
+                  bool *hit)
 {
     // Profile-driven compilations depend on data outside the key.
-    if (opts.profile != nullptr)
+    if (opts.profile != nullptr) {
+        if (hit)
+            *hit = false;
         return std::make_shared<const CompileResult>(
             compileSource(source, opts));
+    }
 
     std::string key = optionsKey(opts) + '\n' + source;
 
@@ -47,16 +52,78 @@ CompileCache::get(const std::string &source, const CompileOptions &opts)
         }
     }
     bumpCounter(owner ? "compile.cache.miss" : "compile.cache.hit");
+    if (hit)
+        *hit = !owner;
 
     if (owner) {
+        std::shared_ptr<const CompileResult> result;
         try {
-            promise.set_value(std::make_shared<const CompileResult>(
-                compileSource(source, opts)));
+            result = std::make_shared<const CompileResult>(
+                compileSource(source, opts));
         } catch (...) {
+            // Never memoize a failure: drop the entry first so the
+            // next request for this key starts a fresh attempt, then
+            // deliver the error to this attempt's waiters. The entry
+            // is still ours (unready entries are only ever erased by
+            // their owner), so erase-by-key cannot hit a newer entry.
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                entries.erase(key);
+            }
+            bumpCounter("compile.cache.failure");
             promise.set_exception(std::current_exception());
+            return entry.get();
+        }
+        promise.set_value(std::move(result));
+        {
+            // Mark completed for the eviction order — unless an
+            // invalidate() raced in after set_value and already
+            // dropped the entry (or even admitted a successor, which
+            // would not be ready yet and must not be marked).
+            std::lock_guard<std::mutex> lock(mu);
+            auto it = entries.find(key);
+            if (it != entries.end() &&
+                it->second.wait_for(std::chrono::seconds(0)) ==
+                    std::future_status::ready) {
+                completed.push_back(key);
+                enforceCapacity();
+            }
         }
     }
     return entry.get();
+}
+
+void
+CompileCache::invalidate(const std::string &source,
+                         const CompileOptions &opts)
+{
+    if (opts.profile != nullptr)
+        return; // never cached in the first place
+    std::string key = optionsKey(opts) + '\n' + source;
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = entries.find(key);
+    if (it == entries.end())
+        return;
+    // Leave in-flight attempts alone: their waiters want the outcome,
+    // and a failing owner erases its own entry.
+    if (it->second.wait_for(std::chrono::seconds(0)) !=
+        std::future_status::ready)
+        return;
+    entries.erase(it);
+    completed.remove(key);
+}
+
+void
+CompileCache::enforceCapacity()
+{
+    if (maxEntries == 0)
+        return;
+    while (completed.size() > maxEntries) {
+        entries.erase(completed.front());
+        completed.pop_front();
+        ++evictions;
+        bumpCounter("compile.cache.eviction");
+    }
 }
 
 int
@@ -64,6 +131,20 @@ CompileCache::compileCount() const
 {
     std::lock_guard<std::mutex> lock(mu);
     return compiles;
+}
+
+long
+CompileCache::evictionCount() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return evictions;
+}
+
+std::size_t
+CompileCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return entries.size();
 }
 
 } // namespace dsp

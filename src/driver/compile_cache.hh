@@ -5,10 +5,22 @@
  * The benchmark harness compiles the same (source, options) pair from
  * several places — the CB measurement and the profile-collection run
  * share a binary, ablations re-measure baselines — and, once the suite
- * runs on a thread pool, concurrently. The cache guarantees each
- * distinct (source, options) pair is compiled exactly once: the first
- * requester compiles while later requesters for the same key block on
- * a shared future.
+ * runs on a thread pool, concurrently. The compile server keeps one
+ * process-lifetime instance warm across every client. The cache
+ * guarantees each distinct (source, options) pair is compiled at most
+ * once *per attempt*: the first requester compiles while later
+ * requesters for the same key block on a shared future.
+ *
+ * Failure discipline (the daemon-fatal bug class this kills): a failed
+ * compilation is NEVER memoized. The owner erases the entry under the
+ * lock before propagating its exception, so concurrent waiters of that
+ * attempt observe the failure (they were waiting on exactly that
+ * compilation) but the next request for the key starts a fresh
+ * attempt. Without this, one transient fault — an injected FaultPlan
+ * hit, a JobTimeout, an OOM — would poison the key for the life of
+ * the process. The same rule is exposed as invalidate() for callers
+ * that decide after the fact that a memoized result must not be
+ * served again (the compile server drops degraded results this way).
  *
  * Options carrying a profile pointer are never cached (the pointed-to
  * counts are not part of the key and typically differ per call).
@@ -23,7 +35,9 @@
 #ifndef DSP_DRIVER_COMPILE_CACHE_HH
 #define DSP_DRIVER_COMPILE_CACHE_HH
 
+#include <cstddef>
 #include <future>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -38,15 +52,55 @@ class CompileCache
 {
   public:
     /**
+     * @param max_entries Completed-entry capacity; once exceeded the
+     * least-recently-inserted completed entry is evicted (counter
+     * "compile.cache.eviction"). 0 means unbounded — the benchmark
+     * harness's working set is the suite itself, but a long-lived
+     * server over arbitrary tenant sources must bound its memory.
+     * In-flight entries are never evicted.
+     */
+    explicit CompileCache(std::size_t max_entries = 0)
+        : maxEntries(max_entries)
+    {}
+
+    /**
      * The compilation of @p source under @p opts, compiling at most
-     * once per distinct key. Thread-safe; rethrows the compiler's
-     * error to every waiter if the compilation fails.
+     * once per distinct key per attempt. Thread-safe; rethrows the
+     * compiler's error to every waiter of the failing attempt, then
+     * forgets the entry so the next request retries.
+     *
+     * @param hit Optional out-param: set true when the result was
+     * served from an existing entry (including joining an in-flight
+     * compilation), false when this call compiled.
      */
     std::shared_ptr<const CompileResult>
-    get(const std::string &source, const CompileOptions &opts);
+    get(const std::string &source, const CompileOptions &opts,
+        bool *hit = nullptr);
 
-    /** Number of distinct compilations performed so far. */
+    /**
+     * Forget the entry for (source, opts), if any; the next get()
+     * recompiles. Used by callers that must not re-serve a memoized
+     * result (e.g. the compile server refuses to cache degraded
+     * compiles). In-flight entries are left alone: the waiters of that
+     * attempt still want its outcome, and a failing owner erases its
+     * own entry anyway.
+     */
+    void invalidate(const std::string &source, const CompileOptions &opts);
+
+    /**
+     * Number of compilation *attempts* started so far (pinned by
+     * tests/driver/driver_test.cc): a failed attempt counts, a cache
+     * hit does not. Attempts — not successes — because the counter's
+     * consumers (harness reports, the server's stats endpoint) use it
+     * to answer "how much compile work did this process do".
+     */
     int compileCount() const;
+
+    /** Number of entries evicted by the capacity bound so far. */
+    long evictionCount() const;
+
+    /** Completed + in-flight entries currently resident. */
+    std::size_t size() const;
 
     /** Cache key for @p opts (exposed for tests). */
     static std::string optionsKey(const CompileOptions &opts);
@@ -54,9 +108,17 @@ class CompileCache
   private:
     using Entry = std::shared_future<std::shared_ptr<const CompileResult>>;
 
+    /** Evict oldest completed entries until within capacity. Caller
+     *  holds the lock. */
+    void enforceCapacity();
+
     mutable std::mutex mu;
     std::unordered_map<std::string, Entry> entries;
+    /** Completed keys in insertion order (eviction order). */
+    std::list<std::string> completed;
+    std::size_t maxEntries;
     int compiles = 0;
+    long evictions = 0;
 };
 
 } // namespace dsp

@@ -1,0 +1,155 @@
+#include "driver/disk_cache.hh"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "support/diagnostics.hh"
+#include "support/telemetry.hh"
+
+namespace dsp
+{
+
+namespace
+{
+
+constexpr const char *kMagic = "dspcc-disk-cache-v1";
+
+/** Per-process unique suffix for temp files: two server processes (or
+ *  two JobPool workers) writing the same key must never share a temp
+ *  path, or one could rename the other's half-written file. */
+std::string
+uniqueTempSuffix()
+{
+    static std::atomic<unsigned long> counter{0};
+    std::ostringstream os;
+    os << ::getpid() << '.' << counter.fetch_add(1);
+    return os.str();
+}
+
+} // namespace
+
+DiskCache::DiskCache(std::string dir) : dir(std::move(dir))
+{
+    if (this->dir.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(this->dir, ec);
+    if (ec || !std::filesystem::is_directory(this->dir))
+        fatal("cannot create cache directory ", this->dir,
+              ec ? (": " + ec.message()) : std::string());
+}
+
+std::string
+DiskCache::hashKey(const std::string &key)
+{
+    // FNV-1a, 64-bit. Collisions are tolerable (load verifies the full
+    // key), so a fast non-cryptographic hash is the right tool.
+    std::uint64_t h = 14695981039346656037ull;
+    for (unsigned char c : key) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    static const char hex[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[i] = hex[h & 0xf];
+        h >>= 4;
+    }
+    return out;
+}
+
+std::string
+DiskCache::entryPath(const std::string &key) const
+{
+    return dir + "/" + hashKey(key) + ".entry";
+}
+
+std::optional<std::string>
+DiskCache::load(const std::string &key) const
+{
+    if (!enabled())
+        return std::nullopt;
+
+    std::ifstream in(entryPath(key), std::ios::binary);
+    if (!in)
+        return std::nullopt; // clean miss
+
+    // Anything structurally wrong from here on is a *corrupt* entry:
+    // still a miss, but counted separately so operators can tell
+    // "cold cache" from "something is scribbling on my cache dir".
+    auto corrupt = [&]() -> std::optional<std::string> {
+        bumpCounter("serve.cache.disk.bad");
+        return std::nullopt;
+    };
+
+    std::string magic;
+    if (!std::getline(in, magic) || magic != kMagic)
+        return corrupt();
+
+    std::string lenLine;
+    if (!std::getline(in, lenLine))
+        return corrupt();
+    std::size_t keyLen = 0;
+    try {
+        std::size_t used = 0;
+        keyLen = std::stoul(lenLine, &used);
+        if (used != lenLine.size())
+            return corrupt();
+    } catch (const std::exception &) {
+        return corrupt();
+    }
+    if (keyLen != key.size())
+        return corrupt(); // different key (hash collision) or garbage
+
+    std::string stored(keyLen, '\0');
+    in.read(stored.data(), static_cast<std::streamsize>(keyLen));
+    if (in.gcount() != static_cast<std::streamsize>(keyLen) ||
+        stored != key)
+        return corrupt();
+    if (in.get() != '\n')
+        return corrupt();
+
+    std::ostringstream payload;
+    payload << in.rdbuf();
+    if (in.bad())
+        return corrupt();
+    bumpCounter("serve.cache.disk.hit");
+    return payload.str();
+}
+
+void
+DiskCache::store(const std::string &key, const std::string &payload) const
+{
+    if (!enabled())
+        return;
+
+    std::string tmp = dir + "/.tmp-" + hashKey(key) + "-" +
+                      uniqueTempSuffix();
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        out << kMagic << '\n' << key.size() << '\n' << key << '\n'
+            << payload;
+        out.flush();
+        if (!out) {
+            bumpCounter("serve.cache.disk.store_error");
+            std::remove(tmp.c_str());
+            return;
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, entryPath(key), ec);
+    if (ec) {
+        bumpCounter("serve.cache.disk.store_error");
+        std::remove(tmp.c_str());
+        return;
+    }
+    bumpCounter("serve.cache.disk.store");
+}
+
+} // namespace dsp

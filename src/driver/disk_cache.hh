@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Content-hash-keyed on-disk cache: the compile server's second
+ * level, behind the in-memory CompileCache.
+ *
+ * Entries are whole serialized response payloads keyed by the full
+ * request key (options + run parameters + source text), stored one
+ * file per key under the cache directory. The design constraints come
+ * from the daemon setting:
+ *
+ *  - Survives restarts: the store is plain files; a fresh server
+ *    process over the same --cache-dir serves yesterday's entries.
+ *
+ *  - Safe under concurrent server processes: writers build the entry
+ *    in a uniquely named temp file in the same directory and
+ *    rename(2) it into place — readers see either the old complete
+ *    entry or the new complete entry, never a torn write. Two
+ *    processes storing the same key race benignly (identical
+ *    content, last rename wins).
+ *
+ *  - Corruption is a miss, never a crash: every load re-verifies the
+ *    magic header, the embedded key length, and the full key bytes
+ *    (which also makes 64-bit hash collisions harmless — a colliding
+ *    entry fails key verification and reads as a miss). A truncated
+ *    or garbage file is treated exactly like an absent one (pinned by
+ *    tests/serve/serve_test.cc).
+ *
+ *  - No negative caching, by construction: only the caller of store()
+ *    decides what to persist, and the server only ever stores fully
+ *    successful, non-degraded responses.
+ *
+ * Entry file format (version bumps on any layout change):
+ *
+ *     dspcc-disk-cache-v1\n
+ *     <key-length-in-bytes>\n
+ *     <key bytes>\n
+ *     <payload bytes to EOF>
+ */
+
+#ifndef DSP_DRIVER_DISK_CACHE_HH
+#define DSP_DRIVER_DISK_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace dsp
+{
+
+class DiskCache
+{
+  public:
+    /**
+     * @param dir Cache directory, created (recursively) if absent;
+     * empty disables the cache (load always misses, store drops).
+     * Throws UserError if the directory cannot be created.
+     */
+    explicit DiskCache(std::string dir);
+
+    bool enabled() const { return !dir.empty(); }
+    const std::string &directory() const { return dir; }
+
+    /**
+     * The stored payload for @p key, or nullopt on miss. Any
+     * unreadable, truncated, version-mismatched, or key-mismatched
+     * entry is a miss (counter "serve.cache.disk.bad" distinguishes
+     * corrupt finds from clean misses).
+     */
+    std::optional<std::string> load(const std::string &key) const;
+
+    /**
+     * Persist @p payload for @p key via temp-file + atomic rename.
+     * Best-effort: a failed write (disk full, permissions) is dropped
+     * and counted ("serve.cache.disk.store_error"), never thrown —
+     * the response the entry was built from is already on its way to
+     * the client.
+     */
+    void store(const std::string &key, const std::string &payload) const;
+
+    /** Path the entry for @p key lives at (exposed for tests). */
+    std::string entryPath(const std::string &key) const;
+
+    /** FNV-1a 64-bit hash of @p key, as 16 hex digits. */
+    static std::string hashKey(const std::string &key);
+
+  private:
+    std::string dir;
+};
+
+} // namespace dsp
+
+#endif // DSP_DRIVER_DISK_CACHE_HH

@@ -1,0 +1,735 @@
+#include "driver/server.hh"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <optional>
+#include <sstream>
+
+#include "support/diagnostics.hh"
+
+namespace dsp
+{
+
+namespace
+{
+
+/** Request-level alloc-mode names: the dspcc CLI spellings plus the
+ *  allocModeName() report spellings, so clients can echo either. */
+std::optional<AllocMode>
+modeFromName(const std::string &m)
+{
+    if (m == "single" || m == "single-bank")
+        return AllocMode::SingleBank;
+    if (m == "cb" || m == "CB")
+        return AllocMode::CB;
+    if (m == "dup" || m == "CB+dup")
+        return AllocMode::CBDup;
+    if (m == "fulldup" || m == "full-dup")
+        return AllocMode::FullDup;
+    if (m == "ideal")
+        return AllocMode::Ideal;
+    return std::nullopt;
+}
+
+/** Everything one compile request carries. */
+struct CompileRequest
+{
+    std::string source;
+    CompileOptions copts;
+    std::vector<uint32_t> input;
+    long maxCycles = 200'000'000;
+    Fidelity fidelity = Fidelity::Fast;
+};
+
+/**
+ * The full-request cache key for L2: every knob that can change the
+ * response, then the source. CompileCache::optionsKey carries the
+ * compile-side completeness guarantee; the run-side parameters are
+ * appended here.
+ */
+std::string
+requestKey(const CompileRequest &req)
+{
+    std::ostringstream os;
+    os << CompileCache::optionsKey(req.copts) << '|'
+       << fidelityName(req.fidelity) << '|' << req.maxCycles << '|';
+    for (uint32_t w : req.input)
+        os << w << ',';
+    os << '\n' << req.source;
+    return os.str();
+}
+
+/** Parse a compile request; returns nullopt and fills @p err on any
+ *  protocol-level problem (missing source, unknown mode/fidelity). */
+std::optional<CompileRequest>
+parseCompileRequest(const json::Value &v, std::string &err)
+{
+    CompileRequest req;
+
+    const json::Value *src = v.find("source");
+    if (!src || !src->isString()) {
+        err = "compile request needs a string \"source\"";
+        return std::nullopt;
+    }
+    req.source = src->str;
+
+    if (const json::Value *m = v.find("mode")) {
+        auto mode = m->isString() ? modeFromName(m->str) : std::nullopt;
+        if (!mode) {
+            err = "unknown mode '" + m->str +
+                  "' (single|cb|dup|fulldup|ideal)";
+            return std::nullopt;
+        }
+        req.copts.mode = *mode;
+    }
+    if (const json::Value *f = v.find("fidelity")) {
+        auto fid = f->isString()
+                       ? fidelityFromName(f->str)
+                       : std::nullopt;
+        if (!fid) {
+            err = "unknown fidelity '" + f->str + "'";
+            return std::nullopt;
+        }
+        req.fidelity = *fid;
+    }
+    req.copts.optLevel = static_cast<int>(v.numberAt("opt_level", 1));
+    if (const json::Value *b = v.find("verify_mc"))
+        req.copts.verifyMc = b->boolean;
+    if (const json::Value *b = v.find("resilient"))
+        req.copts.resilient = b->boolean;
+    int maxErrors = static_cast<int>(v.numberAt("max_errors", 20));
+    if (maxErrors < 1) {
+        err = "max_errors must be >= 1";
+        return std::nullopt;
+    }
+    req.copts.maxErrors = maxErrors;
+    req.maxCycles = v.longAt("max_cycles", 200'000'000);
+    if (req.maxCycles < 1) {
+        err = "max_cycles must be >= 1";
+        return std::nullopt;
+    }
+    if (const json::Value *in = v.find("input")) {
+        if (!in->isArray()) {
+            err = "input must be an array of integer words";
+            return std::nullopt;
+        }
+        for (const json::Value &item : in->items) {
+            if (!item.isNumber()) {
+                err = "input must be an array of integer words";
+                return std::nullopt;
+            }
+            req.input.push_back(static_cast<uint32_t>(item.number));
+        }
+    }
+    return req;
+}
+
+void
+emitDegradations(json::Writer &w,
+                 const std::vector<DegradationEvent> &compile_events,
+                 const std::vector<DegradationEvent> &engine_events)
+{
+    w.key("degradations").beginArray(json::Writer::Block::Inline);
+    auto emit = [&w](const DegradationEvent &e) {
+        w.beginObject(json::Writer::Block::Inline);
+        w.field("kind", degradationKindName(e.kind));
+        w.field("stage", e.stage);
+        w.field("function", e.function);
+        w.field("detail", e.detail);
+        w.endObject();
+    };
+    for (const DegradationEvent &e : compile_events)
+        emit(e);
+    for (const DegradationEvent &e : engine_events)
+        emit(e);
+    w.endArray();
+}
+
+/** The "result" payload object — exactly what L2 persists, so a disk
+ *  hit replays it byte for byte. */
+std::string
+renderResult(const CompileResult &compiled, const RunResult &run,
+             const CostBreakdown &cost, bool degraded)
+{
+    std::ostringstream os;
+    json::Writer w(os);
+    w.beginObject(json::Writer::Block::Inline);
+    w.field("cycles", run.stats.cycles);
+    w.field("ops", run.stats.opsExecuted);
+    w.field("paired_mem_cycles", run.stats.pairedMemCycles);
+    w.field("cost_words", cost.total());
+    w.key("output").beginArray(json::Writer::Block::Inline);
+    for (const OutputWord &word : run.output) {
+        w.beginObject(json::Writer::Block::Inline);
+        w.field("raw", static_cast<long long>(word.raw));
+        w.field("float", word.isFloat);
+        w.endObject();
+    }
+    w.endArray();
+    w.field("degraded", degraded);
+    emitDegradations(w, compiled.degradations, run.engineDegradations);
+    w.endObject();
+    return os.str();
+}
+
+std::string
+errorResponse(bool has_id, long long id, const char *kind,
+              const std::string &message)
+{
+    std::ostringstream os;
+    json::Writer w(os);
+    w.beginObject(json::Writer::Block::Inline);
+    if (has_id)
+        w.field("id", id);
+    w.field("ok", false);
+    w.key("error").beginObject(json::Writer::Block::Inline);
+    w.field("kind", kind);
+    w.field("message", message);
+    w.endObject();
+    w.endObject();
+    return os.str();
+}
+
+std::string
+okResponseWithResult(bool has_id, long long id, const char *cached,
+                     const std::string &result_payload)
+{
+    std::ostringstream os;
+    json::Writer w(os);
+    w.beginObject(json::Writer::Block::Inline);
+    if (has_id)
+        w.field("id", id);
+    w.field("ok", true);
+    w.field("cached", cached);
+    w.key("result").raw(result_payload);
+    w.endObject();
+    return os.str();
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Server::Conn
+// ---------------------------------------------------------------------
+
+struct Server::Conn
+{
+    explicit Conn(int fd) : fd(fd) {}
+    ~Conn()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+
+    Conn(const Conn &) = delete;
+    Conn &operator=(const Conn &) = delete;
+
+    /** Write one response line atomically w.r.t. other responses on
+     *  this connection. A dead peer (EPIPE) is not an error for the
+     *  server — the response is simply dropped. */
+    void
+    writeLine(const std::string &line)
+    {
+        std::lock_guard<std::mutex> lock(writeMu);
+        std::string data = line + "\n";
+        const char *p = data.data();
+        std::size_t n = data.size();
+        while (n > 0) {
+            ssize_t sent = ::send(fd, p, n, MSG_NOSIGNAL);
+            if (sent < 0 && errno == EINTR)
+                continue;
+            if (sent <= 0) {
+                bumpCounter("serve.write_error");
+                return;
+            }
+            p += sent;
+            n -= static_cast<std::size_t>(sent);
+        }
+    }
+
+    int fd;
+    std::mutex writeMu;
+};
+
+// ---------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------
+
+Server::Server(ServeOptions opts_in)
+    : opts(std::move(opts_in)), memCache(opts.maxMemoryEntries)
+{}
+
+Server::~Server()
+{
+    stop();
+}
+
+void
+Server::start()
+{
+    if (isRunning.load())
+        return;
+    if (opts.socketPath.empty())
+        fatal("serve: socket path must not be empty");
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (opts.socketPath.size() >= sizeof(addr.sun_path))
+        fatal("serve: socket path too long (", opts.socketPath.size(),
+              " bytes, limit ", sizeof(addr.sun_path) - 1, "): ",
+              opts.socketPath);
+    std::memcpy(addr.sun_path, opts.socketPath.c_str(),
+                opts.socketPath.size() + 1);
+
+    // The disk cache first: a bad --cache-dir should fail before we
+    // ever own the socket.
+    disk = std::make_unique<DiskCache>(opts.cacheDir);
+
+    listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd < 0)
+        fatal("serve: socket(): ", std::strerror(errno));
+    // A stale socket file from a crashed predecessor blocks bind.
+    ::unlink(opts.socketPath.c_str());
+    if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        int err = errno;
+        ::close(listenFd);
+        listenFd = -1;
+        fatal("serve: cannot bind ", opts.socketPath, ": ",
+              std::strerror(err));
+    }
+    if (::listen(listenFd, 128) != 0) {
+        int err = errno;
+        ::close(listenFd);
+        listenFd = -1;
+        ::unlink(opts.socketPath.c_str());
+        fatal("serve: listen(): ", std::strerror(err));
+    }
+
+    // Counters-only telemetry: a daemon must not accumulate an
+    // unbounded span log; the stats endpoint serves counters.
+    sess.setEventCapacity(0);
+    ambient = std::make_unique<ScopedTraceSession>(sess);
+    pool = std::make_unique<JobPool>(opts.threads);
+
+    {
+        std::lock_guard<std::mutex> lock(shutdownMu);
+        shutdownRequested = false;
+    }
+    stopping.store(false);
+    isRunning.store(true);
+    acceptThread = std::thread([this] { acceptLoop(); });
+}
+
+void
+Server::stop()
+{
+    if (!isRunning.exchange(false))
+        return;
+    stopping.store(true);
+
+    // Unblock accept(); the loop sees stopping and exits.
+    ::shutdown(listenFd, SHUT_RDWR);
+    if (acceptThread.joinable())
+        acceptThread.join();
+    ::close(listenFd);
+    listenFd = -1;
+
+    // Close every connection's read side: readers drain to EOF and
+    // stop submitting; in-flight requests still respond (write side
+    // stays open until the last job drops its Conn reference).
+    {
+        std::lock_guard<std::mutex> lock(connMu);
+        for (const std::shared_ptr<Conn> &c : conns)
+            ::shutdown(c->fd, SHUT_RD);
+    }
+    for (std::thread &t : readers)
+        t.join();
+    readers.clear();
+
+    try {
+        pool->wait();
+    } catch (...) {
+        // Jobs answer their own clients; an exception reaching the
+        // pool is a server bug worth counting, not worth dying for.
+        sess.counters().add("serve.pool_error");
+    }
+    pool.reset();
+    {
+        std::lock_guard<std::mutex> lock(connMu);
+        conns.clear();
+    }
+    ambient.reset();
+    ::unlink(opts.socketPath.c_str());
+}
+
+void
+Server::requestShutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(shutdownMu);
+        shutdownRequested = true;
+    }
+    shutdownCv.notify_all();
+}
+
+bool
+Server::waitForShutdown(const std::function<bool()> &interrupted)
+{
+    std::unique_lock<std::mutex> lock(shutdownMu);
+    for (;;) {
+        if (shutdownRequested)
+            return true;
+        if (interrupted && interrupted())
+            return false;
+        shutdownCv.wait_for(lock, std::chrono::milliseconds(200));
+    }
+}
+
+void
+Server::acceptLoop()
+{
+    for (;;) {
+        int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // stop() shut the listener down (or it died)
+        }
+        if (stopping.load()) {
+            ::close(fd);
+            return;
+        }
+        auto conn = std::make_shared<Conn>(fd);
+        {
+            std::lock_guard<std::mutex> lock(connMu);
+            conns.push_back(conn);
+        }
+        sess.counters().add("serve.connections");
+        readers.emplace_back(
+            [this, conn] { readerLoop(conn); });
+    }
+}
+
+void
+Server::readerLoop(std::shared_ptr<Conn> conn)
+{
+    std::string buf;
+    char chunk[4096];
+    for (;;) {
+        ssize_t r = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+        if (r < 0 && errno == EINTR)
+            continue;
+        if (r <= 0)
+            return; // EOF or reset: jobs in flight keep Conn alive
+        buf.append(chunk, static_cast<std::size_t>(r));
+
+        std::size_t nl;
+        while ((nl = buf.find('\n')) != std::string::npos) {
+            std::string line = buf.substr(0, nl);
+            buf.erase(0, nl + 1);
+            if (line.empty())
+                continue;
+            sess.counters().add("serve.requests");
+            JobLimits limits;
+            limits.timeoutSeconds = opts.requestTimeoutSeconds;
+            limits.retries = opts.requestRetries;
+            limits.name = "serve.request";
+            pool->submit(
+                [this, conn, line](JobContext &ctx) {
+                    sess.counters().add("serve.inflight");
+                    sess.counters().max(
+                        "serve.inflight.peak",
+                        sess.counters().value("serve.inflight"));
+                    try {
+                        handleLine(conn, line, ctx);
+                    } catch (const JobTimeout &) {
+                        // Deliberate: handleLine rethrows only when
+                        // the pool still owes this request a retry.
+                        sess.counters().add("serve.inflight", -1);
+                        sess.counters().add("serve.retries");
+                        throw;
+                    } catch (const std::exception &e) {
+                        // Last resort — handleLine answers its own
+                        // errors, so only a response-path bug lands
+                        // here. The client still gets a line.
+                        sess.counters().add("serve.inflight", -1);
+                        sess.counters().add("serve.handler_error");
+                        conn->writeLine(errorResponse(
+                            false, 0, "internal", e.what()));
+                        return;
+                    }
+                    sess.counters().add("serve.inflight", -1);
+                },
+                limits);
+        }
+    }
+}
+
+void
+Server::handleLine(const std::shared_ptr<Conn> &conn,
+                   const std::string &line, JobContext &ctx)
+{
+    json::Value v;
+    try {
+        v = json::parse(line);
+    } catch (const UserError &e) {
+        sess.counters().add("serve.responses.error");
+        conn->writeLine(errorResponse(false, 0, "protocol", e.what()));
+        return;
+    }
+
+    const json::Value *idField = v.find("id");
+    bool hasId = idField != nullptr && idField->isNumber();
+    long long id = hasId ? static_cast<long long>(idField->number) : 0;
+
+    auto fail = [&](const char *kind, const std::string &msg) {
+        sess.counters().add("serve.responses.error");
+        conn->writeLine(errorResponse(hasId, id, kind, msg));
+    };
+
+    std::string op = v.stringAt("op");
+    if (op == "ping") {
+        std::ostringstream os;
+        json::Writer w(os);
+        w.beginObject(json::Writer::Block::Inline);
+        if (hasId)
+            w.field("id", id);
+        w.field("ok", true);
+        w.field("pong", true);
+        w.endObject();
+        sess.counters().add("serve.responses.ok");
+        conn->writeLine(os.str());
+        return;
+    }
+    if (op == "stats") {
+        std::ostringstream os;
+        json::Writer w(os);
+        w.beginObject(json::Writer::Block::Inline);
+        if (hasId)
+            w.field("id", id);
+        w.field("ok", true);
+        w.key("stats").beginObject(json::Writer::Block::Inline);
+        w.field("schema", "dsp-stats-v1");
+        w.key("counters").beginObject(json::Writer::Block::Inline);
+        for (const auto &[name, value] : sess.counters().snapshot())
+            w.field(name, value);
+        w.endObject();
+        w.key("spans").beginArray(json::Writer::Block::Inline);
+        w.endArray(); // counters-only session: no span log
+        // Cache gauges (point-in-time, not monotonic counters).
+        w.field("cache_entries",
+                static_cast<long>(memCache.size()));
+        w.field("cache_compiles", memCache.compileCount());
+        w.field("cache_evictions", memCache.evictionCount());
+        w.endObject();
+        w.endObject();
+        sess.counters().add("serve.responses.ok");
+        conn->writeLine(os.str());
+        return;
+    }
+    if (op == "shutdown") {
+        // Latch before responding: a client that has read this
+        // response must observe waitForShutdown() already armed.
+        // stop() drains in-flight jobs before touching write sides,
+        // so the response still reaches the requester.
+        requestShutdown();
+        std::ostringstream os;
+        json::Writer w(os);
+        w.beginObject(json::Writer::Block::Inline);
+        if (hasId)
+            w.field("id", id);
+        w.field("ok", true);
+        w.field("shutting_down", true);
+        w.endObject();
+        sess.counters().add("serve.responses.ok");
+        conn->writeLine(os.str());
+        return;
+    }
+    if (op != "compile") {
+        fail("protocol", "unknown op '" + op + "'");
+        return;
+    }
+
+    std::string parseErr;
+    auto reqOpt = parseCompileRequest(v, parseErr);
+    if (!reqOpt) {
+        fail("protocol", parseErr);
+        return;
+    }
+    const CompileRequest &req = *reqOpt;
+    std::string key = requestKey(req);
+
+    // L2 first: a disk hit answers without compiling or simulating.
+    if (disk->enabled()) {
+        if (auto payload = disk->load(key)) {
+            sess.counters().add("serve.responses.ok");
+            conn->writeLine(
+                okResponseWithResult(hasId, id, "disk", *payload));
+            return;
+        }
+        sess.counters().add("serve.cache.disk.miss");
+    }
+
+    // L1: memoized compile (stampede-safe; a failing attempt erases
+    // itself, so a fault here never poisons the key — see
+    // compile_cache.hh).
+    bool memHit = false;
+    std::shared_ptr<const CompileResult> compiled;
+    try {
+        compiled = memCache.get(req.source, req.copts, &memHit);
+    } catch (const UserError &e) {
+        fail("user", e.what());
+        return;
+    } catch (const std::exception &e) {
+        fail("internal", e.what());
+        return;
+    }
+
+    auto timedOut = [&]() -> bool {
+        if (ctx.attempt() < opts.requestRetries)
+            throw JobTimeout("request exceeded its wall-clock budget");
+        sess.counters().add("serve.timeouts");
+        fail("timeout",
+             "request exceeded its wall-clock budget (after retry)");
+        return true;
+    };
+
+    // The compile itself is not interruptible; charge it against the
+    // deadline here so a blown budget retries instead of simulating.
+    if (ctx.expired() && timedOut())
+        return;
+
+    RunLimits limits;
+    limits.maxCycles = req.maxCycles;
+    if (ctx.timeoutSeconds() > 0)
+        limits.expired = [&ctx] { return ctx.expired(); };
+    RunOutcome outcome;
+    try {
+        outcome = tryRunProgram(*compiled, req.input, limits,
+                                req.fidelity);
+    } catch (const std::exception &e) {
+        fail("internal", e.what());
+        return;
+    }
+    if (outcome.timedOut) {
+        if (timedOut())
+            return;
+    }
+    if (!outcome.ok) {
+        // Budget exhaustion or a machine fault: the program (or its
+        // cycle budget) is the problem — a user-class error.
+        fail("user", outcome.error);
+        return;
+    }
+
+    CostBreakdown cost = computeCost(*compiled, outcome.result);
+    bool degraded = compiled->degraded() ||
+                    !outcome.result.engineDegradations.empty();
+    std::string payload =
+        renderResult(*compiled, outcome.result, cost, degraded);
+
+    if (degraded) {
+        // Served to this client with its event trail, but never
+        // cached: the degradation may be transient (an injected
+        // fault, a flaky pass) and the next request must retry at
+        // full strength.
+        sess.counters().add("serve.degraded");
+        memCache.invalidate(req.source, req.copts);
+    } else if (disk->enabled()) {
+        disk->store(key, payload);
+    }
+
+    sess.counters().add("serve.responses.ok");
+    conn->writeLine(okResponseWithResult(
+        hasId, id, memHit ? "memory" : "none", payload));
+}
+
+// ---------------------------------------------------------------------
+// ServeClient
+// ---------------------------------------------------------------------
+
+ServeClient::ServeClient(const std::string &socket_path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path))
+        fatal("serve client: socket path too long: ", socket_path);
+    std::memcpy(addr.sun_path, socket_path.c_str(),
+                socket_path.size() + 1);
+
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        fatal("serve client: socket(): ", std::strerror(errno));
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        int err = errno;
+        ::close(fd);
+        fd = -1;
+        fatal("serve client: cannot connect to ", socket_path, ": ",
+              std::strerror(err));
+    }
+}
+
+ServeClient::~ServeClient()
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+void
+ServeClient::sendLine(const std::string &line)
+{
+    std::string data = line + "\n";
+    const char *p = data.data();
+    std::size_t n = data.size();
+    while (n > 0) {
+        ssize_t sent = ::send(fd, p, n, MSG_NOSIGNAL);
+        if (sent < 0 && errno == EINTR)
+            continue;
+        if (sent <= 0)
+            fatal("serve client: connection lost while sending");
+        p += sent;
+        n -= static_cast<std::size_t>(sent);
+    }
+}
+
+std::string
+ServeClient::readLine()
+{
+    for (;;) {
+        std::size_t nl = buffered.find('\n');
+        if (nl != std::string::npos) {
+            std::string line = buffered.substr(0, nl);
+            buffered.erase(0, nl + 1);
+            return line;
+        }
+        char chunk[4096];
+        ssize_t r = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (r < 0 && errno == EINTR)
+            continue;
+        if (r <= 0)
+            fatal("serve client: server closed the connection");
+        buffered.append(chunk, static_cast<std::size_t>(r));
+    }
+}
+
+std::string
+ServeClient::callRaw(const std::string &request_line)
+{
+    sendLine(request_line);
+    return readLine();
+}
+
+json::Value
+ServeClient::call(const std::string &request_line)
+{
+    return json::parse(callRaw(request_line));
+}
+
+} // namespace dsp

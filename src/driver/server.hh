@@ -1,0 +1,220 @@
+/**
+ * @file
+ * `dspcc --serve`: a long-lived compile+simulate service.
+ *
+ * This is the "millions of users" assembly of the pieces the library
+ * already had: many tenants hit one warm process — no per-request
+ * spawn, one shared in-memory CompileCache, a restart-surviving
+ * on-disk response cache — with every request isolated by the
+ * existing fault boundaries.
+ *
+ * ## Protocol (schema `dsp-serve-v1`)
+ *
+ * Newline-delimited JSON over a unix-domain stream socket. Each
+ * request is one line, each response is one line; responses to
+ * pipelined requests may arrive out of order (requests run
+ * concurrently on the JobPool), so clients correlate by the echoed
+ * `id`. Ops:
+ *
+ *   {"id":1, "op":"ping"}
+ *   {"id":2, "op":"compile", "source":"void main(){out(1);}",
+ *    "mode":"cb", "opt_level":1, "verify_mc":true, "resilient":true,
+ *    "max_errors":20, "input":[...], "max_cycles":200000000,
+ *    "fidelity":"fast"}
+ *   {"id":3, "op":"stats"}
+ *   {"id":4, "op":"shutdown"}
+ *
+ * Only "op" and (for compile) "source" are required; the other
+ * compile fields default to the values shown. Success responses:
+ *
+ *   {"id":2, "ok":true, "cached":"disk"|"memory"|"none",
+ *    "result":{"cycles":N, "ops":N, "paired_mem_cycles":N,
+ *              "cost_words":N, "output":[{"raw":R,"float":B},...],
+ *              "degraded":B, "degradations":[{...},...]}}
+ *
+ * Failures are structured and per-request:
+ *
+ *   {"id":2, "ok":false,
+ *    "error":{"kind":"user"|"internal"|"timeout"|"protocol",
+ *             "message":"..."}}
+ *
+ * ## Caching
+ *
+ * Two levels. L1 is the in-memory CompileCache keyed by (options,
+ * source): it dedups the compile work (including stampedes — N
+ * concurrent identical requests compile once and share the artifact)
+ * but each request still simulates. L2 is the on-disk DiskCache keyed
+ * by the content hash of the FULL request (options + run parameters +
+ * source): a hit skips compile and simulation entirely and replays
+ * the stored response payload. L2 survives restarts and is safe
+ * under concurrent server processes (see disk_cache.hh).
+ *
+ * Invalidation rule, pinned by the serve test tier: failures and
+ * degraded compiles are NEVER cached at either level. A failed
+ * compile erases its in-memory entry (CompileCache's own guarantee);
+ * a degraded-but-successful compile is served to its requester with
+ * the DegradationEvent trail, then invalidated so the next identical
+ * request retries at full strength. One transient fault must never
+ * poison a key for the life of the daemon.
+ *
+ * ## Isolation
+ *
+ * Requests run as JobPool jobs with per-request JobLimits (wall-clock
+ * timeout, one retry). Every exception is caught inside the job and
+ * turned into a structured error response for that client only; the
+ * accept loop, the other connections, and the caches never see it.
+ *
+ * ## Health
+ *
+ * The "stats" op returns the live dsp-stats-v1 counters (cache
+ * hits/misses/evictions, inflight, degradations, timeouts) from the
+ * server's ambient TraceSession, which runs in counters-only mode so
+ * a long-lived process does not accumulate an unbounded span log.
+ */
+
+#ifndef DSP_DRIVER_SERVER_HH
+#define DSP_DRIVER_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/compile_cache.hh"
+#include "driver/disk_cache.hh"
+#include "support/job_pool.hh"
+#include "support/json.hh"
+#include "support/telemetry.hh"
+
+namespace dsp
+{
+
+struct ServeOptions
+{
+    /** Unix-domain socket path to listen on (required). A stale
+     *  socket file from a crashed server is unlinked at bind time. */
+    std::string socketPath;
+    /** On-disk response cache directory; empty disables L2. */
+    std::string cacheDir;
+    /** JobPool worker count; 0 = hardware concurrency. */
+    int threads = 0;
+    /** Per-request wall-clock budget per attempt; 0 = no deadline.
+     *  Cooperative: enforced at simulation poll boundaries. */
+    double requestTimeoutSeconds = 30.0;
+    /** Extra attempts after a request timeout (the pool's retry). */
+    int requestRetries = 1;
+    /** L1 completed-entry capacity (CompileCache); 0 = unbounded. */
+    std::size_t maxMemoryEntries = 256;
+};
+
+class Server
+{
+  public:
+    explicit Server(ServeOptions opts);
+
+    /** Stops and joins everything still running. */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind the socket, install the telemetry session, and start the
+     * accept loop. After start() returns, connections are accepted
+     * (the listen backlog queues early connectors). Throws UserError
+     * on bind/listen failure (bad path, path too long for sun_path).
+     */
+    void start();
+
+    /**
+     * Stop accepting, close every connection's read side, drain the
+     * request pool (in-flight requests finish and respond), join all
+     * threads, and unlink the socket. Idempotent.
+     */
+    void stop();
+
+    bool running() const { return isRunning.load(); }
+
+    /** Arm the shutdown latch (the "shutdown" op calls this from a
+     *  worker; callers then run stop() from outside the pool). */
+    void requestShutdown();
+
+    /**
+     * Block until requestShutdown() fires or @p interrupted returns
+     * true (polled every ~200ms; empty = never). Returns true if a
+     * shutdown was requested, false if interrupted externally. Does
+     * not call stop() — the caller does.
+     */
+    bool waitForShutdown(const std::function<bool()> &interrupted = {});
+
+    const ServeOptions &options() const { return opts; }
+    TraceSession &session() { return sess; }
+
+  private:
+    struct Conn;
+
+    void acceptLoop();
+    void readerLoop(std::shared_ptr<Conn> conn);
+    void handleLine(const std::shared_ptr<Conn> &conn,
+                    const std::string &line, JobContext &ctx);
+
+    ServeOptions opts;
+    TraceSession sess;
+    std::unique_ptr<ScopedTraceSession> ambient;
+    CompileCache memCache;
+    std::unique_ptr<DiskCache> disk;
+    std::unique_ptr<JobPool> pool;
+
+    int listenFd = -1;
+    std::thread acceptThread;
+    std::mutex connMu;
+    std::vector<std::shared_ptr<Conn>> conns;
+    std::vector<std::thread> readers;
+
+    std::atomic<bool> isRunning{false};
+    std::atomic<bool> stopping{false};
+
+    std::mutex shutdownMu;
+    std::condition_variable shutdownCv;
+    bool shutdownRequested = false;
+};
+
+/**
+ * Minimal synchronous client for the serve protocol: one connection,
+ * one request/response at a time. Used by the load-test client, the
+ * serve test tier, and scriptable tooling.
+ */
+class ServeClient
+{
+  public:
+    /** Connect to @p socket_path; throws UserError on failure. */
+    explicit ServeClient(const std::string &socket_path);
+    ~ServeClient();
+
+    ServeClient(const ServeClient &) = delete;
+    ServeClient &operator=(const ServeClient &) = delete;
+
+    /** Send one request line, block for one response line, parse it.
+     *  Throws UserError on connection loss or malformed response. */
+    json::Value call(const std::string &request_line);
+
+    /** call(), returning the raw response line instead of parsing. */
+    std::string callRaw(const std::string &request_line);
+
+    void sendLine(const std::string &line);
+    /** Next newline-terminated line; throws UserError on EOF. */
+    std::string readLine();
+
+  private:
+    int fd = -1;
+    std::string buffered;
+};
+
+} // namespace dsp
+
+#endif // DSP_DRIVER_SERVER_HH

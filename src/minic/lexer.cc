@@ -1,7 +1,11 @@
 #include "minic/lexer.hh"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdint>
 #include <cstdlib>
+#include <limits>
 #include <map>
 
 namespace dsp
@@ -79,7 +83,10 @@ const std::map<std::string, Tok> keywords = {
 class Lexer
 {
   public:
-    explicit Lexer(const std::string &src) : src(src) {}
+    explicit Lexer(const std::string &src,
+                   DiagnosticEngine *diags = nullptr)
+        : src(src), diags(diags)
+    {}
 
     std::vector<Token>
     run()
@@ -97,9 +104,23 @@ class Lexer
 
   private:
     const std::string &src;
+    DiagnosticEngine *diags;
     std::size_t pos = 0;
     int line = 1;
     int col = 1;
+
+    /** Report a recoverable lexical error: into the engine (and keep
+     *  lexing with a clamped value) when one is attached, else throw
+     *  UserError like every other malformed-input path. */
+    template <typename... Args>
+    void
+    lexError(SourceLoc loc, const Args &...args)
+    {
+        if (diags)
+            diags->error(loc, "lex", args...);
+        else
+            fatal(args..., " at ", loc.str());
+    }
 
     bool eof() const { return pos >= src.size(); }
     char peek() const { return eof() ? '\0' : src[pos]; }
@@ -220,10 +241,43 @@ class Lexer
         }
 
         Token t = make(is_float ? Tok::FloatLit : Tok::IntLit, loc, text);
-        if (is_float)
-            t.floatValue = std::strtof(text.c_str(), nullptr);
-        else
-            t.intValue = std::strtol(text.c_str(), nullptr, 10);
+        if (is_float) {
+            // strtof saturates to ±HUGE_VALF with ERANGE on overflow;
+            // unchecked, 1e99f would silently become +inf. Gradual
+            // underflow to a denormal (also ERANGE on some libcs) is
+            // representable and stays legal.
+            errno = 0;
+            char *end = nullptr;
+            float v = std::strtof(text.c_str(), &end);
+            if (end != text.c_str() + text.size())
+                fatal("malformed float literal '", text, "' at ",
+                      loc.str());
+            if (errno == ERANGE && std::fabs(v) == HUGE_VALF) {
+                lexError(loc, "float literal '", text,
+                         "' overflows binary32");
+                v = std::numeric_limits<float>::max();
+            }
+            t.floatValue = v;
+        } else {
+            // The literal is an unsigned digit string; anything above
+            // INT32_MAX cannot be represented in the target's 32-bit
+            // int (MiniC has no unsigned, and -2147483648 parses as
+            // unary minus applied to an out-of-range literal).
+            // Unchecked, strtol saturated to LONG_MAX and the parser
+            // truncated through static_cast<int> with no diagnostic.
+            errno = 0;
+            char *end = nullptr;
+            long v = std::strtol(text.c_str(), &end, 10);
+            if (end != text.c_str() + text.size())
+                fatal("malformed integer literal '", text, "' at ",
+                      loc.str());
+            if (errno == ERANGE || v > INT32_MAX) {
+                lexError(loc, "integer literal '", text,
+                         "' exceeds the 32-bit int range");
+                v = INT32_MAX;
+            }
+            t.intValue = v;
+        }
         return t;
     }
 
@@ -293,6 +347,12 @@ std::vector<Token>
 lexSource(const std::string &source)
 {
     return Lexer(source).run();
+}
+
+std::vector<Token>
+lexSource(const std::string &source, DiagnosticEngine &diags)
+{
+    return Lexer(source, &diags).run();
 }
 
 } // namespace dsp

@@ -1,6 +1,13 @@
 /**
  * @file
  * Hand-written lexer for MiniC.
+ *
+ * Numeric literals are range-checked: an integer literal that does not
+ * fit the target's 32-bit int, or a float literal that overflows
+ * binary32, is a diagnosed error — never a silent strtol/strtof
+ * saturation that later truncates through static_cast (the historical
+ * bug: `int a[99999999999]` compiled to a LONG_MAX-saturated dimension
+ * with no complaint).
  */
 
 #ifndef DSP_MINIC_LEXER_HH
@@ -10,12 +17,24 @@
 #include <vector>
 
 #include "minic/token.hh"
+#include "support/diagnostics.hh"
 
 namespace dsp
 {
 
 /** Tokenize @p source; throws UserError on malformed input. */
 std::vector<Token> lexSource(const std::string &source);
+
+/**
+ * Tokenize @p source, reporting recoverable lexical errors
+ * (out-of-range numeric literals) into @p diags with their source
+ * location and continuing — the parser's error-recovery run surfaces
+ * them alongside syntax errors. The offending token is still produced
+ * (value clamped) so the parse can proceed. Structurally malformed
+ * input (unterminated comment, stray byte) still throws UserError.
+ */
+std::vector<Token> lexSource(const std::string &source,
+                             DiagnosticEngine &diags);
 
 } // namespace dsp
 

@@ -713,7 +713,15 @@ class Parser
 std::unique_ptr<Program>
 parseProgram(const std::string &source, DiagnosticEngine &diags)
 {
-    return Parser(lexSource(source), diags).run();
+    // Recoverable lexical errors (out-of-range literals) land in the
+    // same engine as syntax errors, so one run reports both kinds.
+    // An error cap hit during lexing ends the run the same way it
+    // does during parsing: partial result, diags.hitErrorLimit().
+    try {
+        return Parser(lexSource(source, diags), diags).run();
+    } catch (const TooManyErrors &) {
+        return std::make_unique<Program>();
+    }
 }
 
 std::unique_ptr<Program>

@@ -62,29 +62,42 @@ JobPool::submit(std::function<void(JobContext &)> job, JobLimits limits)
     wake.notify_one();
 }
 
-void
+WaitStatus
 JobPool::wait()
 {
     std::exception_ptr error;
+    WaitStatus status;
     {
         std::unique_lock<std::mutex> lock(mu);
         drained.wait(lock, [this] { return queue.empty() && active == 0; });
         error = firstError;
         firstError = nullptr;
+        status.cancelled = wasCancelled;
+        status.dropped = droppedJobs;
+        wasCancelled = false;
+        droppedJobs = 0;
+        // Running jobs all finished before the flag reset (active ==
+        // 0), so no straggler can observe a stale cancellation or
+        // sneak an error into the next batch.
         cancelFlag.store(false, std::memory_order_relaxed);
     }
     if (error)
         std::rethrow_exception(error);
+    return status;
 }
 
-void
+long
 JobPool::cancel()
 {
     std::lock_guard<std::mutex> lock(mu);
     cancelFlag.store(true, std::memory_order_relaxed);
+    wasCancelled = true;
+    long dropped = static_cast<long>(queue.size());
+    droppedJobs += dropped;
     queue.clear();
     if (active == 0)
         drained.notify_all();
+    return dropped;
 }
 
 void

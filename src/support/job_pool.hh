@@ -18,6 +18,11 @@
  *  - cancel() discards every queued job and raises a flag that
  *    running jobs can poll through their JobContext, so one fatal
  *    error can stop a sweep early instead of grinding through it.
+ *    Cancellation is observable: wait() returns a WaitStatus saying
+ *    whether the batch was cancelled and how many queued jobs were
+ *    dropped without running, so a caller can tell "everything ran"
+ *    from "the sweep was cut short" (pinned by
+ *    tests/support/support_test.cc).
  *
  *  - Context-aware jobs get a per-job wall-clock deadline
  *    (JobLimits::timeoutSeconds). Timeouts are cooperative: the job
@@ -125,6 +130,24 @@ class JobContext
     int attemptNum = 0;
 };
 
+/**
+ * What wait() observed about the batch it drained. A batch that was
+ * cancelled "succeeded" only in the degenerate sense that wait()
+ * returned — the status is how callers distinguish a complete sweep
+ * from a truncated one.
+ */
+struct WaitStatus
+{
+    /** cancel() was called since the previous wait(). */
+    bool cancelled = false;
+    /** Queued jobs discarded by cancel() without ever running
+     *  (includes pending timeout retries that were dropped). */
+    long dropped = 0;
+
+    /** Every submitted job actually ran. */
+    bool complete() const { return !cancelled && dropped == 0; }
+};
+
 class JobPool
 {
   public:
@@ -149,14 +172,20 @@ class JobPool
     /**
      * Block until every submitted job has finished executing, then
      * rethrow the first exception that escaped a job (if any). The
-     * captured error and the cancellation flag are cleared, so the
-     * pool is reusable after wait() returns or throws.
+     * captured error, the cancellation flag, and the dropped-job
+     * count are cleared, so the pool is reusable after wait()
+     * returns or throws. Returns what happened to the batch; note a
+     * captured error outranks the status (wait() throws, and the
+     * cancellation evidence of that batch is cleared with it — the
+     * error is the story).
      */
-    void wait();
+    WaitStatus wait();
 
     /** Discard all queued jobs and raise the cancellation flag that
-     *  running jobs observe via JobContext::cancelled(). */
-    void cancel();
+     *  running jobs observe via JobContext::cancelled(). Returns the
+     *  number of queued jobs discarded by THIS call; the per-batch
+     *  total (across repeated cancels) is what wait() reports. */
+    long cancel();
 
     int threadCount() const { return static_cast<int>(workers.size()); }
 
@@ -180,6 +209,8 @@ class JobPool
     std::condition_variable drained; ///< signals wait(): all jobs done
     std::exception_ptr firstError; ///< first exception escaping a job
     std::atomic<bool> cancelFlag{false};
+    long droppedJobs = 0; ///< queued jobs discarded since last wait()
+    bool wasCancelled = false; ///< cancel() called since last wait()
     int active = 0;  ///< jobs currently executing
     bool stopping = false;
 };

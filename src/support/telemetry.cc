@@ -115,10 +115,25 @@ TraceSession::threadId()
 }
 
 void
-TraceSession::record(TraceEvent event)
+TraceSession::setEventCapacity(std::size_t cap)
 {
     std::lock_guard<std::mutex> lock(mtx);
-    log.push_back(std::move(event));
+    eventCapacity = cap;
+}
+
+void
+TraceSession::record(TraceEvent event)
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        if (log.size() < eventCapacity) {
+            log.push_back(std::move(event));
+            return;
+        }
+    }
+    // Capped: the event is dropped but its occurrence is still
+    // observable (and the counter registry never grows unbounded).
+    registry.add("trace.dropped_events");
 }
 
 void

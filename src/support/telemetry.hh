@@ -27,6 +27,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <map>
 #include <mutex>
@@ -129,6 +131,16 @@ class TraceSession
     /** Microseconds elapsed since the session epoch. */
     double nowUs() const;
 
+    /**
+     * Bound the event log for long-lived sessions (the compile
+     * server): once the log holds @p cap events, further record()s
+     * are dropped and counted under "trace.dropped_events". Counters
+     * are unaffected — cap 0 gives a counters-only session whose
+     * memory is bounded by the counter-name universe. Default:
+     * unlimited (short-lived tools keep every span).
+     */
+    void setEventCapacity(std::size_t cap);
+
     /** Append @p event (tid/ts already filled by the caller). */
     void record(TraceEvent event);
 
@@ -176,6 +188,7 @@ class TraceSession
     std::chrono::steady_clock::time_point epoch;
     mutable std::mutex mtx;
     std::vector<TraceEvent> log;
+    std::size_t eventCapacity = SIZE_MAX; ///< guarded by mtx
     CounterRegistry registry;
 };
 

@@ -8,6 +8,7 @@
 
 #include "driver/compile_cache.hh"
 #include "driver/compiler.hh"
+#include "support/fault_injection.hh"
 #include "support/job_pool.hh"
 
 namespace dsp
@@ -315,6 +316,120 @@ TEST(CompileCache, ConcurrentLookupsCompileOnce)
                 << "key " << k << " round " << r;
         }
     }
+}
+
+TEST(CompileCache, FailedCompileIsNeverMemoized)
+{
+    // The daemon-fatal bug class: a transient fault during the owning
+    // compile must not leave a poisoned entry that rethrows the stale
+    // exception to every future requester. One-shot fault: the first
+    // attempt throws, the second compiles clean.
+    const char *src = "void main() { out(5); }";
+    CompileCache cache;
+    FaultPlan plan;
+    plan.arm("backend.regalloc");
+    ScopedFaultPlan scope(plan);
+
+    CompileOptions opts;
+    EXPECT_THROW(cache.get(src, opts), InjectedFault);
+    EXPECT_EQ(cache.size(), 0u) << "failed entry must be erased";
+
+    auto result = cache.get(src, opts);
+    ASSERT_NE(result, nullptr);
+    EXPECT_EQ(runProgram(*result).output[0].asInt(), 5);
+    // compileCount counts ATTEMPTS (pinned): the failed first try and
+    // the clean second are two units of compile work.
+    EXPECT_EQ(cache.compileCount(), 2);
+
+    // The recovered result is memoized normally.
+    EXPECT_EQ(cache.get(src, opts).get(), result.get());
+    EXPECT_EQ(cache.compileCount(), 2);
+}
+
+TEST(CompileCache, ConcurrentWaitersOfAFailingAttemptAllRecover)
+{
+    // Waiters that joined the faulting attempt share its exception;
+    // the key itself stays clean, so everyone's retry succeeds.
+    const char *src = "void main() { out(6); }";
+    CompileCache cache;
+    FaultPlan plan;
+    plan.arm("backend.regalloc");
+    ScopedFaultPlan scope(plan);
+
+    constexpr int kThreads = 8;
+    std::atomic<int> failures{0};
+    std::atomic<int> successes{0};
+    {
+        JobPool pool(kThreads);
+        for (int i = 0; i < kThreads; ++i) {
+            pool.submit([&] {
+                CompileOptions opts;
+                try {
+                    cache.get(src, opts);
+                    ++successes;
+                } catch (const InjectedFault &) {
+                    ++failures;
+                }
+            });
+        }
+        pool.wait();
+    }
+    // Exactly one attempt hit the one-shot fault; how many waiters
+    // shared it depends on timing, but at least one thread failed and
+    // nothing is poisoned afterwards.
+    EXPECT_GE(failures.load(), 1);
+    EXPECT_EQ(failures.load() + successes.load(), kThreads);
+    CompileOptions opts;
+    EXPECT_NO_THROW(cache.get(src, opts));
+}
+
+TEST(CompileCache, UserErrorsAreNotNegativelyCachedEither)
+{
+    // Bad source fails on every attempt — but each attempt is a fresh
+    // compile, not a replay of a stored exception.
+    const char *bad = "int main( {{{";
+    CompileCache cache;
+    CompileOptions opts;
+    EXPECT_THROW(cache.get(bad, opts), UserError);
+    EXPECT_THROW(cache.get(bad, opts), UserError);
+    EXPECT_EQ(cache.compileCount(), 2);
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(CompileCache, InvalidateForcesRecompile)
+{
+    const char *src = "void main() { out(8); }";
+    CompileCache cache;
+    CompileOptions opts;
+    auto first = cache.get(src, opts);
+    cache.invalidate(src, opts);
+    EXPECT_EQ(cache.size(), 0u);
+    auto second = cache.get(src, opts);
+    EXPECT_NE(first.get(), second.get());
+    EXPECT_EQ(cache.compileCount(), 2);
+    // Invalidating an absent key is a no-op.
+    cache.invalidate("void main() { out(999); }", opts);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(CompileCache, CapacityBoundEvictsOldestCompleted)
+{
+    CompileCache cache(2);
+    CompileOptions opts;
+    cache.get("void main() { out(1); }", opts);
+    cache.get("void main() { out(2); }", opts);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.evictionCount(), 0);
+
+    cache.get("void main() { out(3); }", opts);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.evictionCount(), 1);
+
+    // The evicted (oldest) key recompiles; the newest two were kept.
+    cache.get("void main() { out(1); }", opts);
+    EXPECT_EQ(cache.compileCount(), 4);
+    cache.get("void main() { out(3); }", opts);
+    EXPECT_EQ(cache.compileCount(), 4);
 }
 
 } // namespace

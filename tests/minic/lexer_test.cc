@@ -4,9 +4,12 @@
  * malformed-input diagnostics.
  */
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "minic/lexer.hh"
+#include "minic/parser.hh"
 
 namespace dsp
 {
@@ -149,6 +152,72 @@ TEST(Lexer, Punctuation)
                                 Tok::RBrace, Tok::LBracket,
                                 Tok::RBracket, Tok::Comma, Tok::Semi,
                                 Tok::End}));
+}
+
+TEST(Lexer, IntLiteralOverflowIsDiagnosed)
+{
+    // The historical bug: strtol saturated silently and the LONG_MAX
+    // value truncated through static_cast<int> downstream. Both entry
+    // points must complain instead.
+    EXPECT_THROW(lexSource("99999999999"), UserError);
+    EXPECT_THROW(lexSource("2147483648"), UserError); // INT32_MAX + 1
+
+    DiagnosticEngine diags;
+    auto toks = lexSource("2147483648", diags);
+    EXPECT_EQ(diags.errorCount(), 1);
+    // The token is still produced (clamped) so parsing can continue.
+    ASSERT_GE(toks.size(), 1u);
+    EXPECT_EQ(toks[0].kind, Tok::IntLit);
+    EXPECT_EQ(toks[0].intValue, 2147483647);
+    // The diagnostic carries the literal's location.
+    EXPECT_EQ(diags.diagnostics()[0].loc.line, 1);
+}
+
+TEST(Lexer, IntLiteralBoundaryIsAccepted)
+{
+    DiagnosticEngine diags;
+    auto toks = lexSource("2147483647 0", diags);
+    EXPECT_EQ(diags.errorCount(), 0);
+    EXPECT_EQ(toks[0].intValue, 2147483647);
+}
+
+TEST(Lexer, FloatLiteralOverflowIsDiagnosed)
+{
+    // binary32 tops out near 3.4e38; 1e39 overflows to HUGE_VALF.
+    EXPECT_THROW(lexSource("1e39"), UserError);
+
+    DiagnosticEngine diags;
+    auto toks = lexSource("1e39", diags);
+    EXPECT_EQ(diags.errorCount(), 1);
+    ASSERT_GE(toks.size(), 1u);
+    EXPECT_EQ(toks[0].kind, Tok::FloatLit);
+    EXPECT_FLOAT_EQ(toks[0].floatValue,
+                    std::numeric_limits<float>::max());
+}
+
+TEST(Lexer, FloatBoundaryAndUnderflowAreAccepted)
+{
+    DiagnosticEngine diags;
+    // In range for binary32; an underflowing literal denormalizes or
+    // rounds to zero, which is IEEE behavior and not an error.
+    auto toks = lexSource("3.4e38 1e-50", diags);
+    EXPECT_EQ(diags.errorCount(), 0);
+    EXPECT_EQ(toks[0].kind, Tok::FloatLit);
+    EXPECT_GT(toks[0].floatValue, 3.3e38f);
+    EXPECT_EQ(toks[1].kind, Tok::FloatLit);
+    EXPECT_LT(toks[1].floatValue, 1e-40f);
+}
+
+TEST(Lexer, OutOfRangeLiteralsSurfaceThroughTheParser)
+{
+    // End-to-end through parseProgram's recovery path: the range
+    // error is reported with every other diagnostic instead of
+    // compiling a saturated array dimension.
+    DiagnosticEngine diags;
+    auto prog = parseProgram(
+        "int a[99999999999];\nvoid main() { out(1e39); }", diags);
+    ASSERT_NE(prog, nullptr);
+    EXPECT_EQ(diags.errorCount(), 2);
 }
 
 } // namespace

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * `dspcc --serve` through the real binary: spawn the server as a child
+ * process, drive it over its socket with ServeClient, shut it down
+ * with the protocol's own "shutdown" op, and check the exit status.
+ * The in-process tier (serve_test.cc) pins the semantics; this file
+ * pins the CLI wiring — flag parsing, the serve/compile mode split,
+ * and a clean zero exit on protocol-initiated shutdown.
+ */
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "driver/server.hh"
+
+using namespace dsp;
+
+namespace
+{
+
+/** Fork+exec `dspcc --serve=...`; returns the child pid. */
+pid_t
+spawnServer(const std::string &socketPath, const std::string &cacheDir)
+{
+    pid_t pid = ::fork();
+    if (pid != 0)
+        return pid;
+    std::string serveArg = "--serve=" + socketPath;
+    std::string cacheArg = "--cache-dir=" + cacheDir;
+    ::execl(DSPCC_BIN, "dspcc", serveArg.c_str(), cacheArg.c_str(),
+            static_cast<char *>(nullptr));
+    _exit(127); // exec failed
+}
+
+/** Connect with retries: the child needs a moment to bind. */
+std::unique_ptr<ServeClient>
+connectWithRetry(const std::string &socketPath)
+{
+    for (int i = 0; i < 100; ++i) {
+        try {
+            return std::make_unique<ServeClient>(socketPath);
+        } catch (const std::exception &) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+    }
+    return nullptr;
+}
+
+} // namespace
+
+TEST(ServeCli, ServeCompileShutdownExitsZero)
+{
+    std::string dir = "/tmp/dsp-serve-cli-" + std::to_string(::getpid());
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    std::string socketPath = dir + "/s.sock";
+
+    pid_t pid = spawnServer(socketPath, dir + "/cache");
+    ASSERT_GT(pid, 0);
+
+    auto client = connectWithRetry(socketPath);
+    ASSERT_NE(client, nullptr) << "server never came up";
+
+    json::Value pong = client->call("{\"id\":1,\"op\":\"ping\"}");
+    EXPECT_TRUE(pong.find("ok")->boolean);
+
+    json::Value resp = client->call(
+        "{\"id\":2,\"op\":\"compile\","
+        "\"source\":\"void main() { out(6 * 7); }\"}");
+    ASSERT_TRUE(resp.find("ok")->boolean);
+    EXPECT_EQ(resp.find("result")
+                  ->find("output")
+                  ->items[0]
+                  .longAt("raw"),
+              42);
+
+    // Second identical request is served from the on-disk cache the
+    // CLI's --cache-dir enabled.
+    json::Value warm = client->call(
+        "{\"id\":3,\"op\":\"compile\","
+        "\"source\":\"void main() { out(6 * 7); }\"}");
+    EXPECT_EQ(warm.stringAt("cached"), "disk");
+
+    json::Value bye = client->call("{\"id\":4,\"op\":\"shutdown\"}");
+    EXPECT_TRUE(bye.find("ok")->boolean);
+
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status)) << "server did not exit cleanly";
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+    EXPECT_FALSE(std::filesystem::exists(socketPath));
+
+    std::filesystem::remove_all(dir);
+}

@@ -1,0 +1,539 @@
+/**
+ * @file
+ * The compile-service tier (`ctest -L serve`): in-process Server +
+ * ServeClient over a real unix-domain socket.
+ *
+ * Pins the hard guarantees of DESIGN.md §13: protocol conformance,
+ * two-level caching (stampedes collapse to one compile, the disk
+ * level survives restarts and tolerates corruption), per-request
+ * fault isolation (one injected fault answers one client and is gone
+ * — the no-negative-caching rule end to end), degraded results are
+ * never cached, and a blown per-request deadline becomes a structured
+ * "timeout" error after its retry, never a dead server.
+ */
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "driver/disk_cache.hh"
+#include "driver/server.hh"
+#include "suite/suite.hh"
+#include "support/fault_injection.hh"
+
+using namespace dsp;
+
+namespace
+{
+
+/** Fresh per-test scratch directory under /tmp (short paths: socket
+ *  paths must fit sun_path). Removed on destruction. */
+struct ScratchDir
+{
+    std::string path;
+
+    explicit ScratchDir(const std::string &tag)
+    {
+        path = "/tmp/dsp-" + tag + "-" + std::to_string(::getpid()) +
+               "-" + std::to_string(counter++);
+        std::filesystem::remove_all(path);
+        std::filesystem::create_directories(path);
+    }
+
+    ~ScratchDir()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(path, ec);
+    }
+
+    std::string
+    file(const std::string &name) const
+    {
+        return path + "/" + name;
+    }
+
+    static inline int counter = 0;
+};
+
+const char *kSumSource =
+    "void main() { int i; int acc; acc = 0; "
+    "for (i = 0; i < 10; i = i + 1) { acc = acc + i; } out(acc); }";
+
+std::string
+compileLine(long long id, const std::string &source,
+            const std::string &extra = "")
+{
+    std::ostringstream os;
+    os << "{\"id\":" << id << ",\"op\":\"compile\",\"source\":"
+       << json::quote(source);
+    if (!extra.empty())
+        os << "," << extra;
+    os << "}";
+    return os.str();
+}
+
+long
+counterOf(const json::Value &statsResp, const std::string &name)
+{
+    const json::Value *stats = statsResp.find("stats");
+    if (!stats)
+        return -1;
+    const json::Value *counters = stats->find("counters");
+    if (!counters)
+        return -1;
+    return counters->longAt(name, 0);
+}
+
+/** Assert @p resp is {"ok":true} with a result whose single output
+ *  word is @p expected. */
+void
+expectSum(const json::Value &resp, long expected)
+{
+    const json::Value *ok = resp.find("ok");
+    ASSERT_NE(ok, nullptr);
+    ASSERT_TRUE(ok->boolean) << "error: "
+                             << resp.find("error")->stringAt("message");
+    const json::Value *result = resp.find("result");
+    ASSERT_NE(result, nullptr);
+    const json::Value *out = result->find("output");
+    ASSERT_NE(out, nullptr);
+    ASSERT_EQ(out->items.size(), 1u);
+    EXPECT_EQ(out->items[0].longAt("raw"), expected);
+}
+
+} // namespace
+
+TEST(Serve, PingStatsShutdownProtocol)
+{
+    ScratchDir dir("serve-ping");
+    ServeOptions opts;
+    opts.socketPath = dir.file("s.sock");
+    Server server(opts);
+    server.start();
+
+    ServeClient client(opts.socketPath);
+    json::Value pong = client.call("{\"id\":7,\"op\":\"ping\"}");
+    EXPECT_EQ(pong.longAt("id"), 7);
+    EXPECT_TRUE(pong.find("ok")->boolean);
+    EXPECT_TRUE(pong.find("pong")->boolean);
+
+    json::Value stats = client.call("{\"id\":8,\"op\":\"stats\"}");
+    EXPECT_TRUE(stats.find("ok")->boolean);
+    EXPECT_EQ(stats.find("stats")->stringAt("schema"), "dsp-stats-v1");
+    EXPECT_GE(counterOf(stats, "serve.requests"), 1);
+
+    json::Value bye = client.call("{\"id\":9,\"op\":\"shutdown\"}");
+    EXPECT_TRUE(bye.find("ok")->boolean);
+    EXPECT_TRUE(server.waitForShutdown([] { return true; }));
+    server.stop();
+    EXPECT_FALSE(server.running());
+    // The socket file is gone after a clean stop.
+    EXPECT_FALSE(std::filesystem::exists(opts.socketPath));
+}
+
+TEST(Serve, ProtocolErrorsAreStructuredAndIsolated)
+{
+    ScratchDir dir("serve-proto");
+    ServeOptions opts;
+    opts.socketPath = dir.file("s.sock");
+    Server server(opts);
+    server.start();
+
+    ServeClient client(opts.socketPath);
+    json::Value bad = client.call("this is not json");
+    EXPECT_FALSE(bad.find("ok")->boolean);
+    EXPECT_EQ(bad.find("error")->stringAt("kind"), "protocol");
+
+    json::Value unknownOp =
+        client.call("{\"id\":1,\"op\":\"frobnicate\"}");
+    EXPECT_EQ(unknownOp.find("error")->stringAt("kind"), "protocol");
+
+    json::Value noSource = client.call("{\"id\":2,\"op\":\"compile\"}");
+    EXPECT_EQ(noSource.find("error")->stringAt("kind"), "protocol");
+
+    json::Value badMode = client.call(compileLine(
+        3, kSumSource, "\"mode\":\"sideways\""));
+    EXPECT_EQ(badMode.find("error")->stringAt("kind"), "protocol");
+
+    json::Value badSource =
+        client.call(compileLine(4, "int main( {{{"));
+    EXPECT_FALSE(badSource.find("ok")->boolean);
+    EXPECT_EQ(badSource.find("error")->stringAt("kind"), "user");
+
+    // None of that hurt the connection or the server.
+    expectSum(client.call(compileLine(5, kSumSource)), 45);
+    server.stop();
+}
+
+TEST(Serve, TwoLevelCachingAndRestartSurvival)
+{
+    ScratchDir dir("serve-cache");
+    ServeOptions opts;
+    opts.socketPath = dir.file("s.sock");
+    opts.cacheDir = dir.file("cache");
+
+    {
+        Server server(opts);
+        server.start();
+        ServeClient client(opts.socketPath);
+
+        json::Value first = client.call(compileLine(1, kSumSource));
+        expectSum(first, 45);
+        EXPECT_EQ(first.stringAt("cached"), "none");
+
+        json::Value second = client.call(compileLine(2, kSumSource));
+        expectSum(second, 45);
+        EXPECT_EQ(second.stringAt("cached"), "disk");
+
+        // A different request key (different input) misses both
+        // levels but reuses the compiled artifact (L1).
+        json::Value other = client.call(compileLine(
+            3, kSumSource, "\"input\":[1,2,3]"));
+        expectSum(other, 45);
+        EXPECT_EQ(other.stringAt("cached"), "memory");
+        server.stop();
+    }
+
+    // A fresh server process over the same cache dir serves
+    // yesterday's entry without compiling.
+    {
+        Server server(opts);
+        server.start();
+        ServeClient client(opts.socketPath);
+        json::Value warm = client.call(compileLine(4, kSumSource));
+        expectSum(warm, 45);
+        EXPECT_EQ(warm.stringAt("cached"), "disk");
+
+        json::Value stats = client.call("{\"op\":\"stats\"}");
+        EXPECT_EQ(counterOf(stats, "serve.cache.disk.hit"), 1);
+        EXPECT_EQ(stats.find("stats")->longAt("cache_compiles"), 0);
+        server.stop();
+    }
+}
+
+TEST(Serve, StampedeCompilesExactlyOnce)
+{
+    ScratchDir dir("serve-stampede");
+    ServeOptions opts;
+    opts.socketPath = dir.file("s.sock");
+    // No disk cache: every request must reach L1, where the stampede
+    // collapses to one compile.
+    Server server(opts);
+    server.start();
+
+    constexpr int kClients = 16;
+    std::vector<std::thread> threads;
+    std::atomic<int> okCount{0};
+    for (int c = 0; c < kClients; ++c) {
+        threads.emplace_back([&, c] {
+            ServeClient client(opts.socketPath);
+            json::Value resp =
+                client.call(compileLine(c, kSumSource));
+            const json::Value *ok = resp.find("ok");
+            if (ok && ok->boolean &&
+                resp.find("result")->find("output")->items[0].longAt(
+                    "raw") == 45)
+                ++okCount;
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(okCount.load(), kClients);
+
+    ServeClient client(opts.socketPath);
+    json::Value stats = client.call("{\"op\":\"stats\"}");
+    EXPECT_EQ(stats.find("stats")->longAt("cache_compiles"), 1);
+    EXPECT_EQ(counterOf(stats, "compile.cache.miss"), 1);
+    EXPECT_EQ(counterOf(stats, "compile.cache.hit"), kClients - 1);
+    server.stop();
+}
+
+TEST(Serve, InjectedFaultAnswersOneClientThenHeals)
+{
+    ScratchDir dir("serve-fault");
+    ServeOptions opts;
+    opts.socketPath = dir.file("s.sock");
+    opts.cacheDir = dir.file("cache");
+    Server server(opts);
+    server.start();
+
+    // One-shot transient fault in the backend: the first compile of
+    // any function throws InjectedFault, then the site disarms.
+    FaultPlan plan;
+    plan.arm("backend.regalloc");
+    ScopedFaultPlan scope(plan);
+
+    ServeClient client(opts.socketPath);
+    json::Value failed = client.call(compileLine(1, kSumSource));
+    EXPECT_FALSE(failed.find("ok")->boolean);
+    EXPECT_EQ(failed.find("error")->stringAt("kind"), "internal");
+
+    // The acceptance gate: an immediate identical retry succeeds —
+    // the failure poisoned neither cache level.
+    json::Value retry = client.call(compileLine(2, kSumSource));
+    expectSum(retry, 45);
+    EXPECT_EQ(retry.stringAt("cached"), "none");
+
+    json::Value warm = client.call(compileLine(3, kSumSource));
+    expectSum(warm, 45);
+    EXPECT_EQ(warm.stringAt("cached"), "disk");
+
+    json::Value stats = client.call("{\"op\":\"stats\"}");
+    EXPECT_EQ(counterOf(stats, "compile.cache.failure"), 1);
+    server.stop();
+}
+
+TEST(Serve, FailingStampedeNeverPoisonsLaterRequests)
+{
+    ScratchDir dir("serve-chaos");
+    ServeOptions opts;
+    opts.socketPath = dir.file("s.sock");
+    Server server(opts);
+    server.start();
+
+    FaultPlan plan;
+    plan.arm("backend.regalloc");
+    ScopedFaultPlan scope(plan);
+
+    // A herd of identical requests races the one-shot fault: waiters
+    // that joined the faulting attempt fail with it, requests that
+    // arrive after the erase compile cleanly. Either way every client
+    // gets exactly one structured answer and the server stays up.
+    constexpr int kClients = 8;
+    std::vector<std::thread> threads;
+    std::atomic<int> answered{0};
+    for (int c = 0; c < kClients; ++c) {
+        threads.emplace_back([&, c] {
+            ServeClient client(opts.socketPath);
+            json::Value resp =
+                client.call(compileLine(c, kSumSource));
+            if (resp.find("ok") != nullptr)
+                ++answered;
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(answered.load(), kClients);
+
+    // The fault is spent and nothing was negatively cached.
+    ServeClient client(opts.socketPath);
+    expectSum(client.call(compileLine(99, kSumSource)), 45);
+    server.stop();
+}
+
+TEST(Serve, DegradedCompileServedButNeverCached)
+{
+    ScratchDir dir("serve-degraded");
+    ServeOptions opts;
+    opts.socketPath = dir.file("s.sock");
+    opts.cacheDir = dir.file("cache");
+    Server server(opts);
+    server.start();
+
+    FaultPlan plan;
+    plan.arm("backend.regalloc");
+    ScopedFaultPlan scope(plan);
+
+    ServeClient client(opts.socketPath);
+    // resilient: the injected fault degrades down the single-bank
+    // ladder instead of failing.
+    json::Value degraded = client.call(compileLine(
+        1, kSumSource, "\"resilient\":true"));
+    expectSum(degraded, 45);
+    EXPECT_TRUE(degraded.find("result")->find("degraded")->boolean);
+    EXPECT_FALSE(
+        degraded.find("result")->find("degradations")->items.empty());
+
+    // The degraded artifact was dropped from L1 and never stored to
+    // L2: the identical request recompiles (now at full strength,
+    // the one-shot fault being spent) and is NOT degraded.
+    json::Value clean = client.call(compileLine(
+        2, kSumSource, "\"resilient\":true"));
+    expectSum(clean, 45);
+    EXPECT_EQ(clean.stringAt("cached"), "none");
+    EXPECT_FALSE(clean.find("result")->find("degraded")->boolean);
+
+    // The clean result IS cached.
+    json::Value warm = client.call(compileLine(
+        3, kSumSource, "\"resilient\":true"));
+    EXPECT_EQ(warm.stringAt("cached"), "disk");
+
+    json::Value stats = client.call("{\"op\":\"stats\"}");
+    EXPECT_EQ(counterOf(stats, "serve.degraded"), 1);
+    server.stop();
+}
+
+TEST(Serve, TimeoutIsStructuredErrorAfterRetry)
+{
+    ScratchDir dir("serve-timeout");
+    ServeOptions opts;
+    opts.socketPath = dir.file("s.sock");
+    // A deadline that has always already passed: attempt 0 rethrows
+    // for the pool's retry, attempt 1 answers with the timeout error.
+    opts.requestTimeoutSeconds = 1e-9;
+    opts.requestRetries = 1;
+    Server server(opts);
+    server.start();
+
+    ServeClient client(opts.socketPath);
+    json::Value resp = client.call(compileLine(1, kSumSource));
+    EXPECT_FALSE(resp.find("ok")->boolean);
+    EXPECT_EQ(resp.find("error")->stringAt("kind"), "timeout");
+
+    // Control ops carry no deadline check, so the server remains
+    // observable even when every compile times out.
+    json::Value stats = client.call("{\"op\":\"stats\"}");
+    EXPECT_TRUE(stats.find("ok")->boolean);
+    EXPECT_EQ(counterOf(stats, "serve.timeouts"), 1);
+    EXPECT_EQ(counterOf(stats, "serve.retries"), 1);
+    server.stop();
+}
+
+TEST(Serve, PipelinedRequestsCorrelateById)
+{
+    ScratchDir dir("serve-pipeline");
+    ServeOptions opts;
+    opts.socketPath = dir.file("s.sock");
+    Server server(opts);
+    server.start();
+
+    ServeClient client(opts.socketPath);
+    // Two pipelined requests; responses may come back in either order
+    // (they run concurrently on the pool) — correlate by id.
+    client.sendLine(compileLine(101, kSumSource));
+    client.sendLine("{\"id\":102,\"op\":\"ping\"}");
+    bool saw101 = false, saw102 = false;
+    for (int i = 0; i < 2; ++i) {
+        json::Value resp = json::parse(client.readLine());
+        long id = resp.longAt("id");
+        EXPECT_TRUE(resp.find("ok")->boolean);
+        if (id == 101)
+            saw101 = true;
+        if (id == 102)
+            saw102 = true;
+    }
+    EXPECT_TRUE(saw101);
+    EXPECT_TRUE(saw102);
+    server.stop();
+}
+
+TEST(Serve, ServerSurvivesCorruptDiskEntry)
+{
+    ScratchDir dir("serve-corrupt");
+    ServeOptions opts;
+    opts.socketPath = dir.file("s.sock");
+    opts.cacheDir = dir.file("cache");
+    Server server(opts);
+    server.start();
+
+    ServeClient client(opts.socketPath);
+    expectSum(client.call(compileLine(1, kSumSource)), 45);
+
+    // Garble the one entry the request stored.
+    int entries = 0;
+    for (const auto &e :
+         std::filesystem::directory_iterator(opts.cacheDir)) {
+        std::ofstream out(e.path(), std::ios::trunc);
+        out << "not a cache entry";
+        ++entries;
+    }
+    ASSERT_EQ(entries, 1);
+
+    // Corruption is a miss: the request recompiles, succeeds, and
+    // re-stores a good entry over the garbage.
+    json::Value resp = client.call(compileLine(2, kSumSource));
+    expectSum(resp, 45);
+    EXPECT_EQ(resp.stringAt("cached"), "memory");
+
+    json::Value warm = client.call(compileLine(3, kSumSource));
+    EXPECT_EQ(warm.stringAt("cached"), "disk");
+
+    json::Value stats = client.call("{\"op\":\"stats\"}");
+    EXPECT_EQ(counterOf(stats, "serve.cache.disk.bad"), 1);
+    server.stop();
+}
+
+// ---------------------------------------------------------------------
+// DiskCache unit coverage (no server in the loop)
+// ---------------------------------------------------------------------
+
+TEST(DiskCache, RoundtripAndRestart)
+{
+    ScratchDir dir("disk-rt");
+    std::string cacheDir = dir.file("cache");
+    {
+        DiskCache cache(cacheDir);
+        EXPECT_TRUE(cache.enabled());
+        EXPECT_FALSE(cache.load("key-a").has_value());
+        cache.store("key-a", "payload-a");
+        cache.store("key-b", "");
+        auto got = cache.load("key-a");
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(*got, "payload-a");
+    }
+    // A second instance (a restarted server) sees the same entries.
+    DiskCache cache(cacheDir);
+    EXPECT_EQ(cache.load("key-a").value_or("MISS"), "payload-a");
+    EXPECT_EQ(cache.load("key-b").value_or("MISS"), "");
+}
+
+TEST(DiskCache, DisabledCacheMissesAndDropsQuietly)
+{
+    DiskCache cache("");
+    EXPECT_FALSE(cache.enabled());
+    cache.store("k", "v");
+    EXPECT_FALSE(cache.load("k").has_value());
+}
+
+TEST(DiskCache, CorruptionIsAMissNeverACrash)
+{
+    ScratchDir dir("disk-bad");
+    DiskCache cache(dir.file("cache"));
+    cache.store("key", "payload");
+
+    auto corruptWith = [&](const std::string &content) {
+        std::ofstream out(cache.entryPath("key"),
+                          std::ios::binary | std::ios::trunc);
+        out << content;
+    };
+
+    corruptWith("");
+    EXPECT_FALSE(cache.load("key").has_value()) << "empty file";
+
+    corruptWith("wrong-magic-v9\n3\nkey\npayload");
+    EXPECT_FALSE(cache.load("key").has_value()) << "bad magic";
+
+    corruptWith("dspcc-disk-cache-v1\nnot-a-number\nkey\npayload");
+    EXPECT_FALSE(cache.load("key").has_value()) << "bad length";
+
+    corruptWith("dspcc-disk-cache-v1\n3\nke");
+    EXPECT_FALSE(cache.load("key").has_value()) << "truncated key";
+
+    // A colliding hash (simulated: another key's bytes in this key's
+    // slot) fails full-key verification and reads as a miss.
+    corruptWith("dspcc-disk-cache-v1\n3\nkez\npayload");
+    EXPECT_FALSE(cache.load("key").has_value()) << "key mismatch";
+
+    // The store path recovers over any of it.
+    cache.store("key", "fresh");
+    EXPECT_EQ(cache.load("key").value_or("MISS"), "fresh");
+}
+
+TEST(DiskCache, HashKeyIsStableAndDistinguishes)
+{
+    // FNV-1a is part of the on-disk format now: a silent change would
+    // orphan every existing cache entry. Pin a known vector.
+    EXPECT_EQ(DiskCache::hashKey(""), "cbf29ce484222325");
+    EXPECT_EQ(DiskCache::hashKey("a"), DiskCache::hashKey("a"));
+    EXPECT_NE(DiskCache::hashKey("a"), DiskCache::hashKey("b"));
+    EXPECT_EQ(DiskCache::hashKey("x").size(), 16u);
+}

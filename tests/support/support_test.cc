@@ -349,6 +349,56 @@ TEST(JobPool, RetrySucceedsWhenSecondAttemptMeetsDeadline)
     EXPECT_EQ(attempts.load(), 2);
 }
 
+TEST(JobPool, WaitReportsCancellationAndDroppedJobs)
+{
+    // Cancel observability: a truncated sweep must be visible to the
+    // caller, not silently indistinguishable from a complete one.
+    JobPool pool(1);
+    std::atomic<bool> started{false};
+    pool.submit(
+        [&](JobContext &ctx) {
+            started = true;
+            while (!ctx.cancelled())
+                std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        },
+        JobLimits{});
+    for (int i = 0; i < 5; ++i)
+        pool.submit([] {});
+    while (!started)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    // cancel() reports what THIS call dropped...
+    EXPECT_EQ(pool.cancel(), 5);
+    // ...a second cancel finds nothing left to drop...
+    EXPECT_EQ(pool.cancel(), 0);
+    // ...and wait() reports the batch total.
+    WaitStatus status = pool.wait();
+    EXPECT_TRUE(status.cancelled);
+    EXPECT_EQ(status.dropped, 5);
+    EXPECT_FALSE(status.complete());
+
+    // The evidence is cleared with the batch: the pool is reusable
+    // and the next wait() reports a complete run.
+    std::atomic<int> ran{0};
+    pool.submit([&] { ++ran; });
+    WaitStatus next = pool.wait();
+    EXPECT_TRUE(next.complete());
+    EXPECT_FALSE(next.cancelled);
+    EXPECT_EQ(next.dropped, 0);
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(JobPool, CompleteBatchReportsComplete)
+{
+    JobPool pool(2);
+    for (int i = 0; i < 8; ++i)
+        pool.submit([] {});
+    WaitStatus status = pool.wait();
+    EXPECT_TRUE(status.complete());
+    EXPECT_FALSE(status.cancelled);
+    EXPECT_EQ(status.dropped, 0);
+}
+
 TEST(JobPool, DestructorSwallowsUnobservedErrors)
 {
     std::atomic<int> ran{0};
