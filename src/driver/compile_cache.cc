@@ -39,16 +39,18 @@ CompileCache::get(const std::string &source, const CompileOptions &opts,
     std::promise<std::shared_ptr<const CompileResult>> promise;
     Entry entry;
     bool owner = false;
+    std::uint64_t myGen = 0;
     {
         std::lock_guard<std::mutex> lock(mu);
         auto it = entries.find(key);
         if (it == entries.end()) {
             entry = promise.get_future().share();
-            entries.emplace(key, entry);
+            myGen = ++nextGen;
+            entries.emplace(key, Slot{entry, myGen});
             ++compiles;
             owner = true;
         } else {
-            entry = it->second;
+            entry = it->second.future;
         }
     }
     bumpCounter(owner ? "compile.cache.miss" : "compile.cache.hit");
@@ -78,13 +80,13 @@ CompileCache::get(const std::string &source, const CompileOptions &opts,
         {
             // Mark completed for the eviction order — unless an
             // invalidate() raced in after set_value and already
-            // dropped the entry (or even admitted a successor, which
-            // would not be ready yet and must not be marked).
+            // dropped the entry. The generation check (not readiness)
+            // keeps us from marking a successor that was admitted and
+            // completed in that window: its own owner marks it, and
+            // marking it here too would double-insert the key.
             std::lock_guard<std::mutex> lock(mu);
             auto it = entries.find(key);
-            if (it != entries.end() &&
-                it->second.wait_for(std::chrono::seconds(0)) ==
-                    std::future_status::ready) {
+            if (it != entries.end() && it->second.gen == myGen) {
                 completed.push_back(key);
                 enforceCapacity();
             }
@@ -106,7 +108,7 @@ CompileCache::invalidate(const std::string &source,
         return;
     // Leave in-flight attempts alone: their waiters want the outcome,
     // and a failing owner erases its own entry.
-    if (it->second.wait_for(std::chrono::seconds(0)) !=
+    if (it->second.future.wait_for(std::chrono::seconds(0)) !=
         std::future_status::ready)
         return;
     entries.erase(it);

@@ -36,6 +36,7 @@
 #define DSP_DRIVER_COMPILE_CACHE_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <future>
 #include <list>
 #include <memory>
@@ -108,15 +109,28 @@ class CompileCache
   private:
     using Entry = std::shared_future<std::shared_ptr<const CompileResult>>;
 
+    /** Map value: the shared future plus the attempt generation that
+     *  created it, so an owner's post-completion bookkeeping can tell
+     *  its own entry from a successor admitted after a racing
+     *  invalidate() — marking the successor would double-insert the
+     *  key into the eviction order. */
+    struct Slot
+    {
+        Entry future;
+        std::uint64_t gen;
+    };
+
     /** Evict oldest completed entries until within capacity. Caller
      *  holds the lock. */
     void enforceCapacity();
 
     mutable std::mutex mu;
-    std::unordered_map<std::string, Entry> entries;
-    /** Completed keys in insertion order (eviction order). */
+    std::unordered_map<std::string, Slot> entries;
+    /** Completed keys in insertion order (eviction order). Invariant:
+     *  each key appears at most once and maps to a ready entry. */
     std::list<std::string> completed;
     std::size_t maxEntries;
+    std::uint64_t nextGen = 0;
     int compiles = 0;
     long evictions = 0;
 };

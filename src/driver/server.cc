@@ -4,6 +4,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -98,10 +99,20 @@ parseCompileRequest(const json::Value &v, std::string &err)
         req.fidelity = *fid;
     }
     req.copts.optLevel = static_cast<int>(v.numberAt("opt_level", 1));
-    if (const json::Value *b = v.find("verify_mc"))
+    if (const json::Value *b = v.find("verify_mc")) {
+        if (!b->isBool()) {
+            err = "verify_mc must be a boolean";
+            return std::nullopt;
+        }
         req.copts.verifyMc = b->boolean;
-    if (const json::Value *b = v.find("resilient"))
+    }
+    if (const json::Value *b = v.find("resilient")) {
+        if (!b->isBool()) {
+            err = "resilient must be a boolean";
+            return std::nullopt;
+        }
         req.copts.resilient = b->boolean;
+    }
     int maxErrors = static_cast<int>(v.numberAt("max_errors", 20));
     if (maxErrors < 1) {
         err = "max_errors must be >= 1";
@@ -348,9 +359,20 @@ Server::stop()
         for (const std::shared_ptr<Conn> &c : conns)
             ::shutdown(c->fd, SHUT_RD);
     }
-    for (std::thread &t : readers)
+    // Join every reader still registered — the live ones drain to EOF
+    // now, the already-finished ones just get reaped. acceptThread is
+    // joined, so no new registrations race this swap.
+    std::unordered_map<std::uint64_t, std::thread> toJoin;
+    {
+        std::lock_guard<std::mutex> lock(connMu);
+        toJoin.swap(readers);
+    }
+    for (auto &[id, t] : toJoin)
         t.join();
-    readers.clear();
+    {
+        std::lock_guard<std::mutex> lock(connMu);
+        finishedReaders.clear();
+    }
 
     try {
         pool->wait();
@@ -395,6 +417,7 @@ void
 Server::acceptLoop()
 {
     for (;;) {
+        reapFinishedReaders();
         int fd = ::accept(listenFd, nullptr, nullptr);
         if (fd < 0) {
             if (errno == EINTR)
@@ -406,18 +429,48 @@ Server::acceptLoop()
             return;
         }
         auto conn = std::make_shared<Conn>(fd);
+        std::uint64_t readerId;
         {
             std::lock_guard<std::mutex> lock(connMu);
+            readerId = nextReaderId++;
             conns.push_back(conn);
         }
         sess.counters().add("serve.connections");
-        readers.emplace_back(
-            [this, conn] { readerLoop(conn); });
+        std::thread reader(
+            [this, conn, readerId] { readerLoop(conn, readerId); });
+        {
+            std::lock_guard<std::mutex> lock(connMu);
+            readers.emplace(readerId, std::move(reader));
+        }
     }
 }
 
 void
-Server::readerLoop(std::shared_ptr<Conn> conn)
+Server::reapFinishedReaders()
+{
+    // A reader can queue its id before acceptLoop registers its
+    // handle; such ids stay queued for the next sweep.
+    std::vector<std::thread> done;
+    {
+        std::lock_guard<std::mutex> lock(connMu);
+        std::vector<std::uint64_t> pending;
+        for (std::uint64_t id : finishedReaders) {
+            auto it = readers.find(id);
+            if (it == readers.end()) {
+                pending.push_back(id);
+                continue;
+            }
+            done.push_back(std::move(it->second));
+            readers.erase(it);
+        }
+        finishedReaders = std::move(pending);
+    }
+    for (std::thread &t : done)
+        t.join();
+}
+
+void
+Server::readerLoop(std::shared_ptr<Conn> conn, std::uint64_t reader_id)
 {
     std::string buf;
     char chunk[4096];
@@ -426,7 +479,7 @@ Server::readerLoop(std::shared_ptr<Conn> conn)
         if (r < 0 && errno == EINTR)
             continue;
         if (r <= 0)
-            return; // EOF or reset: jobs in flight keep Conn alive
+            break; // EOF or reset: jobs in flight keep Conn alive
         buf.append(chunk, static_cast<std::size_t>(r));
 
         std::size_t nl;
@@ -469,6 +522,15 @@ Server::readerLoop(std::shared_ptr<Conn> conn)
                 limits);
         }
     }
+
+    // Deregister: drop the registry's Conn reference (the fd closes
+    // once in-flight jobs release theirs) and queue this thread for
+    // the accept loop — or stop() — to join.
+    sess.counters().add("serve.disconnects");
+    std::lock_guard<std::mutex> lock(connMu);
+    conns.erase(std::remove(conns.begin(), conns.end(), conn),
+                conns.end());
+    finishedReaders.push_back(reader_id);
 }
 
 void

@@ -78,11 +78,13 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "driver/compile_cache.hh"
@@ -159,7 +161,8 @@ class Server
     struct Conn;
 
     void acceptLoop();
-    void readerLoop(std::shared_ptr<Conn> conn);
+    void readerLoop(std::shared_ptr<Conn> conn, std::uint64_t reader_id);
+    void reapFinishedReaders();
     void handleLine(const std::shared_ptr<Conn> &conn,
                     const std::string &line, JobContext &ctx);
 
@@ -172,9 +175,19 @@ class Server
 
     int listenFd = -1;
     std::thread acceptThread;
+    /**
+     * Connection registry, guarded by connMu. A reader that hits EOF
+     * deregisters its Conn (the fd closes as soon as in-flight jobs
+     * drop their references) and queues its own id on finishedReaders;
+     * the accept loop joins queued readers before each accept, stop()
+     * joins whatever remains. Without this reclamation a long-lived
+     * daemon would leak one fd and one thread per client ever served.
+     */
     std::mutex connMu;
     std::vector<std::shared_ptr<Conn>> conns;
-    std::vector<std::thread> readers;
+    std::unordered_map<std::uint64_t, std::thread> readers;
+    std::vector<std::uint64_t> finishedReaders;
+    std::uint64_t nextReaderId = 0;
 
     std::atomic<bool> isRunning{false};
     std::atomic<bool> stopping{false};

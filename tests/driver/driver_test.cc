@@ -4,6 +4,9 @@
  * reporting, the cost model, and the profile-feedback loop.
  */
 
+#include <atomic>
+#include <thread>
+
 #include <gtest/gtest.h>
 
 #include "driver/compile_cache.hh"
@@ -430,6 +433,39 @@ TEST(CompileCache, CapacityBoundEvictsOldestCompleted)
     EXPECT_EQ(cache.compileCount(), 4);
     cache.get("void main() { out(3); }", opts);
     EXPECT_EQ(cache.compileCount(), 4);
+}
+
+TEST(CompileCache, InvalidateRacingCompletionKeepsBookkeepingExact)
+{
+    // Regression for a race in the owner's completion bookkeeping: an
+    // invalidate() landing between set_value and the bookkeeping lock
+    // could admit a successor attempt whose key then got marked
+    // completed twice, inflating the eviction order and later evicting
+    // an in-flight entry. Generation tracking closes the window; this
+    // hammers it (meaningfully under TSan) and checks the accounting
+    // stays exact.
+    const char *src = "void main() { out(3); }";
+    CompileCache cache(4);
+    CompileOptions opts;
+    std::atomic<bool> done{false};
+    std::thread invalidator([&] {
+        while (!done.load())
+            cache.invalidate(src, opts);
+    });
+    for (int i = 0; i < 100; ++i)
+        ASSERT_NE(cache.get(src, opts), nullptr);
+    done.store(true);
+    invalidator.join();
+
+    // Fill past capacity: a duplicate completed record would make the
+    // size drift from the bound or evict the wrong entry.
+    cache.get("void main() { out(10); }", opts);
+    cache.get("void main() { out(11); }", opts);
+    cache.get("void main() { out(12); }", opts);
+    cache.get("void main() { out(13); }", opts);
+    EXPECT_LE(cache.size(), 4u);
+    cache.get("void main() { out(13); }", opts);
+    EXPECT_EQ(cache.size(), 4u);
 }
 
 } // namespace
