@@ -9,6 +9,19 @@
  *     serve_load --socket=/run/dspcc.sock # target an external server
  *     serve_load --cache-dir=/tmp/cache   # warm L2 across invocations
  *
+ * Overload mode drives the admission-control story (DESIGN.md §14):
+ *
+ *     serve_load --overload --clients=64 --serve-threads=2 \
+ *                --max-pending=8
+ *
+ * points many more clients than workers at a server with a small
+ * admission budget. Clients honor the protocol's backpressure: an
+ * "overloaded" reply is retried with exponential backoff plus
+ * deterministic jitter, seeded from the reply's retry_after_ms hint.
+ * The summary adds the shed rate and p50/p99 end-to-end latency
+ * (retry waits included), so the shed-vs-throughput tradeoff is a
+ * table, not a feeling (see EXPERIMENTS.md).
+ *
  * Each client thread opens its own connection and walks the whole
  * suite once per pass, validating every response's output words
  * against the benchmark's host-side reference. Pass 1 is the cold
@@ -26,6 +39,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <mutex>
@@ -51,13 +65,24 @@ struct LoadOptions
     std::string cacheDir;
     int clients = 16;
     int passes = 2;
+    /** In-process server worker count; 0 = hardware concurrency. */
+    int serveThreads = 0;
+    /** In-process server admission budget (ServeOptions::maxPending). */
+    std::size_t maxPending = 128;
+    /** Retry shed requests with backoff and report shed rate + p50/p99
+     *  latency. */
+    bool overload = false;
 };
 
 [[noreturn]] void
 usage()
 {
     std::cerr << "usage: serve_load [--socket=SOCK] [--cache-dir=DIR]\n"
-                 "                  [--clients=N] [--passes=N]\n";
+                 "                  [--clients=N] [--passes=N]\n"
+                 "                  [--serve-threads=N] "
+                 "[--max-pending=N] [--overload]\n"
+                 "(--serve-threads/--max-pending configure the "
+                 "in-process server\n and are ignored with --socket)\n";
     std::exit(1);
 }
 
@@ -79,12 +104,40 @@ parseArgs(int argc, char **argv)
             opt.passes = std::stoi(arg.substr(9));
             if (opt.passes < 1)
                 usage();
+        } else if (startsWith(arg, "--serve-threads=")) {
+            opt.serveThreads = std::stoi(arg.substr(16));
+            if (opt.serveThreads < 0)
+                usage();
+        } else if (startsWith(arg, "--max-pending=")) {
+            opt.maxPending = std::stoul(arg.substr(14));
+        } else if (arg == "--overload") {
+            opt.overload = true;
         } else {
             usage();
         }
     }
     return opt;
 }
+
+/** Deterministic per-client jitter source: the bench must replay
+ *  byte-for-byte, so no random_device. */
+struct Jitter
+{
+    std::uint64_t s;
+
+    explicit Jitter(std::uint64_t seed) : s(seed * 2654435761ULL + 1) {}
+
+    std::uint64_t
+    next()
+    {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        return s;
+    }
+
+    long below(long n) { return n > 0 ? static_cast<long>(next() % n) : 0; }
+};
 
 std::string
 compileRequest(long long id, const Benchmark &b)
@@ -125,7 +178,19 @@ struct PassTally
     long requests = 0;
     long hits = 0; ///< served from memory or disk cache
     long errors = 0;
+    long sheds = 0; ///< "overloaded" replies absorbed by retries
+    std::vector<double> latencyMs; ///< end-to-end, retry waits included
 };
+
+double
+percentile(std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    std::size_t idx = static_cast<std::size_t>(
+        p / 100.0 * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
 
 } // namespace
 
@@ -145,6 +210,8 @@ main(int argc, char **argv)
         ServeOptions sopts;
         sopts.socketPath = socketPath;
         sopts.cacheDir = opt.cacheDir;
+        sopts.threads = opt.serveThreads;
+        sopts.maxPending = opt.maxPending;
         server = std::make_unique<Server>(sopts);
         server->start();
     }
@@ -160,7 +227,40 @@ main(int argc, char **argv)
         clients.emplace_back([&, c] {
             try {
                 ServeClient client(socketPath);
+                Jitter jitter(static_cast<std::uint64_t>(c) + 1);
                 long long nextId = static_cast<long long>(c) * 1'000'000;
+
+                // One request, shed-aware: an "overloaded" reply is
+                // retried with exponential backoff plus jitter, the
+                // first delay seeded from the server's retry_after_ms
+                // hint. Returns the first non-overloaded reply (or,
+                // past the attempt cap, the shed itself — the caller
+                // counts it as an error, so a server that never
+                // admits us fails the run loudly).
+                auto callPolitely = [&](const std::string &line,
+                                        PassTally &local) {
+                    long delayMs = 0;
+                    for (int attempt = 0;; ++attempt) {
+                        json::Value resp = client.call(line);
+                        const json::Value *err = resp.find("error");
+                        if (!opt.overload || err == nullptr ||
+                            err->stringAt("kind") != "overloaded")
+                            return resp;
+                        ++local.sheds;
+                        if (attempt >= 20)
+                            return resp;
+                        long hint = err->longAt("retry_after_ms", 25);
+                        delayMs = std::min(
+                            std::max(delayMs * 2, hint), 500L);
+                        // Sleep 50–100% of the backoff: the jitter
+                        // spreads the herd's retries apart.
+                        long wait =
+                            delayMs / 2 + jitter.below(delayMs / 2 + 1);
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(wait));
+                    }
+                };
+
                 for (int pass = 0; pass < opt.passes; ++pass) {
                     PassTally local;
                     for (std::size_t i = 0; i < suite.size(); ++i) {
@@ -169,8 +269,14 @@ main(int argc, char **argv)
                         // in lockstep.
                         const Benchmark &b =
                             *suite[(i + c) % suite.size()];
-                        json::Value resp = client.call(
-                            compileRequest(++nextId, b));
+                        auto reqBegin = std::chrono::steady_clock::now();
+                        json::Value resp = callPolitely(
+                            compileRequest(++nextId, b), local);
+                        local.latencyMs.push_back(
+                            std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() -
+                                reqBegin)
+                                .count());
                         ++local.requests;
                         const json::Value *ok = resp.find("ok");
                         if (!ok || !ok->boolean) {
@@ -192,6 +298,10 @@ main(int argc, char **argv)
                     tallies[pass].requests += local.requests;
                     tallies[pass].hits += local.hits;
                     tallies[pass].errors += local.errors;
+                    tallies[pass].sheds += local.sheds;
+                    tallies[pass].latencyMs.insert(
+                        tallies[pass].latencyMs.end(),
+                        local.latencyMs.begin(), local.latencyMs.end());
                     if (local.errors > 0)
                         failed.store(true);
                 }
@@ -210,7 +320,7 @@ main(int argc, char **argv)
 
     long total = 0;
     for (int pass = 0; pass < opt.passes; ++pass) {
-        const PassTally &t = tallies[pass];
+        PassTally &t = tallies[pass];
         total += t.requests;
         double hitRate =
             t.requests > 0 ? 100.0 * t.hits / t.requests : 0.0;
@@ -218,6 +328,21 @@ main(int argc, char **argv)
                   << " requests, " << t.hits << " cache hits ("
                   << fixed(hitRate, 1) << "%), " << t.errors
                   << " errors\n";
+        if (opt.overload) {
+            // Shed rate is per protocol frame: one request retried
+            // three times is one success and three sheds.
+            long frames = t.requests + t.sheds;
+            double shedRate =
+                frames > 0 ? 100.0 * t.sheds / frames : 0.0;
+            std::sort(t.latencyMs.begin(), t.latencyMs.end());
+            std::cout << "pass " << (pass + 1) << ": " << t.sheds
+                      << " sheds (" << fixed(shedRate, 1)
+                      << "% of frames), latency p50 "
+                      << fixed(percentile(t.latencyMs, 50), 1)
+                      << " ms, p99 "
+                      << fixed(percentile(t.latencyMs, 99), 1)
+                      << " ms\n";
+        }
     }
     std::cout << opt.clients << " clients x " << opt.passes
               << " passes x " << suite.size() << " benchmarks: "

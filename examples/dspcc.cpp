@@ -29,6 +29,8 @@
  *   3  the compile succeeded but degraded, and --werror was given
  */
 
+#include <chrono>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -87,6 +89,15 @@ struct CliOptions
     int serveThreads = 0;
     /** --request-timeout=SECONDS per attempt (0 = no deadline). */
     double requestTimeout = 30.0;
+    /** --max-pending=N admitted-but-unfinished request budget
+     *  (0 = unbounded); excess requests are shed as "overloaded". */
+    std::size_t maxPending = 128;
+    /** --max-request-bytes=N request-line cap (0 = unbounded). */
+    std::size_t maxRequestBytes = 1 << 20;
+    /** --idle-timeout=SECONDS silent-connection close (0 = off). */
+    double idleTimeout = 0;
+    /** --drain-deadline=SECONDS bound on a SIGTERM-initiated drain. */
+    double drainDeadline = 10.0;
 };
 
 [[noreturn]] void
@@ -147,6 +158,26 @@ usage()
            "  --request-timeout=SECONDS\n"
            "                (with --serve) per-request wall-clock\n"
            "                budget per attempt; one retry (default 30)\n"
+           "  --max-pending=N\n"
+           "                (with --serve) admission budget: at most N\n"
+           "                requests queued or running; excess sheds\n"
+           "                with a structured 'overloaded' error and a\n"
+           "                retry_after_ms hint (default 128, 0 = off)\n"
+           "  --max-request-bytes=N\n"
+           "                (with --serve) longest accepted request\n"
+           "                line; over the cap earns one 'protocol'\n"
+           "                error and the connection is closed\n"
+           "                (default 1048576, 0 = off)\n"
+           "  --idle-timeout=SECONDS\n"
+           "                (with --serve) close a connection silent\n"
+           "                this long with nothing in flight\n"
+           "                (default off)\n"
+           "  --drain-deadline=SECONDS\n"
+           "                (with --serve) how long a SIGTERM drain\n"
+           "                may take before stopping anyway\n"
+           "                (default 10). SIGTERM (or the 'drain' op)\n"
+           "                finishes in-flight requests, answers new\n"
+           "                ones with 'draining', then exits 0\n"
            "  *-out flags accept '-' as FILE to mean stdout\n"
            "exit codes: 0 ok, 1 user error, 2 internal error,\n"
            "            3 degraded compile with --werror\n";
@@ -240,6 +271,24 @@ parseArgs(int argc, char **argv)
         } else if (startsWith(arg, "--request-timeout=")) {
             cli.requestTimeout = std::stod(arg.substr(18));
             if (cli.requestTimeout < 0)
+                usage();
+        } else if (startsWith(arg, "--max-pending=")) {
+            long n = std::stol(arg.substr(14));
+            if (n < 0)
+                usage();
+            cli.maxPending = static_cast<std::size_t>(n);
+        } else if (startsWith(arg, "--max-request-bytes=")) {
+            long n = std::stol(arg.substr(20));
+            if (n < 0)
+                usage();
+            cli.maxRequestBytes = static_cast<std::size_t>(n);
+        } else if (startsWith(arg, "--idle-timeout=")) {
+            cli.idleTimeout = std::stod(arg.substr(15));
+            if (cli.idleTimeout < 0)
+                usage();
+        } else if (startsWith(arg, "--drain-deadline=")) {
+            cli.drainDeadline = std::stod(arg.substr(17));
+            if (cli.drainDeadline <= 0)
                 usage();
         } else if (startsWith(arg, "--in=")) {
             for (const std::string &tok :
@@ -413,9 +462,22 @@ runCompare(const std::string &source, const CliOptions &cli)
     return degraded;
 }
 
+/** Set by the SIGTERM handler; polled by waitForShutdown(). Async-
+ *  signal-safe by construction: the handler only stores a flag. */
+volatile std::sig_atomic_t gSigterm = 0;
+
+extern "C" void
+onSigterm(int)
+{
+    gSigterm = 1;
+}
+
 /** --serve mode: run the compile service until a client sends the
- *  "shutdown" op. The process blocks here; exit code 0 on a clean
- *  shutdown, 1 on a bind/setup UserError. */
+ *  "shutdown"/"drain" op or the process receives SIGTERM (which
+ *  drains gracefully: in-flight requests finish and reply, new ones
+ *  get a structured "draining" error, then the process exits 0 —
+ *  within --drain-deadline). Exit code 0 on any clean shutdown, 1 on
+ *  a bind/setup UserError. */
 int
 runServe(const CliOptions &cli)
 {
@@ -424,15 +486,40 @@ runServe(const CliOptions &cli)
     sopts.cacheDir = cli.cacheDir;
     sopts.threads = cli.serveThreads;
     sopts.requestTimeoutSeconds = cli.requestTimeout;
+    sopts.maxPending = cli.maxPending;
+    sopts.maxRequestBytes = cli.maxRequestBytes;
+    sopts.idleTimeoutSeconds = cli.idleTimeout;
+    sopts.drainDeadlineSeconds = cli.drainDeadline;
     try {
         Server server(sopts);
         server.start();
+        std::signal(SIGTERM, onSigterm);
         std::cerr << "dspcc: serving on " << cli.servePath
                   << (cli.cacheDir.empty()
                           ? std::string()
                           : " (cache " + cli.cacheDir + ")")
                   << "\n";
-        server.waitForShutdown();
+        bool latched =
+            server.waitForShutdown([] { return gSigterm != 0; });
+        if (!latched && gSigterm) {
+            // SIGTERM: drain, bounded by the deadline. beginDrain()
+            // fires the shutdown latch once the last admitted request
+            // has replied; if stragglers blow the deadline, stop()
+            // still lets them finish (they are bounded by the
+            // per-request timeout) before exiting.
+            std::cerr << "dspcc: SIGTERM: draining ("
+                      << server.pendingRequests()
+                      << " requests in flight)\n";
+            server.beginDrain();
+            auto deadline =
+                std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(cli.drainDeadline));
+            server.waitForShutdown([&] {
+                return std::chrono::steady_clock::now() >= deadline;
+            });
+        }
         server.stop();
     } catch (const UserError &e) {
         std::cerr << "dspcc: " << e.what() << "\n";

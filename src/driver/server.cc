@@ -1,5 +1,6 @@
 #include "driver/server.hh"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -188,9 +189,11 @@ renderResult(const CompileResult &compiled, const RunResult &run,
     return os.str();
 }
 
+/** @p retry_after_ms < 0 omits the field (only "overloaded" carries
+ *  a backoff hint). */
 std::string
 errorResponse(bool has_id, long long id, const char *kind,
-              const std::string &message)
+              const std::string &message, long retry_after_ms = -1)
 {
     std::ostringstream os;
     json::Writer w(os);
@@ -201,6 +204,8 @@ errorResponse(bool has_id, long long id, const char *kind,
     w.key("error").beginObject(json::Writer::Block::Inline);
     w.field("kind", kind);
     w.field("message", message);
+    if (retry_after_ms >= 0)
+        w.field("retry_after_ms", retry_after_ms);
     w.endObject();
     w.endObject();
     return os.str();
@@ -230,7 +235,9 @@ okResponseWithResult(bool has_id, long long id, const char *cached,
 
 struct Server::Conn
 {
-    explicit Conn(int fd) : fd(fd) {}
+    Conn(int fd, double write_timeout_seconds)
+        : fd(fd), writeTimeoutSeconds(write_timeout_seconds)
+    {}
     ~Conn()
     {
         if (fd >= 0)
@@ -240,13 +247,25 @@ struct Server::Conn
     Conn(const Conn &) = delete;
     Conn &operator=(const Conn &) = delete;
 
-    /** Write one response line atomically w.r.t. other responses on
-     *  this connection. A dead peer (EPIPE) is not an error for the
-     *  server — the response is simply dropped. */
+    /**
+     * Write one response line atomically w.r.t. other responses on
+     * this connection. A dead peer (EPIPE) is not an error for the
+     * server — the response is simply dropped. A *stalled* peer is:
+     * each send(2) is bounded by SO_SNDTIMEO (set at accept) and the
+     * whole response by one writeTimeoutSeconds deadline; past either,
+     * the response is abandoned and the connection killed (both
+     * directions, so the reader thread unwinds too) — one client that
+     * stops reading must never wedge a worker.
+     */
     void
     writeLine(const std::string &line)
     {
         std::lock_guard<std::mutex> lock(writeMu);
+        auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(
+                                writeTimeoutSeconds));
         std::string data = line + "\n";
         const char *p = data.data();
         std::size_t n = data.size();
@@ -254,17 +273,39 @@ struct Server::Conn
             ssize_t sent = ::send(fd, p, n, MSG_NOSIGNAL);
             if (sent < 0 && errno == EINTR)
                 continue;
+            if (sent < 0 &&
+                (errno == EAGAIN || errno == EWOULDBLOCK)) {
+                abandonWrite();
+                return;
+            }
             if (sent <= 0) {
                 bumpCounter("serve.write_error");
                 return;
             }
             p += sent;
             n -= static_cast<std::size_t>(sent);
+            if (n > 0 && writeTimeoutSeconds > 0 &&
+                std::chrono::steady_clock::now() >= deadline) {
+                abandonWrite();
+                return;
+            }
         }
     }
 
+    void
+    abandonWrite()
+    {
+        bumpCounter("serve.write_timeout");
+        // SHUT_RDWR: the peer sees a broken stream (never a torn
+        // line presented as complete) and our reader sees EOF.
+        ::shutdown(fd, SHUT_RDWR);
+    }
+
     int fd;
+    double writeTimeoutSeconds;
     std::mutex writeMu;
+    /** Admitted-but-unfinished compile requests from this client. */
+    std::atomic<int> pending{0};
 };
 
 // ---------------------------------------------------------------------
@@ -333,6 +374,8 @@ Server::start()
         shutdownRequested = false;
     }
     stopping.store(false);
+    drainFlag.store(false);
+    pendingCount.store(0);
     isRunning.store(true);
     acceptThread = std::thread([this] { acceptLoop(); });
 }
@@ -400,6 +443,25 @@ Server::requestShutdown()
     shutdownCv.notify_all();
 }
 
+void
+Server::beginDrain()
+{
+    if (drainFlag.exchange(true))
+        return;
+    sess.counters().add("serve.drains");
+    // Stop accepting: wake accept(2) with an error so the loop exits.
+    // (stop() closes the fd later; a drained server that is never
+    // stopped still refuses new connections.)
+    if (listenFd >= 0)
+        ::shutdown(listenFd, SHUT_RDWR);
+    // Nothing in flight: the drain is already complete. Otherwise the
+    // last finishRequest() fires the latch — both orders of the
+    // flag-set/count-decrement handshake are covered because each
+    // side re-checks the other's value after writing its own.
+    if (pendingCount.load() == 0)
+        requestShutdown();
+}
+
 bool
 Server::waitForShutdown(const std::function<bool()> &interrupted)
 {
@@ -424,11 +486,22 @@ Server::acceptLoop()
                 continue;
             return; // stop() shut the listener down (or it died)
         }
-        if (stopping.load()) {
+        if (stopping.load() || drainFlag.load()) {
             ::close(fd);
             return;
         }
-        auto conn = std::make_shared<Conn>(fd);
+        if (opts.writeTimeoutSeconds > 0) {
+            // Bound each send(2) toward this client; writeLine turns
+            // the resulting EAGAIN into a killed connection.
+            double t = opts.writeTimeoutSeconds;
+            timeval tv{};
+            tv.tv_sec = static_cast<time_t>(t);
+            tv.tv_usec = static_cast<suseconds_t>(
+                (t - static_cast<double>(tv.tv_sec)) * 1e6);
+            ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+        }
+        auto conn =
+            std::make_shared<Conn>(fd, opts.writeTimeoutSeconds);
         std::uint64_t readerId;
         {
             std::lock_guard<std::mutex> lock(connMu);
@@ -474,7 +547,30 @@ Server::readerLoop(std::shared_ptr<Conn> conn, std::uint64_t reader_id)
 {
     std::string buf;
     char chunk[4096];
+    // -1 = block forever; otherwise the idle timeout in ms. The timer
+    // restarts on every received byte (and every in-flight poll), so
+    // "idle" means "no bytes AND no requests in flight for the whole
+    // window" — a client legitimately waiting on a long compile is
+    // not idle.
+    int pollMs = opts.idleTimeoutSeconds > 0
+                     ? static_cast<int>(opts.idleTimeoutSeconds * 1000)
+                     : -1;
     for (;;) {
+        pollfd pfd{};
+        pfd.fd = conn->fd;
+        pfd.events = POLLIN;
+        int pr = ::poll(&pfd, 1, pollMs);
+        if (pr < 0 && errno == EINTR)
+            continue;
+        if (pr == 0) {
+            if (conn->pending.load() > 0)
+                continue; // responses owed: not idle
+            sess.counters().add("serve.idle_closed");
+            conn->writeLine(errorResponse(
+                false, 0, "protocol",
+                "idle timeout: no request received; closing"));
+            break;
+        }
         ssize_t r = ::recv(conn->fd, chunk, sizeof(chunk), 0);
         if (r < 0 && errno == EINTR)
             continue;
@@ -482,44 +578,35 @@ Server::readerLoop(std::shared_ptr<Conn> conn, std::uint64_t reader_id)
             break; // EOF or reset: jobs in flight keep Conn alive
         buf.append(chunk, static_cast<std::size_t>(r));
 
+        // One structured "protocol" reply, then close: for a complete
+        // line over the cap, and equally for an unterminated buffer
+        // over the cap — the reply-then-close discipline is what keeps
+        // a newline-less byte stream from growing this buffer forever.
+        bool overlong = false;
         std::size_t nl;
         while ((nl = buf.find('\n')) != std::string::npos) {
             std::string line = buf.substr(0, nl);
             buf.erase(0, nl + 1);
+            if (opts.maxRequestBytes &&
+                line.size() > opts.maxRequestBytes) {
+                overlong = true;
+                break;
+            }
             if (line.empty())
                 continue;
-            sess.counters().add("serve.requests");
-            JobLimits limits;
-            limits.timeoutSeconds = opts.requestTimeoutSeconds;
-            limits.retries = opts.requestRetries;
-            limits.name = "serve.request";
-            pool->submit(
-                [this, conn, line](JobContext &ctx) {
-                    sess.counters().add("serve.inflight");
-                    sess.counters().max(
-                        "serve.inflight.peak",
-                        sess.counters().value("serve.inflight"));
-                    try {
-                        handleLine(conn, line, ctx);
-                    } catch (const JobTimeout &) {
-                        // Deliberate: handleLine rethrows only when
-                        // the pool still owes this request a retry.
-                        sess.counters().add("serve.inflight", -1);
-                        sess.counters().add("serve.retries");
-                        throw;
-                    } catch (const std::exception &e) {
-                        // Last resort — handleLine answers its own
-                        // errors, so only a response-path bug lands
-                        // here. The client still gets a line.
-                        sess.counters().add("serve.inflight", -1);
-                        sess.counters().add("serve.handler_error");
-                        conn->writeLine(errorResponse(
-                            false, 0, "internal", e.what()));
-                        return;
-                    }
-                    sess.counters().add("serve.inflight", -1);
-                },
-                limits);
+            dispatchLine(conn, line);
+        }
+        if (!overlong && opts.maxRequestBytes &&
+            buf.size() > opts.maxRequestBytes)
+            overlong = true;
+        if (overlong) {
+            sess.counters().add("serve.overlong_line");
+            conn->writeLine(errorResponse(
+                false, 0, "protocol",
+                "request line exceeds " +
+                    std::to_string(opts.maxRequestBytes) +
+                    " bytes; closing connection"));
+            break;
         }
     }
 
@@ -534,9 +621,226 @@ Server::readerLoop(std::shared_ptr<Conn> conn, std::uint64_t reader_id)
 }
 
 void
-Server::handleLine(const std::shared_ptr<Conn> &conn,
-                   const std::string &line, JobContext &ctx)
+Server::dispatchLine(const std::shared_ptr<Conn> &conn,
+                     const std::string &line)
 {
+    sess.counters().add("serve.requests");
+
+    // Parse on the reader thread: malformed requests are answered
+    // here without ever costing a pool slot, and the op decides the
+    // request's class before admission.
+    json::Value v;
+    try {
+        v = json::parse(line);
+    } catch (const UserError &e) {
+        sess.counters().add("serve.responses.error");
+        conn->writeLine(errorResponse(false, 0, "protocol", e.what()));
+        return;
+    }
+    const json::Value *idField = v.find("id");
+    bool hasId = idField != nullptr && idField->isNumber();
+    long long id = hasId ? static_cast<long long>(idField->number) : 0;
+
+    // Control ops run right here, deadline-free and never shed: the
+    // server must stay observable (stats) and drainable (drain,
+    // shutdown) no matter how overloaded the compile pool is.
+    std::string op = v.stringAt("op");
+    if (handleControl(conn, op, hasId, id))
+        return;
+    if (op != "compile") {
+        sess.counters().add("serve.responses.error");
+        conn->writeLine(errorResponse(hasId, id, "protocol",
+                                      "unknown op '" + op + "'"));
+        return;
+    }
+
+    if (drainFlag.load()) {
+        sess.counters().add("serve.responses.draining");
+        conn->writeLine(errorResponse(
+            hasId, id, "draining",
+            "server is draining and no longer accepts work"));
+        return;
+    }
+
+    // Admission control: shed instead of queueing without bound. The
+    // retry_after_ms hint scales with how deep the backlog is per
+    // worker, so a polite client herd spreads its retries out.
+    auto shed = [&](long depth) {
+        int workers = pool ? pool->threadCount() : 1;
+        long retryMs = std::clamp(
+            25L * depth / std::max(1, workers), 10L, 2000L);
+        sess.counters().add("serve.shed");
+        sess.counters().add("serve.responses.error");
+        conn->writeLine(errorResponse(
+            hasId, id, "overloaded",
+            "server at capacity (" + std::to_string(depth) +
+                " requests pending); retry later",
+            retryMs));
+    };
+    // Per-connection budget first: this reader is the only thread
+    // that increments conn->pending, so a plain check is exact.
+    if (opts.maxPendingPerConn &&
+        conn->pending.load() >=
+            static_cast<int>(opts.maxPendingPerConn)) {
+        shed(pendingCount.load());
+        return;
+    }
+    // Server-wide budget via CAS so the bound is exact even with
+    // many reader threads racing: pendingRequests() never exceeds
+    // maxPending (pinned by the serve tier's queue_depth.peak check).
+    long depth = pendingCount.load();
+    for (;;) {
+        if (opts.maxPending &&
+            depth >= static_cast<long>(opts.maxPending)) {
+            shed(depth);
+            return;
+        }
+        if (pendingCount.compare_exchange_weak(depth, depth + 1))
+            break;
+    }
+    long nowDepth = depth + 1;
+    conn->pending.fetch_add(1);
+    sess.counters().max("serve.queue_depth.peak", nowDepth);
+
+    JobLimits limits;
+    limits.timeoutSeconds = opts.requestTimeoutSeconds;
+    limits.retries = opts.requestRetries;
+    limits.name = "serve.request";
+    pool->submit(
+        [this, conn, line](JobContext &ctx) {
+            sess.counters().add("serve.inflight");
+            sess.counters().max(
+                "serve.inflight.peak",
+                sess.counters().value("serve.inflight"));
+            try {
+                handleCompile(conn, line, ctx);
+            } catch (const JobTimeout &) {
+                // Deliberate: handleCompile rethrows only when the
+                // pool still owes this request a retry, so it stays
+                // admitted (no finishRequest).
+                sess.counters().add("serve.inflight", -1);
+                sess.counters().add("serve.retries");
+                throw;
+            } catch (const std::exception &e) {
+                // Last resort — handleCompile answers its own errors,
+                // so only a response-path bug lands here. The client
+                // still gets a line.
+                sess.counters().add("serve.inflight", -1);
+                sess.counters().add("serve.handler_error");
+                conn->writeLine(
+                    errorResponse(false, 0, "internal", e.what()));
+                finishRequest(*conn);
+                return;
+            }
+            sess.counters().add("serve.inflight", -1);
+            finishRequest(*conn);
+        },
+        limits);
+}
+
+void
+Server::finishRequest(Conn &conn)
+{
+    conn.pending.fetch_sub(1);
+    long left = pendingCount.fetch_sub(1) - 1;
+    if (left == 0 && drainFlag.load())
+        requestShutdown(); // drain complete: every admitted request
+                           // ran and replied
+}
+
+bool
+Server::handleControl(const std::shared_ptr<Conn> &conn,
+                      const std::string &op, bool has_id, long long id)
+{
+    if (op == "ping") {
+        std::ostringstream os;
+        json::Writer w(os);
+        w.beginObject(json::Writer::Block::Inline);
+        if (has_id)
+            w.field("id", id);
+        w.field("ok", true);
+        w.field("pong", true);
+        w.endObject();
+        sess.counters().add("serve.responses.ok");
+        conn->writeLine(os.str());
+        return true;
+    }
+    if (op == "stats") {
+        std::ostringstream os;
+        json::Writer w(os);
+        w.beginObject(json::Writer::Block::Inline);
+        if (has_id)
+            w.field("id", id);
+        w.field("ok", true);
+        w.key("stats").beginObject(json::Writer::Block::Inline);
+        w.field("schema", "dsp-stats-v1");
+        w.key("counters").beginObject(json::Writer::Block::Inline);
+        for (const auto &[name, value] : sess.counters().snapshot())
+            w.field(name, value);
+        w.endObject();
+        w.key("spans").beginArray(json::Writer::Block::Inline);
+        w.endArray(); // counters-only session: no span log
+        // Gauges (point-in-time, not monotonic counters).
+        w.field("cache_entries",
+                static_cast<long>(memCache.size()));
+        w.field("cache_compiles", memCache.compileCount());
+        w.field("cache_evictions", memCache.evictionCount());
+        w.field("pending_requests", pendingCount.load());
+        w.field("pool_pending",
+                pool ? static_cast<long>(pool->pending()) : 0L);
+        w.field("draining", drainFlag.load());
+        w.endObject();
+        w.endObject();
+        sess.counters().add("serve.responses.ok");
+        conn->writeLine(os.str());
+        return true;
+    }
+    if (op == "drain") {
+        // Respond first, then flip the state: beginDrain() can fire
+        // the shutdown latch synchronously (nothing pending), and the
+        // caller of waitForShutdown() may then close write sides
+        // while this reply is still unsent.
+        std::ostringstream os;
+        json::Writer w(os);
+        w.beginObject(json::Writer::Block::Inline);
+        if (has_id)
+            w.field("id", id);
+        w.field("ok", true);
+        w.field("draining", true);
+        w.endObject();
+        sess.counters().add("serve.responses.ok");
+        conn->writeLine(os.str());
+        beginDrain();
+        return true;
+    }
+    if (op == "shutdown") {
+        // Latch before responding: a client that has read this
+        // response must observe waitForShutdown() already armed.
+        // stop() drains in-flight jobs before touching write sides,
+        // so the response still reaches the requester.
+        requestShutdown();
+        std::ostringstream os;
+        json::Writer w(os);
+        w.beginObject(json::Writer::Block::Inline);
+        if (has_id)
+            w.field("id", id);
+        w.field("ok", true);
+        w.field("shutting_down", true);
+        w.endObject();
+        sess.counters().add("serve.responses.ok");
+        conn->writeLine(os.str());
+        return true;
+    }
+    return false;
+}
+
+void
+Server::handleCompile(const std::shared_ptr<Conn> &conn,
+                      const std::string &line, JobContext &ctx)
+{
+    // Re-parse on the worker: dispatchLine admitted this line, but
+    // carrying the string (not a parsed tree) through the queue keeps
+    // the pending set's memory bounded by maxPending × maxRequestBytes.
     json::Value v;
     try {
         v = json::parse(line);
@@ -554,69 +858,6 @@ Server::handleLine(const std::shared_ptr<Conn> &conn,
         sess.counters().add("serve.responses.error");
         conn->writeLine(errorResponse(hasId, id, kind, msg));
     };
-
-    std::string op = v.stringAt("op");
-    if (op == "ping") {
-        std::ostringstream os;
-        json::Writer w(os);
-        w.beginObject(json::Writer::Block::Inline);
-        if (hasId)
-            w.field("id", id);
-        w.field("ok", true);
-        w.field("pong", true);
-        w.endObject();
-        sess.counters().add("serve.responses.ok");
-        conn->writeLine(os.str());
-        return;
-    }
-    if (op == "stats") {
-        std::ostringstream os;
-        json::Writer w(os);
-        w.beginObject(json::Writer::Block::Inline);
-        if (hasId)
-            w.field("id", id);
-        w.field("ok", true);
-        w.key("stats").beginObject(json::Writer::Block::Inline);
-        w.field("schema", "dsp-stats-v1");
-        w.key("counters").beginObject(json::Writer::Block::Inline);
-        for (const auto &[name, value] : sess.counters().snapshot())
-            w.field(name, value);
-        w.endObject();
-        w.key("spans").beginArray(json::Writer::Block::Inline);
-        w.endArray(); // counters-only session: no span log
-        // Cache gauges (point-in-time, not monotonic counters).
-        w.field("cache_entries",
-                static_cast<long>(memCache.size()));
-        w.field("cache_compiles", memCache.compileCount());
-        w.field("cache_evictions", memCache.evictionCount());
-        w.endObject();
-        w.endObject();
-        sess.counters().add("serve.responses.ok");
-        conn->writeLine(os.str());
-        return;
-    }
-    if (op == "shutdown") {
-        // Latch before responding: a client that has read this
-        // response must observe waitForShutdown() already armed.
-        // stop() drains in-flight jobs before touching write sides,
-        // so the response still reaches the requester.
-        requestShutdown();
-        std::ostringstream os;
-        json::Writer w(os);
-        w.beginObject(json::Writer::Block::Inline);
-        if (hasId)
-            w.field("id", id);
-        w.field("ok", true);
-        w.field("shutting_down", true);
-        w.endObject();
-        sess.counters().add("serve.responses.ok");
-        conn->writeLine(os.str());
-        return;
-    }
-    if (op != "compile") {
-        fail("protocol", "unknown op '" + op + "'");
-        return;
-    }
 
     std::string parseErr;
     auto reqOpt = parseCompileRequest(v, parseErr);
@@ -727,14 +968,15 @@ ServeClient::ServeClient(const std::string &socket_path)
 
     fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0)
-        fatal("serve client: socket(): ", std::strerror(errno));
+        throw ConnectionLost(std::string("serve client: socket(): ") +
+                             std::strerror(errno));
     if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
                   sizeof(addr)) != 0) {
         int err = errno;
         ::close(fd);
         fd = -1;
-        fatal("serve client: cannot connect to ", socket_path, ": ",
-              std::strerror(err));
+        throw ConnectionLost("serve client: cannot connect to " +
+                             socket_path + ": " + std::strerror(err));
     }
 }
 
@@ -755,7 +997,8 @@ ServeClient::sendLine(const std::string &line)
         if (sent < 0 && errno == EINTR)
             continue;
         if (sent <= 0)
-            fatal("serve client: connection lost while sending");
+            throw ConnectionLost(
+                "serve client: connection lost while sending");
         p += sent;
         n -= static_cast<std::size_t>(sent);
     }
@@ -771,12 +1014,16 @@ ServeClient::readLine()
             buffered.erase(0, nl + 1);
             return line;
         }
+        if (buffered.size() > maxLineBytes)
+            fatal("serve client: response line exceeds ",
+                  maxLineBytes, " bytes");
         char chunk[4096];
         ssize_t r = ::recv(fd, chunk, sizeof(chunk), 0);
         if (r < 0 && errno == EINTR)
             continue;
         if (r <= 0)
-            fatal("serve client: server closed the connection");
+            throw ConnectionLost(
+                "serve client: server closed the connection");
         buffered.append(chunk, static_cast<std::size_t>(r));
     }
 }

@@ -22,7 +22,8 @@
  *    "max_errors":20, "input":[...], "max_cycles":200000000,
  *    "fidelity":"fast"}
  *   {"id":3, "op":"stats"}
- *   {"id":4, "op":"shutdown"}
+ *   {"id":4, "op":"drain"}
+ *   {"id":5, "op":"shutdown"}
  *
  * Only "op" and (for compile) "source" are required; the other
  * compile fields default to the values shown. Success responses:
@@ -35,8 +36,41 @@
  * Failures are structured and per-request:
  *
  *   {"id":2, "ok":false,
- *    "error":{"kind":"user"|"internal"|"timeout"|"protocol",
- *             "message":"..."}}
+ *    "error":{"kind":"user"|"internal"|"timeout"|"protocol"
+ *                    |"overloaded"|"draining",
+ *             "message":"...", "retry_after_ms":N}}
+ *
+ * `retry_after_ms` appears only on "overloaded" — the client should
+ * back off at least that long before retrying. "draining" means the
+ * server is going away; retry against a different instance.
+ *
+ * ## Overload and abuse protection
+ *
+ * The server assumes hostile traffic (see DESIGN.md §14):
+ *
+ *  - Admission control: at most ServeOptions::maxPending compile
+ *    requests may be admitted-but-unfinished server-wide (and
+ *    maxPendingPerConn per connection). Excess requests are shed
+ *    immediately with "overloaded" instead of queueing without
+ *    bound. Control ops (ping/stats/drain/shutdown) are never shed
+ *    and run on the reader thread, so the server stays observable
+ *    and drainable under any overload.
+ *
+ *  - Graceful drain: the "drain" op (or SIGTERM in `dspcc --serve`)
+ *    stops accepting connections, answers new compile requests with
+ *    "draining", completes every admitted request, then arms the
+ *    shutdown latch. No admitted request is dropped; every queued
+ *    client gets a reply.
+ *
+ *  - Slow/abusive clients: a request line longer than
+ *    maxRequestBytes earns one "protocol" error and the connection
+ *    is closed (the cap also bounds the per-connection read buffer —
+ *    a client streaming bytes with no newline cannot grow server
+ *    memory). A connection silent for idleTimeoutSeconds with no
+ *    requests in flight is closed. Responses are written under a
+ *    bounded send deadline (writeTimeoutSeconds) so one stalled
+ *    reader cannot wedge a worker or a reader thread: a timed-out
+ *    write kills that connection only.
  *
  * ## Caching
  *
@@ -112,6 +146,32 @@ struct ServeOptions
     int requestRetries = 1;
     /** L1 completed-entry capacity (CompileCache); 0 = unbounded. */
     std::size_t maxMemoryEntries = 256;
+    /** Server-wide bound on admitted-but-unfinished compile requests;
+     *  excess requests are shed with a structured "overloaded" error
+     *  (counter "serve.shed") instead of queueing without bound.
+     *  0 = unbounded. */
+    std::size_t maxPending = 128;
+    /** Per-connection bound on admitted-but-unfinished compile
+     *  requests (one pipelining client cannot monopolize the whole
+     *  admission budget). 0 = unbounded. */
+    std::size_t maxPendingPerConn = 32;
+    /** Longest accepted request line, in bytes. Also bounds the
+     *  per-connection read buffer: a client streaming bytes with no
+     *  newline is answered with one "protocol" error and closed once
+     *  the buffer passes the cap. 0 = unbounded. */
+    std::size_t maxRequestBytes = 1 << 20;
+    /** Close a connection after this many seconds with no bytes
+     *  received and no requests in flight. 0 disables. */
+    double idleTimeoutSeconds = 0;
+    /** Bound on writing one response to a slow reader: each send(2)
+     *  waits at most this long, and the whole response is abandoned
+     *  (and the connection killed, counter "serve.write_timeout")
+     *  once the deadline passes — one stalled client must never
+     *  wedge a worker. 0 = block forever. */
+    double writeTimeoutSeconds = 10.0;
+    /** How long `dspcc --serve` waits for a SIGTERM-initiated drain
+     *  to complete before stopping anyway. */
+    double drainDeadlineSeconds = 10.0;
 };
 
 class Server
@@ -147,6 +207,25 @@ class Server
     void requestShutdown();
 
     /**
+     * Flip into the draining state: stop accepting connections,
+     * answer new compile requests with a structured "draining" error,
+     * and let every already-admitted request run to completion and
+     * reply. Once the last admitted request finishes (or immediately,
+     * if none are pending) the shutdown latch fires, so a caller
+     * blocked in waitForShutdown() proceeds to stop(). Idempotent;
+     * callable from any thread (the "drain" op and the SIGTERM
+     * handler both land here).
+     */
+    void beginDrain();
+
+    /** True once beginDrain() has been called. */
+    bool draining() const { return drainFlag.load(); }
+
+    /** Admitted-but-unfinished compile requests right now (the
+     *  admission-control gauge; peak is "serve.queue_depth.peak"). */
+    long pendingRequests() const { return pendingCount.load(); }
+
+    /**
      * Block until requestShutdown() fires or @p interrupted returns
      * true (polled every ~200ms; empty = never). Returns true if a
      * shutdown was requested, false if interrupted externally. Does
@@ -163,8 +242,17 @@ class Server
     void acceptLoop();
     void readerLoop(std::shared_ptr<Conn> conn, std::uint64_t reader_id);
     void reapFinishedReaders();
-    void handleLine(const std::shared_ptr<Conn> &conn,
-                    const std::string &line, JobContext &ctx);
+    /** Reader-thread dispatch: parse, serve control ops in place,
+     *  apply drain/admission policy, submit compiles to the pool. */
+    void dispatchLine(const std::shared_ptr<Conn> &conn,
+                      const std::string &line);
+    bool handleControl(const std::shared_ptr<Conn> &conn,
+                       const std::string &op, bool has_id, long long id);
+    void handleCompile(const std::shared_ptr<Conn> &conn,
+                       const std::string &line, JobContext &ctx);
+    /** Account one admitted request as finished; fires the shutdown
+     *  latch when a drain is waiting on the last one. */
+    void finishRequest(Conn &conn);
 
     ServeOptions opts;
     TraceSession sess;
@@ -191,10 +279,28 @@ class Server
 
     std::atomic<bool> isRunning{false};
     std::atomic<bool> stopping{false};
+    std::atomic<bool> drainFlag{false};
+    /** Admitted-but-unfinished compile requests (queued or running). */
+    std::atomic<long> pendingCount{0};
 
     std::mutex shutdownMu;
     std::condition_variable shutdownCv;
     bool shutdownRequested = false;
+};
+
+/**
+ * A ServeClient operation failed because the connection went away —
+ * the server died, drained, or closed us (idle timeout, overlong
+ * line). Recoverable by design: catch it, back off, reconnect. A
+ * subclass of UserError so existing broad handlers keep working, but
+ * distinguishable so load tools and tests can exercise disconnect
+ * paths (kill -9, drain, abrupt close) without treating them as
+ * malformed-input bugs.
+ */
+class ConnectionLost : public UserError
+{
+  public:
+    explicit ConnectionLost(const std::string &msg) : UserError(msg) {}
 };
 
 /**
@@ -205,7 +311,7 @@ class Server
 class ServeClient
 {
   public:
-    /** Connect to @p socket_path; throws UserError on failure. */
+    /** Connect to @p socket_path; throws ConnectionLost on failure. */
     explicit ServeClient(const std::string &socket_path);
     ~ServeClient();
 
@@ -213,19 +319,28 @@ class ServeClient
     ServeClient &operator=(const ServeClient &) = delete;
 
     /** Send one request line, block for one response line, parse it.
-     *  Throws UserError on connection loss or malformed response. */
+     *  Throws ConnectionLost on connection loss, UserError on a
+     *  malformed response. */
     json::Value call(const std::string &request_line);
 
     /** call(), returning the raw response line instead of parsing. */
     std::string callRaw(const std::string &request_line);
 
+    /** Throws ConnectionLost if the peer is gone. */
     void sendLine(const std::string &line);
-    /** Next newline-terminated line; throws UserError on EOF. */
+    /** Next newline-terminated line; throws ConnectionLost on EOF,
+     *  UserError once a line outgrows maxLineBytes (a client must be
+     *  as suspicious of an unbounded response as the server is of an
+     *  unbounded request). */
     std::string readLine();
+
+    /** Cap on one buffered response line (default 64 MiB). */
+    void setMaxLineBytes(std::size_t cap) { maxLineBytes = cap; }
 
   private:
     int fd = -1;
     std::string buffered;
+    std::size_t maxLineBytes = std::size_t(64) << 20;
 };
 
 } // namespace dsp

@@ -86,6 +86,13 @@ JobPool::wait()
     return status;
 }
 
+std::size_t
+JobPool::pending() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return queue.size() + static_cast<std::size_t>(active);
+}
+
 long
 JobPool::cancel()
 {

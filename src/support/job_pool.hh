@@ -189,6 +189,16 @@ class JobPool
 
     int threadCount() const { return static_cast<int>(workers.size()); }
 
+    /**
+     * Jobs submitted but not yet finished (queued + running),
+     * including timed-out jobs awaiting their retry. An admission-
+     * control gauge for callers that bound their backlog (the compile
+     * server sheds load once its budget is exceeded rather than
+     * queueing without bound) — a snapshot, not a reservation:
+     * concurrent submitters can both observe the same depth.
+     */
+    std::size_t pending() const;
+
     /** The worker count a default-constructed pool would use. */
     static int defaultThreadCount();
 
@@ -204,7 +214,7 @@ class JobPool
 
     std::vector<std::thread> workers;
     std::deque<Pending> queue;
-    std::mutex mu;
+    mutable std::mutex mu;
     std::condition_variable wake;  ///< signals workers: job or shutdown
     std::condition_variable drained; ///< signals wait(): all jobs done
     std::exception_ptr firstError; ///< first exception escaping a job

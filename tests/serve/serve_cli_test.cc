@@ -20,40 +20,10 @@
 
 #include "driver/server.hh"
 
+#include "serve_util.hh"
+
 using namespace dsp;
-
-namespace
-{
-
-/** Fork+exec `dspcc --serve=...`; returns the child pid. */
-pid_t
-spawnServer(const std::string &socketPath, const std::string &cacheDir)
-{
-    pid_t pid = ::fork();
-    if (pid != 0)
-        return pid;
-    std::string serveArg = "--serve=" + socketPath;
-    std::string cacheArg = "--cache-dir=" + cacheDir;
-    ::execl(DSPCC_BIN, "dspcc", serveArg.c_str(), cacheArg.c_str(),
-            static_cast<char *>(nullptr));
-    _exit(127); // exec failed
-}
-
-/** Connect with retries: the child needs a moment to bind. */
-std::unique_ptr<ServeClient>
-connectWithRetry(const std::string &socketPath)
-{
-    for (int i = 0; i < 100; ++i) {
-        try {
-            return std::make_unique<ServeClient>(socketPath);
-        } catch (const std::exception &) {
-            std::this_thread::sleep_for(std::chrono::milliseconds(50));
-        }
-    }
-    return nullptr;
-}
-
-} // namespace
+using namespace dsp::serve_test;
 
 TEST(ServeCli, ServeCompileShutdownExitsZero)
 {
@@ -62,7 +32,7 @@ TEST(ServeCli, ServeCompileShutdownExitsZero)
     std::filesystem::create_directories(dir);
     std::string socketPath = dir + "/s.sock";
 
-    pid_t pid = spawnServer(socketPath, dir + "/cache");
+    pid_t pid = spawnServer(socketPath, {"--cache-dir=" + dir + "/cache"});
     ASSERT_GT(pid, 0);
 
     auto client = connectWithRetry(socketPath);

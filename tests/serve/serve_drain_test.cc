@@ -1,0 +1,106 @@
+/**
+ * @file
+ * SIGTERM drain through the real binary (`ctest -L serve` and the
+ * chaos tier): spawn `dspcc --serve`, load it up with pipelined
+ * compiles from several clients, SIGTERM it mid-flight, and hold it
+ * to the drain contract — zero in-flight requests lost (every queued
+ * client gets a structured reply), requests arriving during the drain
+ * get a structured "draining" refusal (never a slammed door while the
+ * server lives), and the process exits 0 within the drain deadline.
+ */
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "driver/server.hh"
+
+#include "serve_util.hh"
+
+using namespace dsp;
+using namespace dsp::serve_test;
+
+TEST(ServeDrain, SigtermCompletesInflightAndExitsZero)
+{
+    ScratchDir dir("serve-sigterm");
+    std::string socketPath = dir.file("s.sock");
+
+    pid_t pid = spawnServer(socketPath, {"--serve-threads=2",
+                                         "--drain-deadline=15"});
+    ASSERT_GT(pid, 0);
+    auto probe = connectWithRetry(socketPath);
+    ASSERT_NE(probe, nullptr) << "server never came up";
+
+    // Four clients pipeline three compiles each — distinct sources,
+    // so every one costs a real compile and the backlog is real.
+    constexpr int kClients = 4;
+    constexpr int kPerClient = 3;
+    std::vector<std::unique_ptr<ServeClient>> clients;
+    for (int c = 0; c < kClients; ++c) {
+        clients.push_back(std::make_unique<ServeClient>(socketPath));
+        for (int r = 0; r < kPerClient; ++r) {
+            long long id = c * kPerClient + r;
+            clients.back()->sendLine(
+                compileLine(id, slowSource(2000000 + id)));
+        }
+    }
+    // Let the server admit the backlog before the signal lands: the
+    // point is draining work in flight, not an empty queue.
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+    ASSERT_EQ(::kill(pid, SIGTERM), 0);
+
+    // The drain contract: every request sent before the signal gets
+    // exactly one structured reply — completed in-flight work answers
+    // "ok", anything the drain refused answers kind "draining". A
+    // dropped connection (ConnectionLost) is a contract violation.
+    int okCount = 0, drainingCount = 0;
+    for (int c = 0; c < kClients; ++c) {
+        for (int r = 0; r < kPerClient; ++r) {
+            json::Value resp;
+            ASSERT_NO_THROW(resp = json::parse(clients[c]->readLine()))
+                << "client " << c << " lost reply " << r
+                << " during drain";
+            const json::Value *ok = resp.find("ok");
+            ASSERT_NE(ok, nullptr);
+            if (ok->boolean) {
+                ++okCount;
+            } else {
+                EXPECT_EQ(resp.find("error")->stringAt("kind"),
+                          "draining");
+                ++drainingCount;
+            }
+        }
+    }
+    EXPECT_EQ(okCount + drainingCount, kClients * kPerClient);
+    EXPECT_GT(okCount, 0) << "drain must complete admitted work, "
+                             "not refuse everything";
+
+    // A request sent after the drain began: a structured refusal if
+    // the server is still up, ConnectionLost once it has exited —
+    // never a hang, never an unstructured byte.
+    try {
+        json::Value late = probe->call(compileLine(9999, kSumSource));
+        EXPECT_FALSE(late.find("ok")->boolean);
+        EXPECT_EQ(late.find("error")->stringAt("kind"), "draining");
+    } catch (const ConnectionLost &) {
+        // Server already finished draining and exited: fine.
+    }
+
+    int status = 0;
+    ASSERT_TRUE(waitForExit(pid, status, 15.0))
+        << "server did not exit within the drain deadline";
+    ASSERT_TRUE(WIFEXITED(status)) << "drain must end in exit(), "
+                                      "not a crash";
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+    EXPECT_FALSE(std::filesystem::exists(socketPath))
+        << "a drained server unlinks its socket";
+}

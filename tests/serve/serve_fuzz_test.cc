@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Seeded protocol fuzzer for dsp-serve-v1 (`ctest -L serve`, and part
+ * of the asan-fast preset): hundreds of deterministic, seed-derived
+ * malformed-and-valid frame sequences against a live in-process
+ * server — truncated JSON, garbage bytes, oversized lines, wrong
+ * types, non-object frames, pipelined valid/invalid mixes, and
+ * mid-request disconnects.
+ *
+ * Invariants checked every iteration:
+ *  - the server never aborts (every later iteration still connects);
+ *  - every syntactically complete request line gets EXACTLY one
+ *    structured JSON reply (ids, where the request carried a numeric
+ *    one, must all come back — a dropped or duplicated reply shows up
+ *    as a multiset mismatch);
+ *  - an oversized line gets one "protocol" reply and then EOF;
+ *  - file descriptors do not leak across the whole run
+ *    (/proc/self/fd is flat once EOFs settle).
+ *
+ * Iteration count scales with DSP_FUZZ_ITERS (default 400); the byte
+ * streams depend only on the seed, never on time or address layout.
+ */
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "driver/server.hh"
+
+#include "serve_util.hh"
+
+using namespace dsp;
+using namespace dsp::serve_test;
+
+namespace
+{
+
+/** xorshift64: tiny, fast, and fully deterministic across platforms —
+ *  the whole point is that a failing seed replays exactly. */
+struct Rng
+{
+    std::uint64_t s;
+
+    explicit Rng(std::uint64_t seed) : s(seed ? seed : 0x5eedULL) {}
+
+    std::uint64_t
+    next()
+    {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        return s;
+    }
+
+    std::uint32_t
+    below(std::uint32_t n)
+    {
+        return static_cast<std::uint32_t>(next() % n);
+    }
+
+    bool chance(std::uint32_t oneIn) { return below(oneIn) == 0; }
+};
+
+/** One generated frame plus its oracle: does the server owe a reply,
+ *  and if the frame carried a usable numeric id, which one. */
+struct Frame
+{
+    std::string bytes;        ///< includes the trailing newline if any
+    bool expectsReply = true; ///< false only for empty lines
+    bool hasId = false;       ///< a numeric id the reply must echo
+    long long id = 0;
+    bool oversized = false; ///< reply-then-close, rest of stream dead
+};
+
+Frame
+makeFrame(Rng &rng, long long id, std::size_t maxRequestBytes)
+{
+    Frame f;
+    f.hasId = true;
+    f.id = id;
+    switch (rng.below(10)) {
+    case 0: // valid ping
+        f.bytes = "{\"id\":" + std::to_string(id) + ",\"op\":\"ping\"}\n";
+        return f;
+    case 1: // valid stats
+        f.bytes =
+            "{\"id\":" + std::to_string(id) + ",\"op\":\"stats\"}\n";
+        return f;
+    case 2: // valid compile (small source pool: most hit L1)
+        f.bytes = compileLine(id, distinctSource(rng.below(4))) + "\n";
+        return f;
+    case 3: { // truncated JSON: any proper prefix fails to parse
+        std::string whole =
+            "{\"id\":" + std::to_string(id) + ",\"op\":\"ping\"}";
+        std::size_t cut = 1 + rng.below(
+            static_cast<std::uint32_t>(whole.size() - 1));
+        f.bytes = whole.substr(0, cut) + "\n";
+        f.hasId = false; // unparseable: the reply cannot echo it
+        return f;
+    }
+    case 4: { // printable garbage (newline-free, under the cap)
+        std::size_t len = 1 + rng.below(200);
+        std::string g;
+        for (std::size_t i = 0; i < len; ++i)
+            g += static_cast<char>(' ' + rng.below(95));
+        f.bytes = g + "\n";
+        f.hasId = false; // may or may not parse; id never echoes
+        f.expectsReply = !g.empty();
+        return f;
+    }
+    case 5: { // parseable but not an object
+        static const char *kScalars[] = {"42", "[1,2,3]", "\"hello\"",
+                                         "true", "null"};
+        f.bytes = std::string(kScalars[rng.below(5)]) + "\n";
+        f.hasId = false;
+        return f;
+    }
+    case 6: // unknown op
+        f.bytes = "{\"id\":" + std::to_string(id) +
+                  ",\"op\":\"frobnicate\"}\n";
+        return f;
+    case 7: { // wrong-typed fields on a real op
+        static const char *kBad[] = {
+            "\"verify_mc\":\"true\"", "\"resilient\":1",
+            "\"input\":\"nope\"", "\"mode\":\"sideways\""};
+        f.bytes = compileLine(id, distinctSource(rng.below(4)),
+                              kBad[rng.below(4)]) +
+                  "\n";
+        return f;
+    }
+    case 8: // string id: structurally fine, but ids must be numeric
+        f.bytes = "{\"id\":\"nope\",\"op\":\"ping\"}\n";
+        f.hasId = false;
+        return f;
+    default: { // oversized line: one reply, then the stream is dead
+        f.bytes = "{\"id\":" + std::to_string(id) + ",\"op\":\"ping\"," +
+                  "\"pad\":\"" +
+                  std::string(maxRequestBytes + 100, 'x') + "\"}\n";
+        f.hasId = false;
+        f.oversized = true;
+        return f;
+    }
+    }
+}
+
+} // namespace
+
+TEST(ServeFuzz, DeterministicProtocolFuzz)
+{
+    ScratchDir dir("serve-fuzz");
+    ServeOptions opts;
+    opts.socketPath = dir.file("s.sock");
+    opts.threads = 2;
+    opts.maxPending = 4;     // sheds are part of the fuzzed surface
+    opts.maxRequestBytes = 300;
+    opts.writeTimeoutSeconds = 5.0;
+    Server server(opts);
+    server.start();
+
+    long iters = 400;
+    if (const char *env = std::getenv("DSP_FUZZ_ITERS"))
+        iters = std::max(1L, std::atol(env));
+    std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+    if (const char *env = std::getenv("DSP_FUZZ_SEED"))
+        seed = std::strtoull(env, nullptr, 0);
+    Rng rng(seed);
+
+    // Steady-state fd baseline: one connection has come and gone.
+    {
+        ServeClient warm(opts.socketPath);
+        warm.call("{\"op\":\"ping\"}");
+    }
+    int fdsBefore = countOpenFds();
+
+    long long nextId = 1;
+    for (long iter = 0; iter < iters; ++iter) {
+        SCOPED_TRACE("iter " + std::to_string(iter) + " seed " +
+                     std::to_string(seed));
+        RawConn conn(opts.socketPath);
+        ASSERT_TRUE(conn.ok()) << "server must keep accepting";
+
+        if (rng.chance(8)) {
+            // Abuse mode: bytes (often a partial frame) then an
+            // abrupt close, sometimes without ever reading. The
+            // server owes nothing but its life.
+            std::string bytes;
+            int n = 1 + rng.below(3);
+            for (int i = 0; i < n; ++i)
+                bytes += makeFrame(rng, nextId++, opts.maxRequestBytes)
+                             .bytes;
+            if (rng.chance(2) && !bytes.empty())
+                bytes.resize(1 + rng.below(static_cast<std::uint32_t>(
+                                 bytes.size()))); // mid-request cut
+            conn.sendRaw(bytes);
+            conn.closeNow();
+            continue;
+        }
+
+        // Oracle mode: build a pipelined mix, tally what is owed.
+        int frames = 1 + rng.below(6);
+        std::string stream;
+        long expectedReplies = 0;
+        std::map<long long, int> expectedIds;
+        bool closed = false;
+        for (int i = 0; i < frames && !closed; ++i) {
+            if (rng.chance(10)) {
+                stream += "\n"; // empty line: skipped, no reply
+                continue;
+            }
+            Frame f = makeFrame(rng, nextId++, opts.maxRequestBytes);
+            stream += f.bytes;
+            if (f.expectsReply)
+                ++expectedReplies;
+            if (f.hasId)
+                ++expectedIds[f.id];
+            closed = f.oversized;
+        }
+
+        // Send in random chunks so frames split across recv() calls.
+        std::size_t off = 0;
+        while (off < stream.size()) {
+            std::size_t n = 1 + rng.below(static_cast<std::uint32_t>(
+                                stream.size() - off));
+            if (!conn.sendRaw(stream.substr(off, n)))
+                break; // server already closed on us (oversized race)
+            off += n;
+        }
+
+        // Collect exactly the owed replies; every one is JSON with an
+        // "ok" boolean, and the numeric ids come back as a multiset.
+        std::map<long long, int> gotIds;
+        for (long i = 0; i < expectedReplies; ++i) {
+            std::string line;
+            ASSERT_TRUE(conn.recvLine(line))
+                << "owed " << expectedReplies << " replies, got " << i;
+            json::Value resp;
+            ASSERT_NO_THROW(resp = json::parse(line))
+                << "unparseable reply: " << line;
+            const json::Value *ok = resp.find("ok");
+            ASSERT_NE(ok, nullptr) << line;
+            ASSERT_TRUE(ok->isBool()) << line;
+            const json::Value *rid = resp.find("id");
+            if (rid != nullptr && rid->isNumber())
+                ++gotIds[static_cast<long long>(rid->number)];
+        }
+        for (const auto &[id, n] : expectedIds)
+            EXPECT_EQ(gotIds[id], n) << "reply multiset mismatch for id "
+                                     << id;
+        if (closed) {
+            EXPECT_TRUE(conn.atEof())
+                << "an oversized line must close the connection";
+        }
+    }
+
+    // The fd count settles back to the baseline (EOF delivery to the
+    // readers is asynchronous, so poke until it converges).
+    int fdsAfter = countOpenFds();
+    for (int tries = 0; tries < 200 && fdsAfter > fdsBefore + 4;
+         ++tries) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        ServeClient c(opts.socketPath);
+        c.call("{\"op\":\"ping\"}");
+        fdsAfter = countOpenFds();
+    }
+    EXPECT_LE(fdsAfter, fdsBefore + 4)
+        << iters << " fuzz connections must not leak fds";
+
+    // And after all of it, the server still compiles.
+    ServeClient probe(opts.socketPath);
+    expectSum(probe.call(compileLine(999999, kSumSource)), 45);
+    json::Value stats = probe.call("{\"op\":\"stats\"}");
+    EXPECT_GE(counterOf(stats, "serve.requests"), 1);
+    server.stop();
+}

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * The disk cache's multi-process story under real concurrency
+ * (`ctest -L serve` and the chaos tier): two `dspcc --serve`
+ * processes sharing one --cache-dir must never serve a torn entry
+ * while racing writers, and a server SIGKILLed mid-load must leave a
+ * cache directory a warm restart can serve hits from — the atomic
+ * temp+rename store and the corruption-is-a-miss load are what these
+ * tests hold to account end to end.
+ */
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "driver/server.hh"
+
+#include "serve_util.hh"
+
+using namespace dsp;
+using namespace dsp::serve_test;
+
+TEST(ServeMultiProc, ConcurrentWritersShareOneCacheDir)
+{
+    ScratchDir dir("serve-mp");
+    std::string cacheDir = dir.file("cache");
+    std::string sockA = dir.file("a.sock");
+    std::string sockB = dir.file("b.sock");
+
+    pid_t pidA = spawnServer(sockA, {"--cache-dir=" + cacheDir,
+                                     "--serve-threads=2"});
+    pid_t pidB = spawnServer(sockB, {"--cache-dir=" + cacheDir,
+                                     "--serve-threads=2"});
+    ASSERT_GT(pidA, 0);
+    ASSERT_GT(pidB, 0);
+    ASSERT_NE(connectWithRetry(sockA), nullptr);
+    ASSERT_NE(connectWithRetry(sockB), nullptr);
+
+    // Both processes hammer the same 8 request keys concurrently:
+    // every key gets raced into the shared directory by two writers,
+    // and every reply must be a well-formed success — a torn or
+    // half-renamed entry would surface as a parse failure or a wrong
+    // output word.
+    constexpr int kSources = 8;
+    constexpr int kPasses = 2;
+    std::atomic<int> okCount{0}, failures{0};
+    auto hammer = [&](const std::string &sock, int stripe) {
+        try {
+            ServeClient client(sock);
+            for (int p = 0; p < kPasses; ++p) {
+                for (int s = 0; s < kSources; ++s) {
+                    int k = (s + stripe) % kSources;
+                    json::Value resp = client.call(compileLine(
+                        stripe * 1000 + p * 100 + k,
+                        distinctSource(k)));
+                    const json::Value *ok = resp.find("ok");
+                    if (ok && ok->boolean &&
+                        resp.find("result")
+                                ->find("output")
+                                ->items[0]
+                                .longAt("raw") == k + 1)
+                        ++okCount;
+                    else
+                        ++failures;
+                }
+            }
+        } catch (const std::exception &) {
+            ++failures;
+        }
+    };
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 2; ++t) {
+        threads.emplace_back(hammer, sockA, t);
+        threads.emplace_back(hammer, sockB, t + 2);
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(failures.load(), 0);
+    EXPECT_EQ(okCount.load(), 4 * kPasses * kSources);
+
+    // With the dust settled, every key is a disk hit from BOTH
+    // processes — each can serve entries the other stored.
+    for (const std::string &sock : {sockA, sockB}) {
+        ServeClient client(sock);
+        for (int k = 0; k < kSources; ++k) {
+            json::Value resp = client.call(
+                compileLine(5000 + k, distinctSource(k)));
+            ASSERT_TRUE(resp.find("ok")->boolean);
+            EXPECT_EQ(resp.stringAt("cached"), "disk")
+                << "key " << k << " via " << sock;
+        }
+    }
+
+    for (pid_t pid : {pidA, pidB}) {
+        std::string sock = pid == pidA ? sockA : sockB;
+        ServeClient client(sock);
+        client.call("{\"op\":\"shutdown\"}");
+        int status = 0;
+        ASSERT_TRUE(waitForExit(pid, status, 10.0));
+        ASSERT_TRUE(WIFEXITED(status));
+        EXPECT_EQ(WEXITSTATUS(status), 0);
+    }
+}
+
+TEST(ServeMultiProc, Kill9UnderLoadThenWarmRestartServesDiskHits)
+{
+    ScratchDir dir("serve-kill9");
+    std::string cacheDir = dir.file("cache");
+    std::string socketPath = dir.file("s.sock");
+
+    pid_t pid = spawnServer(socketPath, {"--cache-dir=" + cacheDir,
+                                         "--serve-threads=2"});
+    ASSERT_GT(pid, 0);
+    ASSERT_NE(connectWithRetry(socketPath), nullptr);
+
+    // Clients churn compiles over a fixed key set until the server is
+    // SIGKILLed out from under them mid-store. Lost connections are
+    // the expected ending; what is NOT acceptable is a client abort
+    // or a reply that is neither success nor structured error.
+    constexpr int kSources = 6;
+    std::atomic<bool> serverUp{true};
+    std::atomic<int> badReplies{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 3; ++t) {
+        threads.emplace_back([&, t] {
+            long long id = t * 100000;
+            while (serverUp.load()) {
+                try {
+                    ServeClient client(socketPath);
+                    for (;;) {
+                        ++id;
+                        json::Value resp = client.call(compileLine(
+                            id, distinctSource(id % kSources)));
+                        const json::Value *ok = resp.find("ok");
+                        if (ok == nullptr)
+                            ++badReplies;
+                    }
+                } catch (const UserError &) {
+                    // ConnectionLost (or a mid-kill parse of a torn
+                    // line): back off, then reconnect or wind down.
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(5));
+                }
+            }
+        });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    ASSERT_EQ(::kill(pid, SIGKILL), 0);
+    int status = 0;
+    ASSERT_TRUE(waitForExit(pid, status, 10.0));
+    ASSERT_TRUE(WIFSIGNALED(status));
+    EXPECT_EQ(WTERMSIG(status), SIGKILL);
+    serverUp.store(false);
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(badReplies.load(), 0);
+
+    // Warm restart over the survivor directory: pass one may mix disk
+    // hits with recompiles (keys mid-store when the SIGKILL landed
+    // read as misses), but every reply must succeed — a half-written
+    // entry must never poison a request. Pass two is all disk hits.
+    pid = spawnServer(socketPath, {"--cache-dir=" + cacheDir});
+    ASSERT_GT(pid, 0);
+    auto client = connectWithRetry(socketPath);
+    ASSERT_NE(client, nullptr) << "warm restart failed";
+    for (int k = 0; k < kSources; ++k) {
+        json::Value resp =
+            client->call(compileLine(900 + k, distinctSource(k)));
+        ASSERT_TRUE(resp.find("ok")->boolean)
+            << "key " << k << " after warm restart";
+    }
+    for (int k = 0; k < kSources; ++k) {
+        json::Value resp =
+            client->call(compileLine(950 + k, distinctSource(k)));
+        ASSERT_TRUE(resp.find("ok")->boolean);
+        EXPECT_EQ(resp.stringAt("cached"), "disk")
+            << "second pass must be all L2 hits (key " << k << ")";
+    }
+
+    client->call("{\"op\":\"shutdown\"}");
+    ASSERT_TRUE(waitForExit(pid, status, 10.0));
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+}

@@ -10,6 +10,12 @@
  * — the no-negative-caching rule end to end), degraded results are
  * never cached, and a blown per-request deadline becomes a structured
  * "timeout" error after its retry, never a dead server.
+ *
+ * PR 9 adds the overload-safety guarantees of DESIGN.md §14:
+ * admission control with an exact pending bound and structured
+ * "overloaded" sheds, the drain state machine, and the
+ * slow/abusive-client protections (request-line cap, idle timeout,
+ * bounded writes).
  */
 
 #include <sys/stat.h>
@@ -22,6 +28,7 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -31,87 +38,10 @@
 #include "suite/suite.hh"
 #include "support/fault_injection.hh"
 
+#include "serve_util.hh"
+
 using namespace dsp;
-
-namespace
-{
-
-/** Fresh per-test scratch directory under /tmp (short paths: socket
- *  paths must fit sun_path). Removed on destruction. */
-struct ScratchDir
-{
-    std::string path;
-
-    explicit ScratchDir(const std::string &tag)
-    {
-        path = "/tmp/dsp-" + tag + "-" + std::to_string(::getpid()) +
-               "-" + std::to_string(counter++);
-        std::filesystem::remove_all(path);
-        std::filesystem::create_directories(path);
-    }
-
-    ~ScratchDir()
-    {
-        std::error_code ec;
-        std::filesystem::remove_all(path, ec);
-    }
-
-    std::string
-    file(const std::string &name) const
-    {
-        return path + "/" + name;
-    }
-
-    static inline int counter = 0;
-};
-
-const char *kSumSource =
-    "void main() { int i; int acc; acc = 0; "
-    "for (i = 0; i < 10; i = i + 1) { acc = acc + i; } out(acc); }";
-
-std::string
-compileLine(long long id, const std::string &source,
-            const std::string &extra = "")
-{
-    std::ostringstream os;
-    os << "{\"id\":" << id << ",\"op\":\"compile\",\"source\":"
-       << json::quote(source);
-    if (!extra.empty())
-        os << "," << extra;
-    os << "}";
-    return os.str();
-}
-
-long
-counterOf(const json::Value &statsResp, const std::string &name)
-{
-    const json::Value *stats = statsResp.find("stats");
-    if (!stats)
-        return -1;
-    const json::Value *counters = stats->find("counters");
-    if (!counters)
-        return -1;
-    return counters->longAt(name, 0);
-}
-
-/** Assert @p resp is {"ok":true} with a result whose single output
- *  word is @p expected. */
-void
-expectSum(const json::Value &resp, long expected)
-{
-    const json::Value *ok = resp.find("ok");
-    ASSERT_NE(ok, nullptr);
-    ASSERT_TRUE(ok->boolean) << "error: "
-                             << resp.find("error")->stringAt("message");
-    const json::Value *result = resp.find("result");
-    ASSERT_NE(result, nullptr);
-    const json::Value *out = result->find("output");
-    ASSERT_NE(out, nullptr);
-    ASSERT_EQ(out->items.size(), 1u);
-    EXPECT_EQ(out->items[0].longAt("raw"), expected);
-}
-
-} // namespace
+using namespace dsp::serve_test;
 
 TEST(Serve, PingStatsShutdownProtocol)
 {
@@ -191,14 +121,6 @@ TEST(Serve, DisconnectedClientsAreReclaimed)
     // long-lived daemon exhausted RLIMIT_NOFILE after a bounded number
     // of clients. Disconnected clients must be reclaimed while the
     // server runs.
-    auto countOpenFds = [] {
-        int n = 0;
-        for ([[maybe_unused]] const auto &e :
-             std::filesystem::directory_iterator("/proc/self/fd"))
-            ++n;
-        return n;
-    };
-
     ScratchDir dir("serve-reclaim");
     ServeOptions opts;
     opts.socketPath = dir.file("s.sock");
@@ -525,6 +447,336 @@ TEST(Serve, ServerSurvivesCorruptDiskEntry)
     json::Value stats = client.call("{\"op\":\"stats\"}");
     EXPECT_EQ(counterOf(stats, "serve.cache.disk.bad"), 1);
     server.stop();
+}
+
+// ---------------------------------------------------------------------
+// Overload safety (DESIGN.md §14): admission control, drain, and
+// slow/abusive-client protection
+// ---------------------------------------------------------------------
+
+TEST(Serve, OverloadShedsWithStructuredRepliesNeverDrops)
+{
+    // The acceptance gate for admission control: 64 clients against 2
+    // workers and an 8-deep budget. Every request must get exactly one
+    // structured reply (ok or overloaded), no connection may be
+    // dropped, and the admitted depth must never exceed the budget.
+    ScratchDir dir("serve-overload");
+    ServeOptions opts;
+    opts.socketPath = dir.file("s.sock");
+    opts.threads = 2;
+    opts.maxPending = 8;
+    Server server(opts);
+    server.start();
+
+    constexpr int kClients = 64;
+    constexpr int kPerClient = 2;
+    std::atomic<int> okCount{0}, shedCount{0}, otherCount{0},
+        badRetryHint{0}, dropped{0};
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kClients; ++c) {
+        threads.emplace_back([&, c] {
+            try {
+                ServeClient client(opts.socketPath);
+                // Pipeline the burst first so arrivals overlap.
+                for (int r = 0; r < kPerClient; ++r) {
+                    long long id = c * kPerClient + r;
+                    client.sendLine(
+                        compileLine(id, distinctSource(id)));
+                }
+                for (int r = 0; r < kPerClient; ++r) {
+                    json::Value resp = json::parse(client.readLine());
+                    const json::Value *ok = resp.find("ok");
+                    if (ok && ok->boolean) {
+                        ++okCount;
+                        continue;
+                    }
+                    const json::Value *err = resp.find("error");
+                    if (err && err->stringAt("kind") == "overloaded") {
+                        ++shedCount;
+                        if (err->longAt("retry_after_ms", -1) < 1)
+                            ++badRetryHint;
+                    } else {
+                        ++otherCount;
+                    }
+                }
+            } catch (const std::exception &) {
+                ++dropped;
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    EXPECT_EQ(dropped.load(), 0) << "no client may lose its connection";
+    EXPECT_EQ(otherCount.load(), 0)
+        << "only ok/overloaded replies are acceptable here";
+    EXPECT_EQ(okCount.load() + shedCount.load(), kClients * kPerClient)
+        << "exactly one reply per request";
+    EXPECT_GT(shedCount.load(), 0)
+        << "this herd must overrun an 8-deep budget";
+    EXPECT_GT(okCount.load(), 0) << "shedding everything is not control";
+    EXPECT_EQ(badRetryHint.load(), 0)
+        << "every overloaded reply carries a positive retry_after_ms";
+
+    ServeClient probe(opts.socketPath);
+    json::Value stats = probe.call("{\"op\":\"stats\"}");
+    EXPECT_EQ(counterOf(stats, "serve.shed"), shedCount.load());
+    long peak = counterOf(stats, "serve.queue_depth.peak");
+    EXPECT_GE(peak, 1);
+    EXPECT_LE(peak, static_cast<long>(opts.maxPending))
+        << "admission is an exact bound, not a suggestion";
+    // After the storm the server still serves.
+    expectSum(probe.call(compileLine(9999, kSumSource)), 45);
+    server.stop();
+}
+
+TEST(Serve, PerConnectionBudgetShedsPipelinedFlood)
+{
+    // One pipelining client must not monopolize the server-wide
+    // budget: its own 1-deep budget sheds the burst while a second
+    // connection is untouched.
+    ScratchDir dir("serve-conncap");
+    ServeOptions opts;
+    opts.socketPath = dir.file("s.sock");
+    opts.threads = 1;
+    opts.maxPendingPerConn = 1;
+    Server server(opts);
+    server.start();
+
+    ServeClient client(opts.socketPath);
+    constexpr int kBurst = 6;
+    client.sendLine(compileLine(0, slowSource()));
+    for (int i = 1; i < kBurst; ++i)
+        client.sendLine(compileLine(i, distinctSource(i)));
+
+    int ok = 0, shed = 0;
+    for (int i = 0; i < kBurst; ++i) {
+        json::Value resp = json::parse(client.readLine());
+        if (resp.find("ok")->boolean) {
+            ++ok;
+        } else {
+            EXPECT_EQ(resp.find("error")->stringAt("kind"),
+                      "overloaded");
+            ++shed;
+        }
+    }
+    EXPECT_EQ(ok + shed, kBurst);
+    EXPECT_GE(ok, 1);
+    EXPECT_GE(shed, 1)
+        << "a 1-deep per-connection budget must shed a 6-deep burst";
+
+    ServeClient other(opts.socketPath);
+    expectSum(other.call(compileLine(100, kSumSource)), 45);
+    server.stop();
+}
+
+TEST(Serve, DrainCompletesInflightRefusesNewThenLatches)
+{
+    ScratchDir dir("serve-drain");
+    ServeOptions opts;
+    opts.socketPath = dir.file("s.sock");
+    opts.threads = 1;
+    Server server(opts);
+    server.start();
+
+    // Put one slow compile in flight and wait until it is admitted.
+    ServeClient worker(opts.socketPath);
+    worker.sendLine(compileLine(1, slowSource()));
+    for (int i = 0; i < 400 && server.pendingRequests() == 0; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_GT(server.pendingRequests(), 0);
+
+    ServeClient control(opts.socketPath);
+    json::Value ack = control.call("{\"id\":2,\"op\":\"drain\"}");
+    EXPECT_TRUE(ack.find("ok")->boolean);
+    EXPECT_TRUE(ack.find("draining")->boolean);
+    // The ack is written before the state flips; settle briefly.
+    for (int i = 0; i < 200 && !server.draining(); ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_TRUE(server.draining());
+
+    // New work on an existing connection: structured refusal, not a
+    // slammed door.
+    control.sendLine(compileLine(3, kSumSource));
+    json::Value refused = json::parse(control.readLine());
+    EXPECT_FALSE(refused.find("ok")->boolean);
+    EXPECT_EQ(refused.find("error")->stringAt("kind"), "draining");
+
+    // New connections: refused outright (the listener is closed).
+    EXPECT_THROW(ServeClient{opts.socketPath}, ConnectionLost);
+
+    // The in-flight request is NOT lost: it completes with its real
+    // answer...
+    json::Value done = json::parse(worker.readLine());
+    EXPECT_TRUE(done.find("ok")->boolean)
+        << "drain must complete in-flight work";
+    EXPECT_EQ(done.longAt("id"), 1);
+
+    // ...and its retirement fires the shutdown latch on its own.
+    EXPECT_TRUE(server.waitForShutdown(deadlineAfter(20.0)));
+    server.stop();
+    EXPECT_FALSE(std::filesystem::exists(opts.socketPath));
+}
+
+TEST(Serve, DrainOnIdleServerLatchesImmediately)
+{
+    ScratchDir dir("serve-drain-idle");
+    ServeOptions opts;
+    opts.socketPath = dir.file("s.sock");
+    Server server(opts);
+    server.start();
+
+    ServeClient client(opts.socketPath);
+    json::Value ack = client.call("{\"id\":1,\"op\":\"drain\"}");
+    EXPECT_TRUE(ack.find("ok")->boolean);
+    // Nothing in flight: the drain is already complete.
+    EXPECT_TRUE(server.waitForShutdown(deadlineAfter(10.0)));
+    server.stop();
+    EXPECT_FALSE(std::filesystem::exists(opts.socketPath));
+}
+
+TEST(Serve, OverlongRequestLineGetsReplyThenClose)
+{
+    ScratchDir dir("serve-longline");
+    ServeOptions opts;
+    opts.socketPath = dir.file("s.sock");
+    opts.maxRequestBytes = 256;
+    Server server(opts);
+    server.start();
+
+    // A complete-but-overlong line: one structured protocol error,
+    // then the connection is closed.
+    {
+        RawConn conn(opts.socketPath);
+        ASSERT_TRUE(conn.ok());
+        ASSERT_TRUE(conn.sendLine("{\"id\":1,\"op\":\"ping\",\"pad\":\"" +
+                                  std::string(512, 'x') + "\"}"));
+        std::string line;
+        ASSERT_TRUE(conn.recvLine(line)) << "a reply must precede close";
+        json::Value resp = json::parse(line);
+        EXPECT_FALSE(resp.find("ok")->boolean);
+        EXPECT_EQ(resp.find("error")->stringAt("kind"), "protocol");
+        EXPECT_TRUE(conn.atEof());
+    }
+
+    // A never-terminated stream: the read-buffer cap fires without
+    // waiting for a newline that never comes (the unbounded-buffer
+    // bug this PR fixes).
+    {
+        RawConn conn(opts.socketPath);
+        ASSERT_TRUE(conn.ok());
+        conn.sendRaw(std::string(4096, 'y')); // no newline, ever
+        std::string line;
+        ASSERT_TRUE(conn.recvLine(line));
+        json::Value resp = json::parse(line);
+        EXPECT_EQ(resp.find("error")->stringAt("kind"), "protocol");
+        EXPECT_TRUE(conn.atEof());
+    }
+
+    // Well-behaved clients on fresh connections are untouched.
+    ServeClient client(opts.socketPath);
+    EXPECT_TRUE(
+        client.call("{\"id\":3,\"op\":\"ping\"}").find("ok")->boolean);
+    ServeClient probe(opts.socketPath);
+    json::Value stats = probe.call("{\"op\":\"stats\"}");
+    EXPECT_GE(counterOf(stats, "serve.overlong_line"), 2);
+    server.stop();
+}
+
+TEST(Serve, IdleConnectionsAreClosedBusyOnesAreNot)
+{
+    ScratchDir dir("serve-idle");
+    ServeOptions opts;
+    opts.socketPath = dir.file("s.sock");
+    opts.idleTimeoutSeconds = 0.15;
+    Server server(opts);
+    server.start();
+
+    // A connection with a request in flight is busy, not idle: a
+    // compile slower than the idle timeout still gets its answer.
+    ServeClient busy(opts.socketPath);
+    busy.sendLine(compileLine(1, slowSource()));
+
+    // A connection that sends nothing is idle: closed with a parting
+    // structured notice.
+    RawConn idle(opts.socketPath);
+    ASSERT_TRUE(idle.ok());
+    std::string line;
+    ASSERT_TRUE(idle.recvLine(line, 10000)) << "idle close is announced";
+    json::Value notice = json::parse(line);
+    EXPECT_EQ(notice.find("error")->stringAt("kind"), "protocol");
+    EXPECT_TRUE(idle.atEof());
+
+    json::Value done = json::parse(busy.readLine());
+    EXPECT_TRUE(done.find("ok")->boolean)
+        << "in-flight work exempts a connection from the idle timeout";
+
+    ServeClient probe(opts.socketPath);
+    json::Value stats = probe.call("{\"op\":\"stats\"}");
+    EXPECT_GE(counterOf(stats, "serve.idle_closed"), 1);
+    server.stop();
+}
+
+TEST(Serve, StalledReaderIsCutLooseNotWaitedOn)
+{
+    ScratchDir dir("serve-stall");
+    ServeOptions opts;
+    opts.socketPath = dir.file("s.sock");
+    opts.writeTimeoutSeconds = 0.3;
+    opts.threads = 2;
+    Server server(opts);
+    server.start();
+
+    // ~64k output words make a response far larger than the socket
+    // buffers; the client never reads, so the server's send stalls.
+    const std::string chatty =
+        "void main() { int i; "
+        "for (i = 0; i < 65536; i = i + 1) { out(i); } }";
+    RawConn stalled(opts.socketPath);
+    ASSERT_TRUE(stalled.ok());
+    ASSERT_TRUE(stalled.sendLine(compileLine(1, chatty)));
+
+    // The server stays fully responsive to everyone else while the
+    // stalled write times out...
+    ServeClient live(opts.socketPath);
+    expectSum(live.call(compileLine(2, kSumSource)), 45);
+
+    // ...and abandons the stalled response within the deadline
+    // instead of wedging a worker on it forever.
+    bool sawTimeout = false;
+    for (int i = 0; i < 400 && !sawTimeout; ++i) {
+        json::Value stats = live.call("{\"op\":\"stats\"}");
+        sawTimeout = counterOf(stats, "serve.write_timeout") >= 1;
+        if (!sawTimeout)
+            std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    EXPECT_TRUE(sawTimeout)
+        << "the stalled write must be abandoned, not waited on";
+    expectSum(live.call(compileLine(3, kSumSource)), 45);
+    server.stop();
+}
+
+TEST(Serve, LostConnectionIsARecoverableClientError)
+{
+    static_assert(std::is_base_of_v<UserError, ConnectionLost>,
+                  "retry loops must be able to catch lost connections "
+                  "as user-level errors");
+
+    ScratchDir dir("serve-lost");
+    ServeOptions opts;
+    opts.socketPath = dir.file("s.sock");
+    // Nothing listening yet: connecting fails recoverably.
+    EXPECT_THROW(ServeClient{opts.socketPath}, ConnectionLost);
+
+    Server server(opts);
+    server.start();
+    ServeClient client(opts.socketPath);
+    EXPECT_TRUE(client.call("{\"op\":\"ping\"}").find("ok")->boolean);
+    server.stop();
+
+    // The server went away mid-session: the client surfaces
+    // ConnectionLost — catchable, retryable — never a process abort.
+    EXPECT_THROW(client.call("{\"op\":\"ping\"}"), ConnectionLost);
 }
 
 // ---------------------------------------------------------------------

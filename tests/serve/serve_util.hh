@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Shared helpers for the serve test tier (`ctest -L serve`): scratch
+ * directories sized for sun_path, request builders and response
+ * matchers for dsp-serve-v1, a raw byte-level client for protocol
+ * abuse (the fuzzer and the overlong-line tests need to send frames
+ * ServeClient refuses to), fd accounting, and — for tests compiled
+ * with DSPCC_BIN — fork/exec plumbing for driving the real binary.
+ */
+
+#ifndef DSP_TESTS_SERVE_UTIL_HH
+#define DSP_TESTS_SERVE_UTIL_HH
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "driver/server.hh"
+
+namespace dsp::serve_test
+{
+
+/** Fresh per-test scratch directory under /tmp (short paths: socket
+ *  paths must fit sun_path). Removed on destruction. */
+struct ScratchDir
+{
+    std::string path;
+
+    explicit ScratchDir(const std::string &tag)
+    {
+        path = "/tmp/dsp-" + tag + "-" + std::to_string(::getpid()) +
+               "-" + std::to_string(counter++);
+        std::filesystem::remove_all(path);
+        std::filesystem::create_directories(path);
+    }
+
+    ~ScratchDir()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(path, ec);
+    }
+
+    std::string
+    file(const std::string &name) const
+    {
+        return path + "/" + name;
+    }
+
+    static inline int counter = 0;
+};
+
+inline const char *kSumSource =
+    "void main() { int i; int acc; acc = 0; "
+    "for (i = 0; i < 10; i = i + 1) { acc = acc + i; } out(acc); }";
+
+inline std::string
+compileLine(long long id, const std::string &source,
+            const std::string &extra = "")
+{
+    std::ostringstream os;
+    os << "{\"id\":" << id << ",\"op\":\"compile\",\"source\":"
+       << json::quote(source);
+    if (!extra.empty())
+        os << "," << extra;
+    os << "}";
+    return os.str();
+}
+
+/** A source whose text (and therefore cache key) depends on @p n, so
+ *  herds of requests cannot collapse in L1 — each one costs a real
+ *  compile, which is what overload tests need. */
+inline std::string
+distinctSource(long long n)
+{
+    return "void main() { out(" + std::to_string(n) + " + 1); }";
+}
+
+/** A source whose simulation spins for tens of millions of loop
+ *  iterations — long enough to straddle sub-second timeouts and to
+ *  keep a worker busy while a test races it. out() reports the
+ *  iteration count so the reply is still checkable. */
+inline std::string
+slowSource(long long iters = 8000000)
+{
+    return "void main() { int i; int acc; acc = 0; "
+           "for (i = 0; i < " +
+           std::to_string(iters) +
+           "; i = i + 1) { acc = acc + 1; } out(acc); }";
+}
+
+/** A waitForShutdown() predicate that gives up after
+ *  @p deadlineSeconds (the latch winning returns true; the deadline
+ *  winning returns false). */
+inline std::function<bool()>
+deadlineAfter(double deadlineSeconds)
+{
+    auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(deadlineSeconds));
+    return [deadline] {
+        return std::chrono::steady_clock::now() >= deadline;
+    };
+}
+
+inline long
+counterOf(const json::Value &statsResp, const std::string &name)
+{
+    const json::Value *stats = statsResp.find("stats");
+    if (!stats)
+        return -1;
+    const json::Value *counters = stats->find("counters");
+    if (!counters)
+        return -1;
+    return counters->longAt(name, 0);
+}
+
+/** Assert @p resp is {"ok":true} with a result whose single output
+ *  word is @p expected. */
+inline void
+expectSum(const json::Value &resp, long expected)
+{
+    const json::Value *ok = resp.find("ok");
+    ASSERT_NE(ok, nullptr);
+    ASSERT_TRUE(ok->boolean) << "error: "
+                             << resp.find("error")->stringAt("message");
+    const json::Value *result = resp.find("result");
+    ASSERT_NE(result, nullptr);
+    const json::Value *out = result->find("output");
+    ASSERT_NE(out, nullptr);
+    ASSERT_EQ(out->items.size(), 1u);
+    EXPECT_EQ(out->items[0].longAt("raw"), expected);
+}
+
+inline int
+countOpenFds()
+{
+    int n = 0;
+    for ([[maybe_unused]] const auto &e :
+         std::filesystem::directory_iterator("/proc/self/fd"))
+        ++n;
+    return n;
+}
+
+/**
+ * Byte-level dsp-serve-v1 client: no framing, no error handling, no
+ * manners. Sends whatever bytes it is told to (including partial
+ * frames and garbage) and reads replies line-by-line with a timeout.
+ * ServeClient deliberately cannot express most of what the fuzzer and
+ * the abuse tests must send.
+ */
+struct RawConn
+{
+    int fd = -1;
+    std::string buf; ///< bytes received but not yet returned as lines
+
+    explicit RawConn(const std::string &socketPath)
+    {
+        fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            return;
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, socketPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            ::close(fd);
+            fd = -1;
+        }
+    }
+
+    ~RawConn() { closeNow(); }
+    RawConn(const RawConn &) = delete;
+    RawConn &operator=(const RawConn &) = delete;
+
+    bool ok() const { return fd >= 0; }
+
+    void
+    closeNow()
+    {
+        if (fd >= 0)
+            ::close(fd);
+        fd = -1;
+    }
+
+    /** Best-effort send; false once the server has closed on us
+     *  (EPIPE/ECONNRESET are expected outcomes here, not errors). */
+    bool
+    sendRaw(const std::string &bytes)
+    {
+        std::size_t off = 0;
+        while (off < bytes.size()) {
+            ssize_t n = ::send(fd, bytes.data() + off,
+                               bytes.size() - off, MSG_NOSIGNAL);
+            if (n <= 0)
+                return false;
+            off += static_cast<std::size_t>(n);
+        }
+        return true;
+    }
+
+    bool sendLine(const std::string &line) { return sendRaw(line + "\n"); }
+
+    /** Read one newline-terminated line; false on EOF or after
+     *  @p timeout_ms without one (the fuzzer treats both as
+     *  "no reply"). */
+    bool
+    recvLine(std::string &line, int timeout_ms = 10000)
+    {
+        auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+        for (;;) {
+            std::size_t nl = buf.find('\n');
+            if (nl != std::string::npos) {
+                line = buf.substr(0, nl);
+                buf.erase(0, nl + 1);
+                return true;
+            }
+            auto left = std::chrono::duration_cast<
+                            std::chrono::milliseconds>(
+                            deadline - std::chrono::steady_clock::now())
+                            .count();
+            if (left <= 0 || fd < 0)
+                return false;
+            pollfd pfd{fd, POLLIN, 0};
+            int pr = ::poll(&pfd, 1, static_cast<int>(left));
+            if (pr <= 0)
+                return false;
+            char chunk[4096];
+            ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+            if (n <= 0)
+                return false; // EOF: server closed the connection
+            buf.append(chunk, static_cast<std::size_t>(n));
+        }
+    }
+
+    /** True once the server has closed its side (EOF observed). */
+    bool
+    atEof(int timeout_ms = 5000)
+    {
+        std::string line;
+        return !recvLine(line, timeout_ms) && fd >= 0;
+    }
+};
+
+#ifdef DSPCC_BIN
+
+/** Fork+exec `dspcc --serve=<socket> [extra args...]`; returns the
+ *  child pid (0 is never returned — the child execs or _exits). */
+inline pid_t
+spawnServer(const std::string &socketPath,
+            const std::vector<std::string> &extraArgs = {})
+{
+    pid_t pid = ::fork();
+    if (pid != 0)
+        return pid;
+    std::vector<std::string> args;
+    args.push_back("dspcc");
+    args.push_back("--serve=" + socketPath);
+    for (const std::string &a : extraArgs)
+        args.push_back(a);
+    std::vector<char *> argv;
+    for (std::string &a : args)
+        argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(DSPCC_BIN, argv.data());
+    _exit(127); // exec failed
+}
+
+/** Connect with retries: the child needs a moment to bind. */
+inline std::unique_ptr<ServeClient>
+connectWithRetry(const std::string &socketPath, int attempts = 100)
+{
+    for (int i = 0; i < attempts; ++i) {
+        try {
+            return std::make_unique<ServeClient>(socketPath);
+        } catch (const std::exception &) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+    }
+    return nullptr;
+}
+
+/** waitpid with a deadline; returns true (and the status) once the
+ *  child exits, false if it is still running at the deadline. */
+inline bool
+waitForExit(pid_t pid, int &status, double deadlineSeconds)
+{
+    auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(deadlineSeconds));
+    for (;;) {
+        pid_t got = ::waitpid(pid, &status, WNOHANG);
+        if (got == pid)
+            return true;
+        if (got < 0)
+            return false;
+        if (std::chrono::steady_clock::now() >= deadline)
+            return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+}
+
+#endif // DSPCC_BIN
+
+} // namespace dsp::serve_test
+
+#endif // DSP_TESTS_SERVE_UTIL_HH
