@@ -51,6 +51,7 @@
 #include "driver/server.hh"
 #include "suite/suite.hh"
 #include "support/diagnostics.hh"
+#include "support/histogram.hh"
 #include "support/string_utils.hh"
 
 using namespace dsp;
@@ -172,24 +173,55 @@ outputMatches(const json::Value &result, const Benchmark &b)
 }
 
 /** Per-pass tallies, merged across clients under a mutex at the end
- *  of each client's pass (the hot path stays lock-free). */
+ *  of each client's pass (the hot path stays lock-free). Latency is
+ *  the shared log-bucketed LatencyHistogram — the same structure the
+ *  server records into, so the client-side and server-side quantile
+ *  columns in the summary are apples to apples. */
 struct PassTally
 {
     long requests = 0;
     long hits = 0; ///< served from memory or disk cache
     long errors = 0;
     long sheds = 0; ///< "overloaded" replies absorbed by retries
-    std::vector<double> latencyMs; ///< end-to-end, retry waits included
+    /** End-to-end per-request latency in µs, retry waits included. */
+    LatencyHistogram latency;
+    /** (latency µs, sheds absorbed) per request: the shed-retry
+     *  count by percentile band in the overload summary. */
+    std::vector<std::pair<long long, long>> perRequest;
 };
 
+/** µs → ms for printing. */
 double
-percentile(std::vector<double> &sorted, double p)
+ms(long long us)
 {
-    if (sorted.empty())
-        return 0.0;
-    std::size_t idx = static_cast<std::size_t>(
-        p / 100.0 * static_cast<double>(sorted.size() - 1) + 0.5);
-    return sorted[std::min(idx, sorted.size() - 1)];
+    return static_cast<double>(us) / 1000.0;
+}
+
+/** Pull "serve.latency.total" out of a dsp-stats-v2 "stats" reply;
+ *  false when the server recorded no admitted request yet. */
+bool
+serverLatency(const json::Value &resp, LatencyHistogram::Summary &out)
+{
+    const json::Value *stats = resp.find("stats");
+    if (!stats)
+        return false;
+    const json::Value *hists = stats->find("histograms");
+    if (!hists || !hists->isArray())
+        return false;
+    for (const json::Value &h : hists->items) {
+        if (h.stringAt("name") != "serve.latency.total")
+            continue;
+        out.count = static_cast<std::int64_t>(h.numberAt("count"));
+        out.min = h.longAt("min_us", 0);
+        out.max = h.longAt("max_us", 0);
+        out.mean = h.numberAt("mean_us");
+        out.p50 = h.longAt("p50_us", 0);
+        out.p90 = h.longAt("p90_us", 0);
+        out.p99 = h.longAt("p99_us", 0);
+        out.p999 = h.longAt("p999_us", 0);
+        return out.count > 0;
+    }
+    return false;
 }
 
 } // namespace
@@ -269,14 +301,19 @@ main(int argc, char **argv)
                         // in lockstep.
                         const Benchmark &b =
                             *suite[(i + c) % suite.size()];
+                        long shedsBefore = local.sheds;
                         auto reqBegin = std::chrono::steady_clock::now();
                         json::Value resp = callPolitely(
                             compileRequest(++nextId, b), local);
-                        local.latencyMs.push_back(
-                            std::chrono::duration<double, std::milli>(
-                                std::chrono::steady_clock::now() -
-                                reqBegin)
-                                .count());
+                        long long latUs = std::chrono::duration_cast<
+                                              std::chrono::microseconds>(
+                                              std::chrono::steady_clock::
+                                                  now() -
+                                              reqBegin)
+                                              .count();
+                        local.latency.record(latUs);
+                        local.perRequest.emplace_back(
+                            latUs, local.sheds - shedsBefore);
                         ++local.requests;
                         const json::Value *ok = resp.find("ok");
                         if (!ok || !ok->boolean) {
@@ -299,9 +336,11 @@ main(int argc, char **argv)
                     tallies[pass].hits += local.hits;
                     tallies[pass].errors += local.errors;
                     tallies[pass].sheds += local.sheds;
-                    tallies[pass].latencyMs.insert(
-                        tallies[pass].latencyMs.end(),
-                        local.latencyMs.begin(), local.latencyMs.end());
+                    tallies[pass].latency.merge(local.latency);
+                    tallies[pass].perRequest.insert(
+                        tallies[pass].perRequest.end(),
+                        local.perRequest.begin(),
+                        local.perRequest.end());
                     if (local.errors > 0)
                         failed.store(true);
                 }
@@ -317,6 +356,22 @@ main(int argc, char **argv)
     double seconds = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - begin)
                          .count();
+
+    // Server-side view of the same run: the "stats" op's
+    // serve.latency.total quantiles. The gap between this row and the
+    // client-side rows is queueing outside the server plus retry
+    // backoff — exactly the part only the client can see.
+    LatencyHistogram::Summary serverSide;
+    bool haveServerSide = false;
+    try {
+        ServeClient statsClient(socketPath);
+        haveServerSide = serverLatency(
+            statsClient.call("{\"id\":0,\"op\":\"stats\"}"),
+            serverSide);
+    } catch (const std::exception &) {
+        // External server gone or refusing connections: the client-
+        // side summary still stands on its own.
+    }
 
     long total = 0;
     for (int pass = 0; pass < opt.passes; ++pass) {
@@ -334,14 +389,31 @@ main(int argc, char **argv)
             long frames = t.requests + t.sheds;
             double shedRate =
                 frames > 0 ? 100.0 * t.sheds / frames : 0.0;
-            std::sort(t.latencyMs.begin(), t.latencyMs.end());
+            LatencyHistogram::Summary s = t.latency.summary();
             std::cout << "pass " << (pass + 1) << ": " << t.sheds
                       << " sheds (" << fixed(shedRate, 1)
                       << "% of frames), latency p50 "
-                      << fixed(percentile(t.latencyMs, 50), 1)
-                      << " ms, p99 "
-                      << fixed(percentile(t.latencyMs, 99), 1)
-                      << " ms\n";
+                      << fixed(ms(s.p50), 1) << " ms, p90 "
+                      << fixed(ms(s.p90), 1) << " ms, p99 "
+                      << fixed(ms(s.p99), 1) << " ms, p99.9 "
+                      << fixed(ms(s.p999), 1) << " ms\n";
+            // Where the retries landed: shed-retry counts by the
+            // pass's own latency percentile bands. Sheds piling into
+            // the top band means backoff is stacking onto the slowest
+            // requests; an even spread means admission control is
+            // rejecting fairly.
+            long bands[4] = {0, 0, 0, 0};
+            for (const auto &[latUs, sheds] : t.perRequest) {
+                int band = latUs <= s.p50   ? 0
+                           : latUs <= s.p90 ? 1
+                           : latUs <= s.p99 ? 2
+                                            : 3;
+                bands[band] += sheds;
+            }
+            std::cout << "pass " << (pass + 1)
+                      << ": sheds by latency band: <=p50 " << bands[0]
+                      << ", p50-p90 " << bands[1] << ", p90-p99 "
+                      << bands[2] << ", >p99 " << bands[3] << "\n";
         }
     }
     std::cout << opt.clients << " clients x " << opt.passes
@@ -349,6 +421,14 @@ main(int argc, char **argv)
               << total << " requests in " << fixed(seconds, 2)
               << "s = " << fixed(total / std::max(seconds, 1e-9), 0)
               << " req/s\n";
+    if (haveServerSide) {
+        std::cout << "server-side serve.latency.total: "
+                  << serverSide.count << " samples, p50 "
+                  << fixed(ms(serverSide.p50), 1) << " ms, p90 "
+                  << fixed(ms(serverSide.p90), 1) << " ms, p99 "
+                  << fixed(ms(serverSide.p99), 1) << " ms, p99.9 "
+                  << fixed(ms(serverSide.p999), 1) << " ms\n";
+    }
 
     if (server)
         server->stop();

@@ -98,6 +98,16 @@ struct CliOptions
     double idleTimeout = 0;
     /** --drain-deadline=SECONDS bound on a SIGTERM-initiated drain. */
     double drainDeadline = 10.0;
+    /** --access-log=FILE (with --serve): NDJSON access log, one
+     *  strict-JSON line per answered request. */
+    std::string accessLog;
+    /** --metrics-out=FILE: Prometheus text exposition. With --serve,
+     *  written when the server stops; otherwise alongside
+     *  --stats-out. */
+    std::string metricsOut;
+    /** --slow-request-ms=N (with --serve): dump the span subtree of
+     *  any admitted request slower than N ms to stderr (0 = off). */
+    double slowRequestMs = 0;
 };
 
 [[noreturn]] void
@@ -132,8 +142,13 @@ usage()
            "                write a Chrome trace_event JSON timeline of\n"
            "                the compile and run (open in Perfetto)\n"
            "  --stats-out=FILE\n"
-           "                write counters and per-span aggregates as\n"
-           "                JSON (schema dsp-stats-v1)\n"
+           "                write counters, gauges, span aggregates,\n"
+           "                and latency-histogram quantiles as JSON\n"
+           "                (schema dsp-stats-v2)\n"
+           "  --metrics-out=FILE\n"
+           "                write the same registries as Prometheus\n"
+           "                text exposition (with --serve: written\n"
+           "                when the server stops)\n"
            "  --profile-out=FILE\n"
            "                write the per-block execution profile as\n"
            "                JSON (schema dsp-profile-v1): cycles, bank\n"
@@ -178,6 +193,16 @@ usage()
            "                (default 10). SIGTERM (or the 'drain' op)\n"
            "                finishes in-flight requests, answers new\n"
            "                ones with 'draining', then exits 0\n"
+           "  --access-log=FILE\n"
+           "                (with --serve) append one strict-JSON\n"
+           "                NDJSON line per answered request: id, op,\n"
+           "                outcome, cache tier, flags, and the\n"
+           "                per-phase timing breakdown\n"
+           "  --slow-request-ms=N\n"
+           "                (with --serve) dump the span subtree of\n"
+           "                any admitted request slower than N ms as\n"
+           "                one structured JSON event line on stderr\n"
+           "                (default off)\n"
            "  *-out flags accept '-' as FILE to mean stdout\n"
            "exit codes: 0 ok, 1 user error, 2 internal error,\n"
            "            3 degraded compile with --werror\n";
@@ -289,6 +314,18 @@ parseArgs(int argc, char **argv)
         } else if (startsWith(arg, "--drain-deadline=")) {
             cli.drainDeadline = std::stod(arg.substr(17));
             if (cli.drainDeadline <= 0)
+                usage();
+        } else if (startsWith(arg, "--access-log=")) {
+            cli.accessLog = arg.substr(13);
+            if (cli.accessLog.empty())
+                usage();
+        } else if (startsWith(arg, "--metrics-out=")) {
+            cli.metricsOut = arg.substr(14);
+            if (cli.metricsOut.empty())
+                usage();
+        } else if (startsWith(arg, "--slow-request-ms=")) {
+            cli.slowRequestMs = std::stod(arg.substr(18));
+            if (cli.slowRequestMs < 0)
                 usage();
         } else if (startsWith(arg, "--in=")) {
             for (const std::string &tok :
@@ -490,6 +527,14 @@ runServe(const CliOptions &cli)
     sopts.maxRequestBytes = cli.maxRequestBytes;
     sopts.idleTimeoutSeconds = cli.idleTimeout;
     sopts.drainDeadlineSeconds = cli.drainDeadline;
+    sopts.accessLogPath = cli.accessLog;
+    sopts.metricsOutPath = cli.metricsOut;
+    sopts.slowRequestMs = cli.slowRequestMs;
+    // --trace-out opts the daemon back into span retention (bounded)
+    // so per-request flames render in Perfetto; otherwise the session
+    // stays counters/gauges/histograms-only.
+    if (!cli.traceOut.empty())
+        sopts.traceEventCapacity = std::size_t(1) << 20;
     try {
         Server server(sopts);
         server.start();
@@ -521,6 +566,16 @@ runServe(const CliOptions &cli)
             });
         }
         server.stop();
+        // stop() already wrote --metrics-out; the trace and stats
+        // documents render here, after the last request finished.
+        if (!cli.traceOut.empty())
+            writeDocument(cli.traceOut, [&](std::ostream &os) {
+                server.session().writeChromeTrace(os);
+            });
+        if (!cli.statsOut.empty())
+            writeDocument(cli.statsOut, [&](std::ostream &os) {
+                server.session().writeStats(os);
+            });
     } catch (const UserError &e) {
         std::cerr << "dspcc: " << e.what() << "\n";
         return 1;
@@ -547,7 +602,8 @@ main(int argc, char **argv)
 
     // Tracing covers compile and run alike; the files are written even
     // when the compile fails, so a trace of the failure survives.
-    bool tracing = !cli.traceOut.empty() || !cli.statsOut.empty();
+    bool tracing = !cli.traceOut.empty() || !cli.statsOut.empty() ||
+                   !cli.metricsOut.empty();
     TraceSession session;
     auto write_telemetry = [&] {
         if (!cli.traceOut.empty())
@@ -557,6 +613,10 @@ main(int argc, char **argv)
         if (!cli.statsOut.empty())
             writeDocument(cli.statsOut, [&](std::ostream &os) {
                 session.writeStats(os);
+            });
+        if (!cli.metricsOut.empty())
+            writeDocument(cli.metricsOut, [&](std::ostream &os) {
+                session.writePrometheus(os);
             });
     };
 

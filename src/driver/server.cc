@@ -8,7 +8,9 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstring>
+#include <iostream>
 #include <optional>
 #include <sstream>
 
@@ -309,6 +311,48 @@ struct Server::Conn
 };
 
 // ---------------------------------------------------------------------
+// Server::AccessRecord
+// ---------------------------------------------------------------------
+
+/**
+ * Everything one answered request contributes to observability:
+ * identity, outcome class, cache tier, flags, and the per-phase
+ * timing breakdown. Built on the serving path and funneled through
+ * respond(), which times the response write and then folds the record
+ * into the latency histograms, the access log, and (past the
+ * slow-request threshold) the stderr span dump. Times are
+ * microseconds on the session clock; each phase is 0 when the
+ * request never reached it.
+ */
+struct Server::AccessRecord
+{
+    bool hasId = false;
+    long long id = 0;
+    /** Request op ("" when the line never parsed). */
+    std::string op;
+    /** "ok", "error", "timeout", "shed", "draining", "protocol". */
+    std::string outcome = "ok";
+    /** "disk" | "memory" | "none" once a compile resolved a tier;
+     *  "" for control ops and requests that never got that far. */
+    std::string cached;
+    /** Passed admission control and ran on the pool. */
+    bool admitted = false;
+    bool shed = false;
+    bool degraded = false;
+    bool timedOut = false;
+
+    double admitUs = 0;     ///< session timestamp at arrival
+    double queueUs = 0;     ///< admission -> worker pickup
+    double parseUs = 0;     ///< request re-parse + validation
+    double cacheUs = 0;     ///< L2 disk probe
+    double compileUs = 0;   ///< L1 lookup (including a miss's compile)
+    double simulateUs = 0;  ///< simulation
+    double serializeUs = 0; ///< render + cache store/invalidate
+    double writeUs = 0;     ///< response write to the client
+    double totalUs = 0;     ///< admission -> response written
+};
+
+// ---------------------------------------------------------------------
 // Server
 // ---------------------------------------------------------------------
 
@@ -339,8 +383,16 @@ Server::start()
                 opts.socketPath.size() + 1);
 
     // The disk cache first: a bad --cache-dir should fail before we
-    // ever own the socket.
+    // ever own the socket. The access log likewise.
     disk = std::make_unique<DiskCache>(opts.cacheDir);
+    if (!opts.accessLogPath.empty()) {
+        auto log = std::make_unique<std::ofstream>(opts.accessLogPath,
+                                                   std::ios::app);
+        if (!*log)
+            fatal("serve: cannot open access log ", opts.accessLogPath,
+                  ": ", std::strerror(errno));
+        accessLog = std::move(log);
+    }
 
     listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (listenFd < 0)
@@ -363,11 +415,37 @@ Server::start()
         fatal("serve: listen(): ", std::strerror(err));
     }
 
-    // Counters-only telemetry: a daemon must not accumulate an
-    // unbounded span log; the stats endpoint serves counters.
-    sess.setEventCapacity(0);
+    // Counters/gauges/histograms-only telemetry by default: a daemon
+    // must not accumulate an unbounded span log. traceEventCapacity
+    // opts a bounded span log back in for Perfetto flame capture.
+    sess.setEventCapacity(opts.traceEventCapacity);
     ambient = std::make_unique<ScopedTraceSession>(sess);
     pool = std::make_unique<JobPool>(opts.threads);
+
+    // Every point-in-time level the server exposes is a registered
+    // gauge provider: "stats", "metrics", the drain snapshot, and
+    // --metrics-out all sample the same source (DESIGN.md §15).
+    // Providers outlive pool teardown (stop() samples for
+    // --metrics-out after pool.reset()), hence the null check.
+    sess.gauges().provide("cache_entries", [this] {
+        return static_cast<long long>(memCache.size());
+    });
+    sess.gauges().provide("cache_compiles", [this] {
+        return static_cast<long long>(memCache.compileCount());
+    });
+    sess.gauges().provide("cache_evictions", [this] {
+        return static_cast<long long>(memCache.evictionCount());
+    });
+    sess.gauges().provide("pending_requests", [this] {
+        return static_cast<long long>(pendingCount.load());
+    });
+    sess.gauges().provide("pool_pending", [this] {
+        JobPool *p = pool.get();
+        return p ? static_cast<long long>(p->pending()) : 0LL;
+    });
+    sess.gauges().provide("draining", [this] {
+        return drainFlag.load() ? 1LL : 0LL;
+    });
 
     {
         std::lock_guard<std::mutex> lock(shutdownMu);
@@ -431,6 +509,24 @@ Server::stop()
     }
     ambient.reset();
     ::unlink(opts.socketPath.c_str());
+
+    if (accessLog) {
+        std::lock_guard<std::mutex> lock(accessLogMu);
+        accessLog->flush();
+        accessLog.reset();
+    }
+    if (!opts.metricsOutPath.empty()) {
+        // stop() also runs from the destructor: report, never throw.
+        try {
+            if (opts.metricsOutPath == "-")
+                sess.writePrometheus(std::cout);
+            else
+                sess.writePrometheusFile(opts.metricsOutPath);
+        } catch (const std::exception &e) {
+            sess.counters().add("serve.metrics_out_error");
+            std::cerr << "dspcc: serve: " << e.what() << "\n";
+        }
+    }
 }
 
 void
@@ -625,6 +721,7 @@ Server::dispatchLine(const std::shared_ptr<Conn> &conn,
                      const std::string &line)
 {
     sess.counters().add("serve.requests");
+    double admitUs = sess.nowUs();
 
     // Parse on the reader thread: malformed requests are answered
     // here without ever costing a pool slot, and the op decides the
@@ -634,7 +731,11 @@ Server::dispatchLine(const std::shared_ptr<Conn> &conn,
         v = json::parse(line);
     } catch (const UserError &e) {
         sess.counters().add("serve.responses.error");
-        conn->writeLine(errorResponse(false, 0, "protocol", e.what()));
+        AccessRecord rec;
+        rec.admitUs = admitUs;
+        rec.outcome = "protocol";
+        respond(conn, rec,
+                errorResponse(false, 0, "protocol", e.what()));
         return;
     }
     const json::Value *idField = v.find("id");
@@ -645,20 +746,34 @@ Server::dispatchLine(const std::shared_ptr<Conn> &conn,
     // server must stay observable (stats) and drainable (drain,
     // shutdown) no matter how overloaded the compile pool is.
     std::string op = v.stringAt("op");
-    if (handleControl(conn, op, hasId, id))
+    if (handleControl(conn, op, hasId, id, admitUs))
         return;
     if (op != "compile") {
         sess.counters().add("serve.responses.error");
-        conn->writeLine(errorResponse(hasId, id, "protocol",
-                                      "unknown op '" + op + "'"));
+        AccessRecord rec;
+        rec.admitUs = admitUs;
+        rec.hasId = hasId;
+        rec.id = id;
+        rec.op = op;
+        rec.outcome = "protocol";
+        respond(conn, rec,
+                errorResponse(hasId, id, "protocol",
+                              "unknown op '" + op + "'"));
         return;
     }
 
     if (drainFlag.load()) {
         sess.counters().add("serve.responses.draining");
-        conn->writeLine(errorResponse(
-            hasId, id, "draining",
-            "server is draining and no longer accepts work"));
+        AccessRecord rec;
+        rec.admitUs = admitUs;
+        rec.hasId = hasId;
+        rec.id = id;
+        rec.op = op;
+        rec.outcome = "draining";
+        respond(conn, rec,
+                errorResponse(
+                    hasId, id, "draining",
+                    "server is draining and no longer accepts work"));
         return;
     }
 
@@ -671,11 +786,19 @@ Server::dispatchLine(const std::shared_ptr<Conn> &conn,
             25L * depth / std::max(1, workers), 10L, 2000L);
         sess.counters().add("serve.shed");
         sess.counters().add("serve.responses.error");
-        conn->writeLine(errorResponse(
-            hasId, id, "overloaded",
-            "server at capacity (" + std::to_string(depth) +
-                " requests pending); retry later",
-            retryMs));
+        AccessRecord rec;
+        rec.admitUs = admitUs;
+        rec.hasId = hasId;
+        rec.id = id;
+        rec.op = op;
+        rec.outcome = "shed";
+        rec.shed = true;
+        respond(conn, rec,
+                errorResponse(
+                    hasId, id, "overloaded",
+                    "server at capacity (" + std::to_string(depth) +
+                        " requests pending); retry later",
+                    retryMs));
     };
     // Per-connection budget first: this reader is the only thread
     // that increments conn->pending, so a plain check is exact.
@@ -707,28 +830,34 @@ Server::dispatchLine(const std::shared_ptr<Conn> &conn,
     limits.retries = opts.requestRetries;
     limits.name = "serve.request";
     pool->submit(
-        [this, conn, line](JobContext &ctx) {
+        [this, conn, line, admitUs](JobContext &ctx) {
             sess.counters().add("serve.inflight");
             sess.counters().max(
                 "serve.inflight.peak",
                 sess.counters().value("serve.inflight"));
             try {
-                handleCompile(conn, line, ctx);
+                handleCompile(conn, line, ctx, admitUs);
             } catch (const JobTimeout &) {
                 // Deliberate: handleCompile rethrows only when the
                 // pool still owes this request a retry, so it stays
-                // admitted (no finishRequest).
+                // admitted (no finishRequest, no access-log line —
+                // the final attempt writes the request's one line).
                 sess.counters().add("serve.inflight", -1);
                 sess.counters().add("serve.retries");
                 throw;
             } catch (const std::exception &e) {
                 // Last resort — handleCompile answers its own errors,
                 // so only a response-path bug lands here. The client
-                // still gets a line.
+                // still gets a line (and the access log its row).
                 sess.counters().add("serve.inflight", -1);
                 sess.counters().add("serve.handler_error");
-                conn->writeLine(
-                    errorResponse(false, 0, "internal", e.what()));
+                AccessRecord rec;
+                rec.admitted = true;
+                rec.admitUs = admitUs;
+                rec.op = "compile";
+                rec.outcome = "error";
+                respond(conn, rec,
+                        errorResponse(false, 0, "internal", e.what()));
                 finishRequest(*conn);
                 return;
             }
@@ -748,10 +877,37 @@ Server::finishRequest(Conn &conn)
                            // ran and replied
 }
 
+void
+Server::writeStatsReplyObject(json::Writer &w)
+{
+    sess.statsFields(w, json::Writer::Block::Inline);
+    // Legacy dsp-stats-v1 flat gauge fields, rendered from the same
+    // GaugeRegistry sample the v2 "gauges" object comes from — one
+    // source, two spellings, until v1 readers age out.
+    std::map<std::string, long long> g = sess.gauges().sample();
+    w.field("cache_entries", g["cache_entries"]);
+    w.field("cache_compiles", g["cache_compiles"]);
+    w.field("cache_evictions", g["cache_evictions"]);
+    w.field("pending_requests", g["pending_requests"]);
+    w.field("pool_pending", g["pool_pending"]);
+    w.field("draining", g["draining"] != 0);
+}
+
 bool
 Server::handleControl(const std::shared_ptr<Conn> &conn,
-                      const std::string &op, bool has_id, long long id)
+                      const std::string &op, bool has_id, long long id,
+                      double admit_us)
 {
+    if (op != "ping" && op != "stats" && op != "metrics" &&
+        op != "drain" && op != "shutdown")
+        return false;
+
+    AccessRecord rec;
+    rec.admitUs = admit_us;
+    rec.hasId = has_id;
+    rec.id = id;
+    rec.op = op;
+
     if (op == "ping") {
         std::ostringstream os;
         json::Writer w(os);
@@ -762,7 +918,7 @@ Server::handleControl(const std::shared_ptr<Conn> &conn,
         w.field("pong", true);
         w.endObject();
         sess.counters().add("serve.responses.ok");
-        conn->writeLine(os.str());
+        respond(conn, rec, os.str());
         return true;
     }
     if (op == "stats") {
@@ -773,33 +929,39 @@ Server::handleControl(const std::shared_ptr<Conn> &conn,
             w.field("id", id);
         w.field("ok", true);
         w.key("stats").beginObject(json::Writer::Block::Inline);
-        w.field("schema", "dsp-stats-v1");
-        w.key("counters").beginObject(json::Writer::Block::Inline);
-        for (const auto &[name, value] : sess.counters().snapshot())
-            w.field(name, value);
-        w.endObject();
-        w.key("spans").beginArray(json::Writer::Block::Inline);
-        w.endArray(); // counters-only session: no span log
-        // Gauges (point-in-time, not monotonic counters).
-        w.field("cache_entries",
-                static_cast<long>(memCache.size()));
-        w.field("cache_compiles", memCache.compileCount());
-        w.field("cache_evictions", memCache.evictionCount());
-        w.field("pending_requests", pendingCount.load());
-        w.field("pool_pending",
-                pool ? static_cast<long>(pool->pending()) : 0L);
-        w.field("draining", drainFlag.load());
+        writeStatsReplyObject(w);
         w.endObject();
         w.endObject();
         sess.counters().add("serve.responses.ok");
-        conn->writeLine(os.str());
+        respond(conn, rec, os.str());
+        return true;
+    }
+    if (op == "metrics") {
+        // The same registries as "stats", in Prometheus text
+        // exposition (0.0.4), carried in a JSON string field so the
+        // line-oriented protocol framing is untouched.
+        std::ostringstream text;
+        sess.writePrometheus(text);
+        std::ostringstream os;
+        json::Writer w(os);
+        w.beginObject(json::Writer::Block::Inline);
+        if (has_id)
+            w.field("id", id);
+        w.field("ok", true);
+        w.field("schema", "dsp-metrics-v1");
+        w.field("metrics", text.str());
+        w.endObject();
+        sess.counters().add("serve.responses.ok");
+        respond(conn, rec, os.str());
         return true;
     }
     if (op == "drain") {
         // Respond first, then flip the state: beginDrain() can fire
         // the shutdown latch synchronously (nothing pending), and the
         // caller of waitForShutdown() may then close write sides
-        // while this reply is still unsent.
+        // while this reply is still unsent. The reply embeds a final
+        // stats snapshot so operators capture end-of-life metrics
+        // without racing shutdown.
         std::ostringstream os;
         json::Writer w(os);
         w.beginObject(json::Writer::Block::Inline);
@@ -807,37 +969,56 @@ Server::handleControl(const std::shared_ptr<Conn> &conn,
             w.field("id", id);
         w.field("ok", true);
         w.field("draining", true);
+        w.key("stats").beginObject(json::Writer::Block::Inline);
+        writeStatsReplyObject(w);
+        w.endObject();
         w.endObject();
         sess.counters().add("serve.responses.ok");
-        conn->writeLine(os.str());
+        respond(conn, rec, os.str());
         beginDrain();
         return true;
     }
-    if (op == "shutdown") {
-        // Latch before responding: a client that has read this
-        // response must observe waitForShutdown() already armed.
-        // stop() drains in-flight jobs before touching write sides,
-        // so the response still reaches the requester.
-        requestShutdown();
-        std::ostringstream os;
-        json::Writer w(os);
-        w.beginObject(json::Writer::Block::Inline);
-        if (has_id)
-            w.field("id", id);
-        w.field("ok", true);
-        w.field("shutting_down", true);
-        w.endObject();
-        sess.counters().add("serve.responses.ok");
-        conn->writeLine(os.str());
-        return true;
-    }
-    return false;
+    // "shutdown". Latch before responding: a client that has read
+    // this response must observe waitForShutdown() already armed.
+    // stop() drains in-flight jobs before touching write sides, so
+    // the response still reaches the requester.
+    requestShutdown();
+    std::ostringstream os;
+    json::Writer w(os);
+    w.beginObject(json::Writer::Block::Inline);
+    if (has_id)
+        w.field("id", id);
+    w.field("ok", true);
+    w.field("shutting_down", true);
+    w.endObject();
+    sess.counters().add("serve.responses.ok");
+    respond(conn, rec, os.str());
+    return true;
 }
 
 void
 Server::handleCompile(const std::shared_ptr<Conn> &conn,
-                      const std::string &line, JobContext &ctx)
+                      const std::string &line, JobContext &ctx,
+                      double admit_us)
 {
+    AccessRecord rec;
+    rec.admitted = true;
+    rec.admitUs = admit_us;
+    double t = sess.nowUs();
+    // Includes any earlier timed-out attempt: "time until this
+    // attempt picked the request up" is what the client waited.
+    rec.queueUs = t - admit_us;
+    auto lap = [&] {
+        double now = sess.nowUs();
+        double d = now - t;
+        t = now;
+        return d;
+    };
+    // Nested under the pool's "serve.request" job span by timestamp
+    // containment, so a Perfetto flame connects queue wait (job span
+    // start -> here) to the phase spans below.
+    Span handleSpan("serve.handle", "serve");
+
     // Re-parse on the worker: dispatchLine admitted this line, but
     // carrying the string (not a parsed tree) through the queue keeps
     // the pending set's memory bounded by maxPending × maxRequestBytes.
@@ -846,21 +1027,32 @@ Server::handleCompile(const std::shared_ptr<Conn> &conn,
         v = json::parse(line);
     } catch (const UserError &e) {
         sess.counters().add("serve.responses.error");
-        conn->writeLine(errorResponse(false, 0, "protocol", e.what()));
+        rec.parseUs = lap();
+        rec.outcome = "error";
+        respond(conn, rec,
+                errorResponse(false, 0, "protocol", e.what()));
         return;
     }
 
     const json::Value *idField = v.find("id");
     bool hasId = idField != nullptr && idField->isNumber();
     long long id = hasId ? static_cast<long long>(idField->number) : 0;
+    rec.hasId = hasId;
+    rec.id = id;
+    rec.op = "compile";
+    if (hasId)
+        handleSpan.arg("id", id);
 
     auto fail = [&](const char *kind, const std::string &msg) {
         sess.counters().add("serve.responses.error");
-        conn->writeLine(errorResponse(hasId, id, kind, msg));
+        rec.timedOut = std::strcmp(kind, "timeout") == 0;
+        rec.outcome = rec.timedOut ? "timeout" : "error";
+        respond(conn, rec, errorResponse(hasId, id, kind, msg));
     };
 
     std::string parseErr;
     auto reqOpt = parseCompileRequest(v, parseErr);
+    rec.parseUs = lap();
     if (!reqOpt) {
         fail("protocol", parseErr);
         return;
@@ -870,10 +1062,17 @@ Server::handleCompile(const std::shared_ptr<Conn> &conn,
 
     // L2 first: a disk hit answers without compiling or simulating.
     if (disk->enabled()) {
-        if (auto payload = disk->load(key)) {
+        std::optional<std::string> payload;
+        {
+            Span span("serve.cache.disk", "serve");
+            payload = disk->load(key);
+        }
+        rec.cacheUs = lap();
+        if (payload) {
             sess.counters().add("serve.responses.ok");
-            conn->writeLine(
-                okResponseWithResult(hasId, id, "disk", *payload));
+            rec.cached = "disk";
+            respond(conn, rec,
+                    okResponseWithResult(hasId, id, "disk", *payload));
             return;
         }
         sess.counters().add("serve.cache.disk.miss");
@@ -885,14 +1084,18 @@ Server::handleCompile(const std::shared_ptr<Conn> &conn,
     bool memHit = false;
     std::shared_ptr<const CompileResult> compiled;
     try {
+        Span span("serve.compile", "serve");
         compiled = memCache.get(req.source, req.copts, &memHit);
     } catch (const UserError &e) {
+        rec.compileUs = lap();
         fail("user", e.what());
         return;
     } catch (const std::exception &e) {
+        rec.compileUs = lap();
         fail("internal", e.what());
         return;
     }
+    rec.compileUs = lap();
 
     auto timedOut = [&]() -> bool {
         if (ctx.attempt() < opts.requestRetries)
@@ -914,12 +1117,15 @@ Server::handleCompile(const std::shared_ptr<Conn> &conn,
         limits.expired = [&ctx] { return ctx.expired(); };
     RunOutcome outcome;
     try {
+        Span span("serve.simulate", "serve");
         outcome = tryRunProgram(*compiled, req.input, limits,
                                 req.fidelity);
     } catch (const std::exception &e) {
+        rec.simulateUs = lap();
         fail("internal", e.what());
         return;
     }
+    rec.simulateUs = lap();
     if (outcome.timedOut) {
         if (timedOut())
             return;
@@ -931,26 +1137,187 @@ Server::handleCompile(const std::shared_ptr<Conn> &conn,
         return;
     }
 
-    CostBreakdown cost = computeCost(*compiled, outcome.result);
-    bool degraded = compiled->degraded() ||
-                    !outcome.result.engineDegradations.empty();
-    std::string payload =
-        renderResult(*compiled, outcome.result, cost, degraded);
+    bool degraded;
+    std::string payload;
+    {
+        Span span("serve.serialize", "serve");
+        CostBreakdown cost = computeCost(*compiled, outcome.result);
+        degraded = compiled->degraded() ||
+                   !outcome.result.engineDegradations.empty();
+        payload =
+            renderResult(*compiled, outcome.result, cost, degraded);
 
-    if (degraded) {
-        // Served to this client with its event trail, but never
-        // cached: the degradation may be transient (an injected
-        // fault, a flaky pass) and the next request must retry at
-        // full strength.
-        sess.counters().add("serve.degraded");
-        memCache.invalidate(req.source, req.copts);
-    } else if (disk->enabled()) {
-        disk->store(key, payload);
+        if (degraded) {
+            // Served to this client with its event trail, but never
+            // cached: the degradation may be transient (an injected
+            // fault, a flaky pass) and the next request must retry at
+            // full strength.
+            sess.counters().add("serve.degraded");
+            memCache.invalidate(req.source, req.copts);
+        } else if (disk->enabled()) {
+            disk->store(key, payload);
+        }
     }
+    rec.serializeUs = lap();
 
     sess.counters().add("serve.responses.ok");
-    conn->writeLine(okResponseWithResult(
-        hasId, id, memHit ? "memory" : "none", payload));
+    rec.degraded = degraded;
+    rec.cached = memHit ? "memory" : "none";
+    respond(conn, rec,
+            okResponseWithResult(hasId, id, memHit ? "memory" : "none",
+                                 payload));
+}
+
+// ---------------------------------------------------------------------
+// Per-request observability (DESIGN.md §15)
+// ---------------------------------------------------------------------
+
+void
+Server::respond(const std::shared_ptr<Conn> &conn, AccessRecord &rec,
+                const std::string &response_line)
+{
+    double w0 = sess.nowUs();
+    conn->writeLine(response_line);
+    double end = sess.nowUs();
+    rec.writeUs = end - w0;
+    rec.totalUs = end - rec.admitUs;
+    recordRequestMetrics(rec);
+    logAccess(rec);
+    maybeDumpSlowRequest(rec);
+}
+
+void
+Server::recordRequestMetrics(const AccessRecord &rec)
+{
+    auto put = [this](const std::string &name, double us) {
+        sess.histograms().record(
+            name, static_cast<long long>(std::llround(us)));
+    };
+    if (!rec.admitted) {
+        // Control ops, protocol rejects, drain refusals: counters
+        // already classify those. Only the shed path earns its own
+        // latency histogram — the cost of saying no is the signal
+        // admission control is judged by.
+        if (rec.shed)
+            put("serve.latency.shed", rec.totalUs);
+        return;
+    }
+    put("serve.latency.total", rec.totalUs);
+    put("serve.latency.total." + rec.outcome, rec.totalUs);
+    if (rec.outcome == "ok" && !rec.cached.empty())
+        put("serve.latency.total.ok." + rec.cached, rec.totalUs);
+    put("serve.latency.queue", rec.queueUs);
+    put("serve.latency.parse", rec.parseUs);
+    put("serve.latency.cache", rec.cacheUs);
+    put("serve.latency.compile", rec.compileUs);
+    put("serve.latency.simulate", rec.simulateUs);
+    put("serve.latency.serialize", rec.serializeUs);
+    put("serve.latency.write", rec.writeUs);
+}
+
+void
+Server::logAccess(const AccessRecord &rec)
+{
+    if (!accessLog)
+        return;
+    std::ostringstream os;
+    json::Writer w(os);
+    w.beginObject(json::Writer::Block::Inline);
+    w.field("ts_us", rec.admitUs);
+    if (rec.hasId)
+        w.field("id", rec.id);
+    w.field("op", rec.op);
+    w.field("outcome", rec.outcome);
+    w.field("cached", rec.cached);
+    w.field("shed", rec.shed);
+    w.field("degraded", rec.degraded);
+    w.field("timeout", rec.timedOut);
+    w.key("timing_us").beginObject(json::Writer::Block::Inline);
+    w.field("total", rec.totalUs);
+    w.field("queue", rec.queueUs);
+    w.field("parse", rec.parseUs);
+    w.field("cache", rec.cacheUs);
+    w.field("compile", rec.compileUs);
+    w.field("simulate", rec.simulateUs);
+    w.field("serialize", rec.serializeUs);
+    w.field("write", rec.writeUs);
+    w.endObject();
+    w.endObject();
+    std::lock_guard<std::mutex> lock(accessLogMu);
+    if (accessLog) {
+        *accessLog << os.str() << '\n';
+        accessLog->flush();
+    }
+}
+
+void
+Server::maybeDumpSlowRequest(const AccessRecord &rec)
+{
+    if (opts.slowRequestMs <= 0 || !rec.admitted)
+        return;
+    if (rec.totalUs < opts.slowRequestMs * 1000.0)
+        return;
+    sess.counters().add("serve.slow_requests");
+
+    std::ostringstream os;
+    json::Writer w(os);
+    w.beginObject(json::Writer::Block::Inline);
+    w.field("event", "slow_request");
+    if (rec.hasId)
+        w.field("id", rec.id);
+    w.field("outcome", rec.outcome);
+    w.field("cached", rec.cached);
+    w.field("threshold_ms", opts.slowRequestMs);
+    w.field("total_us", rec.totalUs);
+    // The phase breakdown is always available (it is the request's
+    // span subtree when the daemon runs counters-only) ...
+    w.key("phases").beginArray(json::Writer::Block::Inline);
+    const struct
+    {
+        const char *name;
+        double durUs;
+    } phases[] = {
+        {"queue", rec.queueUs},         {"parse", rec.parseUs},
+        {"cache", rec.cacheUs},         {"compile", rec.compileUs},
+        {"simulate", rec.simulateUs},   {"serialize", rec.serializeUs},
+        {"write", rec.writeUs},
+    };
+    for (const auto &p : phases) {
+        w.beginObject(json::Writer::Block::Inline);
+        w.field("name", p.name);
+        w.field("dur_us", p.durUs);
+        w.endObject();
+    }
+    w.endArray();
+    // ... and with traceEventCapacity > 0 the retained span events of
+    // this worker thread inside the request window give the full
+    // subtree (compiler passes, simulator stages), capped so one
+    // pathological request cannot flood stderr.
+    w.key("spans").beginArray(json::Writer::Block::Inline);
+    if (sess.eventCount() > 0) {
+        int tid = TraceSession::threadId();
+        double endUs = rec.admitUs + rec.totalUs;
+        std::size_t emitted = 0;
+        for (const TraceEvent &e : sess.events()) {
+            if (e.tid != tid ||
+                e.phase != TraceEvent::Phase::Complete)
+                continue;
+            if (e.tsUs < rec.admitUs || e.tsUs + e.durUs > endUs)
+                continue;
+            if (++emitted > 128)
+                break;
+            w.beginObject(json::Writer::Block::Inline);
+            w.field("name", e.name);
+            w.field("ts_us", e.tsUs);
+            w.field("dur_us", e.durUs);
+            w.endObject();
+        }
+    }
+    w.endArray();
+    w.endObject();
+
+    std::lock_guard<std::mutex> lock(slowLogMu);
+    std::cerr << os.str() << "\n";
 }
 
 // ---------------------------------------------------------------------

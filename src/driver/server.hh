@@ -22,8 +22,9 @@
  *    "max_errors":20, "input":[...], "max_cycles":200000000,
  *    "fidelity":"fast"}
  *   {"id":3, "op":"stats"}
- *   {"id":4, "op":"drain"}
- *   {"id":5, "op":"shutdown"}
+ *   {"id":4, "op":"metrics"}
+ *   {"id":5, "op":"drain"}
+ *   {"id":6, "op":"shutdown"}
  *
  * Only "op" and (for compile) "source" are required; the other
  * compile fields default to the values shown. Success responses:
@@ -98,12 +99,36 @@
  * turned into a structured error response for that client only; the
  * accept loop, the other connections, and the caches never see it.
  *
- * ## Health
+ * ## Observability (DESIGN.md §15)
  *
- * The "stats" op returns the live dsp-stats-v1 counters (cache
- * hits/misses/evictions, inflight, degradations, timeouts) from the
- * server's ambient TraceSession, which runs in counters-only mode so
- * a long-lived process does not accumulate an unbounded span log.
+ * The "stats" op returns the live dsp-stats-v2 document — counters
+ * (cache hits/misses/evictions, inflight, degradations, timeouts),
+ * gauges (queue depth, pool backlog, drain state, cache size —
+ * sampled from the telemetry GaugeRegistry, the one source all
+ * exposition surfaces render from), and latency histograms with
+ * p50/p90/p99/p99.9 — from the server's ambient TraceSession, which
+ * runs in counters-only span mode by default so a long-lived process
+ * does not accumulate an unbounded event log (ServeOptions::
+ * traceEventCapacity opts spans back in for flame capture). The
+ * "metrics" op returns the same data as Prometheus text exposition
+ * (in the reply's "metrics" string field); metricsOutPath writes that
+ * text to a file when the server stops. The "drain" reply embeds a
+ * final dsp-stats-v2 snapshot so operators capture end-of-life
+ * metrics without racing shutdown.
+ *
+ * Every request carries a timing breakdown (admission → queue wait →
+ * cache tier → compile → simulate → serialize → write) recorded into
+ * named histograms: "serve.latency.total" plus per-outcome
+ * (".ok"/".error"/".timeout") and per-cache-tier splits
+ * (".ok.disk"/".ok.memory"/".ok.none"), per-phase histograms
+ * ("serve.latency.queue", ".compile", ...), and "serve.latency.shed"
+ * for the admission-reject path. With accessLogPath set, every
+ * request that received a response appends one strict-JSON NDJSON
+ * line (id, op, outcome, cache tier, shed/degraded/timeout flags,
+ * per-phase timing). With slowRequestMs > 0, any admitted request
+ * slower than the threshold dumps its span subtree as one structured
+ * JSON event line on stderr, so a tail-latency outlier is diagnosable
+ * from a single artifact.
  */
 
 #ifndef DSP_DRIVER_SERVER_HH
@@ -113,6 +138,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -172,6 +198,24 @@ struct ServeOptions
     /** How long `dspcc --serve` waits for a SIGTERM-initiated drain
      *  to complete before stopping anyway. */
     double drainDeadlineSeconds = 10.0;
+    /** NDJSON access log: one strict-JSON line per answered request
+     *  (id, op, outcome, cache tier, flags, timing breakdown),
+     *  appended. Empty disables. Opened at start() so a bad path
+     *  fails before the socket is owned. */
+    std::string accessLogPath;
+    /** Prometheus text exposition written when the server stops
+     *  ("-" = stdout). Empty disables. The live equivalent is the
+     *  "metrics" op. */
+    std::string metricsOutPath;
+    /** Dump the span subtree of any admitted request slower than
+     *  this (end-to-end, queue wait included) as one structured JSON
+     *  event line on stderr. 0 disables. */
+    double slowRequestMs = 0;
+    /** TraceSession event-log capacity. 0 (default) keeps the daemon
+     *  in counters/gauges/histograms-only mode; nonzero retains that
+     *  many span events so `dspcc --serve --trace-out=...` can render
+     *  per-request flames in Perfetto. */
+    std::size_t traceEventCapacity = 0;
 };
 
 class Server
@@ -238,6 +282,10 @@ class Server
 
   private:
     struct Conn;
+    /** One answered request's observable outcome: identity, outcome
+     *  class, cache tier, flags, and the per-phase timing breakdown
+     *  (defined in server.cc). */
+    struct AccessRecord;
 
     void acceptLoop();
     void readerLoop(std::shared_ptr<Conn> conn, std::uint64_t reader_id);
@@ -247,12 +295,26 @@ class Server
     void dispatchLine(const std::shared_ptr<Conn> &conn,
                       const std::string &line);
     bool handleControl(const std::shared_ptr<Conn> &conn,
-                       const std::string &op, bool has_id, long long id);
+                       const std::string &op, bool has_id, long long id,
+                       double admit_us);
     void handleCompile(const std::shared_ptr<Conn> &conn,
-                       const std::string &line, JobContext &ctx);
+                       const std::string &line, JobContext &ctx,
+                       double admit_us);
     /** Account one admitted request as finished; fires the shutdown
      *  latch when a drain is waiting on the last one. */
     void finishRequest(Conn &conn);
+
+    /** Time the response write, then fold the finished request into
+     *  every observability surface: latency histograms, the access
+     *  log, and (past the threshold) the slow-request dump. */
+    void respond(const std::shared_ptr<Conn> &conn, AccessRecord &rec,
+                 const std::string &response_line);
+    void recordRequestMetrics(const AccessRecord &rec);
+    void logAccess(const AccessRecord &rec);
+    void maybeDumpSlowRequest(const AccessRecord &rec);
+    /** The dsp-stats-v2 "stats" object (shared fields + the legacy
+     *  v1 flat gauge fields), emitted into an open writer. */
+    void writeStatsReplyObject(json::Writer &w);
 
     ServeOptions opts;
     TraceSession sess;
@@ -260,6 +322,13 @@ class Server
     CompileCache memCache;
     std::unique_ptr<DiskCache> disk;
     std::unique_ptr<JobPool> pool;
+
+    /** Access-log sink (open for the server's lifetime) and the
+     *  mutex serializing its line appends. */
+    std::unique_ptr<std::ofstream> accessLog;
+    std::mutex accessLogMu;
+    /** Serializes slow-request dumps on stderr. */
+    std::mutex slowLogMu;
 
     int listenFd = -1;
     std::thread acceptThread;

@@ -1,0 +1,221 @@
+#include "support/histogram.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace dsp
+{
+
+// ---------------------------------------------------------------------
+// Slot geometry
+//
+// Values in [0, kSubBucketCount) live in the linear range: slot ==
+// value, width 1 (quantiles there are exact). Above it, each
+// power-of-2 range [2^(kSubBucketBits-1+b), 2^(kSubBucketBits+b))
+// for b >= 1 contributes kSubBucketHalf slots of width 2^b: the top
+// half of the sub-bucket space, since the bottom half of any range
+// aliases the range below it (HdrHistogram's layout).
+// ---------------------------------------------------------------------
+
+std::size_t
+LatencyHistogram::slotFor(std::int64_t value)
+{
+    std::int64_t v = std::clamp<std::int64_t>(value, 0, kMaxValue);
+    if (v < kSubBucketCount)
+        return static_cast<std::size_t>(v);
+    int bucket = std::bit_width(static_cast<std::uint64_t>(v)) -
+                 kSubBucketBits; // >= 1 here
+    std::int64_t sub = v >> bucket; // in [kSubBucketHalf, kSubBucketCount)
+    return static_cast<std::size_t>(
+        kSubBucketCount + (bucket - 1) * kSubBucketHalf +
+        (sub - kSubBucketHalf));
+}
+
+std::int64_t
+LatencyHistogram::slotLower(std::size_t slot)
+{
+    if (slot < static_cast<std::size_t>(kSubBucketCount))
+        return static_cast<std::int64_t>(slot);
+    std::size_t idx = slot - static_cast<std::size_t>(kSubBucketCount);
+    int bucket = static_cast<int>(idx / kSubBucketHalf) + 1;
+    std::int64_t sub = static_cast<std::int64_t>(idx % kSubBucketHalf) +
+                       kSubBucketHalf;
+    return sub << bucket;
+}
+
+std::int64_t
+LatencyHistogram::slotUpper(std::size_t slot)
+{
+    if (slot < static_cast<std::size_t>(kSubBucketCount))
+        return static_cast<std::int64_t>(slot);
+    std::size_t idx = slot - static_cast<std::size_t>(kSubBucketCount);
+    int bucket = static_cast<int>(idx / kSubBucketHalf) + 1;
+    std::int64_t sub = static_cast<std::int64_t>(idx % kSubBucketHalf) +
+                       kSubBucketHalf;
+    return ((sub + 1) << bucket) - 1;
+}
+
+void
+LatencyHistogram::record(std::int64_t value)
+{
+    std::int64_t v = std::clamp<std::int64_t>(value, 0, kMaxValue);
+    slots[slotFor(v)].fetch_add(1, std::memory_order_relaxed);
+    totalCount.fetch_add(1, std::memory_order_relaxed);
+    totalSum.fetch_add(v, std::memory_order_relaxed);
+    // Exact min/max via CAS: the extremes are what tail-latency
+    // reports quote, so they must not be bucket-rounded.
+    std::int64_t seen = minValue.load(std::memory_order_relaxed);
+    while (v < seen &&
+           !minValue.compare_exchange_weak(seen, v,
+                                           std::memory_order_relaxed)) {
+    }
+    seen = maxValue.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !maxValue.compare_exchange_weak(seen, v,
+                                           std::memory_order_relaxed)) {
+    }
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    for (std::size_t i = 0; i < kSlotCount; ++i) {
+        std::uint64_t n = other.slots[i].load(std::memory_order_relaxed);
+        if (n)
+            slots[i].fetch_add(n, std::memory_order_relaxed);
+    }
+    totalCount.fetch_add(
+        other.totalCount.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    totalSum.fetch_add(other.totalSum.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    std::int64_t v = other.minValue.load(std::memory_order_relaxed);
+    std::int64_t seen = minValue.load(std::memory_order_relaxed);
+    while (v < seen &&
+           !minValue.compare_exchange_weak(seen, v,
+                                           std::memory_order_relaxed)) {
+    }
+    v = other.maxValue.load(std::memory_order_relaxed);
+    seen = maxValue.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !maxValue.compare_exchange_weak(seen, v,
+                                           std::memory_order_relaxed)) {
+    }
+}
+
+std::int64_t
+LatencyHistogram::count() const
+{
+    return totalCount.load(std::memory_order_relaxed);
+}
+
+std::int64_t
+LatencyHistogram::min() const
+{
+    std::int64_t v = minValue.load(std::memory_order_relaxed);
+    return v > kMaxValue ? 0 : v;
+}
+
+std::int64_t
+LatencyHistogram::max() const
+{
+    std::int64_t v = maxValue.load(std::memory_order_relaxed);
+    return v < 0 ? 0 : v;
+}
+
+std::int64_t
+LatencyHistogram::sum() const
+{
+    return totalSum.load(std::memory_order_relaxed);
+}
+
+double
+LatencyHistogram::mean() const
+{
+    std::int64_t n = count();
+    return n > 0 ? static_cast<double>(sum()) / static_cast<double>(n)
+                 : 0.0;
+}
+
+std::int64_t
+LatencyHistogram::quantile(double q) const
+{
+    std::int64_t n = count();
+    if (n <= 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    auto target = static_cast<std::int64_t>(
+        std::ceil(q * static_cast<double>(n)));
+    target = std::clamp<std::int64_t>(target, 1, n);
+    // The extremes are tracked exactly — report them exactly, so
+    // p100 is the real max (and p0 the real min), not a bucket
+    // midpoint.
+    if (target == n)
+        return max();
+    if (target == 1)
+        return min();
+    std::int64_t cumulative = 0;
+    for (std::size_t i = 0; i < kSlotCount; ++i) {
+        cumulative += static_cast<std::int64_t>(
+            slots[i].load(std::memory_order_relaxed));
+        if (cumulative >= target) {
+            std::int64_t lo = slotLower(i);
+            std::int64_t hi = slotUpper(i);
+            std::int64_t mid = lo + (hi - lo) / 2;
+            return std::clamp(mid, min(), max());
+        }
+    }
+    return max(); // racing recorders moved count; the tail is the tail
+}
+
+LatencyHistogram::Summary
+LatencyHistogram::summary() const
+{
+    Summary s;
+    s.count = count();
+    s.min = min();
+    s.max = max();
+    s.sum = sum();
+    s.mean = mean();
+    s.p50 = quantile(0.50);
+    s.p90 = quantile(0.90);
+    s.p99 = quantile(0.99);
+    s.p999 = quantile(0.999);
+    return s;
+}
+
+// ---------------------------------------------------------------------
+// HistogramRegistry
+// ---------------------------------------------------------------------
+
+LatencyHistogram &
+HistogramRegistry::get(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    std::unique_ptr<LatencyHistogram> &slot = histograms[name];
+    if (!slot)
+        slot = std::make_unique<LatencyHistogram>();
+    return *slot;
+}
+
+const LatencyHistogram *
+HistogramRegistry::find(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = histograms.find(name);
+    return it == histograms.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::pair<std::string, const LatencyHistogram *>>
+HistogramRegistry::sorted() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    std::vector<std::pair<std::string, const LatencyHistogram *>> out;
+    out.reserve(histograms.size());
+    for (const auto &[name, hist] : histograms)
+        out.emplace_back(name, hist.get());
+    return out; // std::map iteration is already name-sorted
+}
+
+} // namespace dsp

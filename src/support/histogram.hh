@@ -1,0 +1,180 @@
+/**
+ * @file
+ * A thread-safe, fixed-memory latency histogram with exact quantile
+ * extraction, in the HdrHistogram family: power-of-2 ranges each
+ * subdivided into linear sub-buckets, so relative error is bounded by
+ * the sub-bucket resolution (here 1/64 ≈ 1.6%) at every magnitude
+ * while memory stays a few KB regardless of how many samples land.
+ *
+ * Built for the serving stack (DESIGN.md §15): `serve_load` needed
+ * mergeable client-side percentiles without keeping every sample, and
+ * the compile server needed p50/p90/p99/p99.9 per latency stage that
+ * a long-lived daemon can afford to keep forever. Both shapes reduce
+ * to the same structure:
+ *
+ *  - record() is wait-free: one slot computation (bit_width + shifts)
+ *    and a handful of relaxed atomic RMWs. Any number of threads
+ *    record concurrently; no locks, no allocation.
+ *  - merge() folds another histogram in slot-wise, so per-thread
+ *    histograms combine into one without a shared hot cacheline.
+ *  - quantile() walks the (snapshotted) slots: exact for values below
+ *    kSubBucketCount (sub-bucket width 1 there), within one
+ *    sub-bucket everywhere else.
+ *
+ * Values are dimensionless int64s; the serving stack records
+ * microseconds. Negative values clamp to 0 and values above
+ * kMaxValue clamp into the top slot (both still count), so a wild
+ * input can never index out of range or silently vanish.
+ *
+ * HistogramRegistry is the named-collection layer, registered on
+ * TraceSession next to CounterRegistry (support/telemetry.hh). The
+ * ambient-off contract matches counters: with no session installed,
+ * recording into a named histogram is a single relaxed atomic load
+ * and an early return (pinned by tests/obs/trace_overhead_test.cc).
+ */
+
+#ifndef DSP_SUPPORT_HISTOGRAM_HH
+#define DSP_SUPPORT_HISTOGRAM_HH
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dsp
+{
+
+class LatencyHistogram
+{
+  public:
+    /** Sub-bucket resolution: 2^6 = 64 linear sub-buckets per
+     *  power-of-2 range, bounding relative quantile error at 1/64. */
+    static constexpr int kSubBucketBits = 6;
+    static constexpr std::int64_t kSubBucketCount = 1 << kSubBucketBits;
+    static constexpr std::int64_t kSubBucketHalf = kSubBucketCount / 2;
+    /** Power-of-2 ranges above the linear range. Range b >= 1 spans
+     *  [2^(kSubBucketBits-1+b), 2^(kSubBucketBits+b)) with
+     *  kSubBucketHalf slots, so b = 62-kSubBucketBits ends exactly at
+     *  kMaxValue: every slot is reachable and the slots tile
+     *  [0, kMaxValue] with no gap (pinned by the unit tests). */
+    static constexpr int kBucketCount = 62 - kSubBucketBits;
+    /** Largest representable value; inputs above it clamp here. */
+    static constexpr std::int64_t kMaxValue =
+        (std::int64_t(1) << 62) - 1;
+    static constexpr std::size_t kSlotCount =
+        static_cast<std::size_t>(kSubBucketCount +
+                                 kBucketCount * kSubBucketHalf);
+
+    LatencyHistogram() = default;
+
+    /** Histograms are identity objects (atomics); to duplicate one,
+     *  merge() it into a fresh instance. */
+    LatencyHistogram(const LatencyHistogram &) = delete;
+    LatencyHistogram &operator=(const LatencyHistogram &) = delete;
+
+    /** Record one sample. Wait-free and safe from any thread;
+     *  negatives clamp to 0, values above kMaxValue clamp to it. */
+    void record(std::int64_t value);
+
+    /** Fold @p other into this histogram (slot-wise add, min/max/sum
+     *  union). Safe against concurrent record() on either side;
+     *  concurrent samples land in one side or the other. */
+    void merge(const LatencyHistogram &other);
+
+    /** Samples recorded so far. */
+    std::int64_t count() const;
+    /** Smallest recorded value (0 when empty). Exact, not bucketed. */
+    std::int64_t min() const;
+    /** Largest recorded value (0 when empty). Exact, not bucketed. */
+    std::int64_t max() const;
+    /** Sum of all recorded values (post-clamp). */
+    std::int64_t sum() const;
+    /** sum()/count(), 0 when empty. */
+    double mean() const;
+
+    /**
+     * The value at quantile @p q in [0,1]: the smallest slot whose
+     * cumulative count reaches ceil(q*count). Returns the slot's
+     * representative (midpoint) value clamped into [min(), max()],
+     * which makes small-valued distributions exact: below
+     * kSubBucketCount a slot holds exactly one value. The extreme
+     * targets are exact at every magnitude: q small enough to target
+     * the first sample reports min(), q == 1 reports max(). 0 when
+     * empty.
+     */
+    std::int64_t quantile(double q) const;
+
+    /** One consistent-enough read of everything the exporters need
+     *  (each field is atomically read; the set is not a snapshot
+     *  against concurrent recording — fine for monitoring). */
+    struct Summary
+    {
+        std::int64_t count = 0;
+        std::int64_t min = 0;
+        std::int64_t max = 0;
+        std::int64_t sum = 0;
+        double mean = 0.0;
+        std::int64_t p50 = 0;
+        std::int64_t p90 = 0;
+        std::int64_t p99 = 0;
+        std::int64_t p999 = 0;
+    };
+    Summary summary() const;
+
+    /** The slot index @p value records into (exposed for the bucket-
+     *  boundary unit tests; clamping already applied). */
+    static std::size_t slotFor(std::int64_t value);
+    /** Smallest / largest value mapping to @p slot. */
+    static std::int64_t slotLower(std::size_t slot);
+    static std::int64_t slotUpper(std::size_t slot);
+
+  private:
+    std::array<std::atomic<std::uint64_t>, kSlotCount> slots{};
+    std::atomic<std::int64_t> totalCount{0};
+    std::atomic<std::int64_t> totalSum{0};
+    std::atomic<std::int64_t> minValue{kMaxValue + 1};
+    std::atomic<std::int64_t> maxValue{-1};
+};
+
+/**
+ * Named histograms, create-on-first-record, alive for the registry's
+ * lifetime (entries are never removed, so references returned by
+ * get() stay valid — the same stability contract CounterRegistry
+ * gives its names). The lock guards only the name map; recording
+ * into a LatencyHistogram obtained from get() is lock-free.
+ */
+class HistogramRegistry
+{
+  public:
+    /** The histogram named @p name, created empty on first use. */
+    LatencyHistogram &get(const std::string &name);
+
+    /** Lookup without creating; nullptr when absent. */
+    const LatencyHistogram *find(const std::string &name) const;
+
+    /** record() into get(name) — the one-liner exporters and
+     *  instrumentation sites use. */
+    void
+    record(const std::string &name, std::int64_t value)
+    {
+        get(name).record(value);
+    }
+
+    /** Name-sorted view of every histogram (exporters). */
+    std::vector<std::pair<std::string, const LatencyHistogram *>>
+    sorted() const;
+
+  private:
+    mutable std::mutex mtx;
+    std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms;
+};
+
+} // namespace dsp
+
+#endif // DSP_SUPPORT_HISTOGRAM_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <fstream>
 #include <ostream>
+#include <sstream>
 
 #include "support/diagnostics.hh"
 #include "support/json.hh"
@@ -92,6 +93,52 @@ CounterRegistry::snapshot() const
 {
     std::lock_guard<std::mutex> lock(mtx);
     return counters;
+}
+
+// ---------------------------------------------------------------------
+// GaugeRegistry
+// ---------------------------------------------------------------------
+
+void
+GaugeRegistry::provide(const std::string &name, Provider fn)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    providers[name] = std::move(fn);
+}
+
+void
+GaugeRegistry::set(const std::string &name, long long value)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    stored[name] = value;
+}
+
+void
+GaugeRegistry::remove(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    providers.erase(name);
+    stored.erase(name);
+}
+
+std::map<std::string, long long>
+GaugeRegistry::sample() const
+{
+    // Copy the providers out, then evaluate without the lock: a
+    // provider that (transitively) registers or stores a gauge must
+    // not deadlock the sample.
+    std::map<std::string, long long> out;
+    std::vector<std::pair<std::string, Provider>> live;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        out = stored;
+        live.reserve(providers.size());
+        for (const auto &[name, fn] : providers)
+            live.emplace_back(name, fn);
+    }
+    for (const auto &[name, fn] : live)
+        out[name] = fn();
+    return out;
 }
 
 // ---------------------------------------------------------------------
@@ -207,7 +254,8 @@ TraceSession::writeChromeTraceFile(const std::string &path) const
 }
 
 void
-TraceSession::writeStats(std::ostream &os) const
+TraceSession::statsFields(json::Writer &w,
+                          json::Writer::Block style) const
 {
     /** Aggregate Complete events by span name. */
     struct SpanAgg
@@ -226,17 +274,16 @@ TraceSession::writeStats(std::ostream &os) const
         agg.maxUs = std::max(agg.maxUs, e.durUs);
     }
 
-    json::Writer w(os);
-    w.beginObject();
-    w.field("schema", "dsp-stats-v1");
+    w.field("schema", "dsp-stats-v2");
     // Counters are a flat sorted object (std::map iteration order),
     // spans aggregate by name, sorted — the writer preserves exactly
-    // that insertion order.
-    w.key("counters").beginObject();
+    // that insertion order. Gauges and histograms likewise arrive
+    // name-sorted from their registries.
+    w.key("counters").beginObject(style);
     for (const auto &[name, value] : registry.snapshot())
         w.field(name, value);
     w.endObject();
-    w.key("spans").beginArray();
+    w.key("spans").beginArray(style);
     for (const auto &[name, agg] : spans) {
         w.beginObject(json::Writer::Block::Inline);
         w.field("name", name);
@@ -246,6 +293,34 @@ TraceSession::writeStats(std::ostream &os) const
         w.endObject();
     }
     w.endArray();
+    w.key("gauges").beginObject(style);
+    for (const auto &[name, value] : gaugeRegistry.sample())
+        w.field(name, value);
+    w.endObject();
+    w.key("histograms").beginArray(style);
+    for (const auto &[name, hist] : histogramRegistry.sorted()) {
+        LatencyHistogram::Summary s = hist->summary();
+        w.beginObject(json::Writer::Block::Inline);
+        w.field("name", name);
+        w.field("count", static_cast<long long>(s.count));
+        w.field("min_us", static_cast<long long>(s.min));
+        w.field("max_us", static_cast<long long>(s.max));
+        w.field("mean_us", s.mean);
+        w.field("p50_us", static_cast<long long>(s.p50));
+        w.field("p90_us", static_cast<long long>(s.p90));
+        w.field("p99_us", static_cast<long long>(s.p99));
+        w.field("p999_us", static_cast<long long>(s.p999));
+        w.endObject();
+    }
+    w.endArray();
+}
+
+void
+TraceSession::writeStats(std::ostream &os) const
+{
+    json::Writer w(os);
+    w.beginObject();
+    statsFields(w, json::Writer::Block::Indented);
     w.endObject();
     os << '\n';
 }
@@ -257,6 +332,79 @@ TraceSession::writeStatsFile(const std::string &path) const
     if (!os)
         fatal("cannot write stats: ", path);
     writeStats(os);
+}
+
+namespace
+{
+
+/** Map a dotted metric name into the Prometheus name grammar
+ *  ([a-zA-Z_:][a-zA-Z0-9_:]*) under the "dsp_" namespace. */
+std::string
+promName(const std::string &name)
+{
+    std::string out = "dsp_";
+    for (char c : name) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+/** Microseconds → seconds, formatted to survive any scraper (plain
+ *  decimal, never inf/nan — inputs are finite by construction). */
+std::string
+promSeconds(double us)
+{
+    std::ostringstream os;
+    os << us / 1e6;
+    return os.str();
+}
+
+} // namespace
+
+void
+TraceSession::writePrometheus(std::ostream &os) const
+{
+    for (const auto &[name, value] : registry.snapshot()) {
+        std::string n = promName(name);
+        os << "# TYPE " << n << " counter\n"
+           << n << " " << value << "\n";
+    }
+    for (const auto &[name, value] : gaugeRegistry.sample()) {
+        std::string n = promName(name);
+        os << "# TYPE " << n << " gauge\n"
+           << n << " " << value << "\n";
+    }
+    // Histograms export as summaries: precomputed quantiles, not
+    // cumulative buckets — the quantiles are what the registry
+    // extracts exactly, and scrape-side aggregation across processes
+    // is not a shape this single-process daemon needs.
+    for (const auto &[name, hist] : histogramRegistry.sorted()) {
+        LatencyHistogram::Summary s = hist->summary();
+        std::string n = promName(name) + "_seconds";
+        os << "# TYPE " << n << " summary\n";
+        os << n << "{quantile=\"0.5\"} "
+           << promSeconds(static_cast<double>(s.p50)) << "\n";
+        os << n << "{quantile=\"0.9\"} "
+           << promSeconds(static_cast<double>(s.p90)) << "\n";
+        os << n << "{quantile=\"0.99\"} "
+           << promSeconds(static_cast<double>(s.p99)) << "\n";
+        os << n << "{quantile=\"0.999\"} "
+           << promSeconds(static_cast<double>(s.p999)) << "\n";
+        os << n << "_sum " << promSeconds(static_cast<double>(s.sum))
+           << "\n";
+        os << n << "_count " << s.count << "\n";
+    }
+}
+
+void
+TraceSession::writePrometheusFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot write metrics: ", path);
+    writePrometheus(os);
 }
 
 // ---------------------------------------------------------------------

@@ -20,6 +20,14 @@
  * Instrumented sites therefore never thread a session handle through
  * their signatures, and JobPool workers all record into the same
  * session concurrently.
+ *
+ * Three value shapes live on a session (DESIGN.md §15):
+ * CounterRegistry for monotonic counts, GaugeRegistry for
+ * point-in-time levels (queue depth, cache size — sampled at export
+ * time from registered providers), and HistogramRegistry
+ * (support/histogram.hh) for latency distributions with quantiles.
+ * All three export through the dsp-stats-v2 document and the
+ * Prometheus text exposition (writePrometheus).
  */
 
 #ifndef DSP_SUPPORT_TELEMETRY_HH
@@ -29,11 +37,15 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "support/histogram.hh"
+#include "support/json.hh"
 
 namespace dsp
 {
@@ -117,8 +129,48 @@ class CounterRegistry
 };
 
 /**
- * One tracing session: an epoch, an event log, and a counter registry.
- * All members are safe to call from any number of threads.
+ * Point-in-time levels, by dotted name. Two flavors: set() stores a
+ * value directly (exporters read the last write), provide() registers
+ * a callback sampled at export time — the natural shape for gauges
+ * that already live somewhere (a pool's queue depth, a cache's size),
+ * so "stats", "metrics", and --stats-out all render the same number
+ * from the same source instead of each hand-copying fields.
+ *
+ * Providers must be callable from any thread, must not throw, and
+ * must not touch the registry they are registered in (sample() calls
+ * them without the registry lock held, so re-entrant provide()/set()
+ * is safe but a provider deleting itself is not). A provider wins
+ * over a stored value of the same name. Whoever registers a provider
+ * owns its lifetime: remove() it before the captured state dies.
+ */
+class GaugeRegistry
+{
+  public:
+    using Provider = std::function<long long()>;
+
+    /** Register (or replace) the live provider for @p name. */
+    void provide(const std::string &name, Provider fn);
+
+    /** Store @p value for @p name (shadowed by a provider). */
+    void set(const std::string &name, long long value);
+
+    /** Drop the provider and/or stored value for @p name. */
+    void remove(const std::string &name);
+
+    /** Evaluate every gauge: stored values overlaid by providers,
+     *  name-sorted. */
+    std::map<std::string, long long> sample() const;
+
+  private:
+    mutable std::mutex mtx;
+    std::map<std::string, Provider> providers;
+    std::map<std::string, long long> stored;
+};
+
+/**
+ * One tracing session: an epoch, an event log, and the counter,
+ * gauge, and histogram registries. All members are safe to call from
+ * any number of threads.
  */
 class TraceSession
 {
@@ -127,6 +179,15 @@ class TraceSession
 
     CounterRegistry &counters() { return registry; }
     const CounterRegistry &counters() const { return registry; }
+
+    GaugeRegistry &gauges() { return gaugeRegistry; }
+    const GaugeRegistry &gauges() const { return gaugeRegistry; }
+
+    HistogramRegistry &histograms() { return histogramRegistry; }
+    const HistogramRegistry &histograms() const
+    {
+        return histogramRegistry;
+    }
 
     /** Microseconds elapsed since the session epoch. */
     double nowUs() const;
@@ -164,22 +225,53 @@ class TraceSession
     void writeChromeTraceFile(const std::string &path) const;
 
     /**
-     * The stable stats document (schema "dsp-stats-v1"):
+     * The stable stats document (schema "dsp-stats-v2"):
      *
-     *   {"schema": "dsp-stats-v1",
+     *   {"schema": "dsp-stats-v2",
      *    "counters": {"compile.cache.hit": 3, ...},
      *    "spans": [{"name": "opt.dce", "count": 12,
-     *               "total_us": 41.5, "max_us": 9.1}, ...]}
+     *               "total_us": 41.5, "max_us": 9.1}, ...],
+     *    "gauges": {"pending_requests": 2, ...},
+     *    "histograms": [{"name": "serve.latency.total", "count": 9,
+     *                    "min_us": 80, "max_us": 1900,
+     *                    "mean_us": 410.2, "p50_us": 300,
+     *                    "p90_us": 900, "p99_us": 1800,
+     *                    "p999_us": 1900}, ...]}
      *
-     * Stability guarantees (see DESIGN.md §10): the three top-level
-     * keys never change meaning; counters is a flat object with
-     * dotted keys, sorted; spans aggregates Complete events by name,
-     * sorted by name. New keys may be added; existing ones are never
-     * renamed or retyped.
+     * Stability guarantees (see DESIGN.md §10, §15): v2 is a strict
+     * superset of v1 — "counters" and "spans" keep their v1 meaning
+     * byte for byte (flat sorted counters; spans aggregated by name,
+     * sorted), and v2 adds the sorted "gauges" object (sampled at
+     * write time) and the name-sorted "histograms" quantile array.
+     * New keys may be added; existing ones are never renamed or
+     * retyped.
      */
     void writeStats(std::ostream &os) const;
     /** writeStats to @p path; throws UserError if unwritable. */
     void writeStatsFile(const std::string &path) const;
+
+    /**
+     * Emit the dsp-stats-v2 members (schema/counters/spans/gauges/
+     * histograms) into an object @p w has already opened, in @p style
+     * — the shared renderer behind writeStats, the serve protocol's
+     * "stats" op, and the drain reply's final snapshot, so every
+     * exposition surface agrees on one source of truth. The caller
+     * opens and closes the object (and may append extra members).
+     */
+    void statsFields(json::Writer &w,
+                     json::Writer::Block style) const;
+
+    /**
+     * Prometheus text exposition (version 0.0.4): counters as
+     * `counter`, gauges as `gauge`, histograms as `summary` with
+     * quantile labels (values converted from microseconds to
+     * seconds). Dotted names are prefixed "dsp_" with separators
+     * mapped to '_' ("serve.latency.total" →
+     * "dsp_serve_latency_total").
+     */
+    void writePrometheus(std::ostream &os) const;
+    /** writePrometheus to @p path; throws UserError if unwritable. */
+    void writePrometheusFile(const std::string &path) const;
 
     /** The small sequential id record()/Span use for this thread. */
     static int threadId();
@@ -190,6 +282,8 @@ class TraceSession
     std::vector<TraceEvent> log;
     std::size_t eventCapacity = SIZE_MAX; ///< guarded by mtx
     CounterRegistry registry;
+    GaugeRegistry gaugeRegistry;
+    HistogramRegistry histogramRegistry;
 };
 
 /** The ambient session, or nullptr when tracing is off. */
@@ -261,6 +355,17 @@ bumpCounter(const char *name, long delta = 1)
 /** Record an ambient instant event; no-op when tracing is off. */
 void traceInstant(const char *name, const char *category,
                   std::vector<TraceArg> args = {});
+
+/** Record @p us into ambient histogram @p name; no-op when tracing
+ *  is off (one relaxed atomic load, no string construction — the
+ *  same off-path contract as bumpCounter, pinned by
+ *  tests/obs/trace_overhead_test.cc). */
+inline void
+recordLatencyUs(const char *name, long long us)
+{
+    if (TraceSession *s = ambientTraceSession())
+        s->histograms().record(name, us);
+}
 
 } // namespace dsp
 

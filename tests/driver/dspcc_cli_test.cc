@@ -193,7 +193,7 @@ TEST(DspccCli, TelemetryFlagsWriteParseableFiles)
     // keys.
     EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
     EXPECT_NE(trace.find("\"compile\""), std::string::npos);
-    EXPECT_NE(stats.find("\"dsp-stats-v1\""), std::string::npos);
+    EXPECT_NE(stats.find("\"dsp-stats-v2\""), std::string::npos);
 }
 
 TEST(DspccCli, ExplainPartitionExitsZero)
@@ -221,7 +221,7 @@ TEST(DspccCli, DashOutputPathMeansStdout)
     TempFile src("dspcc_cli_dash.c", kGoodProgram);
     CliResult r = runDspcc("--stats-out=- " + src.path);
     EXPECT_EQ(r.exitCode, 0) << r.stderrText;
-    EXPECT_NE(r.stdoutText.find("\"dsp-stats-v1\""), std::string::npos)
+    EXPECT_NE(r.stdoutText.find("\"dsp-stats-v2\""), std::string::npos)
         << r.stdoutText;
 
     r = runDspcc("--trace-out=- " + src.path);

@@ -2,7 +2,7 @@
  * @file
  * Telemetry-layer unit tests: spans, counters, ambient installation,
  * thread safety under JobPool concurrency, and strict validity of
- * both export formats (Chrome trace_event JSON and dsp-stats-v1).
+ * both export formats (Chrome trace_event JSON and dsp-stats-v2).
  */
 
 #include <gtest/gtest.h>
@@ -205,7 +205,7 @@ TEST(Telemetry, StatsExportAggregatesSpansByName)
 
     JsonChecker checker;
     ASSERT_TRUE(checker.parse(text)) << checker.error << "\n" << text;
-    EXPECT_NE(text.find("\"schema\": \"dsp-stats-v1\""),
+    EXPECT_NE(text.find("\"schema\": \"dsp-stats-v2\""),
               std::string::npos);
     EXPECT_NE(text.find("\"name\": \"repeated\", \"count\": 3"),
               std::string::npos)

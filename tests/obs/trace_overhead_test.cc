@@ -83,5 +83,34 @@ TEST(TraceOverhead, TracedRunStaysCloseToUntraced)
         << " — the sim fast path must not pay for telemetry";
 }
 
+TEST(TraceOverhead, HistogramOffPathIsOneRelaxedLoad)
+{
+    // recordLatencyUs with no ambient session must cost one relaxed
+    // atomic load and nothing else — the same contract bumpCounter
+    // honors. Two million calls finishing in generous wall time (well
+    // under a microsecond each even on a loaded CI box) pins that the
+    // off path never takes a lock or touches a registry.
+    constexpr long long kCalls = 2'000'000;
+    auto t0 = std::chrono::steady_clock::now();
+    for (long long i = 0; i < kCalls; ++i)
+        recordLatencyUs("serve.latency.total", i);
+    auto t1 = std::chrono::steady_clock::now();
+    double perCallNs =
+        std::chrono::duration<double, std::nano>(t1 - t0).count() /
+        static_cast<double>(kCalls);
+    std::cout << "[ overhead ] histogram off-path " << perCallNs
+              << " ns/call\n";
+    RecordProperty("histogram_off_path_ns", std::to_string(perCallNs));
+    EXPECT_LT(perCallNs, 1000.0)
+        << "the disabled histogram path must stay branch-and-return";
+
+    // And none of those calls may have leaked into a session that
+    // arrives later: telemetry off means off, not deferred.
+    TraceSession session;
+    ScopedTraceSession scope(session);
+    EXPECT_EQ(session.histograms().find("serve.latency.total"),
+              nullptr);
+}
+
 } // namespace
 } // namespace dsp

@@ -1,0 +1,377 @@
+/**
+ * @file
+ * The per-request observability surfaces of DESIGN.md §15, end to end
+ * over a real socket: the NDJSON access log (exactly one strict-JSON
+ * line per answered request, flags faithful to outcome), the
+ * dsp-stats-v2 document (gauges + latency-histogram quantiles on top
+ * of the v1 counters/spans), the "metrics" Prometheus exposition op,
+ * and the drain reply's embedded final snapshot.
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "driver/server.hh"
+#include "support/fault_injection.hh"
+
+#include "serve_util.hh"
+#include "support/json_checker.hh"
+
+using namespace dsp;
+using namespace dsp::serve_test;
+
+namespace
+{
+
+/** Read the access log back as parsed lines, strict-checking each
+ *  one (the NDJSON contract: every line alone must satisfy
+ *  RFC-8259). */
+std::vector<json::Value>
+readAccessLog(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "missing access log " << path;
+    std::vector<json::Value> rows;
+    std::string line;
+    while (std::getline(in, line)) {
+        dsp::testing::JsonChecker checker;
+        EXPECT_TRUE(checker.parse(line))
+            << "access-log line is not strict JSON: " << checker.error
+            << "\n  " << line;
+        rows.push_back(json::parse(line));
+    }
+    return rows;
+}
+
+/** The access-log rows for op == @p op. */
+std::vector<const json::Value *>
+rowsForOp(const std::vector<json::Value> &rows, const std::string &op)
+{
+    std::vector<const json::Value *> out;
+    for (const json::Value &r : rows)
+        if (r.stringAt("op") == op)
+            out.push_back(&r);
+    return out;
+}
+
+/** The "serve.latency.total" entry of a stats reply's histograms
+ *  array (nullptr when absent). */
+const json::Value *
+totalHistogram(const json::Value &statsResp)
+{
+    const json::Value *stats = statsResp.find("stats");
+    if (!stats)
+        return nullptr;
+    const json::Value *hists = stats->find("histograms");
+    if (!hists || !hists->isArray())
+        return nullptr;
+    for (const json::Value &h : hists->items)
+        if (h.stringAt("name") == "serve.latency.total")
+            return &h;
+    return nullptr;
+}
+
+} // namespace
+
+TEST(ServeAccessLog, OneStrictLinePerRequestWithMatchingIds)
+{
+    ScratchDir dir("serve-alog");
+    ServeOptions opts;
+    opts.socketPath = dir.file("s.sock");
+    opts.accessLogPath = dir.file("access.ndjson");
+    Server server(opts);
+    server.start();
+
+    {
+        ServeClient client(opts.socketPath);
+        EXPECT_TRUE(client.call("{\"id\":1,\"op\":\"ping\"}")
+                        .find("ok")
+                        ->boolean);
+        expectSum(client.call(compileLine(2, kSumSource)), 45);
+        expectSum(client.call(compileLine(3, kSumSource)), 45); // warm
+        // A user error still earns its row.
+        json::Value bad = client.call(compileLine(4, "int main( {{{"));
+        EXPECT_EQ(bad.find("error")->stringAt("kind"), "user");
+        // So do protocol rejects (unknown op).
+        json::Value unknown =
+            client.call("{\"id\":5,\"op\":\"frobnicate\"}");
+        EXPECT_EQ(unknown.find("error")->stringAt("kind"), "protocol");
+        client.call("{\"id\":6,\"op\":\"stats\"}");
+    }
+    server.stop();
+
+    std::vector<json::Value> rows =
+        readAccessLog(opts.accessLogPath);
+    // Exactly one line per answered request, ids preserved.
+    std::vector<long long> ids;
+    for (const json::Value &r : rows)
+        ids.push_back(r.longAt("id", -1));
+    std::sort(ids.begin(), ids.end());
+    EXPECT_EQ(ids, (std::vector<long long>{1, 2, 3, 4, 5, 6}));
+
+    // Outcomes and flags are faithful to what each request did.
+    auto compiles = rowsForOp(rows, "compile");
+    ASSERT_EQ(compiles.size(), 3u);
+    std::map<long long, const json::Value *> byId;
+    for (const json::Value *r : compiles)
+        byId[r->longAt("id")] = r;
+    EXPECT_EQ(byId[2]->stringAt("outcome"), "ok");
+    EXPECT_EQ(byId[2]->stringAt("cached"), "none");
+    EXPECT_EQ(byId[3]->stringAt("outcome"), "ok");
+    EXPECT_EQ(byId[3]->stringAt("cached"), "memory");
+    EXPECT_EQ(byId[4]->stringAt("outcome"), "error");
+    for (const json::Value *r : compiles) {
+        EXPECT_FALSE(r->find("shed")->boolean);
+        EXPECT_FALSE(r->find("timeout")->boolean);
+        const json::Value *timing = r->find("timing_us");
+        ASSERT_NE(timing, nullptr);
+        EXPECT_GT(timing->numberAt("total"), 0.0);
+        EXPECT_GE(timing->numberAt("total"),
+                  timing->numberAt("write"));
+    }
+    // The cold compile actually spent time compiling; the warm one
+    // skipped that work.
+    EXPECT_GT(byId[2]->find("timing_us")->numberAt("compile"),
+              byId[3]->find("timing_us")->numberAt("compile"));
+    // Control and reject rows exist with their own outcomes.
+    ASSERT_EQ(rowsForOp(rows, "ping").size(), 1u);
+    ASSERT_EQ(rowsForOp(rows, "stats").size(), 1u);
+    auto frob = rowsForOp(rows, "frobnicate");
+    ASSERT_EQ(frob.size(), 1u);
+    EXPECT_EQ(frob[0]->stringAt("outcome"), "protocol");
+}
+
+TEST(ServeAccessLog, ShedTimeoutAndDegradedRowsCarryTheirFlags)
+{
+    ScratchDir dir("serve-alog-flags");
+
+    // Phase 1: shed. One worker and a two-deep budget; two slow
+    // requests fill it, and — because control ops bypass admission —
+    // a stats poll can wait for that state before the probe compile
+    // deterministically sheds.
+    {
+        ServeOptions opts;
+        opts.socketPath = dir.file("s1.sock");
+        opts.accessLogPath = dir.file("a1.ndjson");
+        opts.threads = 1;
+        opts.maxPending = 2;
+        Server server(opts);
+        server.start();
+        ServeClient slow(opts.socketPath);
+        slow.sendLine(compileLine(10, slowSource()));
+        slow.sendLine(compileLine(11, slowSource(8'000'001)));
+        ServeClient fast(opts.socketPath);
+        auto giveUp = deadlineAfter(30.0);
+        long long pending = 0;
+        while (pending < 2 && !giveUp()) {
+            json::Value stats = fast.call("{\"id\":1,\"op\":\"stats\"}");
+            pending = stats.find("stats")->find("gauges")->longAt(
+                "pending_requests", 0);
+        }
+        ASSERT_EQ(pending, 2) << "slow requests never filled the budget";
+        json::Value shedResp = fast.call(compileLine(12, kSumSource));
+        ASSERT_EQ(shedResp.find("error")->stringAt("kind"),
+                  "overloaded");
+        EXPECT_NO_THROW(slow.readLine()); // let the slots drain
+        EXPECT_NO_THROW(slow.readLine());
+        server.stop();
+
+        std::vector<json::Value> rows =
+            readAccessLog(opts.accessLogPath);
+        bool sawShed = false;
+        for (const json::Value &r : rows) {
+            if (r.stringAt("outcome") != "shed")
+                continue;
+            sawShed = true;
+            EXPECT_TRUE(r.find("shed")->boolean);
+            EXPECT_EQ(r.longAt("id"), 12);
+        }
+        EXPECT_TRUE(sawShed) << "no shed row in the access log";
+    }
+
+    // Phase 2: timeout. An always-expired deadline with no retry
+    // budget turns the compile into a "timeout" row.
+    {
+        ServeOptions opts;
+        opts.socketPath = dir.file("s2.sock");
+        opts.accessLogPath = dir.file("a2.ndjson");
+        opts.requestTimeoutSeconds = 1e-9;
+        opts.requestRetries = 0;
+        Server server(opts);
+        server.start();
+        ServeClient client(opts.socketPath);
+        json::Value resp = client.call(compileLine(20, kSumSource));
+        ASSERT_EQ(resp.find("error")->stringAt("kind"), "timeout");
+        server.stop();
+
+        std::vector<json::Value> rows =
+            readAccessLog(opts.accessLogPath);
+        ASSERT_EQ(rows.size(), 1u);
+        EXPECT_EQ(rows[0].longAt("id"), 20);
+        EXPECT_EQ(rows[0].stringAt("outcome"), "timeout");
+        EXPECT_TRUE(rows[0].find("timeout")->boolean);
+        EXPECT_FALSE(rows[0].find("shed")->boolean);
+    }
+
+    // Phase 3: degraded. An injected backend fault under "resilient"
+    // serves a degraded result — the row says so.
+    {
+        ServeOptions opts;
+        opts.socketPath = dir.file("s3.sock");
+        opts.accessLogPath = dir.file("a3.ndjson");
+        Server server(opts);
+        server.start();
+        FaultPlan plan;
+        plan.arm("backend.regalloc");
+        ScopedFaultPlan scope(plan);
+        ServeClient client(opts.socketPath);
+        json::Value degraded = client.call(
+            compileLine(30, kSumSource, "\"resilient\":true"));
+        expectSum(degraded, 45);
+        ASSERT_TRUE(
+            degraded.find("result")->find("degraded")->boolean);
+        server.stop();
+
+        std::vector<json::Value> rows =
+            readAccessLog(opts.accessLogPath);
+        ASSERT_EQ(rows.size(), 1u);
+        EXPECT_EQ(rows[0].longAt("id"), 30);
+        EXPECT_EQ(rows[0].stringAt("outcome"), "ok");
+        EXPECT_TRUE(rows[0].find("degraded")->boolean);
+    }
+}
+
+TEST(ServeStatsV2, SchemaGaugesAndHistogramQuantilesRoundTrip)
+{
+    ScratchDir dir("serve-statsv2");
+    ServeOptions opts;
+    opts.socketPath = dir.file("s.sock");
+    Server server(opts);
+    server.start();
+
+    ServeClient client(opts.socketPath);
+    for (long long i = 0; i < 8; ++i)
+        expectSum(client.call(compileLine(i, kSumSource)), 45);
+
+    // The server records a request's histograms just after writing
+    // its response, so the client can observe its own final reply a
+    // hair before the count catches up — poll past that window.
+    std::string raw;
+    json::Value resp;
+    auto giveUp = deadlineAfter(30.0);
+    do {
+        raw = client.callRaw("{\"id\":99,\"op\":\"stats\"}");
+        resp = json::parse(raw);
+        const json::Value *t = totalHistogram(resp);
+        if (t && t->longAt("count") >= 8)
+            break;
+    } while (!giveUp());
+    dsp::testing::JsonChecker checker;
+    ASSERT_TRUE(checker.parse(raw))
+        << "stats reply is not strict JSON: " << checker.error;
+    const json::Value *stats = resp.find("stats");
+    ASSERT_NE(stats, nullptr);
+    EXPECT_EQ(stats->stringAt("schema"), "dsp-stats-v2");
+
+    // v1 members survive byte-compatible: counters object, spans
+    // array, and the legacy flat gauge fields.
+    ASSERT_NE(stats->find("counters"), nullptr);
+    ASSERT_NE(stats->find("spans"), nullptr);
+    EXPECT_GE(stats->longAt("cache_entries", -1), 1);
+    EXPECT_GE(stats->longAt("pending_requests", -1), 0);
+
+    // v2 gauges render from the same registry as the flat fields.
+    const json::Value *gauges = stats->find("gauges");
+    ASSERT_NE(gauges, nullptr);
+    EXPECT_EQ(gauges->longAt("cache_entries", -1),
+              stats->longAt("cache_entries", -2));
+    EXPECT_EQ(gauges->longAt("draining", -1), 0);
+
+    // v2 histograms carry the quantile ladder for every admitted
+    // request.
+    const json::Value *total = totalHistogram(resp);
+    ASSERT_NE(total, nullptr);
+    EXPECT_EQ(total->longAt("count"), 8);
+    long long p50 = total->longAt("p50_us");
+    long long p90 = total->longAt("p90_us");
+    long long p99 = total->longAt("p99_us");
+    long long p999 = total->longAt("p999_us");
+    EXPECT_GT(p50, 0);
+    EXPECT_LE(p50, p90);
+    EXPECT_LE(p90, p99);
+    EXPECT_LE(p99, p999);
+    EXPECT_LE(total->longAt("min_us"), p50);
+    EXPECT_LE(p999, total->longAt("max_us"));
+
+    // The per-tier split exists too: all 8 were admitted compiles.
+    const json::Value *hists = stats->find("histograms");
+    bool sawQueue = false;
+    for (const json::Value &h : hists->items)
+        if (h.stringAt("name") == "serve.latency.queue")
+            sawQueue = true;
+    EXPECT_TRUE(sawQueue);
+    server.stop();
+}
+
+TEST(ServeStatsV2, MetricsOpReturnsPrometheusText)
+{
+    ScratchDir dir("serve-prom");
+    ServeOptions opts;
+    opts.socketPath = dir.file("s.sock");
+    Server server(opts);
+    server.start();
+
+    ServeClient client(opts.socketPath);
+    expectSum(client.call(compileLine(1, kSumSource)), 45);
+    json::Value resp = client.call("{\"id\":2,\"op\":\"metrics\"}");
+    EXPECT_TRUE(resp.find("ok")->boolean);
+    EXPECT_EQ(resp.stringAt("schema"), "dsp-metrics-v1");
+    std::string text = resp.stringAt("metrics");
+    EXPECT_NE(text.find("# TYPE dsp_serve_requests counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE dsp_pending_requests gauge"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find(
+            "# TYPE dsp_serve_latency_total_seconds summary"),
+        std::string::npos);
+    EXPECT_NE(text.find(
+                  "dsp_serve_latency_total_seconds{quantile=\"0.99\"}"),
+              std::string::npos);
+    EXPECT_NE(text.find("dsp_serve_latency_total_seconds_count 1"),
+              std::string::npos);
+    server.stop();
+}
+
+TEST(ServeStatsV2, DrainReplyEmbedsFinalSnapshot)
+{
+    ScratchDir dir("serve-drainstats");
+    ServeOptions opts;
+    opts.socketPath = dir.file("s.sock");
+    Server server(opts);
+    server.start();
+
+    ServeClient client(opts.socketPath);
+    expectSum(client.call(compileLine(1, kSumSource)), 45);
+    json::Value drain = client.call("{\"id\":2,\"op\":\"drain\"}");
+    EXPECT_TRUE(drain.find("ok")->boolean);
+    EXPECT_TRUE(drain.find("draining")->boolean);
+    // The embedded snapshot is a full dsp-stats-v2 document: an
+    // operator keeps the end-of-life quantiles without racing the
+    // process teardown.
+    const json::Value *stats = drain.find("stats");
+    ASSERT_NE(stats, nullptr);
+    EXPECT_EQ(stats->stringAt("schema"), "dsp-stats-v2");
+    const json::Value *total = totalHistogram(drain);
+    ASSERT_NE(total, nullptr);
+    EXPECT_EQ(total->longAt("count"), 1);
+    EXPECT_TRUE(server.waitForShutdown(deadlineAfter(10)));
+    server.stop();
+}

@@ -59,7 +59,7 @@ TEST(Serve, PingStatsShutdownProtocol)
 
     json::Value stats = client.call("{\"id\":8,\"op\":\"stats\"}");
     EXPECT_TRUE(stats.find("ok")->boolean);
-    EXPECT_EQ(stats.find("stats")->stringAt("schema"), "dsp-stats-v1");
+    EXPECT_EQ(stats.find("stats")->stringAt("schema"), "dsp-stats-v2");
     EXPECT_GE(counterOf(stats, "serve.requests"), 1);
 
     json::Value bye = client.call("{\"id\":9,\"op\":\"shutdown\"}");

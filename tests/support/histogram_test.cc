@@ -1,0 +1,254 @@
+/**
+ * @file
+ * LatencyHistogram unit tests: slot geometry (bucket boundaries and
+ * the 1/64 relative-error contract), exact min/max tracking, the
+ * negative and overflow clamps, merge, quantiles (exact in the linear
+ * range, bounded-error above it), and concurrent recording.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "support/histogram.hh"
+#include "support/telemetry.hh"
+
+namespace dsp
+{
+namespace
+{
+
+using H = LatencyHistogram;
+
+TEST(HistogramSlots, LinearRangeIsIdentity)
+{
+    // Below kSubBucketCount every value gets its own slot: quantiles
+    // there are exact, which the serving tests rely on.
+    for (std::int64_t v = 0; v < H::kSubBucketCount; ++v) {
+        EXPECT_EQ(H::slotFor(v), static_cast<std::size_t>(v));
+        EXPECT_EQ(H::slotLower(static_cast<std::size_t>(v)), v);
+        EXPECT_EQ(H::slotUpper(static_cast<std::size_t>(v)), v);
+    }
+}
+
+TEST(HistogramSlots, BoundariesTileTheRange)
+{
+    // Walking every slot must tile [0, kMaxValue] exactly: each
+    // slot's lower bound is the previous slot's upper bound + 1.
+    std::int64_t expectLower = 0;
+    for (std::size_t s = 0; s < H::kSlotCount; ++s) {
+        EXPECT_EQ(H::slotLower(s), expectLower) << "slot " << s;
+        EXPECT_GE(H::slotUpper(s), H::slotLower(s)) << "slot " << s;
+        expectLower = H::slotUpper(s) + 1;
+    }
+    EXPECT_EQ(H::slotUpper(H::kSlotCount - 1), H::kMaxValue);
+}
+
+TEST(HistogramSlots, EveryBoundaryMapsToItsOwnSlot)
+{
+    for (std::size_t s = 0; s < H::kSlotCount; ++s) {
+        EXPECT_EQ(H::slotFor(H::slotLower(s)), s) << "slot " << s;
+        EXPECT_EQ(H::slotFor(H::slotUpper(s)), s) << "slot " << s;
+    }
+}
+
+TEST(HistogramSlots, RelativeErrorBounded)
+{
+    // The HdrHistogram contract: a slot's width never exceeds its
+    // lower bound / kSubBucketHalf, i.e. ~1.6% relative error.
+    for (std::size_t s = H::kSubBucketCount; s < H::kSlotCount; ++s) {
+        std::int64_t width = H::slotUpper(s) - H::slotLower(s) + 1;
+        EXPECT_LE(width, H::slotLower(s) / H::kSubBucketHalf + 1)
+            << "slot " << s;
+    }
+}
+
+TEST(Histogram, EmptyIsAllZero)
+{
+    H h;
+    EXPECT_EQ(h.count(), 0);
+    EXPECT_EQ(h.min(), 0);
+    EXPECT_EQ(h.max(), 0);
+    EXPECT_EQ(h.sum(), 0);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.quantile(0.5), 0);
+    H::Summary s = h.summary();
+    EXPECT_EQ(s.count, 0);
+    EXPECT_EQ(s.p999, 0);
+}
+
+TEST(Histogram, MinMaxAreExactNotBucketed)
+{
+    H h;
+    h.record(1'000'003); // lands in a wide slot
+    h.record(999'983);
+    EXPECT_EQ(h.min(), 999'983);
+    EXPECT_EQ(h.max(), 1'000'003);
+    EXPECT_EQ(h.sum(), 1'999'986);
+}
+
+TEST(Histogram, NegativeClampsToZero)
+{
+    H h;
+    h.record(-5);
+    h.record(INT64_MIN);
+    EXPECT_EQ(h.count(), 2);
+    EXPECT_EQ(h.min(), 0);
+    EXPECT_EQ(h.max(), 0);
+    EXPECT_EQ(h.sum(), 0);
+    EXPECT_EQ(h.quantile(1.0), 0);
+}
+
+TEST(Histogram, OverflowClampsToMaxValue)
+{
+    H h;
+    h.record(INT64_MAX);
+    h.record(H::kMaxValue + 1);
+    EXPECT_EQ(h.count(), 2);
+    EXPECT_EQ(h.max(), H::kMaxValue);
+    EXPECT_EQ(h.quantile(0.99), H::kMaxValue);
+}
+
+TEST(Histogram, QuantilesExactInLinearRange)
+{
+    // 1..50 once each: quantile(q) = ceil(q*50) exactly, because each
+    // value below kSubBucketCount owns its slot.
+    H h;
+    for (std::int64_t v = 1; v <= 50; ++v)
+        h.record(v);
+    EXPECT_EQ(h.quantile(0.5), 25);
+    EXPECT_EQ(h.quantile(0.9), 45);
+    EXPECT_EQ(h.quantile(0.02), 1);
+    EXPECT_EQ(h.quantile(1.0), 50);
+    EXPECT_EQ(h.quantile(0.0), 1); // clamps to the first sample
+    EXPECT_DOUBLE_EQ(h.mean(), 25.5);
+}
+
+TEST(Histogram, QuantilesBoundedErrorAboveLinearRange)
+{
+    H h;
+    for (std::int64_t v = 1; v <= 100'000; ++v)
+        h.record(v);
+    // Each quantile must land within one sub-bucket (1/32 ≈ 3.2%
+    // worst-case midpoint error) of the true value.
+    for (double q : {0.5, 0.9, 0.99, 0.999}) {
+        auto expected =
+            static_cast<double>(static_cast<std::int64_t>(q * 100'000));
+        auto got = static_cast<double>(h.quantile(q));
+        EXPECT_NEAR(got, expected, expected / 16.0) << "q=" << q;
+    }
+    EXPECT_EQ(h.quantile(1.0), 100'000); // clamped into [min, max]
+}
+
+TEST(Histogram, SummaryQuantilesAreMonotone)
+{
+    H h;
+    for (std::int64_t v = 0; v < 10'000; ++v)
+        h.record((v * 7919) % 90'000);
+    H::Summary s = h.summary();
+    EXPECT_EQ(s.count, 10'000);
+    EXPECT_LE(s.min, s.p50);
+    EXPECT_LE(s.p50, s.p90);
+    EXPECT_LE(s.p90, s.p99);
+    EXPECT_LE(s.p99, s.p999);
+    EXPECT_LE(s.p999, s.max);
+}
+
+TEST(Histogram, MergeAddsSlotwiseAndUnionsMinMax)
+{
+    H a, b;
+    for (std::int64_t v = 1; v <= 10; ++v)
+        a.record(v);
+    for (std::int64_t v = 41; v <= 50; ++v)
+        b.record(v);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 20);
+    EXPECT_EQ(a.min(), 1);
+    EXPECT_EQ(a.max(), 50);
+    EXPECT_EQ(a.quantile(0.5), 10);  // 10th of 20 samples
+    EXPECT_EQ(a.quantile(0.75), 45); // 15th of 20 samples
+    EXPECT_EQ(a.sum(), 55 + 455);
+    // Merging an empty histogram is a no-op (its min sentinel must
+    // not clobber a real min).
+    H empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 20);
+    EXPECT_EQ(a.min(), 1);
+}
+
+TEST(Histogram, ConcurrentRecordingLosesNothing)
+{
+    H h;
+    constexpr int kThreads = 8;
+    constexpr std::int64_t kPerThread = 100'000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&h, t] {
+            for (std::int64_t i = 0; i < kPerThread; ++i)
+                h.record((i + t) % 1000);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(h.count(), kThreads * kPerThread);
+    EXPECT_EQ(h.max(), 999);
+    EXPECT_EQ(h.min(), 0);
+    // Uniform over [0,1000): p50 within one linear... the range spans
+    // past kSubBucketCount, so allow one sub-bucket of slack.
+    EXPECT_NEAR(static_cast<double>(h.quantile(0.5)), 500.0, 32.0);
+}
+
+TEST(HistogramRegistry, GetReturnsStableReferences)
+{
+    HistogramRegistry reg;
+    LatencyHistogram &a = reg.get("serve.latency.total");
+    reg.record("serve.latency.total", 42);
+    for (int i = 0; i < 100; ++i)
+        reg.get("name." + std::to_string(i));
+    EXPECT_EQ(&a, &reg.get("serve.latency.total"));
+    EXPECT_EQ(a.count(), 1);
+    EXPECT_EQ(a.max(), 42);
+}
+
+TEST(HistogramRegistry, FindDoesNotCreate)
+{
+    HistogramRegistry reg;
+    EXPECT_EQ(reg.find("absent"), nullptr);
+    reg.record("present", 7);
+    ASSERT_NE(reg.find("present"), nullptr);
+    EXPECT_EQ(reg.find("present")->count(), 1);
+    EXPECT_EQ(reg.sorted().size(), 1u);
+}
+
+TEST(HistogramRegistry, SortedIsNameOrdered)
+{
+    HistogramRegistry reg;
+    reg.record("b", 1);
+    reg.record("a", 1);
+    reg.record("c", 1);
+    auto view = reg.sorted();
+    ASSERT_EQ(view.size(), 3u);
+    EXPECT_EQ(view[0].first, "a");
+    EXPECT_EQ(view[1].first, "b");
+    EXPECT_EQ(view[2].first, "c");
+}
+
+TEST(AmbientHistogram, RecordsOnlyWithSessionInstalled)
+{
+    recordLatencyUs("off.path", 123); // no session: must be a no-op
+    TraceSession session;
+    {
+        ScopedTraceSession scope(session);
+        recordLatencyUs("on.path", 456);
+    }
+    recordLatencyUs("off.again", 789);
+    EXPECT_EQ(session.histograms().find("off.path"), nullptr);
+    EXPECT_EQ(session.histograms().find("off.again"), nullptr);
+    ASSERT_NE(session.histograms().find("on.path"), nullptr);
+    EXPECT_EQ(session.histograms().find("on.path")->max(), 456);
+}
+
+} // namespace
+} // namespace dsp
